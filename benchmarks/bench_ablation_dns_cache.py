@@ -1,0 +1,75 @@
+"""Ablation: shared-resolver caching vs Umbrella's rank accuracy.
+
+Section 5.2 blames "caching, TTLs, and other DNS complexities" for
+Umbrella's inability to capture fine-grained popularity.  Our model makes
+the mechanism concrete: enterprise devices share forwarder caches, so
+Umbrella counts organizations, and the head of the count distribution
+saturates.  Sweeping the org size from 1 (no sharing — every device
+queries Umbrella directly) upward should degrade rank accuracy while
+leaving set accuracy roughly alone.
+"""
+
+import numpy as np
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.cdn.metrics import CdnMetricEngine
+from repro.core import report
+from repro.core.evaluation import CloudflareEvaluator
+from repro.core.experiments import ExperimentResult
+from repro.providers.umbrella import UmbrellaProvider
+from repro.traffic.fastpath import TrafficModel
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import build_world
+
+_ORG_SIZES = (1.0, 300.0, 3000.0, 30000.0)
+
+
+def test_ablation_dns_cache(benchmark):
+    def run():
+        rows = []
+        rhos = []
+        jjs = []
+        for org_size in _ORG_SIZES:
+            config = WorldConfig(
+                n_sites=8000, n_days=4, seed=20220201, umbrella_org_size=org_size
+            )
+            world = build_world(config)
+            traffic = TrafficModel(world)
+            engine = CdnMetricEngine(world, traffic)
+            evaluator = CloudflareEvaluator(world, engine)
+            umbrella = UmbrellaProvider(world, traffic)
+            # Isolate the cache mechanism: hold the provider's other
+            # distortions (panel taste, TTL-policy heterogeneity) flat.
+            umbrella._taste = np.ones(world.n_sites)  # noqa: SLF001
+            umbrella._ttl_factor = np.ones(world.n_sites)  # noqa: SLF001
+            result = evaluator.evaluate_month(
+                umbrella, "all:ips", config.bucket_sizes[1], days=range(2)
+            )
+            rows.append([f"{org_size:.0f}", result.jaccard, result.spearman])
+            jjs.append(result.jaccard)
+            rhos.append(result.spearman)
+        text = report.format_table(
+            ["devices per shared cache", "jaccard", "spearman"],
+            rows,
+            title="Umbrella accuracy vs forwarder-cache sharing",
+        )
+        return ExperimentResult(
+            "ablation_dns", "DNS-cache ablation", {"jj": jjs, "rho": rhos}, text
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result, "Mechanism check for §5.2: cache sharing compresses the "
+                 "head of the unique-client distribution, destroying rank "
+                 "information while set membership survives.")
+
+    rhos = result.data["rho"]
+    jjs = result.data["jj"]
+    # Rank accuracy degrades as sharing grows.
+    assert rhos[-1] < rhos[0] - 0.2
+    # Set accuracy is far less sensitive than rank accuracy — the paper's
+    # "good coverage, bad ranks" signature of DNS lists.
+    jj_drop = jjs[0] - jjs[-1]
+    rho_drop = rhos[0] - rhos[-1]
+    assert jj_drop < rho_drop * 0.5

@@ -1,0 +1,63 @@
+"""Figure 2: correlation between top lists and Cloudflare.
+
+Paper: by Jaccard index, CrUX (0.23-0.43) clearly beats every other list
+and is the only one inside the intra-Cloudflare agreement band; Umbrella is
+second (0.17-0.29); Tranco/Trexa fall in the middle; Alexa (0.13-0.19),
+Majestic (0.13-0.15), and Secrank (0.08-0.11) do worst.  All seven metrics
+rank the lists' accuracy identically (pairwise rs = 1.0).  By Spearman,
+Alexa/Tranco/Trexa are highest and Majestic/Secrank lowest; CrUX cannot be
+evaluated (bucketed).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.cdn.filters import FINAL_SEVEN
+from repro.core.experiments import run_fig2
+from repro.providers.registry import PROVIDER_ORDER
+
+_PAPER = """
+Figure 2a (JJ): crux 0.23-0.43 > umbrella 0.17-0.29 > tranco/trexa middle >
+alexa 0.13-0.19 > majestic 0.13-0.15 > secrank 0.08-0.11; all 7 metrics
+agree on the ordering (rs = 1.0).  Figure 2b (rs): alexa/tranco/trexa
+highest; umbrella/majestic/secrank poor; CrUX not computable.
+"""
+
+
+def test_fig2_toplists_vs_cloudflare(benchmark, ctx):
+    result = benchmark.pedantic(run_fig2, args=(ctx,), rounds=1, iterations=1)
+    show(result, _PAPER)
+    matrix = result.data["matrix"]
+
+    # CrUX strictly best on every metric.
+    for combo in FINAL_SEVEN:
+        scores = {name: matrix[name][combo].jaccard for name in PROVIDER_ORDER}
+        assert max(scores, key=scores.get) == "crux", combo
+
+    # Secrank and Majestic are the two worst on every metric.
+    for combo in FINAL_SEVEN:
+        scores = {name: matrix[name][combo].jaccard for name in PROVIDER_ORDER}
+        assert set(sorted(scores, key=scores.get)[:2]) == {"secrank", "majestic"}
+
+    # Near-perfect cross-metric agreement on the ordering of lists.
+    # The paper reports exactly 1.0; we land slightly below because our
+    # Tranco and Umbrella are nearly tied (documented in EXPERIMENTS.md).
+    assert result.data["ordering_agreement"] > 0.85
+
+    # CrUX's spearman is undefined (rank-magnitude buckets only).
+    assert all(np.isnan(matrix["crux"][combo].spearman) for combo in FINAL_SEVEN)
+
+    # Rank correlations are weak-to-moderate at best for everyone.
+    best_rho = np.nanmax(
+        [matrix[name][combo].spearman for name in PROVIDER_ORDER for combo in FINAL_SEVEN]
+    )
+    assert best_rho < 0.75
+
+    # Majestic and Secrank have the weakest rank correlations on average.
+    mean_rho = {
+        name: np.nanmean([matrix[name][combo].spearman for combo in FINAL_SEVEN])
+        for name in PROVIDER_ORDER
+        if name != "crux"
+    }
+    worst_two = set(sorted(mean_rho, key=mean_rho.get)[:2])
+    assert "majestic" in worst_two or "secrank" in worst_two

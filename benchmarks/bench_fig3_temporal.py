@@ -1,0 +1,60 @@
+"""Figure 3: popularity metrics over time (daily, full month).
+
+Paper: daily correlations are somewhat periodic — Umbrella's Jaccard index
+moves with the work week, Alexa's and Umbrella's Spearman correlations are
+best on weekends — but the ordering of lists barely changes day to day.
+Alexa improves, by both measures, in late February after an unannounced
+methodology change.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.core.experiments import run_fig3
+from repro.core.temporal import weekend_effect
+
+_PAPER = """
+Figure 3: umbrella JJ weekly-periodic; alexa & umbrella rs better on
+weekends; ordering of lists stable across days; alexa improves in late
+February (unexplained methodology change).
+"""
+
+
+def test_fig3_temporal(benchmark, ctx):
+    result = benchmark.pedantic(run_fig3, args=(ctx,), rounds=1, iterations=1)
+    show(result, _PAPER)
+
+    series = result.data["series"]
+    analysis = result.data["analysis"]
+
+    # Weekly structure exists across the board (the reference's own
+    # enterprise/home rhythm), and the DNS list's rank accuracy swings
+    # with the work week: Umbrella is distinctly *more accurate on
+    # weekends*, when its biased enterprise tier goes quiet — the paper's
+    # Spearman weekend effect.  (The paper also reports the effect for
+    # Alexa; in our reproduction Alexa's weekend delta is within noise,
+    # recorded as a deviation in EXPERIMENTS.md.)
+    amplitudes = {name: analysis.weekly_amplitude(name) for name in series}
+    assert max(amplitudes.values()) > 2 * min(amplitudes.values())
+
+    rho_deltas = {
+        name: weekend_effect(series[name])[1]
+        for name in series
+        if name != "crux"
+    }
+    assert rho_deltas["umbrella"] > 0.0
+    assert rho_deltas["umbrella"] == max(rho_deltas.values()) or         rho_deltas["secrank"] == max(rho_deltas.values())
+    assert rho_deltas["alexa"] > -0.03
+
+    # The ordering of lists is largely consistent over time.
+    assert analysis.ordering_stability() > 0.8
+
+    # Alexa improves after the late-month panel change.
+    jj_delta, rho_delta = result.data["alexa_trend"]
+    assert jj_delta > 0.0
+    assert np.isnan(rho_delta) or rho_delta > -0.05
+
+    # No other list shows a comparable late-month jump.
+    for name in ("majestic", "umbrella", "secrank"):
+        other_delta, _ = analysis.trend_delta(name, ctx.config.alexa_change_day)
+        assert other_delta < jj_delta

@@ -1,0 +1,50 @@
+"""Figure 5 / Section 5.3: rank-magnitude movement vs Cloudflare.
+
+Paper: of the 1,790 Alexa top-10K domains trackable against the bookend
+consensus, 70% are overranked (placed in a less-popular Cloudflare bucket)
+and 27.2% by two or more orders of magnitude; 87.1% of the Alexa top 1K are
+overranked.  CrUX: 47.1% of its top-10K domains are overranked and only 1%
+by two or more magnitudes.  Majestic/Tranco/Trexa/Umbrella look like Alexa.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.core.experiments import run_fig5
+
+_PAPER = """
+Figure 5 / Section 5.3: alexa top-10K 70% overranked (27.2% by >= 2
+magnitudes), top-1K 87.1% overranked; crux top-10K 47.1% overranked (1% by
+>= 2 magnitudes) — far better bucket agreement.
+"""
+
+
+def test_fig5_rank_movement(benchmark, ctx):
+    result = benchmark.pedantic(
+        run_fig5, args=(ctx,), kwargs={"providers": ("alexa", "crux", "majestic")},
+        rounds=1, iterations=1,
+    )
+    show(result, _PAPER)
+    stats = result.data["stats"]
+
+    # A majority of Alexa's 10K bucket is overranked...
+    assert stats["alexa"]["overranked_10k"] > 0.5
+    # ...while CrUX misplaces far less.
+    assert stats["crux"]["overranked_10k"] < stats["alexa"]["overranked_10k"] * 0.75
+
+    # Two-or-more magnitude errors are rare for CrUX.
+    crux_2plus = stats["crux"]["overranked_10k_2plus"]
+    assert np.isnan(crux_2plus) or crux_2plus < 0.1
+
+    # The top-1K bucket shows the same direction.
+    crux_1k = stats["crux"]["overranked_1k"]
+    alexa_1k = stats["alexa"]["overranked_1k"]
+    if not (np.isnan(crux_1k) or np.isnan(alexa_1k)):
+        assert crux_1k <= alexa_1k
+
+    # Majestic behaves like Alexa, not like CrUX (the paper: "results for
+    # Majestic, Tranco, Trexa, and Umbrella are very similar [to Alexa]").
+    assert stats["majestic"]["overranked_10k"] > stats["crux"]["overranked_10k"]
+
+    # Enough consensus domains to make the statistics meaningful.
+    assert result.data["consensus_size"] > 100

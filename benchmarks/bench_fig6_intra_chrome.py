@@ -1,0 +1,43 @@
+"""Figure 6: intra-Chrome metric consistency.
+
+Paper: Chrome's three client metrics (completed pageloads, initiated
+pageloads, time on site) are notably more consistent with one another
+(JJ 0.73-0.86, rs 0.66-0.98) than the Cloudflare metrics are with each
+other — evidence that Chrome's data quality, not metric choice, drives
+CrUX's accuracy.
+"""
+
+from benchmarks.conftest import show
+from repro.core.experiments import run_fig1, run_fig6
+
+_PAPER = """
+Figure 6: intra-Chrome JJ 0.73-0.86 and rs 0.66-0.98 — tighter than the
+intra-Cloudflare agreement of Figure 1; completed vs initiated pageloads
+is the closest pair.
+"""
+
+
+def test_fig6_intra_chrome(benchmark, ctx):
+    result = benchmark.pedantic(run_fig6, args=(ctx,), rounds=1, iterations=1)
+    show(result, _PAPER)
+    cells = result.data["cells"]
+
+    values = {pair: cell.jaccard for pair, cell in cells.items()}
+    chrome_min = min(values.values())
+    chrome_max = max(values.values())
+
+    # Tight internal agreement.
+    assert chrome_min > 0.5
+    assert chrome_max > 0.8
+
+    # Completed vs initiated is the closest pair; time-on-site differs most.
+    assert values[("completed", "initiated")] == chrome_max
+    assert min(values, key=values.get)[1] == "time" or min(values, key=values.get)[0] == "time"
+
+    # Chrome metrics agree more than Cloudflare metrics do (Figure 1).
+    fig1 = run_fig1(ctx)
+    cf_lo, _cf_hi = fig1.data["jaccard_band"]
+    assert chrome_min > cf_lo
+
+    # Spearman: strong across all pairs.
+    assert all(cell.spearman > 0.5 for cell in cells.values())

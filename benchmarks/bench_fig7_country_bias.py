@@ -1,0 +1,67 @@
+"""Figure 7: top-list accuracy by client country.
+
+Paper: lists show strong, irregular geographic bias — Secrank matches only
+China; Umbrella and Majestic match the US best; Alexa does surprisingly
+well in sub-Saharan Africa; every list does poorly on Japan; Tranco and
+Trexa inherit their components' biases.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.core.experiments import run_fig7
+from repro.worldgen.countries import TELEMETRY_COUNTRIES
+
+_PAPER = """
+Figure 7: secrank best matches China and is terrible elsewhere; umbrella
+and majestic best match the US; alexa unusually strong in sub-Saharan
+Africa (ng/za); all lists match Japan poorly; tranco/trexa inherit
+component biases.
+"""
+
+
+def test_fig7_country_bias(benchmark, ctx):
+    result = benchmark.pedantic(run_fig7, args=(ctx,), rounds=1, iterations=1)
+    show(result, _PAPER)
+    cells = result.data["cells"]
+
+    def jj(name, code):
+        return cells[name][code].jaccard
+
+    # Secrank: China is its best country by a wide margin.
+    secrank_others = [jj("secrank", c) for c in TELEMETRY_COUNTRIES if c != "cn"]
+    assert jj("secrank", "cn") > max(secrank_others) * 1.5
+
+    # Umbrella: the US is at or near its best.
+    umbrella_rank = sorted(
+        TELEMETRY_COUNTRIES, key=lambda c: jj("umbrella", c), reverse=True
+    ).index("us")
+    assert umbrella_rank <= 2
+
+    # Alexa: sub-Saharan Africa (Nigeria/South Africa) above its median.
+    alexa_median = np.median([jj("alexa", c) for c in TELEMETRY_COUNTRIES])
+    assert jj("alexa", "ng") > alexa_median or jj("alexa", "za") > alexa_median
+
+    # Japan: poorly matched across the board — below (or at) the median
+    # country for nearly every list, and clearly below on average.
+    below = 0
+    ratios = []
+    for name in cells:
+        if name == "secrank":
+            continue
+        median = np.median([jj(name, c) for c in TELEMETRY_COUNTRIES])
+        ratios.append(jj(name, "jp") / max(median, 1e-9))
+        if jj(name, "jp") <= median * 1.02:
+            below += 1
+    assert below >= len(cells) - 2
+    assert np.mean(ratios) < 1.0
+
+    # Tranco inherits its components' geography: its per-country profile
+    # correlates with the mean of alexa/umbrella/majestic profiles.
+    component_mean = np.array([
+        np.mean([jj("alexa", c), jj("umbrella", c), jj("majestic", c)])
+        for c in TELEMETRY_COUNTRIES
+    ])
+    tranco_profile = np.array([jj("tranco", c) for c in TELEMETRY_COUNTRIES])
+    correlation = np.corrcoef(component_mean, tranco_profile)[0, 1]
+    assert correlation > 0.5

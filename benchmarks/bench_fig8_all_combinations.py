@@ -1,0 +1,39 @@
+"""Figure 8 (appendix): all 21 filter-aggregation combinations, one day.
+
+Paper: the full 21x21 comparison shows heavy redundancy — 200-filtered and
+referer-filtered counts track all-requests (rs = 0.97 / 0.92); unique-IP
+vs (IP, UA) aggregations are nearly identical; text/html behaves like the
+browser/TLS family — which is what justifies reducing to seven final
+metrics.
+"""
+
+from benchmarks.conftest import show
+from repro.core.experiments import run_fig8
+
+_PAPER = """
+Figure 8: 200-filter ~ all-requests (rs = 0.97, JJ = 0.84); referer-filter
+~ top-5-browsers (rs = 0.92, JJ = 0.77); unique-IP ~ (IP, UA) (rs = 0.99);
+html-filter clusters with TLS/browsers; the redundancy motivates the
+seven-metric reduction of Section 3.3.
+"""
+
+
+def test_fig8_all_combinations(benchmark, ctx):
+    result = benchmark.pedantic(run_fig8, args=(ctx,), rounds=1, iterations=1)
+    show(result, _PAPER)
+
+    rho = result.data["spearman"]
+    jj = result.data["jaccard"]
+
+    # The redundancies that justified dropping filters (Section 3.2):
+    assert rho[("all:requests", "200:requests")] > 0.9
+    assert rho[("referer:requests", "browsers:requests")] > 0.8
+    assert rho[("all:ips", "all:ip_ua")] > 0.95
+    assert jj[("all:requests", "200:requests")] > 0.75
+
+    # The html filter tracks pageload-ish metrics better than raw requests.
+    assert rho[("html:requests", "tls:requests")] > rho[("html:requests", "all:requests")] or \
+        jj[("html:requests", "tls:requests")] > jj[("html:requests", "all:requests")]
+
+    # The surviving diversity: bookends stay far apart even here.
+    assert jj[("all:requests", "root:requests")] < 0.5

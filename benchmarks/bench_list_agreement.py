@@ -1,0 +1,58 @@
+"""Context experiment: how much do the top lists agree with each other?
+
+Scheitle et al. (quoted in Section 2): "There is little agreement between
+top lists in terms of both overlap and rank order of names" — the premise
+that makes an accuracy evaluation necessary.  We compute the pairwise
+agreement among our seven simulated lists and check the structure: low
+overlap overall, with the amalgams (Tranco/Trexa) naturally closest to
+their dominant components.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.core import report
+from repro.core.agreement import pairwise_list_agreement
+from repro.core.experiments import ExperimentResult
+from repro.providers.registry import PROVIDER_ORDER
+
+
+def test_list_agreement(benchmark, ctx):
+    depth = ctx.magnitudes[2]
+
+    from repro.core.experiments import run_agreement
+
+    result = benchmark.pedantic(run_agreement, args=(ctx,), rounds=1, iterations=1)
+    show(result, "Scheitle et al.: lists have little overlap and rank "
+                 "agreement with one another; amalgam lists trivially "
+                 "overlap their components.")
+
+    matrix = result.data["matrix"]
+
+    # The fractured landscape: mean pairwise overlap well below half.
+    assert matrix.mean_offdiagonal_jaccard() < 0.5
+
+    # Trexa is Alexa-weighted by construction: their overlap tops the
+    # independent pairs.
+    trexa_alexa = matrix.jaccard[("trexa", "alexa")]
+    independent_pairs = [
+        matrix.jaccard[(a, b)]
+        for a in ("alexa", "umbrella", "majestic", "secrank", "crux")
+        for b in ("alexa", "umbrella", "majestic", "secrank", "crux")
+        if a < b
+    ]
+    assert trexa_alexa > max(independent_pairs)
+
+    # Secrank is the odd one out: lowest mean overlap with everyone.
+    mean_overlap = {
+        name: np.mean([
+            matrix.jaccard[(name, other)]
+            for other in PROVIDER_ORDER
+            if other != name
+        ])
+        for name in PROVIDER_ORDER
+    }
+    assert min(mean_overlap, key=mean_overlap.get) == "secrank"
+
+    # CrUX pairs have no Spearman (bucketed), as in the paper.
+    assert np.isnan(matrix.spearman[("crux", "alexa")])

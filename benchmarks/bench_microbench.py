@@ -1,0 +1,108 @@
+"""Microbenchmarks of the performance-critical primitives.
+
+Unlike the experiment benches (one-shot, pedantic), these run multiple
+rounds to give real timing distributions for the code on the hot paths:
+PSL matching, similarity measures, DNS cache operations, the metric
+engine's per-day computation, and provider list assembly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cdn.metrics import CdnMetricEngine
+from repro.core.similarity import jaccard_index, spearman
+from repro.dnslib.cache import DnsCache
+from repro.dnslib.records import ResourceRecord
+from repro.traffic.fastpath import TrafficModel
+from repro.weblib.psl import default_psl
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import build_world
+
+_MICRO_CONFIG = WorldConfig(n_sites=5_000, n_days=4, seed=31)
+
+
+@pytest.fixture(scope="module")
+def micro_world():
+    return build_world(_MICRO_CONFIG)
+
+
+def test_psl_registrable_domain(benchmark, micro_world):
+    psl = default_psl()
+    names = [f"www.{n}" for n in micro_world.sites.names[:1000]]
+
+    def run():
+        return [psl.registrable_domain(name) for name in names]
+
+    result = benchmark(run)
+    assert len(result) == 1000
+
+
+def test_spearman_large(benchmark):
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=10_000)
+    y = x + rng.normal(size=10_000)
+
+    result = benchmark(spearman, x, y)
+    assert result.rho > 0.5
+
+
+def test_jaccard_large(benchmark):
+    a = list(range(0, 20_000, 2))
+    b = list(range(0, 20_000, 3))
+
+    value = benchmark(jaccard_index, a, b)
+    assert 0.0 < value < 1.0
+
+
+def test_dns_cache_churn(benchmark):
+    names = [f"site{i}.example" for i in range(512)]
+    records = [
+        ResourceRecord(name=name, rtype="A", ttl=60, data="198.51.100.1")
+        for name in names
+    ]
+
+    def run():
+        cache = DnsCache(capacity=1024)
+        hits = 0
+        for t in range(4):
+            now = t * 30.0
+            for record in records:
+                if cache.get(record.name, "A", now) is None:
+                    cache.put(record, now)
+                else:
+                    hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_world_build(benchmark):
+    def run():
+        return build_world(WorldConfig(n_sites=2_000, n_days=4, seed=17))
+
+    world = benchmark(run)
+    assert world.n_sites == 2_000
+
+
+def test_metric_engine_day(benchmark, micro_world):
+    traffic = TrafficModel(micro_world)
+    engine = CdnMetricEngine(micro_world, traffic)
+    engine.day_counts(0)  # warm the traffic tensors
+
+    def run():
+        engine.drop_cache()
+        return engine.day_counts(0, combos=("all:requests", "all:ips"))
+
+    counts = benchmark(run)
+    assert (counts["all:requests"] >= 0).all()
+
+
+def test_provider_daily_list(benchmark, micro_world):
+    from repro.providers.umbrella import UmbrellaProvider
+
+    traffic = TrafficModel(micro_world)
+    provider = UmbrellaProvider(micro_world, traffic)
+
+    result = benchmark(provider.daily_list, 1)
+    assert len(result) > 100

@@ -1,0 +1,43 @@
+"""Context experiment: list stability (Section 2 / Scheitle et al.).
+
+Prior work the paper builds on: commercial lists churn heavily day to day
+("top lists are unstable"), and Tranco's 30-day aggregation restores
+stability.  We reproduce the ordering: the smoothed/aggregated lists
+(Tranco, Secrank, Majestic) churn least, the per-day measured lists
+(Umbrella, Alexa) churn most, and CrUX — published monthly — does not
+churn at all within a month.
+"""
+
+from benchmarks.conftest import show
+from repro.core import report
+from repro.core.experiments import ExperimentResult
+from repro.core.stability import stability_report
+from repro.providers.registry import PROVIDER_ORDER
+
+
+def test_stability(benchmark, ctx):
+    depth = ctx.magnitudes[2]
+
+    from repro.core.experiments import run_stability
+
+    result = benchmark.pedantic(run_stability, args=(ctx,), rounds=1, iterations=1)
+    show(result, "Scheitle et al. (IMC '18): lists are unstable; Tranco "
+                 "(NDSS '19) exists to fix that via 30-day aggregation; "
+                 "CrUX is a fixed monthly snapshot.")
+
+    reports = result.data["reports"]
+    churn = {name: r.mean_daily_churn for name, r in reports.items()}
+
+    # CrUX is a monthly snapshot: zero churn within the window.
+    assert churn["crux"] == 0.0
+
+    # Tranco's aggregation makes it far more stable than its *measured*
+    # components (the near-static backlink crawl needs no help).
+    assert churn["tranco"] < churn["alexa"]
+    assert churn["tranco"] < churn["umbrella"] / 2
+
+    # Umbrella is the notorious churner (as in Scheitle et al.).
+    assert churn["umbrella"] == max(churn.values())
+
+    # Rank stability mirrors set stability for the aggregated list.
+    assert reports["tranco"].rank_stability > reports["umbrella"].rank_stability

@@ -1,0 +1,31 @@
+"""Section 2: how research papers use top lists.
+
+Paper: of the 2021 papers using top lists at USENIX Security, IMC, NSDI,
+SOUPS, NDSS, and WWW, 50 (85%) use lists only as an unordered set, 9 (15%)
+use site ranks, and 5 (8%) use both — the observation that makes CrUX's
+bucketed format suitable for most research.
+"""
+
+import pytest
+
+from benchmarks.conftest import show
+from repro.core.experiments import run_survey
+
+_PAPER = """
+Section 2: 50/59 papers (85%) use top lists only as a set; 9 (15%) use
+rank; 5 (8%) use both.  Scheitle et al.: 22% of measurement, 9% of
+security, 6% of networking, 8% of web papers use a top list.
+"""
+
+
+def test_survey_stats(benchmark, ctx):
+    result = benchmark.pedantic(run_survey, args=(ctx,), rounds=1, iterations=1)
+    show(result, _PAPER)
+    stats = result.data["stats"]
+
+    assert stats.papers == 59
+    assert stats.set_only == 50
+    assert stats.rank_using == 9
+    assert stats.both == 5
+    assert stats.set_only_fraction == pytest.approx(0.847, abs=0.01)
+    assert stats.rank_using_fraction == pytest.approx(0.153, abs=0.01)

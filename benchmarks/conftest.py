@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+All benches run over one bench-scale world (see
+:data:`repro.core.pipeline.BENCH_CONFIG`): 20k sites standing in for the
+paper's 1M universe, 28 simulated days standing in for February 2022.  The
+context is built once per session; each bench times its *analysis*, not
+world construction.
+
+Every bench prints the reproduced table/figure next to the paper's reported
+values so `pytest benchmarks/ --benchmark-only -s` doubles as the
+EXPERIMENTS.md evidence generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import ExperimentResult
+from repro.core.pipeline import BENCH_CONFIG, ExperimentContext, experiment_context
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """The shared bench-scale experiment context."""
+    return experiment_context(BENCH_CONFIG)
+
+
+def show(result: ExperimentResult, paper_notes: str) -> None:
+    """Print a reproduced artifact with the paper's numbers for comparison."""
+    print()
+    print(f"=== {result.name}: {result.title} ===")
+    print(result.text)
+    print()
+    print("--- paper reference ---")
+    print(paper_notes.strip())
+    print()

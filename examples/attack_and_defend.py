@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Attack a top list, watch Tranco blunt it.
+
+The paper builds on the manipulation literature: single-source lists are
+cheap to game (fake panel pageviews against Alexa, botnet DNS queries
+against Umbrella), and Tranco's 30-day cross-list aggregation is the
+defence.  This example promotes a deep-tail nobody with a three-day attack
+and prints the daily rank trajectories on each list.
+
+Run:  python examples/attack_and_defend.py
+"""
+
+from repro import TrafficModel, WorldConfig, build_world
+from repro.providers.manipulation import AttackWindow, run_manipulation_experiment
+
+
+def _render(trajectory):
+    return " ".join("  ----" if r is None else f"{r:6d}" for r in trajectory)
+
+
+def main() -> None:
+    config = WorldConfig(n_sites=4_000, n_days=12, seed=23)
+    world = build_world(config)
+    traffic = TrafficModel(world)
+
+    target = 3_500  # true rank 3501: a site nobody visits
+    attack = AttackWindow(
+        target_site=target, start_day=4, end_day=6, intensity=6_000
+    )
+    print(f"target: {world.sites.names[target]} (true rank {target + 1})")
+    print(f"attack: days {attack.start_day}-{attack.end_day}, "
+          f"{attack.intensity:.0f} fake observations/day\n")
+
+    clean = run_manipulation_experiment(
+        world, traffic, AttackWindow(target, 99, 99, 0.0)
+    )
+    attacked = run_manipulation_experiment(world, traffic, attack)
+
+    days_header = " ".join(f"day{d:3d}" for d in range(config.n_days))
+    print(f"{'list':9s} {days_header}")
+    for name in ("alexa", "umbrella", "tranco"):
+        print(f"{name:9s} {_render(attacked.trajectories[name])}")
+
+    print("\nbest attacked rank per list (clean best in parentheses):")
+    for name in ("alexa", "umbrella", "tranco"):
+        best = attacked.best_rank(name)
+        base = clean.best_rank(name)
+        base_text = "absent" if base is None else str(base)
+        best_text = "absent" if best is None else str(best)
+        print(f"  {name:9s} {best_text:>7s}  (clean: {base_text})")
+
+    print("\nthe shape to notice: the panel/DNS lists crater under a cheap")
+    print("attack; Tranco's 30-day Dowdall aggregation dilutes it by an")
+    print("order of magnitude — and the Alexa gain decays after the attack")
+    print("stops, because fake pageviews age out of the smoothing window.")
+
+
+if __name__ == "__main__":
+    main()

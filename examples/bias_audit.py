@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Audit one top list for the paper's three bias axes.
+
+Given a provider, this example reproduces the Section 6 methodology for it
+alone: category inclusion odds (Table 3), per-country accuracy against
+Chrome telemetry (Figure 7), and platform skew (Figure 4).
+
+Run:  python examples/bias_audit.py [provider]    (default: alexa)
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    CdnMetricEngine,
+    ChromeTelemetry,
+    TrafficModel,
+    WorldConfig,
+    build_providers,
+    build_world,
+    normalize_list,
+)
+from repro.core.bias import country_bias, platform_bias
+from repro.core.regression import category_inclusion_odds
+from repro.worldgen.countries import TELEMETRY_COUNTRIES
+
+
+def main() -> None:
+    provider_name = sys.argv[1] if len(sys.argv) > 1 else "alexa"
+    config = WorldConfig(n_sites=6_000, n_days=5, seed=11)
+    world = build_world(config)
+    traffic = TrafficModel(world)
+    telemetry = ChromeTelemetry(world, traffic)
+    providers = build_providers(world, traffic, telemetry)
+    if provider_name not in providers:
+        raise SystemExit(f"unknown provider {provider_name!r}; "
+                         f"choose from {', '.join(providers)}")
+
+    provider = providers[provider_name]
+    normalized = normalize_list(world, provider.daily_list(0))
+    print(f"auditing '{provider_name}': {len(normalized)} domains after "
+          f"normalization\n")
+
+    # --- category bias (Table 3 methodology) --------------------------
+    engine = CdnMetricEngine(world, traffic)
+    universe = engine.top(0, "all:requests", engine.n_cf_sites // 2)
+    odds = category_inclusion_odds(world, universe, normalized)
+    print("category inclusion odds (vs all other categories):")
+    interesting = sorted(
+        (r for r in odds.values() if np.isfinite(r.odds_ratio) and r.n_category >= 10),
+        key=lambda r: r.odds_ratio,
+    )
+    for r in interesting[:4]:
+        print(f"  under-included: {r.category:12s} OR={r.odds_ratio:5.2f} "
+              f"(n={r.n_category}, p={r.p_value:.3f})")
+    for r in interesting[-3:]:
+        print(f"  over-included:  {r.category:12s} OR={r.odds_ratio:5.2f} "
+              f"(n={r.n_category}, p={r.p_value:.3f})")
+
+    # --- country bias (Figure 7 methodology) --------------------------
+    magnitude = config.bucket_sizes[2]
+    by_country = country_bias(telemetry, {provider_name: normalized}, magnitude)
+    cells = by_country[provider_name]
+    ordered = sorted(TELEMETRY_COUNTRIES, key=lambda c: cells[c].jaccard, reverse=True)
+    print("\naccuracy by client country (Jaccard vs Chrome telemetry):")
+    print("  best: " + ", ".join(f"{c}={cells[c].jaccard:.3f}" for c in ordered[:3]))
+    print("  worst: " + ", ".join(f"{c}={cells[c].jaccard:.3f}" for c in ordered[-3:]))
+
+    # --- platform bias (Figure 4 methodology) -------------------------
+    by_platform = platform_bias(telemetry, {provider_name: normalized}, magnitude)
+    windows = by_platform[provider_name]["windows"].jaccard
+    android = by_platform[provider_name]["android"].jaccard
+    tilt = "desktop" if windows > android else "mobile"
+    print(f"\nplatform skew: windows={windows:.3f} vs android={android:.3f} "
+          f"-> tilts {tilt}")
+
+
+if __name__ == "__main__":
+    main()

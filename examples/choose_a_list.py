@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Operationalize the paper's recommendations: which list should I use?
+
+The paper closes with guidance for researchers (Section 7).  This example
+turns it into a measured decision: describe your study (do you need exact
+ranks? which magnitude? any category you must not under-sample?) and get a
+recommendation computed from the simulated evaluation, not from opinion.
+
+Run:  python examples/choose_a_list.py --need-ranks --magnitude 10K
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    FINAL_SEVEN,
+    CdnMetricEngine,
+    CloudflareEvaluator,
+    PROVIDER_ORDER,
+    TrafficModel,
+    WorldConfig,
+    build_providers,
+    build_world,
+    normalize_list,
+)
+from repro.core.regression import category_inclusion_odds
+from repro.weblib.categories import CATEGORIES
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--need-ranks", action="store_true",
+                        help="your analysis uses individual site ranks")
+    parser.add_argument("--magnitude", default="100K",
+                        choices=["1K", "10K", "100K", "1M"],
+                        help="the rank magnitude you study")
+    parser.add_argument("--must-cover", default=None,
+                        help="a category your study cannot under-sample "
+                             f"(one of: {', '.join(c.name for c in CATEGORIES)})")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    config = WorldConfig(n_sites=6_000, n_days=5, seed=19)
+    world = build_world(config)
+    traffic = TrafficModel(world)
+    providers = build_providers(world, traffic)
+    engine = CdnMetricEngine(world, traffic)
+    evaluator = CloudflareEvaluator(world, engine)
+
+    magnitude = dict(zip(config.bucket_labels, config.bucket_sizes))[args.magnitude]
+
+    print(f"scoring lists for: magnitude={args.magnitude}, "
+          f"need_ranks={args.need_ranks}, must_cover={args.must_cover}\n")
+
+    scores = {}
+    notes = {}
+    for name in PROVIDER_ORDER:
+        results = [
+            evaluator.evaluate_month(providers[name], combo, magnitude, days=range(3))
+            for combo in FINAL_SEVEN
+        ]
+        set_quality = float(np.mean([r.jaccard for r in results]))
+        rho_values = [r.spearman for r in results if not np.isnan(r.spearman)]
+        rank_quality = float(np.mean(rho_values)) if rho_values else float("nan")
+
+        score = set_quality
+        note = []
+        if args.need_ranks:
+            if np.isnan(rank_quality):
+                score = -1.0
+                note.append("publishes buckets only — unusable for ranks")
+            else:
+                score = 0.5 * set_quality + 0.5 * rank_quality
+        if args.must_cover:
+            universe = engine.top(0, "all:requests", engine.n_cf_sites // 2)
+            normalized = normalize_list(world, providers[name].daily_list(0))
+            odds = category_inclusion_odds(world, universe, normalized)
+            cell = odds[args.must_cover]
+            if np.isfinite(cell.odds_ratio) and cell.odds_ratio < 0.5:
+                score *= 0.5
+                note.append(f"under-includes {args.must_cover} "
+                            f"(OR={cell.odds_ratio:.2f})")
+        scores[name] = score
+        notes[name] = "; ".join(note) if note else ""
+
+    print(f"{'list':10s} {'score':>7s}  notes")
+    for name in sorted(scores, key=scores.get, reverse=True):
+        display = "excluded" if scores[name] < 0 else f"{scores[name]:.3f}"
+        print(f"{name:10s} {display:>7s}  {notes[name]}")
+
+    winner = max(scores, key=scores.get)
+    print(f"\nrecommendation: {winner}")
+    print("(the paper's qualitative advice — CrUX for set studies, Umbrella")
+    print(" as the DNS-world fallback, rank-based studies need care — should")
+    print(" emerge from the measured scores above)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Evaluate your own top list against the Cloudflare metrics.
+
+Shows the full external-researcher workflow on raw strings:
+
+1. bring a ranked list of names in any mix of formats (domains, FQDNs,
+   origins) — here we fabricate one by perturbing ground truth, but it
+   could come from a CSV;
+2. normalize it to registrable domains with the real PSL matcher;
+3. filter it to Cloudflare-served sites with the simulated HEAD probe
+   (checking the ``cf-ray`` header, exactly like Section 4.3);
+4. compare against the same-size top slice of each server-side metric.
+
+Run:  python examples/evaluate_custom_list.py
+"""
+
+import numpy as np
+
+from repro import (
+    FINAL_SEVEN,
+    CdnMetricEngine,
+    TrafficModel,
+    WorldConfig,
+    build_world,
+    jaccard_index,
+    normalize_strings,
+    rank_correlation_of_lists,
+)
+from repro.cdn.adoption import build_virtual_network
+from repro.netsim.probe import CloudflareProbe
+
+
+def fabricate_my_list(world, rng, length=1500):
+    """Pretend we built a ranking from our own telescope: true popularity
+    seen through heavy noise, published in mixed formats."""
+    noisy_score = world.sites.weight * rng.lognormal(0.0, 1.2, world.n_sites)
+    order = np.argsort(-noisy_score)[:length]
+    entries = []
+    for site in order:
+        domain = world.sites.names[site]
+        style = rng.random()
+        if style < 0.3:
+            entries.append(f"www.{domain}")          # FQDN-style entry
+        elif style < 0.4:
+            entries.append(f"https://{domain}")      # origin-style entry
+        else:
+            entries.append(domain)                   # plain domain
+    return entries
+
+
+def main() -> None:
+    config = WorldConfig(n_sites=4_000, n_days=3, seed=7)
+    world = build_world(config)
+    traffic = TrafficModel(world)
+    engine = CdnMetricEngine(world, traffic)
+    rng = np.random.default_rng(1)
+
+    my_list = fabricate_my_list(world, rng)
+    print(f"my list: {len(my_list)} raw entries, e.g. {my_list[:3]}")
+
+    # 1. Normalize mixed-format entries to registrable domains (min rank).
+    domains, ranks = normalize_strings(my_list)
+    print(f"normalized to {len(domains)} unique registrable domains")
+
+    # 2. Keep only Cloudflare-served sites, via the cf-ray HEAD probe.
+    network = build_virtual_network(world)
+    probe = CloudflareProbe(network)
+    cf_domains = probe.cloudflare_hosts(domains)
+    print(f"cloudflare serves {len(cf_domains)} of them "
+          f"({probe.probes_issued} HEAD probes issued)\n")
+
+    # 3. Map to site ids and compare against each metric's top-n.
+    my_sites = np.array([world.site_index_of_domain(d) for d in cf_domains])
+    n = len(my_sites)
+    print(f"{'metric':20s} {'jaccard':>8s} {'spearman':>9s}")
+    for combo in FINAL_SEVEN:
+        cf_top = engine.top(0, combo, n)
+        jj = jaccard_index(my_sites, cf_top)
+        rho = rank_correlation_of_lists(my_sites, cf_top).rho
+        print(f"{combo:20s} {jj:8.3f} {rho:9.3f}")
+
+    print("\ninterpretation guide (Section 4.4): even 90% overlap of two")
+    print("100-element lists is only JJ = 0.82 — compare against the")
+    print("intra-Cloudflare band before judging a list harshly.")
+
+
+if __name__ == "__main__":
+    main()

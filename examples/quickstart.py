@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: build a world, publish top lists, evaluate them.
+
+Reproduces the paper's core loop in miniature:
+
+1. build a synthetic web ecosystem (ground-truth popularity + vantages);
+2. let each provider publish its top list;
+3. normalize the lists to registrable domains (Section 4.2);
+4. evaluate them against Cloudflare server-side metrics (Section 4.3);
+5. print the Figure 2-style summary.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FINAL_SEVEN,
+    PROVIDER_ORDER,
+    CdnMetricEngine,
+    CloudflareEvaluator,
+    TrafficModel,
+    WorldConfig,
+    build_providers,
+    build_world,
+)
+
+
+def main() -> None:
+    # A small world keeps the example snappy; bump n_sites for fidelity.
+    config = WorldConfig(n_sites=5_000, n_days=7, seed=42)
+    print(f"building a world of {config.n_sites} sites, {config.n_days} days...")
+    world = build_world(config)
+    traffic = TrafficModel(world)
+
+    print(f"the ground truth: top 3 sites are {world.sites.names[:3]}")
+    cf_rate = world.sites.cf_served.mean()
+    print(f"cloudflare serves {100 * cf_rate:.1f}% of them (but none of the giants)\n")
+
+    providers = build_providers(world, traffic)
+    engine = CdnMetricEngine(world, traffic)
+    evaluator = CloudflareEvaluator(world, engine)
+
+    magnitude = config.bucket_sizes[2]  # the "100K" analog
+    print(f"evaluating each list's top {magnitude} against {len(FINAL_SEVEN)} "
+          f"Cloudflare metrics (day-averaged):\n")
+    print(f"{'list':10s} {'jaccard':>16s} {'spearman':>16s}")
+    for name in PROVIDER_ORDER:
+        results = [
+            evaluator.evaluate_month(providers[name], combo, magnitude, days=range(4))
+            for combo in FINAL_SEVEN
+        ]
+        jj = [r.jaccard for r in results]
+        rho = [r.spearman for r in results if r.spearman == r.spearman]  # drop nan
+        jj_text = f"{min(jj):.2f} - {max(jj):.2f}"
+        rho_text = f"{min(rho):.2f} - {max(rho):.2f}" if rho else "n/a (bucketed)"
+        print(f"{name:10s} {jj_text:>16s} {rho_text:>16s}")
+
+    print("\nthe paper's headline shape: CrUX on top, Umbrella next, the")
+    print("panel/link/single-country lists trailing — emerging purely from")
+    print("each vantage point's measurement mechanism.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Look inside the event-level pipeline: raw requests, DNS, and metrics.
+
+Everything the bench-scale experiments compute analytically can also be
+*counted*: this example simulates individual browsing sessions, prints a
+few raw Cloudflare-style log lines and DNS cache statistics, and derives
+the Section 3 filter-aggregation counts by literal aggregation.
+
+Run:  python examples/request_log_anatomy.py
+"""
+
+from repro import TrafficModel, WorldConfig, build_world
+from repro.cdn.filters import FINAL_SEVEN, describe_combo
+from repro.traffic.eventsim import EventSimulator
+
+
+def main() -> None:
+    config = WorldConfig(n_sites=400, n_days=2, seed=3)
+    world = build_world(config)
+    simulator = EventSimulator(world, TrafficModel(world), n_orgs=3)
+
+    print("simulating one day of browsing (8000 sessions, with DNS)...")
+    events = simulator.simulate_day(0, n_sessions=8_000, with_dns=True)
+    print(f"  sessions: {len(events.sessions)}")
+    print(f"  cloudflare request records: {events.logs.record_count(0)}")
+    print(f"  dns queries reaching the resolver tier: "
+          f"{events.dns_log.total_queries(0)}\n")
+
+    print("a few raw log lines (host, path, status, agent, tls):")
+    for record in list(events.logs._records[0])[:6]:  # noqa: SLF001 - example introspection
+        tls = "tls-handshake" if record.new_tls_session else "resumed"
+        print(f"  {record.client_ip:15s} {record.host:28s} "
+              f"{record.path[:18]:18s} {record.status} "
+              f"{record.browser_family:12s} {tls}")
+
+    hits = sum(c.stats.hits for c in events.dns_caches)
+    lookups = sum(c.stats.lookups for c in events.dns_caches)
+    print(f"\nshared DNS forwarder caches absorbed "
+          f"{100 * hits / max(1, lookups):.1f}% of lookups")
+    print("(this suppression is why DNS-based lists compress popularity)\n")
+
+    print("the seven final metrics, counted from records (top 5 sites each):")
+    for combo in FINAL_SEVEN:
+        ranking = events.logs.ranking(0, combo, world.n_sites)[:5]
+        names = ", ".join(world.sites.names[int(s)] for s in ranking)
+        print(f"  {describe_combo(combo):38s} {names}")
+
+    print("\nnote how the leaders differ by metric — the Figure 1 effect,")
+    print("reproduced by counting actual requests instead of formulas.")
+
+
+if __name__ == "__main__":
+    main()

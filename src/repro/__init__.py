@@ -1,0 +1,63 @@
+"""repro — a reproduction of "Toppling Top Lists" (IMC 2022).
+
+The package rebuilds the paper's entire measurement stack over a synthetic
+web ecosystem: ground-truth popularity, a Cloudflare-style CDN vantage
+point with the paper's 21 filter-aggregation metrics, Chrome telemetry,
+DNS resolvers, and simulators for all seven top lists (Alexa, Umbrella,
+Majestic, Secrank, Tranco, Trexa, CrUX), plus the analysis layer that
+reproduces every table and figure.
+
+Quickstart::
+
+    from repro import experiment_context
+
+    ctx = experiment_context()              # build the default world
+    crux = ctx.providers["crux"]
+    result = ctx.evaluator.evaluate_month(
+        crux, combo="all:requests", magnitude=ctx.magnitudes[2]
+    )
+    print(result.jaccard)
+
+See README.md for the architecture overview and DESIGN.md for the paper
+mapping.
+"""
+
+from repro.cdn.filters import ALL_COMBINATIONS, FINAL_SEVEN
+from repro.cdn.metrics import CdnMetricEngine
+from repro.core.evaluation import CloudflareEvaluator, DayEvaluation, MonthEvaluation
+from repro.core.normalize import NormalizedList, normalize_list, normalize_strings
+from repro.core.pipeline import BENCH_CONFIG, ExperimentContext, experiment_context
+from repro.core.similarity import jaccard_index, rank_correlation_of_lists, spearman
+from repro.providers.registry import PROVIDER_ORDER, build_providers
+from repro.telemetry.chrome import ChromeTelemetry
+from repro.traffic.fastpath import TrafficModel
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import World, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_COMBINATIONS",
+    "BENCH_CONFIG",
+    "CdnMetricEngine",
+    "ChromeTelemetry",
+    "CloudflareEvaluator",
+    "DayEvaluation",
+    "ExperimentContext",
+    "FINAL_SEVEN",
+    "MonthEvaluation",
+    "NormalizedList",
+    "PROVIDER_ORDER",
+    "TrafficModel",
+    "World",
+    "WorldConfig",
+    "__version__",
+    "build_providers",
+    "build_world",
+    "experiment_context",
+    "jaccard_index",
+    "normalize_list",
+    "normalize_strings",
+    "rank_correlation_of_lists",
+    "spearman",
+]

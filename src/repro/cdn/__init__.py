@@ -1,0 +1,46 @@
+"""The Cloudflare vantage point.
+
+Cloudflare acts as authoritative DNS and reverse proxy for its customers, so
+its server-side logs are ground truth *for the sites it serves* — about a
+quarter of top sites (Table 1), and none of the global top ten.  This
+package implements:
+
+* :mod:`repro.cdn.adoption` — which sites are served, and the virtual
+  servers the cf-ray probe hits;
+* :mod:`repro.cdn.filters` — the 7 filters x 3 aggregations of Section 3.1;
+* :mod:`repro.cdn.metrics` — the metric engine producing per-day popularity
+  rankings under each filter-aggregation combination;
+* :mod:`repro.cdn.logstore` — a record-level log store for the event-path
+  pipeline, aggregating raw HTTP requests into the same metrics.
+"""
+
+from repro.cdn.adoption import build_virtual_network, cloudflare_site_indices
+from repro.cdn.filters import (
+    AGGREGATIONS,
+    ALL_COMBINATIONS,
+    FINAL_SEVEN,
+    FILTERS,
+    Aggregation,
+    Filter,
+    combo_key,
+    describe_combo,
+    split_combo,
+)
+from repro.cdn.logstore import LogStore
+from repro.cdn.metrics import CdnMetricEngine
+
+__all__ = [
+    "AGGREGATIONS",
+    "ALL_COMBINATIONS",
+    "Aggregation",
+    "CdnMetricEngine",
+    "FILTERS",
+    "FINAL_SEVEN",
+    "Filter",
+    "LogStore",
+    "build_virtual_network",
+    "cloudflare_site_indices",
+    "combo_key",
+    "describe_combo",
+    "split_combo",
+]

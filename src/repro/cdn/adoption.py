@@ -1,0 +1,104 @@
+"""Cloudflare adoption surface: which sites answer with ``cf-ray``.
+
+The site universe already carries the adoption decision (``cf_served``,
+drawn in :mod:`repro.worldgen.sites` from a rank-, country-, and
+category-dependent curve).  This module exposes it two ways:
+
+* as raw index arrays for the vectorized pipeline, and
+* as a :class:`~repro.netsim.http.VirtualNetwork` of virtual servers, so
+  the paper's HEAD-probe methodology (Section 4.3) can be executed over
+  simulated HTTP for real, which the integration tests do to check the two
+  paths agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.netsim.http import VirtualNetwork, VirtualServer
+from repro.worldgen.nametable import NameKind
+from repro.worldgen.world import World
+
+__all__ = ["cloudflare_site_indices", "build_virtual_network", "coverage_of_sites"]
+
+# Cloudflare colos, for flavour in cf-ray suffixes.
+_COLOS = ("SFO", "IAD", "FRA", "NRT", "SIN", "GRU", "JNB", "BOM", "LHR", "AMS")
+
+
+def cloudflare_site_indices(world: World) -> np.ndarray:
+    """Indices of Cloudflare-served sites, most popular first."""
+    return world.sites.cf_indices()
+
+
+def coverage_of_sites(world: World, site_indices: np.ndarray) -> float:
+    """Fraction of the given sites that Cloudflare serves.
+
+    Args:
+        world: the simulated world.
+        site_indices: site indices (negative entries — names that resolve
+          to no site — count as not served, as a real probe would find).
+
+    Returns:
+        Coverage in [0, 1]; 0 for an empty selection.
+    """
+    if len(site_indices) == 0:
+        return 0.0
+    valid = site_indices >= 0
+    served = np.zeros(len(site_indices), dtype=bool)
+    served[valid] = world.sites.cf_served[site_indices[valid]]
+    return float(served.mean())
+
+
+def build_virtual_network(
+    world: World,
+    site_indices: Optional[Iterable[int]] = None,
+) -> VirtualNetwork:
+    """Build a virtual HTTP network answering for (a subset of) the world.
+
+    Every FQDN and apex of each included site gets a virtual server;
+    servers of Cloudflare-served sites stamp ``cf-ray`` on their responses.
+
+    Args:
+        world: the simulated world.
+        site_indices: sites to include; None includes all (fine up to a few
+          tens of thousands of sites).
+    """
+    network = VirtualNetwork()
+    sites = world.sites
+    names = world.names
+    include: Optional[set] = None
+    if site_indices is not None:
+        include = {int(i) for i in site_indices}
+
+    fqdn_rows = names.rows_of_kind(NameKind.FQDN)
+    for row in fqdn_rows:
+        site = int(names.site[row])
+        if site < 0:
+            continue  # Infrastructure names host no web servers.
+        if include is not None and site not in include:
+            continue
+        behind_cf = bool(sites.cf_served[site])
+        network.register(
+            VirtualServer(
+                host=names.strings[row],
+                behind_cloudflare=behind_cf,
+                colo=_COLOS[site % len(_COLOS)],
+            )
+        )
+    # Apex domains answer too (they are FQDNs in their own right; the name
+    # table stores them as FQDN rows already, but guard against sites whose
+    # apex never got a row).
+    for site, domain in enumerate(sites.names):
+        if include is not None and site not in include:
+            continue
+        if domain not in network:
+            network.register(
+                VirtualServer(
+                    host=domain,
+                    behind_cloudflare=bool(sites.cf_served[site]),
+                    colo=_COLOS[site % len(_COLOS)],
+                )
+            )
+    return network

@@ -1,0 +1,135 @@
+"""The server-side filters and aggregations of Section 3.1.
+
+A *filter* selects a portion of the request stream; an *aggregation* counts
+what remains.  The paper considers seven filters and three aggregations (21
+combinations, Figure 8), then selects seven final combinations that capture
+the most diversity (Figure 1):
+
+1. all HTTP(S) requests,
+2. HTTP(S) requests from the top five browsers,
+3. HTTP(S) requests for the root page,
+4. TLS handshakes,
+5. unique client IPs per day,
+6. unique client IPs requesting the root page,
+7. unique client IPs from the top five browsers.
+
+Combination keys are ``"<filter>:<aggregation>"`` strings, e.g.
+``"root:ips"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "Filter",
+    "Aggregation",
+    "FILTERS",
+    "AGGREGATIONS",
+    "ALL_COMBINATIONS",
+    "FINAL_SEVEN",
+    "combo_key",
+    "split_combo",
+    "describe_combo",
+]
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A request-stream filter.
+
+    Attributes:
+        key: short identifier used in combination keys.
+        description: the paper's wording for the filter.
+    """
+
+    key: str
+    description: str
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """A way of counting filtered request logs."""
+
+    key: str
+    description: str
+
+
+FILTERS: Tuple[Filter, ...] = (
+    Filter("all", "All HTTP(S) requests"),
+    Filter("html", "Requests for text/html resources"),
+    Filter("200", "Requests with response code 200"),
+    Filter("referer", "Requests with a non-null Referer header"),
+    Filter("browsers", "Requests from the top 5 most popular browsers"),
+    Filter("tls", "TLS handshakes"),
+    Filter("root", "Root page loads (GET /)"),
+)
+
+AGGREGATIONS: Tuple[Aggregation, ...] = (
+    Aggregation("requests", "Raw count"),
+    Aggregation("ips", "Unique client IPs (per day)"),
+    Aggregation("ip_ua", "Unique (client IP, User-Agent) tuples"),
+)
+
+_FILTER_KEYS = {f.key: f for f in FILTERS}
+_AGG_KEYS = {a.key: a for a in AGGREGATIONS}
+
+
+def combo_key(filter_key: str, agg_key: str) -> str:
+    """Build a combination key, validating both parts.
+
+    Raises:
+        KeyError: for unknown filter or aggregation keys.
+    """
+    if filter_key not in _FILTER_KEYS:
+        raise KeyError(f"unknown filter: {filter_key!r}")
+    if agg_key not in _AGG_KEYS:
+        raise KeyError(f"unknown aggregation: {agg_key!r}")
+    return f"{filter_key}:{agg_key}"
+
+
+def split_combo(key: str) -> Tuple[str, str]:
+    """Split a combination key into (filter, aggregation), validating it."""
+    filter_key, sep, agg_key = key.partition(":")
+    if not sep:
+        raise KeyError(f"malformed combination key: {key!r}")
+    combo_key(filter_key, agg_key)  # Validates both halves.
+    return filter_key, agg_key
+
+
+#: All 21 filter-aggregation combinations of Figure 8, filters major.
+ALL_COMBINATIONS: Tuple[str, ...] = tuple(
+    combo_key(f.key, a.key) for f in FILTERS for a in AGGREGATIONS
+)
+
+#: The paper's seven final metrics (Section 3.3), in Figure 1 order.
+FINAL_SEVEN: Tuple[str, ...] = (
+    "all:requests",
+    "tls:requests",
+    "root:requests",
+    "browsers:requests",
+    "all:ips",
+    "root:ips",
+    "browsers:ips",
+)
+
+_DESCRIPTIONS: Dict[str, str] = {
+    "all:requests": "All HTTP Requests",
+    "tls:requests": "TLS Handshakes",
+    "root:requests": "HTTP Requests for Root Page",
+    "browsers:requests": "HTTP Requests from Top 5 Browsers",
+    "all:ips": "Unique IPs",
+    "root:ips": "Unique IPs Accessing Root Page",
+    "browsers:ips": "Unique IPs from Top 5 Browsers",
+}
+
+
+def describe_combo(key: str) -> str:
+    """A human-readable name for a combination key (Figure 1 labels for the
+    final seven; synthesized labels otherwise)."""
+    label = _DESCRIPTIONS.get(key)
+    if label is not None:
+        return label
+    filter_key, agg_key = split_combo(key)
+    return f"{_FILTER_KEYS[filter_key].description} / {_AGG_KEYS[agg_key].description}"

@@ -1,0 +1,166 @@
+"""Record-level server log aggregation.
+
+The vectorized engine (:mod:`repro.cdn.metrics`) computes metric counts
+analytically.  This module is its record-level twin: it ingests individual
+HTTP request records — as a real log pipeline would — and derives the same
+21 filter-aggregation counts by literal counting and deduplication.  The
+integration tests run both over the same small world and require agreement,
+which is what justifies trusting the fast path at bench scale.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cdn.filters import ALL_COMBINATIONS, split_combo
+
+__all__ = ["LogRecord", "LogStore"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One server-side request log line.
+
+    Attributes:
+        day: simulated day index.
+        site: owning site index (the reverse proxy knows its customer).
+        host: requested hostname.
+        path: request path.
+        status: response status code.
+        content_type: response media type (without parameters).
+        has_referer: whether the request carried a non-null Referer.
+        browser_family: user-agent family name.
+        is_top5_browser: whether the family is a top-five browser.
+        client_ip: requesting client address.
+        user_agent: full User-Agent string.
+        new_tls_session: whether this request began a new TLS session
+          (i.e. a handshake was performed).
+    """
+
+    day: int
+    site: int
+    host: str
+    path: str
+    status: int
+    content_type: str
+    has_referer: bool
+    browser_family: str
+    is_top5_browser: bool
+    client_ip: str
+    user_agent: str
+    new_tls_session: bool
+
+
+def _passes(record: LogRecord, filter_key: str) -> bool:
+    if filter_key == "all":
+        return True
+    if filter_key == "html":
+        return record.content_type == "text/html"
+    if filter_key == "200":
+        return record.status == 200
+    if filter_key == "referer":
+        return record.has_referer
+    if filter_key == "browsers":
+        return record.is_top5_browser
+    if filter_key == "tls":
+        return record.new_tls_session
+    if filter_key == "root":
+        return record.path == "/"
+    raise KeyError(f"unknown filter: {filter_key!r}")
+
+
+class LogStore:
+    """Accumulates request records and aggregates them into metric counts."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, List[LogRecord]] = defaultdict(list)
+
+    def add(self, record: LogRecord) -> None:
+        """Ingest one record."""
+        self._records[record.day].append(record)
+
+    def extend(self, records: Iterable[LogRecord]) -> None:
+        """Ingest many records."""
+        for record in records:
+            self.add(record)
+
+    def days(self) -> Sequence[int]:
+        """Days with at least one record, ascending."""
+        return sorted(self._records)
+
+    def record_count(self, day: Optional[int] = None) -> int:
+        """Number of stored records (for a day, or in total)."""
+        if day is not None:
+            return len(self._records.get(day, ()))
+        return sum(len(records) for records in self._records.values())
+
+    def day_counts(
+        self, day: int, combos: Optional[Sequence[str]] = None
+    ) -> Dict[str, Dict[int, float]]:
+        """Aggregate one day's records into per-site metric counts.
+
+        Args:
+            day: simulated day index.
+            combos: combination keys to compute (default: all 21).
+
+        Returns:
+            ``{combo: {site: count}}``; sites with zero passing records are
+            absent.
+        """
+        wanted = tuple(combos) if combos is not None else ALL_COMBINATIONS
+        records = self._records.get(day, ())
+
+        raw: Dict[str, Dict[int, float]] = {key: defaultdict(float) for key in wanted}
+        ip_sets: Dict[Tuple[str, int], Set[str]] = defaultdict(set)
+        ip_ua_sets: Dict[Tuple[str, int], Set[Tuple[str, str]]] = defaultdict(set)
+
+        filter_keys = {split_combo(key)[0] for key in wanted}
+        for record in records:
+            for filter_key in filter_keys:
+                if not _passes(record, filter_key):
+                    continue
+                requests_key = f"{filter_key}:requests"
+                if requests_key in raw:
+                    raw[requests_key][record.site] += 1.0
+                if f"{filter_key}:ips" in raw:
+                    ip_sets[(filter_key, record.site)].add(record.client_ip)
+                if f"{filter_key}:ip_ua" in raw:
+                    ip_ua_sets[(filter_key, record.site)].add(
+                        (record.client_ip, record.user_agent)
+                    )
+
+        for (filter_key, site), ips in ip_sets.items():
+            key = f"{filter_key}:ips"
+            if key in raw:
+                raw[key][site] = float(len(ips))
+        for (filter_key, site), pairs in ip_ua_sets.items():
+            key = f"{filter_key}:ip_ua"
+            if key in raw:
+                raw[key][site] = float(len(pairs))
+
+        return {key: dict(values) for key, values in raw.items()}
+
+    def day_count_arrays(
+        self, day: int, n_sites: int, combos: Optional[Sequence[str]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Like :meth:`day_counts`, but as dense per-site arrays."""
+        sparse = self.day_counts(day, combos=combos)
+        out: Dict[str, np.ndarray] = {}
+        for key, values in sparse.items():
+            dense = np.zeros(n_sites)
+            for site, count in values.items():
+                if 0 <= site < n_sites:
+                    dense[site] = count
+            out[key] = dense
+        return out
+
+    def ranking(self, day: int, combo: str, n_sites: int) -> np.ndarray:
+        """Site indices ranked by a metric, best first, zeros excluded."""
+        counts = self.day_count_arrays(day, n_sites, combos=(combo,))[combo]
+        nonzero = np.flatnonzero(counts > 0)
+        order = np.argsort(-counts[nonzero], kind="stable")
+        return nonzero[order]

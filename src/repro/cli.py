@@ -1,0 +1,243 @@
+"""Command-line interface.
+
+Three families of commands:
+
+* experiments — ``repro fig2``, ``repro table1``, ``repro all``: reproduce
+  the paper's tables and figures over a freshly built (or process-cached)
+  world.
+* ``repro export <provider> <path>`` — write a simulated list as a
+  Tranco-style rank CSV (or CrUX-style origin CSV for bucketed lists).
+* ``repro recommend`` — score every list for a study profile, per the
+  paper's Section 7 guidance.
+
+Examples::
+
+    repro list                      # available experiments
+    repro fig2                      # top lists vs Cloudflare
+    repro table1 --sites 40000      # coverage table, larger scale
+    repro export umbrella /tmp/umbrella.csv --limit 1000
+    repro recommend --need-ranks --magnitude 10K
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.pipeline import BENCH_CONFIG, ExperimentContext, experiment_context
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sites", type=int, default=BENCH_CONFIG.n_sites,
+        help=f"site universe size (default {BENCH_CONFIG.n_sites})",
+    )
+    parser.add_argument(
+        "--days", type=int, default=BENCH_CONFIG.n_days,
+        help=f"simulated days (default {BENCH_CONFIG.n_days})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=BENCH_CONFIG.seed,
+        help="world seed (default: the February 2022 seed)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The experiment-mode argument parser (kept for API stability)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables and figures from 'Toppling Top Lists' (IMC 2022).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig1..fig8, table1..table3, survey), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--svg-dir", default=None, metavar="DIR",
+        help="also render the figures as SVG files into DIR",
+    )
+    _add_world_arguments(parser)
+    return parser
+
+
+def _build_export_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro export", description="Export a simulated top list as CSV."
+    )
+    parser.add_argument("provider", help="provider name (alexa, umbrella, crux...)")
+    parser.add_argument("path", help="output CSV path")
+    parser.add_argument("--day", type=int, default=0, help="snapshot day (default 0)")
+    parser.add_argument("--limit", type=int, default=None, help="max rows")
+    _add_world_arguments(parser)
+    return parser
+
+
+def _build_recommend_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro recommend",
+        description="Score every top list for a study profile (Section 7).",
+    )
+    parser.add_argument("--need-ranks", action="store_true",
+                        help="the study uses individual site ranks")
+    parser.add_argument("--magnitude", default="100K",
+                        choices=["1K", "10K", "100K", "1M"])
+    parser.add_argument("--must-cover", action="append", default=[],
+                        metavar="CATEGORY",
+                        help="category the study cannot under-sample (repeatable)")
+    _add_world_arguments(parser)
+    return parser
+
+
+def _context_from_args(args: argparse.Namespace) -> ExperimentContext:
+    config = BENCH_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
+    started = time.perf_counter()
+    ctx = experiment_context(config)
+    print(
+        f"[world: {config.n_sites} sites, {config.n_days} days, seed {config.seed}; "
+        f"ready in {time.perf_counter() - started:.1f}s]\n"
+    )
+    return ctx
+
+
+def _run_export(argv: List[str]) -> int:
+    from repro.core.datasets import write_crux_csv, write_rank_csv
+
+    args = _build_export_parser().parse_args(argv)
+    ctx = _context_from_args(args)
+    provider = ctx.providers.get(args.provider)
+    if provider is None:
+        print(f"unknown provider: {args.provider}; choose from "
+              f"{', '.join(ctx.providers)}", file=sys.stderr)
+        return 2
+    ranked = provider.daily_list(args.day)
+    if ranked.is_bucketed:
+        rows = write_crux_csv(ctx.world, ranked, args.path)
+        print(f"wrote {rows} origin rows (CrUX format) to {args.path}")
+    else:
+        rows = write_rank_csv(ctx.world, ranked, args.path, limit=args.limit)
+        print(f"wrote {rows} rank rows to {args.path}")
+    return 0
+
+
+def _run_recommend(argv: List[str]) -> int:
+    from repro.core.recommend import StudyProfile, recommend_lists
+
+    args = _build_recommend_parser().parse_args(argv)
+    ctx = _context_from_args(args)
+    magnitude = dict(zip(ctx.magnitude_labels, ctx.magnitudes))[args.magnitude]
+    try:
+        profile = StudyProfile(
+            needs_ranks=args.need_ranks,
+            magnitude=magnitude,
+            must_cover=tuple(args.must_cover),
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    scores = recommend_lists(ctx.world, ctx.evaluator, ctx.providers, profile)
+    print(f"{'list':10s} {'score':>8s} {'set':>6s} {'rank':>6s}  notes")
+    for score in scores:
+        rank_text = "-" if np.isnan(score.rank_quality) else f"{score.rank_quality:.3f}"
+        display = "excluded" if not score.usable else f"{score.score:.3f}"
+        notes = ", ".join(
+            f"under-includes {cat} (OR={ratio:.2f})"
+            for cat, ratio in score.coverage_penalties.items()
+        )
+        print(f"{score.provider:10s} {display:>8s} {score.set_quality:6.3f} "
+              f"{rank_text:>6s}  {notes}")
+    print(f"\nrecommendation: {scores[0].provider}")
+    return 0
+
+
+def _run_experiments(argv: List[str]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:8s} {doc}")
+        print("\nother commands: export, recommend, validate, summary")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)}, all, list, export, recommend",
+              file=sys.stderr)
+        return 2
+
+    ctx = _context_from_args(args)
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, ctx)
+        elapsed = time.perf_counter() - started
+        print(f"=== {result.name}: {result.title} ({elapsed:.1f}s) ===")
+        print(result.text)
+        if args.svg_dir:
+            from repro.core.figure_export import export_figures
+
+            for path in export_figures(result, args.svg_dir):
+                print(f"[svg] {path}")
+        print()
+    return 0
+
+
+def _run_validate(argv: List[str]) -> int:
+    from repro.worldgen.validate import validate_world
+
+    parser = argparse.ArgumentParser(
+        prog="repro validate",
+        description="Run the structural self-checks against a world.",
+    )
+    _add_world_arguments(parser)
+    args = parser.parse_args(argv)
+    ctx = _context_from_args(args)
+    results = validate_world(ctx.world)
+    failed = 0
+    for result in results:
+        mark = "ok " if result.passed else "FAIL"
+        print(f"[{mark}] {result.name}: {result.detail}")
+        failed += 0 if result.passed else 1
+    print(f"\n{len(results) - failed}/{len(results)} checks passed")
+    return 1 if failed else 0
+
+
+def _run_summary(argv: List[str]) -> int:
+    from repro.worldgen.summary import summarize_world
+
+    parser = argparse.ArgumentParser(
+        prog="repro summary", description="Describe a generated world."
+    )
+    _add_world_arguments(parser)
+    args = parser.parse_args(argv)
+    ctx = _context_from_args(args)
+    print(summarize_world(ctx.world))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "export":
+        return _run_export(argv[1:])
+    if argv and argv[0] == "recommend":
+        return _run_recommend(argv[1:])
+    if argv and argv[0] == "validate":
+        return _run_validate(argv[1:])
+    if argv and argv[0] == "summary":
+        return _run_summary(argv[1:])
+    return _run_experiments(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

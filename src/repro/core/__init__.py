@@ -1,0 +1,37 @@
+"""The paper's analysis contribution.
+
+Everything in this package operates on ranked lists of opaque ids (site
+indices or name-table rows) plus the vantage-point data produced by the
+other subsystems:
+
+* :mod:`repro.core.similarity` — Jaccard index and Spearman rank
+  correlation, the paper's two comparison measures (Section 4.3/4.4).
+* :mod:`repro.core.normalize` — PSL-based list normalization (Section 4.2).
+* :mod:`repro.core.evaluation` — the Cloudflare-subset top-n-vs-top-n
+  evaluation methodology (Section 4.3) and its month-averaged form.
+* :mod:`repro.core.buckets` — rank-magnitude buckets and movement analysis
+  (Section 5.3, Figure 5).
+* :mod:`repro.core.temporal` — daily stability and periodicity (Figure 3).
+* :mod:`repro.core.bias` — platform/country bias evaluation against Chrome
+  telemetry (Figures 4, 6, 7).
+* :mod:`repro.core.regression` — logistic regression of list inclusion on
+  site category, reported as odds ratios (Table 3).
+* :mod:`repro.core.survey` — the Section 2 literature-survey statistics.
+* :mod:`repro.core.report` — text rendering of tables and heatmaps.
+"""
+
+from repro.core.similarity import (
+    jaccard_index,
+    pairwise_jaccard,
+    pairwise_spearman,
+    rank_correlation_of_lists,
+    spearman,
+)
+
+__all__ = [
+    "jaccard_index",
+    "pairwise_jaccard",
+    "pairwise_spearman",
+    "rank_correlation_of_lists",
+    "spearman",
+]

@@ -1,0 +1,96 @@
+"""Cross-list agreement (the Section 2 context: lists barely agree).
+
+Scheitle et al. showed the commercial top lists have "little agreement
+between top lists in terms of both overlap and rank order" — the
+observation that motivates asking which of them is *right*, i.e. this
+paper.  This module computes the pairwise agreement structure among our
+simulated lists so the reproduction can show the same fractured landscape
+before resolving it against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.normalize import normalize_list
+from repro.core.similarity import jaccard_index, rank_correlation_of_lists
+from repro.providers.base import TopListProvider
+from repro.worldgen.world import World
+
+__all__ = ["AgreementMatrix", "pairwise_list_agreement"]
+
+
+@dataclass
+class AgreementMatrix:
+    """Pairwise agreement between named top lists.
+
+    Attributes:
+        names: list names in matrix order.
+        jaccard: ``{(a, b): value}`` symmetric overlap at the depth used.
+        spearman: ``{(a, b): value}`` intersection rank correlation (nan
+          where undefined, e.g. pairs involving a bucketed list).
+        depth: comparison depth.
+    """
+
+    names: Tuple[str, ...]
+    jaccard: Dict[Tuple[str, str], float]
+    spearman: Dict[Tuple[str, str], float]
+    depth: int
+
+    def mean_offdiagonal_jaccard(self) -> float:
+        """Average overlap across distinct pairs — the headline number."""
+        values = [v for (a, b), v in self.jaccard.items() if a != b]
+        return float(np.mean(values)) if values else float("nan")
+
+    def most_similar_pair(self) -> Tuple[str, str]:
+        """The distinct pair with the highest overlap."""
+        pairs = [(pair, v) for pair, v in self.jaccard.items() if pair[0] != pair[1]]
+        return max(pairs, key=lambda item: item[1])[0]
+
+    def least_similar_pair(self) -> Tuple[str, str]:
+        """The distinct pair with the lowest overlap."""
+        pairs = [(pair, v) for pair, v in self.jaccard.items() if pair[0] != pair[1]]
+        return min(pairs, key=lambda item: item[1])[0]
+
+
+def pairwise_list_agreement(
+    world: World,
+    providers: Dict[str, TopListProvider],
+    depth: int,
+    day: int = 0,
+    names: Optional[Sequence[str]] = None,
+) -> AgreementMatrix:
+    """Compute the pairwise agreement matrix among top lists.
+
+    Lists are normalized to domains first, then truncated to ``depth``
+    (by original rank), so FQDN- and origin-granular lists are compared
+    fairly.  Spearman is reported as nan for pairs involving a bucketed
+    list, as in the paper's treatment of CrUX.
+    """
+    selected = tuple(names) if names is not None else tuple(providers)
+    slices: Dict[str, np.ndarray] = {}
+    bucketed: Dict[str, bool] = {}
+    for name in selected:
+        normalized = normalize_list(world, providers[name].daily_list(day))
+        slices[name] = normalized.top_sites(depth)
+        bucketed[name] = normalized.is_bucketed
+
+    jaccard: Dict[Tuple[str, str], float] = {}
+    spearman: Dict[Tuple[str, str], float] = {}
+    for i, a in enumerate(selected):
+        jaccard[(a, a)] = 1.0
+        spearman[(a, a)] = 1.0
+        for b in selected[i + 1 :]:
+            jj = jaccard_index(slices[a], slices[b])
+            if bucketed[a] or bucketed[b]:
+                rho = float("nan")
+            else:
+                rho = rank_correlation_of_lists(slices[a], slices[b]).rho
+            jaccard[(a, b)] = jaccard[(b, a)] = jj
+            spearman[(a, b)] = spearman[(b, a)] = rho
+    return AgreementMatrix(
+        names=selected, jaccard=jaccard, spearman=spearman, depth=depth
+    )

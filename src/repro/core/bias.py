@@ -1,0 +1,167 @@
+"""Platform and country bias analysis against Chrome telemetry (Section 6).
+
+The paper compares top lists with per-(country, platform) Chrome popularity
+rankings — data Chrome provided privately — to ask where list error comes
+from.  Correlations are computed per (country, platform) pair and averaged
+over the other axis (Figures 4 and 7); CrUX itself is excluded since it is
+derived from the same telemetry.
+
+Also implements Figure 6, the internal consistency of Chrome's three client
+metrics, computed the same pairwise-then-average way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.normalize import NormalizedList
+from repro.core.similarity import jaccard_index, rank_correlation_of_lists
+from repro.telemetry.chrome import TELEMETRY_METRICS, ChromeTelemetry
+from repro.worldgen.countries import COUNTRIES, TELEMETRY_COUNTRIES, country_index
+
+__all__ = [
+    "BiasCell",
+    "compare_list_to_chrome",
+    "platform_bias",
+    "country_bias",
+    "intra_chrome_consistency",
+]
+
+
+@dataclass(frozen=True)
+class BiasCell:
+    """One averaged (Jaccard, Spearman) comparison cell."""
+
+    jaccard: float
+    spearman: float
+
+
+def _telemetry_country_indices(countries: Optional[Iterable[str]]) -> List[int]:
+    codes = tuple(countries) if countries is not None else TELEMETRY_COUNTRIES
+    return [country_index(code) for code in codes]
+
+
+def compare_list_to_chrome(
+    telemetry: ChromeTelemetry,
+    normalized: NormalizedList,
+    metric: str,
+    country: int,
+    platform: int,
+    magnitude: int,
+) -> Tuple[float, float]:
+    """Compare one list against one Chrome (country, platform) ranking.
+
+    Both sides are truncated to ``magnitude`` (the Chrome side also ends
+    where its privacy threshold cuts off).  Returns ``(jaccard,
+    spearman)``; Spearman is nan for intersections below 2.
+    """
+    chrome_ranking = telemetry.ranking(metric, country, platform)[:magnitude]
+    list_side = normalized.top_sites(magnitude)
+    jj = jaccard_index(list_side, chrome_ranking)
+    rho = rank_correlation_of_lists(list_side, chrome_ranking).rho
+    return jj, rho
+
+
+def platform_bias(
+    telemetry: ChromeTelemetry,
+    normalized_lists: Dict[str, NormalizedList],
+    magnitude: int,
+    metric: str = "completed",
+    countries: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, BiasCell]]:
+    """Figure 4: per-platform accuracy, averaged across countries.
+
+    Returns ``{provider: {"windows"|"android": BiasCell}}``.
+    """
+    country_ids = _telemetry_country_indices(countries)
+    out: Dict[str, Dict[str, BiasCell]] = {}
+    for name, normalized in normalized_lists.items():
+        cells: Dict[str, BiasCell] = {}
+        for platform, label in enumerate(("windows", "android")):
+            jj_values = []
+            rho_values = []
+            for country in country_ids:
+                jj, rho = compare_list_to_chrome(
+                    telemetry, normalized, metric, country, platform, magnitude
+                )
+                jj_values.append(jj)
+                if not np.isnan(rho):
+                    rho_values.append(rho)
+            cells[label] = BiasCell(
+                jaccard=float(np.mean(jj_values)),
+                spearman=float(np.mean(rho_values)) if rho_values else float("nan"),
+            )
+        out[name] = cells
+    return out
+
+
+def country_bias(
+    telemetry: ChromeTelemetry,
+    normalized_lists: Dict[str, NormalizedList],
+    magnitude: int,
+    metric: str = "completed",
+    countries: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, BiasCell]]:
+    """Figure 7: per-country accuracy, averaged across platforms.
+
+    Returns ``{provider: {country_code: BiasCell}}``.
+    """
+    country_ids = _telemetry_country_indices(countries)
+    out: Dict[str, Dict[str, BiasCell]] = {}
+    for name, normalized in normalized_lists.items():
+        cells: Dict[str, BiasCell] = {}
+        for country in country_ids:
+            jj_values = []
+            rho_values = []
+            for platform in (0, 1):
+                jj, rho = compare_list_to_chrome(
+                    telemetry, normalized, metric, country, platform, magnitude
+                )
+                jj_values.append(jj)
+                if not np.isnan(rho):
+                    rho_values.append(rho)
+            cells[COUNTRIES[country].code] = BiasCell(
+                jaccard=float(np.mean(jj_values)),
+                spearman=float(np.mean(rho_values)) if rho_values else float("nan"),
+            )
+        out[name] = cells
+    return out
+
+
+def intra_chrome_consistency(
+    telemetry: ChromeTelemetry,
+    magnitude: int,
+    countries: Optional[Sequence[str]] = None,
+) -> Dict[Tuple[str, str], BiasCell]:
+    """Figure 6: pairwise consistency of the three Chrome metrics.
+
+    For every (country, platform) pair, rank sites under each metric,
+    compare metric pairs at ``magnitude``, and average cells across pairs.
+    """
+    country_ids = _telemetry_country_indices(countries)
+    jj_acc: Dict[Tuple[str, str], List[float]] = {}
+    rho_acc: Dict[Tuple[str, str], List[float]] = {}
+    for country in country_ids:
+        for platform in (0, 1):
+            rankings = {
+                metric: telemetry.ranking(metric, country, platform)[:magnitude]
+                for metric in TELEMETRY_METRICS
+            }
+            for i, a in enumerate(TELEMETRY_METRICS):
+                for b in TELEMETRY_METRICS[i + 1 :]:
+                    jj = jaccard_index(rankings[a], rankings[b])
+                    rho = rank_correlation_of_lists(rankings[a], rankings[b]).rho
+                    jj_acc.setdefault((a, b), []).append(jj)
+                    if not np.isnan(rho):
+                        rho_acc.setdefault((a, b), []).append(rho)
+    out: Dict[Tuple[str, str], BiasCell] = {}
+    for pair, values in jj_acc.items():
+        rhos = rho_acc.get(pair, [])
+        out[pair] = BiasCell(
+            jaccard=float(np.mean(values)),
+            spearman=float(np.mean(rhos)) if rhos else float("nan"),
+        )
+    return out

@@ -1,0 +1,215 @@
+"""Rank-magnitude buckets and movement analysis (Section 5.3, Figure 5).
+
+Researchers mostly consume top lists as rank-magnitude buckets ("the top
+10K").  The paper asks: when a list places a domain in its top-10K bucket,
+where does Cloudflare's ground truth place it?
+
+Methodology reproduced here:
+
+1. Build the Cloudflare-side bucket assignment from the two *bookend*
+   metrics (all HTTP requests and root page loads, which over- and
+   under-estimate pageloads respectively); keep only domains that both
+   metrics place in the same bucket.
+2. For each top list, take its Cloudflare-served domains per bucket and
+   cross-tabulate list bucket vs Cloudflare bucket.
+3. Report the overranking statistics: share of a list bucket that
+   Cloudflare places in a strictly less-popular bucket, and the share
+   misplaced by two or more orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cdn.metrics import CdnMetricEngine
+from repro.core.normalize import NormalizedList
+
+__all__ = [
+    "BucketAssignment",
+    "MovementMatrix",
+    "assign_buckets",
+    "bookend_consensus_buckets",
+    "movement_matrix",
+]
+
+#: The bookend metrics (Section 3.4): upper and lower bounds on pageloads.
+BOOKEND_METRICS: Tuple[str, str] = ("all:requests", "root:requests")
+
+
+@dataclass
+class BucketAssignment:
+    """Per-site bucket indices under some ranking.
+
+    Attributes:
+        bucket: per-site bucket index (0 = smallest/most popular bucket,
+          ``len(bounds)`` = beyond the last bucket / absent).
+        bounds: cumulative bucket sizes (e.g. ``(40, 400, 4000, 20000)``).
+        labels: display labels aligned with ``bounds``.
+    """
+
+    bucket: np.ndarray
+    bounds: Tuple[int, ...]
+    labels: Tuple[str, ...]
+
+    @property
+    def absent_bucket(self) -> int:
+        """The pseudo-bucket index meaning "not in the ranking at all"."""
+        return len(self.bounds)
+
+    def sites_in_bucket(self, bucket: int) -> np.ndarray:
+        """Site indices assigned to a bucket."""
+        return np.flatnonzero(self.bucket == bucket)
+
+
+def assign_buckets(
+    ranking: Sequence[int],
+    n_sites: int,
+    bounds: Sequence[int],
+    labels: Optional[Sequence[str]] = None,
+    ranks: Optional[Sequence[int]] = None,
+) -> BucketAssignment:
+    """Assign every site a bucket from a ranking.
+
+    Args:
+        ranking: site indices, best first.
+        n_sites: universe size.
+        bounds: cumulative bucket sizes, increasing.
+        labels: display labels (defaults to stringified bounds).
+        ranks: optional explicit 1-based ranks aligned with ``ranking``
+          (used for normalized lists, whose positions are not their
+          original ranks); defaults to 1..len(ranking).
+
+    Sites absent from the ranking (or ranked beyond the last bound) get
+    the absent pseudo-bucket.
+    """
+    bounds = tuple(int(b) for b in bounds)
+    if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+        raise ValueError("bounds must be strictly increasing")
+    if labels is None:
+        labels = tuple(str(b) for b in bounds)
+    ranking = np.asarray(ranking)
+    if ranks is None:
+        rank_values = np.arange(1, len(ranking) + 1)
+    else:
+        rank_values = np.asarray(ranks)
+        if len(rank_values) != len(ranking):
+            raise ValueError("ranks must align with ranking")
+
+    bucket = np.full(n_sites, len(bounds), dtype=np.int16)
+    site_bucket = np.searchsorted(np.asarray(bounds), rank_values, side="left")
+    in_range = site_bucket < len(bounds)
+    bucket[ranking[in_range]] = site_bucket[in_range].astype(np.int16)
+    return BucketAssignment(bucket=bucket, bounds=bounds, labels=tuple(labels))
+
+
+def bookend_consensus_buckets(
+    engine: CdnMetricEngine,
+    day: int,
+    bounds: Sequence[int],
+    labels: Optional[Sequence[str]] = None,
+) -> Tuple[BucketAssignment, np.ndarray]:
+    """Cloudflare-side buckets agreed by both bookend metrics.
+
+    Returns:
+        ``(assignment, consensus_sites)`` where ``assignment`` holds the
+        all-requests bucket indices and ``consensus_sites`` are the sites
+        both bookends place in the same bucket (the analysis universe of
+        Section 5.3).
+    """
+    upper = assign_buckets(
+        engine.ranking(day, BOOKEND_METRICS[0]), engine.world.n_sites, bounds, labels
+    )
+    lower = assign_buckets(
+        engine.ranking(day, BOOKEND_METRICS[1]), engine.world.n_sites, bounds, labels
+    )
+    agree = (upper.bucket == lower.bucket) & (upper.bucket < upper.absent_bucket)
+    return upper, np.flatnonzero(agree)
+
+
+@dataclass
+class MovementMatrix:
+    """Cross-tabulation of Cloudflare buckets vs a list's buckets.
+
+    Attributes:
+        counts: ``[n_buckets+1, n_buckets+1]`` matrix; rows are Cloudflare
+          buckets, columns are list buckets, the last index is "absent".
+        labels: bucket labels (without the absent pseudo-bucket).
+        provider: the evaluated list's name.
+    """
+
+    counts: np.ndarray
+    labels: Tuple[str, ...]
+    provider: str
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of real buckets (excluding "absent")."""
+        return len(self.labels)
+
+    def overranked_fraction(self, list_bucket: int, min_gap: int = 1) -> float:
+        """Fraction of the list's ``list_bucket`` domains that Cloudflare
+        places at least ``min_gap`` magnitudes *less* popular.
+
+        "Overranked" means the list flatters the domain: its true
+        (Cloudflare) bucket is larger-index than its list bucket.  Domains
+        absent from the Cloudflare consensus are excluded (the paper only
+        tracks movement of domains it can place).
+        """
+        column = self.counts[: self.n_buckets, list_bucket]
+        total = column.sum()
+        if total == 0:
+            return float("nan")
+        over = column[[b for b in range(self.n_buckets) if b - list_bucket >= min_gap]].sum()
+        return float(over / total)
+
+    def underranked_fraction(self, list_bucket: int, min_gap: int = 1) -> float:
+        """Fraction the list places less popular than Cloudflare does."""
+        column = self.counts[: self.n_buckets, list_bucket]
+        total = column.sum()
+        if total == 0:
+            return float("nan")
+        under = column[[b for b in range(self.n_buckets) if list_bucket - b >= min_gap]].sum()
+        return float(under / total)
+
+    def agreement_fraction(self) -> float:
+        """Share of consensus domains whose buckets match exactly."""
+        real = self.counts[: self.n_buckets, : self.n_buckets]
+        total = real.sum()
+        if total == 0:
+            return float("nan")
+        return float(np.trace(real) / total)
+
+
+def movement_matrix(
+    cf_assignment: BucketAssignment,
+    consensus_sites: np.ndarray,
+    normalized: NormalizedList,
+    cf_served: np.ndarray,
+) -> MovementMatrix:
+    """Figure 5: movement of consensus domains between bucket systems.
+
+    Args:
+        cf_assignment: Cloudflare-side bucket assignment.
+        consensus_sites: sites both bookends agree on.
+        normalized: the top list, normalized to domains.
+        cf_served: per-site Cloudflare flag (only Cloudflare-operated
+          domains move through the analysis).
+    """
+    n_buckets = cf_assignment.absent_bucket
+    bounds = cf_assignment.bounds
+
+    list_bucket = np.full(len(cf_served), n_buckets, dtype=np.int16)
+    site_bucket = np.searchsorted(np.asarray(bounds), normalized.ranks, side="left")
+    in_range = site_bucket < n_buckets
+    list_bucket[normalized.sites[in_range]] = site_bucket[in_range].astype(np.int16)
+
+    counts = np.zeros((n_buckets + 1, n_buckets + 1), dtype=np.int64)
+    tracked = consensus_sites[cf_served[consensus_sites]]
+    for site in tracked:
+        counts[cf_assignment.bucket[site], list_bucket[site]] += 1
+    return MovementMatrix(
+        counts=counts, labels=cf_assignment.labels, provider=normalized.provider
+    )

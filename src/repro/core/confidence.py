@@ -1,0 +1,101 @@
+"""Bootstrap confidence intervals for day-averaged scores.
+
+The paper averages daily Jaccard/Spearman values over February without
+error bars; at bench scale the day-to-day variation is worth quantifying,
+so the evaluation layer can report a percentile-bootstrap interval around
+any day-averaged statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["BootstrapCI", "bootstrap_ci", "evaluate_with_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A percentile-bootstrap interval around a mean.
+
+    Attributes:
+        mean: the point estimate.
+        low, high: the interval bounds.
+        level: the confidence level used.
+        n: number of underlying observations.
+    """
+
+    mean: float
+    low: float
+    high: float
+    level: float
+    n: int
+
+    @property
+    def width(self) -> float:
+        """Interval width (high - low)."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether the interval covers ``value``."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 7,
+) -> BootstrapCI:
+    """Percentile bootstrap CI of the mean of ``values``.
+
+    NaNs are dropped first; a single observation yields a degenerate
+    interval at its value.
+
+    Raises:
+        ValueError: for an empty (or all-NaN) input or a bad level.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be in (0, 1)")
+    cleaned = np.asarray([v for v in values if v == v], dtype=np.float64)
+    if len(cleaned) == 0:
+        raise ValueError("need at least one finite observation")
+    mean = float(cleaned.mean())
+    if len(cleaned) == 1:
+        return BootstrapCI(mean=mean, low=mean, high=mean, level=level, n=1)
+
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(cleaned, size=(resamples, len(cleaned)), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        mean=mean, low=float(low), high=float(high), level=level, n=len(cleaned)
+    )
+
+
+def evaluate_with_ci(
+    evaluator,
+    provider,
+    combo: str,
+    magnitude: int,
+    days: Optional[Sequence[int]] = None,
+    level: float = 0.95,
+) -> BootstrapCI:
+    """Day-level bootstrap CI of a (list, metric, magnitude) Jaccard score.
+
+    A convenience wrapper over
+    :meth:`repro.core.evaluation.CloudflareEvaluator.evaluate_day`.
+    """
+    day_list = (
+        list(days)
+        if days is not None
+        else list(range(evaluator.engine.world.config.n_days))
+    )
+    values = [
+        evaluator.evaluate_day(provider, day, combo, magnitude).jaccard
+        for day in day_list
+    ]
+    return bootstrap_ci(values, level=level)

@@ -1,0 +1,134 @@
+"""Dataset I/O: read and write top lists in the formats research uses.
+
+The published lists this paper studies circulate as rank CSVs — Tranco's
+``rank,domain``, Umbrella's ``rank,fqdn``, CrUX's BigQuery-exported
+``origin,rank_magnitude``.  This module writes our simulated lists in
+those shapes and reads external files back for evaluation, so the library
+slots into existing research pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.providers.base import RankedList
+from repro.worldgen.world import World
+
+__all__ = [
+    "write_rank_csv",
+    "read_rank_csv",
+    "write_crux_csv",
+    "read_crux_csv",
+    "list_to_rows",
+]
+
+PathLike = Union[str, Path]
+
+
+def list_to_rows(world: World, ranked: RankedList, limit: Optional[int] = None) -> List[Tuple[int, str]]:
+    """Materialize a ranked list as ``(rank, name)`` rows."""
+    strings = ranked.strings(world, limit=limit)
+    return [(i + 1, name) for i, name in enumerate(strings)]
+
+
+def write_rank_csv(
+    world: World,
+    ranked: RankedList,
+    path: PathLike,
+    limit: Optional[int] = None,
+) -> int:
+    """Write a list as a Tranco/Umbrella-style ``rank,name`` CSV.
+
+    Returns:
+        Number of rows written.
+    """
+    rows = list_to_rows(world, ranked, limit=limit)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for rank, name in rows:
+            writer.writerow([rank, name])
+    return len(rows)
+
+
+def read_rank_csv(path: PathLike) -> List[str]:
+    """Read a ``rank,name`` CSV back as entries in rank order.
+
+    Rows are re-sorted by their rank column, so files with shuffled rows
+    load correctly.  Blank lines and malformed rows are skipped.
+
+    Raises:
+        FileNotFoundError: if the file does not exist.
+    """
+    entries: List[Tuple[int, str]] = []
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle):
+            if len(row) < 2:
+                continue
+            try:
+                rank = int(row[0])
+            except ValueError:
+                continue
+            entries.append((rank, row[1].strip()))
+    entries.sort(key=lambda pair: pair[0])
+    return [name for _rank, name in entries]
+
+
+def write_crux_csv(
+    world: World,
+    ranked: RankedList,
+    path: PathLike,
+) -> int:
+    """Write a bucketed list as a CrUX-style ``origin,rank`` CSV.
+
+    The rank column holds the bucket's magnitude (1000, 10000, ...), as in
+    the public CrUX BigQuery export — individual positions are withheld.
+
+    Raises:
+        ValueError: for lists without bucket bounds.
+    """
+    if ranked.bucket_bounds is None:
+        raise ValueError("write_crux_csv needs a bucketed list")
+    bounds = np.asarray(ranked.bucket_bounds)
+    # Label each bucket by the paper's magnitude names scaled to powers of
+    # ten for familiarity: 1000 * 10^i.
+    labels = [1000 * (10 ** i) for i in range(len(bounds))]
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["origin", "rank"])
+        start = 0
+        for bound, label in zip(bounds, labels):
+            for row_idx in ranked.name_rows[start:bound]:
+                writer.writerow([world.names.strings[int(row_idx)], label])
+                rows += 1
+            start = int(bound)
+    return rows
+
+
+def read_crux_csv(path: PathLike) -> List[Tuple[str, int]]:
+    """Read a CrUX-style CSV back as ``(origin, rank_magnitude)`` pairs,
+    ordered by magnitude then file order (all CrUX permits)."""
+    pairs: List[Tuple[str, int]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is not None and header[:1] != ["origin"] and len(header) >= 2:
+            # No header row: treat it as data.
+            try:
+                pairs.append((header[0].strip(), int(header[1])))
+            except ValueError:
+                pass
+        for row in reader:
+            if len(row) < 2:
+                continue
+            try:
+                pairs.append((row[0].strip(), int(row[1])))
+            except ValueError:
+                continue
+    pairs.sort(key=lambda pair: pair[1])
+    return pairs

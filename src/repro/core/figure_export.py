@@ -1,0 +1,134 @@
+"""Mapping from experiment results to SVG files.
+
+``repro fig2 --svg-dir out/`` drops the figure next to the text artifact;
+this module knows which renderer each experiment's data feeds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.cdn.filters import ALL_COMBINATIONS, FINAL_SEVEN
+from repro.core.experiments import ExperimentResult
+from repro.core.figures import (
+    render_heatmap_svg,
+    render_movement_svg,
+    render_series_svg,
+    save_svg,
+)
+from repro.providers.registry import PROVIDER_ORDER
+from repro.telemetry.chrome import TELEMETRY_METRICS
+from repro.worldgen.countries import TELEMETRY_COUNTRIES
+
+__all__ = ["export_figures"]
+
+PathLike = Union[str, Path]
+
+
+def _heatmap_pair(result, rows, cols, directory: Path, hi_jj=1.0, hi_rho=1.0) -> List[Path]:
+    paths = []
+    for key, suffix, hi in (("jaccard", "jaccard", hi_jj), ("spearman", "spearman", hi_rho)):
+        values = result.data.get(key)
+        if not values:
+            continue
+        svg = render_heatmap_svg(
+            rows, cols, values, title=f"{result.title} — {suffix}", hi=hi
+        )
+        paths.append(save_svg(svg, directory / f"{result.name}_{suffix}.svg"))
+    return paths
+
+
+def export_figures(result: ExperimentResult, directory: PathLike) -> List[Path]:
+    """Write the SVG rendering(s) of an experiment result.
+
+    Returns the written paths; experiments without a graphical form
+    (tables, the survey) return an empty list.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = result.name
+
+    if name == "fig1":
+        labels = list(FINAL_SEVEN)
+        return _heatmap_pair(result, labels, labels, directory)
+
+    if name == "fig8":
+        labels = list(ALL_COMBINATIONS)
+        return _heatmap_pair(result, labels, labels, directory)
+
+    if name == "fig2":
+        rows = list(PROVIDER_ORDER)
+        cols = list(FINAL_SEVEN)
+        return _heatmap_pair(result, rows, cols, directory, hi_jj=0.6, hi_rho=0.6)
+
+    if name == "fig6":
+        labels = list(TELEMETRY_METRICS)
+        jj = {pair: cell.jaccard for pair, cell in result.data["cells"].items()}
+        rho = {pair: cell.spearman for pair, cell in result.data["cells"].items()}
+        for mapping in (jj, rho):
+            for a in labels:
+                mapping[(a, a)] = 1.0
+            for (a, b) in list(mapping):
+                mapping[(b, a)] = mapping[(a, b)]
+        paths = [
+            save_svg(render_heatmap_svg(labels, labels, jj,
+                                        title="Intra-Chrome Jaccard"),
+                     directory / "fig6_jaccard.svg"),
+            save_svg(render_heatmap_svg(labels, labels, rho,
+                                        title="Intra-Chrome Spearman"),
+                     directory / "fig6_spearman.svg"),
+        ]
+        return paths
+
+    if name in ("fig4", "fig7"):
+        cells = result.data["cells"]
+        rows = list(cells)
+        cols = (
+            ["windows", "android"] if name == "fig4" else list(TELEMETRY_COUNTRIES)
+        )
+        jj = {(r, c): cells[r][c].jaccard for r in rows for c in cols}
+        rho = {(r, c): cells[r][c].spearman for r in rows for c in cols}
+        return [
+            save_svg(render_heatmap_svg(rows, cols, jj,
+                                        title=f"{result.title} — jaccard", hi=0.4),
+                     directory / f"{name}_jaccard.svg"),
+            save_svg(render_heatmap_svg(rows, cols, rho,
+                                        title=f"{result.title} — spearman", hi=0.6),
+                     directory / f"{name}_spearman.svg"),
+        ]
+
+    if name == "fig3":
+        series = result.data["series"]
+        weekend = [
+            int(day)
+            for day in next(iter(series.values())).days
+            if next(iter(series.values())).weekend[int(day)]
+        ]
+        jj_series: Dict[str, list] = {
+            provider: list(s.jaccard) for provider, s in series.items()
+        }
+        rho_series = {
+            provider: list(s.spearman)
+            for provider, s in series.items()
+            if not np.all(np.isnan(s.spearman))
+        }
+        return [
+            save_svg(render_series_svg(jj_series, title="Daily Jaccard",
+                                       weekend_days=weekend),
+                     directory / "fig3_jaccard.svg"),
+            save_svg(render_series_svg(rho_series, title="Daily Spearman",
+                                       weekend_days=weekend),
+                     directory / "fig3_spearman.svg"),
+        ]
+
+    if name == "fig5":
+        paths = []
+        for provider, matrix in result.data["matrices"].items():
+            svg = render_movement_svg(matrix.labels, matrix.counts, provider)
+            paths.append(save_svg(svg, directory / f"fig5_{provider}.svg"))
+        return paths
+
+    return []

@@ -1,0 +1,271 @@
+"""SVG rendering of the paper's figures.
+
+The benches print text artifacts; this module renders the same data as
+standalone SVG files — heatmaps (Figures 1, 2, 4, 6, 7, 8), daily series
+(Figure 3), and rank-magnitude movement flows (Figure 5) — using only the
+standard library, so the repository stays free of plotting dependencies.
+
+All renderers return the SVG as a string; ``save_svg`` writes it with a
+correct XML declaration.  Colors follow a single blue ramp for values in
+[0, 1] and a red accent for negative values, readable on white.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["render_heatmap_svg", "render_series_svg", "render_movement_svg", "save_svg"]
+
+PathLike = Union[str, Path]
+
+_FONT = 'font-family="Menlo, Consolas, monospace"'
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _cell_color(value: float, lo: float, hi: float) -> str:
+    """Blue ramp for the value range; light gray for missing."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "#eeeeee"
+    span = hi - lo if hi > lo else 1.0
+    t = min(1.0, max(0.0, (value - lo) / span))
+    # White (t=0) to a deep blue (t=1).
+    r = int(255 - t * 205)
+    g = int(255 - t * 165)
+    b = int(255 - t * 90)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def _text_color(value: float, lo: float, hi: float) -> str:
+    span = hi - lo if hi > lo else 1.0
+    t = min(1.0, max(0.0, ((value if value == value else lo) - lo) / span))
+    return "#ffffff" if t > 0.62 else "#1a1a1a"
+
+
+def render_heatmap_svg(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Mapping[Tuple[str, str], float],
+    title: str = "",
+    lo: float = 0.0,
+    hi: float = 1.0,
+    cell: int = 52,
+    precision: int = 2,
+) -> str:
+    """Render a labelled heatmap as an SVG string."""
+    label_w = 10 + 8 * max((len(r) for r in row_labels), default=4)
+    header_h = 14 + 7 * max((len(c) for c in col_labels), default=4)
+    title_h = 28 if title else 8
+    width = label_w + cell * len(col_labels) + 10
+    height = title_h + header_h + cell * len(row_labels) + 10
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="8" y="18" {_FONT} font-size="13" font-weight="bold" '
+            f'fill="#1a1a1a">{_escape(title)}</text>'
+        )
+    # Column labels, rotated.
+    for j, col in enumerate(col_labels):
+        x = label_w + j * cell + cell // 2
+        y = title_h + header_h - 6
+        parts.append(
+            f'<text x="{x}" y="{y}" {_FONT} font-size="10" fill="#333333" '
+            f'transform="rotate(-35 {x} {y})">{_escape(col)}</text>'
+        )
+    # Cells and row labels.
+    for i, row in enumerate(row_labels):
+        y = title_h + header_h + i * cell
+        parts.append(
+            f'<text x="6" y="{y + cell // 2 + 4}" {_FONT} font-size="11" '
+            f'fill="#333333">{_escape(row)}</text>'
+        )
+        for j, col in enumerate(col_labels):
+            x = label_w + j * cell
+            value = values.get((row, col))
+            fill = _cell_color(value, lo, hi)
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell - 2}" height="{cell - 2}" '
+                f'fill="{fill}" stroke="#ffffff"/>'
+            )
+            if value is not None and value == value:
+                parts.append(
+                    f'<text x="{x + (cell - 2) // 2}" y="{y + cell // 2 + 3}" '
+                    f'{_FONT} font-size="10" text-anchor="middle" '
+                    f'fill="{_text_color(value, lo, hi)}">{value:.{precision}f}</text>'
+                )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_series_svg(
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 640,
+    height: int = 300,
+    weekend_days: Optional[Sequence[int]] = None,
+) -> str:
+    """Render named daily series as a multi-line chart (Figure 3 style)."""
+    palette = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+               "#8c564b", "#17becf")
+    margin_l, margin_r, margin_t, margin_b = 48, 120, 30, 24
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    finite = [v for values in series.values() for v in values if v == v]
+    lo = min(finite) if finite else 0.0
+    hi = max(finite) if finite else 1.0
+    if hi <= lo:
+        hi = lo + 1.0
+    n_days = max((len(v) for v in series.values()), default=1)
+
+    def x_of(day: int) -> float:
+        return margin_l + plot_w * day / max(1, n_days - 1)
+
+    def y_of(value: float) -> float:
+        return margin_t + plot_h * (1 - (value - lo) / (hi - lo))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="8" y="18" {_FONT} font-size="13" font-weight="bold" '
+            f'fill="#1a1a1a">{_escape(title)}</text>'
+        )
+    # Weekend shading.
+    for day in weekend_days or ():
+        if 0 <= day < n_days:
+            x0 = x_of(max(0, day - 0.5)) if day > 0 else margin_l
+            x1 = x_of(min(n_days - 1, day + 0.5))
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{margin_t}" width="{max(1.0, x1 - x0):.1f}" '
+                f'height="{plot_h}" fill="#f2f2f2"/>'
+            )
+    # Axes.
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" x2="{margin_l + plot_w}" '
+        f'y2="{margin_t + plot_h}" stroke="#999999"/>'
+    )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="#999999"/>'
+    )
+    for frac in (0.0, 0.5, 1.0):
+        value = lo + frac * (hi - lo)
+        y = y_of(value)
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" {_FONT} font-size="9" '
+            f'text-anchor="end" fill="#666666">{value:.2f}</text>'
+        )
+    # Lines and legend.
+    for idx, (name, values) in enumerate(series.items()):
+        color = palette[idx % len(palette)]
+        points = " ".join(
+            f"{x_of(day):.1f},{y_of(v):.1f}"
+            for day, v in enumerate(values)
+            if v == v
+        )
+        if points:
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}" '
+                f'stroke-width="1.6"/>'
+            )
+        legend_y = margin_t + 14 * idx + 6
+        parts.append(
+            f'<rect x="{width - margin_r + 8}" y="{legend_y - 8}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{width - margin_r + 22}" y="{legend_y + 1}" {_FONT} '
+            f'font-size="10" fill="#333333">{_escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_movement_svg(
+    labels: Sequence[str],
+    counts: np.ndarray,
+    provider: str,
+    width: int = 560,
+    height: int = 360,
+) -> str:
+    """Render a Figure 5 movement matrix as a two-column flow diagram.
+
+    Left column: Cloudflare buckets; right column: the list's buckets
+    (plus "absent").  Link width is log-scaled; same-bucket flows are
+    gray, off-by-one yellow, worse mismatches red — the paper's palette.
+    """
+    n = len(labels)
+    left_labels = list(labels)
+    right_labels = list(labels) + ["absent"]
+    margin = 60
+    col_gap = width - 2 * margin
+    row_h_left = (height - 70) / max(1, n)
+    row_h_right = (height - 70) / max(1, n + 1)
+
+    def left_y(i: int) -> float:
+        return 50 + row_h_left * (i + 0.5)
+
+    def right_y(j: int) -> float:
+        return 50 + row_h_right * (j + 0.5)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+        f'<text x="8" y="18" {_FONT} font-size="13" font-weight="bold" '
+        f'fill="#1a1a1a">Cloudflare buckets &#8594; {_escape(provider)} buckets</text>',
+    ]
+    max_count = max(1.0, float(counts[:n, : n + 1].max()))
+    for i in range(n):
+        for j in range(n + 1):
+            count = float(counts[i, j])
+            if count <= 0:
+                continue
+            gap = abs(j - i) if j < n else n - i
+            color = "#b0b0b0" if gap == 0 else ("#e0a818" if gap == 1 else "#c0392b")
+            stroke = 1.0 + 5.0 * math.log1p(count) / math.log1p(max_count)
+            x0, y0 = margin, left_y(i)
+            x1, y1 = margin + col_gap, right_y(j)
+            mid = (x0 + x1) / 2
+            parts.append(
+                f'<path d="M {x0} {y0:.1f} C {mid} {y0:.1f} {mid} {y1:.1f} '
+                f'{x1} {y1:.1f}" fill="none" stroke="{color}" '
+                f'stroke-width="{stroke:.1f}" stroke-opacity="0.7"/>'
+            )
+    for i, label in enumerate(left_labels):
+        parts.append(
+            f'<text x="{margin - 6}" y="{left_y(i) + 4:.1f}" {_FONT} font-size="11" '
+            f'text-anchor="end" fill="#333333">{_escape(label)}</text>'
+        )
+    for j, label in enumerate(right_labels):
+        parts.append(
+            f'<text x="{margin + col_gap + 6}" y="{right_y(j) + 4:.1f}" {_FONT} '
+            f'font-size="11" fill="#333333">{_escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: PathLike) -> Path:
+    """Write an SVG string to disk with an XML declaration."""
+    path = Path(path)
+    path.write_text('<?xml version="1.0" encoding="UTF-8"?>\n' + svg)
+    return path

@@ -1,0 +1,106 @@
+"""Experiment orchestration: one shared context per configuration.
+
+Every table/figure bench needs the same scaffolding — world, traffic,
+providers, CDN engine, telemetry, evaluator — and at bench scale these are
+worth building exactly once.  :func:`experiment_context` memoizes fully
+constructed contexts per config, so a pytest-benchmark session touching all
+twelve experiments builds the world a single time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cdn.metrics import CdnMetricEngine
+from repro.core.evaluation import CloudflareEvaluator
+from repro.core.normalize import NormalizedList, normalize_list
+from repro.providers.base import TopListProvider
+from repro.providers.registry import build_providers
+from repro.telemetry.chrome import ChromeTelemetry
+from repro.traffic.fastpath import TrafficModel
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import World, build_world
+
+__all__ = ["ExperimentContext", "experiment_context", "BENCH_CONFIG"]
+
+#: The default configuration every bench runs at.
+BENCH_CONFIG = WorldConfig(n_sites=20_000, n_days=28)
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment needs, built over one shared world."""
+
+    config: WorldConfig
+    world: World
+    traffic: TrafficModel
+    telemetry: ChromeTelemetry
+    engine: CdnMetricEngine
+    evaluator: CloudflareEvaluator
+    providers: Dict[str, TopListProvider]
+
+    _normalized_cache: Optional[Dict[Tuple[str, Optional[int]], NormalizedList]] = None
+
+    def normalized(self, provider_name: str, day: int) -> NormalizedList:
+        """A provider's normalized daily list (cached)."""
+        provider = self.providers[provider_name]
+        key = (provider_name, day if provider.publishes_daily else None)
+        if self._normalized_cache is None:
+            self._normalized_cache = {}
+        cached = self._normalized_cache.get(key)
+        if cached is None:
+            cached = normalize_list(self.world, provider.daily_list(day))
+            self._normalized_cache[key] = cached
+        return cached
+
+    def normalized_monthly(self, provider_name: str) -> NormalizedList:
+        """A provider's normalized monthly list (cached)."""
+        provider = self.providers[provider_name]
+        key = (provider_name + "#monthly", None)
+        if self._normalized_cache is None:
+            self._normalized_cache = {}
+        cached = self._normalized_cache.get(key)
+        if cached is None:
+            cached = normalize_list(self.world, provider.monthly_list())
+            self._normalized_cache[key] = cached
+        return cached
+
+    @property
+    def magnitudes(self) -> Tuple[int, ...]:
+        """Concrete bucket sizes for this universe."""
+        return self.config.bucket_sizes
+
+    @property
+    def magnitude_labels(self) -> Tuple[str, ...]:
+        """The paper's magnitude labels (1K/10K/100K/1M)."""
+        return self.config.bucket_labels
+
+
+_CONTEXTS: Dict[WorldConfig, ExperimentContext] = {}
+
+
+def experiment_context(config: Optional[WorldConfig] = None) -> ExperimentContext:
+    """Build (or fetch the cached) experiment context for a config."""
+    config = config if config is not None else BENCH_CONFIG
+    cached = _CONTEXTS.get(config)
+    if cached is not None:
+        return cached
+
+    world = build_world(config)
+    traffic = TrafficModel(world)
+    telemetry = ChromeTelemetry(world, traffic)
+    providers = build_providers(world, traffic, telemetry)
+    engine = CdnMetricEngine(world, traffic)
+    evaluator = CloudflareEvaluator(world, engine)
+    context = ExperimentContext(
+        config=config,
+        world=world,
+        traffic=traffic,
+        telemetry=telemetry,
+        engine=engine,
+        evaluator=evaluator,
+        providers=providers,
+    )
+    _CONTEXTS[config] = context
+    return context

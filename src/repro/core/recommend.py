@@ -1,0 +1,136 @@
+"""List recommendation: the paper's Section 7 guidance, computed.
+
+The paper closes with advice — use CrUX when a study needs an unordered
+set of popular sites; Umbrella is the best alternative but do not trust
+its ranks; beware category exclusions.  This module scores every list for
+a concrete study profile against the measured evaluation, so the advice is
+derived rather than asserted.  ``examples/choose_a_list.py`` is a thin
+wrapper around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cdn.filters import FINAL_SEVEN
+from repro.core.evaluation import CloudflareEvaluator
+from repro.core.normalize import normalize_list
+from repro.core.regression import category_inclusion_odds
+from repro.providers.base import TopListProvider
+from repro.weblib.categories import CATEGORIES
+from repro.worldgen.world import World
+
+__all__ = ["StudyProfile", "ListScore", "recommend_lists"]
+
+_CATEGORY_NAMES = {c.name for c in CATEGORIES}
+
+
+@dataclass(frozen=True)
+class StudyProfile:
+    """What a research study needs from a top list.
+
+    Attributes:
+        needs_ranks: whether individual site ranks enter the analysis
+          (85% of surveyed papers: no).
+        magnitude: the rank-magnitude slice studied.
+        must_cover: categories the study cannot afford to under-sample.
+        rank_weight: how much rank accuracy matters when needed (0-1).
+    """
+
+    needs_ranks: bool = False
+    magnitude: int = 1000
+    must_cover: Sequence[str] = ()
+    rank_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        unknown = set(self.must_cover) - _CATEGORY_NAMES
+        if unknown:
+            raise ValueError(f"unknown categories: {sorted(unknown)}")
+        if not 0.0 <= self.rank_weight <= 1.0:
+            raise ValueError("rank_weight must be in [0, 1]")
+
+
+@dataclass
+class ListScore:
+    """One list's suitability for a study profile.
+
+    Attributes:
+        provider: list name.
+        score: overall suitability (higher is better; negative means
+          structurally unusable, e.g. a bucketed list for a rank study).
+        set_quality: mean Jaccard across the final seven metrics.
+        rank_quality: mean Spearman (nan for bucketed lists).
+        coverage_penalties: categories from ``must_cover`` the list
+          under-includes, with their odds ratios.
+    """
+
+    provider: str
+    score: float
+    set_quality: float
+    rank_quality: float
+    coverage_penalties: Dict[str, float]
+
+    @property
+    def usable(self) -> bool:
+        """Whether the list can serve the study at all."""
+        return self.score >= 0.0
+
+
+def recommend_lists(
+    world: World,
+    evaluator: CloudflareEvaluator,
+    providers: Dict[str, TopListProvider],
+    profile: StudyProfile,
+    days: Optional[Sequence[int]] = None,
+) -> List[ListScore]:
+    """Score all providers for a study profile, best first.
+
+    Category coverage uses the Table 3 odds-ratio machinery over the
+    Cloudflare top half; an odds ratio below 0.5 for a required category
+    halves the list's score.
+    """
+    day_list = list(days) if days is not None else [0, world.config.n_days // 2]
+    engine = evaluator.engine
+    universe = engine.top(0, "all:requests", engine.n_cf_sites // 2)
+
+    scores: List[ListScore] = []
+    for name, provider in providers.items():
+        results = [
+            evaluator.evaluate_month(provider, combo, profile.magnitude, days=day_list)
+            for combo in FINAL_SEVEN
+        ]
+        set_quality = float(np.mean([r.jaccard for r in results]))
+        rho_values = [r.spearman for r in results if not np.isnan(r.spearman)]
+        rank_quality = float(np.mean(rho_values)) if rho_values else float("nan")
+
+        if profile.needs_ranks and np.isnan(rank_quality):
+            score = -1.0
+        elif profile.needs_ranks:
+            w = profile.rank_weight
+            score = (1 - w) * set_quality + w * rank_quality
+        else:
+            score = set_quality
+
+        penalties: Dict[str, float] = {}
+        if profile.must_cover and score >= 0:
+            normalized = normalize_list(world, provider.daily_list(day_list[0]))
+            odds = category_inclusion_odds(world, universe, normalized)
+            for category in profile.must_cover:
+                cell = odds[category]
+                if np.isfinite(cell.odds_ratio) and cell.odds_ratio < 0.5:
+                    penalties[category] = cell.odds_ratio
+                    score *= 0.5
+        scores.append(
+            ListScore(
+                provider=name,
+                score=score,
+                set_quality=set_quality,
+                rank_quality=rank_quality,
+                coverage_penalties=penalties,
+            )
+        )
+    scores.sort(key=lambda s: s.score, reverse=True)
+    return scores

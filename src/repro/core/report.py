@@ -1,0 +1,142 @@
+"""Text rendering of the paper's tables and figures.
+
+The benches print the same rows/series the paper reports; this module
+holds the shared renderers: aligned tables, value-shaded heatmaps (the
+Figure 1/2/6 style), and the Figure 5 movement flows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_heatmap",
+    "format_series",
+    "format_movement",
+]
+
+#: Shading ramp for text heatmaps, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def _fmt(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned text table.
+
+    Floats are fixed-precision; ``None``/nan render as ``-``.
+    """
+    rendered = [[_fmt(cell, precision) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_heatmap(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Mapping[Tuple[str, str], float],
+    title: Optional[str] = None,
+    precision: int = 2,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """Render a labelled heatmap with numeric cells plus a shade glyph.
+
+    Args:
+        row_labels, col_labels: axis labels.
+        values: mapping from (row, col) to value; missing cells render
+          as ``-``.
+        lo, hi: shading range.
+    """
+    span = hi - lo if hi > lo else 1.0
+
+    def cell(row: str, col: str) -> str:
+        value = values.get((row, col))
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return "-".rjust(precision + 3)
+        shade_idx = int(np.clip((value - lo) / span, 0, 0.999) * len(_SHADES))
+        return f"{value:.{precision}f}{_SHADES[shade_idx]}"
+
+    width = max([len(c) for c in col_labels] + [precision + 4])
+    label_width = max(len(r) for r in row_labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" " * label_width + " " + " ".join(c.rjust(width) for c in col_labels))
+    for row in row_labels:
+        cells = " ".join(cell(row, col).rjust(width) for col in col_labels)
+        lines.append(row.ljust(label_width) + " " + cells)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    values: Sequence[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    width_label: int = 10,
+) -> str:
+    """Render one time series as an inline spark-bar with min/max."""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return f"{name.ljust(width_label)} (no data)"
+    lo = min(finite) if lo is None else lo
+    hi = max(finite) if hi is None else hi
+    span = hi - lo if hi > lo else 1.0
+    bars = "".join(
+        "-" if math.isnan(v) else _SHADES[int(np.clip((v - lo) / span, 0, 0.999) * len(_SHADES))]
+        for v in values
+    )
+    return f"{name.ljust(width_label)} [{bars}] min={min(finite):.3f} max={max(finite):.3f}"
+
+
+def format_movement(
+    labels: Sequence[str],
+    counts: np.ndarray,
+    provider: str,
+) -> str:
+    """Render a Figure 5 movement matrix as textual flows.
+
+    Args:
+        labels: bucket labels (smallest first).
+        counts: ``[n+1, n+1]`` matrix, rows = Cloudflare buckets, columns
+          = list buckets, last index = absent.
+        provider: evaluated list name.
+    """
+    n = len(labels)
+    all_labels = list(labels) + ["absent"]
+    lines = [f"Rank-magnitude movement: Cloudflare -> {provider}"]
+    header = "cf\\list".ljust(9) + " ".join(label.rjust(8) for label in all_labels)
+    lines.append(header)
+    for i in range(n + 1):
+        row_cells = " ".join(f"{int(counts[i, j]):8d}" for j in range(n + 1))
+        lines.append(all_labels[i].ljust(9) + row_cells)
+    return "\n".join(lines)

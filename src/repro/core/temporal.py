@@ -1,0 +1,165 @@
+"""Temporal stability of list accuracy (Section 5.4, Figure 3).
+
+For every day of the window, correlate each top list with one Cloudflare
+metric (the paper uses all HTTP requests at the 1M magnitude) and study the
+resulting time series: weekday/weekend periodicity, stability, and whether
+the ordering of lists holds over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.evaluation import CloudflareEvaluator
+from repro.core.similarity import spearman
+from repro.providers.base import TopListProvider
+from repro.worldgen.config import WorldConfig
+
+__all__ = ["DailySeries", "TemporalAnalysis", "daily_series", "weekend_effect"]
+
+
+@dataclass
+class DailySeries:
+    """Per-day correlation scores for one provider.
+
+    Attributes:
+        provider: list name.
+        days: day indices.
+        jaccard: daily Jaccard index values.
+        spearman: daily Spearman values (nan where undefined).
+        weekend: per-day weekend flags.
+    """
+
+    provider: str
+    days: np.ndarray
+    jaccard: np.ndarray
+    spearman: np.ndarray
+    weekend: np.ndarray
+
+    def weekday_mean(self, values: np.ndarray) -> float:
+        """Mean of a series over weekdays."""
+        mask = ~self.weekend & ~np.isnan(values)
+        return float(values[mask].mean()) if mask.any() else float("nan")
+
+    def weekend_mean(self, values: np.ndarray) -> float:
+        """Mean of a series over weekend days."""
+        mask = self.weekend & ~np.isnan(values)
+        return float(values[mask].mean()) if mask.any() else float("nan")
+
+
+def daily_series(
+    evaluator: CloudflareEvaluator,
+    provider: TopListProvider,
+    combo: str,
+    magnitude: int,
+    config: WorldConfig,
+    days: Sequence[int] = (),
+) -> DailySeries:
+    """Compute the Figure 3 daily correlation series for one provider."""
+    day_list = list(days) if days else list(range(config.n_days))
+    jj = np.empty(len(day_list))
+    rho = np.empty(len(day_list))
+    weekend = np.empty(len(day_list), dtype=bool)
+    for i, day in enumerate(day_list):
+        result = evaluator.evaluate_day(provider, day, combo, magnitude)
+        jj[i] = result.jaccard
+        rho[i] = result.spearman
+        weekend[i] = config.is_weekend(day)
+    return DailySeries(
+        provider=provider.name,
+        days=np.asarray(day_list),
+        jaccard=jj,
+        spearman=rho,
+        weekend=weekend,
+    )
+
+
+def weekend_effect(series: DailySeries) -> Tuple[float, float]:
+    """Weekend-minus-weekday deltas for (jaccard, spearman).
+
+    Positive values mean the list tracks Cloudflare better on weekends —
+    the paper's observation for Alexa and Umbrella Spearman correlations.
+    """
+    return (
+        series.weekend_mean(series.jaccard) - series.weekday_mean(series.jaccard),
+        series.weekend_mean(series.spearman) - series.weekday_mean(series.spearman),
+    )
+
+
+@dataclass
+class TemporalAnalysis:
+    """Bundle of daily series plus cross-list stability statistics."""
+
+    series: Dict[str, DailySeries]
+
+    def ordering_stability(self) -> float:
+        """Mean pairwise Spearman between per-day orderings of lists by
+        Jaccard — 1.0 means the ranking of lists never changes day to day
+        (the paper: "the order of top lists ... is largely consistent")."""
+        names = list(self.series)
+        if len(names) < 2:
+            return float("nan")
+        day_count = len(next(iter(self.series.values())).days)
+        orderings: List[np.ndarray] = []
+        for i in range(day_count):
+            scores = [self.series[name].jaccard[i] for name in names]
+            orderings.append(np.argsort(np.argsort(scores)))
+        rhos = []
+        for i in range(len(orderings)):
+            for j in range(i + 1, len(orderings)):
+                rhos.append(spearman(orderings[i], orderings[j]).rho)
+        return float(np.nanmean(rhos))
+
+    def periodicity_strength(self, provider: str) -> float:
+        """Weekly periodicity of a provider's Jaccard series: one minus the
+        ratio of within-weekday-group variance to total variance.  0 means
+        no weekly structure; values near 1 mean the weekday fully
+        determines the score (Umbrella's signature in Figure 3)."""
+        series = self.series[provider]
+        values = series.jaccard
+        days = series.days
+        total_var = float(np.var(values))
+        if total_var == 0:
+            return 0.0
+        groups = [values[(days % 7) == k] for k in range(7)]
+        within = float(
+            np.mean([np.var(group) for group in groups if len(group) > 0])
+        )
+        return max(0.0, 1.0 - within / total_var)
+
+    def weekly_amplitude(self, provider: str) -> float:
+        """Absolute weekly swing of a provider's Jaccard series: the range
+        of its day-of-week group means.  Unlike
+        :meth:`periodicity_strength` this is not normalized by total
+        variance, so a static list whose only variation is the reference's
+        weekly rhythm scores low, while Umbrella's enterprise-driven
+        swings score high (Figure 3)."""
+        series = self.series[provider]
+        values = series.jaccard
+        days = series.days
+        means = [
+            values[(days % 7) == k].mean()
+            for k in range(7)
+            if ((days % 7) == k).any()
+        ]
+        return float(max(means) - min(means))
+
+    def trend_delta(self, provider: str, split_day: int) -> Tuple[float, float]:
+        """Mean (jaccard, spearman) after ``split_day`` minus before — the
+        late-February Alexa improvement detector."""
+        series = self.series[provider]
+        before = series.days < split_day
+        after = ~before
+        if not before.any() or not after.any():
+            return float("nan"), float("nan")
+
+        def _mean(values: np.ndarray) -> float:
+            finite = values[~np.isnan(values)]
+            return float(finite.mean()) if len(finite) else float("nan")
+
+        jj_delta = _mean(series.jaccard[after]) - _mean(series.jaccard[before])
+        rho_delta = _mean(series.spearman[after]) - _mean(series.spearman[before])
+        return jj_delta, rho_delta

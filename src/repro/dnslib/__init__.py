@@ -1,0 +1,27 @@
+"""A small DNS substrate: records, TTL caches, resolvers, query logs.
+
+Two top lists in the study are DNS-derived (Umbrella, Secrank), and the
+paper attributes Umbrella's rank inaccuracy to "caching, TTLs, and other
+DNS complexities".  The vectorized providers model those effects
+analytically; this package implements the actual machinery — authoritative
+zones, a shared caching resolver with TTL expiry, per-client stubs, and a
+query log — so the event-level pipeline can *measure* cache suppression
+instead of assuming it, and the tests can check the analytic model against
+it.
+"""
+
+from repro.dnslib.cache import CacheStats, DnsCache
+from repro.dnslib.records import RRType, ResourceRecord
+from repro.dnslib.resolver import AuthoritativeServer, CachingResolver, StubResolver
+from repro.dnslib.querylog import QueryLog
+
+__all__ = [
+    "AuthoritativeServer",
+    "CacheStats",
+    "CachingResolver",
+    "DnsCache",
+    "QueryLog",
+    "RRType",
+    "ResourceRecord",
+    "StubResolver",
+]

@@ -1,0 +1,94 @@
+"""A TTL-honouring, capacity-bounded DNS cache.
+
+Time is a logical clock (seconds as float) supplied by the caller, so
+simulations control it deterministically.  Eviction is LRU when capacity is
+exceeded; expiry is checked lazily on read.  The cache keeps hit/miss
+statistics, which the event-level Umbrella pipeline reads to quantify
+query suppression.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dnslib.records import ResourceRecord
+
+__all__ = ["CacheStats", "DnsCache"]
+
+
+@dataclass
+class CacheStats:
+    """Cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 when empty)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    record: ResourceRecord
+    expires_at: float
+
+
+class DnsCache:
+    """An LRU cache of resource records with TTL expiry.
+
+    Args:
+        capacity: maximum number of cached record sets.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, str], _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str, rtype: str, now: float) -> Optional[ResourceRecord]:
+        """Look up a record at logical time ``now``.
+
+        Expired entries are removed and counted; hits refresh LRU order.
+        """
+        key = (name.lower(), rtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.expires_at <= now:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.record
+
+    def put(self, record: ResourceRecord, now: float) -> None:
+        """Insert a record, evicting the LRU entry if at capacity."""
+        key = record.key
+        self._entries[key] = _Entry(record=record, expires_at=now + record.ttl)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def flush(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        self._entries.clear()

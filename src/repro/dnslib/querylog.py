@@ -1,0 +1,50 @@
+"""DNS query logs and their aggregation into popularity counts.
+
+What Umbrella publishes is, at heart, an aggregation of a query log:
+unique client IPs per name per day.  :class:`QueryLog` stores query events
+and computes exactly that, so the event-level pipeline can build a real
+Umbrella-style ranking and the tests can compare it against the analytic
+provider.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["QueryLog"]
+
+
+class QueryLog:
+    """Accumulates (day, name, client) query events."""
+
+    def __init__(self) -> None:
+        self._events: Dict[int, List[Tuple[str, str]]] = defaultdict(list)
+
+    def record(self, day: int, name: str, client_id: str) -> None:
+        """Record one observed query."""
+        self._events[day].append((name.lower(), client_id))
+
+    def total_queries(self, day: int) -> int:
+        """Number of queries observed on ``day``."""
+        return len(self._events.get(day, ()))
+
+    def unique_clients_per_name(self, day: int) -> Dict[str, int]:
+        """Umbrella's aggregation: distinct clients per name for a day."""
+        sets: Dict[str, Set[str]] = defaultdict(set)
+        for name, client in self._events.get(day, ()):
+            sets[name].add(client)
+        return {name: len(clients) for name, clients in sets.items()}
+
+    def query_volume_per_name(self, day: int) -> Dict[str, int]:
+        """Raw query counts per name for a day."""
+        counts: Dict[str, int] = defaultdict(int)
+        for name, _client in self._events.get(day, ()):
+            counts[name] += 1
+        return dict(counts)
+
+    def ranking(self, day: int) -> List[str]:
+        """Names ranked by unique clients, ties alphabetical (the Umbrella
+        tie-breaking artifact)."""
+        counts = self.unique_clients_per_name(day)
+        return sorted(counts, key=lambda name: (-counts[name], name))

@@ -1,0 +1,56 @@
+"""DNS resource records.
+
+Just enough of RFC 1035's data model for the simulation: A/AAAA/CNAME/NS
+records with TTLs, name normalization, and record-set containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.weblib.domains import split_labels
+
+__all__ = ["RRType", "ResourceRecord"]
+
+
+class RRType:
+    """Record type tags (string constants, as in zone files)."""
+
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+    NS = "NS"
+
+    ALL: Tuple[str, ...] = ("A", "AAAA", "CNAME", "NS")
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One resource record.
+
+    Attributes:
+        name: owner name, normalized lowercase without trailing dot.
+        rtype: one of :class:`RRType`.
+        ttl: time-to-live in seconds.
+        data: record data (an address or target name).
+    """
+
+    name: str
+    rtype: str
+    ttl: int
+    data: str
+
+    def __post_init__(self) -> None:
+        if self.rtype not in RRType.ALL:
+            raise ValueError(f"unsupported record type: {self.rtype!r}")
+        if self.ttl < 0:
+            raise ValueError("ttl must be non-negative")
+        normalized = ".".join(split_labels(self.name))
+        if normalized != self.name:
+            object.__setattr__(self, "name", normalized)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Cache key: (owner name, record type)."""
+        return (self.name, self.rtype)

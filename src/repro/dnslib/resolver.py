@@ -1,0 +1,150 @@
+"""Resolvers: authoritative server, shared caching resolver, client stubs.
+
+The resolution chain mirrors an enterprise deployment (the dominant
+Umbrella topology):
+
+    StubResolver (one per client)
+        -> CachingResolver (shared per org/network, TTL cache)
+            -> AuthoritativeServer (zone data from the world's name table)
+
+The *upstream* of a caching resolver only sees queries its cache misses —
+the mechanism that makes DNS-derived popularity counts organization-level
+rather than device-level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dnslib.cache import DnsCache
+from repro.dnslib.querylog import QueryLog
+from repro.dnslib.records import RRType, ResourceRecord
+
+__all__ = ["AuthoritativeServer", "CachingResolver", "StubResolver", "NxDomain"]
+
+
+class NxDomain(Exception):
+    """The queried name does not exist."""
+
+
+def _synthetic_address(name: str) -> str:
+    """A stable, documentation-range IPv4 address for a name."""
+    digest = abs(hash(name))
+    return f"198.51.{(digest >> 8) % 256}.{digest % 256}"
+
+
+class AuthoritativeServer:
+    """Authoritative zone data: name -> A record with a per-name TTL.
+
+    Args:
+        ttls: mapping from name to TTL seconds; unknown names raise
+          :class:`NxDomain` on query.
+        default_ttl: TTL for names registered without an explicit TTL.
+    """
+
+    def __init__(self, ttls: Optional[Dict[str, int]] = None, default_ttl: int = 300) -> None:
+        self._ttls: Dict[str, int] = {}
+        self._default_ttl = default_ttl
+        self.queries_served = 0
+        if ttls:
+            for name, ttl in ttls.items():
+                self.register(name, ttl)
+
+    def register(self, name: str, ttl: Optional[int] = None) -> None:
+        """Add (or update) a name in the zone."""
+        self._ttls[name.lower()] = ttl if ttl is not None else self._default_ttl
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._ttls
+
+    def query(self, name: str, rtype: str = RRType.A) -> ResourceRecord:
+        """Answer a query authoritatively.
+
+        Raises:
+            NxDomain: for unregistered names.
+        """
+        self.queries_served += 1
+        ttl = self._ttls.get(name.lower())
+        if ttl is None:
+            raise NxDomain(name)
+        return ResourceRecord(
+            name=name, rtype=rtype, ttl=ttl, data=_synthetic_address(name)
+        )
+
+
+@dataclass
+class CachingResolver:
+    """A shared recursive resolver with a TTL cache and a query log.
+
+    Attributes:
+        resolver_id: identifier (e.g. the org or network it serves).
+        upstream: the authoritative server to recurse to.
+        cache: the TTL cache.
+        log: optional query log; when set, *upstream* (cache-missing)
+          queries are recorded — this is what a vantage point like
+          Umbrella observes of a forwarding deployment.
+        log_client_queries: when True the log instead records every client
+          query (the Umbrella topology where devices query the service
+          directly).
+    """
+
+    resolver_id: str
+    upstream: AuthoritativeServer
+    cache: DnsCache
+    log: Optional[QueryLog] = None
+    log_client_queries: bool = False
+
+    def resolve(self, name: str, client_id: str, now: float, day: int = 0) -> ResourceRecord:
+        """Resolve a name for a client at logical time ``now``.
+
+        Raises:
+            NxDomain: propagated from the authoritative server.
+        """
+        if self.log is not None and self.log_client_queries:
+            self.log.record(day=day, name=name, client_id=client_id)
+        cached = self.cache.get(name, RRType.A, now)
+        if cached is not None:
+            return cached
+        record = self.upstream.query(name)
+        self.cache.put(record, now)
+        if self.log is not None and not self.log_client_queries:
+            # A forwarder's upstream sees the org, not the device.
+            self.log.record(day=day, name=name, client_id=self.resolver_id)
+        return record
+
+
+@dataclass
+class StubResolver:
+    """A client's stub resolver: no cache of its own, one upstream."""
+
+    client_id: str
+    resolver: CachingResolver
+
+    def resolve(self, name: str, now: float, day: int = 0) -> ResourceRecord:
+        """Resolve through the configured caching resolver."""
+        return self.resolver.resolve(name, client_id=self.client_id, now=now, day=day)
+
+
+def build_authoritative_from_names(
+    names: "np.ndarray",
+    strings: list,
+    rng: np.random.Generator,
+    ttl_choices: tuple = (60, 300, 300, 3600, 86400),
+) -> AuthoritativeServer:
+    """Build a zone covering every FQDN in a world name table.
+
+    Args:
+        names: row indices to register.
+        strings: the name-table string list.
+        rng: random stream for TTL assignment.
+        ttl_choices: TTL population to draw from (weighted toward 300s,
+          the web's modal TTL).
+    """
+    server = AuthoritativeServer()
+    ttls = rng.choice(ttl_choices, size=len(names))
+    for row, ttl in zip(names, ttls):
+        server.register(strings[int(row)], int(ttl))
+    return server

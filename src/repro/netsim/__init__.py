@@ -1,0 +1,39 @@
+"""A minimal simulated HTTP substrate.
+
+The paper detects Cloudflare-served sites by issuing an HTTP ``HEAD`` request
+to each candidate website and checking for the ``cf-ray`` response header
+that Cloudflare's reverse proxy stamps on everything it serves (Section 4.3).
+This package provides just enough of an HTTP stack to run that methodology
+against the synthetic world: header maps, request/response messages, virtual
+servers, a virtual network, and a client.
+
+The event-level traffic simulator (:mod:`repro.traffic.eventsim`) also emits
+its request logs as :class:`~repro.netsim.http.HttpRequest` /
+:class:`~repro.netsim.http.HttpResponse` pairs so that the Cloudflare metric
+engine consumes the same record shape the real system would.
+"""
+
+from repro.netsim.http import (
+    HeaderMap,
+    HttpClient,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    VirtualNetwork,
+    VirtualServer,
+    reason_phrase,
+)
+from repro.netsim.probe import CloudflareProbe, ProbeResult
+
+__all__ = [
+    "CloudflareProbe",
+    "HeaderMap",
+    "HttpClient",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "ProbeResult",
+    "VirtualNetwork",
+    "VirtualServer",
+    "reason_phrase",
+]

@@ -1,0 +1,326 @@
+"""HTTP message types, virtual servers, and a simulated network.
+
+This is an in-memory stand-in for the slice of HTTP semantics the paper's
+methodology touches: methods, status codes, case-insensitive headers, and a
+reverse-proxy header (``cf-ray``).  There are no sockets; a
+:class:`VirtualNetwork` routes a request to the :class:`VirtualServer`
+registered for its hostname, modelling DNS + TCP + TLS as a single lookup
+with configurable failure modes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "HeaderMap",
+    "HttpClient",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "VirtualNetwork",
+    "VirtualServer",
+    "reason_phrase",
+]
+
+_REASON_PHRASES: Dict[int, str] = {
+    200: "OK",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    521: "Web Server Is Down",  # Cloudflare-specific.
+    522: "Connection Timed Out",  # Cloudflare-specific.
+}
+
+METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH")
+
+
+def reason_phrase(status: int) -> str:
+    """The reason phrase for a status code (``"Unknown"`` if unregistered)."""
+    return _REASON_PHRASES.get(status, "Unknown")
+
+
+class HttpError(Exception):
+    """A transport-level failure: the host does not resolve or respond."""
+
+
+class HeaderMap:
+    """A case-insensitive, order-preserving HTTP header map.
+
+    Field names are compared case-insensitively per RFC 9110; the original
+    casing of the first insertion is preserved for serialization.
+    """
+
+    def __init__(self, items: Optional[Mapping[str, str]] = None) -> None:
+        self._entries: Dict[str, Tuple[str, str]] = {}
+        if items:
+            for name, value in items.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        """Set a header, replacing any existing value."""
+        self._entries[name.lower()] = (name, value)
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Get a header value by case-insensitive name."""
+        entry = self._entries.get(name.lower())
+        return entry[1] if entry is not None else default
+
+    def remove(self, name: str) -> None:
+        """Remove a header if present."""
+        self._entries.pop(name.lower(), None)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[Tuple[str, str]]:
+        """Iterate ``(original_name, value)`` pairs in insertion order."""
+        return iter(self._entries.values())
+
+    def copy(self) -> "HeaderMap":
+        """A shallow copy of the map."""
+        clone = HeaderMap()
+        clone._entries = dict(self._entries)
+        return clone
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v}" for k, v in self.items())
+        return f"HeaderMap({{{inner}}})"
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request message.
+
+    Attributes:
+        method: request method (``GET``, ``HEAD``...).
+        host: target hostname.
+        path: request target path (``/`` for root page loads).
+        scheme: ``http`` or ``https``.
+        headers: request headers (User-Agent, Referer...).
+        client_ip: the requesting client's IP, as the server would log it.
+    """
+
+    method: str
+    host: str
+    path: str = "/"
+    scheme: str = "https"
+    headers: HeaderMap = field(default_factory=HeaderMap)
+    client_ip: str = "198.51.100.1"
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"unsupported HTTP method: {self.method!r}")
+        if not self.path.startswith("/"):
+            raise ValueError(f"request path must be absolute: {self.path!r}")
+
+    @property
+    def is_root_page(self) -> bool:
+        """Whether this is a root page load (``GET /``), the paper's filter 3."""
+        return self.method == "GET" and self.path == "/"
+
+    @property
+    def url(self) -> str:
+        """The absolute URL of the request target."""
+        return f"{self.scheme}://{self.host}{self.path}"
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response message.
+
+    Attributes:
+        status: numeric status code.
+        headers: response headers (Content-Type, cf-ray...).
+        body: response body (empty for HEAD).
+    """
+
+    status: int
+    headers: HeaderMap = field(default_factory=HeaderMap)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx responses (the paper's 200-only filter)."""
+        return 200 <= self.status < 300
+
+    @property
+    def content_type(self) -> Optional[str]:
+        """The media type without parameters, lowercased (or None)."""
+        raw = self.headers.get("Content-Type")
+        if raw is None:
+            return None
+        return raw.split(";", 1)[0].strip().lower()
+
+    @property
+    def served_by_cloudflare(self) -> bool:
+        """Whether the response carries Cloudflare's ``cf-ray`` header."""
+        return "cf-ray" in self.headers
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+_RAY_COUNTER = itertools.count(1)
+
+
+def _next_ray_id(colo: str) -> str:
+    """Generate a plausible cf-ray value: 16 hex chars plus a colo code."""
+    return f"{next(_RAY_COUNTER):016x}-{colo}"
+
+
+@dataclass
+class VirtualServer:
+    """A simulated origin or reverse proxy for one hostname.
+
+    Args:
+        host: the hostname this server answers for.
+        behind_cloudflare: if true, every response is stamped with a
+          ``cf-ray`` header and a ``Server: cloudflare`` header, exactly
+          what the paper's HEAD probe keys on.
+        status: default status code for successful routing.
+        content_type: Content-Type returned for page requests.
+        colo: Cloudflare colo code used in the cf-ray suffix.
+        handler: optional custom handler overriding the default behaviour.
+    """
+
+    host: str
+    behind_cloudflare: bool = False
+    status: int = 200
+    content_type: str = "text/html"
+    colo: str = "SFO"
+    handler: Optional[Handler] = None
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Produce the response for ``request``."""
+        if self.handler is not None:
+            response = self.handler(request)
+        else:
+            response = self._default_response(request)
+        if self.behind_cloudflare:
+            response.headers.set("cf-ray", _next_ray_id(self.colo))
+            response.headers.set("Server", "cloudflare")
+        return response
+
+    def _default_response(self, request: HttpRequest) -> HttpResponse:
+        headers = HeaderMap({"Content-Type": self.content_type})
+        if request.method == "HEAD":
+            return HttpResponse(status=self.status, headers=headers)
+        body = f"<html><body>{self.host}{request.path}</body></html>".encode()
+        return HttpResponse(status=self.status, headers=headers, body=body)
+
+
+class VirtualNetwork:
+    """Routes requests to registered virtual servers by hostname.
+
+    Unregistered hostnames raise :class:`HttpError`, modelling NXDOMAIN or
+    connection failure — the probe treats those sites as not
+    Cloudflare-served.
+    """
+
+    def __init__(self) -> None:
+        self._servers: Dict[str, VirtualServer] = {}
+        self.request_log: List[HttpRequest] = []
+        self.log_requests = False
+
+    def register(self, server: VirtualServer) -> None:
+        """Attach a server; later registrations replace earlier ones."""
+        self._servers[server.host.lower()] = server
+
+    def deregister(self, host: str) -> None:
+        """Remove a server if present."""
+        self._servers.pop(host.lower(), None)
+
+    def __contains__(self, host: str) -> bool:
+        return host.lower() in self._servers
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def route(self, request: HttpRequest) -> HttpResponse:
+        """Deliver ``request`` and return the server's response.
+
+        Raises:
+            HttpError: when no server is registered for the host.
+        """
+        if self.log_requests:
+            self.request_log.append(request)
+        server = self._servers.get(request.host.lower())
+        if server is None:
+            raise HttpError(f"no route to host: {request.host}")
+        return server.handle(request)
+
+
+class HttpClient:
+    """A small HTTP client over a :class:`VirtualNetwork`.
+
+    Follows up to ``max_redirects`` same-host redirects, which some
+    simulated sites use to bounce ``/`` to a localized landing page.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        user_agent: str = "repro-probe/1.0",
+        max_redirects: int = 5,
+    ) -> None:
+        self._network = network
+        self._user_agent = user_agent
+        self._max_redirects = max_redirects
+
+    def request(
+        self,
+        method: str,
+        host: str,
+        path: str = "/",
+        scheme: str = "https",
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> HttpResponse:
+        """Issue a request, following redirects.
+
+        Raises:
+            HttpError: on routing failure or redirect loops.
+        """
+        header_map = HeaderMap({"User-Agent": self._user_agent, "Host": host})
+        if headers:
+            for name, value in headers.items():
+                header_map.set(name, value)
+        current_path = path
+        for _ in range(self._max_redirects + 1):
+            request = HttpRequest(
+                method=method,
+                host=host,
+                path=current_path,
+                scheme=scheme,
+                headers=header_map.copy(),
+            )
+            response = self._network.route(request)
+            if response.status in (301, 302):
+                location = response.headers.get("Location")
+                if location is None or not location.startswith("/"):
+                    return response  # Cross-host redirects end the probe.
+                current_path = location
+                continue
+            return response
+        raise HttpError(f"redirect loop at {host}")
+
+    def head(self, host: str, path: str = "/") -> HttpResponse:
+        """Issue a ``HEAD`` request (the paper's probe method)."""
+        return self.request("HEAD", host, path)
+
+    def get(self, host: str, path: str = "/") -> HttpResponse:
+        """Issue a ``GET`` request."""
+        return self.request("GET", host, path)

@@ -1,0 +1,82 @@
+"""The Cloudflare detection probe (Section 4.3).
+
+To filter top lists down to Cloudflare-powered sites, the paper performs an
+HTTP ``HEAD`` request against each website and keeps those whose response
+includes the ``cf_ray`` header that Cloudflare stamps on everything it
+proxies.  :class:`CloudflareProbe` runs that methodology against a
+:class:`~repro.netsim.http.VirtualNetwork`, with per-host memoization so a
+month of daily evaluations only probes each host once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.netsim.http import HttpClient, HttpError, VirtualNetwork
+
+__all__ = ["CloudflareProbe", "ProbeResult"]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of probing a single host.
+
+    Attributes:
+        host: the probed hostname.
+        reachable: whether any HTTP response came back.
+        status: the response status (None when unreachable).
+        cloudflare: whether the response carried a ``cf-ray`` header.
+    """
+
+    host: str
+    reachable: bool
+    status: Optional[int]
+    cloudflare: bool
+
+
+class CloudflareProbe:
+    """Probes hostnames for the ``cf-ray`` Cloudflare marker header.
+
+    Args:
+        network: the virtual network to probe over.
+        user_agent: User-Agent to present (kept constant, as a real
+          measurement crawler would).
+    """
+
+    def __init__(self, network: VirtualNetwork, user_agent: str = "repro-probe/1.0") -> None:
+        self._client = HttpClient(network, user_agent=user_agent)
+        self._cache: Dict[str, ProbeResult] = {}
+
+    def probe(self, host: str) -> ProbeResult:
+        """Probe one hostname (memoized)."""
+        host = host.lower()
+        cached = self._cache.get(host)
+        if cached is not None:
+            return cached
+        try:
+            response = self._client.head(host)
+        except HttpError:
+            result = ProbeResult(host=host, reachable=False, status=None, cloudflare=False)
+        else:
+            result = ProbeResult(
+                host=host,
+                reachable=True,
+                status=response.status,
+                cloudflare=response.served_by_cloudflare,
+            )
+        self._cache[host] = result
+        return result
+
+    def probe_many(self, hosts: Iterable[str]) -> List[ProbeResult]:
+        """Probe a collection of hostnames, preserving input order."""
+        return [self.probe(host) for host in hosts]
+
+    def cloudflare_hosts(self, hosts: Iterable[str]) -> List[str]:
+        """The subset of ``hosts`` that Cloudflare serves, in input order."""
+        return [result.host for result in self.probe_many(hosts) if result.cloudflare]
+
+    @property
+    def probes_issued(self) -> int:
+        """Number of distinct hosts probed so far."""
+        return len(self._cache)

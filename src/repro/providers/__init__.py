@@ -1,0 +1,45 @@
+"""Top-list providers.
+
+Each module simulates one published list's documented measurement mechanism
+over the shared world:
+
+* :mod:`repro.providers.alexa` — browser-extension panel, pageviews +
+  visitors, 3-month smoothing; tiny, desktop-only, private-mode-blind.
+* :mod:`repro.providers.umbrella` — unique client IPs querying each FQDN on
+  Cisco's (enterprise-heavy, US-centric) DNS resolvers; bare TLDs and
+  infrastructure names included; alphabetical tie-breaking.
+* :mod:`repro.providers.majestic` — backlink counts from an SEO crawl.
+* :mod:`repro.providers.secrank` — diversity-weighted client voting on a
+  large Chinese resolver.
+* :mod:`repro.providers.tranco` — Dowdall-rule aggregation of Alexa,
+  Umbrella, and Majestic over a 30-day window.
+* :mod:`repro.providers.trexa` — Alexa-weighted interleave of Tranco and
+  Alexa.
+* :mod:`repro.providers.crux_list` — Chrome telemetry completed pageloads,
+  aggregated monthly by origin and published in rank-magnitude buckets.
+"""
+
+from repro.providers.alexa import AlexaProvider
+from repro.providers.base import Granularity, RankedList, TopListProvider
+from repro.providers.crux_list import CruxProvider
+from repro.providers.majestic import MajesticProvider
+from repro.providers.registry import PROVIDER_ORDER, build_providers
+from repro.providers.secrank import SecrankProvider
+from repro.providers.tranco import TrancoProvider
+from repro.providers.trexa import TrexaProvider
+from repro.providers.umbrella import UmbrellaProvider
+
+__all__ = [
+    "AlexaProvider",
+    "CruxProvider",
+    "Granularity",
+    "MajesticProvider",
+    "PROVIDER_ORDER",
+    "RankedList",
+    "SecrankProvider",
+    "TopListProvider",
+    "TrancoProvider",
+    "TrexaProvider",
+    "UmbrellaProvider",
+    "build_providers",
+]

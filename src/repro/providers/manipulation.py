@@ -1,0 +1,187 @@
+"""Adversarial list manipulation (the Tranco threat model).
+
+The paper repeatedly cites the manipulation line of work — lists can be
+gamed with fake panel traffic or botnet DNS queries, and Tranco exists to
+harden against it (Le Pochat et al.).  This module implements both classic
+attacks against our simulated providers and measures how far a target site
+climbs, so the hardening claim can be tested rather than assumed:
+
+* **Panel inflation** (vs Alexa): buy fake pageviews from panel members —
+  the attack that put throwaway domains in the real Alexa top 1000.
+* **Botnet queries** (vs Umbrella): resolve the target from many source
+  addresses.
+
+Tranco's 30-day Dowdall aggregation over three lists should blunt a
+short-lived attack on one component; ``run_manipulation_experiment``
+produces the rank trajectories that show whether it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.providers.alexa import AlexaProvider
+from repro.providers.base import TopListProvider
+from repro.providers.majestic import MajesticProvider
+from repro.providers.tranco import TrancoProvider
+from repro.providers.umbrella import UmbrellaProvider
+from repro.traffic.fastpath import TrafficModel
+from repro.worldgen.world import World
+
+__all__ = [
+    "AttackWindow",
+    "ManipulatedAlexa",
+    "ManipulatedUmbrella",
+    "ManipulationReport",
+    "rank_of_site",
+    "run_manipulation_experiment",
+]
+
+
+@dataclass(frozen=True)
+class AttackWindow:
+    """When and how hard the attacker pushes.
+
+    Attributes:
+        target_site: the site index being promoted.
+        start_day: first attack day (inclusive).
+        end_day: last attack day (inclusive).
+        intensity: attack magnitude — fake panel pageviews per day for
+          Alexa; distinct querying bot addresses per day for Umbrella.
+    """
+
+    target_site: int
+    start_day: int
+    end_day: int
+    intensity: float
+
+    def active(self, day: int) -> bool:
+        """Whether the attack runs on ``day``."""
+        return self.start_day <= day <= self.end_day
+
+
+class ManipulatedAlexa(AlexaProvider):
+    """Alexa under a panel-inflation attack.
+
+    Fake pageviews enter the same smoothing pipeline as real ones, so the
+    attack decays with the EMA after it stops — matching the observed
+    behaviour of real Alexa injections.
+    """
+
+    def __init__(self, world: World, traffic: TrafficModel, attack: AttackWindow) -> None:
+        super().__init__(world, traffic)
+        self._attack = attack
+
+    def _panel_counts(self, day: int) -> np.ndarray:
+        counts = super()._panel_counts(day)
+        if self._attack.active(day):
+            counts = counts.copy()
+            counts[self._attack.target_site] += self._attack.intensity
+        return counts
+
+
+class ManipulatedUmbrella(UmbrellaProvider):
+    """Umbrella under a botnet-query attack.
+
+    Each bot address queries the target's primary name once per day —
+    unique-client counting makes this the cheapest possible attack, which
+    is exactly why the real Umbrella list proved so easy to infiltrate.
+    """
+
+    def __init__(self, world: World, traffic: TrafficModel, attack: AttackWindow) -> None:
+        super().__init__(world, traffic)
+        self._attack = attack
+
+    def _unique_clients_per_fqdn(self, day: int) -> np.ndarray:
+        unique = super()._unique_clients_per_fqdn(day)
+        if self._attack.active(day):
+            unique = unique.copy()
+            target_rows = np.flatnonzero(self._fqdn_sites == self._attack.target_site)
+            if len(target_rows):
+                # The bots hammer the site's best-known name.
+                best = target_rows[np.argmax(self._fqdn_share[target_rows])]
+                unique[best] += self._attack.intensity
+        return unique
+
+
+def rank_of_site(world: World, provider: TopListProvider, day: int, site: int) -> Optional[int]:
+    """The site's 1-based rank in a provider's daily list (None if absent).
+
+    FQDN/origin lists report the best rank of any of the site's names.
+    """
+    ranked = provider.daily_list(day)
+    sites = world.names.site[ranked.name_rows]
+    positions = np.flatnonzero(sites == site)
+    if len(positions) == 0:
+        return None
+    return int(positions[0]) + 1
+
+
+@dataclass
+class ManipulationReport:
+    """Rank trajectories of the target under attack.
+
+    Attributes:
+        target_site: attacked site index.
+        true_rank: the site's true global popularity rank (1-based).
+        trajectories: ``{provider: [rank or None per day]}``.
+    """
+
+    target_site: int
+    true_rank: int
+    trajectories: Dict[str, List[Optional[int]]]
+
+    def best_rank(self, provider: str) -> Optional[int]:
+        """The best (smallest) rank achieved on a provider."""
+        ranks = [r for r in self.trajectories[provider] if r is not None]
+        return min(ranks) if ranks else None
+
+    def rank_gain(self, provider: str, baseline: "ManipulationReport") -> Optional[int]:
+        """Positions gained at best vs an unattacked baseline run."""
+        attacked = self.best_rank(provider)
+        clean = baseline.best_rank(provider)
+        if attacked is None or clean is None:
+            return None
+        return clean - attacked
+
+
+def run_manipulation_experiment(
+    world: World,
+    traffic: TrafficModel,
+    attack: Optional[AttackWindow],
+    days: Optional[range] = None,
+) -> ManipulationReport:
+    """Build Alexa/Umbrella/Majestic (+Tranco over them) with or without an
+    attack and record the target's daily ranks on each.
+
+    Call once with ``attack=None`` for the baseline and once with the
+    attack; compare via :meth:`ManipulationReport.rank_gain`.
+    """
+    target = attack.target_site if attack is not None else world.n_sites // 2
+    if attack is not None:
+        alexa: AlexaProvider = ManipulatedAlexa(world, traffic, attack)
+        umbrella: UmbrellaProvider = ManipulatedUmbrella(world, traffic, attack)
+    else:
+        alexa = AlexaProvider(world, traffic)
+        umbrella = UmbrellaProvider(world, traffic)
+    majestic = MajesticProvider(world, traffic)
+    tranco = TrancoProvider(world, traffic, components=(alexa, umbrella, majestic))
+
+    providers: Dict[str, TopListProvider] = {
+        "alexa": alexa,
+        "umbrella": umbrella,
+        "tranco": tranco,
+    }
+    day_list = days if days is not None else range(world.config.n_days)
+    trajectories: Dict[str, List[Optional[int]]] = {name: [] for name in providers}
+    for day in day_list:
+        for name, provider in providers.items():
+            trajectories[name].append(rank_of_site(world, provider, day, target))
+    return ManipulationReport(
+        target_site=target,
+        true_rank=target + 1,
+        trajectories=trajectories,
+    )

@@ -1,0 +1,75 @@
+"""Provider assembly.
+
+Builds the full set of seven top lists over one shared world and traffic
+model, wiring composite lists (Tranco, Trexa) to their components and CrUX
+to the Chrome telemetry panel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.providers.alexa import AlexaProvider
+from repro.providers.base import TopListProvider
+from repro.providers.crux_list import CruxProvider
+from repro.providers.majestic import MajesticProvider
+from repro.providers.secrank import SecrankProvider
+from repro.providers.tranco import TrancoProvider
+from repro.providers.trexa import TrexaProvider
+from repro.providers.umbrella import UmbrellaProvider
+from repro.telemetry.chrome import ChromeTelemetry
+from repro.traffic.fastpath import TrafficModel
+from repro.worldgen.world import World
+
+__all__ = ["PROVIDER_ORDER", "build_providers"]
+
+#: Canonical display order (the paper's table row order).
+PROVIDER_ORDER: Tuple[str, ...] = (
+    "alexa",
+    "majestic",
+    "secrank",
+    "tranco",
+    "trexa",
+    "umbrella",
+    "crux",
+)
+
+
+def build_providers(
+    world: World,
+    traffic: Optional[TrafficModel] = None,
+    telemetry: Optional[ChromeTelemetry] = None,
+) -> Dict[str, TopListProvider]:
+    """Construct all seven providers over a shared world.
+
+    Args:
+        world: the simulated world.
+        traffic: shared traffic model (built if absent).
+        telemetry: shared Chrome panel (built if absent) — pass the same
+          instance used for the Section 6 analyses so CrUX and the private
+          telemetry views are derived from identical data, as in reality.
+
+    Returns:
+        Mapping from provider name to provider, in :data:`PROVIDER_ORDER`.
+    """
+    traffic = traffic if traffic is not None else TrafficModel(world)
+    telemetry = telemetry if telemetry is not None else ChromeTelemetry(world, traffic)
+
+    alexa = AlexaProvider(world, traffic)
+    umbrella = UmbrellaProvider(world, traffic)
+    majestic = MajesticProvider(world, traffic)
+    secrank = SecrankProvider(world, traffic)
+    tranco = TrancoProvider(world, traffic, components=(alexa, umbrella, majestic))
+    trexa = TrexaProvider(world, traffic, alexa=alexa, tranco=tranco)
+    crux = CruxProvider(world, traffic, telemetry=telemetry)
+
+    providers: Dict[str, TopListProvider] = {
+        "alexa": alexa,
+        "majestic": majestic,
+        "secrank": secrank,
+        "tranco": tranco,
+        "trexa": trexa,
+        "umbrella": umbrella,
+        "crux": crux,
+    }
+    return {name: providers[name] for name in PROVIDER_ORDER}

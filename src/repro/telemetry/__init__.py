@@ -1,0 +1,12 @@
+"""Browser telemetry vantage points.
+
+:mod:`repro.telemetry.chrome` models Chrome's client-side telemetry panel:
+sync-opted-in users whose completed pageloads, initiated pageloads, and
+time-on-site are aggregated per (country, platform).  The public CrUX list
+(:mod:`repro.providers.crux_list`) and the private per-country data of the
+paper's Section 6 are both derived from it.
+"""
+
+from repro.telemetry.chrome import ChromeTelemetry, TELEMETRY_METRICS
+
+__all__ = ["ChromeTelemetry", "TELEMETRY_METRICS"]

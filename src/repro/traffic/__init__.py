@@ -1,0 +1,20 @@
+"""Traffic simulation.
+
+Two engines over the same world:
+
+* :mod:`repro.traffic.fastpath` — a vectorized expectation-plus-noise model
+  producing per-(site, day) pageloads, visit-session intensities, and
+  country/platform splits.  Every bench-scale experiment runs on this.
+* :mod:`repro.traffic.eventsim` — a record-level browsing simulator that
+  emits individual HTTP requests (as :mod:`repro.netsim` messages) and DNS
+  queries for small worlds, used by examples, tests, and the log-pipeline
+  validation bench that checks the two engines agree.
+
+:mod:`repro.traffic.calendar` holds the shared day-of-week and black-swan
+temporal modulation (Section 5.4's weekday/weekend effects).
+"""
+
+from repro.traffic.calendar import TrafficCalendar
+from repro.traffic.fastpath import TrafficModel
+
+__all__ = ["TrafficCalendar", "TrafficModel"]

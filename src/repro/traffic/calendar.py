@@ -1,0 +1,87 @@
+"""Temporal modulation: weekdays, weekends, and black-swan events.
+
+The paper's Figure 3 finds weekly periodicity in list accuracy — Umbrella's
+Jaccard index and Alexa's Spearman correlation both move with the work week —
+and attributes it to *who browses when*: enterprise clients (Umbrella's
+base) browse on weekdays; home desktop users (where Alexa's extensions
+live) and mobile users browse relatively more on weekends.
+
+This module turns a simulated day index into per-country, per-population
+activity multipliers that every vantage point shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.weblib.categories import CATEGORIES, category_index
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.countries import COUNTRIES
+
+__all__ = ["TrafficCalendar"]
+
+# Activity multipliers by (population, is_weekend).
+_ENTERPRISE_DESKTOP = (1.32, 0.30)
+_HOME_DESKTOP = (0.90, 1.26)
+_MOBILE = (0.95, 1.22)
+
+
+@dataclass
+class TrafficCalendar:
+    """Day-level activity factors for a configuration.
+
+    All factor methods are deterministic functions of the day index; noise
+    is applied downstream by the traffic model.
+    """
+
+    config: WorldConfig
+
+    def is_weekend(self, day: int) -> bool:
+        """Whether simulated ``day`` is a Saturday or Sunday."""
+        return self.config.is_weekend(day)
+
+    def weekday_name(self, day: int) -> str:
+        """Human-readable weekday name of ``day``."""
+        names = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+        return names[self.config.weekday_of(day)]
+
+    def enterprise_desktop_factor(self, day: int) -> float:
+        """Activity of enterprise desktop clients on ``day``."""
+        return _ENTERPRISE_DESKTOP[1 if self.is_weekend(day) else 0]
+
+    def home_desktop_factor(self, day: int) -> float:
+        """Activity of non-enterprise desktop clients on ``day``."""
+        return _HOME_DESKTOP[1 if self.is_weekend(day) else 0]
+
+    def mobile_factor(self, day: int) -> float:
+        """Activity of mobile clients on ``day``."""
+        return _MOBILE[1 if self.is_weekend(day) else 0]
+
+    def desktop_country_factors(self, day: int) -> np.ndarray:
+        """Per-country desktop activity, mixing enterprise and home bases."""
+        ent = np.array([c.enterprise_share for c in COUNTRIES])
+        return ent * self.enterprise_desktop_factor(day) + (1.0 - ent) * self.home_desktop_factor(day)
+
+    def mobile_country_factors(self, day: int) -> np.ndarray:
+        """Per-country mobile activity (uniform across countries today)."""
+        return np.full(len(COUNTRIES), self.mobile_factor(day))
+
+    def category_event_factors(self, day: int) -> np.ndarray:
+        """Per-category popularity multipliers for black-swan events.
+
+        From ``news_event_day`` onward, news traffic surges (the paper's
+        study window covered the start of a major international news
+        event).
+        """
+        factors = np.ones(len(CATEGORIES))
+        if day >= self.config.news_event_day:
+            factors[category_index("news")] = self.config.news_event_boost
+        return factors
+
+    def alexa_panel_boost(self, day: int) -> float:
+        """Alexa's unexplained late-month panel change (Figure 3)."""
+        if day >= self.config.alexa_change_day:
+            return self.config.alexa_change_boost
+        return 1.0

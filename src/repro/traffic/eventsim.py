@@ -1,0 +1,325 @@
+"""The record-level browsing simulator.
+
+Where :mod:`repro.traffic.fastpath` produces expected counts, this module
+produces *events*: browsing sessions that emit individual HTTP request
+records (for the Cloudflare log pipeline) and DNS resolutions (through the
+:mod:`repro.dnslib` stack).  It exists for three reasons:
+
+* integration testing — the fast path's analytic formulas are validated
+  against literal counting over the same world;
+* the examples — inspecting concrete request logs is how a reader convinces
+  themself the pipeline is real;
+* the DNS ablation bench — measuring cache suppression instead of assuming
+  it.
+
+It is a small-world tool: a few thousand sites, tens of thousands of
+sessions.  Bench-scale experiments use the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cdn.logstore import LogRecord, LogStore
+from repro.dnslib.cache import DnsCache
+from repro.dnslib.querylog import QueryLog
+from repro.dnslib.resolver import (
+    AuthoritativeServer,
+    CachingResolver,
+    build_authoritative_from_names,
+)
+from repro.traffic.fastpath import TrafficModel
+from repro.traffic.sessions import BrowsingSession
+from repro.weblib.useragents import BROWSERS, UserAgent
+from repro.worldgen.nametable import NameKind
+from repro.worldgen.world import World
+
+__all__ = ["DayEvents", "EventSimulator"]
+
+_SECONDS_PER_DAY = 86_400.0
+
+# Browser families by platform (weights renormalized at build time).
+_DESKTOP_BROWSERS = ("chrome", "edge", "firefox", "safari", "opera")
+_MOBILE_BROWSERS = ("chrome", "safari", "samsung-internet", "opera")
+_BOT_BROWSERS = ("googlebot", "bingbot", "curl", "python-requests", "scrapybot")
+
+
+@dataclass
+class DayEvents:
+    """Everything one simulated day of events produced.
+
+    Attributes:
+        day: the day index.
+        sessions: all browsing sessions (bot crawls included).
+        logs: the Cloudflare-side log store (only CF-served sites appear).
+        dns_log: query log of the enterprise resolver tier (None when DNS
+          simulation was disabled).
+        dns_caches: the per-org caches, for suppression statistics.
+    """
+
+    day: int
+    sessions: List[BrowsingSession]
+    logs: LogStore
+    dns_log: Optional[QueryLog] = None
+    dns_caches: List[DnsCache] = field(default_factory=list)
+
+
+class EventSimulator:
+    """Samples concrete browsing sessions and their request/DNS records.
+
+    Args:
+        world: the simulated world (keep it small; this is Python loops).
+        traffic: shared traffic model.
+        n_orgs: enterprise organizations per country for the DNS tier.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        traffic: Optional[TrafficModel] = None,
+        n_orgs: int = 8,
+    ) -> None:
+        self._world = world
+        self._traffic = traffic if traffic is not None else TrafficModel(world)
+        self._n_orgs = n_orgs
+        self._browser_weights = self._build_browser_weights()
+        # Per-site FQDN rows for DNS resolution.
+        names = world.names
+        fqdn_rows = names.rows_of_kind(NameKind.FQDN)
+        owned = names.site[fqdn_rows] >= 0
+        self._fqdn_rows = fqdn_rows[owned]
+        self._fqdn_by_site: Dict[int, List[Tuple[str, float]]] = {}
+        for row in self._fqdn_rows:
+            site = int(names.site[row])
+            self._fqdn_by_site.setdefault(site, []).append(
+                (names.strings[row], float(names.share[row]))
+            )
+        self._authoritative: Optional[AuthoritativeServer] = None
+
+    @property
+    def world(self) -> World:
+        """The simulated world."""
+        return self._world
+
+    def _build_browser_weights(self) -> Dict[str, Tuple[List[str], np.ndarray]]:
+        by_name = {b.name: b for b in BROWSERS}
+
+        def weights(names: Tuple[str, ...]) -> Tuple[List[str], np.ndarray]:
+            shares = np.array([by_name[n].global_share for n in names])
+            return list(names), shares / shares.sum()
+
+        return {
+            "desktop": weights(_DESKTOP_BROWSERS),
+            "mobile": weights(_MOBILE_BROWSERS),
+            "bot": weights(_BOT_BROWSERS),
+        }
+
+    def _authoritative_server(self) -> AuthoritativeServer:
+        if self._authoritative is None:
+            rng = self._world.rng("dns")
+            self._authoritative = build_authoritative_from_names(
+                self._fqdn_rows, self._world.names.strings, rng
+            )
+        return self._authoritative
+
+    def _client_ip(self, country: int, index: int) -> str:
+        return f"10.{country}.{(index >> 8) % 256}.{index % 256}"
+
+    def simulate_day(
+        self,
+        day: int,
+        n_sessions: int,
+        with_dns: bool = False,
+        include_bots: bool = True,
+    ) -> DayEvents:
+        """Simulate ``n_sessions`` browsing sessions plus bot crawls.
+
+        Records for Cloudflare-served sites land in the returned
+        :class:`~repro.cdn.logstore.LogStore`; with ``with_dns`` every
+        session also resolves the site's names through a per-org caching
+        resolver tier whose upstream queries land in ``dns_log``.
+        """
+        world = self._world
+        sites = world.sites
+        rng = world.day_rng("eventsim", day)
+        tensors = self._traffic.day(day)
+        weights = tensors.pageloads / tensors.pageloads.sum()
+
+        logs = LogStore()
+        sessions: List[BrowsingSession] = []
+
+        dns_log: Optional[QueryLog] = None
+        resolvers: Dict[Tuple[int, int], CachingResolver] = {}
+        caches: List[DnsCache] = []
+        if with_dns:
+            dns_log = QueryLog()
+            upstream = self._authoritative_server()
+            for country in range(world.clients.n_countries):
+                for org in range(self._n_orgs):
+                    cache = DnsCache(capacity=50_000)
+                    caches.append(cache)
+                    resolvers[(country, org)] = CachingResolver(
+                        resolver_id=f"org-{country}-{org}",
+                        upstream=upstream,
+                        cache=cache,
+                        log=dns_log,
+                    )
+
+        # Sample the visited site for every session at once.
+        visited = rng.choice(world.n_sites, size=n_sessions, p=weights)
+        start_seconds = rng.uniform(0, _SECONDS_PER_DAY, size=n_sessions)
+        order = np.argsort(start_seconds)  # DNS caches need time order.
+        visited = visited[order]
+        start_seconds = start_seconds[order]
+
+        client_pool = max(64, n_sessions // 4)
+
+        for i in range(n_sessions):
+            site = int(visited[i])
+            start = float(start_seconds[i])
+            country = int(rng.choice(len(sites.country_share[site]), p=sites.country_share[site]))
+            platform = 1 if rng.random() < sites.mobile_share[site] else 0
+            names, probs = self._browser_weights["mobile" if platform else "desktop"]
+            browser = str(rng.choice(names, p=probs))
+            pages = 1 + rng.poisson(max(0.0, self._traffic.pages_per_visit[site] - 1.0))
+            private = rng.random() < sites.private_rate[site]
+            enterprise = platform == 0 and rng.random() < world.clients.enterprise_frac[country]
+            client_index = int(rng.integers(client_pool))
+            client_ip = self._client_ip(country, client_index)
+            entered_root = rng.random() < sites.root_frac[site]
+            session = BrowsingSession(
+                day=day,
+                site=site,
+                country=country,
+                platform=platform,
+                browser=browser,
+                client_ip=client_ip,
+                pages=int(pages),
+                entered_at_root=bool(entered_root),
+                private=private,
+                enterprise=enterprise,
+                start_second=start,
+            )
+            sessions.append(session)
+            self._emit_http(session, rng, logs)
+            if with_dns:
+                org = client_index % self._n_orgs
+                resolver = resolvers[(country, org)]
+                self._emit_dns(session, resolver, rng, start)
+
+        if include_bots:
+            self._emit_bot_crawls(day, rng, logs, n_sessions)
+
+        return DayEvents(
+            day=day, sessions=sessions, logs=logs, dns_log=dns_log, dns_caches=caches
+        )
+
+    def _emit_http(
+        self, session: BrowsingSession, rng: np.random.Generator, logs: LogStore
+    ) -> None:
+        """Turn a session into Cloudflare-side request log records."""
+        world = self._world
+        sites = world.sites
+        site = session.site
+        if not sites.cf_served[site]:
+            return  # The CDN never sees non-customer traffic.
+
+        host = sites.names[site]
+        ua = UserAgent(family=session.browser, version="98.0")
+        ua_string = ua.header_value()
+        is_top5 = ua.is_top_five_browser
+        tls_budget = sites.tls_per_pageload[site] * session.pages
+        handshakes_left = max(1, int(round(tls_budget)))
+
+        for page in range(session.pages):
+            is_root = session.entered_at_root if page == 0 else (
+                rng.random() < sites.root_frac[site]
+            )
+            path = "/" if is_root else f"/page/{int(rng.integers(1, 500))}"
+            has_referer = page > 0 or rng.random() > sites.referer_null_frac[site]
+            subresources = rng.poisson(max(0.0, sites.subres_mult[site] - 1.0))
+            requests = [(path, "text/html", has_referer)]
+            for s in range(int(subresources)):
+                kind = "text/css" if s % 3 == 0 else ("image/png" if s % 3 == 1 else "application/javascript")
+                requests.append((f"/assets/{int(rng.integers(1, 2000))}", kind, True))
+            for req_path, content_type, referer in requests:
+                status = 200 if rng.random() < sites.success_rate[site] else int(
+                    rng.choice((301, 304, 404, 500))
+                )
+                new_tls = handshakes_left > 0 and rng.random() < (
+                    handshakes_left / max(1, len(requests) * (session.pages - page))
+                )
+                if new_tls:
+                    handshakes_left -= 1
+                logs.add(
+                    LogRecord(
+                        day=session.day,
+                        site=site,
+                        host=host,
+                        path=req_path,
+                        status=status,
+                        content_type=content_type,
+                        has_referer=referer,
+                        browser_family=session.browser,
+                        is_top5_browser=is_top5,
+                        client_ip=session.client_ip,
+                        user_agent=ua_string,
+                        new_tls_session=new_tls,
+                    )
+                )
+
+    def _emit_dns(
+        self,
+        session: BrowsingSession,
+        resolver: CachingResolver,
+        rng: np.random.Generator,
+        now: float,
+    ) -> None:
+        """Resolve the names a visit touches through the org resolver."""
+        fqdns = self._fqdn_by_site.get(session.site, ())
+        for host, share in fqdns:
+            # The primary name is always resolved; service names with the
+            # probability their share implies.
+            if share >= 0.5 or rng.random() < share + 0.2:
+                resolver.resolve(host, client_id=session.client_ip, now=now, day=session.day)
+
+    def _emit_bot_crawls(
+        self, day: int, rng: np.random.Generator, logs: LogStore, n_sessions: int
+    ) -> None:
+        """Crawler traffic: root-heavy, non-browser, few distinct IPs."""
+        world = self._world
+        sites = world.sites
+        n_crawls = max(1, n_sessions // 10)
+        bot_weight = world.sites.weight * sites.bot_share
+        bot_weight = bot_weight / bot_weight.sum()
+        crawled = rng.choice(world.n_sites, size=n_crawls, p=bot_weight)
+        names, probs = self._browser_weights["bot"]
+        for site in crawled:
+            site = int(site)
+            if not sites.cf_served[site]:
+                continue
+            family = str(rng.choice(names, p=probs))
+            ua = UserAgent(family=family, version="2.1")
+            fetches = 1 + int(rng.poisson(2.0))
+            bot_ip = self._client_ip(0, int(rng.integers(32)))
+            for f in range(fetches):
+                path = "/" if f == 0 else f"/page/{int(rng.integers(1, 200))}"
+                logs.add(
+                    LogRecord(
+                        day=day,
+                        site=site,
+                        host=sites.names[site],
+                        path=path,
+                        status=200 if rng.random() < 0.9 else 404,
+                        content_type="text/html",
+                        has_referer=False,
+                        browser_family=family,
+                        is_top5_browser=False,
+                        client_ip=bot_ip,
+                        user_agent=ua.header_value(),
+                        new_tls_session=(f == 0),
+                    )
+                )

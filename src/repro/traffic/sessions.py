@@ -1,0 +1,38 @@
+"""Browsing-session records for the event-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BrowsingSession"]
+
+
+@dataclass(frozen=True)
+class BrowsingSession:
+    """One client's visit to one site.
+
+    Attributes:
+        day: simulated day index.
+        site: visited site index.
+        country: client country index.
+        platform: 0 = desktop, 1 = mobile.
+        browser: user-agent family name.
+        client_ip: the client's address for the day.
+        pages: pageloads in the session.
+        entered_at_root: whether the first pageload was ``GET /``.
+        private: whether the session ran in a private browsing window.
+        enterprise: whether the client sits on an enterprise network.
+        start_second: session start, seconds from the day's midnight.
+    """
+
+    day: int
+    site: int
+    country: int
+    platform: int
+    browser: str
+    client_ip: str
+    pages: int
+    entered_at_root: bool
+    private: bool
+    enterprise: bool
+    start_second: float

@@ -1,0 +1,47 @@
+"""Web naming substrate: domains, the Public Suffix List, browsers, categories.
+
+This package provides the vocabulary that every other subsystem speaks:
+
+* :mod:`repro.weblib.domains` — parsing and manipulating DNS names and web
+  origins (``https://www.example.co.uk`` and friends).
+* :mod:`repro.weblib.psl` — a full implementation of the Public Suffix List
+  matching algorithm (normal, wildcard, and exception rules) over an embedded
+  snapshot of rules, used to normalize top lists to registrable domains as in
+  Section 4.2 of the paper.
+* :mod:`repro.weblib.useragents` — the browser/user-agent model behind the
+  "top five browsers" filter of Section 3.1.
+* :mod:`repro.weblib.categories` — the website category taxonomy used for the
+  Table 3 inclusion-bias analysis.
+"""
+
+from repro.weblib.categories import Category, CATEGORIES, category_by_name
+from repro.weblib.domains import (
+    Origin,
+    ParsedName,
+    is_valid_hostname,
+    parse_name,
+    parse_origin,
+    reverse_labels,
+    split_labels,
+)
+from repro.weblib.psl import PublicSuffixList, default_psl
+from repro.weblib.useragents import Browser, BROWSERS, TOP_FIVE_BROWSERS, UserAgent
+
+__all__ = [
+    "Browser",
+    "BROWSERS",
+    "CATEGORIES",
+    "Category",
+    "Origin",
+    "ParsedName",
+    "PublicSuffixList",
+    "TOP_FIVE_BROWSERS",
+    "UserAgent",
+    "category_by_name",
+    "default_psl",
+    "is_valid_hostname",
+    "parse_name",
+    "parse_origin",
+    "reverse_labels",
+    "split_labels",
+]

@@ -1,0 +1,194 @@
+"""Parsing and validation of DNS names and web origins.
+
+Top lists rank three different kinds of objects (Section 4.2 of the paper):
+
+* registrable domains (Alexa, Majestic, Secrank, Tranco, Trexa),
+* fully-qualified domain names (Cisco Umbrella), and
+* web origins such as ``https://www.google.com`` (CrUX).
+
+This module provides the small, dependency-free parsing layer that the list
+normalization code builds on.  Hostnames are treated case-insensitively and
+stored lowercase, per RFC 4343.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Origin",
+    "ParsedName",
+    "is_valid_hostname",
+    "parse_name",
+    "parse_origin",
+    "reverse_labels",
+    "split_labels",
+]
+
+# A single DNS label: letters, digits, hyphens; no leading/trailing hyphen.
+# We additionally accept underscores because real query logs contain them
+# (e.g. ``_dmarc.example.com``).
+_LABEL_RE = re.compile(r"^(?!-)[a-z0-9_-]{1,63}(?<!-)$")
+
+_SCHEMES = ("https", "http")
+
+DEFAULT_PORTS = {"http": 80, "https": 443}
+
+
+def split_labels(name: str) -> List[str]:
+    """Split a hostname into its dot-separated labels, lowercased.
+
+    A single trailing dot (fully-qualified form) is tolerated and removed.
+
+    >>> split_labels("WWW.Example.COM.")
+    ['www', 'example', 'com']
+    """
+    name = name.strip().lower()
+    if name.endswith("."):
+        name = name[:-1]
+    if not name:
+        return []
+    return name.split(".")
+
+
+def reverse_labels(name: str) -> List[str]:
+    """Return labels in DNS-tree order (TLD first).
+
+    >>> reverse_labels("www.example.com")
+    ['com', 'example', 'www']
+    """
+    labels = split_labels(name)
+    labels.reverse()
+    return labels
+
+
+def is_valid_hostname(name: str) -> bool:
+    """Check RFC 1035-style syntactic validity (relaxed to allow underscores).
+
+    The total length limit of 253 characters and the per-label limit of 63
+    characters are both enforced.
+    """
+    name = name.strip().lower()
+    if name.endswith("."):
+        name = name[:-1]
+    if not name or len(name) > 253:
+        return False
+    labels = name.split(".")
+    return all(_LABEL_RE.match(label) for label in labels)
+
+
+@dataclass(frozen=True)
+class ParsedName:
+    """A parsed DNS name.
+
+    Attributes:
+        host: the normalized (lowercase, no trailing dot) hostname.
+        labels: the labels of ``host``, leftmost first.
+    """
+
+    host: str
+    labels: Tuple[str, ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of labels in the name (``www.example.com`` -> 3)."""
+        return len(self.labels)
+
+    def parent(self) -> Optional["ParsedName"]:
+        """The name with the leftmost label removed, or ``None`` at the root.
+
+        >>> parse_name("www.example.com").parent().host
+        'example.com'
+        """
+        if len(self.labels) <= 1:
+            return None
+        rest = self.labels[1:]
+        return ParsedName(host=".".join(rest), labels=rest)
+
+    def is_subdomain_of(self, other: "ParsedName") -> bool:
+        """True if this name is a strict subdomain of ``other``."""
+        if len(self.labels) <= len(other.labels):
+            return False
+        return self.labels[len(self.labels) - len(other.labels):] == other.labels
+
+    def __str__(self) -> str:
+        return self.host
+
+
+def parse_name(name: str) -> ParsedName:
+    """Parse and validate a hostname.
+
+    Raises:
+        ValueError: if the name is not a syntactically valid hostname.
+    """
+    labels = split_labels(name)
+    host = ".".join(labels)
+    if not is_valid_hostname(host):
+        raise ValueError(f"invalid hostname: {name!r}")
+    return ParsedName(host=host, labels=tuple(labels))
+
+
+@dataclass(frozen=True)
+class Origin:
+    """A web origin: (scheme, host, port), per RFC 6454.
+
+    CrUX aggregates popularity by origin; ``https://google.com`` and
+    ``https://www.google.com`` are distinct origins and distinct CrUX
+    entries.
+    """
+
+    scheme: str
+    host: str
+    port: int
+
+    @property
+    def is_default_port(self) -> bool:
+        """True when the port is the scheme's default (80/443)."""
+        return DEFAULT_PORTS.get(self.scheme) == self.port
+
+    def serialize(self) -> str:
+        """The canonical ASCII serialization of the origin.
+
+        Default ports are elided, matching how CrUX publishes origins.
+
+        >>> Origin("https", "example.com", 443).serialize()
+        'https://example.com'
+        """
+        if self.is_default_port:
+            return f"{self.scheme}://{self.host}"
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    def __str__(self) -> str:
+        return self.serialize()
+
+
+def parse_origin(text: str) -> Origin:
+    """Parse an origin string like ``https://www.example.com[:port]``.
+
+    Bare hostnames are rejected: an origin requires a scheme.  Paths,
+    queries, and fragments are rejected as well — an origin is not a URL.
+
+    Raises:
+        ValueError: on malformed input.
+    """
+    text = text.strip().lower()
+    scheme, sep, rest = text.partition("://")
+    if not sep:
+        raise ValueError(f"origin must include a scheme: {text!r}")
+    if scheme not in _SCHEMES:
+        raise ValueError(f"unsupported origin scheme: {scheme!r}")
+    if not rest or any(c in rest for c in "/?#"):
+        raise ValueError(f"origin must not include a path component: {text!r}")
+    host, sep, port_text = rest.partition(":")
+    if sep:
+        if not port_text.isdigit():
+            raise ValueError(f"invalid origin port: {text!r}")
+        port = int(port_text)
+        if not 0 < port < 65536:
+            raise ValueError(f"origin port out of range: {text!r}")
+    else:
+        port = DEFAULT_PORTS[scheme]
+    parsed = parse_name(host)
+    return Origin(scheme=scheme, host=parsed.host, port=port)

@@ -1,0 +1,208 @@
+"""Public Suffix List matching.
+
+Implements the full PSL algorithm (https://publicsuffix.org/list/) over the
+embedded rule snapshot in :mod:`repro.weblib.psl_data`:
+
+1. Match domain labels right-to-left against all rules; a ``*`` label in a
+   rule matches any single label.
+2. If more than one rule matches, a matching exception rule (``!`` prefix)
+   takes priority; otherwise the longest matching rule wins.
+3. If no rule matches, the prevailing rule is ``*`` (the unknown-TLD rule).
+4. The public suffix is the matched rule's labels (an exception rule's
+   suffix is the rule with its leftmost label removed); the registrable
+   domain is the public suffix plus one preceding label.
+
+The paper normalizes every top list to PSL registrable domains before
+comparison (Section 4.2); Table 2 counts how many raw entries deviate from
+their registrable domain under this mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.weblib.domains import split_labels
+from repro.weblib.psl_data import ICANN_RULES, PRIVATE_RULES
+
+__all__ = ["PslRule", "PublicSuffixList", "default_psl"]
+
+
+@dataclass(frozen=True)
+class PslRule:
+    """A single PSL rule.
+
+    Attributes:
+        labels: rule labels, rightmost (TLD) first; ``*`` matches any label.
+        is_exception: true for ``!``-prefixed rules.
+        is_private: true for rules from the PRIVATE section of the list.
+    """
+
+    labels: Tuple[str, ...]
+    is_exception: bool
+    is_private: bool
+
+    @property
+    def match_length(self) -> int:
+        """Number of labels the rule constrains (exception rules count all)."""
+        return len(self.labels)
+
+
+class _Node:
+    """A node in the reversed-label rule trie."""
+
+    __slots__ = ("children", "rule")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, _Node] = {}
+        self.rule: Optional[PslRule] = None
+
+
+def _parse_rule(line: str, is_private: bool) -> PslRule:
+    line = line.strip().lower()
+    is_exception = line.startswith("!")
+    if is_exception:
+        line = line[1:]
+    labels = tuple(reversed(line.split(".")))
+    if not labels or any(not label for label in labels):
+        raise ValueError(f"malformed PSL rule: {line!r}")
+    return PslRule(labels=labels, is_exception=is_exception, is_private=is_private)
+
+
+class PublicSuffixList:
+    """A compiled Public Suffix List.
+
+    Args:
+        icann_rules: rules from the ICANN section.
+        private_rules: rules from the PRIVATE section (hosting platforms).
+        include_private: whether PRIVATE rules participate in matching.
+          The paper's normalization follows the full list, so this defaults
+          to True.
+    """
+
+    def __init__(
+        self,
+        icann_rules: Iterable[str] = ICANN_RULES,
+        private_rules: Iterable[str] = PRIVATE_RULES,
+        include_private: bool = True,
+    ) -> None:
+        self._root = _Node()
+        self._rule_count = 0
+        for line in icann_rules:
+            self._insert(_parse_rule(line, is_private=False))
+        if include_private:
+            for line in private_rules:
+                self._insert(_parse_rule(line, is_private=True))
+
+    def _insert(self, rule: PslRule) -> None:
+        node = self._root
+        for label in rule.labels:
+            node = node.children.setdefault(label, _Node())
+        node.rule = rule
+        self._rule_count += 1
+
+    def __len__(self) -> int:
+        return self._rule_count
+
+    def _matching_rules(self, labels: Sequence[str]) -> List[PslRule]:
+        """All rules matching ``labels`` (reversed, TLD-first order)."""
+        matches: List[PslRule] = []
+        frontier = [self._root]
+        for label in labels:
+            next_frontier: List[_Node] = []
+            for node in frontier:
+                exact = node.children.get(label)
+                if exact is not None:
+                    next_frontier.append(exact)
+                wild = node.children.get("*")
+                if wild is not None:
+                    next_frontier.append(wild)
+            for node in next_frontier:
+                if node.rule is not None:
+                    matches.append(node.rule)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return matches
+
+    def public_suffix(self, name: str) -> Optional[str]:
+        """The public suffix of ``name``, or ``None`` for empty input.
+
+        >>> default_psl().public_suffix("www.bbc.co.uk")
+        'co.uk'
+        >>> default_psl().public_suffix("www.ck")  # exception rule
+        'ck'
+        >>> default_psl().public_suffix("anything.ck")  # wildcard rule
+        'anything.ck'
+        """
+        labels = split_labels(name)
+        if not labels:
+            return None
+        reversed_labels = list(reversed(labels))
+        matches = self._matching_rules(reversed_labels)
+        exceptions = [rule for rule in matches if rule.is_exception]
+        if exceptions:
+            # An exception rule's public suffix drops its leftmost label.
+            rule = max(exceptions, key=lambda r: r.match_length)
+            suffix_len = rule.match_length - 1
+        elif matches:
+            rule = max(matches, key=lambda r: r.match_length)
+            suffix_len = rule.match_length
+        else:
+            suffix_len = 1  # The prevailing "*" rule.
+        suffix_len = min(suffix_len, len(labels))
+        return ".".join(labels[len(labels) - suffix_len:])
+
+    def registrable_domain(self, name: str) -> Optional[str]:
+        """The registrable ("PSL+1") domain of ``name``.
+
+        Returns ``None`` when ``name`` *is* a public suffix (e.g. ``com`` or
+        ``co.uk``) — such names have no registrable domain, which matters for
+        Umbrella entries like ``com`` that rank bare TLDs.
+
+        >>> default_psl().registrable_domain("www.bbc.co.uk")
+        'bbc.co.uk'
+        >>> default_psl().registrable_domain("co.uk") is None
+        True
+        """
+        labels = split_labels(name)
+        if not labels:
+            return None
+        suffix = self.public_suffix(name)
+        assert suffix is not None
+        suffix_len = len(suffix.split("."))
+        if len(labels) <= suffix_len:
+            return None
+        return ".".join(labels[len(labels) - suffix_len - 1:])
+
+    def is_public_suffix(self, name: str) -> bool:
+        """True when ``name`` itself is a public suffix."""
+        labels = split_labels(name)
+        if not labels:
+            return False
+        return self.public_suffix(name) == ".".join(labels)
+
+    def deviates_from_registrable(self, name: str) -> bool:
+        """True when a raw list entry is not already a registrable domain.
+
+        This is the Table 2 statistic: an Umbrella FQDN like
+        ``www.example.com`` deviates; ``example.com`` does not.  Entries that
+        have no registrable domain at all (bare public suffixes) count as
+        deviating.
+        """
+        labels = split_labels(name)
+        if not labels:
+            return True
+        registrable = self.registrable_domain(name)
+        return registrable != ".".join(labels)
+
+
+_DEFAULT: Optional[PublicSuffixList] = None
+
+
+def default_psl() -> PublicSuffixList:
+    """The process-wide shared PSL compiled from the embedded snapshot."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PublicSuffixList()
+    return _DEFAULT

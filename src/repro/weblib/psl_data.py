@@ -1,0 +1,92 @@
+"""An embedded snapshot of Public Suffix List rules.
+
+This is a representative subset of the Mozilla PSL (https://publicsuffix.org)
+sufficient for every name that the synthetic world generator emits, plus the
+classic tricky cases (wildcard rules, exception rules, multi-level ccTLD
+registries, and a few private-section entries).  The snapshot is deliberately
+data-only: the matching algorithm lives in :mod:`repro.weblib.psl`.
+
+The format mirrors the upstream file: one rule per line, ``*`` wildcards,
+``!`` exceptions, and two sections (ICANN and PRIVATE) which we separate so
+callers can opt out of private-domain rules like ``github.io``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["ICANN_RULES", "PRIVATE_RULES"]
+
+ICANN_RULES: Tuple[str, ...] = (
+    # Generic TLDs.
+    "com", "net", "org", "info", "biz", "io", "co", "me", "tv", "cc",
+    "app", "dev", "xyz", "site", "online", "shop", "store", "blog",
+    "news", "edu", "gov", "mil", "int", "aero", "museum", "travel",
+    "jobs", "mobi", "name", "pro", "tel", "cat", "asia", "post",
+    "top", "club", "live", "life", "world", "today", "space", "fun",
+    "icu", "vip", "work", "cloud", "art", "wiki", "link", "click",
+    "design", "agency", "digital", "network", "systems", "solutions",
+    "services", "media", "studio", "tech", "ai", "gg", "to", "fm", "ly",
+    # United Kingdom.
+    "uk", "ac.uk", "co.uk", "gov.uk", "ltd.uk", "me.uk", "net.uk",
+    "nhs.uk", "org.uk", "plc.uk", "police.uk", "sch.uk",
+    # Japan.
+    "jp", "ac.jp", "ad.jp", "co.jp", "ed.jp", "go.jp", "gr.jp", "lg.jp",
+    "ne.jp", "or.jp",
+    # China.
+    "cn", "ac.cn", "com.cn", "edu.cn", "gov.cn", "net.cn", "org.cn",
+    "mil.cn",
+    # Brazil.
+    "br", "app.br", "art.br", "blog.br", "com.br", "dev.br", "eco.br",
+    "edu.br", "gov.br", "mil.br", "net.br", "org.br", "tv.br", "wiki.br",
+    # Germany and France register directly at the second level.
+    "de", "fr", "asso.fr", "com.fr", "gouv.fr", "nom.fr", "prd.fr",
+    # India.
+    "in", "ac.in", "co.in", "edu.in", "firm.in", "gen.in", "gov.in",
+    "ind.in", "mil.in", "net.in", "nic.in", "org.in", "res.in",
+    # Indonesia.
+    "id", "ac.id", "biz.id", "co.id", "desa.id", "go.id", "mil.id",
+    "my.id", "net.id", "or.id", "sch.id", "web.id",
+    # Nigeria.
+    "ng", "com.ng", "edu.ng", "gov.ng", "i.ng", "mil.ng", "mobi.ng",
+    "name.ng", "net.ng", "org.ng", "sch.ng",
+    # Egypt.
+    "eg", "com.eg", "edu.eg", "eun.eg", "gov.eg", "mil.eg", "name.eg",
+    "net.eg", "org.eg", "sci.eg",
+    # South Africa.
+    "za", "ac.za", "co.za", "edu.za", "gov.za", "law.za", "mil.za",
+    "net.za", "nom.za", "org.za", "school.za", "web.za",
+    # United States.
+    "us", "dni.us", "fed.us", "isa.us", "kids.us", "nsn.us",
+    # Russia, Korea, and a few other ccTLDs that appear in DNS logs.
+    "ru", "com.ru", "gov.ru", "msk.ru", "net.ru", "org.ru", "spb.ru",
+    "kr", "ac.kr", "co.kr", "go.kr", "ne.kr", "or.kr", "pe.kr", "re.kr",
+    "mx", "com.mx", "edu.mx", "gob.mx", "net.mx", "org.mx",
+    "au", "com.au", "edu.au", "gov.au", "id.au", "net.au", "org.au",
+    "nl", "it", "es", "com.es", "edu.es", "gob.es", "nom.es", "org.es",
+    "pl", "com.pl", "edu.pl", "gov.pl", "net.pl", "org.pl",
+    "ca", "gc.ca", "ch", "se", "no", "fi", "dk", "be", "at", "ir", "tr",
+    "com.tr", "edu.tr", "gov.tr", "net.tr", "org.tr",
+    "ua", "com.ua", "edu.ua", "gov.ua", "net.ua", "org.ua",
+    "vn", "com.vn", "edu.vn", "gov.vn", "net.vn", "org.vn",
+    "ar", "com.ar", "edu.ar", "gob.ar", "net.ar", "org.ar",
+    # The Cook Islands: the PSL's canonical wildcard + exception example.
+    "ck", "*.ck", "!www.ck",
+    # Wildcard registries.
+    "*.kawasaki.jp", "*.kitakyushu.jp", "!city.kawasaki.jp",
+    "!city.kitakyushu.jp",
+    "bd", "*.bd", "er", "*.er", "fk", "*.fk", "mm", "*.mm",
+)
+
+PRIVATE_RULES: Tuple[str, ...] = (
+    # Hosting platforms whose customers are independent sites.
+    "github.io", "githubusercontent.com", "gitlab.io",
+    "blogspot.com", "wordpress.com", "tumblr.com", "medium.com",
+    "herokuapp.com", "netlify.app", "vercel.app", "pages.dev",
+    "web.app", "firebaseapp.com", "appspot.com",
+    "azurewebsites.net", "cloudfront.net", "amazonaws.com",
+    "fastly.net", "workers.dev", "repl.co", "glitch.me",
+    "neocities.org", "surge.sh", "readthedocs.io",
+    "myshopify.com", "squarespace.com", "wixsite.com", "weebly.com",
+    "bandcamp.com", "carrd.co",
+)

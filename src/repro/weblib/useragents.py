@@ -1,0 +1,187 @@
+"""Browser and User-Agent model.
+
+Section 3.1 of the paper defines a filter restricting HTTP requests to the
+five most popular browsers as "a more direct measure of browsing behavior".
+This module defines the browser population that the traffic simulators and
+the Cloudflare metric engine share, including non-browser agents (bots,
+crawlers, API clients) whose presence is exactly why the top-five-browsers
+filter changes results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "Browser",
+    "BROWSERS",
+    "TOP_FIVE_BROWSERS",
+    "UserAgent",
+    "browser_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Browser:
+    """A user-agent family.
+
+    Attributes:
+        name: canonical family name (``chrome``, ``curl``...).
+        is_browser: true for interactive web browsers (as opposed to bots
+          and tools).
+        is_mobile_capable: whether the family ships on mobile platforms.
+        ua_template: a representative User-Agent string template with a
+          ``{version}`` placeholder.
+        global_share: approximate share of *all* HTTP requests attributed to
+          the family, used as a default mixing weight by the traffic
+          simulators (world configs may override per country/platform).
+    """
+
+    name: str
+    is_browser: bool
+    is_mobile_capable: bool
+    ua_template: str
+    global_share: float
+
+
+BROWSERS: Tuple[Browser, ...] = (
+    Browser(
+        name="chrome",
+        is_browser=True,
+        is_mobile_capable=True,
+        ua_template=(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/{version} Safari/537.36"
+        ),
+        global_share=0.52,
+    ),
+    Browser(
+        name="safari",
+        is_browser=True,
+        is_mobile_capable=True,
+        ua_template=(
+            "Mozilla/5.0 (iPhone; CPU iPhone OS 15_3 like Mac OS X) "
+            "AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{version} Safari/605.1.15"
+        ),
+        global_share=0.15,
+    ),
+    Browser(
+        name="edge",
+        is_browser=True,
+        is_mobile_capable=False,
+        ua_template=(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/{version} Safari/537.36 Edg/{version}"
+        ),
+        global_share=0.055,
+    ),
+    Browser(
+        name="firefox",
+        is_browser=True,
+        is_mobile_capable=True,
+        ua_template="Mozilla/5.0 (X11; Linux x86_64; rv:{version}) Gecko/20100101 Firefox/{version}",
+        global_share=0.05,
+    ),
+    Browser(
+        name="samsung-internet",
+        is_browser=True,
+        is_mobile_capable=True,
+        ua_template=(
+            "Mozilla/5.0 (Linux; Android 12; SM-G991B) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) SamsungBrowser/{version} Chrome/96.0 Mobile Safari/537.36"
+        ),
+        global_share=0.035,
+    ),
+    Browser(
+        name="opera",
+        is_browser=True,
+        is_mobile_capable=True,
+        ua_template=(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/{version} Safari/537.36 OPR/{version}"
+        ),
+        global_share=0.025,
+    ),
+    # Non-browser agents: the reason the top-five-browsers filter matters.
+    Browser(
+        name="googlebot",
+        is_browser=False,
+        is_mobile_capable=False,
+        ua_template="Mozilla/5.0 (compatible; Googlebot/{version}; +http://www.google.com/bot.html)",
+        global_share=0.06,
+    ),
+    Browser(
+        name="bingbot",
+        is_browser=False,
+        is_mobile_capable=False,
+        ua_template="Mozilla/5.0 (compatible; bingbot/{version}; +http://www.bing.com/bingbot.htm)",
+        global_share=0.025,
+    ),
+    Browser(
+        name="curl",
+        is_browser=False,
+        is_mobile_capable=False,
+        ua_template="curl/{version}",
+        global_share=0.04,
+    ),
+    Browser(
+        name="python-requests",
+        is_browser=False,
+        is_mobile_capable=False,
+        ua_template="python-requests/{version}",
+        global_share=0.04,
+    ),
+    Browser(
+        name="scrapybot",
+        is_browser=False,
+        is_mobile_capable=False,
+        ua_template="Scrapy/{version} (+https://scrapy.org)",
+        global_share=0.035,
+    ),
+    Browser(
+        name="monitoring-agent",
+        is_browser=False,
+        is_mobile_capable=False,
+        ua_template="StatusCake_Agent/{version}",
+        global_share=0.015,
+    ),
+)
+
+_BY_NAME: Dict[str, Browser] = {b.name: b for b in BROWSERS}
+
+#: The "top 5 most popular browsers" of the paper's filter 1.4, by share.
+TOP_FIVE_BROWSERS: Tuple[str, ...] = tuple(
+    b.name
+    for b in sorted(
+        (b for b in BROWSERS if b.is_browser),
+        key=lambda b: b.global_share,
+        reverse=True,
+    )[:5]
+)
+
+
+def browser_by_name(name: str) -> Browser:
+    """Look up a browser family by canonical name.
+
+    Raises:
+        KeyError: for unknown families.
+    """
+    return _BY_NAME[name]
+
+
+@dataclass(frozen=True)
+class UserAgent:
+    """A concrete user agent: a browser family plus a version string."""
+
+    family: str
+    version: str
+
+    def header_value(self) -> str:
+        """Render the User-Agent request-header value."""
+        return browser_by_name(self.family).ua_template.format(version=self.version)
+
+    @property
+    def is_top_five_browser(self) -> bool:
+        """Whether this agent passes the paper's top-5-browsers filter."""
+        return self.family in TOP_FIVE_BROWSERS

@@ -1,0 +1,28 @@
+"""Ground-truth web generator.
+
+The paper's analyses all consume views of one underlying object: the real
+web, with its true per-site popularity.  Since the real observables
+(Cloudflare logs, Chrome telemetry, commercial top lists) are proprietary,
+this package generates a synthetic-but-mechanistic replacement: a universe of
+websites with true popularity, geography, categories, request-shape
+parameters, naming structure (FQDNs and origins), a backlink graph, a client
+population, and a Cloudflare-adoption overlay.
+
+Every vantage point in the reproduction (the CDN, the DNS resolvers, the
+browser panels, the SEO crawler) observes this same world through its own
+documented mechanism, so differences between top lists *emerge* from
+mechanism differences rather than being injected as answers.
+"""
+
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.countries import COUNTRIES, Country, country_index
+from repro.worldgen.world import World, build_world
+
+__all__ = [
+    "COUNTRIES",
+    "Country",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "country_index",
+]

@@ -1,0 +1,117 @@
+"""The client population: who browses, from where, on what.
+
+Clients are modelled as (country, platform) segments rather than individual
+agents at bench scale; the event-level simulator samples concrete clients
+from these segments when record-level logs are wanted.  Segment structure is
+what drives the paper's Section 6 bias analyses:
+
+* platform split (Windows desktop vs Android mobile) per country;
+* Chrome's share (the CrUX/telemetry panel);
+* Alexa's extension panel density (desktop-only, very uneven by country);
+* enterprise network share (Umbrella's weekday-heavy, category-filtered
+  client base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.countries import COUNTRIES
+
+__all__ = ["ClientPopulation", "build_clients", "PLATFORMS"]
+
+#: Platform axis used throughout the telemetry analysis; the paper pairs
+#: one desktop OS (Windows) with one mobile OS (Android).
+PLATFORMS: Tuple[str, ...] = ("windows", "android")
+
+
+@dataclass
+class ClientPopulation:
+    """Aggregate client segments.
+
+    Attributes:
+        counts: ``[n_countries, n_platforms]`` unique clients per segment.
+        enterprise_frac: per-country fraction of desktop clients on
+          enterprise networks.
+        chrome_share: per-country Chrome browser share.
+        alexa_panel_rate: per-country relative Alexa extension density.
+        umbrella_share: per-country share of Umbrella's client base.
+        secrank_share: per-country share of the Secrank resolver's base.
+    """
+
+    counts: np.ndarray
+    enterprise_frac: np.ndarray
+    chrome_share: np.ndarray
+    alexa_panel_rate: np.ndarray
+    umbrella_share: np.ndarray
+    secrank_share: np.ndarray
+
+    @property
+    def n_countries(self) -> int:
+        """Number of modelled countries (including rest-of-world)."""
+        return self.counts.shape[0]
+
+    @property
+    def total_clients(self) -> float:
+        """Total unique clients across all segments."""
+        return float(self.counts.sum())
+
+    def country_clients(self) -> np.ndarray:
+        """Unique clients per country, summed over platforms."""
+        return self.counts.sum(axis=1)
+
+    def platform_split(self) -> np.ndarray:
+        """``[n_countries]`` mobile share of each country's clients."""
+        totals = self.counts.sum(axis=1)
+        return np.divide(
+            self.counts[:, 1],
+            totals,
+            out=np.zeros_like(totals),
+            where=totals > 0,
+        )
+
+    def chrome_panel_clients(self) -> np.ndarray:
+        """``[n_countries, n_platforms]`` Chrome sync-enabled panel sizes.
+
+        Chrome telemetry covers users who opted into history sync with
+        statistics reporting; we model that as a fixed fraction of each
+        country's Chrome users.
+        """
+        sync_optin = 0.25
+        return self.counts * self.chrome_share[:, None] * sync_optin
+
+    def alexa_panel_clients(self) -> np.ndarray:
+        """Per-country Alexa panel sizes (desktop only; extensions don't
+        meaningfully exist on mobile browsers)."""
+        base_rate = 0.002
+        return self.counts[:, 0] * self.alexa_panel_rate * base_rate
+
+
+def build_clients(config: WorldConfig, rng: np.random.Generator) -> ClientPopulation:
+    """Build the client population for ``config``.
+
+    The random stream only jitters segment sizes slightly; the structural
+    parameters come from the country table.
+    """
+    n_c = len(COUNTRIES)
+    pop_share = np.array([c.web_population_share for c in COUNTRIES])
+    android = np.array([c.android_share for c in COUNTRIES])
+    jitter = rng.lognormal(0.0, 0.03, size=n_c)
+
+    country_totals = config.n_clients * pop_share * jitter
+    counts = np.empty((n_c, len(PLATFORMS)), dtype=np.float64)
+    counts[:, 0] = country_totals * (1.0 - android)
+    counts[:, 1] = country_totals * android
+
+    return ClientPopulation(
+        counts=counts,
+        enterprise_frac=np.array([c.enterprise_share for c in COUNTRIES]),
+        chrome_share=np.array([c.chrome_share for c in COUNTRIES]),
+        alexa_panel_rate=np.array([c.alexa_panel_rate for c in COUNTRIES]),
+        umbrella_share=np.array([c.umbrella_client_share for c in COUNTRIES]),
+        secrank_share=np.array([c.secrank_client_share for c in COUNTRIES]),
+    )

@@ -1,0 +1,180 @@
+"""World configuration.
+
+Every experiment in the reproduction is a pure function of a
+:class:`WorldConfig`.  The defaults are calibrated so that the bench-scale
+world (tens of thousands of registrable domains, 28 simulated days standing
+in for February 2022) reproduces the qualitative shapes of the paper's
+tables and figures in seconds of compute.
+
+Scaling note: the paper studies rank magnitudes 1K/10K/100K/1M over a 1M
+universe.  We keep the magnitude *labels* and scale the bucket sizes by
+``n_sites / paper_universe``; DESIGN.md Section 2 documents this
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["WorldConfig", "PAPER_MAGNITUDE_LABELS", "PAPER_MAGNITUDES", "PAPER_UNIVERSE"]
+
+#: The paper's rank-magnitude bucket labels, smallest first.
+PAPER_MAGNITUDE_LABELS: Tuple[str, ...] = ("1K", "10K", "100K", "1M")
+
+#: The paper's rank-magnitude bucket sizes.
+PAPER_MAGNITUDES: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
+
+#: The size of the paper's site universe (the "Top 1M").
+PAPER_UNIVERSE: int = 1_000_000
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """All knobs of the synthetic web ecosystem.
+
+    Attributes are grouped by subsystem; see DESIGN.md for the mapping from
+    paper mechanism to parameter.
+    """
+
+    # --- global ---------------------------------------------------------
+    seed: int = 20220201
+    n_sites: int = 20_000
+    n_days: int = 28
+    #: Weekday of day 0 (0=Monday).  February 1, 2022 was a Tuesday.
+    start_weekday: int = 1
+
+    # --- traffic volume -------------------------------------------------
+    #: Global intentional pageloads per simulated day, across all clients.
+    daily_pageloads: float = 2.0e8
+    #: Global unique web clients (IP addresses); split across countries by
+    #: ``web_population_share``.
+    n_clients: float = 5.0e7
+    #: Zipf exponent of the true popularity distribution.
+    zipf_exponent: float = 0.95
+    #: Day-over-day lognormal jitter (sigma) on a site's true pageloads.
+    daily_noise_sigma: float = 0.18
+
+    # --- measurement noise ----------------------------------------------
+    #: Lognormal sigma of per-metric measurement noise in the CDN engine.
+    metric_noise_sigma: float = 0.05
+
+    # --- naming structure -----------------------------------------------
+    #: Mean number of distinct service FQDNs per site beyond the apex.
+    mean_extra_fqdns: float = 1.8
+    #: Probability a site serves its main site on ``www.`` vs the apex.
+    www_primary_prob: float = 0.55
+    #: Probability a site additionally answers (with real traffic) on plain
+    #: HTTP, creating a second origin for CrUX.
+    http_origin_prob: float = 0.12
+
+    # --- Cloudflare adoption --------------------------------------------
+    #: Peak adoption probability (mid-popularity sites adopt most).
+    cf_adoption_peak: float = 0.34
+    #: Adoption probability floor for the long tail.
+    cf_adoption_floor: float = 0.16
+    #: Number of top global sites that never use Cloudflare ("none of the
+    #: top ten sites use Cloudflare", Section 4.5).  The paper's ten giants
+    #: are 1% of its smallest bucket; at bench scale the proportion is kept
+    #: by using fewer giants rather than ten.
+    cf_excluded_giants: int = 3
+
+    # --- provider panels --------------------------------------------------
+    #: Alexa's daily panel observation budget (pageview events).  Small:
+    #: Alexa's extension install base is tiny relative to Chrome.
+    alexa_daily_events: float = 8.0e4
+    #: Multiplier applied to Alexa's panel after ``alexa_change_day``
+    #: (the unexplained late-February accuracy improvement in Figure 3).
+    alexa_change_boost: float = 5.0
+    #: Day index (0-based) when Alexa's methodology silently changes; use a
+    #: value >= n_days to disable.
+    alexa_change_day: int = 21
+    #: EMA smoothing factor for Alexa's trailing-3-month averaging.
+    alexa_smoothing: float = 0.35
+    #: Chrome sync-enabled panel daily observation budget (pageload events).
+    chrome_daily_events: float = 4.0e7
+    #: Umbrella resolver client base size (unique client IPs).
+    umbrella_clients: float = 8.0e6
+    #: Mean devices behind one enterprise DNS forwarder in Umbrella's
+    #: base.  1 disables shared-cache compression entirely (the ablation
+    #: knob for the paper's "caching, TTLs, and other DNS complexities"
+    #: explanation of Umbrella's poor rank accuracy).
+    umbrella_org_size: float = 300.0
+    #: Secrank resolver client base size (unique client IPs, China).
+    secrank_daily_events: float = 3.0e6
+    #: Non-website DNS "chaff" names (app/OS/CDN endpoints, device names)
+    #: as a fraction of n_sites.  Real DNS-derived lists are full of these;
+    #: they crowd websites out of Umbrella's million and depress its
+    #: Cloudflare coverage (Table 1's 2-11%).
+    dns_chaff_fraction: float = 0.25
+    #: Majestic backlink-to-popularity log-log correlation (0..1); the
+    #: paper finds little evidence links track popularity, so this is low.
+    majestic_link_fidelity: float = 0.30
+    #: Tranco aggregation window, days (paper: 30; clipped to history).
+    tranco_window: int = 30
+    #: Trexa interleave ratio (Alexa entries per Tranco entry).
+    trexa_alexa_weight: int = 2
+
+    # --- CrUX ------------------------------------------------------------
+    #: Minimum monthly unique panel visitors for an origin to be published.
+    crux_privacy_threshold: float = 12.0
+
+    # --- rank magnitudes --------------------------------------------------
+    #: Bucket sizes as fractions of ``list_length`` (the paper's buckets
+    #: are fractions of its 1M-entry lists), labelled 1K/10K/100K/1M.
+    bucket_fractions: Tuple[float, ...] = (0.005, 0.05, 0.5, 1.0)
+    bucket_labels: Tuple[str, ...] = PAPER_MAGNITUDE_LABELS
+
+    # --- temporal events --------------------------------------------------
+    #: Multiplier on news-category popularity from ``news_event_day``
+    #: onward (the February 2022 black-swan news cycle).
+    news_event_boost: float = 1.8
+    news_event_day: int = 23
+
+    # --- list sizes -------------------------------------------------------
+    #: Length of each provider's published list, as a fraction of n_sites.
+    #: Real lists are 1M entries selected from a web of hundreds of
+    #: millions of domains; lists covering the whole universe would make
+    #: full-list comparisons trivially perfect, so the universe is kept
+    #: several times larger than the lists.
+    list_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 100:
+            raise ValueError("n_sites must be at least 100")
+        if self.n_days < 1:
+            raise ValueError("n_days must be at least 1")
+        if not 0 <= self.start_weekday <= 6:
+            raise ValueError("start_weekday must be in 0..6")
+        if len(self.bucket_fractions) != len(self.bucket_labels):
+            raise ValueError("bucket_fractions and bucket_labels must align")
+        if any(not 0 < f <= 1 for f in self.bucket_fractions):
+            raise ValueError("bucket_fractions must lie in (0, 1]")
+        if list(self.bucket_fractions) != sorted(self.bucket_fractions):
+            raise ValueError("bucket_fractions must be increasing")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+
+    @property
+    def bucket_sizes(self) -> Tuple[int, ...]:
+        """Concrete bucket sizes for this universe, smallest first."""
+        return tuple(max(10, round(self.list_length * f)) for f in self.bucket_fractions)
+
+    @property
+    def list_length(self) -> int:
+        """Number of entries each provider publishes."""
+        return max(10, round(self.n_sites * self.list_fraction))
+
+    def weekday_of(self, day: int) -> int:
+        """Weekday (0=Monday) of simulated day index ``day``."""
+        return (self.start_weekday + day) % 7
+
+    def is_weekend(self, day: int) -> bool:
+        """True when ``day`` falls on Saturday or Sunday."""
+        return self.weekday_of(day) >= 5
+
+    def scaled(self, **overrides: object) -> "WorldConfig":
+        """A copy of this config with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)  # type: ignore[arg-type]

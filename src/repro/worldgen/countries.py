@@ -1,0 +1,103 @@
+"""The country model.
+
+The paper's Section 6 telemetry analysis covers ten countries the Chrome
+team designated as high-fidelity plus China (for Secrank): Brazil, Germany,
+Egypt, the United Kingdom, Indonesia, India, Japan, Nigeria, the United
+States, South Africa, and China.  We model those eleven plus a rest-of-world
+aggregate.
+
+Each country carries the parameters that drive vantage-point bias:
+
+* ``web_population_share`` — share of global web users; drives how much of
+  a globally aggregated list each country "deserves".
+* ``site_share`` — share of the world's *websites* homed in the country.
+  Sites-per-user varies hugely: Japan's old, huge, self-contained web has
+  far more sites than its user share implies (why every global list
+  matches Japan poorly, Figure 7), while the US web is outsized in both
+  directions.
+* ``android_share`` — mobile (Android) fraction of the country's browsing;
+  the complement browses on desktop (Windows, in the paper's pairing).
+* ``chrome_share`` — Chrome's browser share, driving CrUX/telemetry panels.
+* ``alexa_panel_rate`` — relative density of Alexa's browser-extension
+  panel (desktop-only, strongest in the US and, historically, in several
+  sub-Saharan African markets — the paper notes Alexa matches sub-Saharan
+  Africa surprisingly well).
+* ``umbrella_client_share`` — share of Cisco Umbrella's (enterprise-heavy,
+  US-centric) DNS client base in the country.
+* ``secrank_client_share`` — share of the Chinese resolver's client base
+  (essentially all in China).
+* ``enterprise_share`` — fraction of the country's clients sitting behind
+  enterprise networks (weekday-heavy browsing; category blocking applies).
+* ``cf_adoption_mult`` — multiplier on Cloudflare adoption for sites homed
+  in the country (low in China where Cloudflare presence is limited).
+* ``locality_mean`` — mean fraction of a home-country site's traffic that
+  comes from its home country (Japan's unusually self-contained web is the
+  paper's example of a market all lists miss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Country", "COUNTRIES", "country_index", "TELEMETRY_COUNTRIES"]
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country (or rest-of-world aggregate) and its vantage parameters."""
+
+    code: str
+    name: str
+    web_population_share: float
+    site_share: float
+    android_share: float
+    chrome_share: float
+    alexa_panel_rate: float
+    umbrella_client_share: float
+    secrank_client_share: float
+    enterprise_share: float
+    cf_adoption_mult: float
+    locality_mean: float
+
+
+COUNTRIES: Tuple[Country, ...] = (
+    Country("us", "United States", 0.105, 0.24, 0.42, 0.49, 1.00, 0.620, 0.000, 0.34, 1.25, 0.52),
+    Country("cn", "China", 0.210, 0.15, 0.70, 0.35, 0.05, 0.004, 0.970, 0.20, 0.10, 0.93),
+    Country("in", "India", 0.150, 0.06, 0.82, 0.88, 0.25, 0.030, 0.002, 0.12, 1.00, 0.55),
+    Country("br", "Brazil", 0.045, 0.04, 0.70, 0.82, 0.30, 0.025, 0.000, 0.14, 1.05, 0.62),
+    Country("de", "Germany", 0.022, 0.05, 0.45, 0.46, 0.40, 0.060, 0.000, 0.30, 1.10, 0.58),
+    Country("gb", "United Kingdom", 0.018, 0.04, 0.46, 0.50, 0.55, 0.070, 0.000, 0.30, 1.15, 0.48),
+    Country("id", "Indonesia", 0.055, 0.03, 0.88, 0.85, 0.20, 0.012, 0.001, 0.08, 1.00, 0.60),
+    Country("jp", "Japan", 0.028, 0.07, 0.55, 0.50, 0.12, 0.040, 0.000, 0.28, 0.85, 0.88),
+    Country("ng", "Nigeria", 0.030, 0.01, 0.90, 0.76, 0.85, 0.004, 0.000, 0.05, 0.95, 0.45),
+    Country("eg", "Egypt", 0.018, 0.01, 0.78, 0.80, 0.35, 0.005, 0.000, 0.08, 0.95, 0.60),
+    Country("za", "South Africa", 0.010, 0.01, 0.72, 0.72, 0.80, 0.010, 0.000, 0.15, 1.00, 0.50),
+    Country("row", "Rest of World", 0.309, 0.29, 0.62, 0.62, 0.30, 0.120, 0.027, 0.16, 1.00, 0.55),
+)
+
+_SHARE_TOTAL = sum(c.web_population_share for c in COUNTRIES)
+assert abs(_SHARE_TOTAL - 1.0) < 1e-9, f"population shares must sum to 1, got {_SHARE_TOTAL}"
+
+_SITE_TOTAL = sum(c.site_share for c in COUNTRIES)
+assert abs(_SITE_TOTAL - 1.0) < 1e-9, f"site shares must sum to 1, got {_SITE_TOTAL}"
+
+_UMBRELLA_TOTAL = sum(c.umbrella_client_share for c in COUNTRIES)
+assert abs(_UMBRELLA_TOTAL - 1.0) < 1e-9, "umbrella client shares must sum to 1"
+
+_SECRANK_TOTAL = sum(c.secrank_client_share for c in COUNTRIES)
+assert abs(_SECRANK_TOTAL - 1.0) < 1e-9, "secrank client shares must sum to 1"
+
+_BY_CODE: Dict[str, int] = {c.code: i for i, c in enumerate(COUNTRIES)}
+
+#: The 11 countries of the Section 6 telemetry analysis (excludes ROW).
+TELEMETRY_COUNTRIES: Tuple[str, ...] = tuple(c.code for c in COUNTRIES if c.code != "row")
+
+
+def country_index(code: str) -> int:
+    """Stable index of a country by ISO-ish code.
+
+    Raises:
+        KeyError: for unknown codes.
+    """
+    return _BY_CODE[code]

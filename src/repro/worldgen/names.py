@@ -1,0 +1,190 @@
+"""Synthetic domain-name generation.
+
+Generates plausible, unique registrable domain names for the site universe.
+Names are flavour, not substance — every analysis keys on site indices — but
+realistic names matter for two experiments: Table 2's PSL-deviation counts
+(which need country-appropriate multi-level suffixes like ``co.jp``) and the
+Umbrella alphabetical tie-breaking artifact (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.weblib.categories import CATEGORIES
+from repro.worldgen.countries import COUNTRIES
+
+__all__ = ["generate_site_names", "SUBDOMAIN_POOL", "WEB_FACING_SUBDOMAINS"]
+
+_PREFIXES: Sequence[str] = (
+    "alpha", "arc", "astro", "atlas", "aura", "auto", "axis", "beacon", "bento",
+    "blue", "bold", "breeze", "bright", "brook", "byte", "cedar", "chroma",
+    "cipher", "citrus", "clear", "cloud", "cobalt", "comet", "coral", "cosmo",
+    "craft", "crest", "crystal", "cyber", "dash", "data", "dawn", "delta",
+    "drift", "dyna", "echo", "ember", "epic", "ever", "falcon", "fast", "fern",
+    "flare", "flux", "forge", "fox", "fresh", "frost", "gamma", "gem", "glide",
+    "globe", "gold", "granite", "green", "grid", "halo", "harbor", "haven",
+    "helio", "hex", "honey", "horizon", "hydra", "indigo", "infra", "iris",
+    "iron", "ivory", "jade", "jet", "jolt", "juniper", "kappa", "keen", "kite",
+    "lark", "laser", "leaf", "ledger", "lime", "linden", "lively", "loop",
+    "lotus", "lumen", "luna", "lyric", "macro", "magma", "maple", "marble",
+    "mellow", "mercury", "meridian", "meta", "micro", "mint", "mira", "modal",
+    "mono", "moss", "nebula", "neon", "nexus", "nimbus", "north", "nova",
+    "oak", "ocean", "omega", "onyx", "opal", "orbit", "orchid", "origin",
+    "osprey", "oxide", "palm", "panda", "paper", "peak", "pearl", "penta",
+    "pepper", "phase", "pike", "pine", "pixel", "plasma", "pluto", "polar",
+    "prime", "prism", "pulse", "pure", "quanta", "quartz", "quest", "quill",
+    "radial", "rain", "rapid", "raven", "ray", "reef", "ridge", "rift",
+    "river", "robin", "rocket", "rose", "rubic", "rustic", "sable", "saga",
+    "sail", "salt", "sapphire", "scout", "sequoia", "shade", "shift", "sierra",
+    "silver", "sky", "slate", "snow", "solar", "sonic", "spark", "spring",
+    "sprout", "star", "stellar", "stone", "storm", "stream", "summit", "sun",
+    "swift", "sync", "terra", "thistle", "thunder", "tidal", "tiger", "topaz",
+    "torch", "trail", "true", "tulip", "turbo", "twin", "ultra", "umber",
+    "unity", "urban", "vale", "vantage", "vapor", "vector", "velvet", "verde",
+    "vertex", "vista", "vivid", "volt", "vortex", "wave", "west", "whale",
+    "willow", "wind", "wing", "wolf", "zen", "zephyr", "zeta", "zinc",
+)
+
+_SUFFIXES: Sequence[str] = (
+    "base", "bay", "beam", "bit", "board", "book", "box", "bridge", "cast",
+    "center", "chain", "chart", "check", "city", "club", "code", "core",
+    "corner", "craft", "crate", "cube", "daily", "deck", "den", "depot",
+    "desk", "dock", "dome", "door", "dot", "drive", "edge", "express",
+    "factory", "feed", "field", "file", "finder", "flow", "fly", "folio",
+    "force", "ford", "form", "forum", "frame", "front", "gate", "gear",
+    "guide", "hall", "hub", "house", "inn", "kit", "lab", "lane", "layer",
+    "line", "list", "lobby", "lodge", "loft", "log", "mart", "mesh", "mill",
+    "mind", "mode", "nest", "net", "node", "notes", "now", "pad", "page",
+    "pal", "panel", "park", "path", "pier", "pilot", "place", "plan",
+    "planet", "plaza", "point", "pool", "port", "portal", "post", "press",
+    "pro", "quarter", "rack", "radar", "rail", "ranch", "range", "report",
+    "ring", "road", "room", "root", "route", "scape", "scene", "school",
+    "scope", "script", "sense", "share", "shelf", "shop", "sight", "signal",
+    "sort", "source", "space", "span", "sphere", "spot", "springs", "stack",
+    "stage", "stand", "station", "store", "story", "studio", "suite", "table",
+    "tap", "team", "tide", "time", "tools", "tower", "track", "trade",
+    "trail", "tree", "trek", "vault", "venture", "verse", "view", "villa",
+    "ville", "vine", "ware", "watch", "way", "web", "well", "wire", "works",
+    "yard", "zone",
+)
+
+#: Service subdomain labels a site may answer on, beyond its apex.
+SUBDOMAIN_POOL: Sequence[str] = (
+    "www", "m", "api", "cdn", "static", "img", "blog", "shop", "app",
+    "news", "mail", "forum", "store", "docs", "assets", "media", "dev",
+    "help", "auth", "edge",
+)
+
+#: Subdomains that serve user-facing pages (and thus become CrUX origins);
+#: the rest are infrastructure endpoints that only show up in DNS and
+#: subresource request logs.
+WEB_FACING_SUBDOMAINS = frozenset(
+    {"www", "m", "blog", "shop", "app", "news", "forum", "store", "docs", "help"}
+)
+
+# Per-country generic vs country-code TLD pools.  Weights are relative.
+_GENERIC_TLDS = (("com", 10.0), ("net", 2.0), ("org", 2.0), ("io", 1.2),
+                 ("co", 0.8), ("info", 0.5), ("xyz", 0.5), ("app", 0.4),
+                 ("dev", 0.3), ("site", 0.3), ("online", 0.2), ("shop", 0.2))
+
+_COUNTRY_TLDS = {
+    "us": (("com", 12.0), ("net", 2.0), ("org", 2.5), ("io", 1.5), ("us", 0.3)),
+    "cn": (("com.cn", 3.0), ("cn", 3.0), ("com", 4.0), ("net.cn", 0.5), ("org.cn", 0.3)),
+    "in": (("in", 2.0), ("co.in", 1.5), ("com", 6.0), ("org", 1.0)),
+    "br": (("com.br", 5.0), ("br", 1.0), ("com", 3.0), ("org.br", 0.5)),
+    "de": (("de", 6.0), ("com", 3.0), ("org", 0.6), ("net", 0.5)),
+    "gb": (("co.uk", 5.0), ("uk", 1.5), ("com", 3.5), ("org.uk", 0.8)),
+    "id": (("co.id", 2.5), ("id", 1.8), ("com", 4.0), ("or.id", 0.3)),
+    "jp": (("co.jp", 4.0), ("jp", 2.5), ("com", 3.0), ("ne.jp", 0.8), ("or.jp", 0.5)),
+    "ng": (("com.ng", 2.0), ("ng", 1.5), ("com", 5.0), ("org.ng", 0.3)),
+    "eg": (("com.eg", 1.5), ("eg", 1.0), ("com", 5.0), ("net", 0.6)),
+    "za": (("co.za", 4.0), ("za", 0.5), ("com", 3.5), ("org.za", 0.4)),
+    "row": _GENERIC_TLDS,
+}
+
+# Category-specific TLD overrides, applied with the given probability.
+_CATEGORY_TLDS = {
+    "government": {
+        "us": "gov", "gb": "gov.uk", "cn": "gov.cn", "br": "gov.br",
+        "in": "gov.in", "id": "go.id", "jp": "go.jp", "ng": "gov.ng",
+        "eg": "gov.eg", "za": "gov.za", "de": "de", "row": "gov",
+    },
+    "education": {
+        "us": "edu", "gb": "ac.uk", "cn": "edu.cn", "br": "edu.br",
+        "in": "ac.in", "id": "ac.id", "jp": "ac.jp", "ng": "edu.ng",
+        "eg": "edu.eg", "za": "ac.za", "de": "de", "row": "edu",
+    },
+}
+_CATEGORY_TLD_PROB = {"government": 0.85, "education": 0.7}
+
+
+def _tld_chooser(rng: np.random.Generator) -> List[np.ndarray]:
+    """Pre-split TLD pools and weights per country index."""
+    pools = []
+    for country in COUNTRIES:
+        entries = _COUNTRY_TLDS.get(country.code, _GENERIC_TLDS)
+        tlds = np.array([t for t, _ in entries], dtype=object)
+        weights = np.array([w for _, w in entries], dtype=np.float64)
+        weights /= weights.sum()
+        pools.append((tlds, weights))
+    return pools
+
+
+def generate_site_names(
+    rng: np.random.Generator,
+    home_country: np.ndarray,
+    category: np.ndarray,
+) -> List[str]:
+    """Generate one unique registrable domain per site.
+
+    Args:
+        rng: the random stream.
+        home_country: per-site country index into ``COUNTRIES``.
+        category: per-site category index into ``CATEGORIES``.
+
+    Returns:
+        A list of unique lowercase registrable domains, aligned with input.
+    """
+    n = len(home_country)
+    prefixes = np.asarray(_PREFIXES, dtype=object)
+    suffixes = np.asarray(_SUFFIXES, dtype=object)
+    pools = _tld_chooser(rng)
+
+    prefix_idx = rng.integers(0, len(prefixes), size=n)
+    suffix_idx = rng.integers(0, len(suffixes), size=n)
+    hyphen = rng.random(n) < 0.08
+    cat_roll = rng.random(n)
+
+    # Pre-draw a TLD per site from its home-country pool.
+    tld_choice = np.empty(n, dtype=object)
+    for c_idx, (tlds, weights) in enumerate(pools):
+        mask = home_country == c_idx
+        count = int(mask.sum())
+        if count:
+            tld_choice[mask] = rng.choice(tlds, size=count, p=weights)
+
+    cat_names = [CATEGORIES[i].name for i in range(len(CATEGORIES))]
+    country_codes = [c.code for c in COUNTRIES]
+
+    seen = set()
+    names: List[str] = []
+    for i in range(n):
+        label = str(prefixes[prefix_idx[i]]) + ("-" if hyphen[i] else "") + str(suffixes[suffix_idx[i]])
+        tld = str(tld_choice[i])
+        cat_name = cat_names[category[i]]
+        override = _CATEGORY_TLDS.get(cat_name)
+        if override is not None and cat_roll[i] < _CATEGORY_TLD_PROB[cat_name]:
+            code = country_codes[home_country[i]]
+            tld = override.get(code, override["row"])
+        name = f"{label}.{tld}"
+        if name in seen:
+            serial = 2
+            while f"{label}{serial}.{tld}" in seen:
+                serial += 1
+            name = f"{label}{serial}.{tld}"
+        seen.add(name)
+        names.append(name)
+    return names

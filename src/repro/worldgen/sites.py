@@ -1,0 +1,302 @@
+"""The site universe: ground-truth attributes of every website.
+
+Sites are indexed ``0..n_sites-1`` in decreasing order of *true* global
+popularity, so a site's index is its true global rank minus one.  All
+attributes are parallel numpy arrays; nothing downstream ever loops over
+sites in Python at bench scale.
+
+The per-site request-shape parameters (subresource multiplier, root-page
+fraction, TLS sessions per pageload, HTML fraction, ...) are what make the
+paper's seven Cloudflare metrics disagree with one another: two sites with
+identical pageloads can differ by an order of magnitude in raw requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.weblib.categories import CATEGORIES
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.countries import COUNTRIES
+from repro.worldgen.names import generate_site_names
+from repro.worldgen.zipf import zipf_weights
+
+__all__ = ["SiteUniverse", "build_sites"]
+
+# Category multipliers on Cloudflare adoption: government and education run
+# their own infrastructure; adult and gambling sites disproportionately use
+# Cloudflare's DDoS protection.
+_CF_CATEGORY_MULT = {
+    "government": 0.45,
+    "education": 0.55,
+    "adult": 1.20,
+    "gambling": 1.15,
+    "abuse": 1.05,
+    "parked": 0.85,
+}
+
+
+@dataclass
+class SiteUniverse:
+    """Parallel arrays describing every site; index = true global rank - 1.
+
+    Attributes (all length ``n_sites`` unless noted):
+        names: registrable domain of each site.
+        weight: true global popularity weight (sums to 1, decreasing).
+        category: index into :data:`repro.weblib.categories.CATEGORIES`.
+        home_country: index into :data:`repro.worldgen.countries.COUNTRIES`.
+        locality: fraction of the site's traffic from its home country.
+        country_share: ``[n_sites, n_countries]`` traffic-origin shares,
+          rows summing to 1.
+        subres_mult: HTTP requests per pageload (>= 1).
+        root_frac: fraction of pageloads that are root (``GET /``) loads.
+        tls_per_pageload: TLS handshakes per pageload (1..subres_mult).
+        html_frac: fraction of requests with ``text/html`` responses.
+        success_rate: fraction of requests answered 2xx.
+        referer_null_frac: fraction of requests with no Referer header.
+        bot_share: fraction of the site's *requests* issued by non-browsers.
+        browser5_frac: fraction of requests from the top-5 browsers.
+        mobile_share: fraction of pageloads from mobile platforms.
+        completion_rate: completed / initiated pageloads (Chrome telemetry).
+        dwell_seconds: mean time-on-page.
+        private_rate: fraction of visits in private browsing windows.
+        work_affinity: how office-hours-shaped the site's audience is
+          (0 = leisure, 1 = strictly workweek).
+        enterprise_block: fraction of enterprise networks blocking the site.
+        robots_public: whether Chrome telemetry may include the site.
+        backlink_score: latent log-scale link-authority score.
+        backlinks: integer backlink counts (Majestic's raw material).
+        cf_served: whether Cloudflare authoritatively serves the site.
+    """
+
+    names: List[str]
+    weight: np.ndarray
+    category: np.ndarray
+    home_country: np.ndarray
+    locality: np.ndarray
+    country_share: np.ndarray
+    subres_mult: np.ndarray
+    root_frac: np.ndarray
+    tls_per_pageload: np.ndarray
+    html_frac: np.ndarray
+    success_rate: np.ndarray
+    referer_null_frac: np.ndarray
+    bot_share: np.ndarray
+    browser5_frac: np.ndarray
+    mobile_share: np.ndarray
+    completion_rate: np.ndarray
+    dwell_seconds: np.ndarray
+    private_rate: np.ndarray
+    work_affinity: np.ndarray
+    enterprise_block: np.ndarray
+    robots_public: np.ndarray
+    backlink_score: np.ndarray
+    backlinks: np.ndarray
+    cf_served: np.ndarray
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites in the universe."""
+        return len(self.weight)
+
+    def true_rank(self, site: int) -> int:
+        """True global popularity rank (1-based) of a site index."""
+        return site + 1
+
+    def cf_indices(self) -> np.ndarray:
+        """Indices of Cloudflare-served sites, most popular first."""
+        return np.flatnonzero(self.cf_served)
+
+
+def _country_share_matrix(
+    locality: np.ndarray,
+    home_country: np.ndarray,
+    rng: np.random.Generator,
+    taste_sigma: float = 1.0,
+) -> np.ndarray:
+    """Rows: share of each site's traffic originating in each country.
+
+    Beyond the home-country concentration (``locality``), each country has
+    its own idiosyncratic taste for each foreign site (lognormal noise).
+    Without this, every country would rank foreign sites identically and a
+    single-country vantage point like Secrank's would look deceptively
+    global; with it, the Figure 7 country biases have something to bite on.
+    """
+    pop = np.array([c.web_population_share for c in COUNTRIES], dtype=np.float64)
+    n = len(locality)
+    shares = np.empty((n, len(COUNTRIES)), dtype=np.float64)
+    # Non-home traffic is spread over other countries by population,
+    # modulated by per-(site, country) taste.
+    taste = rng.lognormal(0.0, taste_sigma, size=(n, len(COUNTRIES)))
+    rest = pop[None, :] * taste
+    rest[np.arange(n), home_country] = 0.0
+    rest *= ((1.0 - locality) / rest.sum(axis=1))[:, None]
+    shares[:] = rest
+    shares[np.arange(n), home_country] = locality
+    shares /= shares.sum(axis=1, keepdims=True)
+    return shares
+
+
+def _cf_adoption_probability(config: WorldConfig, n: int) -> np.ndarray:
+    """Rank-dependent Cloudflare adoption curve.
+
+    Adoption is low among the global giants (which build their own CDNs),
+    peaks in the upper-middle of the distribution, and settles to a floor in
+    the tail — consistent with the paper's Table 1 coverage profile.
+    """
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    log_rank = np.log10(ranks)
+    peak_at = np.log10(max(2.0, 0.01 * n))
+    width = 1.4
+    bump = np.exp(-0.5 * ((log_rank - peak_at) / width) ** 2)
+    return config.cf_adoption_floor + (config.cf_adoption_peak - config.cf_adoption_floor) * bump
+
+
+def build_sites(config: WorldConfig, rng: np.random.Generator) -> SiteUniverse:
+    """Generate the site universe for ``config``.
+
+    The returned universe is sorted by true global popularity (index 0 is
+    the most popular site in the world).
+    """
+    n = config.n_sites
+    prevalence = np.array([c.prevalence for c in CATEGORIES], dtype=np.float64)
+    tilt = np.array([c.popularity_tilt for c in CATEGORIES], dtype=np.float64)
+
+    category = rng.choice(len(CATEGORIES), size=n, p=prevalence)
+
+    # True popularity: Zipf over a random permutation, tilted by category,
+    # then re-sorted so index order equals true rank order.
+    base = zipf_weights(n, config.zipf_exponent)
+    perm = rng.permutation(n)
+    raw = base[perm] * tilt[category]
+    order = np.argsort(-raw, kind="stable")
+    category = category[order]
+    weight = raw[order]
+    weight = weight / weight.sum()
+
+    # Sites are homed by the country's share of the world's *websites*,
+    # which is very different from its share of users (Japan hosts far
+    # more sites than its user base implies).
+    site_share = np.array([c.site_share for c in COUNTRIES], dtype=np.float64)
+    home_country = rng.choice(len(COUNTRIES), size=n, p=site_share)
+
+    # Locality: home-country traffic concentration.  Globally top-ranked
+    # sites are more international; deep-tail sites are more local.
+    locality_mean = np.array([c.locality_mean for c in COUNTRIES], dtype=np.float64)
+    rank_frac = (np.arange(n) + 1) / n
+    global_damp = 0.45 + 0.55 / (1.0 + np.exp(-(np.log10(rank_frac * n + 1) - 1.5)))
+    locality = locality_mean[home_country] * global_damp + rng.normal(0.0, 0.08, size=n)
+    np.clip(locality, 0.05, 0.97, out=locality)
+    country_share = _country_share_matrix(locality, home_country, rng)
+
+    # Request-shape parameters.
+    subres_mult = np.exp(rng.normal(np.log(20.0), 1.7, size=n))
+    parked = category == _category_idx("parked")
+    subres_mult[parked] = np.exp(rng.normal(np.log(3.0), 0.5, size=int(parked.sum())))
+    np.clip(subres_mult, 1.0, 600.0, out=subres_mult)
+
+    root_frac = 0.01 + 0.96 * rng.beta(0.9, 4.0, size=n)
+    tls_exponent = rng.uniform(0.15, 0.75, size=n)
+    tls_per_pageload = np.power(subres_mult, tls_exponent)
+    np.clip(tls_per_pageload, 1.0, subres_mult, out=tls_per_pageload)
+
+    html_frac = (1.0 + rng.uniform(0.2, 1.5, size=n)) / subres_mult + 0.02 * rng.random(n)
+    np.clip(html_frac, 0.01, 0.95, out=html_frac)
+
+    success_rate = rng.beta(60.0, 3.0, size=n)
+    referer_null_frac = root_frac * rng.uniform(0.5, 1.2, size=n) + 0.05
+    np.clip(referer_null_frac, 0.02, 0.9, out=referer_null_frac)
+
+    bot_share = rng.beta(2.0, 12.0, size=n)
+    abuse_like = parked | (category == _category_idx("abuse"))
+    bot_share[abuse_like] = np.clip(bot_share[abuse_like] + 0.30, 0.0, 0.85)
+    browser5_frac = (1.0 - bot_share) * rng.uniform(0.93, 0.99, size=n)
+
+    mobile_tilt = np.array([c.mobile_tilt for c in CATEGORIES], dtype=np.float64)
+    android = np.array([c.android_share for c in COUNTRIES], dtype=np.float64)
+    mobile_share = mobile_tilt[category] * (country_share @ android)
+    np.clip(mobile_share, 0.03, 0.97, out=mobile_share)
+
+    completion_rate = rng.uniform(0.70, 0.97, size=n)
+    dwell_base = np.array([c.dwell_seconds for c in CATEGORIES], dtype=np.float64)
+    dwell_seconds = dwell_base[category] * np.exp(rng.normal(0.0, 0.4, size=n))
+
+    private_base = np.array([c.private_browsing_rate for c in CATEGORIES], dtype=np.float64)
+    private_rate = np.clip(private_base[category] + rng.normal(0.0, 0.03, size=n), 0.0, 0.95)
+
+    work_base = np.array([c.work_affinity for c in CATEGORIES], dtype=np.float64)
+    work_affinity = np.clip(work_base[category] + rng.normal(0.0, 0.08, size=n), 0.0, 1.0)
+
+    enterprise_base = np.array([c.enterprise_blocked_rate for c in CATEGORIES], dtype=np.float64)
+    enterprise_block = np.clip(enterprise_base[category] + rng.normal(0.0, 0.02, size=n), 0.0, 1.0)
+
+    robots_base = np.array([c.robots_public_rate for c in CATEGORIES], dtype=np.float64)
+    robots_public = rng.random(n) < robots_base[category]
+
+    # Backlinks: correlated with popularity only as far as the configured
+    # link fidelity allows, and strongly tilted by category propensity.
+    log_w = np.log(weight)
+    z = (log_w - log_w.mean()) / log_w.std()
+    fidelity = config.majestic_link_fidelity
+    link_noise = rng.normal(0.0, 1.0, size=n)
+    propensity = np.array([c.backlink_propensity for c in CATEGORIES], dtype=np.float64)
+    backlink_score = (
+        fidelity * z
+        + np.sqrt(max(0.0, 1.0 - fidelity**2)) * link_noise
+        + np.log10(propensity[category])
+    )
+    backlinks = np.rint(np.power(10.0, 2.2 + 1.1 * backlink_score)).astype(np.int64)
+    np.clip(backlinks, 0, None, out=backlinks)
+
+    # Cloudflare adoption.
+    cf_mult = np.array(
+        [_CF_CATEGORY_MULT.get(c.name, 1.0) for c in CATEGORIES], dtype=np.float64
+    )
+    country_mult = np.array([c.cf_adoption_mult for c in COUNTRIES], dtype=np.float64)
+    adoption_p = (
+        _cf_adoption_probability(config, n)
+        * cf_mult[category]
+        * country_mult[home_country]
+    )
+    np.clip(adoption_p, 0.0, 0.9, out=adoption_p)
+    cf_served = rng.random(n) < adoption_p
+    cf_served[: config.cf_excluded_giants] = False
+
+    names = generate_site_names(rng, home_country, category)
+
+    return SiteUniverse(
+        names=names,
+        weight=weight,
+        category=category.astype(np.int16),
+        home_country=home_country.astype(np.int16),
+        locality=locality,
+        country_share=country_share,
+        subres_mult=subres_mult,
+        root_frac=root_frac,
+        tls_per_pageload=tls_per_pageload,
+        html_frac=html_frac,
+        success_rate=success_rate,
+        referer_null_frac=referer_null_frac,
+        bot_share=bot_share,
+        browser5_frac=browser5_frac,
+        mobile_share=mobile_share,
+        completion_rate=completion_rate,
+        dwell_seconds=dwell_seconds,
+        private_rate=private_rate,
+        work_affinity=work_affinity,
+        enterprise_block=enterprise_block,
+        robots_public=robots_public,
+        backlink_score=backlink_score,
+        backlinks=backlinks,
+        cf_served=cf_served,
+    )
+
+
+def _category_idx(name: str) -> int:
+    for i, cat in enumerate(CATEGORIES):
+        if cat.name == name:
+            return i
+    raise KeyError(name)

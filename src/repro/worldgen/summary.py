@@ -1,0 +1,111 @@
+"""World introspection: a human-readable summary of a generated universe.
+
+``repro summary`` prints it; notebooks and debugging sessions can call
+:func:`summarize_world` directly.  The summary answers the questions a
+reader asks before trusting any experiment: how big is the web, who hosts
+it, what categories dominate the head, how much of it does Cloudflare
+serve, and what do the lists look like.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.weblib.categories import CATEGORIES
+from repro.worldgen.countries import COUNTRIES
+from repro.worldgen.nametable import NameKind
+from repro.worldgen.world import World
+
+__all__ = ["summarize_world"]
+
+
+def _adoption_by_band(world: World) -> List[List[object]]:
+    rows = []
+    n = world.n_sites
+    bands = [(0, n // 100), (n // 100, n // 10), (n // 10, n // 2), (n // 2, n)]
+    labels = ["top 1%", "1-10%", "10-50%", "tail"]
+    for label, (lo, hi) in zip(labels, bands):
+        if hi > lo:
+            rate = 100.0 * world.sites.cf_served[lo:hi].mean()
+            rows.append([label, f"{lo + 1}-{hi}", rate])
+    return rows
+
+
+def summarize_world(world: World, head: int = 5) -> str:
+    """Render the world summary as printable text."""
+    sites = world.sites
+    names = world.names
+    config = world.config
+
+    sections: List[str] = []
+    sections.append(
+        f"universe: {world.n_sites} sites, {config.n_days} days, "
+        f"seed {config.seed}; lists of {config.list_length} entries; "
+        f"magnitudes {dict(zip(config.bucket_labels, config.bucket_sizes))}"
+    )
+    top_names = ", ".join(sites.names[:head])
+    sections.append(f"true top {head}: {top_names}")
+
+    # Category mix: overall vs top 1%.
+    head_n = max(50, world.n_sites // 100)
+    rows = []
+    for idx, category in enumerate(CATEGORIES):
+        overall = 100.0 * float((sites.category == idx).mean())
+        at_top = 100.0 * float((sites.category[:head_n] == idx).mean())
+        if overall >= 1.0 or at_top >= 1.0:
+            rows.append([category.name, overall, at_top])
+    rows.sort(key=lambda r: -r[2])
+    sections.append(format_table(
+        ["category", "% of universe", f"% of top {head_n}"], rows[:10],
+        title="category mix (10 largest at the head)",
+    ))
+
+    # Country mix.
+    rows = []
+    for idx, country in enumerate(COUNTRIES):
+        hosted = 100.0 * float((sites.home_country == idx).mean())
+        rows.append([country.code, hosted, 100.0 * country.web_population_share])
+    sections.append(format_table(
+        ["country", "% of sites", "% of users"], rows,
+        title="geography (sites hosted vs users)",
+    ))
+
+    # Cloudflare adoption by popularity band.
+    sections.append(format_table(
+        ["band", "ranks", "% on cloudflare"], _adoption_by_band(world),
+        title=f"cloudflare adoption (overall {100 * sites.cf_served.mean():.1f}%)",
+    ))
+
+    # Name-table inventory.
+    kinds = {
+        "registrable domains": int((names.kind == NameKind.DOMAIN).sum()),
+        "FQDNs": int((names.kind == NameKind.FQDN).sum()),
+        "origins": int((names.kind == NameKind.ORIGIN).sum()),
+        "infra/chaff DNS names": int((names.dns_weight > 0).sum()),
+    }
+    sections.append(format_table(
+        ["name kind", "count"], [[k, v] for k, v in kinds.items()],
+        title="name table",
+    ))
+
+    # Request-shape spread (why the CF metrics disagree).
+    shape = [
+        ["requests per pageload", float(np.median(sites.subres_mult)),
+         float(np.percentile(sites.subres_mult, 95))],
+        ["root-load fraction", float(np.median(sites.root_frac)),
+         float(np.percentile(sites.root_frac, 95))],
+        ["TLS per pageload", float(np.median(sites.tls_per_pageload)),
+         float(np.percentile(sites.tls_per_pageload, 95))],
+        ["bot share of requests", float(np.median(sites.bot_share)),
+         float(np.percentile(sites.bot_share, 95))],
+        ["mobile share", float(np.median(sites.mobile_share)),
+         float(np.percentile(sites.mobile_share, 95))],
+    ]
+    sections.append(format_table(
+        ["request-shape parameter", "median", "p95"], shape,
+        title="request shape (drives intra-CF metric disagreement)",
+    ))
+    return "\n\n".join(sections)

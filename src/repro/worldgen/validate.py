@@ -1,0 +1,182 @@
+"""World self-validation.
+
+A configurable generative model can silently drift into nonsense; this
+module checks every structural invariant the analyses rely on and reports
+them as a diagnostic list.  ``repro validate`` runs it from the CLI, and
+the test suite runs it over every fixture world, so the invariants are
+enforced both interactively and in CI.
+
+Checks cover the ground truth (weights, shares, request-shape bounds), the
+name table (layout, folding), and cross-subsystem wiring (bookend metric
+ordering, Cloudflare masking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.cdn.metrics import CdnMetricEngine
+from repro.traffic.fastpath import TrafficModel
+from repro.weblib.psl import default_psl
+from repro.worldgen.nametable import NameKind
+from repro.worldgen.world import World
+
+__all__ = ["CheckResult", "validate_world", "WORLD_CHECKS"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validation check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check_weights(world: World) -> CheckResult:
+    weights = world.sites.weight
+    ok = (
+        abs(weights.sum() - 1.0) < 1e-9
+        and (np.diff(weights) <= 1e-15).all()
+        and (weights > 0).all()
+    )
+    return CheckResult(
+        "site weights", ok,
+        "normalized, strictly positive, sorted by rank" if ok else "weight vector malformed",
+    )
+
+
+def _check_country_shares(world: World) -> CheckResult:
+    rows = world.sites.country_share.sum(axis=1)
+    ok = np.allclose(rows, 1.0, atol=1e-9)
+    return CheckResult(
+        "country shares", ok,
+        "per-site origin shares sum to 1" if ok else
+        f"rows off by up to {abs(rows - 1.0).max():.2e}",
+    )
+
+
+def _check_request_shape(world: World) -> CheckResult:
+    sites = world.sites
+    problems = []
+    if not (sites.subres_mult >= 1.0).all():
+        problems.append("subres_mult < 1")
+    if not ((sites.root_frac > 0) & (sites.root_frac < 1)).all():
+        problems.append("root_frac out of (0,1)")
+    if not (sites.tls_per_pageload <= sites.subres_mult + 1e-9).all():
+        problems.append("tls above request bound")
+    if not (sites.browser5_frac <= 1 - sites.bot_share + 1e-9).all():
+        problems.append("browser share exceeds human share")
+    ok = not problems
+    return CheckResult(
+        "request shape", ok,
+        "bookend and share bounds hold" if ok else "; ".join(problems),
+    )
+
+
+def _check_giants(world: World) -> CheckResult:
+    giants = world.config.cf_excluded_giants
+    ok = not world.sites.cf_served[:giants].any()
+    return CheckResult(
+        "cloudflare giants", ok,
+        f"top {giants} sites never on Cloudflare" if ok else "a giant is CF-served",
+    )
+
+
+def _check_name_table_layout(world: World) -> CheckResult:
+    names = world.names
+    n = world.n_sites
+    ok = (
+        (names.kind[:n] == NameKind.DOMAIN).all()
+        and (names.site[:n] == np.arange(n)).all()
+        and names.strings[:n] == world.sites.names
+    )
+    return CheckResult(
+        "name-table layout", ok,
+        "domain rows lead in site order" if ok else "layout invariant broken",
+    )
+
+
+def _check_fqdn_folding(world: World) -> CheckResult:
+    names = world.names
+    psl = default_psl()
+    rows = names.rows_of_kind(NameKind.FQDN)
+    sample = rows[:: max(1, len(rows) // 200)]
+    for row in sample:
+        site = int(names.site[row])
+        if site < 0:
+            continue
+        registrable = psl.registrable_domain(names.strings[row])
+        if registrable != world.sites.names[site]:
+            return CheckResult(
+                "fqdn folding", False,
+                f"{names.strings[row]} folds to {registrable}, "
+                f"owner is {world.sites.names[site]}",
+            )
+    return CheckResult("fqdn folding", True, "sampled FQDNs fold to their owner domain")
+
+
+def _check_fqdn_shares(world: World) -> CheckResult:
+    names = world.names
+    rows = names.rows_of_kind(NameKind.FQDN)
+    sites = names.site[rows]
+    shares = names.share[rows]
+    totals = np.zeros(world.n_sites)
+    np.add.at(totals, sites[sites >= 0], shares[sites >= 0])
+    ok = np.allclose(totals, 1.0, atol=1e-6)
+    return CheckResult(
+        "fqdn shares", ok,
+        "per-site FQDN shares sum to 1" if ok else
+        f"worst deviation {abs(totals - 1.0).max():.2e}",
+    )
+
+
+def _check_metric_bookends(world: World) -> CheckResult:
+    traffic = TrafficModel(world)
+    engine = CdnMetricEngine(world, traffic, apply_sampling_noise=False)
+    expected = engine.expected_day_counts(0)
+    pageloads = traffic.day(0).pageloads
+    ok = (
+        (expected["root:requests"] <= expected["all:requests"] + 1e-6).all()
+        and (expected["all:requests"] >= pageloads - 1e-6).all()
+    )
+    return CheckResult(
+        "metric bookends", ok,
+        "root loads <= pageloads <= all requests" if ok else "bookend violated",
+    )
+
+
+def _check_cf_masking(world: World) -> CheckResult:
+    engine = CdnMetricEngine(world, TrafficModel(world))
+    counts = engine.day_counts(0, combos=("all:requests",))["all:requests"]
+    ok = (counts[~world.sites.cf_served] == 0).all()
+    return CheckResult(
+        "cloudflare masking", ok,
+        "non-customers invisible to the CDN" if ok else "leakage outside CF",
+    )
+
+
+#: The ordered battery of world checks.
+WORLD_CHECKS: List[Callable[[World], CheckResult]] = [
+    _check_weights,
+    _check_country_shares,
+    _check_request_shape,
+    _check_giants,
+    _check_name_table_layout,
+    _check_fqdn_folding,
+    _check_fqdn_shares,
+    _check_metric_bookends,
+    _check_cf_masking,
+]
+
+
+def validate_world(world: World) -> List[CheckResult]:
+    """Run every structural check against a world.
+
+    Returns all results (callers decide whether a failure is fatal); the
+    CLI prints them and exits nonzero on any failure.
+    """
+    return [check(world) for check in WORLD_CHECKS]

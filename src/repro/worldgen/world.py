@@ -1,0 +1,109 @@
+"""World assembly.
+
+A :class:`World` bundles the site universe, client population, and name
+table, plus deterministic per-subsystem random streams.  Every vantage point
+(CDN, DNS, browser panels, SEO crawler) receives its own child stream, so
+adding a new consumer never perturbs the randomness of existing ones — a
+property the regression tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.worldgen.clients import ClientPopulation, build_clients
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.nametable import NameTable, build_name_table
+from repro.worldgen.sites import SiteUniverse, build_sites
+
+__all__ = ["World", "build_world"]
+
+# Fixed stream ids: append only, never reorder.
+_STREAMS = (
+    "sites",
+    "clients",
+    "names",
+    "traffic",
+    "cdn",
+    "alexa",
+    "umbrella",
+    "majestic",
+    "secrank",
+    "chrome",
+    "linkgraph",
+    "eventsim",
+    "dns",
+)
+
+
+@dataclass
+class World:
+    """The complete synthetic web ecosystem.
+
+    Attributes:
+        config: the generating configuration.
+        sites: the site universe (index = true global rank - 1).
+        clients: the client population segments.
+        names: the name table (domains, FQDNs, origins, infra names).
+    """
+
+    config: WorldConfig
+    sites: SiteUniverse
+    clients: ClientPopulation
+    names: NameTable
+    _seeds: Dict[str, np.random.SeedSequence] = field(default_factory=dict, repr=False)
+
+    def rng(self, stream: str) -> np.random.Generator:
+        """A fresh generator for a named subsystem stream.
+
+        Each call returns a generator rewound to the stream's start, so a
+        subsystem re-run over the same world reproduces itself exactly.
+
+        Raises:
+            KeyError: for stream names not in the fixed registry.
+        """
+        return np.random.default_rng(self._seeds[stream])
+
+    def day_rng(self, stream: str, day: int) -> np.random.Generator:
+        """A generator for (subsystem, day), independent across days."""
+        seed = self._seeds[stream]
+        return np.random.default_rng(np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=seed.spawn_key + (day + 1,)
+        ))
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites in the universe."""
+        return self.sites.n_sites
+
+    @property
+    def n_days(self) -> int:
+        """Number of simulated days."""
+        return self.config.n_days
+
+    def site_index_of_domain(self, domain: str) -> int:
+        """Site index owning a registrable domain.
+
+        Raises:
+            KeyError: if no site owns the domain.
+        """
+        row = self.names.lookup(domain)
+        if row is None or int(self.names.site[row]) < 0:
+            raise KeyError(domain)
+        return int(self.names.site[row])
+
+
+def build_world(config: WorldConfig) -> World:
+    """Deterministically build a world from a configuration."""
+    root = np.random.SeedSequence(config.seed)
+    children = root.spawn(len(_STREAMS))
+    seeds = dict(zip(_STREAMS, children))
+
+    sites = build_sites(config, np.random.default_rng(seeds["sites"]))
+    clients = build_clients(config, np.random.default_rng(seeds["clients"]))
+    names = build_name_table(config, sites, np.random.default_rng(seeds["names"]))
+
+    return World(config=config, sites=sites, clients=clients, names=names, _seeds=seeds)

@@ -1,0 +1,86 @@
+"""Popularity distributions and count-sampling helpers.
+
+Website popularity is famously heavy-tailed; we model the true popularity of
+the site universe as a Zipf-Mandelbrot distribution whose exponent is a
+config knob.  This module also centralizes the noisy-count sampling used by
+every vantage point: expected values are turned into observed integer counts
+with Poisson statistics (switching to a normal approximation for large
+means, where the distinction is invisible but the speed difference is not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_weights", "sample_counts", "lognormal_factors"]
+
+
+def zipf_weights(n: int, exponent: float, shift: float = 2.0) -> np.ndarray:
+    """Normalized Zipf-Mandelbrot weights for ranks ``1..n``.
+
+    Args:
+        n: number of items.
+        exponent: the power-law exponent ``s`` in ``1 / (rank + shift)^s``.
+        shift: the Mandelbrot flattening parameter; keeps the head finite.
+
+    Returns:
+        A float64 array of length ``n`` summing to 1, decreasing in rank.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks + shift, exponent)
+    weights /= weights.sum()
+    return weights
+
+
+#: Above this expected count, Poisson sampling switches to its normal
+#: approximation (relative error < 1% while being ~10x faster in bulk).
+_NORMAL_APPROX_THRESHOLD = 1e4
+
+
+def sample_counts(rng: np.random.Generator, expected: np.ndarray) -> np.ndarray:
+    """Sample observed integer counts around elementwise expectations.
+
+    Uses exact Poisson sampling for small means and a normal approximation
+    for large means.  Negative expectations are treated as zero.
+
+    Args:
+        rng: the random stream to draw from.
+        expected: elementwise expected counts (any shape).
+
+    Returns:
+        A float64 array of the same shape with non-negative integer values.
+    """
+    expected = np.asarray(expected, dtype=np.float64)
+    expected = np.where(expected > 0, expected, 0.0)
+    out = np.empty_like(expected)
+    small = expected < _NORMAL_APPROX_THRESHOLD
+    if small.any():
+        out[small] = rng.poisson(expected[small])
+    large = ~small
+    if large.any():
+        mean = expected[large]
+        out[large] = np.rint(rng.normal(mean, np.sqrt(mean)))
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def lognormal_factors(rng: np.random.Generator, sigma: float, size: int) -> np.ndarray:
+    """Unit-median multiplicative noise factors.
+
+    Args:
+        rng: the random stream to draw from.
+        sigma: the sigma of ``log`` of the factor; 0 returns all-ones.
+        size: number of factors.
+
+    Returns:
+        Strictly positive float64 factors with median 1.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0:
+        return np.ones(size, dtype=np.float64)
+    return rng.lognormal(mean=0.0, sigma=sigma, size=size)

@@ -1,0 +1,61 @@
+"""Tests for the Cloudflare adoption surface and virtual network."""
+
+import numpy as np
+
+from repro.cdn.adoption import (
+    build_virtual_network,
+    cloudflare_site_indices,
+    coverage_of_sites,
+)
+from repro.netsim.probe import CloudflareProbe
+
+
+class TestAdoptionSurface:
+    def test_indices_match_flags(self, tiny_world):
+        indices = cloudflare_site_indices(tiny_world)
+        assert tiny_world.sites.cf_served[indices].all()
+        assert len(indices) == tiny_world.sites.cf_served.sum()
+
+    def test_coverage_math(self, tiny_world):
+        cf = cloudflare_site_indices(tiny_world)
+        assert coverage_of_sites(tiny_world, cf) == 1.0
+        assert coverage_of_sites(tiny_world, np.array([], dtype=int)) == 0.0
+        # Unresolvable names (site -1) count as unserved.
+        mixed = np.array([int(cf[0]), -1])
+        assert coverage_of_sites(tiny_world, mixed) == 0.5
+
+
+class TestVirtualNetwork:
+    def test_probe_agrees_with_ground_truth(self, tiny_world):
+        """The HEAD-probe methodology reproduces the cf_served flags."""
+        network = build_virtual_network(tiny_world)
+        probe = CloudflareProbe(network)
+        for site in range(0, tiny_world.n_sites, 7):
+            result = probe.probe(tiny_world.sites.names[site])
+            assert result.reachable
+            assert result.cloudflare == bool(tiny_world.sites.cf_served[site])
+
+    def test_fqdns_answer_consistently(self, tiny_world):
+        network = build_virtual_network(tiny_world)
+        probe = CloudflareProbe(network)
+        names = tiny_world.names
+        from repro.worldgen.nametable import NameKind
+
+        rows = names.rows_of_kind(NameKind.FQDN)[:100]
+        for row in rows:
+            site = int(names.site[row])
+            if site < 0:
+                continue
+            result = probe.probe(names.strings[row])
+            assert result.cloudflare == bool(tiny_world.sites.cf_served[site])
+
+    def test_subset_network(self, tiny_world):
+        network = build_virtual_network(tiny_world, site_indices=[0, 1, 2])
+        probe = CloudflareProbe(network)
+        assert probe.probe(tiny_world.sites.names[0]).reachable
+        assert not probe.probe(tiny_world.sites.names[50]).reachable
+
+    def test_infra_names_not_registered(self, tiny_world):
+        network = build_virtual_network(tiny_world)
+        assert "com" not in network
+        assert "pool.ntp.org" not in network

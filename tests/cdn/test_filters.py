@@ -1,0 +1,47 @@
+"""Tests for filter/aggregation definitions."""
+
+import pytest
+
+from repro.cdn.filters import (
+    AGGREGATIONS,
+    ALL_COMBINATIONS,
+    FILTERS,
+    FINAL_SEVEN,
+    combo_key,
+    describe_combo,
+    split_combo,
+)
+
+
+class TestDefinitions:
+    def test_paper_counts(self):
+        # Section 3.1: seven filters, three aggregations, 21 combinations.
+        assert len(FILTERS) == 7
+        assert len(AGGREGATIONS) == 3
+        assert len(ALL_COMBINATIONS) == 21
+        assert len(FINAL_SEVEN) == 7
+
+    def test_final_seven_are_valid_combos(self):
+        assert set(FINAL_SEVEN) <= set(ALL_COMBINATIONS)
+
+    def test_final_seven_matches_section_3_3(self):
+        # 4 request-based + 3 unique-IP-based metrics.
+        requests = [c for c in FINAL_SEVEN if c.endswith(":requests")]
+        ips = [c for c in FINAL_SEVEN if c.endswith(":ips")]
+        assert len(requests) == 4
+        assert len(ips) == 3
+
+    def test_combo_key_roundtrip(self):
+        for key in ALL_COMBINATIONS:
+            filter_key, agg_key = split_combo(key)
+            assert combo_key(filter_key, agg_key) == key
+
+    @pytest.mark.parametrize("bad", ["nosuch:requests", "all:nosuch", "allrequests"])
+    def test_invalid_keys_raise(self, bad):
+        with pytest.raises(KeyError):
+            split_combo(bad)
+
+    def test_descriptions(self):
+        assert describe_combo("all:requests") == "All HTTP Requests"
+        assert describe_combo("tls:requests") == "TLS Handshakes"
+        assert "Unique" in describe_combo("html:ips")

@@ -1,0 +1,97 @@
+"""Tests for the record-level log store."""
+
+import pytest
+
+from repro.cdn.logstore import LogRecord, LogStore
+
+
+def _record(**overrides) -> LogRecord:
+    base = dict(
+        day=0,
+        site=1,
+        host="example.com",
+        path="/",
+        status=200,
+        content_type="text/html",
+        has_referer=False,
+        browser_family="chrome",
+        is_top5_browser=True,
+        client_ip="10.0.0.1",
+        user_agent="UA",
+        new_tls_session=True,
+    )
+    base.update(overrides)
+    return LogRecord(**base)
+
+
+class TestAggregation:
+    def test_requests_count(self):
+        store = LogStore()
+        store.extend([_record(), _record(path="/a"), _record(site=2)])
+        counts = store.day_counts(0, combos=("all:requests",))["all:requests"]
+        assert counts == {1: 2.0, 2: 1.0}
+
+    def test_unique_ips(self):
+        store = LogStore()
+        store.extend([
+            _record(client_ip="10.0.0.1"),
+            _record(client_ip="10.0.0.1"),
+            _record(client_ip="10.0.0.2"),
+        ])
+        counts = store.day_counts(0, combos=("all:ips",))["all:ips"]
+        assert counts == {1: 2.0}
+
+    def test_ip_ua_tuples(self):
+        store = LogStore()
+        store.extend([
+            _record(client_ip="10.0.0.1", user_agent="A"),
+            _record(client_ip="10.0.0.1", user_agent="B"),
+            _record(client_ip="10.0.0.1", user_agent="B"),
+        ])
+        counts = store.day_counts(0, combos=("all:ip_ua",))["all:ip_ua"]
+        assert counts == {1: 2.0}
+
+    @pytest.mark.parametrize(
+        "combo,matching,nonmatching",
+        [
+            ("html:requests", dict(content_type="text/html"), dict(content_type="image/png")),
+            ("200:requests", dict(status=200), dict(status=404)),
+            ("referer:requests", dict(has_referer=True), dict(has_referer=False)),
+            ("browsers:requests", dict(is_top5_browser=True), dict(is_top5_browser=False)),
+            ("tls:requests", dict(new_tls_session=True), dict(new_tls_session=False)),
+            ("root:requests", dict(path="/"), dict(path="/deep")),
+        ],
+    )
+    def test_filters(self, combo, matching, nonmatching):
+        store = LogStore()
+        store.add(_record(**matching))
+        store.add(_record(**nonmatching))
+        counts = store.day_counts(0, combos=(combo,))[combo]
+        assert counts.get(1, 0.0) == 1.0
+
+    def test_days_are_separate(self):
+        store = LogStore()
+        store.add(_record(day=0))
+        store.add(_record(day=1))
+        assert store.day_counts(0, combos=("all:requests",))["all:requests"] == {1: 1.0}
+        assert store.days() == [0, 1]
+        assert store.record_count() == 2
+        assert store.record_count(day=1) == 1
+
+    def test_dense_arrays(self):
+        store = LogStore()
+        store.extend([_record(site=0), _record(site=3), _record(site=3)])
+        dense = store.day_count_arrays(0, n_sites=5, combos=("all:requests",))
+        assert dense["all:requests"].tolist() == [1.0, 0.0, 0.0, 2.0, 0.0]
+
+    def test_ranking(self):
+        store = LogStore()
+        store.extend([_record(site=2)] * 3 + [_record(site=0)] * 5 + [_record(site=4)])
+        ranking = store.ranking(0, "all:requests", n_sites=5)
+        assert ranking.tolist() == [0, 2, 4]
+
+    def test_all_21_combos_computable(self):
+        store = LogStore()
+        store.add(_record())
+        counts = store.day_counts(0)
+        assert len(counts) == 21

@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic worlds, built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cdn.metrics import CdnMetricEngine
+from repro.core.evaluation import CloudflareEvaluator
+from repro.providers.registry import build_providers
+from repro.telemetry.chrome import ChromeTelemetry
+from repro.traffic.fastpath import TrafficModel
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import World, build_world
+
+#: Small world: big enough for statistical shape assertions.
+SMALL_CONFIG = WorldConfig(n_sites=2500, n_days=8, seed=1234)
+
+#: Tiny world: for record-level (event) tests.
+TINY_CONFIG = WorldConfig(n_sites=300, n_days=4, seed=99)
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """A 2.5k-site world shared by statistical tests."""
+    return build_world(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> World:
+    """A 300-site world for event-level tests."""
+    return build_world(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_traffic(small_world: World) -> TrafficModel:
+    """Traffic model over the small world."""
+    return TrafficModel(small_world)
+
+
+@pytest.fixture(scope="session")
+def tiny_traffic(tiny_world: World) -> TrafficModel:
+    """Traffic model over the tiny world."""
+    return TrafficModel(tiny_world)
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_world: World, small_traffic: TrafficModel) -> CdnMetricEngine:
+    """CDN metric engine over the small world."""
+    return CdnMetricEngine(small_world, small_traffic)
+
+
+@pytest.fixture(scope="session")
+def small_telemetry(small_world: World, small_traffic: TrafficModel) -> ChromeTelemetry:
+    """Chrome telemetry over the small world."""
+    return ChromeTelemetry(small_world, small_traffic)
+
+
+@pytest.fixture(scope="session")
+def small_providers(
+    small_world: World,
+    small_traffic: TrafficModel,
+    small_telemetry: ChromeTelemetry,
+):
+    """All seven providers over the small world."""
+    return build_providers(small_world, small_traffic, small_telemetry)
+
+
+@pytest.fixture(scope="session")
+def small_evaluator(small_world: World, small_engine: CdnMetricEngine) -> CloudflareEvaluator:
+    """Evaluator over the small world."""
+    return CloudflareEvaluator(small_world, small_engine)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(42)

@@ -1,0 +1,120 @@
+"""Tests for the platform/country bias analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.bias import (
+    compare_list_to_chrome,
+    country_bias,
+    intra_chrome_consistency,
+    platform_bias,
+)
+from repro.core.normalize import normalize_list
+from repro.telemetry.chrome import TELEMETRY_METRICS
+from repro.worldgen.countries import TELEMETRY_COUNTRIES, country_index
+
+
+@pytest.fixture(scope="module")
+def normalized_lists(small_world, small_providers):
+    return {
+        name: normalize_list(small_world, small_providers[name].daily_list(0))
+        for name in ("alexa", "umbrella", "secrank", "majestic")
+    }
+
+
+class TestCompare:
+    def test_bounded(self, small_telemetry, normalized_lists):
+        jj, rho = compare_list_to_chrome(
+            small_telemetry, normalized_lists["alexa"], "completed",
+            country_index("us"), 0, 300,
+        )
+        assert 0.0 <= jj <= 1.0
+        assert np.isnan(rho) or -1.0 <= rho <= 1.0
+
+
+class TestPlatformBias:
+    def test_structure(self, small_telemetry, normalized_lists):
+        cells = platform_bias(small_telemetry, normalized_lists, 300)
+        assert set(cells) == set(normalized_lists)
+        for per_platform in cells.values():
+            assert set(per_platform) == {"windows", "android"}
+
+    def test_alexa_desktop_skew(self, small_telemetry, normalized_lists):
+        """Figure 4: Alexa (desktop-only panel) matches Windows better."""
+        cells = platform_bias(small_telemetry, {"alexa": normalized_lists["alexa"]}, 300)
+        assert cells["alexa"]["windows"].jaccard > cells["alexa"]["android"].jaccard
+
+    def test_country_subset(self, small_telemetry, normalized_lists):
+        cells = platform_bias(
+            small_telemetry, normalized_lists, 300, countries=("us", "jp")
+        )
+        assert set(cells) == set(normalized_lists)
+
+
+class TestCountryBias:
+    @pytest.fixture(scope="class")
+    def cells(self, small_telemetry, normalized_lists):
+        return country_bias(small_telemetry, normalized_lists, 300)
+
+    def test_all_countries_present(self, cells):
+        for per_country in cells.values():
+            assert set(per_country) == set(TELEMETRY_COUNTRIES)
+
+    def test_secrank_matches_china_best(self, cells):
+        """Figure 7: Secrank's only strength is China."""
+        secrank = cells["secrank"]
+        china = secrank["cn"].jaccard
+        others = [secrank[c].jaccard for c in TELEMETRY_COUNTRIES if c != "cn"]
+        assert china > max(others)
+
+    def test_umbrella_matches_us_well(self, cells):
+        umbrella = cells["umbrella"]
+        us = umbrella["us"].jaccard
+        median = np.median([umbrella[c].jaccard for c in TELEMETRY_COUNTRIES])
+        assert us > median
+
+    def test_japan_poorly_matched(self, cells):
+        """All lists do badly on Japan's self-contained web."""
+        for name, per_country in cells.items():
+            if name == "secrank":
+                continue  # Secrank is bad everywhere but China.
+            jp = per_country["jp"].jaccard
+            median = np.median([per_country[c].jaccard for c in TELEMETRY_COUNTRIES])
+            assert jp <= median * 1.1, name
+
+
+class TestIntraChrome:
+    def test_pairs_and_bounds(self, small_telemetry):
+        cells = intra_chrome_consistency(small_telemetry, 300)
+        expected_pairs = {
+            (a, b)
+            for i, a in enumerate(TELEMETRY_METRICS)
+            for b in TELEMETRY_METRICS[i + 1:]
+        }
+        assert set(cells) == expected_pairs
+        for cell in cells.values():
+            assert 0.0 <= cell.jaccard <= 1.0
+
+    def test_completed_initiated_most_similar(self, small_telemetry):
+        """Initiated and completed pageloads differ only by completion
+        rate; time-on-site differs by dwell too (Figure 6 shape)."""
+        cells = intra_chrome_consistency(small_telemetry, 300)
+        ci = cells[("completed", "initiated")].jaccard
+        ct = cells[("completed", "time")].jaccard
+        assert ci > ct
+
+    def test_chrome_more_consistent_than_cloudflare(self, small_telemetry, small_engine):
+        """Figure 6 vs Figure 1: Chrome metrics agree more than CF ones."""
+        from repro.core.similarity import pairwise_jaccard
+
+        chrome_cells = intra_chrome_consistency(small_telemetry, 300)
+        chrome_min = min(c.jaccard for c in chrome_cells.values())
+
+        depth = 300
+        cf_lists = {
+            combo: small_engine.top(0, combo, depth)
+            for combo in small_engine.FINAL_SEVEN
+        }
+        jj = pairwise_jaccard(cf_lists)
+        cf_min = min(v for (a, b), v in jj.items() if a != b)
+        assert chrome_min > cf_min

@@ -1,0 +1,120 @@
+"""Tests for rank-magnitude buckets and movement matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import (
+    assign_buckets,
+    bookend_consensus_buckets,
+    movement_matrix,
+)
+from repro.core.normalize import normalize_list
+
+
+class TestAssignBuckets:
+    def test_basic_assignment(self):
+        ranking = [7, 3, 9, 1, 5]
+        assignment = assign_buckets(ranking, n_sites=10, bounds=[2, 4])
+        assert assignment.bucket[7] == 0
+        assert assignment.bucket[3] == 0
+        assert assignment.bucket[9] == 1
+        assert assignment.bucket[1] == 1
+        assert assignment.bucket[5] == assignment.absent_bucket  # beyond last bound
+        assert assignment.bucket[0] == assignment.absent_bucket  # not ranked
+
+    def test_explicit_ranks(self):
+        assignment = assign_buckets(
+            [4, 8], n_sites=10, bounds=[5, 10], ranks=[2, 9]
+        )
+        assert assignment.bucket[4] == 0
+        assert assignment.bucket[8] == 1
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            assign_buckets([1], 5, bounds=[4, 2])
+        with pytest.raises(ValueError):
+            assign_buckets([1], 5, bounds=[2, 2])
+
+    def test_ranks_alignment_validated(self):
+        with pytest.raises(ValueError):
+            assign_buckets([1, 2], 5, bounds=[3], ranks=[1])
+
+    def test_sites_in_bucket(self):
+        assignment = assign_buckets([3, 1, 4], n_sites=5, bounds=[1, 3])
+        assert assignment.sites_in_bucket(0).tolist() == [3]
+        assert sorted(assignment.sites_in_bucket(1).tolist()) == [1, 4]
+
+
+class TestBookendConsensus:
+    def test_consensus_subset_of_cf(self, small_world, small_engine):
+        bounds = small_world.config.bucket_sizes
+        assignment, consensus = bookend_consensus_buckets(small_engine, 0, bounds)
+        assert small_world.sites.cf_served[consensus].all()
+        assert (assignment.bucket[consensus] < assignment.absent_bucket).all()
+
+    def test_consensus_agrees_across_bookends(self, small_world, small_engine):
+        bounds = small_world.config.bucket_sizes
+        upper, consensus = bookend_consensus_buckets(small_engine, 0, bounds)
+        lower = assign_buckets(
+            small_engine.ranking(0, "root:requests"), small_world.n_sites, bounds
+        )
+        assert (upper.bucket[consensus] == lower.bucket[consensus]).all()
+
+    def test_consensus_nonempty(self, small_engine, small_world):
+        _, consensus = bookend_consensus_buckets(
+            small_engine, 0, small_world.config.bucket_sizes
+        )
+        assert len(consensus) > 50
+
+
+class TestMovementMatrix:
+    @pytest.fixture(scope="class")
+    def matrices(self, small_world, small_engine, small_providers):
+        bounds = small_world.config.bucket_sizes
+        assignment, consensus = bookend_consensus_buckets(small_engine, 0, bounds)
+        out = {}
+        for name in ("alexa", "crux"):
+            normalized = normalize_list(small_world, small_providers[name].daily_list(0))
+            out[name] = movement_matrix(
+                assignment, consensus, normalized, small_world.sites.cf_served
+            )
+        return out
+
+    def test_counts_conserve_tracked_sites(self, matrices, small_world, small_engine):
+        bounds = small_world.config.bucket_sizes
+        _, consensus = bookend_consensus_buckets(small_engine, 0, bounds)
+        tracked = int(small_world.sites.cf_served[consensus].sum())
+        for matrix in matrices.values():
+            assert matrix.counts.sum() == tracked
+
+    def test_fraction_bounds(self, matrices):
+        for matrix in matrices.values():
+            for bucket in range(matrix.n_buckets):
+                value = matrix.overranked_fraction(bucket)
+                assert np.isnan(value) or 0.0 <= value <= 1.0
+
+    def test_crux_less_overranked_than_alexa(self, matrices):
+        """The Section 5.3 headline: CrUX misplaces far fewer domains."""
+        # Aggregate over the two middle buckets for statistical stability
+        # at test scale.
+        def total_overranked(matrix):
+            over = agree = 0
+            for bucket in (1, 2):
+                column = matrix.counts[: matrix.n_buckets, bucket]
+                over += column[bucket + 1:].sum()
+                agree += column.sum()
+            return over / max(1, agree)
+
+        assert total_overranked(matrices["crux"]) <= total_overranked(matrices["alexa"])
+
+    def test_agreement_fraction_bounds(self, matrices):
+        for matrix in matrices.values():
+            agreement = matrix.agreement_fraction()
+            assert 0.0 <= agreement <= 1.0
+
+    def test_min_gap_monotone(self, matrices):
+        matrix = matrices["alexa"]
+        one = matrix.overranked_fraction(1, min_gap=1)
+        two = matrix.overranked_fraction(1, min_gap=2)
+        if not (np.isnan(one) or np.isnan(two)):
+            assert two <= one

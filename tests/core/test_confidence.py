@@ -1,0 +1,74 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidence import BootstrapCI, bootstrap_ci, evaluate_with_ci
+
+
+class TestBootstrapCI:
+    def test_interval_contains_mean(self, rng):
+        values = rng.normal(0.3, 0.05, size=30)
+        ci = bootstrap_ci(values)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.n == 30
+
+    def test_width_shrinks_with_samples(self, rng):
+        small = bootstrap_ci(rng.normal(0.3, 0.05, size=8), seed=1)
+        large = bootstrap_ci(rng.normal(0.3, 0.05, size=200), seed=1)
+        assert large.width < small.width
+
+    def test_single_observation_degenerate(self):
+        ci = bootstrap_ci([0.5])
+        assert ci.low == ci.high == ci.mean == 0.5
+
+    def test_nans_dropped(self):
+        ci = bootstrap_ci([0.2, float("nan"), 0.4])
+        assert ci.n == 2
+        assert ci.mean == pytest.approx(0.3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([float("nan")])
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], level=1.5)
+
+    def test_deterministic_given_seed(self, rng):
+        values = rng.normal(0.3, 0.05, size=20)
+        assert bootstrap_ci(values, seed=5) == bootstrap_ci(values, seed=5)
+
+    @given(st.lists(st.floats(0, 1), min_size=2, max_size=40))
+    @settings(max_examples=30)
+    def test_property_interval_within_data_range(self, values):
+        ci = bootstrap_ci(values)
+        assert min(values) - 1e-12 <= ci.low
+        assert ci.high <= max(values) + 1e-12
+
+    def test_coverage_calibration(self, rng):
+        """~95% of intervals should cover the true mean."""
+        hits = 0
+        trials = 120
+        for i in range(trials):
+            values = rng.normal(0.5, 0.1, size=25)
+            ci = bootstrap_ci(values, seed=i)
+            if ci.contains(0.5):
+                hits += 1
+        assert hits / trials > 0.85
+
+
+class TestEvaluateWithCI:
+    def test_over_world(self, small_world, small_evaluator, small_providers):
+        ci = evaluate_with_ci(
+            small_evaluator,
+            small_providers["alexa"],
+            "all:requests",
+            small_world.config.bucket_sizes[3],
+            days=range(5),
+        )
+        assert isinstance(ci, BootstrapCI)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+        assert ci.n == 5

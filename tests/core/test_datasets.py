@@ -1,0 +1,78 @@
+"""Tests for CSV dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import (
+    list_to_rows,
+    read_crux_csv,
+    read_rank_csv,
+    write_crux_csv,
+    write_rank_csv,
+)
+from repro.core.normalize import normalize_strings
+
+
+class TestRankCsv:
+    def test_roundtrip(self, small_world, small_providers, tmp_path):
+        ranked = small_providers["umbrella"].daily_list(0)
+        path = tmp_path / "umbrella.csv"
+        written = write_rank_csv(small_world, ranked, path, limit=500)
+        assert written == 500
+        entries = read_rank_csv(path)
+        assert entries == ranked.strings(small_world, limit=500)
+
+    def test_shuffled_rows_resorted(self, tmp_path):
+        path = tmp_path / "shuffled.csv"
+        path.write_text("3,c.com\n1,a.com\n2,b.com\n")
+        assert read_rank_csv(path) == ["a.com", "b.com", "c.com"]
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text("1,a.com\n\nnot-a-rank,x\n2,b.com\nonly-one-column\n")
+        assert read_rank_csv(path) == ["a.com", "b.com"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_rank_csv(tmp_path / "nope.csv")
+
+    def test_rows_shape(self, small_world, small_providers):
+        rows = list_to_rows(small_world, small_providers["alexa"].daily_list(0), limit=10)
+        assert rows[0][0] == 1
+        assert [r for r, _ in rows] == list(range(1, 11))
+
+    def test_feeds_normalization_pipeline(self, small_world, small_providers, tmp_path):
+        """Exported CSVs re-enter the analysis through normalize_strings."""
+        ranked = small_providers["umbrella"].daily_list(0)
+        path = tmp_path / "roundtrip.csv"
+        write_rank_csv(small_world, ranked, path, limit=300)
+        domains, ranks = normalize_strings(read_rank_csv(path))
+        assert len(domains) > 50
+        assert ranks == sorted(ranks)
+
+
+class TestCruxCsv:
+    def test_roundtrip_magnitudes(self, small_world, small_providers, tmp_path):
+        ranked = small_providers["crux"].monthly_list()
+        path = tmp_path / "crux.csv"
+        written = write_crux_csv(small_world, ranked, path)
+        assert written == len(ranked)
+        pairs = read_crux_csv(path)
+        assert len(pairs) == written
+        magnitudes = [m for _origin, m in pairs]
+        assert magnitudes == sorted(magnitudes)
+        assert pairs[0][0].startswith(("http://", "https://"))
+
+    def test_bucket_sizes_preserved(self, small_world, small_providers, tmp_path):
+        ranked = small_providers["crux"].monthly_list()
+        path = tmp_path / "crux.csv"
+        write_crux_csv(small_world, ranked, path)
+        pairs = read_crux_csv(path)
+        bounds = np.asarray(ranked.bucket_bounds)
+        first_bucket = sum(1 for _o, m in pairs if m == 1000)
+        assert first_bucket == bounds[0]
+
+    def test_rejects_unbucketed(self, small_world, small_providers, tmp_path):
+        ranked = small_providers["alexa"].daily_list(0)
+        with pytest.raises(ValueError):
+            write_crux_csv(small_world, ranked, tmp_path / "x.csv")

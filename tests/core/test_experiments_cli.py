@@ -1,0 +1,127 @@
+"""Tests for the experiment runners and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.pipeline import experiment_context
+from repro.worldgen.config import WorldConfig
+
+_TEST_CONFIG = WorldConfig(n_sites=1200, n_days=8, seed=77)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return experiment_context(_TEST_CONFIG)
+
+
+class TestPipeline:
+    def test_context_cached(self):
+        assert experiment_context(_TEST_CONFIG) is experiment_context(_TEST_CONFIG)
+
+    def test_normalized_cached(self, ctx):
+        assert ctx.normalized("alexa", 0) is ctx.normalized("alexa", 0)
+        assert ctx.normalized("crux", 0) is ctx.normalized("crux", 5)  # monthly
+
+    def test_magnitudes(self, ctx):
+        assert len(ctx.magnitudes) == 4
+        assert ctx.magnitude_labels == ("1K", "10K", "100K", "1M")
+
+
+class TestExperiments:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_every_experiment_runs(self, ctx, name):
+        result = run_experiment(name, ctx)
+        assert result.name == name
+        assert result.text.strip()
+        assert result.data
+
+    def test_unknown_experiment(self, ctx):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", ctx)
+
+    def test_fig1_band(self, ctx):
+        result = run_experiment("fig1", ctx)
+        lo, hi = result.data["jaccard_band"]
+        assert 0.0 <= lo < hi <= 1.0
+
+    def test_table1_structure(self, ctx):
+        result = run_experiment("table1", ctx)
+        coverage = result.data["coverage"]
+        assert set(coverage) == set(ctx.providers)
+        for per_mag in coverage.values():
+            assert set(per_mag) == set(ctx.magnitude_labels)
+
+    def test_table2_umbrella_crux_high(self, ctx):
+        deviation = run_experiment("table2", ctx).data["deviation"]
+        assert deviation["umbrella"]["1M"] > 30
+        assert deviation["crux"]["1M"] > 30
+        assert deviation["tranco"]["1M"] < 5
+
+    def test_fig3_contains_all_providers(self, ctx):
+        series = run_experiment("fig3", ctx).data["series"]
+        assert set(series) == set(ctx.providers)
+
+    def test_fig5_stats(self, ctx):
+        stats = run_experiment("fig5", ctx).data["stats"]
+        assert set(stats) == {"alexa", "crux"}
+
+    def test_survey_numbers(self, ctx):
+        stats = run_experiment("survey", ctx).data["stats"]
+        assert stats.papers == 59
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.experiment == "fig1"
+        assert args.sites > 0
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table3" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_runs_one_experiment(self, capsys):
+        code = main(["survey", "--sites", "1200", "--days", "8", "--seed", "77"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "85%" in out
+
+    def test_export_subcommand(self, capsys, tmp_path):
+        path = tmp_path / "alexa.csv"
+        code = main(["export", "alexa", str(path),
+                     "--sites", "1200", "--days", "8", "--seed", "77",
+                     "--limit", "25"])
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 25
+        assert lines[0].startswith("1,")
+
+    def test_export_crux_format(self, capsys, tmp_path):
+        path = tmp_path / "crux.csv"
+        code = main(["export", "crux", str(path),
+                     "--sites", "1200", "--days", "8", "--seed", "77"])
+        assert code == 0
+        header = path.read_text().splitlines()[0]
+        assert header == "origin,rank"
+
+    def test_export_unknown_provider(self, capsys, tmp_path):
+        code = main(["export", "nosuch", str(tmp_path / "x.csv"),
+                     "--sites", "1200", "--days", "8", "--seed", "77"])
+        assert code == 2
+
+    def test_recommend_subcommand(self, capsys):
+        code = main(["recommend", "--sites", "1200", "--days", "8",
+                     "--seed", "77", "--magnitude", "1M"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommendation:" in out
+
+    def test_recommend_rejects_bad_category(self, capsys):
+        code = main(["recommend", "--sites", "1200", "--days", "8",
+                     "--seed", "77", "--must-cover", "cryptofauna"])
+        assert code == 2

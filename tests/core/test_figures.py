@@ -1,0 +1,113 @@
+"""Tests for the SVG figure renderers and the experiment exporter."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import run_experiment
+from repro.core.figure_export import export_figures
+from repro.core.figures import (
+    render_heatmap_svg,
+    render_movement_svg,
+    render_series_svg,
+    save_svg,
+)
+from repro.core.pipeline import experiment_context
+from repro.worldgen.config import WorldConfig
+
+
+def _assert_valid_svg(svg: str):
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    return root
+
+
+class TestHeatmapSvg:
+    def test_valid_xml(self):
+        svg = render_heatmap_svg(["a", "b"], ["x", "y"], {("a", "x"): 0.5})
+        _assert_valid_svg(svg)
+
+    def test_values_rendered(self):
+        svg = render_heatmap_svg(["a"], ["x"], {("a", "x"): 0.37}, title="T")
+        assert "0.37" in svg
+        assert "T" in svg
+
+    def test_missing_cells_gray(self):
+        svg = render_heatmap_svg(["a"], ["x", "y"], {("a", "x"): 0.5})
+        assert "#eeeeee" in svg
+
+    def test_labels_escaped(self):
+        svg = render_heatmap_svg(["a<b"], ['x"y'], {})
+        _assert_valid_svg(svg)
+        assert "a&lt;b" in svg
+
+    def test_nan_handled(self):
+        svg = render_heatmap_svg(["a"], ["x"], {("a", "x"): float("nan")})
+        _assert_valid_svg(svg)
+
+
+class TestSeriesSvg:
+    def test_valid_with_multiple_series(self):
+        svg = render_series_svg(
+            {"alexa": [0.1, 0.2, 0.15], "crux": [0.3, 0.35, 0.32]},
+            title="Daily",
+            weekend_days=[1],
+        )
+        root = _assert_valid_svg(svg)
+        polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+        assert len(polylines) == 2
+
+    def test_nan_points_skipped(self):
+        svg = render_series_svg({"x": [0.1, float("nan"), 0.3]})
+        root = _assert_valid_svg(svg)
+        polyline = next(e for e in root.iter() if e.tag.endswith("polyline"))
+        assert len(polyline.get("points").split()) == 2
+
+    def test_constant_series(self):
+        svg = render_series_svg({"flat": [0.5, 0.5, 0.5]})
+        _assert_valid_svg(svg)
+
+
+class TestMovementSvg:
+    def test_valid_and_colored(self):
+        counts = np.array([
+            [5, 2, 0, 1],
+            [0, 9, 3, 2],
+            [1, 0, 7, 4],
+        ])
+        svg = render_movement_svg(["1K", "10K", "100K"], counts, "alexa")
+        root = _assert_valid_svg(svg)
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        assert len(paths) == int((counts > 0).sum())
+        assert "#c0392b" in svg  # a >=2-magnitude mismatch exists
+
+    def test_empty_matrix(self):
+        svg = render_movement_svg(["1K"], np.zeros((1, 2)), "x")
+        _assert_valid_svg(svg)
+
+
+class TestSaveAndExport:
+    def test_save_svg_declaration(self, tmp_path):
+        path = save_svg(render_heatmap_svg(["a"], ["x"], {}), tmp_path / "t.svg")
+        assert path.read_text().startswith("<?xml")
+        ET.parse(path)
+
+    @pytest.fixture(scope="class")
+    def export_ctx(self):
+        return experiment_context(WorldConfig(n_sites=1200, n_days=8, seed=77))
+
+    @pytest.mark.parametrize("name,expected_files", [
+        ("fig1", 2), ("fig2", 2), ("fig3", 2), ("fig4", 2),
+        ("fig5", 2), ("fig6", 2), ("fig7", 2),
+    ])
+    def test_export_per_experiment(self, export_ctx, tmp_path, name, expected_files):
+        result = run_experiment(name, export_ctx)
+        paths = export_figures(result, tmp_path)
+        assert len(paths) == expected_files
+        for path in paths:
+            ET.parse(path)
+
+    def test_tables_export_nothing(self, export_ctx, tmp_path):
+        result = run_experiment("table1", export_ctx)
+        assert export_figures(result, tmp_path) == []

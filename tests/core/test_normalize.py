@@ -1,0 +1,142 @@
+"""Tests for PSL-based list normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalize import (
+    deviation_by_magnitude,
+    normalize_list,
+    normalize_strings,
+    psl_deviation_fraction,
+)
+from repro.providers.base import Granularity, RankedList
+
+
+class TestNormalizeStrings:
+    def test_min_rank_grouping(self):
+        entries = ["www.example.com", "other.net", "example.com", "api.example.com"]
+        domains, ranks = normalize_strings(entries)
+        assert domains == ["example.com", "other.net"]
+        assert ranks == [1, 2]
+
+    def test_origins_reduced_to_host(self):
+        entries = ["https://www.example.com", "http://example.com"]
+        domains, ranks = normalize_strings(entries)
+        assert domains == ["example.com"]
+        assert ranks == [1]
+
+    def test_bare_suffixes_dropped(self):
+        domains, _ranks = normalize_strings(["com", "co.uk", "example.com"])
+        assert domains == ["example.com"]
+
+    def test_malformed_dropped(self):
+        domains, _ranks = normalize_strings(["..bad..", "https://bad/path", "ok.com"])
+        assert domains == ["ok.com"]
+
+    def test_multilevel_suffix(self):
+        domains, _ = normalize_strings(["news.bbc.co.uk", "www.bbc.co.uk"])
+        assert domains == ["bbc.co.uk"]
+
+    def test_idn_entries_folded_to_ace(self):
+        domains, _ = normalize_strings(["www.bücher.de", "bücher.de"])
+        assert domains == ["xn--bcher-kva.de"]
+
+    def test_idn_deviation(self):
+        from repro.core.normalize import psl_deviation_fraction
+
+        assert psl_deviation_fraction(["bücher.de"]) == 0.0
+        assert psl_deviation_fraction(["www.bücher.de"]) == 1.0
+
+
+class TestNormalizeList:
+    def test_domain_list_is_identity(self, small_world, small_providers):
+        ranked = small_providers["majestic"].daily_list(0)
+        normalized = normalize_list(small_world, ranked)
+        assert np.array_equal(
+            normalized.sites, small_world.names.site[ranked.name_rows]
+        )
+        assert np.array_equal(normalized.ranks, np.arange(1, len(ranked) + 1))
+
+    def test_fqdn_list_folds(self, small_world, small_providers):
+        ranked = small_providers["umbrella"].daily_list(0)
+        normalized = normalize_list(small_world, ranked)
+        assert len(normalized) < len(ranked)  # FQDNs folded + infra dropped
+        assert (normalized.sites >= 0).all()
+        assert len(np.unique(normalized.sites)) == len(normalized)
+
+    def test_ranks_increasing(self, small_world, small_providers):
+        for name in ("umbrella", "crux", "alexa"):
+            normalized = normalize_list(small_world, small_providers[name].daily_list(0))
+            assert (np.diff(normalized.ranks) > 0).all(), name
+
+    def test_min_rank_wins(self, small_world):
+        # Build a synthetic list: site 5's service FQDN first, then another
+        # FQDN of the same site; the domain should get rank 1.
+        from repro.worldgen.nametable import NameKind
+
+        names = small_world.names
+        rows = names.rows_of_kind(NameKind.FQDN)
+        site5_rows = rows[names.site[rows] == 5][:2]
+        assert len(site5_rows) == 2
+        ranked = RankedList("test", 0, Granularity.FQDN, np.array(site5_rows))
+        normalized = normalize_list(small_world, ranked)
+        assert normalized.sites.tolist() == [5]
+        assert normalized.ranks.tolist() == [1]
+
+    def test_top_sites_by_original_rank(self, small_world, small_providers):
+        normalized = normalize_list(small_world, small_providers["umbrella"].daily_list(0))
+        top = normalized.top_sites(100)
+        assert (normalized.ranks[: len(top)] <= 100).all()
+        assert len(top) <= 100
+
+    def test_bucketed_flag_propagates(self, small_world, small_providers):
+        normalized = normalize_list(small_world, small_providers["crux"].monthly_list())
+        assert normalized.is_bucketed
+
+    def test_unfolded_drops_fqdns_keeps_apexes(self, small_world, small_providers):
+        """fold=False keeps only entries whose string IS the domain."""
+        ranked = small_providers["umbrella"].daily_list(0)
+        folded = normalize_list(small_world, ranked, fold=True)
+        unfolded = normalize_list(small_world, ranked, fold=False)
+        assert 0 < len(unfolded) < len(folded)
+        # Every surviving site's best entry was its apex string.
+        strings = small_world.names.strings
+        kept = set(unfolded.sites.tolist())
+        for site in list(kept)[:50]:
+            assert small_world.sites.names[site] in ranked.strings(small_world)
+
+    def test_unfolded_origins_vanish(self, small_world, small_providers):
+        ranked = small_providers["crux"].monthly_list()
+        unfolded = normalize_list(small_world, ranked, fold=False)
+        assert len(unfolded) == 0
+
+    def test_unfolded_equals_folded_for_domain_lists(self, small_world, small_providers):
+        ranked = small_providers["majestic"].daily_list(0)
+        folded = normalize_list(small_world, ranked, fold=True)
+        unfolded = normalize_list(small_world, ranked, fold=False)
+        assert np.array_equal(folded.sites, unfolded.sites)
+
+
+class TestDeviation:
+    def test_fraction_basic(self):
+        entries = ["example.com", "www.example.com", "com", "b.net"]
+        assert psl_deviation_fraction(entries) == pytest.approx(0.5)
+
+    def test_origin_apex_does_not_deviate(self):
+        assert psl_deviation_fraction(["https://example.com"]) == 0.0
+        assert psl_deviation_fraction(["https://www.example.com"]) == 1.0
+
+    def test_empty(self):
+        assert psl_deviation_fraction([]) == 0.0
+
+    def test_table2_shape(self, small_world, small_providers):
+        """Domain lists ~0%; Umbrella and CrUX majorities deviate."""
+        magnitudes = [200, 500]
+        for name in ("alexa", "majestic", "secrank", "tranco"):
+            ranked = small_providers[name].daily_list(0)
+            deviation = deviation_by_magnitude(small_world, ranked, magnitudes)
+            assert all(v < 0.02 for v in deviation.values()), name
+        for name in ("umbrella", "crux"):
+            ranked = small_providers[name].daily_list(0)
+            deviation = deviation_by_magnitude(small_world, ranked, magnitudes)
+            assert all(v > 0.35 for v in deviation.values()), name

@@ -1,0 +1,62 @@
+"""Tests for the list recommendation API."""
+
+import numpy as np
+import pytest
+
+from repro.core.recommend import ListScore, StudyProfile, recommend_lists
+
+
+@pytest.fixture(scope="module")
+def scores_set_study(small_world, small_evaluator, small_providers):
+    profile = StudyProfile(needs_ranks=False,
+                           magnitude=small_world.config.bucket_sizes[3])
+    return recommend_lists(small_world, small_evaluator, small_providers, profile)
+
+
+class TestProfiles:
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            StudyProfile(must_cover=("cryptofauna",))
+
+    def test_rank_weight_bounds(self):
+        with pytest.raises(ValueError):
+            StudyProfile(rank_weight=1.5)
+
+
+class TestRecommendations:
+    def test_sorted_best_first(self, scores_set_study):
+        values = [s.score for s in scores_set_study]
+        assert values == sorted(values, reverse=True)
+
+    def test_set_study_recommends_crux(self, scores_set_study):
+        """The paper's headline advice must fall out of the scores."""
+        assert scores_set_study[0].provider == "crux"
+
+    def test_rank_study_excludes_crux(self, small_world, small_evaluator, small_providers):
+        profile = StudyProfile(needs_ranks=True,
+                               magnitude=small_world.config.bucket_sizes[3])
+        scores = recommend_lists(small_world, small_evaluator, small_providers, profile)
+        crux = next(s for s in scores if s.provider == "crux")
+        assert not crux.usable
+        assert scores[0].provider != "crux"
+
+    def test_must_cover_penalizes_excluders(self, small_world, small_evaluator, small_providers):
+        profile = StudyProfile(
+            must_cover=("adult",),
+            magnitude=small_world.config.bucket_sizes[3],
+        )
+        scores = {s.provider: s for s in recommend_lists(
+            small_world, small_evaluator, small_providers, profile
+        )}
+        # Umbrella's enterprise blocking makes it an adult-excluder.
+        umbrella = scores["umbrella"]
+        if umbrella.coverage_penalties:
+            assert "adult" in umbrella.coverage_penalties
+            assert umbrella.score < umbrella.set_quality
+
+    def test_score_fields_consistent(self, scores_set_study):
+        for score in scores_set_study:
+            assert isinstance(score, ListScore)
+            assert 0.0 <= score.set_quality <= 1.0
+            if not np.isnan(score.rank_quality):
+                assert -1.0 <= score.rank_quality <= 1.0

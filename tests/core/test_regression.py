@@ -1,0 +1,120 @@
+"""Tests for the logistic-regression machinery and Table 3 analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalize import normalize_list
+from repro.core.regression import (
+    category_inclusion_odds,
+    least_included_rank,
+    logistic_regression,
+)
+
+
+class TestLogisticRegression:
+    def test_matches_closed_form_2x2(self, rng):
+        """Univariate binary logistic regression == 2x2 odds ratio."""
+        x = rng.random(2000) < 0.3
+        p = np.where(x, 0.7, 0.4)
+        y = (rng.random(2000) < p).astype(float)
+        fit = logistic_regression(x.astype(float)[:, None], y)
+        a = ((x == 1) & (y == 1)).sum()
+        b = ((x == 1) & (y == 0)).sum()
+        c = ((x == 0) & (y == 1)).sum()
+        d = ((x == 0) & (y == 0)).sum()
+        closed_form = (a * d) / (b * c)
+        assert fit.odds_ratio(1) == pytest.approx(closed_form, rel=1e-4)
+        assert fit.converged
+
+    def test_recovers_known_coefficients(self, rng):
+        n = 20_000
+        x = rng.normal(size=(n, 2))
+        logits = -0.5 + 1.2 * x[:, 0] - 0.8 * x[:, 1]
+        y = (rng.random(n) < 1.0 / (1.0 + np.exp(-logits))).astype(float)
+        fit = logistic_regression(x, y)
+        assert fit.coef[0] == pytest.approx(-0.5, abs=0.08)
+        assert fit.coef[1] == pytest.approx(1.2, abs=0.08)
+        assert fit.coef[2] == pytest.approx(-0.8, abs=0.08)
+
+    def test_null_effect_not_significant(self, rng):
+        x = rng.normal(size=(5000, 1))
+        y = (rng.random(5000) < 0.5).astype(float)
+        fit = logistic_regression(x, y)
+        assert fit.p_values[1] > 0.001  # overwhelmingly likely
+
+    def test_strong_effect_significant(self, rng):
+        x = (rng.random(5000) < 0.5).astype(float)
+        y = (rng.random(5000) < np.where(x > 0, 0.9, 0.1)).astype(float)
+        fit = logistic_regression(x[:, None], y)
+        assert fit.p_values[1] < 1e-10
+
+    def test_separable_data_does_not_explode(self, rng):
+        x = np.concatenate([np.zeros(100), np.ones(100)])
+        y = x.copy()
+        fit = logistic_regression(x[:, None], y)
+        assert np.isfinite(fit.coef).all()
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            logistic_regression(np.zeros((5, 1)), np.array([0, 1, 2, 0, 1]))
+        with pytest.raises(ValueError):
+            logistic_regression(np.zeros((5, 1)), np.zeros(4))
+
+
+class TestCategoryOdds:
+    @pytest.fixture(scope="class")
+    def odds(self, small_world, small_engine, small_providers):
+        universe = small_engine.top(0, "all:requests", small_engine.n_cf_sites // 2)
+        out = {}
+        for name in ("alexa", "crux", "majestic"):
+            normalized = normalize_list(small_world, small_providers[name].daily_list(0))
+            out[name] = category_inclusion_odds(small_world, universe, normalized)
+        return out
+
+    def test_all_categories_reported(self, odds):
+        from repro.weblib.categories import CATEGORIES
+
+        for results in odds.values():
+            assert set(results) == {c.name for c in CATEGORIES}
+
+    def test_counts_consistent(self, odds, small_engine):
+        universe_size = len(
+            small_engine.top(0, "all:requests", small_engine.n_cf_sites // 2)
+        )
+        for results in odds.values():
+            assert sum(r.n_category for r in results.values()) == universe_size
+            for r in results.values():
+                assert 0 <= r.n_included <= r.n_category
+
+    def test_alexa_underincludes_adult(self, odds):
+        adult = odds["alexa"]["adult"]
+        if adult.n_category >= 10 and np.isfinite(adult.odds_ratio):
+            assert adult.odds_ratio < 1.0
+
+    def test_parked_underincluded_everywhere(self, odds):
+        for name, results in odds.items():
+            parked = results["parked"]
+            if parked.n_category >= 20 and np.isfinite(parked.odds_ratio):
+                assert parked.odds_ratio < 1.0, name
+
+    def test_significance_respects_bonferroni(self, odds):
+        for results in odds.values():
+            for r in results.values():
+                if r.significant:
+                    assert r.p_value < 0.01 / 22
+
+
+class TestLeastIncludedRank:
+    def test_basic(self, small_world, small_providers):
+        normalized = normalize_list(small_world, small_providers["alexa"].daily_list(0))
+        universe = normalized.sites[:50]
+        rank = least_included_rank(normalized, universe)
+        assert rank is not None
+        assert rank >= 1
+
+    def test_none_when_disjoint(self, small_world, small_providers):
+        normalized = normalize_list(small_world, small_providers["alexa"].daily_list(0))
+        missing = np.array([s for s in range(small_world.n_sites)
+                            if s not in set(normalized.sites.tolist())][:5])
+        if len(missing):
+            assert least_included_rank(normalized, missing) is None

@@ -1,0 +1,176 @@
+"""Tests for similarity measures, cross-validated against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core.similarity import (
+    average_ranks,
+    interpret_spearman,
+    jaccard_index,
+    pairwise_jaccard,
+    pairwise_spearman,
+    rank_correlation_of_lists,
+    spearman,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_index([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_index([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        # Paper's example: two 100-element lists sharing 90 -> 0.82.
+        a = list(range(100))
+        b = list(range(10, 110))
+        assert jaccard_index(a, b) == pytest.approx(90 / 110, abs=1e-9)
+
+    def test_both_empty(self):
+        assert jaccard_index([], []) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_index([1], []) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert jaccard_index([1, 1, 2], [1, 2, 2]) == 1.0
+
+    @given(st.sets(st.integers(0, 50)), st.sets(st.integers(0, 50)))
+    def test_property_bounds_and_symmetry(self, a, b):
+        value = jaccard_index(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_index(b, a)
+        if a == b:
+            assert value == 1.0
+
+
+class TestAverageRanks:
+    def test_no_ties(self):
+        assert average_ranks(np.array([30.0, 10.0, 20.0])).tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_averaged(self):
+        assert average_ranks(np.array([1.0, 2.0, 2.0, 3.0])).tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_matches_scipy(self, rng):
+        values = rng.integers(0, 10, size=200).astype(float)
+        ours = average_ranks(values)
+        scipys = scipy_stats.rankdata(values)
+        assert np.allclose(ours, scipys)
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        result = spearman([1, 2, 3, 4], [10, 20, 30, 40])
+        assert result.rho == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        result = spearman([1, 2, 3, 4], [4, 3, 2, 1])
+        assert result.rho == pytest.approx(-1.0)
+
+    def test_matches_scipy_continuous(self, rng):
+        x = rng.normal(size=300)
+        y = x + rng.normal(scale=2.0, size=300)
+        ours = spearman(x, y)
+        theirs = scipy_stats.spearmanr(x, y)
+        assert ours.rho == pytest.approx(theirs.correlation, abs=1e-12)
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_matches_scipy_with_ties(self, rng):
+        x = rng.integers(0, 5, size=200).astype(float)
+        y = rng.integers(0, 5, size=200).astype(float)
+        ours = spearman(x, y)
+        theirs = scipy_stats.spearmanr(x, y)
+        assert ours.rho == pytest.approx(theirs.correlation, abs=1e-12)
+
+    def test_constant_input_nan(self):
+        result = spearman([1, 1, 1], [1, 2, 3])
+        assert np.isnan(result.rho)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            spearman([1], [1])
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=3, max_size=60),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40)
+    def test_property_bounded_and_symmetric(self, x, random):
+        y = list(x)
+        random.shuffle(y)
+        result = spearman(x, y)
+        if not np.isnan(result.rho):
+            assert -1.0 <= result.rho <= 1.0
+            assert spearman(y, x).rho == pytest.approx(result.rho, abs=1e-12)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=3, max_size=100, unique=True))
+    @settings(max_examples=40)
+    def test_property_self_correlation(self, x):
+        assert spearman(x, x).rho == pytest.approx(1.0)
+
+
+class TestRankCorrelationOfLists:
+    def test_same_order(self):
+        assert rank_correlation_of_lists([5, 9, 2], [5, 9, 2]).rho == pytest.approx(1.0)
+
+    def test_reversed_order(self):
+        assert rank_correlation_of_lists([1, 2, 3], [3, 2, 1]).rho == pytest.approx(-1.0)
+
+    def test_partial_intersection(self):
+        # Shared elements 1, 2, 3 in the same relative order.
+        result = rank_correlation_of_lists([1, 7, 2, 3], [1, 2, 9, 3])
+        assert result.rho == pytest.approx(1.0)
+
+    def test_tiny_intersection_nan(self):
+        assert np.isnan(rank_correlation_of_lists([1, 2], [2, 3]).rho)
+        assert np.isnan(rank_correlation_of_lists([1], [2]).rho)
+
+    def test_intersection_only(self):
+        # Disjoint noise elements must not affect the result.
+        base_a = [10, 20, 30, 40]
+        base_b = [40, 30, 20, 10]
+        noisy_a = [10, 101, 20, 102, 30, 103, 40]
+        noisy_b = [40, 201, 30, 202, 20, 203, 10]
+        assert rank_correlation_of_lists(noisy_a, noisy_b).rho == pytest.approx(
+            rank_correlation_of_lists(base_a, base_b).rho
+        )
+
+
+class TestPairwise:
+    def test_pairwise_jaccard_symmetric(self):
+        lists = {"a": [1, 2, 3], "b": [2, 3, 4], "c": [9]}
+        out = pairwise_jaccard(lists)
+        assert out[("a", "b")] == out[("b", "a")] == pytest.approx(0.5)
+        assert out[("a", "a")] == 1.0
+        assert out[("a", "c")] == 0.0
+
+    def test_pairwise_spearman_diagonal(self):
+        lists = {"a": [1, 2, 3, 4], "b": [4, 3, 2, 1]}
+        out = pairwise_spearman(lists)
+        assert out[("a", "a")] == 1.0
+        assert out[("a", "b")] == pytest.approx(-1.0)
+
+
+class TestInterpretation:
+    @pytest.mark.parametrize(
+        "rho,label",
+        [
+            (0.05, "negligible"),
+            (0.25, "weak"),
+            (0.55, "moderate"),
+            (0.8, "strong"),
+            (0.95, "very strong"),
+            (-0.95, "very strong"),
+            (float("nan"), "undefined"),
+        ],
+    )
+    def test_bands(self, rho, label):
+        assert interpret_spearman(rho) == label

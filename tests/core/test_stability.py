@@ -1,0 +1,63 @@
+"""Tests for the list stability/churn analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.stability import daily_churn, stability_report
+
+
+class TestDailyChurn:
+    def test_day_zero_rejected(self, small_world, small_providers):
+        with pytest.raises(ValueError):
+            daily_churn(small_world, small_providers["alexa"], 0)
+
+    def test_bounds(self, small_world, small_providers):
+        value = daily_churn(small_world, small_providers["alexa"], 1, depth=300)
+        assert 0.0 <= value <= 1.0
+
+    def test_monthly_list_never_churns(self, small_world, small_providers):
+        assert daily_churn(small_world, small_providers["crux"], 1, depth=300) == 0.0
+
+
+class TestStabilityReport:
+    @pytest.fixture(scope="class")
+    def reports(self, small_world, small_providers):
+        return {
+            name: stability_report(
+                small_world, small_providers[name], depth=300, days=range(6)
+            )
+            for name in ("alexa", "umbrella", "tranco", "crux", "majestic")
+        }
+
+    def test_fields_bounded(self, reports):
+        for report in reports.values():
+            assert 0.0 <= report.mean_daily_churn <= 1.0
+            for value in report.self_jaccard_by_lag.values():
+                assert 0.0 <= value <= 1.0
+            if not np.isnan(report.rank_stability):
+                assert -1.0 <= report.rank_stability <= 1.0
+
+    def test_self_jaccard_decays_with_lag(self, reports):
+        for name in ("alexa", "umbrella"):
+            by_lag = reports[name].self_jaccard_by_lag
+            if 1 in by_lag and 7 in by_lag:
+                assert by_lag[7] <= by_lag[1] + 0.02, name
+
+    def test_tranco_stabler_than_umbrella(self, reports):
+        """The Tranco design goal, measured."""
+        assert reports["tranco"].mean_daily_churn < reports["umbrella"].mean_daily_churn
+
+    def test_crux_perfectly_stable(self, reports):
+        report = reports["crux"]
+        assert report.mean_daily_churn == 0.0
+        assert report.self_jaccard_by_lag.get(1) == 1.0
+        assert report.rank_stability == pytest.approx(1.0)
+
+    def test_churn_and_rank_stability_consistent(self, reports):
+        """High churn implies lower rank stability (coarse coherence)."""
+        churn_order = sorted(reports, key=lambda n: reports[n].mean_daily_churn)
+        rho_order = sorted(
+            reports, key=lambda n: -np.nan_to_num(reports[n].rank_stability, nan=-1)
+        )
+        # The most and least churning lists agree across the two views.
+        assert churn_order[-1] == rho_order[-1]

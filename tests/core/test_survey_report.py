@@ -1,0 +1,91 @@
+"""Tests for the survey dataset and the text report renderers."""
+
+import numpy as np
+
+from repro.core.report import (
+    format_heatmap,
+    format_movement,
+    format_series,
+    format_table,
+)
+from repro.core.survey import SURVEY_2021, usage_statistics
+
+
+class TestSurvey:
+    def test_paper_aggregates(self):
+        """The encoded per-venue data must reproduce Section 2's numbers."""
+        stats = usage_statistics()
+        assert stats.papers == 59
+        assert stats.set_only == 50
+        assert stats.rank_using == 9
+        assert stats.both == 5
+        assert round(100 * stats.set_only_fraction) == 85
+        assert round(100 * stats.rank_using_fraction) == 15
+        assert round(100 * stats.both_fraction) == 8
+
+    def test_venues(self):
+        venues = {v.venue for v in SURVEY_2021}
+        assert venues == {"USENIX Security", "IMC", "NSDI", "SOUPS", "NDSS", "WWW"}
+
+    def test_totals_positive(self):
+        assert all(v.total >= 0 for v in SURVEY_2021)
+
+
+class TestFormatTable:
+    def test_alignment_and_values(self):
+        text = format_table(["name", "x"], [["a", 1.234], ["bb", float("nan")]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "1.23" in text
+        assert "-" in lines[-1]  # nan rendered as dash
+
+    def test_title(self):
+        text = format_table(["c"], [[1]], title="Title")
+        assert text.startswith("Title")
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["c"], [[None]])
+        assert text.splitlines()[-1].strip() == "-"
+
+
+class TestFormatHeatmap:
+    def test_cells_present(self):
+        values = {("r1", "c1"): 0.25, ("r1", "c2"): 0.9}
+        text = format_heatmap(["r1"], ["c1", "c2"], values)
+        assert "0.25" in text
+        assert "0.90" in text
+
+    def test_missing_cell_dash(self):
+        text = format_heatmap(["r"], ["c"], {})
+        assert "-" in text
+
+    def test_shading_monotone(self):
+        low = format_heatmap(["r"], ["c"], {("r", "c"): 0.05})
+        high = format_heatmap(["r"], ["c"], {("r", "c"): 0.95})
+        shades = " .:-=+*#%@"
+        low_glyph = low[low.index("0.05") + 4]
+        high_glyph = high[high.index("0.95") + 4]
+        assert shades.index(high_glyph) > shades.index(low_glyph)
+
+
+class TestFormatSeries:
+    def test_renders_min_max(self):
+        text = format_series("x", [0.1, 0.5, 0.9])
+        assert "min=0.100" in text
+        assert "max=0.900" in text
+
+    def test_nan_tolerated(self):
+        text = format_series("x", [0.1, float("nan"), 0.3])
+        assert "min=0.100" in text
+
+    def test_all_nan(self):
+        assert "no data" in format_series("x", [float("nan")])
+
+
+class TestFormatMovement:
+    def test_matrix_rendered(self):
+        counts = np.arange(9).reshape(3, 3)
+        text = format_movement(["1K", "10K"], counts, "alexa")
+        assert "alexa" in text
+        assert "absent" in text
+        assert "8" in text

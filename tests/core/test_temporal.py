@@ -1,0 +1,100 @@
+"""Tests for the temporal stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal import (
+    DailySeries,
+    TemporalAnalysis,
+    daily_series,
+    weekend_effect,
+)
+
+
+def _series(name, jaccard, spearman, weekend):
+    n = len(jaccard)
+    return DailySeries(
+        provider=name,
+        days=np.arange(n),
+        jaccard=np.asarray(jaccard, dtype=float),
+        spearman=np.asarray(spearman, dtype=float),
+        weekend=np.asarray(weekend, dtype=bool),
+    )
+
+
+class TestDailySeries:
+    def test_weekday_weekend_means(self):
+        series = _series("x", [0.1, 0.2, 0.5, 0.6], [0.0] * 4,
+                         [False, False, True, True])
+        assert series.weekday_mean(series.jaccard) == pytest.approx(0.15)
+        assert series.weekend_mean(series.jaccard) == pytest.approx(0.55)
+
+    def test_nan_values_ignored(self):
+        series = _series("x", [0.1, np.nan], [np.nan, np.nan], [False, False])
+        assert series.weekday_mean(series.jaccard) == pytest.approx(0.1)
+        assert np.isnan(series.weekend_mean(series.jaccard))
+
+    def test_weekend_effect_sign(self):
+        series = _series("x", [0.2, 0.2, 0.4, 0.4], [0.1, 0.1, 0.3, 0.3],
+                         [False, False, True, True])
+        jj_delta, rho_delta = weekend_effect(series)
+        assert jj_delta == pytest.approx(0.2)
+        assert rho_delta == pytest.approx(0.2)
+
+
+class TestTemporalAnalysis:
+    def test_ordering_stability_perfect(self):
+        a = _series("a", [0.5, 0.6], [0.1, 0.1], [False, True])
+        b = _series("b", [0.2, 0.3], [0.1, 0.1], [False, True])
+        analysis = TemporalAnalysis(series={"a": a, "b": b})
+        assert analysis.ordering_stability() == pytest.approx(1.0)
+
+    def test_periodicity_flat_series(self):
+        flat = _series("flat", [0.5] * 14, [0.0] * 14, [False] * 14)
+        analysis = TemporalAnalysis(series={"flat": flat})
+        assert analysis.periodicity_strength("flat") == 0.0
+
+    def test_periodicity_weekly_signal(self):
+        values = [0.5 + (0.3 if d % 7 in (4, 5) else 0.0) for d in range(28)]
+        noisy = [0.5 + 0.01 * ((d * 13) % 7) / 7 for d in range(28)]
+        weekly = _series("weekly", values, [0.0] * 28, [False] * 28)
+        analysis = TemporalAnalysis(series={"weekly": weekly})
+        assert analysis.periodicity_strength("weekly") > 0.95
+
+    def test_trend_delta(self):
+        series = _series("x", [0.1] * 5 + [0.4] * 5, [np.nan] * 10, [False] * 10)
+        analysis = TemporalAnalysis(series={"x": series})
+        jj_delta, rho_delta = analysis.trend_delta("x", split_day=5)
+        assert jj_delta == pytest.approx(0.3)
+        assert np.isnan(rho_delta)
+
+    def test_trend_delta_empty_side(self):
+        series = _series("x", [0.1, 0.2], [0.0, 0.0], [False, False])
+        analysis = TemporalAnalysis(series={"x": series})
+        assert np.isnan(analysis.trend_delta("x", split_day=0)[0])
+
+
+class TestDailySeriesIntegration:
+    def test_series_over_world(self, small_world, small_evaluator, small_providers):
+        series = daily_series(
+            small_evaluator,
+            small_providers["umbrella"],
+            "all:requests",
+            small_world.config.bucket_sizes[-1],
+            small_world.config,
+            days=range(4),
+        )
+        assert len(series.days) == 4
+        assert np.isfinite(series.jaccard).all()
+        assert (series.jaccard >= 0).all() and (series.jaccard <= 1).all()
+
+    def test_umbrella_is_weekly_periodic(self, small_world, small_evaluator, small_providers):
+        """Figure 3's signature: Umbrella accuracy moves with the workweek."""
+        config = small_world.config
+        magnitude = config.bucket_sizes[-1]
+        series = daily_series(
+            small_evaluator, small_providers["umbrella"], "all:requests",
+            magnitude, config,
+        )
+        jj_delta, _ = weekend_effect(series)
+        assert abs(jj_delta) > 0.005  # weekends measurably differ

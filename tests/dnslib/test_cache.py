@@ -1,0 +1,83 @@
+"""Tests for the DNS TTL cache."""
+
+import pytest
+
+from repro.dnslib.cache import DnsCache
+from repro.dnslib.records import ResourceRecord
+
+
+def _rr(name="example.com", ttl=300) -> ResourceRecord:
+    return ResourceRecord(name=name, rtype="A", ttl=ttl, data="198.51.100.1")
+
+
+class TestTtl:
+    def test_hit_within_ttl(self):
+        cache = DnsCache()
+        cache.put(_rr(ttl=300), now=0.0)
+        assert cache.get("example.com", "A", now=299.0) is not None
+        assert cache.stats.hits == 1
+
+    def test_expiry_at_ttl(self):
+        cache = DnsCache()
+        cache.put(_rr(ttl=300), now=0.0)
+        assert cache.get("example.com", "A", now=300.0) is None
+        assert cache.stats.expirations == 1
+
+    def test_miss_unknown(self):
+        cache = DnsCache()
+        assert cache.get("other.com", "A", now=0.0) is None
+        assert cache.stats.misses == 1
+
+    def test_case_insensitive(self):
+        cache = DnsCache()
+        cache.put(_rr(), now=0.0)
+        assert cache.get("EXAMPLE.COM", "A", now=1.0) is not None
+
+    def test_reinsert_refreshes_ttl(self):
+        cache = DnsCache()
+        cache.put(_rr(ttl=100), now=0.0)
+        cache.put(_rr(ttl=100), now=90.0)
+        assert cache.get("example.com", "A", now=150.0) is not None
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        cache = DnsCache(capacity=2)
+        cache.put(_rr("a.com"), now=0.0)
+        cache.put(_rr("b.com"), now=0.0)
+        cache.get("a.com", "A", now=1.0)  # refresh a
+        cache.put(_rr("c.com"), now=2.0)  # evicts b
+        assert cache.get("a.com", "A", now=3.0) is not None
+        assert cache.get("b.com", "A", now=3.0) is None
+        assert cache.stats.evictions == 1
+
+    def test_capacity_bound(self):
+        cache = DnsCache(capacity=10)
+        for i in range(50):
+            cache.put(_rr(f"site{i}.com"), now=float(i))
+        assert len(cache) == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DnsCache(capacity=0)
+
+    def test_flush_keeps_stats(self):
+        cache = DnsCache()
+        cache.put(_rr(), now=0.0)
+        cache.get("example.com", "A", now=1.0)
+        cache.flush()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = DnsCache()
+        cache.put(_rr(), now=0.0)
+        cache.get("example.com", "A", now=1.0)
+        cache.get("missing.com", "A", now=1.0)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.lookups == 2
+
+    def test_empty_hit_rate(self):
+        assert DnsCache().stats.hit_rate == 0.0

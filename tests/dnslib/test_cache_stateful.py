@@ -1,0 +1,78 @@
+"""Stateful property test: DnsCache vs a reference model.
+
+Hypothesis drives random sequences of put/get/advance-clock operations
+against both the real cache and a brute-force model (a dict with expiry
+timestamps, no capacity limit but mirrored evictions), checking they agree
+on every lookup.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.dnslib.cache import DnsCache
+from repro.dnslib.records import ResourceRecord
+
+_NAMES = [f"site{i}.example" for i in range(8)]
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = DnsCache(capacity=5)
+        self.model = {}          # name -> (expires_at, data)
+        self.model_order = []    # LRU order, oldest first
+        self.now = 0.0
+
+    def _model_evict_if_needed(self):
+        while len(self.model) > 5:
+            victim = self.model_order.pop(0)
+            self.model.pop(victim, None)
+
+    def _model_touch(self, name):
+        if name in self.model_order:
+            self.model_order.remove(name)
+        self.model_order.append(name)
+
+    @rule(name=st.sampled_from(_NAMES), ttl=st.integers(1, 50))
+    def put(self, name, ttl):
+        record = ResourceRecord(name=name, rtype="A", ttl=ttl, data=f"ip-{name}")
+        self.cache.put(record, now=self.now)
+        self.model[name] = (self.now + ttl, record.data)
+        self._model_touch(name)
+        self._model_evict_if_needed()
+
+    @rule(name=st.sampled_from(_NAMES))
+    def get(self, name):
+        result = self.cache.get(name, "A", now=self.now)
+        entry = self.model.get(name)
+        if entry is not None and entry[0] > self.now:
+            assert result is not None, f"model has live {name}, cache missed"
+            assert result.data == entry[1]
+            self._model_touch(name)
+        else:
+            assert result is None, f"cache returned expired/absent {name}"
+            if entry is not None:  # expired: both sides drop it
+                self.model.pop(name, None)
+                if name in self.model_order:
+                    self.model_order.remove(name)
+
+    @rule(delta=st.floats(min_value=0.1, max_value=30.0))
+    def advance_clock(self, delta):
+        self.now += delta
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.cache) <= 5
+
+    @invariant()
+    def stats_coherent(self):
+        stats = self.cache.stats
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.hit_rate <= 1.0
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestDnsCacheStateful = CacheMachine.TestCase

@@ -1,0 +1,113 @@
+"""Tests for the resolver chain and query-log visibility."""
+
+import pytest
+
+from repro.dnslib.cache import DnsCache
+from repro.dnslib.querylog import QueryLog
+from repro.dnslib.records import ResourceRecord, RRType
+from repro.dnslib.resolver import (
+    AuthoritativeServer,
+    CachingResolver,
+    NxDomain,
+    StubResolver,
+)
+
+
+@pytest.fixture()
+def upstream() -> AuthoritativeServer:
+    return AuthoritativeServer(ttls={"example.com": 300, "fast.example": 30})
+
+
+class TestAuthoritative:
+    def test_answers_registered(self, upstream):
+        record = upstream.query("example.com")
+        assert record.ttl == 300
+        assert record.rtype == RRType.A
+
+    def test_nxdomain(self, upstream):
+        with pytest.raises(NxDomain):
+            upstream.query("missing.example")
+
+    def test_stable_addresses(self, upstream):
+        assert upstream.query("example.com").data == upstream.query("example.com").data
+
+    def test_query_counter(self, upstream):
+        upstream.query("example.com")
+        upstream.query("example.com")
+        assert upstream.queries_served == 2
+
+
+class TestCachingResolver:
+    def test_cache_suppresses_upstream(self, upstream):
+        resolver = CachingResolver("org-1", upstream, DnsCache())
+        resolver.resolve("example.com", client_id="c1", now=0.0)
+        resolver.resolve("example.com", client_id="c2", now=100.0)
+        assert upstream.queries_served == 1
+
+    def test_ttl_expiry_requeries(self, upstream):
+        resolver = CachingResolver("org-1", upstream, DnsCache())
+        resolver.resolve("fast.example", client_id="c1", now=0.0)
+        resolver.resolve("fast.example", client_id="c1", now=31.0)
+        assert upstream.queries_served == 2
+
+    def test_upstream_log_sees_org_not_device(self, upstream):
+        """A forwarding deployment's vantage point counts organizations —
+        the mechanism behind Umbrella's head compression."""
+        log = QueryLog()
+        resolver = CachingResolver("org-1", upstream, DnsCache(), log=log)
+        resolver.resolve("example.com", client_id="device-a", now=0.0)
+        resolver.resolve("example.com", client_id="device-b", now=400.0)  # expired
+        counts = log.unique_clients_per_name(0)
+        assert counts == {"example.com": 1}  # one org, despite two devices
+
+    def test_client_query_logging_mode(self, upstream):
+        log = QueryLog()
+        resolver = CachingResolver(
+            "org-1", upstream, DnsCache(), log=log, log_client_queries=True
+        )
+        resolver.resolve("example.com", client_id="device-a", now=0.0)
+        resolver.resolve("example.com", client_id="device-b", now=1.0)  # cache hit
+        counts = log.unique_clients_per_name(0)
+        assert counts == {"example.com": 2}  # direct mode sees devices
+
+
+class TestStub:
+    def test_stub_forwards(self, upstream):
+        resolver = CachingResolver("org-1", upstream, DnsCache())
+        stub = StubResolver(client_id="device-a", resolver=resolver)
+        record = stub.resolve("example.com", now=0.0)
+        assert record.name == "example.com"
+
+
+class TestRecords:
+    def test_name_normalized(self):
+        record = ResourceRecord(name="WWW.Example.COM.", rtype="A", ttl=60, data="x")
+        assert record.name == "www.example.com"
+
+    def test_invalid_type(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(name="a.com", rtype="TXT", ttl=60, data="x")
+
+    def test_negative_ttl(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(name="a.com", rtype="A", ttl=-1, data="x")
+
+
+class TestQueryLog:
+    def test_ranking_ties_alphabetical(self):
+        log = QueryLog()
+        for client in ("c1", "c2"):
+            log.record(0, "zeta.com", client)
+            log.record(0, "alpha.com", client)
+        log.record(0, "popular.com", "c1")
+        log.record(0, "popular.com", "c2")
+        log.record(0, "popular.com", "c3")
+        assert log.ranking(0) == ["popular.com", "alpha.com", "zeta.com"]
+
+    def test_volume_vs_unique(self):
+        log = QueryLog()
+        for _ in range(5):
+            log.record(0, "a.com", "c1")
+        assert log.query_volume_per_name(0)["a.com"] == 5
+        assert log.unique_clients_per_name(0)["a.com"] == 1
+        assert log.total_queries(0) == 5

@@ -1,0 +1,74 @@
+"""Integration: event-level DNS list vs the analytic Umbrella provider."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import jaccard_index, rank_correlation_of_lists
+from repro.providers.dns_pipeline import dns_list_from_log, dns_site_ranking
+from repro.providers.umbrella import UmbrellaProvider
+from repro.traffic.eventsim import EventSimulator
+
+
+@pytest.fixture(scope="module")
+def dns_day(tiny_world, tiny_traffic):
+    simulator = EventSimulator(tiny_world, tiny_traffic, n_orgs=4)
+    return simulator.simulate_day(0, n_sessions=25_000, with_dns=True)
+
+
+class TestEventDnsList:
+    def test_list_builds(self, tiny_world, dns_day):
+        ranked = dns_list_from_log(tiny_world, dns_day.dns_log, 0)
+        assert len(ranked) > 50
+        assert ranked.granularity == "fqdn"
+
+    def test_rows_resolve_to_names(self, tiny_world, dns_day):
+        ranked = dns_list_from_log(tiny_world, dns_day.dns_log, 0)
+        strings = ranked.strings(tiny_world, limit=20)
+        assert all("." in s for s in strings)
+
+    def test_limit_respected(self, tiny_world, dns_day):
+        ranked = dns_list_from_log(tiny_world, dns_day.dns_log, 0, limit=30)
+        assert len(ranked) == 30
+
+    @staticmethod
+    def _expected_site_ranking(tiny_world, tiny_traffic):
+        """The analytic model's noise- and bias-free site ranking.
+
+        The event simulator samples the *true* client population with no
+        panel skew, daily resolver noise, or score quantization, so the
+        validation target is the analytic expectation layer — fold the
+        expected unique-client counts per FQDN to sites, best first."""
+        provider = UmbrellaProvider(tiny_world, tiny_traffic)
+        provider._taste = np.ones(tiny_world.n_sites)  # noqa: SLF001 - test probe
+        provider._ttl_factor = np.ones(tiny_world.n_sites)  # noqa: SLF001
+        expected = provider._unique_clients_per_fqdn(0)  # noqa: SLF001
+        order = np.argsort(-expected)
+        sites = tiny_world.names.site[provider._fqdn_rows[order]]  # noqa: SLF001
+        seen = set()
+        ranking = []
+        for site in sites:
+            site = int(site)
+            if site >= 0 and site not in seen:
+                seen.add(site)
+                ranking.append(site)
+        return np.asarray(ranking)
+
+    def test_agrees_with_analytic_expectation_sets(self, tiny_world, tiny_traffic, dns_day):
+        """Event counting and the analytic occupancy/caching expectations
+        broadly agree on which sites are DNS-popular."""
+        event_sites = dns_site_ranking(tiny_world, dns_day.dns_log, 0)[:40]
+        analytic_sites = self._expected_site_ranking(tiny_world, tiny_traffic)[:40]
+        jj = jaccard_index(event_sites, analytic_sites)
+        assert jj > 0.3
+
+    def test_head_rank_correlation(self, tiny_world, tiny_traffic, dns_day):
+        event_sites = dns_site_ranking(tiny_world, dns_day.dns_log, 0)[:60]
+        analytic_sites = self._expected_site_ranking(tiny_world, tiny_traffic)[:60]
+        rho = rank_correlation_of_lists(event_sites, analytic_sites).rho
+        assert rho > 0.3
+
+    def test_event_list_tracks_true_popularity(self, tiny_world, dns_day):
+        sites = dns_site_ranking(tiny_world, dns_day.dns_log, 0)
+        assert len(sites) > 30
+        # The head of the DNS ranking skews toward truly popular sites.
+        assert np.median(sites[:30]) < tiny_world.n_sites * 0.4

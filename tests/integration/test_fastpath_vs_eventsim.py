@@ -1,0 +1,123 @@
+"""Cross-validation: the analytic fast path vs literal event counting.
+
+The bench-scale experiments trust the vectorized expectation model; these
+tests justify that trust by simulating a day of concrete events over the
+same world and checking that the two pipelines agree on the statistics the
+paper's metrics consume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import rank_correlation_of_lists
+from repro.traffic.eventsim import EventSimulator
+
+
+@pytest.fixture(scope="module")
+def pipelines(tiny_world, tiny_traffic):
+    simulator = EventSimulator(tiny_world, tiny_traffic)
+    events = simulator.simulate_day(0, n_sessions=30_000, include_bots=False)
+    from repro.cdn.metrics import CdnMetricEngine
+
+    engine = CdnMetricEngine(tiny_world, tiny_traffic, apply_sampling_noise=False)
+    return events, engine
+
+
+class TestAgreement:
+    def test_request_share_agreement(self, tiny_world, pipelines):
+        """Per-site request shares agree between the two engines for the
+        sites with enough event-level samples."""
+        events, engine = pipelines
+        observed = events.logs.day_count_arrays(0, tiny_world.n_sites, ("all:requests",))[
+            "all:requests"
+        ]
+        expected = engine.day_counts(0, combos=("all:requests",))["all:requests"]
+        big = (expected > 0) & (observed > 200)
+        assert big.sum() > 10
+        obs_share = observed[big] / observed[big].sum()
+        exp_share = expected[big] / expected[big].sum()
+        ratio = obs_share / exp_share
+        assert np.median(ratio) == pytest.approx(1.0, abs=0.35)
+
+    def test_ranking_agreement(self, tiny_world, pipelines):
+        """The two pipelines rank busy Cloudflare sites consistently."""
+        events, engine = pipelines
+        event_ranking = events.logs.ranking(0, "all:requests", tiny_world.n_sites)[:60]
+        fast_ranking = engine.ranking(0, "all:requests")[:60]
+        rho = rank_correlation_of_lists(event_ranking, fast_ranking).rho
+        assert rho > 0.5
+
+    def test_root_fraction_agreement(self, tiny_world, pipelines):
+        """Observed root-load fractions track the ground-truth root_frac."""
+        events, _ = pipelines
+        counts = events.logs.day_counts(0, combos=("root:requests", "all:requests"))
+        roots = counts["root:requests"]
+        everything = counts["all:requests"]
+        checked = 0
+        for site, total in everything.items():
+            if total < 400:
+                continue
+            observed_frac = roots.get(site, 0.0) / total
+            truth = (
+                tiny_world.sites.root_frac[site] / tiny_world.sites.subres_mult[site]
+            )
+            assert observed_frac == pytest.approx(truth, abs=0.15)
+            checked += 1
+        assert checked > 3
+
+    def test_country_mix_agreement(self, tiny_world, pipelines):
+        """Session country sampling matches the analytic country split —
+        the input the Chrome per-country telemetry is built from."""
+        events, _ = pipelines
+        import numpy as np
+
+        observed = np.zeros(tiny_world.clients.n_countries)
+        for session in events.sessions:
+            observed[session.country] += session.pages
+        observed = observed / observed.sum()
+        tensors = None
+        from repro.traffic.fastpath import TrafficModel
+
+        expected = TrafficModel(tiny_world).day(0).country_pageloads.sum(axis=0)
+        expected = expected / expected.sum()
+        # Major countries within a few points; tiny ones are noise-bound.
+        for c in range(len(observed)):
+            if expected[c] > 0.05:
+                assert observed[c] == pytest.approx(expected[c], rel=0.25)
+
+    def test_platform_mix_agreement(self, tiny_world, pipelines):
+        """Mobile/desktop session split tracks the sites' mobile shares."""
+        events, _ = pipelines
+        import numpy as np
+
+        mobile_sessions = sum(1 for s in events.sessions if s.platform == 1)
+        observed = mobile_sessions / len(events.sessions)
+        weights = TrafficModelCache.weights(tiny_world)
+        expected = float((weights * tiny_world.sites.mobile_share).sum())
+        assert observed == pytest.approx(expected, abs=0.06)
+
+    def test_browser_filter_agreement(self, tiny_world, pipelines):
+        """Top-5-browser share of requests is near the site parameter."""
+        events, _ = pipelines
+        counts = events.logs.day_counts(0, combos=("browsers:requests", "all:requests"))
+        checked = 0
+        for site, total in counts["all:requests"].items():
+            if total < 500:
+                continue
+            share = counts["browsers:requests"].get(site, 0.0) / total
+            # Bots were disabled, so nearly everything is a top-5 browser
+            # except opera sessions.
+            assert share > 0.85
+            checked += 1
+        assert checked > 3
+
+
+class TrafficModelCache:
+    """Tiny helper: day-0 pageload weights for expectation math."""
+
+    @staticmethod
+    def weights(world):
+        from repro.traffic.fastpath import TrafficModel
+
+        loads = TrafficModel(world).day(0).pageloads
+        return loads / loads.sum()

@@ -1,0 +1,47 @@
+"""Integration: the HEAD-probe path equals the ground-truth fast path.
+
+The evaluator's default uses the world's ``cf_served`` flags directly; the
+paper's actual methodology issues HTTP HEAD requests and checks ``cf-ray``.
+This test runs the full probe methodology over simulated HTTP and verifies
+the two produce identical evaluations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cdn.adoption import build_virtual_network
+from repro.core.evaluation import CloudflareEvaluator
+from repro.netsim.probe import CloudflareProbe
+
+
+class TestProbeEquivalence:
+    def test_probe_derived_flags_match(self, tiny_world):
+        network = build_virtual_network(tiny_world)
+        probe = CloudflareProbe(network)
+        probed = np.array(
+            [probe.probe(name).cloudflare for name in tiny_world.sites.names]
+        )
+        assert np.array_equal(probed, tiny_world.sites.cf_served)
+
+    def test_probe_based_evaluation_identical(self, tiny_world, tiny_traffic):
+        from repro.cdn.metrics import CdnMetricEngine
+        from repro.providers.registry import build_providers
+
+        engine = CdnMetricEngine(tiny_world, tiny_traffic)
+        providers = build_providers(tiny_world, tiny_traffic)
+
+        network = build_virtual_network(tiny_world)
+        probe = CloudflareProbe(network)
+        probed_flags = np.array(
+            [probe.probe(name).cloudflare for name in tiny_world.sites.names]
+        )
+
+        ground_truth = CloudflareEvaluator(tiny_world, engine)
+        probed = CloudflareEvaluator(tiny_world, engine, cf_served=probed_flags)
+
+        magnitude = tiny_world.config.bucket_sizes[2]
+        for name in ("alexa", "umbrella", "crux"):
+            a = ground_truth.evaluate_day(providers[name], 0, "all:requests", magnitude)
+            b = probed.evaluate_day(providers[name], 0, "all:requests", magnitude)
+            assert a.jaccard == pytest.approx(b.jaccard)
+            assert a.n == b.n

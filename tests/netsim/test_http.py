@@ -1,0 +1,180 @@
+"""Tests for the simulated HTTP substrate."""
+
+import pytest
+
+from repro.netsim.http import (
+    HeaderMap,
+    HttpClient,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    VirtualNetwork,
+    VirtualServer,
+    reason_phrase,
+)
+
+
+class TestHeaderMap:
+    def test_case_insensitive_get(self):
+        headers = HeaderMap({"Content-Type": "text/html"})
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_set_replaces(self):
+        headers = HeaderMap()
+        headers.set("X-Test", "1")
+        headers.set("x-test", "2")
+        assert headers.get("X-Test") == "2"
+        assert len(headers) == 1
+
+    def test_contains_and_remove(self):
+        headers = HeaderMap({"Server": "cloudflare"})
+        assert "server" in headers
+        headers.remove("SERVER")
+        assert "server" not in headers
+
+    def test_copy_is_independent(self):
+        original = HeaderMap({"A": "1"})
+        clone = original.copy()
+        clone.set("A", "2")
+        assert original.get("A") == "1"
+
+    def test_default(self):
+        assert HeaderMap().get("missing", "x") == "x"
+
+
+class TestHttpRequest:
+    def test_root_page_detection(self):
+        assert HttpRequest("GET", "example.com", "/").is_root_page
+        assert not HttpRequest("GET", "example.com", "/index.html").is_root_page
+        assert not HttpRequest("HEAD", "example.com", "/").is_root_page
+
+    def test_url(self):
+        request = HttpRequest("GET", "example.com", "/a/b")
+        assert request.url == "https://example.com/a/b"
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            HttpRequest("FETCH", "example.com")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest("GET", "example.com", "index.html")
+
+
+class TestHttpResponse:
+    def test_ok(self):
+        assert HttpResponse(200).ok
+        assert HttpResponse(204).ok
+        assert not HttpResponse(404).ok
+
+    def test_content_type_strips_parameters(self):
+        response = HttpResponse(200, HeaderMap({"Content-Type": "text/HTML; charset=utf-8"}))
+        assert response.content_type == "text/html"
+
+    def test_cf_detection(self):
+        response = HttpResponse(200, HeaderMap({"cf-ray": "abc-SFO"}))
+        assert response.served_by_cloudflare
+        assert not HttpResponse(200).served_by_cloudflare
+
+    def test_reason_phrases(self):
+        assert reason_phrase(200) == "OK"
+        assert reason_phrase(522) == "Connection Timed Out"
+        assert reason_phrase(599) == "Unknown"
+
+
+class TestVirtualNetwork:
+    def test_routing(self):
+        network = VirtualNetwork()
+        network.register(VirtualServer(host="example.com"))
+        response = network.route(HttpRequest("GET", "example.com"))
+        assert response.status == 200
+        assert b"example.com" in response.body
+
+    def test_unknown_host_raises(self):
+        with pytest.raises(HttpError):
+            VirtualNetwork().route(HttpRequest("GET", "nowhere.invalid"))
+
+    def test_cloudflare_server_stamps_ray(self):
+        network = VirtualNetwork()
+        network.register(VirtualServer(host="cf.example", behind_cloudflare=True, colo="FRA"))
+        response = network.route(HttpRequest("HEAD", "cf.example"))
+        assert response.served_by_cloudflare
+        assert response.headers.get("cf-ray").endswith("-FRA")
+        assert response.headers.get("Server") == "cloudflare"
+
+    def test_ray_ids_unique(self):
+        network = VirtualNetwork()
+        network.register(VirtualServer(host="cf.example", behind_cloudflare=True))
+        first = network.route(HttpRequest("HEAD", "cf.example")).headers.get("cf-ray")
+        second = network.route(HttpRequest("HEAD", "cf.example")).headers.get("cf-ray")
+        assert first != second
+
+    def test_head_has_no_body(self):
+        network = VirtualNetwork()
+        network.register(VirtualServer(host="example.com"))
+        assert network.route(HttpRequest("HEAD", "example.com")).body == b""
+
+    def test_custom_handler(self):
+        network = VirtualNetwork()
+
+        def handler(request):
+            return HttpResponse(429 if request.path == "/limited" else 200)
+
+        network.register(VirtualServer(host="example.com", handler=handler))
+        assert network.route(HttpRequest("GET", "example.com", "/limited")).status == 429
+        assert network.route(HttpRequest("GET", "example.com", "/")).status == 200
+
+    def test_reregistration_replaces(self):
+        network = VirtualNetwork()
+        network.register(VirtualServer(host="example.com", status=200))
+        network.register(VirtualServer(host="example.com", status=503))
+        assert network.route(HttpRequest("GET", "example.com")).status == 503
+        assert len(network) == 1
+
+    def test_request_logging(self):
+        network = VirtualNetwork()
+        network.log_requests = True
+        network.register(VirtualServer(host="example.com"))
+        network.route(HttpRequest("GET", "example.com", "/a"))
+        assert [r.path for r in network.request_log] == ["/a"]
+
+
+class TestHttpClient:
+    def test_follows_same_host_redirect(self):
+        network = VirtualNetwork()
+
+        def handler(request):
+            if request.path == "/":
+                response = HttpResponse(302)
+                response.headers.set("Location", "/landing")
+                return response
+            return HttpResponse(200, HeaderMap({"Content-Type": "text/html"}))
+
+        network.register(VirtualServer(host="example.com", handler=handler))
+        response = HttpClient(network).get("example.com")
+        assert response.status == 200
+
+    def test_redirect_loop_raises(self):
+        network = VirtualNetwork()
+
+        def handler(request):
+            response = HttpResponse(302)
+            response.headers.set("Location", "/")
+            return response
+
+        network.register(VirtualServer(host="loop.example", handler=handler))
+        with pytest.raises(HttpError):
+            HttpClient(network).get("loop.example")
+
+    def test_sends_user_agent(self):
+        network = VirtualNetwork()
+        seen = {}
+
+        def handler(request):
+            seen["ua"] = request.headers.get("User-Agent")
+            return HttpResponse(200)
+
+        network.register(VirtualServer(host="example.com", handler=handler))
+        HttpClient(network, user_agent="test-agent/2.0").head("example.com")
+        assert seen["ua"] == "test-agent/2.0"

@@ -1,0 +1,49 @@
+"""Tests for the cf-ray HEAD probe."""
+
+from repro.netsim.http import VirtualNetwork, VirtualServer
+from repro.netsim.probe import CloudflareProbe
+
+
+def _network() -> VirtualNetwork:
+    network = VirtualNetwork()
+    network.register(VirtualServer(host="oncf.example", behind_cloudflare=True))
+    network.register(VirtualServer(host="direct.example", behind_cloudflare=False))
+    network.register(VirtualServer(host="broken.example", behind_cloudflare=True, status=503))
+    return network
+
+
+class TestProbe:
+    def test_detects_cloudflare(self):
+        probe = CloudflareProbe(_network())
+        assert probe.probe("oncf.example").cloudflare
+        assert not probe.probe("direct.example").cloudflare
+
+    def test_error_status_still_counts(self):
+        # cf-ray is stamped even on 5xx: Cloudflare proxies the error.
+        result = CloudflareProbe(_network()).probe("broken.example")
+        assert result.cloudflare
+        assert result.status == 503
+
+    def test_unreachable_host(self):
+        result = CloudflareProbe(_network()).probe("missing.example")
+        assert not result.reachable
+        assert not result.cloudflare
+        assert result.status is None
+
+    def test_memoization(self):
+        probe = CloudflareProbe(_network())
+        probe.probe("oncf.example")
+        probe.probe("ONCF.example")
+        probe.probe("oncf.example")
+        assert probe.probes_issued == 1
+
+    def test_probe_many_preserves_order(self):
+        probe = CloudflareProbe(_network())
+        hosts = ["direct.example", "oncf.example", "missing.example"]
+        results = probe.probe_many(hosts)
+        assert [r.host for r in results] == hosts
+
+    def test_cloudflare_hosts_filter(self):
+        probe = CloudflareProbe(_network())
+        hosts = ["direct.example", "oncf.example", "broken.example", "missing.example"]
+        assert probe.cloudflare_hosts(hosts) == ["oncf.example", "broken.example"]

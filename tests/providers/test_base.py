@@ -1,0 +1,84 @@
+"""Tests for RankedList and the provider base class."""
+
+import numpy as np
+import pytest
+
+from repro.providers.base import Granularity, RankedList
+from repro.providers.registry import PROVIDER_ORDER
+
+
+class TestRankedList:
+    def test_head_truncates(self):
+        ranked = RankedList("x", 0, Granularity.DOMAIN, np.arange(100))
+        head = ranked.head(10)
+        assert len(head) == 10
+        assert np.array_equal(head.name_rows, np.arange(10))
+
+    def test_head_clips_buckets(self):
+        ranked = RankedList(
+            "x", None, Granularity.ORIGIN, np.arange(100),
+            bucket_bounds=np.array([10, 50, 100]),
+        )
+        head = ranked.head(50)
+        assert head.bucket_bounds.tolist() == [10, 50]
+        head2 = ranked.head(30)
+        assert head2.bucket_bounds.tolist() == [10, 30]
+
+    def test_strings(self, small_world, small_providers):
+        ranked = small_providers["alexa"].daily_list(0)
+        strings = ranked.strings(small_world, limit=5)
+        assert len(strings) == 5
+        assert all(isinstance(s, str) for s in strings)
+
+    def test_is_bucketed(self):
+        plain = RankedList("x", 0, Granularity.DOMAIN, np.arange(5))
+        assert not plain.is_bucketed
+
+
+class TestAllProviders:
+    """Contract tests every provider must satisfy."""
+
+    @pytest.fixture(scope="class", params=list(PROVIDER_ORDER))
+    def provider(self, request, small_providers):
+        return small_providers[request.param]
+
+    def test_daily_list_nonempty(self, provider):
+        assert len(provider.daily_list(0)) > 0
+
+    def test_rows_are_valid(self, small_world, provider):
+        ranked = provider.daily_list(0)
+        assert (ranked.name_rows >= 0).all()
+        assert (ranked.name_rows < len(small_world.names)).all()
+
+    def test_rows_unique(self, provider):
+        rows = provider.daily_list(0).name_rows
+        assert len(np.unique(rows)) == len(rows)
+
+    def test_respects_length_cap(self, small_world, provider):
+        assert len(provider.daily_list(0)) <= small_world.config.list_length
+
+    def test_deterministic(self, provider):
+        a = provider.daily_list(1).name_rows
+        b = provider.daily_list(1).name_rows
+        assert np.array_equal(a, b)
+
+    def test_granularity_matches_rows(self, small_world, provider):
+        ranked = provider.daily_list(0)
+        kinds = small_world.names.kind[ranked.name_rows]
+        from repro.worldgen.nametable import NameKind
+
+        expected = {
+            Granularity.DOMAIN: NameKind.DOMAIN,
+            Granularity.FQDN: NameKind.FQDN,
+            Granularity.ORIGIN: NameKind.ORIGIN,
+        }[provider.granularity]
+        assert (kinds == expected).all()
+
+    def test_head_is_truly_popular(self, small_world, provider):
+        """The top of every list should skew toward truly popular sites."""
+        ranked = provider.daily_list(0)
+        sites = small_world.names.site[ranked.name_rows[:50]]
+        sites = sites[sites >= 0]
+        median_rank = np.median(sites)
+        # Majestic is the loosest: links track popularity only weakly.
+        assert median_rank < small_world.n_sites * 0.4

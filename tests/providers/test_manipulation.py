@@ -1,0 +1,96 @@
+"""Tests for the adversarial manipulation experiment."""
+
+import numpy as np
+import pytest
+
+from repro.providers.manipulation import (
+    AttackWindow,
+    ManipulatedAlexa,
+    ManipulatedUmbrella,
+    rank_of_site,
+    run_manipulation_experiment,
+)
+from repro.traffic.fastpath import TrafficModel
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import build_world
+
+
+@pytest.fixture(scope="module")
+def attack_world():
+    config = WorldConfig(n_sites=1500, n_days=10, seed=13)
+    world = build_world(config)
+    return world, TrafficModel(world)
+
+
+class TestAttackWindow:
+    def test_active_window(self):
+        attack = AttackWindow(target_site=5, start_day=2, end_day=4, intensity=100)
+        assert not attack.active(1)
+        assert attack.active(2)
+        assert attack.active(4)
+        assert not attack.active(5)
+
+
+class TestAttacks:
+    def test_panel_inflation_lifts_target(self, attack_world):
+        world, traffic = attack_world
+        target = 1200
+        attack = AttackWindow(target, start_day=2, end_day=5, intensity=5000)
+        clean = ManipulatedAlexa(world, traffic, AttackWindow(target, 99, 99, 0))
+        dirty = ManipulatedAlexa(world, traffic, attack)
+        clean_rank = rank_of_site(world, clean, 4, target)
+        dirty_rank = rank_of_site(world, dirty, 4, target)
+        assert dirty_rank is not None and dirty_rank < 50
+        assert clean_rank is None or clean_rank > dirty_rank * 5
+
+    def test_attack_decays_after_stop(self, attack_world):
+        world, traffic = attack_world
+        target = 1200
+        attack = AttackWindow(target, start_day=2, end_day=3, intensity=5000)
+        dirty = ManipulatedAlexa(world, traffic, attack)
+        during = rank_of_site(world, dirty, 3, target)
+        later = rank_of_site(world, dirty, 9, target)
+        assert during is not None
+        assert later is None or later > during
+
+    def test_botnet_queries_lift_target(self, attack_world):
+        world, traffic = attack_world
+        target = 1300
+        attack = AttackWindow(target, start_day=2, end_day=5, intensity=50_000)
+        clean = ManipulatedUmbrella(world, traffic, AttackWindow(target, 99, 99, 0))
+        dirty = ManipulatedUmbrella(world, traffic, attack)
+        clean_rank = rank_of_site(world, clean, 4, target)
+        dirty_rank = rank_of_site(world, dirty, 4, target)
+        assert dirty_rank is not None
+        assert clean_rank is None or dirty_rank < clean_rank
+
+    def test_attack_outside_window_is_noop(self, attack_world):
+        world, traffic = attack_world
+        target = 1200
+        idle = ManipulatedAlexa(world, traffic, AttackWindow(target, 50, 60, 1e9))
+        baseline = ManipulatedAlexa(world, traffic, AttackWindow(target, 99, 99, 0))
+        a = idle.daily_list(3).name_rows
+        b = baseline.daily_list(3).name_rows
+        assert np.array_equal(a, b)
+
+
+class TestExperiment:
+    def test_tranco_dampens(self, attack_world):
+        """The hardening claim: the target climbs far less on Tranco."""
+        world, traffic = attack_world
+        target = 1200
+        attack = AttackWindow(target, start_day=3, end_day=5, intensity=5000)
+        report = run_manipulation_experiment(world, traffic, attack)
+        alexa_best = report.best_rank("alexa")
+        tranco_best = report.best_rank("tranco")
+        assert alexa_best is not None
+        assert tranco_best is None or tranco_best > alexa_best
+
+    def test_report_structure(self, attack_world):
+        world, traffic = attack_world
+        report = run_manipulation_experiment(
+            world, traffic, AttackWindow(700, 2, 3, 100.0), days=range(5)
+        )
+        assert set(report.trajectories) == {"alexa", "umbrella", "tranco"}
+        assert all(len(t) == 5 for t in report.trajectories.values())
+        assert report.true_rank == 701

@@ -1,0 +1,80 @@
+"""Tests for Chrome telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.chrome import TELEMETRY_METRICS, ChromeTelemetry
+from repro.worldgen.countries import country_index
+
+
+class TestPanel:
+    def test_metrics_enumerated(self):
+        assert TELEMETRY_METRICS == ("completed", "initiated", "time")
+
+    def test_unknown_metric_raises(self, small_telemetry):
+        with pytest.raises(KeyError):
+            small_telemetry.metric_counts("dwell", 0, 0)
+
+    def test_completed_below_initiated(self, small_telemetry):
+        us = country_index("us")
+        completed = small_telemetry.metric_counts("completed", us, 0, with_noise=False)
+        initiated = small_telemetry.metric_counts("initiated", us, 0, with_noise=False)
+        assert (completed <= initiated + 1e-9).all()
+
+    def test_non_public_sites_invisible(self, small_world, small_telemetry):
+        hidden = ~small_world.sites.robots_public
+        counts = small_telemetry.metric_counts("completed", 0, 0, with_noise=False)
+        assert (counts[hidden] == 0).all()
+
+    def test_android_coverage_below_desktop_rate(self, small_world, small_telemetry):
+        us = country_index("us")
+        desktop = small_telemetry.metric_counts("completed", us, 0, with_noise=False)
+        mobile = small_telemetry.metric_counts("completed", us, 1, with_noise=False)
+        # Per observed pageload, mobile telemetry keeps a smaller fraction;
+        # compare totals scaled by the platform traffic split.
+        desktop_loads = sum(
+            small_telemetry.traffic.platform_country_pageloads(d, 0)[:, us].sum()
+            for d in range(small_world.config.n_days)
+        )
+        mobile_loads = sum(
+            small_telemetry.traffic.platform_country_pageloads(d, 1)[:, us].sum()
+            for d in range(small_world.config.n_days)
+        )
+        assert desktop.sum() / desktop_loads > mobile.sum() / mobile_loads
+
+    def test_ranking_excludes_unseen(self, small_telemetry):
+        ranking = small_telemetry.ranking("completed", country_index("za"), 1)
+        counts = small_telemetry.metric_counts("completed", country_index("za"), 1)
+        assert (counts[ranking] >= 1).all()
+
+    def test_ranking_sorted(self, small_telemetry):
+        us = country_index("us")
+        ranking = small_telemetry.ranking("completed", us, 0)
+        counts = small_telemetry.metric_counts("completed", us, 0)
+        assert (np.diff(counts[ranking]) <= 0).all()
+
+    def test_time_metric_uses_dwell(self, small_world, small_telemetry):
+        us = country_index("us")
+        completed = small_telemetry.metric_counts("completed", us, 0, with_noise=False)
+        time_on_site = small_telemetry.metric_counts("time", us, 0, with_noise=False)
+        visible = completed > 0
+        ratio = time_on_site[visible] / completed[visible]
+        assert np.allclose(ratio, small_world.sites.dwell_seconds[visible])
+
+    def test_global_completed_sums_countries(self, small_world, small_telemetry):
+        total = small_telemetry.global_completed_by_site(with_noise=False)
+        assert (total >= 0).all()
+        # Popular public sites dominate.
+        public_top = np.flatnonzero(small_world.sites.robots_public)[:20]
+        tail = np.flatnonzero(small_world.sites.robots_public)[-20:]
+        assert total[public_top].sum() > total[tail].sum() * 10
+
+    def test_country_rankings_differ(self, small_telemetry):
+        jp = small_telemetry.ranking("completed", country_index("jp"), 0)[:100]
+        us = small_telemetry.ranking("completed", country_index("us"), 0)[:100]
+        assert set(jp.tolist()) != set(us.tolist())
+
+    def test_deterministic(self, small_world, small_traffic):
+        a = ChromeTelemetry(small_world, small_traffic).metric_counts("completed", 0, 0)
+        b = ChromeTelemetry(small_world, small_traffic).metric_counts("completed", 0, 0)
+        assert np.array_equal(a, b)

@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are documentation that executes; letting them rot is worse than
+having none.  Each is run in-process (runpy) with a captured stdout and
+checked for its key output line.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name, capsys, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "script,marker",
+    [
+        ("quickstart.py", "crux"),
+        ("evaluate_custom_list.py", "jaccard"),
+        ("request_log_anatomy.py", "metrics"),
+    ],
+)
+def test_example_runs(script, marker, capsys):
+    out = _run_example(script, capsys)
+    assert marker in out.lower()
+
+
+def test_bias_audit_example(capsys):
+    out = _run_example("bias_audit.py", capsys, argv=["umbrella"])
+    assert "accuracy by client country" in out
+    assert "platform skew" in out
+
+
+def test_bias_audit_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        _run_example("bias_audit.py", capsys, argv=["nosuchlist"])
+
+
+def test_attack_and_defend_example(capsys):
+    out = _run_example("attack_and_defend.py", capsys)
+    assert "best attacked rank" in out
+    assert "tranco" in out
+
+
+def test_choose_a_list_example(capsys):
+    out = _run_example("choose_a_list.py", capsys, argv=["--magnitude", "1M"])
+    assert "recommendation:" in out

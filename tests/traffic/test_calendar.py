@@ -1,0 +1,69 @@
+"""Tests for the temporal modulation."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.calendar import TrafficCalendar
+from repro.worldgen.config import WorldConfig
+
+
+@pytest.fixture()
+def calendar() -> TrafficCalendar:
+    # start_weekday=1 -> day 0 is Tuesday, days 4-5 are the weekend.
+    return TrafficCalendar(WorldConfig(start_weekday=1))
+
+
+class TestWeekStructure:
+    def test_weekend_detection(self, calendar):
+        assert not calendar.is_weekend(0)
+        assert calendar.is_weekend(4)
+        assert calendar.is_weekend(5)
+        assert not calendar.is_weekend(6)
+
+    def test_weekday_names(self, calendar):
+        assert calendar.weekday_name(0) == "Tue"
+        assert calendar.weekday_name(4) == "Sat"
+        assert calendar.weekday_name(6) == "Mon"
+
+    def test_enterprise_quiet_on_weekends(self, calendar):
+        assert calendar.enterprise_desktop_factor(4) < 0.6
+        assert calendar.enterprise_desktop_factor(0) > 1.0
+
+    def test_home_and_mobile_rise_on_weekends(self, calendar):
+        assert calendar.home_desktop_factor(4) > calendar.home_desktop_factor(0)
+        assert calendar.mobile_factor(4) > calendar.mobile_factor(0)
+
+    def test_desktop_factors_blend_enterprise_share(self, calendar):
+        # Countries with more enterprise clients dip harder on weekends.
+        weekend = calendar.desktop_country_factors(4)
+        weekday = calendar.desktop_country_factors(0)
+        from repro.worldgen.countries import country_index
+
+        us = country_index("us")  # high enterprise share
+        ng = country_index("ng")  # low enterprise share
+        assert (weekday[us] - weekend[us]) > (weekday[ng] - weekend[ng])
+
+
+class TestEvents:
+    def test_news_event_boost(self):
+        config = WorldConfig(news_event_day=5, news_event_boost=2.0)
+        calendar = TrafficCalendar(config)
+        from repro.weblib.categories import category_index
+
+        news = category_index("news")
+        before = calendar.category_event_factors(4)
+        after = calendar.category_event_factors(5)
+        assert before[news] == 1.0
+        assert after[news] == 2.0
+        assert np.delete(after, news).max() == 1.0
+
+    def test_alexa_panel_boost(self):
+        config = WorldConfig(alexa_change_day=10, alexa_change_boost=5.0)
+        calendar = TrafficCalendar(config)
+        assert calendar.alexa_panel_boost(9) == 1.0
+        assert calendar.alexa_panel_boost(10) == 5.0
+
+    def test_alexa_change_disabled_beyond_window(self):
+        config = WorldConfig(n_days=5, alexa_change_day=100)
+        calendar = TrafficCalendar(config)
+        assert all(calendar.alexa_panel_boost(d) == 1.0 for d in range(5))

@@ -1,0 +1,105 @@
+"""Tests for the record-level event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.eventsim import EventSimulator
+
+
+@pytest.fixture(scope="module")
+def day_events(tiny_world, tiny_traffic):
+    simulator = EventSimulator(tiny_world, tiny_traffic, n_orgs=2)
+    return simulator.simulate_day(0, n_sessions=4000, with_dns=True)
+
+
+class TestSessions:
+    def test_session_count(self, day_events):
+        assert len(day_events.sessions) == 4000
+
+    def test_session_fields_valid(self, tiny_world, day_events):
+        for session in day_events.sessions[:200]:
+            assert 0 <= session.site < tiny_world.n_sites
+            assert session.platform in (0, 1)
+            assert session.pages >= 1
+            assert 0.0 <= session.start_second < 86_400.0
+            assert session.client_ip.startswith("10.")
+
+    def test_popular_sites_visited_more(self, tiny_world, day_events):
+        visits = np.bincount(
+            [s.site for s in day_events.sessions], minlength=tiny_world.n_sites
+        )
+        assert visits[:30].sum() > visits[-150:].sum()
+
+    def test_sessions_time_ordered(self, day_events):
+        seconds = [s.start_second for s in day_events.sessions]
+        assert seconds == sorted(seconds)
+
+
+class TestHttpRecords:
+    def test_only_cf_sites_logged(self, tiny_world, day_events):
+        logged_sites = {
+            record.site
+            for record in day_events.logs._records[0]  # noqa: SLF001 - test introspection
+        }
+        assert all(tiny_world.sites.cf_served[s] for s in logged_sites)
+
+    def test_record_volume_reflects_subresources(self, tiny_world, day_events):
+        cf_sessions = [
+            s for s in day_events.sessions if tiny_world.sites.cf_served[s.site]
+        ]
+        pages = sum(s.pages for s in cf_sessions)
+        records = day_events.logs.record_count(0)
+        mean_subres = tiny_world.sites.subres_mult.mean()
+        assert records > pages  # subresources inflate requests
+        assert records < pages * mean_subres * 30
+
+    def test_root_requests_present(self, day_events):
+        counts = day_events.logs.day_counts(0, combos=("root:requests", "all:requests"))
+        total_root = sum(counts["root:requests"].values())
+        total_all = sum(counts["all:requests"].values())
+        assert 0 < total_root < total_all
+
+    def test_bot_traffic_present(self, day_events):
+        families = {r.browser_family for r in day_events.logs._records[0]}  # noqa: SLF001
+        assert families & {"googlebot", "bingbot", "curl", "python-requests", "scrapybot"}
+
+
+class TestDns:
+    def test_queries_logged(self, day_events):
+        assert day_events.dns_log is not None
+        assert day_events.dns_log.total_queries(0) > 0
+
+    def test_cache_suppression_observed(self, day_events):
+        """Shared org caches must absorb a meaningful share of lookups."""
+        stats = [c.stats for c in day_events.dns_caches if c.stats.lookups > 0]
+        total_hits = sum(s.hits for s in stats)
+        total_lookups = sum(s.lookups for s in stats)
+        assert total_lookups > 0
+        assert total_hits / total_lookups > 0.05
+
+    def test_upstream_sees_orgs_not_devices(self, day_events):
+        counts = day_events.dns_log.unique_clients_per_name(0)
+        # Client ids in the upstream log are org resolver ids.
+        assert all(v < 200 for v in counts.values())
+
+    def test_dns_popularity_tracks_site_popularity(self, tiny_world, day_events):
+        ranking = day_events.dns_log.ranking(0)
+        top_names = set(ranking[:20])
+        popular_names = set()
+        for site in range(40):
+            popular_names.add(tiny_world.sites.names[site])
+            popular_names.add(f"www.{tiny_world.sites.names[site]}")
+        assert top_names & popular_names
+
+
+class TestDeterminism:
+    def test_same_day_reproducible(self, tiny_world, tiny_traffic):
+        a = EventSimulator(tiny_world, tiny_traffic).simulate_day(1, 500)
+        b = EventSimulator(tiny_world, tiny_traffic).simulate_day(1, 500)
+        assert [s.site for s in a.sessions] == [s.site for s in b.sessions]
+        assert a.logs.record_count() == b.logs.record_count()
+
+    def test_days_differ(self, tiny_world, tiny_traffic):
+        a = EventSimulator(tiny_world, tiny_traffic).simulate_day(0, 500)
+        b = EventSimulator(tiny_world, tiny_traffic).simulate_day(1, 500)
+        assert [s.site for s in a.sessions] != [s.site for s in b.sessions]

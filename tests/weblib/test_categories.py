@@ -1,0 +1,64 @@
+"""Tests for the category taxonomy."""
+
+import pytest
+
+from repro.weblib.categories import CATEGORIES, category_by_name, category_index
+
+
+class TestTaxonomy:
+    def test_twenty_two_categories(self):
+        # The paper applies a Bonferroni correction of 22.
+        assert len(CATEGORIES) == 22
+
+    def test_prevalence_sums_to_one(self):
+        assert abs(sum(c.prevalence for c in CATEGORIES) - 1.0) < 1e-9
+
+    def test_names_unique(self):
+        names = [c.name for c in CATEGORIES]
+        assert len(set(names)) == len(names)
+
+    def test_lookup_roundtrip(self):
+        for i, cat in enumerate(CATEGORIES):
+            assert category_by_name(cat.name) is cat
+            assert category_index(cat.name) == i
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            category_by_name("cryptozoology")
+
+
+class TestMechanismParameters:
+    """The parameters encode the paper's stated bias mechanisms."""
+
+    def test_adult_browsed_privately(self):
+        # Gao et al.: adult browsing happens in private windows.
+        adult = category_by_name("adult")
+        others = [c for c in CATEGORIES if c.name not in ("adult", "gambling")]
+        assert adult.private_browsing_rate > max(c.private_browsing_rate for c in others)
+
+    def test_government_attracts_backlinks(self):
+        gov = category_by_name("government")
+        assert gov.backlink_propensity == max(c.backlink_propensity for c in CATEGORIES)
+
+    def test_enterprise_blocks_adult_gambling_abuse(self):
+        blocked = {"adult", "gambling", "abuse"}
+        for cat in CATEGORIES:
+            if cat.name in blocked:
+                assert cat.enterprise_blocked_rate > 0.5
+            else:
+                assert cat.enterprise_blocked_rate < 0.5
+
+    def test_parked_not_public(self):
+        # Parked/abuse domains are rarely crawlable public pages.
+        assert category_by_name("parked").robots_public_rate < 0.5
+        assert category_by_name("abuse").robots_public_rate < 0.5
+
+    def test_all_rates_are_probabilities(self):
+        for cat in CATEGORIES:
+            assert 0.0 <= cat.private_browsing_rate <= 1.0
+            assert 0.0 <= cat.enterprise_blocked_rate <= 1.0
+            assert 0.0 <= cat.robots_public_rate <= 1.0
+            assert 0.0 <= cat.work_affinity <= 1.0
+            assert cat.prevalence > 0
+            assert cat.popularity_tilt > 0
+            assert cat.dwell_seconds > 0

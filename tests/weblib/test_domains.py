@@ -1,0 +1,140 @@
+"""Tests for hostname and origin parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.weblib.domains import (
+    Origin,
+    is_valid_hostname,
+    parse_name,
+    parse_origin,
+    reverse_labels,
+    split_labels,
+)
+
+
+class TestSplitLabels:
+    def test_basic(self):
+        assert split_labels("www.example.com") == ["www", "example", "com"]
+
+    def test_lowercases(self):
+        assert split_labels("WWW.Example.COM") == ["www", "example", "com"]
+
+    def test_trailing_dot_removed(self):
+        assert split_labels("example.com.") == ["example", "com"]
+
+    def test_empty(self):
+        assert split_labels("") == []
+
+    def test_whitespace_stripped(self):
+        assert split_labels("  example.com  ") == ["example", "com"]
+
+
+class TestReverseLabels:
+    def test_tld_first(self):
+        assert reverse_labels("www.example.com") == ["com", "example", "www"]
+
+    def test_single_label(self):
+        assert reverse_labels("com") == ["com"]
+
+
+class TestIsValidHostname:
+    @pytest.mark.parametrize(
+        "name",
+        ["example.com", "a.b.c.d.e", "xn--bcher-kva.de", "_dmarc.example.com",
+         "a-b.example.org", "1.2.3.example", "x" * 63 + ".com"],
+    )
+    def test_valid(self, name):
+        assert is_valid_hostname(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", "-leading.example.com", "trailing-.example.com", "exa mple.com",
+         "x" * 64 + ".com", "a..b", "a." * 130 + "com", "exämple.com"],
+    )
+    def test_invalid(self, name):
+        assert not is_valid_hostname(name)
+
+
+class TestParseName:
+    def test_roundtrip(self):
+        parsed = parse_name("WWW.Example.COM.")
+        assert parsed.host == "www.example.com"
+        assert parsed.labels == ("www", "example", "com")
+        assert str(parsed) == "www.example.com"
+
+    def test_depth(self):
+        assert parse_name("a.b.c").depth == 3
+
+    def test_parent(self):
+        assert parse_name("www.example.com").parent().host == "example.com"
+
+    def test_parent_of_tld_is_none(self):
+        assert parse_name("com").parent() is None
+
+    def test_subdomain_relation(self):
+        child = parse_name("a.b.example.com")
+        parent = parse_name("example.com")
+        assert child.is_subdomain_of(parent)
+        assert not parent.is_subdomain_of(child)
+        assert not parent.is_subdomain_of(parent)
+
+    def test_unrelated_not_subdomain(self):
+        assert not parse_name("a.other.com").is_subdomain_of(parse_name("example.com"))
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_name("bad..name")
+
+
+class TestParseOrigin:
+    def test_https_default_port(self):
+        origin = parse_origin("https://example.com")
+        assert origin == Origin("https", "example.com", 443)
+        assert origin.is_default_port
+        assert origin.serialize() == "https://example.com"
+
+    def test_http_default_port(self):
+        assert parse_origin("http://example.com").port == 80
+
+    def test_explicit_port(self):
+        origin = parse_origin("https://example.com:8443")
+        assert origin.port == 8443
+        assert origin.serialize() == "https://example.com:8443"
+
+    def test_case_insensitive(self):
+        assert parse_origin("HTTPS://Example.COM").serialize() == "https://example.com"
+
+    @pytest.mark.parametrize(
+        "text",
+        ["example.com", "ftp://example.com", "https://example.com/path",
+         "https://example.com?q=1", "https://", "https://example.com:0",
+         "https://example.com:99999", "https://example.com:abc"],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_origin(text)
+
+    def test_distinct_origins_not_equal(self):
+        assert parse_origin("https://example.com") != parse_origin("https://www.example.com")
+        assert parse_origin("https://example.com") != parse_origin("http://example.com")
+
+
+_LABEL = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", fullmatch=True)
+
+
+@given(st.lists(_LABEL, min_size=1, max_size=5))
+def test_property_parse_roundtrip(labels):
+    """Any syntactically valid label sequence parses and round-trips."""
+    name = ".".join(labels)
+    parsed = parse_name(name)
+    assert parsed.host == name
+    assert list(parsed.labels) == labels
+
+
+@given(st.lists(_LABEL, min_size=1, max_size=5))
+def test_property_origin_roundtrip(labels):
+    """Origins serialize and reparse to the same value."""
+    origin = parse_origin(f"https://{'.'.join(labels)}")
+    assert parse_origin(origin.serialize()) == origin

@@ -1,0 +1,121 @@
+"""Tests for the Punycode/IDNA codec, cross-validated against Python's."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.weblib.idna import (
+    IdnaError,
+    punycode_decode,
+    punycode_encode,
+    to_ascii,
+    to_unicode,
+)
+
+
+class TestRfcVectors:
+    """Sample strings from RFC 3492 section 7.1."""
+
+    @pytest.mark.parametrize(
+        "unicode_text,encoded",
+        [
+            ("bücher", "bcher-kva"),
+            ("München", "mnchen-3ya"),
+            # RFC 3492 (L): Japanese "3年B組金八先生"
+            ("3年B組金八先生", "3B-ww4c5e180e575a65lsy2b"),
+            # RFC 3492 (A): Arabic (Egyptian)
+            (
+                "ليهمابتكل"
+                "موشعربي؟",
+                "egbpdaj6bu4bxfgehfvwxn",
+            ),
+            # RFC 3492 (K): Vietnamese
+            (
+                "Tạisaohọkhôngthểchỉnóiti"
+                "ếngViệt",
+                "TisaohkhngthchnitingVit-kjcr8268qyxafd2f1b9g",
+            ),
+        ],
+    )
+    def test_encode(self, unicode_text, encoded):
+        assert punycode_encode(unicode_text).lower() == encoded.lower()
+
+    @pytest.mark.parametrize(
+        "unicode_text,encoded",
+        [
+            ("bücher", "bcher-kva"),
+            ("münchen", "mnchen-3ya"),  # case of basic chars is preserved as given
+            ("München", "Mnchen-3ya"),
+        ],
+    )
+    def test_decode(self, unicode_text, encoded):
+        assert punycode_decode(encoded) == unicode_text
+
+
+class TestHostConversions:
+    def test_to_ascii(self):
+        assert to_ascii("bücher.de") == "xn--bcher-kva.de"
+        assert to_ascii("Example.COM") == "example.com"
+
+    def test_to_unicode(self):
+        assert to_unicode("xn--bcher-kva.de") == "bücher.de"
+        assert to_unicode("example.com") == "example.com"
+
+    def test_roundtrip_mixed(self):
+        name = "shop.bücher.co.uk"
+        assert to_unicode(to_ascii(name)) == name
+
+    def test_matches_python_codec(self):
+        for name in ("bücher.de", "münchen.example", "東京.jp", "café.fr"):
+            ours = to_ascii(name)
+            theirs = name.encode("idna").decode("ascii")
+            assert ours == theirs, name
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(IdnaError):
+            to_ascii("a..b")
+
+    def test_truncated_punycode_rejected(self):
+        with pytest.raises(IdnaError):
+            punycode_decode("bcher-kv")  # invalid digit
+
+    def test_bad_digit_rejected(self):
+        with pytest.raises(IdnaError):
+            punycode_decode("abc-!!")
+
+
+_LABEL_TEXT = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        min_codepoint=ord("a"),
+        max_codepoint=0x2FFF,
+        exclude_characters=".  ",
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(_LABEL_TEXT)
+@settings(max_examples=150)
+def test_property_punycode_roundtrip(label):
+    """encode -> decode is the identity for any label."""
+    label = label.lower()
+    assert punycode_decode(punycode_encode(label)) == label
+
+
+@given(_LABEL_TEXT)
+@settings(max_examples=100)
+def test_property_matches_stdlib_punycode(label):
+    """Our encoder agrees with Python's punycode codec."""
+    label = label.lower()
+    ours = punycode_encode(label)
+    theirs = label.encode("punycode").decode("ascii")
+    assert ours == theirs
+
+
+@given(_LABEL_TEXT)
+@settings(max_examples=80)
+def test_property_encoded_is_ascii(label):
+    encoded = punycode_encode(label.lower())
+    assert all(ord(c) < 128 for c in encoded)

@@ -1,0 +1,135 @@
+"""Tests for the Public Suffix List matcher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.weblib.psl import PublicSuffixList, default_psl
+
+
+@pytest.fixture(scope="module")
+def psl() -> PublicSuffixList:
+    return default_psl()
+
+
+class TestPublicSuffix:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("example.com", "com"),
+            ("www.example.com", "com"),
+            ("bbc.co.uk", "co.uk"),
+            ("www.bbc.co.uk", "co.uk"),
+            ("foo.gov.cn", "gov.cn"),
+            ("a.b.c.example.co.jp", "co.jp"),
+            ("com", "com"),
+            ("co.uk", "co.uk"),
+        ],
+    )
+    def test_normal_rules(self, psl, name, expected):
+        assert psl.public_suffix(name) == expected
+
+    def test_wildcard_rule(self, psl):
+        # *.ck: any single label under ck is a public suffix.
+        assert psl.public_suffix("foo.ck") == "foo.ck"
+        assert psl.public_suffix("bar.foo.ck") == "foo.ck"
+
+    def test_exception_rule(self, psl):
+        # !www.ck: www.ck is NOT a public suffix despite the wildcard.
+        assert psl.public_suffix("www.ck") == "ck"
+        assert psl.registrable_domain("www.ck") == "www.ck"
+
+    def test_wildcard_jp_cities(self, psl):
+        assert psl.public_suffix("foo.kawasaki.jp") == "foo.kawasaki.jp"
+        assert psl.public_suffix("city.kawasaki.jp") == "kawasaki.jp"
+
+    def test_unknown_tld_prevailing_rule(self, psl):
+        # No rule matches -> "*" prevails: TLD itself is the suffix.
+        assert psl.public_suffix("example.zz-unknown") == "zz-unknown"
+        assert psl.registrable_domain("foo.example.zz-unknown") == "example.zz-unknown"
+
+    def test_empty(self, psl):
+        assert psl.public_suffix("") is None
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("example.com", "example.com"),
+            ("www.example.com", "example.com"),
+            ("a.b.example.co.uk", "example.co.uk"),
+            ("example.github.io", "example.github.io"),  # private section
+            ("deep.example.github.io", "example.github.io"),
+        ],
+    )
+    def test_registrable(self, psl, name, expected):
+        assert psl.registrable_domain(name) == expected
+
+    @pytest.mark.parametrize("name", ["com", "co.uk", "gov.cn", "github.io"])
+    def test_bare_suffix_has_none(self, psl, name):
+        assert psl.registrable_domain(name) is None
+
+    def test_private_rules_optional(self):
+        icann_only = PublicSuffixList(include_private=False)
+        assert icann_only.registrable_domain("example.github.io") == "github.io"
+
+    def test_is_public_suffix(self, psl):
+        assert psl.is_public_suffix("co.uk")
+        assert not psl.is_public_suffix("example.co.uk")
+
+
+class TestDeviation:
+    @pytest.mark.parametrize(
+        "name,deviates",
+        [
+            ("example.com", False),
+            ("www.example.com", True),
+            ("com", True),  # no registrable domain at all
+            ("bbc.co.uk", False),
+            ("news.bbc.co.uk", True),
+        ],
+    )
+    def test_deviates(self, psl, name, deviates):
+        assert psl.deviates_from_registrable(name) is deviates
+
+
+class TestRuleParsing:
+    def test_rule_count(self, psl):
+        assert len(psl) > 200
+
+    def test_malformed_rule_rejected(self):
+        with pytest.raises(ValueError):
+            PublicSuffixList(icann_rules=["bad..rule"], private_rules=[])
+
+    def test_custom_rules(self):
+        custom = PublicSuffixList(icann_rules=["test", "sub.test"], private_rules=[])
+        assert custom.registrable_domain("a.sub.test") == "a.sub.test"
+        assert custom.registrable_domain("a.b.test") == "b.test"
+
+
+_LABEL = st.from_regex(r"[a-z]([a-z0-9-]{0,8}[a-z0-9])?", fullmatch=True)
+
+
+@given(st.lists(_LABEL, min_size=2, max_size=6))
+def test_property_registrable_contains_suffix(labels):
+    """registrable = suffix + exactly one label, and name ends with it."""
+    psl = default_psl()
+    name = ".".join(labels)
+    suffix = psl.public_suffix(name)
+    registrable = psl.registrable_domain(name)
+    assert name.endswith(suffix)
+    if registrable is not None:
+        assert registrable.endswith(suffix)
+        assert len(registrable.split(".")) == len(suffix.split(".")) + 1
+        assert name.endswith(registrable)
+
+
+@given(st.lists(_LABEL, min_size=2, max_size=6))
+def test_property_registrable_idempotent(labels):
+    """Normalizing an already-registrable domain is a no-op."""
+    psl = default_psl()
+    registrable = psl.registrable_domain(".".join(labels))
+    if registrable is not None:
+        assert psl.registrable_domain(registrable) == registrable
+        assert not psl.deviates_from_registrable(registrable)

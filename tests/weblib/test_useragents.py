@@ -1,0 +1,52 @@
+"""Tests for the browser / user-agent model."""
+
+import pytest
+
+from repro.weblib.useragents import (
+    BROWSERS,
+    TOP_FIVE_BROWSERS,
+    UserAgent,
+    browser_by_name,
+)
+
+
+class TestBrowserTable:
+    def test_top_five_are_browsers(self):
+        assert len(TOP_FIVE_BROWSERS) == 5
+        for name in TOP_FIVE_BROWSERS:
+            assert browser_by_name(name).is_browser
+
+    def test_chrome_is_top(self):
+        assert TOP_FIVE_BROWSERS[0] == "chrome"
+
+    def test_top_five_sorted_by_share(self):
+        shares = [browser_by_name(n).global_share for n in TOP_FIVE_BROWSERS]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_bots_not_in_top_five(self):
+        bots = {b.name for b in BROWSERS if not b.is_browser}
+        assert bots
+        assert not bots & set(TOP_FIVE_BROWSERS)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            browser_by_name("netscape-navigator")
+
+    def test_shares_form_distribution(self):
+        total = sum(b.global_share for b in BROWSERS)
+        assert 0.9 < total <= 1.05
+
+
+class TestUserAgent:
+    def test_header_value_substitutes_version(self):
+        ua = UserAgent(family="chrome", version="98.0.4758.102")
+        assert "98.0.4758.102" in ua.header_value()
+        assert ua.header_value().startswith("Mozilla/5.0")
+
+    def test_top_five_flag(self):
+        assert UserAgent("chrome", "98.0").is_top_five_browser
+        assert not UserAgent("curl", "7.81").is_top_five_browser
+
+    def test_bot_ua_strings_distinct(self):
+        values = {UserAgent(b.name, "1.0").header_value() for b in BROWSERS}
+        assert len(values) == len(BROWSERS)

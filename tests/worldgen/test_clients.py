@@ -1,0 +1,63 @@
+"""Tests for the client population."""
+
+import numpy as np
+import pytest
+
+from repro.worldgen.countries import COUNTRIES, TELEMETRY_COUNTRIES, country_index
+
+
+class TestClientPopulation:
+    def test_totals_match_config(self, small_world):
+        clients = small_world.clients
+        assert clients.total_clients == pytest.approx(
+            small_world.config.n_clients, rel=0.1
+        )
+
+    def test_platform_split_tracks_android_share(self, small_world):
+        clients = small_world.clients
+        split = clients.platform_split()
+        android = np.array([c.android_share for c in COUNTRIES])
+        assert np.allclose(split, android, atol=0.02)
+
+    def test_china_dominates_secrank(self, small_world):
+        clients = small_world.clients
+        assert clients.secrank_share[country_index("cn")] > 0.9
+
+    def test_us_dominates_umbrella(self, small_world):
+        clients = small_world.clients
+        us = clients.umbrella_share[country_index("us")]
+        assert us == max(clients.umbrella_share)
+        assert us > 0.5
+
+    def test_chrome_panel_positive_everywhere(self, small_world):
+        panel = small_world.clients.chrome_panel_clients()
+        assert (panel > 0).all()
+
+    def test_alexa_panel_desktop_only_definition(self, small_world):
+        clients = small_world.clients
+        panel = clients.alexa_panel_clients()
+        # Panel sizes bounded by the desktop populations.
+        assert (panel <= clients.counts[:, 0]).all()
+        assert (panel >= 0).all()
+
+    def test_country_count(self, small_world):
+        assert small_world.clients.n_countries == len(COUNTRIES)
+        assert len(TELEMETRY_COUNTRIES) == 11
+
+
+class TestCountryTable:
+    def test_shares_sum_to_one(self):
+        assert sum(c.web_population_share for c in COUNTRIES) == pytest.approx(1.0)
+
+    def test_codes_unique(self):
+        codes = [c.code for c in COUNTRIES]
+        assert len(set(codes)) == len(codes)
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(KeyError):
+            country_index("atlantis")
+
+    def test_japan_is_most_local(self):
+        jp = COUNTRIES[country_index("jp")]
+        others = [c for c in COUNTRIES if c.code != "jp"]
+        assert jp.locality_mean > max(c.locality_mean for c in others if c.code != "cn")

@@ -1,0 +1,64 @@
+"""Tests for WorldConfig validation and derived quantities."""
+
+import pytest
+
+from repro.worldgen.config import PAPER_MAGNITUDES, WorldConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = WorldConfig()
+        assert config.n_sites > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_sites": 50},
+            {"n_days": 0},
+            {"start_weekday": 7},
+            {"bucket_fractions": (0.5, 0.1)},
+            {"bucket_fractions": (0.1, 1.5)},
+            {"bucket_fractions": (0.1, 0.5)},  # label count mismatch
+            {"zipf_exponent": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            WorldConfig(**kwargs)
+
+
+class TestDerived:
+    def test_bucket_sizes_increasing(self):
+        sizes = WorldConfig(n_sites=20000).bucket_sizes
+        assert list(sizes) == sorted(sizes)
+        assert len(sizes) == len(PAPER_MAGNITUDES)
+
+    def test_bucket_sizes_scale_with_list(self):
+        config = WorldConfig(n_sites=20000, list_fraction=0.3)
+        assert config.bucket_sizes[-1] == config.list_length
+
+    def test_bucket_ratio_matches_paper(self):
+        # Buckets are 10x apart, like 1K/10K/100K (the last is the full list).
+        sizes = WorldConfig(n_sites=50000).bucket_sizes
+        assert sizes[1] == pytest.approx(10 * sizes[0], rel=0.05)
+        assert sizes[2] == pytest.approx(10 * sizes[1], rel=0.05)
+
+    def test_weekday_cycle(self):
+        config = WorldConfig(start_weekday=1)  # Tuesday, like Feb 1 2022
+        assert config.weekday_of(0) == 1
+        assert config.weekday_of(6) == 0
+        # Feb 5-6 2022 were Sat-Sun.
+        assert config.is_weekend(4)
+        assert config.is_weekend(5)
+        assert not config.is_weekend(6)
+
+    def test_scaled_override(self):
+        config = WorldConfig()
+        bigger = config.scaled(n_sites=30000)
+        assert bigger.n_sites == 30000
+        assert bigger.seed == config.seed
+        assert config.n_sites != 30000  # frozen original untouched
+
+    def test_hashable_for_context_cache(self):
+        assert hash(WorldConfig()) == hash(WorldConfig())
+        assert WorldConfig() == WorldConfig()

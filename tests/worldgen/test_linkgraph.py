@@ -1,0 +1,43 @@
+"""Tests for the explicit hyperlink graph."""
+
+import numpy as np
+
+from repro.worldgen.linkgraph import backlink_counts, build_link_graph, link_pagerank
+
+
+class TestLinkGraph:
+    def test_builds_over_prefix(self, tiny_world, rng):
+        graph = build_link_graph(tiny_world.sites, rng, max_sites=150)
+        assert graph.number_of_nodes() == 150
+        assert graph.number_of_edges() > 150  # mean_outlinks >> 1
+
+    def test_no_self_loops(self, tiny_world, rng):
+        graph = build_link_graph(tiny_world.sites, rng, max_sites=100)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_backlink_counts_match_in_degree(self, tiny_world, rng):
+        graph = build_link_graph(tiny_world.sites, rng, max_sites=100)
+        counts = backlink_counts(graph, 100)
+        assert counts.sum() == graph.number_of_edges()
+        for node in (0, 50, 99):
+            assert counts[node] == graph.in_degree(node)
+
+    def test_high_score_sites_attract_links(self, tiny_world, rng):
+        sites = tiny_world.sites
+        graph = build_link_graph(sites, rng, max_sites=300, mean_outlinks=20)
+        counts = backlink_counts(graph, 300)
+        score = sites.backlink_score[:300]
+        top_scored = np.argsort(-score)[:30]
+        bottom_scored = np.argsort(-score)[-30:]
+        assert counts[top_scored].mean() > counts[bottom_scored].mean() * 2
+
+    def test_pagerank_is_distribution(self, tiny_world, rng):
+        graph = build_link_graph(tiny_world.sites, rng, max_sites=120)
+        ranks = link_pagerank(graph, 120)
+        assert ranks.sum() == np.float64(1.0) or abs(ranks.sum() - 1.0) < 1e-6
+        assert (ranks >= 0).all()
+
+    def test_deterministic_given_rng(self, tiny_world):
+        a = build_link_graph(tiny_world.sites, np.random.default_rng(5), max_sites=80)
+        b = build_link_graph(tiny_world.sites, np.random.default_rng(5), max_sites=80)
+        assert sorted(a.edges()) == sorted(b.edges())

@@ -1,0 +1,51 @@
+"""Tests for domain-name generation."""
+
+import numpy as np
+
+from repro.weblib.domains import is_valid_hostname
+from repro.weblib.psl import default_psl
+from repro.worldgen.countries import country_index
+from repro.weblib.categories import category_index
+from repro.worldgen.names import generate_site_names
+
+
+def _generate(rng, n=500, country=None, category=None):
+    home = np.full(n, country if country is not None else 0, dtype=np.int64)
+    cats = np.full(n, category if category is not None else 5, dtype=np.int64)
+    if country is None:
+        home = rng.integers(0, 12, size=n)
+    if category is None:
+        cats = rng.integers(0, 22, size=n)
+    return generate_site_names(rng, home, cats)
+
+
+class TestGeneration:
+    def test_unique(self, rng):
+        names = _generate(rng, n=2000)
+        assert len(set(names)) == 2000
+
+    def test_syntactically_valid(self, rng):
+        assert all(is_valid_hostname(n) for n in _generate(rng, n=500))
+
+    def test_registrable(self, rng):
+        psl = default_psl()
+        names = _generate(rng, n=500)
+        assert all(psl.registrable_domain(n) == n for n in names)
+
+    def test_country_tlds(self, rng):
+        jp_names = _generate(rng, n=400, country=country_index("jp"),
+                             category=category_index("business"))
+        jp_ish = [n for n in jp_names if n.endswith(".jp") or ".jp" in n]
+        assert len(jp_ish) > 100  # co.jp / ne.jp / jp dominate
+
+    def test_government_tld_override(self, rng):
+        gov_names = _generate(rng, n=300, country=country_index("gb"),
+                              category=category_index("government"))
+        gov_uk = [n for n in gov_names if n.endswith(".gov.uk")]
+        assert len(gov_uk) > 150  # 85% override rate
+
+    def test_collision_suffixing(self, rng):
+        # With a huge n relative to the word pools, serials must kick in
+        # and still produce unique names.
+        names = _generate(rng, n=5000, country=0, category=5)
+        assert len(set(names)) == 5000

@@ -1,0 +1,101 @@
+"""Tests for the name table."""
+
+import numpy as np
+import pytest
+
+from repro.weblib.domains import parse_origin
+from repro.weblib.psl import default_psl
+from repro.worldgen.nametable import INFRA_DNS_NAMES, NameKind
+
+
+class TestLayout:
+    def test_domain_rows_lead_in_site_order(self, small_world):
+        names = small_world.names
+        n = small_world.n_sites
+        assert (names.kind[:n] == NameKind.DOMAIN).all()
+        assert (names.site[:n] == np.arange(n)).all()
+        assert names.strings[:n] == small_world.sites.names
+
+    def test_infra_rows_present(self, small_world):
+        names = small_world.names
+        infra = names.dns_weight > 0
+        expected_chaff = round(
+            small_world.config.dns_chaff_fraction * small_world.n_sites
+        )
+        assert infra.sum() == len(INFRA_DNS_NAMES) + expected_chaff
+        assert (names.site[infra] == -1).all()
+
+    def test_strings_unique_per_kind(self, small_world):
+        # A site's apex legitimately appears both as its domain row and as
+        # an FQDN row; within one kind, strings must be unique.
+        names = small_world.names
+        for kind in (NameKind.DOMAIN, NameKind.FQDN, NameKind.ORIGIN):
+            rows = names.rows_of_kind(kind)
+            strings = [names.strings[int(r)] for r in rows]
+            assert len(set(strings)) == len(strings)
+
+    def test_lookup(self, small_world):
+        names = small_world.names
+        domain = small_world.sites.names[5]
+        row = names.lookup(domain)
+        assert row == 5
+        assert names.lookup("not-a-real-name.zz") is None
+
+
+class TestFqdns:
+    def test_every_site_has_fqdns(self, small_world):
+        names = small_world.names
+        fqdn_sites = names.site[names.rows_of_kind(NameKind.FQDN)]
+        owned = fqdn_sites[fqdn_sites >= 0]
+        assert set(owned.tolist()) == set(range(small_world.n_sites))
+
+    def test_fqdn_shares_sum_to_one_per_site(self, small_world):
+        names = small_world.names
+        rows = names.rows_of_kind(NameKind.FQDN)
+        sites = names.site[rows]
+        shares = names.share[rows]
+        totals = np.zeros(small_world.n_sites)
+        np.add.at(totals, sites[sites >= 0], shares[sites >= 0])
+        assert np.allclose(totals, 1.0, atol=1e-6)
+
+    def test_fqdns_fold_to_owner_domain(self, small_world):
+        names = small_world.names
+        psl = default_psl()
+        rows = names.rows_of_kind(NameKind.FQDN)[:300]
+        for row in rows:
+            site = int(names.site[row])
+            if site < 0:
+                continue
+            registrable = psl.registrable_domain(names.strings[row])
+            assert registrable == small_world.sites.names[site]
+
+
+class TestOrigins:
+    def test_every_site_has_an_origin(self, small_world):
+        names = small_world.names
+        origin_sites = names.site[names.rows_of_kind(NameKind.ORIGIN)]
+        assert set(origin_sites.tolist()) == set(range(small_world.n_sites))
+
+    def test_origins_parse(self, small_world):
+        names = small_world.names
+        rows = names.rows_of_kind(NameKind.ORIGIN)[:300]
+        for row in rows:
+            origin = parse_origin(names.strings[row])
+            assert origin.scheme in ("http", "https")
+
+    def test_origin_shares_bounded_per_site(self, small_world):
+        names = small_world.names
+        rows = names.rows_of_kind(NameKind.ORIGIN)
+        sites = names.site[rows]
+        shares = names.share[rows]
+        totals = np.zeros(small_world.n_sites)
+        np.add.at(totals, sites, shares)
+        assert (totals <= 1.0 + 1e-6).all()
+        assert (totals > 0).all()
+
+    def test_some_http_origins_exist(self, small_world):
+        names = small_world.names
+        rows = names.rows_of_kind(NameKind.ORIGIN)
+        http = [row for row in rows if names.strings[row].startswith("http://")]
+        expected = small_world.config.http_origin_prob * small_world.n_sites
+        assert len(http) == pytest.approx(expected, rel=0.35)

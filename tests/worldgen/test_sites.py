@@ -1,0 +1,116 @@
+"""Tests for the site universe generator."""
+
+import numpy as np
+import pytest
+
+from repro.weblib.categories import CATEGORIES, category_index
+from repro.weblib.psl import default_psl
+from repro.worldgen.countries import COUNTRIES, country_index
+
+
+class TestStructure:
+    def test_sorted_by_weight(self, small_world):
+        weights = small_world.sites.weight
+        assert (np.diff(weights) <= 1e-18).all()
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_names_unique_and_registrable(self, small_world):
+        names = small_world.sites.names
+        assert len(set(names)) == len(names)
+        psl = default_psl()
+        sample = names[::25]
+        assert all(psl.registrable_domain(n) == n for n in sample)
+
+    def test_array_lengths_consistent(self, small_world):
+        sites = small_world.sites
+        n = sites.n_sites
+        for attr in (
+            "weight", "category", "home_country", "locality", "subres_mult",
+            "root_frac", "tls_per_pageload", "html_frac", "success_rate",
+            "referer_null_frac", "bot_share", "browser5_frac", "mobile_share",
+            "completion_rate", "dwell_seconds", "private_rate", "work_affinity",
+            "enterprise_block", "robots_public", "backlink_score", "backlinks",
+            "cf_served",
+        ):
+            assert len(getattr(sites, attr)) == n, attr
+        assert sites.country_share.shape == (n, len(COUNTRIES))
+
+
+class TestInvariants:
+    def test_country_share_rows_sum_to_one(self, small_world):
+        rows = small_world.sites.country_share.sum(axis=1)
+        assert np.allclose(rows, 1.0)
+
+    def test_home_country_gets_locality_share(self, small_world):
+        sites = small_world.sites
+        idx = np.arange(sites.n_sites)
+        home_share = sites.country_share[idx, sites.home_country]
+        assert np.allclose(home_share, sites.locality, atol=1e-9)
+
+    def test_request_shape_bounds(self, small_world):
+        sites = small_world.sites
+        assert (sites.subres_mult >= 1.0).all()
+        assert (sites.root_frac > 0).all() and (sites.root_frac < 1).all()
+        assert (sites.tls_per_pageload >= 1.0).all()
+        assert (sites.tls_per_pageload <= sites.subres_mult + 1e-9).all()
+        assert (sites.html_frac > 0).all() and (sites.html_frac <= 0.95).all()
+        assert (sites.success_rate > 0).all() and (sites.success_rate <= 1).all()
+        assert (sites.bot_share >= 0).all() and (sites.bot_share < 1).all()
+        assert (sites.browser5_frac + 1e-12 >= 0).all()
+        assert (sites.browser5_frac <= 1 - sites.bot_share + 1e-9).all()
+
+    def test_root_loads_never_exceed_requests(self, small_world):
+        # The bookend property of Section 3.4.
+        sites = small_world.sites
+        assert (sites.root_frac <= sites.subres_mult).all()
+
+    def test_giants_never_on_cloudflare(self, small_world):
+        giants = small_world.config.cf_excluded_giants
+        assert not small_world.sites.cf_served[:giants].any()
+
+    def test_cf_adoption_in_plausible_range(self, small_world):
+        rate = small_world.sites.cf_served.mean()
+        assert 0.1 < rate < 0.45
+
+    def test_backlinks_nonnegative(self, small_world):
+        assert (small_world.sites.backlinks >= 0).all()
+
+    def test_backlinks_weakly_track_popularity(self, small_world):
+        # Correlated, but far from perfectly (majestic_link_fidelity).
+        sites = small_world.sites
+        top = np.log10(sites.backlinks[:200] + 1).mean()
+        tail = np.log10(sites.backlinks[-200:] + 1).mean()
+        assert top > tail
+
+    def test_china_low_cf_adoption(self, small_world):
+        sites = small_world.sites
+        cn = sites.home_country == country_index("cn")
+        if cn.sum() > 100 and (~cn).sum() > 100:
+            assert sites.cf_served[cn].mean() < sites.cf_served[~cn].mean() * 0.6
+
+
+class TestCategoryMechanisms:
+    def test_adult_sites_browsed_privately(self, small_world):
+        sites = small_world.sites
+        adult = sites.category == category_index("adult")
+        rest = ~adult
+        if adult.sum() > 10:
+            assert sites.private_rate[adult].mean() > sites.private_rate[rest].mean() + 0.3
+
+    def test_news_overrepresented_at_top(self, small_world):
+        # popularity_tilt makes news punch above its prevalence.
+        sites = small_world.sites
+        news = category_index("news")
+        top_share = (sites.category[:250] == news).mean()
+        prevalence = CATEGORIES[news].prevalence
+        assert top_share > prevalence
+
+    def test_parked_underrepresented_at_top(self, small_world):
+        sites = small_world.sites
+        parked = category_index("parked")
+        top_share = (sites.category[:250] == parked).mean()
+        assert top_share < CATEGORIES[parked].prevalence
+
+    def test_every_category_present(self, small_world):
+        present = set(np.unique(small_world.sites.category).tolist())
+        assert present == set(range(len(CATEGORIES)))

@@ -1,0 +1,39 @@
+"""Tests for the world summary renderer and its CLI command."""
+
+from repro.cli import main
+from repro.worldgen.summary import summarize_world
+
+
+class TestSummary:
+    def test_contains_key_sections(self, small_world):
+        text = summarize_world(small_world)
+        assert "category mix" in text
+        assert "geography" in text
+        assert "cloudflare adoption" in text
+        assert "name table" in text
+        assert "request shape" in text
+
+    def test_mentions_top_site(self, small_world):
+        text = summarize_world(small_world)
+        assert small_world.sites.names[0] in text
+
+    def test_universe_line(self, small_world):
+        text = summarize_world(small_world)
+        assert str(small_world.n_sites) in text
+        assert str(small_world.config.list_length) in text
+
+    def test_japan_hosts_more_than_user_share(self, small_world):
+        """The site_share mechanism must be visible in the summary data."""
+        from repro.worldgen.countries import country_index
+
+        jp = country_index("jp")
+        hosted = (small_world.sites.home_country == jp).mean()
+        assert hosted > 0.04  # ~7% site share vs 2.8% user share
+
+
+class TestSummaryCli:
+    def test_cli(self, capsys):
+        code = main(["summary", "--sites", "1200", "--days", "8", "--seed", "77"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "category mix" in out

@@ -1,0 +1,61 @@
+"""Tests for the world self-validation battery."""
+
+import pytest
+
+from repro.cli import main
+from repro.worldgen.validate import WORLD_CHECKS, validate_world
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")  # corruption tests poke NaNs downstream
+class TestValidateWorld:
+    def test_fixture_worlds_pass(self, small_world, tiny_world):
+        for world in (small_world, tiny_world):
+            results = validate_world(world)
+            assert all(r.passed for r in results), [
+                (r.name, r.detail) for r in results if not r.passed
+            ]
+
+    def test_all_checks_run(self, tiny_world):
+        results = validate_world(tiny_world)
+        assert len(results) == len(WORLD_CHECKS)
+        assert len({r.name for r in results}) == len(results)
+
+    def test_detects_broken_weights(self, tiny_world):
+        # Corrupt a copy of the weight vector and confirm detection.
+        original = tiny_world.sites.weight
+        tiny_world.sites.weight = original.copy()
+        try:
+            tiny_world.sites.weight[0] = -1.0
+            results = {r.name: r for r in validate_world(tiny_world)}
+            assert not results["site weights"].passed
+        finally:
+            tiny_world.sites.weight = original
+
+    def test_detects_cf_giant(self, tiny_world):
+        original = tiny_world.sites.cf_served
+        tiny_world.sites.cf_served = original.copy()
+        try:
+            tiny_world.sites.cf_served[0] = True
+            results = {r.name: r for r in validate_world(tiny_world)}
+            assert not results["cloudflare giants"].passed
+        finally:
+            tiny_world.sites.cf_served = original
+
+    def test_detects_share_corruption(self, tiny_world):
+        original = tiny_world.sites.country_share
+        tiny_world.sites.country_share = original.copy()
+        try:
+            tiny_world.sites.country_share[5] *= 2.0
+            results = {r.name: r for r in validate_world(tiny_world)}
+            assert not results["country shares"].passed
+        finally:
+            tiny_world.sites.country_share = original
+
+
+class TestValidateCli:
+    def test_cli_passes_on_healthy_world(self, capsys):
+        code = main(["validate", "--sites", "1200", "--days", "8", "--seed", "77"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+        assert "FAIL" not in out

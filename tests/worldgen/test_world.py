@@ -1,0 +1,65 @@
+"""Tests for world assembly, RNG streams, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import build_world
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = WorldConfig(n_sites=400, n_days=2, seed=7)
+        a = build_world(config)
+        b = build_world(config)
+        assert a.sites.names == b.sites.names
+        assert np.array_equal(a.sites.weight, b.sites.weight)
+        assert np.array_equal(a.sites.cf_served, b.sites.cf_served)
+        assert a.names.strings == b.names.strings
+
+    def test_different_seed_different_world(self):
+        a = build_world(WorldConfig(n_sites=400, n_days=2, seed=7))
+        b = build_world(WorldConfig(n_sites=400, n_days=2, seed=8))
+        assert a.sites.names != b.sites.names
+
+    def test_stream_rewinds(self, tiny_world):
+        first = tiny_world.rng("cdn").random(5)
+        second = tiny_world.rng("cdn").random(5)
+        assert np.array_equal(first, second)
+
+    def test_streams_independent(self, tiny_world):
+        a = tiny_world.rng("cdn").random(5)
+        b = tiny_world.rng("alexa").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_day_streams_differ(self, tiny_world):
+        day0 = tiny_world.day_rng("traffic", 0).random(5)
+        day1 = tiny_world.day_rng("traffic", 1).random(5)
+        assert not np.array_equal(day0, day1)
+
+    def test_day_stream_reproducible(self, tiny_world):
+        a = tiny_world.day_rng("traffic", 3).random(5)
+        b = tiny_world.day_rng("traffic", 3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_unknown_stream_raises(self, tiny_world):
+        with pytest.raises(KeyError):
+            tiny_world.rng("nonexistent-subsystem")
+
+
+class TestAccessors:
+    def test_site_index_of_domain(self, tiny_world):
+        domain = tiny_world.sites.names[10]
+        assert tiny_world.site_index_of_domain(domain) == 10
+
+    def test_unknown_domain_raises(self, tiny_world):
+        with pytest.raises(KeyError):
+            tiny_world.site_index_of_domain("zzz-not-here.example")
+
+    def test_infra_name_raises(self, tiny_world):
+        with pytest.raises(KeyError):
+            tiny_world.site_index_of_domain("com")
+
+    def test_shape_properties(self, tiny_world):
+        assert tiny_world.n_sites == tiny_world.sites.n_sites
+        assert tiny_world.n_days == tiny_world.config.n_days

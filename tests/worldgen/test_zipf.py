@@ -1,0 +1,88 @@
+"""Tests for popularity distributions and count sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.worldgen.zipf import lognormal_factors, sample_counts, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(1000, 0.95)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (np.diff(weights) <= 0).all()
+        assert (weights > 0).all()
+
+    def test_exponent_controls_skew(self):
+        flat = zipf_weights(1000, 0.5)
+        steep = zipf_weights(1000, 1.5)
+        assert steep[0] > flat[0]
+        assert steep[-1] < flat[-1]
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_invalid_n(self, bad):
+        with pytest.raises(ValueError):
+            zipf_weights(bad, 1.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_weights(10, 0.0)
+
+    @given(st.integers(min_value=1, max_value=2000),
+           st.floats(min_value=0.1, max_value=2.5))
+    @settings(max_examples=30)
+    def test_property_valid_distribution(self, n, exponent):
+        weights = zipf_weights(n, exponent)
+        assert len(weights) == n
+        assert weights.sum() == pytest.approx(1.0)
+        assert (np.diff(weights) <= 1e-15).all()
+
+
+class TestSampleCounts:
+    def test_zero_expectation_gives_zero(self, rng):
+        assert (sample_counts(rng, np.zeros(100)) == 0).all()
+
+    def test_negative_treated_as_zero(self, rng):
+        assert (sample_counts(rng, np.array([-5.0, -0.1])) == 0).all()
+
+    def test_small_means_poisson_like(self, rng):
+        expected = np.full(50_000, 3.0)
+        observed = sample_counts(rng, expected)
+        assert observed.mean() == pytest.approx(3.0, rel=0.05)
+        assert observed.var() == pytest.approx(3.0, rel=0.1)
+
+    def test_large_means_normal_approx(self, rng):
+        expected = np.full(10_000, 1e6)
+        observed = sample_counts(rng, expected)
+        assert observed.mean() == pytest.approx(1e6, rel=0.001)
+        # Poisson variance ~ mean.
+        assert observed.std() == pytest.approx(1000.0, rel=0.1)
+
+    def test_integral_and_nonnegative(self, rng):
+        expected = np.abs(rng.normal(10, 20, size=1000))
+        observed = sample_counts(rng, expected)
+        assert (observed >= 0).all()
+        assert (observed == np.rint(observed)).all()
+
+    def test_mixed_magnitudes_shape_preserved(self, rng):
+        expected = np.array([[0.5, 5e5], [50.0, 0.0]])
+        observed = sample_counts(rng, expected)
+        assert observed.shape == expected.shape
+
+
+class TestLognormalFactors:
+    def test_zero_sigma_is_ones(self, rng):
+        assert (lognormal_factors(rng, 0.0, 10) == 1.0).all()
+
+    def test_positive(self, rng):
+        assert (lognormal_factors(rng, 1.0, 1000) > 0).all()
+
+    def test_median_near_one(self, rng):
+        factors = lognormal_factors(rng, 0.5, 100_000)
+        assert np.median(factors) == pytest.approx(1.0, rel=0.02)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_factors(rng, -0.1, 10)
