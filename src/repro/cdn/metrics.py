@@ -21,7 +21,7 @@ Counting model (per site, per day), driven by the shared traffic tensors:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +59,11 @@ class CdnMetricEngine:
         self._cf_mask = world.sites.cf_served
         self._cf_sites = world.sites.cf_indices()
         self._day_cache: Dict[int, Dict[str, np.ndarray]] = {}
+        #: Optional artifact-store hooks (see :mod:`repro.store.serialize`):
+        #: a loader returning all 21 combination arrays for a day, and a
+        #: saver invoked after a day is computed.
+        self.day_loader: Optional[Callable[[int], Optional[Dict[str, np.ndarray]]]] = None
+        self.day_saver: Optional[Callable[[int, Dict[str, np.ndarray]], None]] = None
 
     @property
     def world(self) -> World:
@@ -179,9 +184,15 @@ class CdnMetricEngine:
         """
         wanted = tuple(combos) if combos is not None else FINAL_SEVEN
         cached = self._day_cache.get(day)
+        if cached is None and self.day_loader is not None:
+            cached = self.day_loader(day)
+            if cached is not None:
+                self._day_cache[day] = cached
         if cached is None:
             cached = self._compute_observed(day)
             self._day_cache[day] = cached
+            if self.day_saver is not None:
+                self.day_saver(day, cached)
         return {key: cached[key] for key in wanted}
 
     def _compute_observed(self, day: int) -> Dict[str, np.ndarray]:

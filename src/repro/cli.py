@@ -1,10 +1,14 @@
 """Command-line interface.
 
-Three families of commands:
+Four families of commands:
 
 * experiments — ``repro fig2``, ``repro table1``, ``repro all``: reproduce
-  the paper's tables and figures over a freshly built (or process-cached)
-  world.
+  the paper's tables and figures.  Expensive artifacts (world, traffic
+  tensors, CDN metrics, provider lists) persist in a content-addressed
+  cache, so a cold run builds the world once and every later invocation
+  hydrates it from disk; ``--jobs N`` runs experiments in parallel with
+  per-experiment failure isolation and a JSON run manifest.
+* ``repro cache stats|ls|clear`` — inspect or empty the artifact store.
 * ``repro export <provider> <path>`` — write a simulated list as a
   Tranco-style rank CSV (or CrUX-style origin CSV for bucketed lists).
 * ``repro recommend`` — score every list for a study profile, per the
@@ -14,7 +18,9 @@ Examples::
 
     repro list                      # available experiments
     repro fig2                      # top lists vs Cloudflare
+    repro all --jobs 4              # the whole paper, in parallel
     repro table1 --sites 40000      # coverage table, larger scale
+    repro cache stats               # what the artifact store holds
     repro export umbrella /tmp/umbrella.csv --limit 1000
     repro recommend --need-ranks --magnitude 10K
 """
@@ -22,16 +28,28 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 import numpy as np
 
-from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.experiments import EXPERIMENTS
 from repro.core.pipeline import BENCH_CONFIG, ExperimentContext, experiment_context
+from repro.store import ArtifactStore, default_cache_dir
 
 __all__ = ["main", "build_parser"]
+
+
+def _default_max_bytes() -> Optional[int]:
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if env is None:
+        from repro.store import DEFAULT_MAX_BYTES
+
+        return DEFAULT_MAX_BYTES
+    value = int(env)
+    return None if value <= 0 else value
 
 
 def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +65,28 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=BENCH_CONFIG.seed,
         help="world seed (default: the February 2022 seed)",
     )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact store root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-toplists)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact store for this run",
+    )
+
+
+def _cache_dir_from_args(args: argparse.Namespace) -> Optional[str]:
+    if args.no_cache:
+        return None
+    return args.cache_dir if args.cache_dir else str(default_cache_dir())
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    cache_dir = _cache_dir_from_args(args)
+    if cache_dir is None:
+        return None
+    return ArtifactStore(cache_dir, _default_max_bytes())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--svg-dir", default=None, metavar="DIR",
-        help="also render the figures as SVG files into DIR",
+        help="also render the figures as SVG files into DIR "
+             "(forces in-process execution)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for running experiments (default 1)",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="write the JSON run manifest here (default: <cache>/runs/)",
     )
     _add_world_arguments(parser)
     return parser
@@ -98,7 +147,7 @@ def _build_recommend_parser() -> argparse.ArgumentParser:
 def _context_from_args(args: argparse.Namespace) -> ExperimentContext:
     config = BENCH_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
     started = time.perf_counter()
-    ctx = experiment_context(config)
+    ctx = experiment_context(config, store=_store_from_args(args))
     print(
         f"[world: {config.n_sites} sites, {config.n_days} days, seed {config.seed}; "
         f"ready in {time.perf_counter() - started:.1f}s]\n"
@@ -165,7 +214,7 @@ def _run_experiments(argv: List[str]) -> int:
         for name in EXPERIMENTS:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
             print(f"  {name:8s} {doc}")
-        print("\nother commands: export, recommend, validate, summary")
+        print("\nother commands: export, recommend, validate, summary, cache")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -176,20 +225,52 @@ def _run_experiments(argv: List[str]) -> int:
               file=sys.stderr)
         return 2
 
-    ctx = _context_from_args(args)
-    for name in names:
-        started = time.perf_counter()
-        result = run_experiment(name, ctx)
-        elapsed = time.perf_counter() - started
-        print(f"=== {result.name}: {result.title} ({elapsed:.1f}s) ===")
-        print(result.text)
-        if args.svg_dir:
+    from repro.runner import run_experiments
+
+    config = BENCH_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
+    cache_dir = _cache_dir_from_args(args)
+    jobs = max(1, args.jobs)
+    if args.svg_dir and jobs > 1:
+        print("[svg export runs in-process; ignoring --jobs]", file=sys.stderr)
+        jobs = 1
+    print(
+        f"[world: {config.n_sites} sites, {config.n_days} days, seed {config.seed}; "
+        f"jobs {jobs}; cache {'off' if cache_dir is None else cache_dir}]\n"
+    )
+    payloads, manifest, manifest_file = run_experiments(
+        names,
+        config,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        max_bytes=_default_max_bytes(),
+        manifest_path=args.manifest,
+        keep_results=bool(args.svg_dir),
+    )
+    for payload, outcome in zip(payloads, manifest.outcomes):
+        if not outcome.ok:
+            continue
+        print(f"=== {outcome.name}: {payload.get('title', '')} ({outcome.seconds:.1f}s) ===")
+        print(payload.get("text", ""))
+        if args.svg_dir and "result" in payload:
             from repro.core.figure_export import export_figures
 
-            for path in export_figures(result, args.svg_dir):
+            for path in export_figures(payload["result"], args.svg_dir):
                 print(f"[svg] {path}")
         print()
-    return 0
+    for outcome in manifest.failures:
+        print(f"[FAILED after {outcome.attempts} attempt(s)] {outcome.name}:",
+              file=sys.stderr)
+        print(outcome.error or "unknown error", file=sys.stderr)
+    totals = manifest.cache_totals()
+    if totals:
+        summary = ", ".join(
+            f"{kind} {counts.get('hits', 0)}h/{counts.get('misses', 0)}m"
+            for kind, counts in sorted(totals.items())
+        )
+        print(f"[cache: {summary}]")
+    if manifest_file is not None:
+        print(f"[manifest: {manifest_file}]")
+    return 1 if manifest.failures else 0
 
 
 def _run_validate(argv: List[str]) -> int:
@@ -225,18 +306,86 @@ def _run_summary(argv: List[str]) -> int:
     return 0
 
 
+def _format_bytes(size: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{size:.1f} GiB"
+
+
+def _run_cache(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or clear the persistent artifact store.",
+    )
+    parser.add_argument("action", choices=["stats", "ls", "clear"],
+                        help="what to do with the store")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact store root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-toplists)",
+    )
+    args = parser.parse_args(argv)
+    root = args.cache_dir if args.cache_dir else str(default_cache_dir())
+    store = ArtifactStore(root, _default_max_bytes())
+
+    if args.action == "clear":
+        freed = store.clear()
+        print(f"cleared {root} ({_format_bytes(freed)} freed)")
+        return 0
+
+    entries = store.entries()
+    if args.action == "ls":
+        if not entries:
+            print(f"(empty store at {root})")
+            return 0
+        for entry in entries:
+            stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(entry.mtime))
+            print(f"{entry.size:>12d}  {stamp}  {entry.key}")
+        return 0
+
+    total = sum(entry.size for entry in entries)
+    by_kind: dict = {}
+    for entry in entries:
+        parts = entry.key.split("/")
+        # Layout: v<schema>/<config>/<kind>/...
+        kind = parts[2] if len(parts) > 2 else parts[-1]
+        count, size = by_kind.get(kind, (0, 0))
+        by_kind[kind] = (count + 1, size + entry.size)
+    configs = {entry.key.split("/")[1] for entry in entries if "/" in entry.key}
+    cap = store.max_bytes
+    print(f"store: {root}")
+    print(f"entries: {len(entries)}  configs: {len(configs)}  "
+          f"size: {_format_bytes(total)}"
+          + (f" / cap {_format_bytes(cap)}" if cap else ""))
+    for kind in sorted(by_kind):
+        count, size = by_kind[kind]
+        print(f"  {kind:<10s} {count:>5d} entries  {_format_bytes(size)}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "export":
-        return _run_export(argv[1:])
-    if argv and argv[0] == "recommend":
-        return _run_recommend(argv[1:])
-    if argv and argv[0] == "validate":
-        return _run_validate(argv[1:])
-    if argv and argv[0] == "summary":
-        return _run_summary(argv[1:])
-    return _run_experiments(argv)
+    try:
+        if argv and argv[0] == "export":
+            return _run_export(argv[1:])
+        if argv and argv[0] == "recommend":
+            return _run_recommend(argv[1:])
+        if argv and argv[0] == "validate":
+            return _run_validate(argv[1:])
+        if argv and argv[0] == "summary":
+            return _run_summary(argv[1:])
+        if argv and argv[0] == "cache":
+            return _run_cache(argv[1:])
+        return _run_experiments(argv)
+    except BrokenPipeError:
+        # Output piped to a consumer that exited early (`repro cache ls |
+        # head`): the Unix convention is to die quietly, not traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -5,10 +5,20 @@ providers, CDN engine, telemetry, evaluator — and at bench scale these are
 worth building exactly once.  :func:`experiment_context` memoizes fully
 constructed contexts per config, so a pytest-benchmark session touching all
 twelve experiments builds the world a single time.
+
+With an :class:`~repro.store.ArtifactStore` attached, the context is also
+durable across processes: the world is hydrated from disk instead of
+rebuilt, and traffic/metric/provider artifacts stream lazily through the
+store (cold compute persists them; warm runs read them back).
+
+The in-process memo is bounded (:data:`MAX_CACHED_CONTEXTS`): a long-lived
+server sweeping many configurations evicts least-recently-used contexts
+instead of leaking whole worlds.  :func:`clear_contexts` empties it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -22,7 +32,13 @@ from repro.traffic.fastpath import TrafficModel
 from repro.worldgen.config import WorldConfig
 from repro.worldgen.world import World, build_world
 
-__all__ = ["ExperimentContext", "experiment_context", "BENCH_CONFIG"]
+__all__ = [
+    "ExperimentContext",
+    "experiment_context",
+    "clear_contexts",
+    "BENCH_CONFIG",
+    "MAX_CACHED_CONTEXTS",
+]
 
 #: The default configuration every bench runs at.
 BENCH_CONFIG = WorldConfig(n_sites=20_000, n_days=28)
@@ -77,21 +93,61 @@ class ExperimentContext:
         return self.config.bucket_labels
 
 
-_CONTEXTS: Dict[WorldConfig, ExperimentContext] = {}
+#: Most contexts kept alive in-process; least recently used evicted first.
+MAX_CACHED_CONTEXTS = 8
+
+_CONTEXTS: "OrderedDict[Tuple[WorldConfig, Optional[str]], ExperimentContext]" = OrderedDict()
 
 
-def experiment_context(config: Optional[WorldConfig] = None) -> ExperimentContext:
-    """Build (or fetch the cached) experiment context for a config."""
+def clear_contexts() -> None:
+    """Drop every memoized context (frees worlds in long-lived processes)."""
+    _CONTEXTS.clear()
+
+
+def experiment_context(
+    config: Optional[WorldConfig] = None, store: Optional["object"] = None
+) -> ExperimentContext:
+    """Build (or fetch the cached) experiment context for a config.
+
+    Args:
+        config: the world configuration (:data:`BENCH_CONFIG` by default).
+        store: an optional :class:`~repro.store.ArtifactStore`.  When given,
+          the world is hydrated from the store if present (persisted on a
+          cold build), and traffic tensors, CDN metric counts, and provider
+          lists flow through it lazily.
+    """
     config = config if config is not None else BENCH_CONFIG
-    cached = _CONTEXTS.get(config)
+    memo_key = (config, None if store is None else str(getattr(store, "root", store)))
+    cached = _CONTEXTS.get(memo_key)
     if cached is not None:
+        _CONTEXTS.move_to_end(memo_key)
         return cached
 
-    world = build_world(config)
-    traffic = TrafficModel(world)
-    telemetry = ChromeTelemetry(world, traffic)
-    providers = build_providers(world, traffic, telemetry)
-    engine = CdnMetricEngine(world, traffic)
+    if store is None:
+        world = build_world(config)
+        traffic = TrafficModel(world)
+        telemetry = ChromeTelemetry(world, traffic)
+        providers = build_providers(world, traffic, telemetry)
+        engine = CdnMetricEngine(world, traffic)
+    else:
+        from repro.store import (
+            attach_engine_store,
+            attach_traffic_store,
+            config_key,
+            load_or_build_world,
+            wrap_providers,
+        )
+
+        cfg_key = config_key(config)
+        world = load_or_build_world(store, cfg_key, config)
+        traffic = TrafficModel(world)
+        attach_traffic_store(traffic, store, cfg_key)
+        telemetry = ChromeTelemetry(world, traffic)
+        providers = wrap_providers(
+            build_providers(world, traffic, telemetry), store, cfg_key
+        )
+        engine = CdnMetricEngine(world, traffic)
+        attach_engine_store(engine, store, cfg_key)
     evaluator = CloudflareEvaluator(world, engine)
     context = ExperimentContext(
         config=config,
@@ -102,5 +158,7 @@ def experiment_context(config: Optional[WorldConfig] = None) -> ExperimentContex
         evaluator=evaluator,
         providers=providers,
     )
-    _CONTEXTS[config] = context
+    _CONTEXTS[memo_key] = context
+    while len(_CONTEXTS) > MAX_CACHED_CONTEXTS:
+        _CONTEXTS.popitem(last=False)
     return context

@@ -1,0 +1,10 @@
+"""Parallel experiment runner with durable run manifests.
+
+See :mod:`repro.runner.parallel` for execution and
+:mod:`repro.runner.manifest` for the manifest format.
+"""
+
+from repro.runner.manifest import ExperimentOutcome, RunManifest
+from repro.runner.parallel import run_experiments
+
+__all__ = ["ExperimentOutcome", "RunManifest", "run_experiments"]

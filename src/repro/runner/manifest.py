@@ -1,0 +1,115 @@
+"""Run manifests: the durable record of one experiment batch.
+
+Every :func:`repro.runner.parallel.run_experiments` call produces a
+:class:`RunManifest` — per-experiment wall time, worker id, attempts,
+outcome, and artifact-store hit/miss counts — written as JSON next to the
+cache (or wherever the caller asks).  The bench trajectory reads these to
+track cold/warm behavior over time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ExperimentOutcome", "RunManifest"]
+
+#: ``{kind: {"hits": n, "misses": n, "puts": n}}`` — the store-stats shape.
+CacheCounts = Dict[str, Dict[str, int]]
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's execution record.
+
+    Attributes:
+        name: experiment id (``fig1``...).
+        ok: whether the final attempt succeeded.
+        seconds: wall time of the final attempt.
+        worker_pid: process id that executed the final attempt.
+        attempts: 1, or 2 when the first attempt failed and was retried.
+        error: the final error message (None on success).
+        text_sha256: digest of the rendered text, for cheap cold-vs-warm
+          identity checks without storing whole tables in the manifest.
+        cache: artifact-store hit/miss/put deltas attributable to this
+          experiment (empty when caching is disabled).
+    """
+
+    name: str
+    ok: bool
+    seconds: float
+    worker_pid: int
+    attempts: int = 1
+    error: Optional[str] = None
+    text_sha256: Optional[str] = None
+    cache: CacheCounts = field(default_factory=dict)
+
+    @staticmethod
+    def digest(text: str) -> str:
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """The full record of one ``repro`` run."""
+
+    config: Dict[str, object]
+    schema_version: int
+    jobs: int
+    cache_dir: Optional[str]
+    started_unix: float
+    wall_seconds: float = 0.0
+    outcomes: List[ExperimentOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[ExperimentOutcome]:
+        """Outcomes that failed after retry."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def cache_totals(self) -> CacheCounts:
+        """Hit/miss/put counts summed over all experiments, by kind."""
+        totals: CacheCounts = {}
+        for outcome in self.outcomes:
+            for kind, counts in outcome.cache.items():
+                slot = totals.setdefault(kind, {"hits": 0, "misses": 0, "puts": 0})
+                for key, value in counts.items():
+                    slot[key] = slot.get(key, 0) + value
+        return totals
+
+    def total_hits(self) -> int:
+        """All artifact-store hits across the run."""
+        return sum(counts.get("hits", 0) for counts in self.cache_totals().values())
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["cache_totals"] = self.cache_totals()
+        return payload
+
+    def write(self, path: os.PathLike) -> None:
+        """Write the manifest as JSON (parents created, atomic replace)."""
+        path = os.fspath(path)
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        tmp = f"{path}.tmp-{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunManifest":
+        outcomes = [
+            ExperimentOutcome(**outcome)  # type: ignore[arg-type]
+            for outcome in payload.get("outcomes", [])
+        ]
+        return cls(
+            config=payload["config"],  # type: ignore[arg-type]
+            schema_version=int(payload["schema_version"]),  # type: ignore[arg-type]
+            jobs=int(payload["jobs"]),  # type: ignore[arg-type]
+            cache_dir=payload.get("cache_dir"),  # type: ignore[arg-type]
+            started_unix=float(payload["started_unix"]),  # type: ignore[arg-type]
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+            outcomes=outcomes,
+        )

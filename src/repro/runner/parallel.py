@@ -1,0 +1,250 @@
+"""The parallel experiment runner.
+
+Executes any subset of the :data:`~repro.core.experiments.EXPERIMENTS`
+registry across a ``ProcessPoolExecutor``.  Workers hydrate the shared
+experiment context from the artifact store instead of rebuilding it, so a
+cold ``repro all`` pays for world construction once per machine, and warm
+runs (and every worker after the first artifact lands) read tensors off
+disk.
+
+Failure isolation: an experiment that raises is retried once in-worker,
+then reported in the run manifest — one failure no longer aborts the batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.pipeline import experiment_context
+from repro.runner.manifest import ExperimentOutcome, RunManifest
+from repro.store.artifacts import (
+    DEFAULT_MAX_BYTES,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    config_key,
+)
+from repro.worldgen.config import WorldConfig
+
+__all__ = ["run_experiments"]
+
+#: Per-worker state, populated by the pool initializer (or inline).
+_WORKER: Dict[str, object] = {}
+
+#: Arrays larger than this are summarized, not inlined, in result JSON.
+_MAX_INLINE_ARRAY = 4096
+
+
+def _init_worker(config_json: str, cache_dir: Optional[str], max_bytes: Optional[int]) -> None:
+    _WORKER["config"] = WorldConfig.from_json(config_json)
+    _WORKER["store"] = (
+        ArtifactStore(cache_dir, max_bytes) if cache_dir is not None else None
+    )
+
+
+def _jsonable(value: object, depth: int = 0) -> object:
+    """Best-effort JSON projection of experiment result data."""
+    if depth > 6:
+        return repr(value)[:200]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        if value.size <= _MAX_INLINE_ARRAY:
+            return value.tolist()
+        return {"__array__": True, "shape": list(value.shape), "dtype": str(value.dtype)}
+    if isinstance(value, dict):
+        return {
+            "|".join(map(str, k)) if isinstance(k, tuple) else str(k): _jsonable(v, depth + 1)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v, depth + 1) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name), depth + 1)
+            for f in dataclasses.fields(value)
+        }
+    return repr(value)[:200]
+
+
+def _stats_snapshot(store: Optional[ArtifactStore]) -> Dict[str, Dict[str, int]]:
+    return {} if store is None else store.stats.snapshot()
+
+
+def _stats_delta(
+    before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    delta: Dict[str, Dict[str, int]] = {}
+    for kind, counts in after.items():
+        prior = before.get(kind, {})
+        changed = {
+            key: value - prior.get(key, 0)
+            for key, value in counts.items()
+            if value - prior.get(key, 0)
+        }
+        if changed:
+            delta[kind] = changed
+    return delta
+
+
+def _execute(name: str, keep_result: bool = False) -> Dict[str, object]:
+    """Run one experiment in the current worker; never raises."""
+    config: WorldConfig = _WORKER["config"]  # type: ignore[assignment]
+    store: Optional[ArtifactStore] = _WORKER.get("store")  # type: ignore[assignment]
+    before = _stats_snapshot(store)
+    payload: Dict[str, object] = {"name": name, "pid": os.getpid(), "attempts": 0}
+    started = time.perf_counter()
+    error: Optional[str] = None
+    for attempt in (1, 2):
+        payload["attempts"] = attempt
+        started = time.perf_counter()
+        try:
+            ctx = experiment_context(config, store=store)
+            result = run_experiment(name, ctx)
+        except Exception:
+            error = traceback.format_exc(limit=12)
+            continue
+        payload.update(
+            ok=True,
+            seconds=time.perf_counter() - started,
+            title=result.title,
+            text=result.text,
+            error=None,
+        )
+        if keep_result:
+            payload["result"] = result
+        if store is not None:
+            store.put_json(
+                config_key(config),
+                f"results/{name}",
+                {
+                    "name": result.name,
+                    "title": result.title,
+                    "text": result.text,
+                    "schema_version": SCHEMA_VERSION,
+                    "config": json.loads(config.to_json()),
+                    "data": _jsonable(result.data),
+                },
+            )
+        break
+    else:
+        payload.update(ok=False, seconds=time.perf_counter() - started, error=error)
+    payload["cache"] = _stats_delta(before, _stats_snapshot(store))
+    return payload
+
+
+def _outcome_from_payload(payload: Dict[str, object]) -> ExperimentOutcome:
+    text = payload.get("text")
+    return ExperimentOutcome(
+        name=payload["name"],  # type: ignore[arg-type]
+        ok=bool(payload.get("ok")),
+        seconds=float(payload.get("seconds", 0.0)),  # type: ignore[arg-type]
+        worker_pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
+        attempts=int(payload.get("attempts", 1)),  # type: ignore[arg-type]
+        error=payload.get("error"),  # type: ignore[arg-type]
+        text_sha256=None if text is None else ExperimentOutcome.digest(text),  # type: ignore[arg-type]
+        cache=payload.get("cache", {}),  # type: ignore[arg-type]
+    )
+
+
+def run_experiments(
+    names: Sequence[str],
+    config: WorldConfig,
+    jobs: int = 1,
+    cache_dir: Optional[os.PathLike] = None,
+    max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+    manifest_path: Optional[os.PathLike] = None,
+    keep_results: bool = False,
+) -> Tuple[List[Dict[str, object]], RunManifest, Optional[Path]]:
+    """Run experiments, optionally in parallel, with failure isolation.
+
+    Args:
+        names: experiment ids, executed in the given order (results are
+          returned in that order regardless of completion order).
+        config: the world configuration shared by all experiments.
+        jobs: worker processes; ``<= 1`` runs inline in this process.
+        cache_dir: artifact-store root; ``None`` disables caching.
+        max_bytes: store size cap.
+        manifest_path: where to write the run manifest; defaults to
+          ``<cache_dir>/runs/run-<stamp>.json`` when caching is enabled.
+        keep_results: inline mode only — attach the live
+          :class:`~repro.core.experiments.ExperimentResult` objects to the
+          returned payloads (used for SVG export).
+
+    Returns:
+        ``(payloads, manifest, manifest_file)``; ``manifest_file`` is None
+        when there was nowhere to write it.
+
+    Raises:
+        KeyError: for unknown experiment names.
+    """
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
+
+    cache_dir_text = None if cache_dir is None else os.fspath(cache_dir)
+    init_args = (config.to_json(), cache_dir_text, max_bytes)
+    started_unix = time.time()
+    started = time.perf_counter()
+
+    payloads: Dict[str, Dict[str, object]] = {}
+    if jobs <= 1 or len(names) <= 1:
+        _init_worker(*init_args)
+        for name in names:
+            payloads[name] = _execute(name, keep_result=keep_results)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(names)), initializer=_init_worker, initargs=init_args
+        ) as pool:
+            futures = {pool.submit(_execute, name): name for name in names}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = futures[future]
+                    try:
+                        payloads[name] = future.result()
+                    except Exception:
+                        # A worker died (e.g. OOM-killed); report rather
+                        # than abort the batch.
+                        payloads[name] = {
+                            "name": name,
+                            "ok": False,
+                            "seconds": 0.0,
+                            "pid": 0,
+                            "attempts": 1,
+                            "error": traceback.format_exc(limit=4),
+                            "cache": {},
+                        }
+
+    ordered = [payloads[name] for name in names]
+    manifest = RunManifest(
+        config=json.loads(config.to_json()),
+        schema_version=SCHEMA_VERSION,
+        jobs=max(1, jobs),
+        cache_dir=cache_dir_text,
+        started_unix=started_unix,
+        wall_seconds=time.perf_counter() - started,
+        outcomes=[_outcome_from_payload(payload) for payload in ordered],
+    )
+
+    target: Optional[Path] = None
+    if manifest_path is not None:
+        target = Path(os.fspath(manifest_path))
+    elif cache_dir_text is not None:
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(started_unix))
+        target = Path(cache_dir_text) / "runs" / f"run-{stamp}-{os.getpid()}.json"
+    if target is not None:
+        manifest.write(target)
+    return ordered, manifest, target

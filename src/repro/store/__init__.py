@@ -1,0 +1,37 @@
+"""Persistent, content-addressed experiment artifact store.
+
+See :mod:`repro.store.artifacts` for the on-disk format and
+:mod:`repro.store.serialize` for the domain-object codecs.
+"""
+
+from repro.store.artifacts import (
+    DEFAULT_MAX_BYTES,
+    SCHEMA_VERSION,
+    ArtifactEntry,
+    ArtifactStore,
+    StoreStats,
+    config_key,
+    default_cache_dir,
+)
+from repro.store.serialize import (
+    StoredProvider,
+    attach_engine_store,
+    attach_traffic_store,
+    load_or_build_world,
+    wrap_providers,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "SCHEMA_VERSION",
+    "ArtifactEntry",
+    "ArtifactStore",
+    "StoreStats",
+    "config_key",
+    "default_cache_dir",
+    "StoredProvider",
+    "attach_engine_store",
+    "attach_traffic_store",
+    "load_or_build_world",
+    "wrap_providers",
+]

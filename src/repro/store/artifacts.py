@@ -1,0 +1,322 @@
+"""The content-addressed on-disk artifact store.
+
+Every expensive artifact in the reproduction — the site universe, the
+per-day traffic tensors, the 21-combination CDN metric counts, provider
+lists, experiment results — is a pure function of a frozen
+:class:`~repro.worldgen.config.WorldConfig`.  The store exploits that:
+artifacts are addressed by ``(schema version, sha256(config), name)``, so a
+world built once is reusable by every later process, CLI invocation, bench
+session, and parallel worker.
+
+Durability model (inspired by Tranco's permanently citable list artifacts):
+
+* **Atomic writes** — payloads are written to a temp file in the target
+  directory and published with ``os.replace``; readers never observe a
+  half-written entry, even with concurrent writers on the same key.
+* **Checksummed reads** — each entry starts with a one-line header carrying
+  the SHA-256 of the payload.  A corrupt or truncated entry is logged,
+  evicted, and reported as a miss so callers rebuild — the store never
+  raises on bad cache state.
+* **Size-capped LRU** — reads refresh an entry's mtime; when the store
+  exceeds its byte cap the oldest entries are evicted first.
+
+Bump :data:`SCHEMA_VERSION` whenever the serialized layout of any artifact
+changes; old entries are simply orphaned under the previous version prefix
+(see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import logging
+import os
+import shutil
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.worldgen.config import WorldConfig
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_MAX_BYTES",
+    "ArtifactStore",
+    "StoreStats",
+    "ArtifactEntry",
+    "config_key",
+    "default_cache_dir",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Serialized-artifact layout version.  Bump when any codec changes shape.
+SCHEMA_VERSION = 1
+
+#: Default store size cap: 4 GiB.
+DEFAULT_MAX_BYTES = 4 * 1024**3
+
+_HEADER_PREFIX = f"repro-artifact/{SCHEMA_VERSION} sha256=".encode("ascii")
+
+
+def config_key(config: WorldConfig) -> str:
+    """Cache key for a config: sha256 of canonical JSON + schema version.
+
+    Stable across processes, Python versions, and dataclass field
+    orderings, because it hashes :meth:`WorldConfig.to_json`'s canonical
+    (sorted-key, compact) encoding.
+    """
+    payload = f"v{SCHEMA_VERSION}:{config.to_json()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def default_cache_dir() -> Path:
+    """The store root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-toplists``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-toplists"
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store instance, broken down by artifact kind.
+
+    The *kind* of an artifact is the first segment of its name
+    (``world``, ``traffic``, ``metrics``, ``providers``, ``results``).
+    """
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+    puts: Dict[str, int] = field(default_factory=dict)
+    corrupt: int = 0
+    evictions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def record(self, table: Dict[str, int], name: str) -> None:
+        kind = name.split("/", 1)[0]
+        table[kind] = table.get(kind, 0) + 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """A JSON-safe copy: ``{kind: {"hits": n, "misses": n, "puts": n}}``."""
+        kinds = set(self.hits) | set(self.misses) | set(self.puts)
+        return {
+            kind: {
+                "hits": self.hits.get(kind, 0),
+                "misses": self.misses.get(kind, 0),
+                "puts": self.puts.get(kind, 0),
+            }
+            for kind in sorted(kinds)
+        }
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One stored artifact, as reported by :meth:`ArtifactStore.entries`."""
+
+    key: str  # e.g. "v1/<confighash>/traffic/day-003.npz"
+    size: int
+    mtime: float
+
+
+class ArtifactStore:
+    """Content-addressed artifact store rooted at a directory.
+
+    Args:
+        root: store directory (created on demand).
+        max_bytes: byte cap; the LRU eviction target.  ``None`` disables
+          eviction.
+    """
+
+    def __init__(self, root: os.PathLike, max_bytes: Optional[int] = DEFAULT_MAX_BYTES) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Paths.
+
+    def _path(self, cfg_key: str, name: str, ext: str) -> Path:
+        return self.root / f"v{SCHEMA_VERSION}" / cfg_key / f"{name}.{ext}"
+
+    # ------------------------------------------------------------------
+    # Raw payload IO (header + checksum + atomic replace).
+
+    def _read_payload(self, cfg_key: str, name: str, ext: str) -> Optional[bytes]:
+        path = self._path(cfg_key, name, ext)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.record(self.stats.misses, name)
+            return None
+        newline = blob.find(b"\n")
+        header = blob[:newline] if newline >= 0 else b""
+        payload = blob[newline + 1 :] if newline >= 0 else b""
+        expected = (
+            header[len(_HEADER_PREFIX) :].decode("ascii", "replace")
+            if header.startswith(_HEADER_PREFIX)
+            else None
+        )
+        if expected is None or hashlib.sha256(payload).hexdigest() != expected:
+            logger.warning("evicting corrupt artifact %s", path)
+            self.stats.corrupt += 1
+            self.stats.record(self.stats.misses, name)
+            self._unlink(path)
+            return None
+        try:
+            os.utime(path)  # refresh LRU position
+        except OSError:
+            pass
+        self.stats.record(self.stats.hits, name)
+        self.stats.bytes_read += len(payload)
+        return payload
+
+    def _write_payload(self, cfg_key: str, name: str, ext: str, payload: bytes) -> None:
+        path = self._path(cfg_key, name, ext)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        digest = hashlib.sha256(payload).hexdigest()
+        header = _HEADER_PREFIX + digest.encode("ascii") + b"\n"
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(header)
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            logger.warning("failed to write artifact %s", path, exc_info=True)
+            self._unlink(tmp)
+            return
+        self.stats.record(self.stats.puts, name)
+        self.stats.bytes_written += len(payload)
+        self._evict_over_cap(keep=path)
+
+    @staticmethod
+    def _unlink(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Typed accessors.
+
+    def get_arrays(self, cfg_key: str, name: str) -> Optional[Dict[str, np.ndarray]]:
+        """Load a numpy artifact, or None on miss/corruption."""
+        payload = self._read_payload(cfg_key, name, "npz")
+        if payload is None:
+            return None
+        try:
+            with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+                return {key: data[key] for key in data.files}
+        except Exception:
+            logger.warning("evicting unreadable npz artifact %s/%s", cfg_key, name)
+            self.stats.corrupt += 1
+            self._unlink(self._path(cfg_key, name, "npz"))
+            return None
+
+    def put_arrays(self, cfg_key: str, name: str, arrays: Mapping[str, np.ndarray]) -> None:
+        """Persist a numpy artifact atomically."""
+        buffer = io.BytesIO()
+        np.savez(buffer, **dict(arrays))
+        self._write_payload(cfg_key, name, "npz", buffer.getvalue())
+
+    def get_json(self, cfg_key: str, name: str) -> Optional[Any]:
+        """Load a JSON artifact, or None on miss/corruption."""
+        payload = self._read_payload(cfg_key, name, "json")
+        if payload is None:
+            return None
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            logger.warning("evicting unreadable json artifact %s/%s", cfg_key, name)
+            self.stats.corrupt += 1
+            self._unlink(self._path(cfg_key, name, "json"))
+            return None
+
+    def put_json(self, cfg_key: str, name: str, value: Any) -> None:
+        """Persist a JSON artifact atomically."""
+        payload = json.dumps(value, sort_keys=True).encode("utf-8")
+        self._write_payload(cfg_key, name, "json", payload)
+
+    # ------------------------------------------------------------------
+    # Inventory, eviction, maintenance.
+
+    def _iter_files(self) -> List[Path]:
+        # Only versioned artifact directories count as store contents; run
+        # manifests and other sidecars at the root are never evicted.
+        if not self.root.is_dir():
+            return []
+        return [
+            path
+            for version_dir in self.root.glob("v*")
+            if version_dir.is_dir()
+            for path in version_dir.rglob("*")
+            if path.is_file() and not path.name.startswith(".")
+        ]
+
+    def entries(self) -> List[ArtifactEntry]:
+        """All stored artifacts, oldest (least recently used) first."""
+        out = []
+        for path in self._iter_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append(
+                ArtifactEntry(
+                    key=str(path.relative_to(self.root)),
+                    size=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+        out.sort(key=lambda e: (e.mtime, e.key))
+        return out
+
+    def total_bytes(self) -> int:
+        """Bytes currently stored."""
+        return sum(entry.size for entry in self.entries())
+
+    def _evict_over_cap(self, keep: Optional[Path] = None) -> None:
+        if self.max_bytes is None:
+            return
+        entries = self.entries()
+        total = sum(entry.size for entry in entries)
+        for entry in entries:
+            if total <= self.max_bytes:
+                break
+            path = self.root / entry.key
+            if keep is not None and path == keep:
+                continue  # never evict the entry being published
+            self._unlink(path)
+            self.stats.evictions += 1
+            total -= entry.size
+        # A single oversized artifact may still exceed the cap; that is
+        # logged rather than refused (the caller already paid to build it).
+        if total > self.max_bytes:
+            logger.warning(
+                "store over cap after eviction: %d > %d bytes", total, self.max_bytes
+            )
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns the bytes freed."""
+        freed = self.total_bytes()
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if child.is_dir():
+                    shutil.rmtree(child, ignore_errors=True)
+                else:
+                    self._unlink(child)
+        return freed

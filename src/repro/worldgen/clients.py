@@ -14,8 +14,8 @@ what drives the paper's Section 6 bias analyses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -89,6 +89,15 @@ class ClientPopulation:
         meaningfully exist on mobile browsers)."""
         base_rate = 0.002
         return self.counts[:, 0] * self.alexa_panel_rate * base_rate
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """All segment arrays, keyed by field name."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "ClientPopulation":
+        """Rebuild a population from :meth:`to_arrays` output."""
+        return cls(**{f.name: np.asarray(arrays[f.name]) for f in fields(cls)})
 
 
 def build_clients(config: WorldConfig, rng: np.random.Generator) -> ClientPopulation:

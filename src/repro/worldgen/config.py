@@ -14,7 +14,8 @@ substitution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, fields
 from typing import Tuple
 
 __all__ = ["WorldConfig", "PAPER_MAGNITUDE_LABELS", "PAPER_MAGNITUDES", "PAPER_UNIVERSE"]
@@ -178,3 +179,40 @@ class WorldConfig:
         from dataclasses import replace
 
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+    # --- canonical serialization -----------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding: sorted keys, compact separators.
+
+        The encoding is byte-stable across processes and field orderings,
+        which is what makes it usable as a cache-key payload for the
+        artifact store (:mod:`repro.store`).  Tuples encode as JSON arrays.
+        """
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        for key, value in payload.items():
+            if isinstance(value, tuple):
+                payload[key] = list(value)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorldConfig":
+        """Rebuild a config from :meth:`to_json` output.
+
+        Unknown keys are rejected (a config written by a newer schema must
+        not silently round-trip through an older one).
+
+        Raises:
+            ValueError: on unknown fields or non-object payloads.
+        """
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("config payload must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown config fields: {', '.join(unknown)}")
+        for key, value in data.items():
+            if isinstance(value, list):
+                data[key] = tuple(value)
+        return cls(**data)

@@ -131,6 +131,27 @@ class NameTable:
         """The domain row for a site (domain rows lead the table in order)."""
         return site
 
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """All columns as numpy arrays (strings as a unicode array)."""
+        return {
+            "strings": np.asarray(self.strings, dtype=np.str_),
+            "site": self.site,
+            "kind": self.kind,
+            "share": self.share,
+            "dns_weight": self.dns_weight,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "NameTable":
+        """Rebuild a table from :meth:`to_arrays` output."""
+        return cls(
+            strings=[str(s) for s in arrays["strings"]],
+            site=np.asarray(arrays["site"]),
+            kind=np.asarray(arrays["kind"]),
+            share=np.asarray(arrays["share"]),
+            dns_weight=np.asarray(arrays["dns_weight"]),
+        )
+
     def lookup(self, text: str) -> Optional[int]:
         """Row index of an exact name string, or None.
 

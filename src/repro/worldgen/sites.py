@@ -13,8 +13,8 @@ identical pageloads can differ by an order of magnitude in raw requests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, fields
+from typing import Dict, List
 
 import numpy as np
 
@@ -109,6 +109,19 @@ class SiteUniverse:
     def cf_indices(self) -> np.ndarray:
         """Indices of Cloudflare-served sites, most popular first."""
         return np.flatnonzero(self.cf_served)
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """All attributes as numpy arrays (names as a unicode array)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["names"] = np.asarray(self.names, dtype=np.str_)
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "SiteUniverse":
+        """Rebuild a universe from :meth:`to_arrays` output."""
+        kwargs = {f.name: np.asarray(arrays[f.name]) for f in fields(cls)}
+        kwargs["names"] = [str(name) for name in arrays["names"]]
+        return cls(**kwargs)
 
 
 def _country_share_matrix(

@@ -19,7 +19,7 @@ from repro.worldgen.config import WorldConfig
 from repro.worldgen.nametable import NameTable, build_name_table
 from repro.worldgen.sites import SiteUniverse, build_sites
 
-__all__ = ["World", "build_world"]
+__all__ = ["World", "build_world", "spawn_seed_streams"]
 
 # Fixed stream ids: append only, never reorder.
 _STREAMS = (
@@ -95,12 +95,50 @@ class World:
             raise KeyError(domain)
         return int(self.names.site[row])
 
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the world into one array mapping for the artifact store.
+
+        Subsystem arrays are prefixed (``sites__weight``...).  The seed
+        streams are *not* serialized: they are a pure function of the
+        config and are respawned on :meth:`from_arrays`, so a hydrated
+        world feeds every downstream consumer bit-identical randomness.
+        """
+        out: Dict[str, np.ndarray] = {}
+        for prefix, part in (
+            ("sites", self.sites),
+            ("clients", self.clients),
+            ("names", self.names),
+        ):
+            for key, value in part.to_arrays().items():
+                out[f"{prefix}__{key}"] = value
+        return out
+
+    @classmethod
+    def from_arrays(cls, config: WorldConfig, arrays: Dict[str, np.ndarray]) -> "World":
+        """Rebuild a world from :meth:`to_arrays` output plus its config."""
+        split: Dict[str, Dict[str, np.ndarray]] = {"sites": {}, "clients": {}, "names": {}}
+        for key, value in arrays.items():
+            prefix, _, rest = key.partition("__")
+            split[prefix][rest] = value
+        return cls(
+            config=config,
+            sites=SiteUniverse.from_arrays(split["sites"]),
+            clients=ClientPopulation.from_arrays(split["clients"]),
+            names=NameTable.from_arrays(split["names"]),
+            _seeds=spawn_seed_streams(config),
+        )
+
+
+def spawn_seed_streams(config: WorldConfig) -> Dict[str, np.random.SeedSequence]:
+    """The fixed per-subsystem seed streams for a config."""
+    root = np.random.SeedSequence(config.seed)
+    children = root.spawn(len(_STREAMS))
+    return dict(zip(_STREAMS, children))
+
 
 def build_world(config: WorldConfig) -> World:
     """Deterministically build a world from a configuration."""
-    root = np.random.SeedSequence(config.seed)
-    children = root.spawn(len(_STREAMS))
-    seeds = dict(zip(_STREAMS, children))
+    seeds = spawn_seed_streams(config)
 
     sites = build_sites(config, np.random.default_rng(seeds["sites"]))
     clients = build_clients(config, np.random.default_rng(seeds["clients"]))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,22 @@ from repro.worldgen.world import World, build_world
 
 #: Small world: big enough for statistical shape assertions.
 SMALL_CONFIG = WorldConfig(n_sites=2500, n_days=8, seed=1234)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the default artifact store at a per-session temp directory.
+
+    CLI defaults would otherwise write to the user's real cache during the
+    test run; tests that want a specific store pass ``--cache-dir``.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("artifact-store"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 #: Tiny world: for record-level (event) tests.
 TINY_CONFIG = WorldConfig(n_sites=300, n_days=4, seed=99)

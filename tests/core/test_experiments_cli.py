@@ -4,7 +4,12 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.core.experiments import EXPERIMENTS, run_experiment
-from repro.core.pipeline import experiment_context
+from repro.core.pipeline import (
+    _CONTEXTS,
+    MAX_CACHED_CONTEXTS,
+    clear_contexts,
+    experiment_context,
+)
 from repro.worldgen.config import WorldConfig
 
 _TEST_CONFIG = WorldConfig(n_sites=1200, n_days=8, seed=77)
@@ -18,6 +23,34 @@ def ctx():
 class TestPipeline:
     def test_context_cached(self):
         assert experiment_context(_TEST_CONFIG) is experiment_context(_TEST_CONFIG)
+
+    def test_clear_contexts_drops_memo(self):
+        first = experiment_context(_TEST_CONFIG)
+        clear_contexts()
+        assert _CONTEXTS == {}
+        second = experiment_context(_TEST_CONFIG)
+        assert second is not first
+        assert second is experiment_context(_TEST_CONFIG)
+
+    def test_memo_bounded_lru(self):
+        clear_contexts()
+        configs = [WorldConfig(n_sites=100, n_days=1, seed=s) for s in range(10)]
+        for config in configs:
+            experiment_context(config)
+        assert len(_CONTEXTS) <= MAX_CACHED_CONTEXTS
+        # Oldest contexts were evicted, newest retained.
+        keys = [key for key, _ in _CONTEXTS.items()]
+        assert (configs[0], None) not in keys
+        assert (configs[-1], None) in keys
+
+    def test_memo_refreshes_on_hit(self):
+        clear_contexts()
+        configs = [WorldConfig(n_sites=100, n_days=1, seed=s) for s in range(MAX_CACHED_CONTEXTS)]
+        contexts = [experiment_context(config) for config in configs]
+        experiment_context(configs[0])  # refresh the oldest entry
+        experiment_context(WorldConfig(n_sites=100, n_days=1, seed=999))  # forces one eviction
+        assert experiment_context(configs[0]) is contexts[0], "refreshed entry must survive"
+        assert experiment_context(configs[1]) is not contexts[1], "LRU entry was evicted"
 
     def test_normalized_cached(self, ctx):
         assert ctx.normalized("alexa", 0) is ctx.normalized("alexa", 0)
@@ -125,3 +158,41 @@ class TestCli:
         code = main(["recommend", "--sites", "1200", "--days", "8",
                      "--seed", "77", "--must-cover", "cryptofauna"])
         assert code == 2
+
+
+class TestCacheCli:
+    def test_stats_on_empty_store(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "s")]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+
+    def test_run_then_stats_ls_clear(self, capsys, tmp_path):
+        cache = str(tmp_path / "store")
+        code = main(["survey", "--sites", "1200", "--days", "8", "--seed", "77",
+                     "--cache-dir", cache])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[cache:" in out and "[manifest:" in out
+
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        stats_out = capsys.readouterr().out
+        assert "configs: 1" in stats_out
+        assert "world" in stats_out and "results" in stats_out
+
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        ls_out = capsys.readouterr().out
+        assert "world/arrays.npz" in ls_out
+
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "freed" in capsys.readouterr().out
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        assert "(empty store" in capsys.readouterr().out
+
+    def test_no_cache_flag_disables_store(self, capsys, tmp_path):
+        cache = str(tmp_path / "never")
+        code = main(["survey", "--sites", "1200", "--days", "8", "--seed", "77",
+                     "--cache-dir", cache, "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[manifest:" not in out
+        assert not (tmp_path / "never").exists()

@@ -1,0 +1,159 @@
+"""Runner tests: manifests, failure isolation, retry, result JSON."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import experiments as experiments_mod
+from repro.core.experiments import EXPERIMENTS, ExperimentResult
+from repro.core.pipeline import clear_contexts
+from repro.runner import ExperimentOutcome, RunManifest, run_experiments
+from repro.runner.parallel import _jsonable
+from repro.store import SCHEMA_VERSION, ArtifactStore, config_key
+from repro.worldgen.config import WorldConfig
+
+_CONFIG = WorldConfig(n_sites=400, n_days=4, seed=11)
+
+
+def _tiny_experiment(ctx) -> ExperimentResult:
+    return ExperimentResult(
+        name="tiny",
+        title="Tiny",
+        data={"n_sites": ctx.world.n_sites},
+        text=f"n_sites={ctx.world.n_sites}",
+    )
+
+
+_FLAKY_CALLS = {"count": 0}
+
+
+def _flaky_experiment(ctx) -> ExperimentResult:
+    _FLAKY_CALLS["count"] += 1
+    if _FLAKY_CALLS["count"] == 1:
+        raise RuntimeError("transient failure")
+    return ExperimentResult(name="flaky", title="Flaky", data={}, text="recovered")
+
+
+def _broken_experiment(ctx) -> ExperimentResult:
+    raise ValueError("always broken")
+
+
+@pytest.fixture()
+def registry(monkeypatch):
+    """EXPERIMENTS extended with synthetic test experiments."""
+    extended = dict(EXPERIMENTS)
+    extended.update(tiny=_tiny_experiment, flaky=_flaky_experiment, broken=_broken_experiment)
+    monkeypatch.setattr(experiments_mod, "EXPERIMENTS", extended)
+    monkeypatch.setattr("repro.runner.parallel.EXPERIMENTS", extended)
+    _FLAKY_CALLS["count"] = 0
+    clear_contexts()
+    return extended
+
+
+class TestInlineRunner:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["nope"], _CONFIG)
+
+    def test_success_payload_and_manifest(self, registry, tmp_path):
+        payloads, manifest, manifest_file = run_experiments(
+            ["tiny"], _CONFIG, cache_dir=tmp_path / "store"
+        )
+        assert payloads[0]["ok"] and payloads[0]["text"] == "n_sites=400"
+        assert manifest_file is not None and manifest_file.exists()
+
+        outcome = manifest.outcomes[0]
+        assert outcome.name == "tiny"
+        assert outcome.ok and outcome.attempts == 1 and outcome.error is None
+        assert outcome.seconds > 0 and outcome.worker_pid > 0
+        assert outcome.text_sha256 == ExperimentOutcome.digest("n_sites=400")
+        assert outcome.cache, "store-backed run must attribute cache traffic"
+
+        # The manifest on disk round-trips.
+        reloaded = RunManifest.from_dict(json.loads(manifest_file.read_text()))
+        assert reloaded.config == json.loads(_CONFIG.to_json())
+        assert reloaded.schema_version == SCHEMA_VERSION
+        assert reloaded.outcomes[0].text_sha256 == outcome.text_sha256
+
+    def test_failure_is_isolated_and_retried(self, registry, tmp_path):
+        payloads, manifest, _ = run_experiments(
+            ["broken", "tiny"], _CONFIG, cache_dir=tmp_path / "store"
+        )
+        by_name = {payload["name"]: payload for payload in payloads}
+        assert not by_name["broken"]["ok"]
+        assert by_name["tiny"]["ok"], "one failure must not abort the batch"
+
+        broken = next(o for o in manifest.outcomes if o.name == "broken")
+        assert broken.attempts == 2, "failed experiments are retried once"
+        assert "always broken" in broken.error
+        assert manifest.failures == [broken]
+
+    def test_transient_failure_recovers_on_retry(self, registry):
+        payloads, manifest, _ = run_experiments(["flaky"], _CONFIG)
+        assert payloads[0]["ok"] and payloads[0]["text"] == "recovered"
+        assert manifest.outcomes[0].attempts == 2
+        assert manifest.outcomes[0].error is None
+
+    def test_result_artifact_persisted(self, registry, tmp_path):
+        store_dir = tmp_path / "store"
+        run_experiments(["tiny"], _CONFIG, cache_dir=store_dir)
+        record = ArtifactStore(store_dir).get_json(config_key(_CONFIG), "results/tiny")
+        assert record is not None
+        assert record["name"] == "tiny"
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["config"] == json.loads(_CONFIG.to_json())
+        assert record["data"] == {"n_sites": 400}
+
+    def test_no_cache_dir_means_no_manifest_file(self, registry):
+        payloads, manifest, manifest_file = run_experiments(["tiny"], _CONFIG)
+        assert manifest_file is None
+        assert payloads[0]["ok"]
+        assert manifest.cache_dir is None
+        assert manifest.outcomes[0].cache == {}
+
+    def test_explicit_manifest_path(self, registry, tmp_path):
+        target = tmp_path / "deep" / "run.json"
+        _, _, manifest_file = run_experiments(["tiny"], _CONFIG, manifest_path=target)
+        assert manifest_file == target and target.exists()
+
+
+class TestManifestAggregation:
+    def _outcome(self, name, cache):
+        return ExperimentOutcome(name=name, ok=True, seconds=1.0, worker_pid=1, cache=cache)
+
+    def test_cache_totals_sum_by_kind(self):
+        manifest = RunManifest(
+            config={}, schema_version=SCHEMA_VERSION, jobs=2, cache_dir=None,
+            started_unix=0.0,
+            outcomes=[
+                self._outcome("a", {"world": {"hits": 1}, "traffic": {"misses": 2, "puts": 2}}),
+                self._outcome("b", {"world": {"hits": 1}, "traffic": {"hits": 2}}),
+            ],
+        )
+        totals = manifest.cache_totals()
+        assert totals["world"]["hits"] == 2
+        assert totals["traffic"] == {"hits": 2, "misses": 2, "puts": 2}
+        assert manifest.total_hits() == 4
+
+
+class TestJsonable:
+    def test_scalars_and_numpy(self):
+        assert _jsonable(np.float64(0.5)) == 0.5
+        assert _jsonable(np.int32(7)) == 7
+        assert _jsonable(None) is None
+
+    def test_small_array_inlined_large_summarized(self):
+        assert _jsonable(np.arange(3)) == [0, 1, 2]
+        summary = _jsonable(np.zeros((100, 100)))
+        assert summary == {"__array__": True, "shape": [100, 100], "dtype": "float64"}
+
+    def test_tuple_keys_joined(self):
+        assert _jsonable({("alexa", "pageloads"): 0.4}) == {"alexa|pageloads": 0.4}
+
+    def test_opaque_objects_reprd(self):
+        value = _jsonable({"obj": object()})
+        assert isinstance(value["obj"], str)
+        json.dumps(value)  # everything must serialize

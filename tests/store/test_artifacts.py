@@ -1,0 +1,219 @@
+"""Failure-mode tests for the content-addressed artifact store.
+
+Covers the store's hard guarantees: corrupt entries are evicted and
+rebuilt (never raised), concurrent writers to the same key never produce
+torn reads, and LRU eviction respects the byte cap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    config_key,
+    default_cache_dir,
+)
+from repro.worldgen.config import WorldConfig
+
+KEY = "0" * 24
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_arrays_round_trip(self, store):
+        arrays = {
+            "ranks": np.arange(100, dtype=np.int64),
+            "weights": np.linspace(0.0, 1.0, 100),
+        }
+        store.put_arrays(KEY, "traffic/day-000", arrays)
+        loaded = store.get_arrays(KEY, "traffic/day-000")
+        assert set(loaded) == set(arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(loaded[name], arrays[name])
+
+    def test_float_round_trip_is_bit_exact(self, store):
+        values = np.random.default_rng(7).standard_normal(1000)
+        store.put_arrays(KEY, "traffic/day-001", {"v": values})
+        loaded = store.get_arrays(KEY, "traffic/day-001")["v"]
+        assert loaded.tobytes() == values.tobytes()
+
+    def test_json_round_trip(self, store):
+        value = {"name": "fig1", "rows": [1, 2, 3], "nested": {"a": 0.5}}
+        store.put_json(KEY, "results/fig1", value)
+        assert store.get_json(KEY, "results/fig1") == value
+
+    def test_miss_returns_none_and_counts(self, store):
+        assert store.get_arrays(KEY, "world/arrays") is None
+        assert store.get_json(KEY, "results/nope") is None
+        assert store.stats.misses == {"world": 1, "results": 1}
+        assert store.stats.total_hits == 0
+
+    def test_stats_track_hits_by_kind(self, store):
+        store.put_arrays(KEY, "metrics/day-000", {"x": np.zeros(3)})
+        store.get_arrays(KEY, "metrics/day-000")
+        store.get_arrays(KEY, "metrics/day-000")
+        assert store.stats.hits == {"metrics": 2}
+        assert store.stats.puts == {"metrics": 1}
+
+
+class TestCorruption:
+    def _entry_path(self, store):
+        files = [p for p in (store.root / f"v{SCHEMA_VERSION}").rglob("*") if p.is_file()]
+        assert len(files) == 1
+        return files[0]
+
+    def test_truncated_entry_evicted_and_rebuilt(self, store):
+        store.put_arrays(KEY, "world/arrays", {"x": np.arange(50)})
+        path = self._entry_path(store)
+        path.write_bytes(path.read_bytes()[:-20])  # simulated torn write
+
+        assert store.get_arrays(KEY, "world/arrays") is None
+        assert store.stats.corrupt == 1
+        assert not path.exists(), "corrupt entry must be unlinked"
+
+        # Rebuild path: put again, read back fine.
+        store.put_arrays(KEY, "world/arrays", {"x": np.arange(50)})
+        loaded = store.get_arrays(KEY, "world/arrays")
+        np.testing.assert_array_equal(loaded["x"], np.arange(50))
+
+    def test_flipped_bit_detected(self, store):
+        store.put_arrays(KEY, "world/arrays", {"x": np.arange(50)})
+        path = self._entry_path(store)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.get_arrays(KEY, "world/arrays") is None
+        assert store.stats.corrupt == 1
+
+    def test_garbage_file_is_a_miss_not_a_crash(self, store):
+        path = store._path(KEY, "world/arrays", "npz")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"this was never an artifact")
+        assert store.get_arrays(KEY, "world/arrays") is None
+        assert not path.exists()
+
+    def test_valid_checksum_but_bad_npz_evicted(self, store):
+        # Bypass put_arrays: a correctly checksummed payload that numpy
+        # cannot parse must also be treated as corruption.
+        store._write_payload(KEY, "world/arrays", "npz", b"not an npz archive")
+        assert store.get_arrays(KEY, "world/arrays") is None
+        assert store.stats.corrupt == 1
+        assert not store._path(KEY, "world/arrays", "npz").exists()
+
+    def test_bad_json_payload_evicted(self, store):
+        store._write_payload(KEY, "results/fig1", "json", b"{truncated")
+        assert store.get_json(KEY, "results/fig1") is None
+        assert store.stats.corrupt == 1
+
+
+def _writer(root: str, worker: int) -> None:
+    store = ArtifactStore(root)
+    arrays = {"x": np.arange(5000, dtype=np.int64)}  # same content every writer
+    for _ in range(20):
+        store.put_arrays(KEY, "traffic/day-000", arrays)
+
+
+class TestConcurrency:
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        root = tmp_path / "store"
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_writer, args=(str(root), i)) for i in range(4)]
+        for proc in procs:
+            proc.start()
+
+        # Read continuously while writers race on the same key.
+        reader = ArtifactStore(root)
+        expected = np.arange(5000, dtype=np.int64)
+        observed = 0
+        while any(proc.is_alive() for proc in procs):
+            loaded = reader.get_arrays(KEY, "traffic/day-000")
+            if loaded is not None:
+                np.testing.assert_array_equal(loaded["x"], expected)
+                observed += 1
+        for proc in procs:
+            proc.join()
+            assert proc.exitcode == 0
+        assert reader.stats.corrupt == 0
+
+        final = reader.get_arrays(KEY, "traffic/day-000")
+        np.testing.assert_array_equal(final["x"], expected)
+
+
+class TestEviction:
+    def test_eviction_respects_cap(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", max_bytes=40_000)
+        for day in range(10):
+            store.put_arrays(KEY, f"traffic/day-{day:03d}", {"x": np.zeros(1000)})
+        assert store.total_bytes() <= 40_000
+        assert store.stats.evictions > 0
+        # The newest entry always survives its own publication.
+        assert store.get_arrays(KEY, "traffic/day-009") is not None
+
+    def test_eviction_is_oldest_first_and_read_refreshes(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", max_bytes=None)
+        for day in range(4):
+            store.put_arrays(KEY, f"traffic/day-{day:03d}", {"x": np.zeros(1000)})
+            # Distinct mtimes even on coarse filesystem timestamp resolution.
+            os.utime(
+                store._path(KEY, f"traffic/day-{day:03d}", "npz"),
+                (1_000_000 + day, 1_000_000 + day),
+            )
+
+        # Touch day-000 so it becomes the most recently used.
+        entry_size = store.entries()[0].size
+        path = store._path(KEY, "traffic/day-000", "npz")
+        os.utime(path, (2_000_000, 2_000_000))
+
+        store.max_bytes = entry_size * 2
+        store._evict_over_cap()
+        remaining = {entry.key.split("/")[-1] for entry in store.entries()}
+        assert "day-000.npz" in remaining, "recently-used entry must survive"
+        assert "day-001.npz" not in remaining
+
+    def test_oversized_single_artifact_kept(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", max_bytes=100)
+        store.put_arrays(KEY, "world/arrays", {"x": np.zeros(1000)})
+        assert store.get_arrays(KEY, "world/arrays") is not None
+
+    def test_clear_reports_bytes_freed(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_arrays(KEY, "world/arrays", {"x": np.zeros(1000)})
+        stored = store.total_bytes()
+        assert stored > 0
+        assert store.clear() == stored
+        assert store.total_bytes() == 0
+
+    def test_run_manifests_not_store_contents(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", max_bytes=10)
+        runs = store.root / "runs"
+        runs.mkdir(parents=True)
+        (runs / "run-1.json").write_text("{}")
+        store.put_arrays(KEY, "world/arrays", {"x": np.zeros(10)})
+        assert (runs / "run-1.json").exists(), "manifests must never be evicted"
+        keys = [entry.key for entry in store.entries()]
+        assert all(key.startswith(f"v{SCHEMA_VERSION}/") for key in keys)
+
+
+class TestKeys:
+    def test_config_key_is_short_hex(self):
+        key = config_key(WorldConfig())
+        assert len(key) == 24
+        int(key, 16)  # hex-parsable
+
+    def test_config_key_depends_on_fields(self):
+        assert config_key(WorldConfig()) != config_key(WorldConfig(seed=1))
+        assert config_key(WorldConfig()) == config_key(WorldConfig())
+
+    def test_default_cache_dir_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"

@@ -1,0 +1,75 @@
+"""Determinism regression: store hydration must not perturb results.
+
+The paper's headline artifacts (Figure 2's list-vs-metric Jaccard and
+Spearman heatmaps) must be bit-identical whether the experiment context is
+built fresh, built cold through the store, or hydrated warm from on-disk
+artifacts.  Seeds are respawned from the config rather than serialized, and
+all tensors round-trip through npz losslessly, so equality here is exact —
+no tolerances.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.experiments import run_experiment
+from repro.core.pipeline import clear_contexts, experiment_context
+from repro.store import ArtifactStore
+from repro.worldgen.config import WorldConfig
+
+_CONFIG = WorldConfig(n_sites=1500, n_days=6, seed=2022)
+
+
+def _fig2_cells(ctx):
+    result = run_experiment("fig2", ctx)
+    return result.data["jaccard"], result.data["spearman"]
+
+
+def _assert_cells_identical(actual, expected, label):
+    """Exact (bitwise) cell equality; NaN in both positions counts as equal."""
+    assert actual.keys() == expected.keys()
+    for cell, value in expected.items():
+        got = actual[cell]
+        if isinstance(value, float) and math.isnan(value):
+            assert math.isnan(got), f"{label} {cell}: {got!r} != NaN"
+        else:
+            assert got == value, f"{label} {cell}: {got!r} != {value!r}"
+
+
+@pytest.fixture(scope="module")
+def fresh_cells():
+    clear_contexts()
+    return _fig2_cells(experiment_context(_CONFIG))
+
+
+class TestStoreHydrationDeterminism:
+    def test_fresh_cold_and_warm_agree_exactly(self, fresh_cells, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("determinism-store")
+
+        clear_contexts()
+        cold_store = ArtifactStore(cache)
+        cold_cells = _fig2_cells(experiment_context(_CONFIG, store=cold_store))
+        assert cold_store.stats.puts, "cold run must persist artifacts"
+
+        clear_contexts()
+        warm_store = ArtifactStore(cache)  # fresh instance, same directory
+        warm_cells = _fig2_cells(experiment_context(_CONFIG, store=warm_store))
+        assert warm_store.stats.total_hits > 0, "warm run must hydrate from disk"
+        assert warm_store.stats.hits.get("world", 0) >= 1
+
+        fresh_jj, fresh_rho = fresh_cells
+        for label, (jj, rho) in {
+            "cold": cold_cells,
+            "warm": warm_cells,
+        }.items():
+            _assert_cells_identical(jj, fresh_jj, f"{label} Jaccard")
+            _assert_cells_identical(rho, fresh_rho, f"{label} Spearman")
+
+    def test_store_context_reuses_memo(self, tmp_path):
+        clear_contexts()
+        store = ArtifactStore(tmp_path / "store")
+        first = experiment_context(_CONFIG, store=store)
+        second = experiment_context(_CONFIG, store=store)
+        assert first is second

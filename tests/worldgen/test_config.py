@@ -62,3 +62,65 @@ class TestDerived:
     def test_hashable_for_context_cache(self):
         assert hash(WorldConfig()) == hash(WorldConfig())
         assert WorldConfig() == WorldConfig()
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_every_field(self):
+        config = WorldConfig(n_sites=4321, n_days=9, seed=5, zipf_exponent=1.1)
+        assert WorldConfig.from_json(config.to_json()) == config
+
+    def test_tuples_survive_round_trip(self):
+        config = WorldConfig.from_json(WorldConfig().to_json())
+        assert isinstance(config.bucket_fractions, tuple)
+        assert isinstance(config.bucket_labels, tuple)
+        assert config.bucket_sizes == WorldConfig().bucket_sizes
+
+    def test_canonical_encoding_is_sorted_and_compact(self):
+        text = WorldConfig().to_json()
+        import json
+
+        keys = list(json.loads(text).keys())
+        assert keys == sorted(keys)
+        assert ": " not in text and ", " not in text
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            WorldConfig.from_json('{"not_a_field": 1}')
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ValueError):
+            WorldConfig.from_json("[1, 2, 3]")
+
+
+class TestCacheKeyStability:
+    def test_key_stable_across_field_orderings(self):
+        from repro.store import config_key
+
+        a = WorldConfig(n_sites=3000, n_days=5, seed=3)
+        b = WorldConfig(seed=3, n_days=5, n_sites=3000)
+        assert a.to_json() == b.to_json()
+        assert config_key(a) == config_key(b)
+
+    def test_key_stable_across_processes(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.store import config_key
+
+        config = WorldConfig(n_sites=3000, n_days=5, seed=3)
+        script = (
+            "from repro.worldgen.config import WorldConfig\n"
+            "from repro.store import config_key\n"
+            # Deliberately different kwarg order than the parent process.
+            "print(config_key(WorldConfig(seed=3, n_sites=3000, n_days=5)))\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == config_key(config)
