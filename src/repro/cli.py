@@ -13,6 +13,11 @@ Four families of commands:
   Tranco-style rank CSV (or CrUX-style origin CSV for bucketed lists).
 * ``repro recommend`` — score every list for a study profile, per the
   paper's Section 7 guidance.
+* ``repro verify-goldens [--update]`` / ``repro verify-invariants`` — the
+  regression gate: recompute every experiment's structured rows and diff
+  them against the checked-in goldens (``tests/golden/``), and check the
+  metamorphic invariant registry (``repro.qa``).  Both exit nonzero on
+  drift or violation.
 
 Examples::
 
@@ -23,6 +28,9 @@ Examples::
     repro cache stats               # what the artifact store holds
     repro export umbrella /tmp/umbrella.csv --limit 1000
     repro recommend --need-ranks --magnitude 10K
+    repro verify-goldens --jobs 4     # regression-check every experiment
+    repro verify-goldens --update     # regenerate the golden snapshots
+    repro verify-invariants           # metamorphic pipeline properties
 """
 
 from __future__ import annotations
@@ -214,7 +222,8 @@ def _run_experiments(argv: List[str]) -> int:
         for name in EXPERIMENTS:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
             print(f"  {name:8s} {doc}")
-        print("\nother commands: export, recommend, validate, summary, cache")
+        print("\nother commands: export, recommend, validate, summary, cache, "
+              "verify-goldens, verify-invariants")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -271,6 +280,119 @@ def _run_experiments(argv: List[str]) -> int:
     if manifest_file is not None:
         print(f"[manifest: {manifest_file}]")
     return 1 if manifest.failures else 0
+
+
+def _run_verify_goldens(argv: List[str]) -> int:
+    from repro.qa.goldens import GOLDEN_CONFIG, default_golden_dir, verify_goldens
+
+    parser = argparse.ArgumentParser(
+        prog="repro verify-goldens",
+        description=(
+            "Recompute every experiment at the pinned golden configuration "
+            "and diff the structured results against tests/golden/."
+        ),
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate the golden snapshots instead of diffing")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--golden-dir", default=None, metavar="DIR",
+                        help="golden snapshot directory "
+                             "(default: nearest tests/golden)")
+    parser.add_argument("--experiment", action="append", default=[],
+                        metavar="NAME",
+                        help="verify only this experiment (repeatable)")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="write the JSON run manifest here")
+    parser.add_argument(
+        "--sites", type=int, default=GOLDEN_CONFIG.n_sites,
+        help=f"site universe size (default {GOLDEN_CONFIG.n_sites}; "
+             "checked-in goldens only match the default)",
+    )
+    parser.add_argument("--days", type=int, default=GOLDEN_CONFIG.n_days,
+                        help=f"simulated days (default {GOLDEN_CONFIG.n_days})")
+    parser.add_argument("--seed", type=int, default=GOLDEN_CONFIG.seed,
+                        help=f"world seed (default {GOLDEN_CONFIG.seed})")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact store root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-toplists)",
+    )
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent artifact store")
+    args = parser.parse_args(argv)
+
+    names = args.experiment or None
+    unknown = [name for name in (names or []) if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    config = GOLDEN_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
+    golden_dir = args.golden_dir if args.golden_dir else default_golden_dir()
+    cache_dir = _cache_dir_from_args(args)
+    print(f"[goldens: {golden_dir}; world: {config.n_sites} sites, "
+          f"{config.n_days} days, seed {config.seed}; jobs {max(1, args.jobs)}]\n")
+    report = verify_goldens(
+        golden_dir,
+        names=names,
+        config=config,
+        jobs=max(1, args.jobs),
+        update=args.update,
+        cache_dir=cache_dir,
+        max_bytes=_default_max_bytes(),
+        manifest_path=args.manifest,
+    )
+    print(report.render())
+    if report.manifest_file is not None:
+        print(f"[manifest: {report.manifest_file}]")
+    return 0 if report.ok else 1
+
+
+def _run_verify_invariants(argv: List[str]) -> int:
+    from repro.qa.goldens import GOLDEN_CONFIG
+    from repro.qa.invariants import INVARIANTS, run_invariants
+
+    parser = argparse.ArgumentParser(
+        prog="repro verify-invariants",
+        description="Check the metamorphic invariant registry over a world.",
+    )
+    parser.add_argument("--only", action="append", default=[], metavar="NAME",
+                        help="run only this invariant (repeatable)")
+    parser.add_argument("--list", action="store_true", dest="list_invariants",
+                        help="list registered invariants and exit")
+    parser.add_argument("--sites", type=int, default=GOLDEN_CONFIG.n_sites,
+                        help=f"site universe size (default {GOLDEN_CONFIG.n_sites})")
+    parser.add_argument("--days", type=int, default=GOLDEN_CONFIG.n_days,
+                        help=f"simulated days (default {GOLDEN_CONFIG.n_days})")
+    parser.add_argument("--seed", type=int, default=GOLDEN_CONFIG.seed,
+                        help=f"world seed (default {GOLDEN_CONFIG.seed})")
+    args = parser.parse_args(argv)
+
+    if args.list_invariants:
+        for invariant in INVARIANTS:
+            print(f"  {invariant.name:24s} {invariant.description}")
+        return 0
+    known = {invariant.name for invariant in INVARIANTS}
+    unknown = [name for name in args.only if name not in known]
+    if unknown:
+        print(f"unknown invariant(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(sorted(known))}", file=sys.stderr)
+        return 2
+    config = GOLDEN_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
+    started = time.perf_counter()
+    ctx = experiment_context(config)
+    print(f"[world: {config.n_sites} sites, {config.n_days} days, seed "
+          f"{config.seed}; ready in {time.perf_counter() - started:.1f}s]\n")
+    outcomes = run_invariants(ctx, names=args.only or None)
+    failed = 0
+    for outcome in outcomes:
+        mark = "ok " if outcome.ok else "FAIL"
+        print(f"[{mark}] {outcome.name} ({outcome.seconds:.2f}s)")
+        for violation in outcome.violations:
+            print(f"       {violation}")
+        failed += 0 if outcome.ok else 1
+    print(f"\n{len(outcomes) - failed}/{len(outcomes)} invariants hold")
+    return 1 if failed else 0
 
 
 def _run_validate(argv: List[str]) -> int:
@@ -379,6 +501,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_summary(argv[1:])
         if argv and argv[0] == "cache":
             return _run_cache(argv[1:])
+        if argv and argv[0] == "verify-goldens":
+            return _run_verify_goldens(argv[1:])
+        if argv and argv[0] == "verify-invariants":
+            return _run_verify_invariants(argv[1:])
         return _run_experiments(argv)
     except BrokenPipeError:
         # Output piped to a consumer that exited early (`repro cache ls |

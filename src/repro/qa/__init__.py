@@ -1,0 +1,43 @@
+"""Correctness tooling: golden-result regression + metamorphic invariants.
+
+The paper's claims are quantitative cells — Jaccard/Spearman grids,
+rank-magnitude buckets, coverage and category tables — and every one of
+them is a pure function of a :class:`~repro.worldgen.config.WorldConfig`.
+This package pins those numbers down so perf and refactor PRs can move
+fast without silently shifting results:
+
+* :mod:`repro.qa.goldens` — every experiment in the registry serializes
+  its structured rows to canonical JSON; checked-in goldens live under
+  ``tests/golden/`` and ``repro verify-goldens`` recomputes and diffs
+  them cell by cell with per-metric tolerances.
+* :mod:`repro.qa.invariants` — a declarative registry of metamorphic
+  properties goldens cannot express (seed determinism across store
+  hydration, Jaccard symmetry, Spearman sign flips, normalization
+  idempotence, rank monotonicity, truncation consistency), runnable both
+  under Hypothesis and via ``repro verify-invariants``.
+"""
+
+from repro.qa.goldens import (
+    GOLDEN_CONFIG,
+    GoldenReport,
+    GoldenStatus,
+    Tolerance,
+    default_golden_dir,
+    dump_golden,
+    verify_goldens,
+)
+from repro.qa.invariants import INVARIANTS, Invariant, InvariantOutcome, run_invariants
+
+__all__ = [
+    "GOLDEN_CONFIG",
+    "GoldenReport",
+    "GoldenStatus",
+    "Tolerance",
+    "default_golden_dir",
+    "dump_golden",
+    "verify_goldens",
+    "INVARIANTS",
+    "Invariant",
+    "InvariantOutcome",
+    "run_invariants",
+]

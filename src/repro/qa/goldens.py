@@ -1,0 +1,397 @@
+"""Golden-result regression harness.
+
+Every experiment in :data:`~repro.core.experiments.EXPERIMENTS` is a pure
+function of a :class:`~repro.worldgen.config.WorldConfig`, so its
+structured rows admit a canonical JSON form that is bit-stable across
+processes and machines.  This module snapshots that form ("goldens"),
+recomputes it on demand through the parallel runner, and diffs the two
+cell by cell with per-metric absolute/relative tolerances.
+
+The checked-in goldens (``tests/golden/<experiment>.json``) are generated
+at :data:`GOLDEN_CONFIG` scale — small enough that the whole registry
+recomputes in seconds, large enough that every cell of every figure and
+table is exercised.  ``repro verify-goldens`` is the gate each perf or
+refactor PR runs against; ``--update`` regenerates the snapshots (and two
+consecutive updates must produce a zero diff, which CI relies on).
+
+Drift is reported two ways: a human-readable per-cell report on stdout,
+and a machine-readable summary embedded in the run manifest (the
+``qa`` block plus a ``golden_status`` per experiment outcome).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiments import EXPERIMENTS
+from repro.runner.manifest import ExperimentOutcome, RunManifest
+from repro.store.artifacts import DEFAULT_MAX_BYTES, SCHEMA_VERSION
+from repro.worldgen.config import WorldConfig
+
+__all__ = [
+    "GOLDEN_CONFIG",
+    "Tolerance",
+    "TOLERANCES",
+    "DriftCell",
+    "GoldenStatus",
+    "GoldenReport",
+    "default_golden_dir",
+    "golden_payload",
+    "dump_golden",
+    "diff_payloads",
+    "verify_goldens",
+]
+
+#: The pinned configuration all checked-in goldens are generated at.  The
+#: seed is the default February 2022 seed; the universe is shrunk so a
+#: full-registry recompute stays CI-cheap.  Changing ANY field here
+#: invalidates every golden — regenerate with ``repro verify-goldens
+#: --update`` in the same commit.
+GOLDEN_CONFIG = WorldConfig(n_sites=2500, n_days=8)
+
+#: Maximum drift cells listed per experiment in the rendered report.
+_MAX_RENDERED_CELLS = 12
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Per-metric numeric comparison tolerance.
+
+    A cell passes when ``|actual - expected|`` is within ``abs_tol`` OR
+    within ``rel_tol * |expected|``.  The defaults are deliberately tight:
+    experiments are deterministic, so goldens should reproduce to the last
+    bit and any slack only exists to absorb benign float-accumulation
+    reordering (e.g. a vectorization PR summing in a different order).
+    """
+
+    abs_tol: float = 1e-9
+    rel_tol: float = 1e-9
+
+    def allows(self, expected: float, actual: float) -> bool:
+        """Whether ``actual`` is acceptably close to ``expected``."""
+        if math.isnan(expected) or math.isnan(actual):
+            return math.isnan(expected) and math.isnan(actual)
+        if math.isinf(expected) or math.isinf(actual):
+            return expected == actual
+        delta = abs(actual - expected)
+        return delta <= self.abs_tol or delta <= self.rel_tol * abs(expected)
+
+
+#: Per-experiment tolerance overrides; experiments not listed use the
+#: default :class:`Tolerance`.  Loosen a cell here (with a comment naming
+#: the PR that needed it) instead of regenerating goldens for float noise.
+TOLERANCES: Dict[str, Tolerance] = {}
+
+
+@dataclass(frozen=True)
+class DriftCell:
+    """One differing cell between a golden and a recomputed result.
+
+    Attributes:
+        path: slash-joined location inside the payload (``data/jaccard/...``).
+        expected: the golden value (None when the cell is new).
+        actual: the recomputed value (None when the cell disappeared).
+        kind: ``value`` | ``type`` | ``missing`` | ``extra`` | ``length``.
+    """
+
+    path: str
+    expected: object
+    actual: object
+    kind: str = "value"
+
+    def render(self) -> str:
+        if self.kind == "missing":
+            return f"{self.path}: golden cell disappeared (was {self.expected!r})"
+        if self.kind == "extra":
+            return f"{self.path}: new cell not in golden ({self.actual!r})"
+        return f"{self.path}: expected {self.expected!r}, got {self.actual!r}"
+
+
+@dataclass
+class GoldenStatus:
+    """Per-experiment verification outcome.
+
+    ``status`` is one of ``pass``, ``drift``, ``missing`` (no golden file),
+    ``updated`` (``--update`` wrote the snapshot), or ``error`` (the
+    experiment itself failed to run).
+    """
+
+    name: str
+    status: str
+    cells: List[DriftCell] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("pass", "updated")
+
+
+@dataclass
+class GoldenReport:
+    """The result of one ``verify_goldens`` call."""
+
+    golden_dir: Path
+    update: bool
+    statuses: List[GoldenStatus]
+    manifest: RunManifest
+    manifest_file: Optional[Path]
+
+    @property
+    def ok(self) -> bool:
+        """True when every experiment passed (or was updated)."""
+        return all(status.ok for status in self.statuses)
+
+    @property
+    def drifted(self) -> List[GoldenStatus]:
+        return [s for s in self.statuses if not s.ok]
+
+    def summary(self) -> Dict[str, object]:
+        """Machine-readable summary (embedded in the run manifest)."""
+        return {
+            "golden_dir": str(self.golden_dir),
+            "mode": "update" if self.update else "verify",
+            "golden_config": self.manifest.config,
+            "statuses": {s.name: s.status for s in self.statuses},
+            "drift_cells": {
+                s.name: [
+                    {"path": c.path, "kind": c.kind,
+                     "expected": c.expected, "actual": c.actual}
+                    for c in s.cells
+                ]
+                for s in self.statuses
+                if s.cells
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable drift report, one block per experiment."""
+        lines: List[str] = []
+        for status in self.statuses:
+            mark = "ok " if status.ok else "FAIL"
+            detail = status.status
+            if status.cells:
+                detail += f" ({len(status.cells)} cell(s))"
+            lines.append(f"[{mark}] {status.name}: {detail}")
+            for cell in status.cells[:_MAX_RENDERED_CELLS]:
+                lines.append(f"       {cell.render()}")
+            if len(status.cells) > _MAX_RENDERED_CELLS:
+                lines.append(
+                    f"       ... {len(status.cells) - _MAX_RENDERED_CELLS} more"
+                )
+            if status.error:
+                lines.append(f"       {status.error.strip().splitlines()[-1]}")
+        passed = sum(1 for s in self.statuses if s.ok)
+        lines.append(f"\n{passed}/{len(self.statuses)} experiments "
+                     + ("updated" if self.update else "match goldens"))
+        return "\n".join(lines)
+
+
+def default_golden_dir(start: Optional[os.PathLike] = None) -> Path:
+    """Locate ``tests/golden`` by walking up from ``start`` (default cwd).
+
+    Falls back to ``<cwd>/tests/golden`` when no checkout root is found,
+    so ``--update`` on a fresh tree creates the directory in place.
+    """
+    here = Path(os.fspath(start) if start is not None else os.getcwd()).resolve()
+    for candidate in (here, *here.parents):
+        golden = candidate / "tests" / "golden"
+        if golden.is_dir():
+            return golden
+    return here / "tests" / "golden"
+
+
+# ---------------------------------------------------------------------------
+# Canonical payloads.
+
+
+def golden_payload(
+    name: str, title: str, config: WorldConfig, data: Dict[str, object], text: str
+) -> Dict[str, object]:
+    """The canonical golden document for one experiment run.
+
+    ``data`` must already be the JSON projection produced by the runner
+    (:func:`repro.runner.parallel._jsonable`); rendered text is pinned by
+    digest only, so cosmetic formatting changes surface as exactly one
+    drift cell instead of a wall of diff.
+    """
+    return {
+        "experiment": name,
+        "title": title,
+        "schema_version": SCHEMA_VERSION,
+        "config": json.loads(config.to_json()),
+        "data": data,
+        "text_sha256": ExperimentOutcome.digest(text),
+    }
+
+
+def dump_golden(payload: Dict[str, object]) -> str:
+    """Deterministic serialization: sorted keys, two-space indent, trailing
+    newline.  Two dumps of equal payloads are byte-identical, which is what
+    makes ``--update`` idempotent under git."""
+    return json.dumps(payload, sort_keys=True, indent=2, allow_nan=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Structural diff.
+
+_NUMERIC = (int, float)
+
+
+def diff_payloads(
+    expected: object, actual: object, tolerance: Tolerance, path: str = ""
+) -> List[DriftCell]:
+    """Recursively diff two golden payloads into per-cell drift records.
+
+    Numeric leaves compare under ``tolerance`` (NaN equals NaN — Spearman
+    over tiny intersections is legitimately undefined); every other leaf
+    compares exactly.  Container mismatches are reported per key/index so
+    a drift report points at cells, not whole documents.
+    """
+    cells: List[DriftCell] = []
+    # bool is an int subclass but True == 1 tolerance-passing is misleading.
+    both_numeric = (
+        isinstance(expected, _NUMERIC) and not isinstance(expected, bool)
+        and isinstance(actual, _NUMERIC) and not isinstance(actual, bool)
+    )
+    if both_numeric:
+        if not tolerance.allows(float(expected), float(actual)):
+            cells.append(DriftCell(path or "/", expected, actual))
+        return cells
+    if type(expected) is not type(actual):
+        cells.append(DriftCell(path or "/", expected, actual, kind="type"))
+        return cells
+    if isinstance(expected, dict):
+        for key in sorted(set(expected) | set(actual)):
+            sub = f"{path}/{key}" if path else str(key)
+            if key not in actual:
+                cells.append(DriftCell(sub, expected[key], None, kind="missing"))
+            elif key not in expected:
+                cells.append(DriftCell(sub, None, actual[key], kind="extra"))
+            else:
+                cells.extend(diff_payloads(expected[key], actual[key], tolerance, sub))
+        return cells
+    if isinstance(expected, list):
+        if len(expected) != len(actual):
+            cells.append(
+                DriftCell(path or "/", len(expected), len(actual), kind="length")
+            )
+            return cells
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            cells.extend(diff_payloads(e, a, tolerance, f"{path}[{i}]"))
+        return cells
+    if expected != actual:
+        cells.append(DriftCell(path or "/", expected, actual))
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# The harness.
+
+
+def _verify_one(
+    name: str,
+    payload: Dict[str, object],
+    golden_file: Path,
+    config: WorldConfig,
+    update: bool,
+) -> GoldenStatus:
+    """Compare (or rewrite) one experiment's golden from its run payload."""
+    if not payload.get("ok"):
+        return GoldenStatus(name, "error", error=str(payload.get("error")))
+    document = golden_payload(
+        name,
+        str(payload.get("title", "")),
+        config,
+        payload["data"],  # type: ignore[arg-type]
+        str(payload.get("text", "")),
+    )
+    if update:
+        golden_file.parent.mkdir(parents=True, exist_ok=True)
+        encoded = dump_golden(document)
+        # Skip the write when nothing changed: keeps file mtimes (and any
+        # build system watching them) honest on no-op updates.
+        if not golden_file.exists() or golden_file.read_text() != encoded:
+            golden_file.write_text(encoded)
+        return GoldenStatus(name, "updated")
+    if not golden_file.exists():
+        return GoldenStatus(name, "missing")
+    try:
+        golden = json.loads(golden_file.read_text())
+    except json.JSONDecodeError as error:
+        return GoldenStatus(name, "drift", error=f"unreadable golden: {error}")
+    tolerance = TOLERANCES.get(name, Tolerance())
+    cells = diff_payloads(golden, document, tolerance)
+    return GoldenStatus(name, "drift" if cells else "pass", cells=cells)
+
+
+def verify_goldens(
+    golden_dir: os.PathLike,
+    names: Optional[Sequence[str]] = None,
+    config: WorldConfig = GOLDEN_CONFIG,
+    jobs: int = 1,
+    update: bool = False,
+    cache_dir: Optional[os.PathLike] = None,
+    max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+    manifest_path: Optional[os.PathLike] = None,
+) -> GoldenReport:
+    """Recompute experiments and diff (or rewrite) their goldens.
+
+    Runs through :func:`repro.runner.parallel.run_experiments`, so
+    ``jobs > 1`` fans out across the process pool and workers hydrate the
+    shared world from the artifact store exactly like ``repro all``.
+
+    Args:
+        golden_dir: directory of ``<experiment>.json`` snapshots.
+        names: experiment subset (default: the whole registry).
+        config: world configuration (default: :data:`GOLDEN_CONFIG` — the
+          one the checked-in goldens were generated at).
+        jobs: worker processes for the recompute.
+        update: rewrite goldens from the recomputed results instead of
+          diffing against them.
+        cache_dir: artifact-store root (None disables caching).
+        max_bytes: store size cap.
+        manifest_path: explicit run-manifest destination.
+
+    Returns:
+        A :class:`GoldenReport`; its run manifest carries the
+        machine-readable summary (``qa`` block + per-outcome
+        ``golden_status``) and is rewritten in place when it was persisted.
+    """
+    from repro.runner.parallel import run_experiments
+
+    golden_dir = Path(os.fspath(golden_dir))
+    names = list(names) if names is not None else list(EXPERIMENTS)
+    payloads, manifest, manifest_file = run_experiments(
+        names,
+        config,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        max_bytes=max_bytes,
+        manifest_path=manifest_path,
+        keep_data=True,
+    )
+    statuses = [
+        _verify_one(name, payload, golden_dir / f"{name}.json", config, update)
+        for name, payload in zip(names, payloads)
+    ]
+    report = GoldenReport(
+        golden_dir=golden_dir,
+        update=update,
+        statuses=statuses,
+        manifest=manifest,
+        manifest_file=manifest_file,
+    )
+    by_name = {status.name: status for status in statuses}
+    for outcome in manifest.outcomes:
+        status = by_name.get(outcome.name)
+        if status is not None:
+            outcome.golden_status = status.status
+    manifest.qa = report.summary()
+    if manifest_file is not None:
+        manifest.write(manifest_file)
+    return report

@@ -1,0 +1,456 @@
+"""Metamorphic invariants over the whole pipeline.
+
+Goldens pin concrete numbers; invariants pin *relationships* that must
+survive any refactor regardless of what the numbers are: determinism
+across store hydration, metric symmetries, sign flips under reversal,
+idempotence of normalization, monotonicity of rankings under traffic
+scaling, and truncation consistency across the paper's magnitude cuts.
+
+The module is split in two layers:
+
+* **Pure property helpers** (``*_violations`` functions) that take plain
+  data and return human-readable violation strings.  The Hypothesis suite
+  (``tests/qa/test_invariants.py``) drives these with generated inputs.
+* **The registry** (:data:`INVARIANTS`) — declarative
+  :class:`Invariant` rows whose checks derive deterministic inputs from a
+  live :class:`~repro.core.pipeline.ExperimentContext` and call the same
+  helpers.  ``repro verify-invariants`` (and a parametrized pytest) runs
+  every row.
+
+Both layers report violations rather than raising, so one broken property
+never hides the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cdn.filters import FINAL_SEVEN
+from repro.core.normalize import normalize_strings
+from repro.core.pipeline import ExperimentContext, clear_contexts, experiment_context
+from repro.core.similarity import (
+    jaccard_index,
+    pairwise_jaccard,
+    rank_correlation_of_lists,
+)
+from repro.weblib.idna import IdnaError, to_ascii
+from repro.weblib.psl import PublicSuffixList, default_psl
+from repro.worldgen.config import WorldConfig
+
+__all__ = [
+    "Invariant",
+    "InvariantOutcome",
+    "INVARIANTS",
+    "run_invariants",
+    "jaccard_table_violations",
+    "spearman_reversal_violations",
+    "relabel_invariance_violations",
+    "normalize_idempotence_violations",
+    "scaling_rank_violations",
+    "prefix_violations",
+]
+
+
+# ---------------------------------------------------------------------------
+# Pure property helpers (Hypothesis-friendly).
+
+
+def jaccard_table_violations(lists: Dict[str, Sequence[int]]) -> List[str]:
+    """Violations of Jaccard symmetry/bounds/self-similarity.
+
+    For any family of lists the pairwise table must be symmetric, every
+    value must lie in [0, 1], and the diagonal must be exactly 1.
+    """
+    table = pairwise_jaccard(lists)
+    violations: List[str] = []
+    for (a, b), value in table.items():
+        if not 0.0 <= value <= 1.0:
+            violations.append(f"jaccard({a},{b})={value} outside [0,1]")
+        if a == b and value != 1.0:
+            violations.append(f"self-jaccard({a})={value} != 1")
+        if table[(b, a)] != value:
+            violations.append(f"jaccard({a},{b})={value} != jaccard({b},{a})")
+    return violations
+
+
+def spearman_reversal_violations(ranking: Sequence[int], tol: float = 1e-12) -> List[str]:
+    """Violations of Spearman self-correlation = 1 and sign flip = -1.
+
+    A ranked list correlates perfectly with itself and anti-perfectly
+    with its own reversal (intersection is total in both cases).
+    """
+    violations: List[str] = []
+    if len(ranking) < 2:
+        return violations
+    ranking = list(ranking)
+    rho_self = rank_correlation_of_lists(ranking, ranking).rho
+    if abs(rho_self - 1.0) > tol:
+        violations.append(f"self-spearman={rho_self} != 1")
+    rho_rev = rank_correlation_of_lists(ranking, ranking[::-1]).rho
+    if abs(rho_rev + 1.0) > tol:
+        violations.append(f"reversed-spearman={rho_rev} != -1")
+    return violations
+
+
+def relabel_invariance_violations(
+    list_a: Sequence[int], list_b: Sequence[int]
+) -> List[str]:
+    """Violations of invariance under monotone relabeling of domain ids.
+
+    Jaccard and intersection-Spearman depend only on membership and
+    positions, never on the ids themselves, so any strictly monotone
+    injective relabeling must preserve both bit-for-bit.
+    """
+
+    def relabel(x: int) -> int:
+        return 2 * int(x) + 5
+
+    a2 = [relabel(x) for x in list_a]
+    b2 = [relabel(x) for x in list_b]
+    violations: List[str] = []
+    jj, jj2 = jaccard_index(list_a, list_b), jaccard_index(a2, b2)
+    if jj != jj2:
+        violations.append(f"jaccard changed under relabel: {jj} -> {jj2}")
+    rho = rank_correlation_of_lists(list_a, list_b).rho
+    rho2 = rank_correlation_of_lists(a2, b2).rho
+    if not (np.isnan(rho) and np.isnan(rho2)) and rho != rho2:
+        violations.append(f"spearman changed under relabel: {rho} -> {rho2}")
+    return violations
+
+
+def normalize_idempotence_violations(
+    entries: Sequence[str], psl: Optional[PublicSuffixList] = None
+) -> List[str]:
+    """Violations of normalization idempotence.
+
+    ``normalize_strings`` outputs registrable domains; feeding those back
+    through must be the identity (same domains, ranks 1..n), and the PSL's
+    ``registrable_domain`` must be a fixed point on its own outputs.
+    """
+    psl = psl if psl is not None else default_psl()
+    violations: List[str] = []
+    domains, _ = normalize_strings(entries, psl=psl)
+    again, ranks = normalize_strings(domains, psl=psl)
+    if again != domains:
+        violations.append(
+            f"normalize_strings not idempotent: {len(domains)} -> {len(again)} entries"
+        )
+    elif ranks != list(range(1, len(domains) + 1)):
+        violations.append("re-normalization perturbed ranks")
+    for domain in domains:
+        fixed = psl.registrable_domain(domain)
+        if fixed != domain:
+            violations.append(f"registrable_domain({domain}) = {fixed} not a fixed point")
+    return violations
+
+
+def idna_idempotence_violations(names: Sequence[str]) -> List[str]:
+    """Violations of ``to_ascii`` idempotence on encodable names."""
+    violations: List[str] = []
+    for name in names:
+        try:
+            once = to_ascii(name)
+        except IdnaError:
+            continue
+        try:
+            twice = to_ascii(once)
+        except IdnaError:
+            violations.append(f"to_ascii({name!r}) produced unencodable {once!r}")
+            continue
+        if twice != once:
+            violations.append(f"to_ascii not idempotent on {name!r}: {once!r} -> {twice!r}")
+    return violations
+
+
+def scaling_rank_violations(
+    counts: np.ndarray, eligible: np.ndarray, site: int, factor: float
+) -> List[str]:
+    """Violations of rank monotonicity under traffic scaling.
+
+    Scaling one site's observed count up by ``factor >= 1`` must never
+    move that site to a strictly worse rank position among the eligible
+    (Cloudflare-served) sites.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    eligible = np.asarray(eligible, dtype=np.int64)
+
+    def position(values: np.ndarray) -> int:
+        order = eligible[np.argsort(-values[eligible], kind="stable")]
+        return int(np.flatnonzero(order == site)[0])
+
+    before = position(counts)
+    scaled = counts.copy()
+    scaled[site] *= factor
+    after = position(scaled)
+    if after > before:
+        return [
+            f"site {site} fell from position {before} to {after} "
+            f"after scaling its count x{factor}"
+        ]
+    return []
+
+
+def prefix_violations(tops: Dict[int, Sequence[int]]) -> List[str]:
+    """Violations of truncation consistency across top-k views.
+
+    ``tops`` maps a cut point ``k`` to the *independently computed* top-k
+    of one ranking.  For every ``k <= k'`` the smaller view must be a
+    prefix of the larger — i.e. the 1K/10K/100K/1M views of one list can
+    never disagree about relative content.  (Trivial for a single sort,
+    but exactly the property a future argpartition-style top-k
+    optimization could silently break.)
+    """
+    violations: List[str] = []
+    ordered = sorted(tops)
+    for small, large in zip(ordered, ordered[1:]):
+        a = list(tops[small])
+        b = list(tops[large])
+        if a != b[: len(a)]:
+            violations.append(f"top-{small} is not a prefix of top-{large}")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# The registry.
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One registered pipeline-wide property.
+
+    Attributes:
+        name: stable identifier (CLI ``--only`` and pytest ids).
+        description: one-line statement of the property.
+        check: derives inputs from a live context and returns violations.
+    """
+
+    name: str
+    description: str
+    check: Callable[[ExperimentContext], List[str]]
+
+
+@dataclass
+class InvariantOutcome:
+    """One invariant's execution record."""
+
+    name: str
+    ok: bool
+    seconds: float
+    violations: List[str] = field(default_factory=list)
+
+
+def _provider_lists(ctx: ExperimentContext, depth: int = 400) -> Dict[str, List[int]]:
+    """Deterministic day-0 normalized prefixes for every provider."""
+    return {
+        name: ctx.normalized(name, 0).sites[:depth].tolist()
+        for name in sorted(ctx.providers)
+    }
+
+
+def _check_seed_determinism(ctx: ExperimentContext) -> List[str]:
+    """Same config must yield bit-identical Figure 1/2/8 cells whether the
+    context is built fresh, cold through a store, or hydrated from it."""
+    from repro.core.experiments import run_experiment
+    from repro.runner.parallel import _jsonable
+    from repro.store import ArtifactStore
+
+    config: WorldConfig = ctx.config
+
+    def cells(context: ExperimentContext) -> Dict[str, str]:
+        return {
+            name: json.dumps(
+                _jsonable(run_experiment(name, context).data), sort_keys=True
+            )
+            for name in ("fig1", "fig2", "fig8")
+        }
+
+    violations: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-qa-") as tmp:
+        store = ArtifactStore(tmp)
+        clear_contexts()
+        cold = cells(experiment_context(config, store=store))
+        clear_contexts()
+        hydrated = cells(experiment_context(config, store=store))
+        clear_contexts()
+        fresh = cells(experiment_context(config))
+        clear_contexts()
+    for name in fresh:
+        if cold[name] != fresh[name]:
+            violations.append(f"{name}: store-backed cold run differs from fresh build")
+        if hydrated[name] != fresh[name]:
+            violations.append(f"{name}: store-hydrated run differs from fresh build")
+    return violations
+
+
+def _check_jaccard_table(ctx: ExperimentContext) -> List[str]:
+    violations = jaccard_table_violations(_provider_lists(ctx))
+    day0 = {combo: ctx.engine.ranking(0, combo)[:300].tolist() for combo in FINAL_SEVEN}
+    violations.extend(jaccard_table_violations(day0))
+    return violations
+
+
+def _check_spearman_reversal(ctx: ExperimentContext) -> List[str]:
+    violations: List[str] = []
+    for name, sites in _provider_lists(ctx).items():
+        for text in spearman_reversal_violations(sites):
+            violations.append(f"{name}: {text}")
+    return violations
+
+
+def _check_monotone_relabel(ctx: ExperimentContext) -> List[str]:
+    lists = _provider_lists(ctx)
+    names = sorted(lists)
+    violations: List[str] = []
+    for a, b in zip(names, names[1:]):
+        for text in relabel_invariance_violations(lists[a], lists[b]):
+            violations.append(f"({a},{b}): {text}")
+    return violations
+
+
+def _check_normalize_idempotence(ctx: ExperimentContext) -> List[str]:
+    # Real pipeline strings: every name kind the world publishes (apexes,
+    # www/service FQDNs, serialized origins, DNS chaff), plus crafted IDN
+    # and origin edge cases that the generator may not emit at small scale.
+    sample = list(ctx.world.names.strings[:500])
+    sample += [
+        "https://www.example.com",
+        "http://xn--bcher-kva.example",
+        "bücher.example",
+        "WWW.EXAMPLE.ORG",
+    ]
+    violations = normalize_idempotence_violations(sample)
+    violations.extend(idna_idempotence_violations(sample))
+    return violations
+
+
+def _check_metric_monotonicity(ctx: ExperimentContext) -> List[str]:
+    counts = ctx.engine.day_counts(0, combos=("all:requests",))["all:requests"]
+    eligible = ctx.engine.cf_sites
+    ranked = ctx.engine.ranking(0, "all:requests")
+    # Probe sites across the popularity range (head, middle, tail).
+    probes = [ranked[0], ranked[len(ranked) // 2], ranked[-1]]
+    violations: List[str] = []
+    for site in probes:
+        for factor in (2.0, 10.0):
+            violations.extend(
+                scaling_rank_violations(counts, eligible, int(site), factor)
+            )
+    return violations
+
+
+def _check_truncation_consistency(ctx: ExperimentContext) -> List[str]:
+    violations: List[str] = []
+    cuts = [m for m in ctx.magnitudes if m <= ctx.engine.n_cf_sites]
+    for combo in FINAL_SEVEN:
+        tops = {m: ctx.engine.top(0, combo, m).tolist() for m in cuts}
+        for text in prefix_violations(tops):
+            violations.append(f"{combo}: {text}")
+    # Normalized provider lists expose truncation as top_sites(magnitude);
+    # smaller cuts must select subsets of larger cuts, in the same order.
+    for name in sorted(ctx.providers):
+        normalized = ctx.normalized(name, 0)
+        previous: Optional[List[int]] = None
+        for magnitude in sorted(ctx.magnitudes):
+            current = normalized.top_sites(magnitude).tolist()
+            if previous is not None and current[: len(previous)] != previous:
+                violations.append(
+                    f"{name}: top_sites({magnitude}) does not extend the "
+                    f"smaller cut"
+                )
+            previous = current
+    return violations
+
+
+#: Every registered pipeline invariant, in documentation order.
+INVARIANTS: tuple = (
+    Invariant(
+        name="seed-determinism",
+        description=(
+            "same WorldConfig yields bit-identical Figure 1/2/8 cells, "
+            "fresh vs store-cold vs store-hydrated"
+        ),
+        check=_check_seed_determinism,
+    ),
+    Invariant(
+        name="jaccard-table",
+        description="pairwise Jaccard is symmetric, within [0,1], diagonal 1",
+        check=_check_jaccard_table,
+    ),
+    Invariant(
+        name="spearman-reversal",
+        description="Spearman is 1 against itself and -1 against the reversal",
+        check=_check_spearman_reversal,
+    ),
+    Invariant(
+        name="monotone-relabel",
+        description=(
+            "Jaccard/Spearman are invariant under monotone relabeling of "
+            "domain ids"
+        ),
+        check=_check_monotone_relabel,
+    ),
+    Invariant(
+        name="normalize-idempotence",
+        description="PSL/IDNA normalization is idempotent on its own output",
+        check=_check_normalize_idempotence,
+    ),
+    Invariant(
+        name="metric-monotonicity",
+        description="scaling a site's traffic up never worsens its rank",
+        check=_check_metric_monotonicity,
+    ),
+    Invariant(
+        name="truncation-consistency",
+        description=(
+            "1K/10K/100K/1M cuts of one ranking are mutually consistent "
+            "prefixes/subsets"
+        ),
+        check=_check_truncation_consistency,
+    ),
+)
+
+
+def run_invariants(
+    ctx: ExperimentContext, names: Optional[Sequence[str]] = None
+) -> List[InvariantOutcome]:
+    """Run registered invariants against a live context.
+
+    Args:
+        ctx: the experiment context to derive inputs from.
+        names: subset of invariant names (default: all).
+
+    Returns:
+        One outcome per invariant, in registry order.
+
+    Raises:
+        KeyError: for unknown invariant names.
+    """
+    import time
+
+    by_name = {invariant.name: invariant for invariant in INVARIANTS}
+    wanted = list(names) if names is not None else [i.name for i in INVARIANTS]
+    unknown = [name for name in wanted if name not in by_name]
+    if unknown:
+        raise KeyError(f"unknown invariant(s): {', '.join(unknown)}")
+    outcomes: List[InvariantOutcome] = []
+    for name in wanted:
+        invariant = by_name[name]
+        started = time.perf_counter()
+        try:
+            violations = invariant.check(ctx)
+        except Exception as error:  # a crash is itself a violation
+            violations = [f"check raised {type(error).__name__}: {error}"]
+        outcomes.append(
+            InvariantOutcome(
+                name=name,
+                ok=not violations,
+                seconds=time.perf_counter() - started,
+                violations=violations,
+            )
+        )
+    return outcomes

@@ -36,6 +36,9 @@ class ExperimentOutcome:
           identity checks without storing whole tables in the manifest.
         cache: artifact-store hit/miss/put deltas attributable to this
           experiment (empty when caching is disabled).
+        golden_status: filled by ``repro verify-goldens`` — ``pass``,
+          ``drift``, ``missing``, ``updated``, or ``error``; None outside
+          golden-verification runs.
     """
 
     name: str
@@ -46,6 +49,7 @@ class ExperimentOutcome:
     error: Optional[str] = None
     text_sha256: Optional[str] = None
     cache: CacheCounts = field(default_factory=dict)
+    golden_status: Optional[str] = None
 
     @staticmethod
     def digest(text: str) -> str:
@@ -63,6 +67,9 @@ class RunManifest:
     started_unix: float
     wall_seconds: float = 0.0
     outcomes: List[ExperimentOutcome] = field(default_factory=list)
+    #: Machine-readable golden-verification summary (``repro
+    #: verify-goldens``); None for ordinary runs.
+    qa: Optional[Dict[str, object]] = None
 
     @property
     def failures(self) -> List[ExperimentOutcome]:
@@ -112,4 +119,5 @@ class RunManifest:
             started_unix=float(payload["started_unix"]),  # type: ignore[arg-type]
             wall_seconds=float(payload.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
             outcomes=outcomes,
+            qa=payload.get("qa"),  # type: ignore[arg-type]
         )

@@ -98,7 +98,9 @@ def _stats_delta(
     return delta
 
 
-def _execute(name: str, keep_result: bool = False) -> Dict[str, object]:
+def _execute(
+    name: str, keep_result: bool = False, keep_data: bool = False
+) -> Dict[str, object]:
     """Run one experiment in the current worker; never raises."""
     config: WorldConfig = _WORKER["config"]  # type: ignore[assignment]
     store: Optional[ArtifactStore] = _WORKER.get("store")  # type: ignore[assignment]
@@ -124,6 +126,11 @@ def _execute(name: str, keep_result: bool = False) -> Dict[str, object]:
         )
         if keep_result:
             payload["result"] = result
+        if keep_data:
+            # JSON projection of the structured rows: plain types only, so
+            # it pickles back from pool workers (the golden harness diffs
+            # exactly this form).
+            payload["data"] = _jsonable(result.data)
         if store is not None:
             store.put_json(
                 config_key(config),
@@ -166,6 +173,7 @@ def run_experiments(
     max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
     manifest_path: Optional[os.PathLike] = None,
     keep_results: bool = False,
+    keep_data: bool = False,
 ) -> Tuple[List[Dict[str, object]], RunManifest, Optional[Path]]:
     """Run experiments, optionally in parallel, with failure isolation.
 
@@ -181,6 +189,9 @@ def run_experiments(
         keep_results: inline mode only — attach the live
           :class:`~repro.core.experiments.ExperimentResult` objects to the
           returned payloads (used for SVG export).
+        keep_data: attach each result's canonical JSON data projection to
+          its payload (works across the pool; used by ``repro
+          verify-goldens``).
 
     Returns:
         ``(payloads, manifest, manifest_file)``; ``manifest_file`` is None
@@ -202,12 +213,14 @@ def run_experiments(
     if jobs <= 1 or len(names) <= 1:
         _init_worker(*init_args)
         for name in names:
-            payloads[name] = _execute(name, keep_result=keep_results)
+            payloads[name] = _execute(name, keep_result=keep_results, keep_data=keep_data)
     else:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(names)), initializer=_init_worker, initargs=init_args
         ) as pool:
-            futures = {pool.submit(_execute, name): name for name in names}
+            futures = {
+                pool.submit(_execute, name, False, keep_data): name for name in names
+            }
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)

@@ -6,6 +6,19 @@ import os
 
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+# Hypothesis profiles: exploratory locally, reproducible in automation.
+# CI (or any run with REPRO_HYPOTHESIS_PROFILE=ci) derandomizes example
+# generation so a property failure on a PR is replayable verbatim; local
+# runs keep the default randomized search to keep finding new examples.
+hypothesis_settings.register_profile("ci", derandomize=True)
+hypothesis_settings.register_profile("dev")
+hypothesis_settings.load_profile(
+    os.environ.get(
+        "REPRO_HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
+    )
+)
 
 from repro.cdn.metrics import CdnMetricEngine
 from repro.core.evaluation import CloudflareEvaluator

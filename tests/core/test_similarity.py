@@ -62,6 +62,67 @@ class TestAverageRanks:
         assert np.allclose(ours, scipys)
 
 
+class TestEdgeCases:
+    """Documented behavior at the degenerate ends of every measure."""
+
+    def test_jaccard_empty_vs_nonempty(self):
+        assert jaccard_index([], [1, 2]) == 0.0
+        assert jaccard_index([1, 2], []) == 0.0
+
+    def test_pairwise_jaccard_with_empty_lists(self):
+        table = pairwise_jaccard({"a": [], "b": [], "c": [1]})
+        # Two empty lists are identical sets (union empty -> 1.0), and an
+        # empty list is disjoint from any non-empty one.
+        assert table[("a", "a")] == 1.0
+        assert table[("a", "b")] == 1.0
+        assert table[("a", "c")] == 0.0 and table[("c", "a")] == 0.0
+
+    def test_pairwise_jaccard_disjoint(self):
+        table = pairwise_jaccard({"a": [1, 2], "b": [3, 4]})
+        assert table[("a", "b")] == 0.0 == table[("b", "a")]
+
+    def test_pairwise_jaccard_no_lists(self):
+        assert pairwise_jaccard({}) == {}
+
+    def test_spearman_constant_both_nan(self):
+        # Constant input: rank variance is zero, so rho AND pvalue are
+        # undefined — (nan, nan), matching scipy.spearmanr.
+        result = spearman([5, 5, 5, 5], [1, 2, 3, 4])
+        assert np.isnan(result.rho) and np.isnan(result.pvalue)
+        both = spearman([5, 5, 5], [7, 7, 7])
+        assert np.isnan(both.rho) and np.isnan(both.pvalue)
+
+    def test_spearman_length_one_raises(self):
+        # A single observation cannot be correlated; this raises rather
+        # than returning nan so callers distinguish "undefined because
+        # degenerate data" from "undefined because too little data".
+        with pytest.raises(ValueError, match="at least two"):
+            spearman([1], [2])
+        with pytest.raises(ValueError):
+            spearman([], [])
+
+    def test_rank_correlation_short_lists_nan_not_raise(self):
+        # The list-facing wrapper folds the <2-intersection case to nan:
+        # tiny intersections are routine when comparing top lists.
+        assert np.isnan(rank_correlation_of_lists([1], [1]).rho)
+        assert np.isnan(rank_correlation_of_lists([], []).rho)
+
+    def test_average_ranks_empty(self):
+        assert average_ranks(np.array([])).tolist() == []
+
+    def test_average_ranks_single(self):
+        assert average_ranks(np.array([42.0])).tolist() == [1.0]
+
+    def test_average_ranks_all_tied(self):
+        # n equal values all share the mean position (n + 1) / 2.
+        assert average_ranks(np.array([7.0, 7.0, 7.0, 7.0])).tolist() == [2.5] * 4
+
+    def test_average_ranks_interleaved_ties(self):
+        values = np.array([3.0, 1.0, 3.0, 2.0, 1.0])
+        expected = scipy_stats.rankdata(values)
+        assert np.allclose(average_ranks(values), expected)
+
+
 class TestSpearman:
     def test_perfect_correlation(self):
         result = spearman([1, 2, 3, 4], [10, 20, 30, 40])

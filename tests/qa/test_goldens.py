@@ -1,0 +1,272 @@
+"""Golden harness tests: canonical serialization, diffing, the verify
+loop, manifest integration, and CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.core import experiments as experiments_mod
+from repro.core.experiments import EXPERIMENTS, ExperimentResult
+from repro.core.pipeline import clear_contexts
+from repro.qa.goldens import (
+    GOLDEN_CONFIG,
+    DriftCell,
+    Tolerance,
+    default_golden_dir,
+    diff_payloads,
+    dump_golden,
+    golden_payload,
+    verify_goldens,
+)
+from repro.runner.manifest import RunManifest
+from repro.worldgen.config import WorldConfig
+
+_CONFIG = WorldConfig(n_sites=400, n_days=4, seed=11)
+
+
+def _mini_experiment(ctx) -> ExperimentResult:
+    return ExperimentResult(
+        name="mini",
+        title="Mini",
+        data={"cells": {"a|b": 0.5, "b|a": 0.5}, "n": ctx.world.n_sites,
+              "nanval": float("nan")},
+        text=f"n={ctx.world.n_sites}",
+    )
+
+
+def _broken_experiment(ctx) -> ExperimentResult:
+    raise ValueError("broken on purpose")
+
+
+@pytest.fixture()
+def registry(monkeypatch):
+    """EXPERIMENTS swapped for a two-entry synthetic registry."""
+    replacement = {"mini": _mini_experiment, "broken": _broken_experiment}
+    monkeypatch.setattr(experiments_mod, "EXPERIMENTS", replacement)
+    monkeypatch.setattr("repro.runner.parallel.EXPERIMENTS", replacement)
+    monkeypatch.setattr("repro.qa.goldens.EXPERIMENTS", replacement)
+    monkeypatch.setattr("repro.cli.EXPERIMENTS", replacement)
+    clear_contexts()
+    return replacement
+
+
+class TestTolerance:
+    def test_exact_and_within(self):
+        tol = Tolerance(abs_tol=0.01, rel_tol=0.0)
+        assert tol.allows(1.0, 1.0)
+        assert tol.allows(1.0, 1.005)
+        assert not tol.allows(1.0, 1.02)
+
+    def test_relative(self):
+        tol = Tolerance(abs_tol=0.0, rel_tol=0.1)
+        assert tol.allows(100.0, 109.0)
+        assert not tol.allows(100.0, 111.0)
+
+    def test_nan_equals_nan(self):
+        tol = Tolerance()
+        assert tol.allows(float("nan"), float("nan"))
+        assert not tol.allows(float("nan"), 0.0)
+        assert not tol.allows(0.0, float("nan"))
+
+
+class TestDiff:
+    def test_identical(self):
+        payload = {"a": [1, 2.5], "b": {"c": "x"}}
+        assert diff_payloads(payload, payload, Tolerance()) == []
+
+    def test_value_drift_has_path(self):
+        cells = diff_payloads(
+            {"data": {"jj": {"a|b": 0.5}}},
+            {"data": {"jj": {"a|b": 0.75}}},
+            Tolerance(),
+        )
+        assert cells == [DriftCell("data/jj/a|b", 0.5, 0.75)]
+
+    def test_within_tolerance_passes(self):
+        cells = diff_payloads({"v": 1.0}, {"v": 1.0 + 1e-12}, Tolerance())
+        assert cells == []
+
+    def test_missing_and_extra_keys(self):
+        cells = diff_payloads({"a": 1, "b": 2}, {"a": 1, "c": 3}, Tolerance())
+        kinds = {cell.path: cell.kind for cell in cells}
+        assert kinds == {"b": "missing", "c": "extra"}
+
+    def test_list_length_and_elements(self):
+        assert diff_payloads([1, 2], [1, 2, 3], Tolerance())[0].kind == "length"
+        cells = diff_payloads([1, 2], [1, 9], Tolerance())
+        assert cells[0].path == "[1]"
+
+    def test_type_mismatch(self):
+        assert diff_payloads({"v": "1"}, {"v": 1}, Tolerance())[0].kind == "type"
+
+    def test_bool_not_numeric(self):
+        assert diff_payloads({"v": True}, {"v": 1}, Tolerance())[0].kind == "type"
+
+    def test_nan_cells_equal(self):
+        nan = float("nan")
+        assert diff_payloads({"v": nan}, {"v": nan}, Tolerance()) == []
+        assert len(diff_payloads({"v": nan}, {"v": 0.1}, Tolerance())) == 1
+
+
+class TestCanonicalForm:
+    def test_dump_deterministic(self):
+        payload = golden_payload(
+            "x", "X", _CONFIG, {"b": 1, "a": [2.0, float("nan")]}, "text"
+        )
+        assert dump_golden(payload) == dump_golden(json.loads(dump_golden(payload)))
+
+    def test_round_trip_preserves_nan(self):
+        payload = golden_payload("x", "X", _CONFIG, {"v": float("nan")}, "t")
+        loaded = json.loads(dump_golden(payload))
+        assert math.isnan(loaded["data"]["v"])
+
+    def test_config_embedded(self):
+        payload = golden_payload("x", "X", _CONFIG, {}, "t")
+        assert payload["config"] == json.loads(_CONFIG.to_json())
+
+
+class TestVerifyGoldens:
+    def test_update_then_verify_green(self, registry, tmp_path):
+        golden_dir = tmp_path / "golden"
+        report = verify_goldens(golden_dir, names=["mini"], config=_CONFIG, update=True)
+        assert report.ok and report.statuses[0].status == "updated"
+        first = (golden_dir / "mini.json").read_bytes()
+
+        report = verify_goldens(golden_dir, names=["mini"], config=_CONFIG, update=True)
+        assert (golden_dir / "mini.json").read_bytes() == first, "update is idempotent"
+
+        report = verify_goldens(golden_dir, names=["mini"], config=_CONFIG)
+        assert report.ok and report.statuses[0].status == "pass"
+
+    def test_missing_golden_fails(self, registry, tmp_path):
+        report = verify_goldens(tmp_path / "golden", names=["mini"], config=_CONFIG)
+        assert not report.ok
+        assert report.statuses[0].status == "missing"
+
+    def test_perturbed_golden_reports_cells(self, registry, tmp_path):
+        golden_dir = tmp_path / "golden"
+        verify_goldens(golden_dir, names=["mini"], config=_CONFIG, update=True)
+        golden = json.loads((golden_dir / "mini.json").read_text())
+        golden["data"]["cells"]["a|b"] = 0.9
+        (golden_dir / "mini.json").write_text(json.dumps(golden))
+
+        report = verify_goldens(golden_dir, names=["mini"], config=_CONFIG)
+        assert not report.ok
+        (status,) = report.drifted
+        assert status.status == "drift"
+        assert [c.path for c in status.cells] == ["data/cells/a|b"]
+        assert "expected 0.9" in report.render()
+
+    def test_config_mismatch_is_drift(self, registry, tmp_path):
+        golden_dir = tmp_path / "golden"
+        verify_goldens(golden_dir, names=["mini"], config=_CONFIG, update=True)
+        other = _CONFIG.scaled(seed=12)
+        report = verify_goldens(golden_dir, names=["mini"], config=other)
+        assert not report.ok
+        paths = {c.path for c in report.statuses[0].cells}
+        assert "config/seed" in paths
+
+    def test_failing_experiment_is_error(self, registry, tmp_path):
+        report = verify_goldens(
+            tmp_path / "golden", names=["broken", "mini"], config=_CONFIG, update=True
+        )
+        assert not report.ok
+        by_name = {s.name: s for s in report.statuses}
+        assert by_name["broken"].status == "error"
+        assert "broken on purpose" in by_name["broken"].error
+        assert by_name["mini"].status == "updated", "error must not block the rest"
+
+
+class TestManifestIntegration:
+    """Satellite: manifest contents when an experiment drifts vs passes."""
+
+    def _run(self, tmp_path, perturb: bool):
+        golden_dir = tmp_path / "golden"
+        store = tmp_path / "store"
+        verify_goldens(
+            golden_dir, names=["mini"], config=_CONFIG, update=True, cache_dir=store
+        )
+        if perturb:
+            golden = json.loads((golden_dir / "mini.json").read_text())
+            golden["data"]["n"] = -1
+            (golden_dir / "mini.json").write_text(json.dumps(golden))
+        return verify_goldens(
+            golden_dir, names=["mini"], config=_CONFIG, cache_dir=store
+        )
+
+    def test_pass_manifest_fields(self, registry, tmp_path):
+        report = self._run(tmp_path, perturb=False)
+        outcome = report.manifest.outcomes[0]
+        assert outcome.ok and outcome.golden_status == "pass"
+        assert outcome.cache, "cache hit/miss accounting must still be present"
+        assert report.manifest.qa["statuses"] == {"mini": "pass"}
+        assert report.manifest.qa["mode"] == "verify"
+        assert report.manifest.qa["drift_cells"] == {}
+
+    def test_drift_manifest_fields_and_round_trip(self, registry, tmp_path):
+        report = self._run(tmp_path, perturb=True)
+        outcome = report.manifest.outcomes[0]
+        assert outcome.ok, "the experiment itself ran fine"
+        assert outcome.golden_status == "drift"
+        assert report.manifest.qa["statuses"] == {"mini": "drift"}
+        cells = report.manifest.qa["drift_cells"]["mini"]
+        assert cells[0]["path"] == "data/n"
+
+        # The qa block survives the on-disk round trip.
+        assert report.manifest_file is not None
+        reloaded = RunManifest.from_dict(json.loads(report.manifest_file.read_text()))
+        assert reloaded.qa["statuses"] == {"mini": "drift"}
+        assert reloaded.outcomes[0].golden_status == "drift"
+
+    def test_old_manifest_without_qa_still_loads(self):
+        manifest = RunManifest.from_dict(
+            {"config": {}, "schema_version": 1, "jobs": 1,
+             "started_unix": 0.0,
+             "outcomes": [{"name": "x", "ok": True, "seconds": 0.1,
+                           "worker_pid": 1}]}
+        )
+        assert manifest.qa is None
+        assert manifest.outcomes[0].golden_status is None
+
+
+class TestCli:
+    def test_exit_codes_and_update(self, registry, tmp_path, capsys):
+        golden_dir = tmp_path / "golden"
+        args = ["--golden-dir", str(golden_dir), "--experiment", "mini",
+                "--sites", str(_CONFIG.n_sites), "--days", str(_CONFIG.n_days),
+                "--seed", str(_CONFIG.seed), "--no-cache"]
+        assert main(["verify-goldens", "--update", *args]) == 0
+        assert main(["verify-goldens", *args]) == 0
+        out = capsys.readouterr().out
+        assert "match goldens" in out
+
+        golden = json.loads((golden_dir / "mini.json").read_text())
+        golden["data"]["cells"]["a|b"] = 0.123
+        (golden_dir / "mini.json").write_text(json.dumps(golden))
+        assert main(["verify-goldens", *args]) == 1
+        assert "data/cells/a|b" in capsys.readouterr().out
+
+    def test_unknown_experiment_usage_error(self, registry, capsys):
+        assert main(["verify-goldens", "--experiment", "nope", "--no-cache"]) == 2
+
+
+class TestCheckedInGoldens:
+    """The real registry matches the committed snapshots.
+
+    This is the same check CI runs via ``repro verify-goldens``; a failure
+    here means a change shifted reproduced paper results — either fix the
+    regression or regenerate the goldens in the same commit with
+    ``repro verify-goldens --update`` and justify the shift.
+    """
+
+    def test_checked_in_goldens_match(self):
+        golden_dir = default_golden_dir()
+        missing = [n for n in EXPERIMENTS if not (golden_dir / f"{n}.json").exists()]
+        assert not missing, f"goldens missing for: {missing}"
+        report = verify_goldens(golden_dir, config=GOLDEN_CONFIG)
+        drifted = {s.name: [c.render() for c in s.cells[:3]] for s in report.drifted}
+        assert report.ok, f"golden drift: {drifted}"

@@ -1,0 +1,182 @@
+"""Invariant suite: Hypothesis drives the pure property helpers with
+generated inputs, and the registry runs end-to-end against a live context
+— the same checks ``repro verify-invariants`` executes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import experiment_context
+from repro.qa.invariants import (
+    INVARIANTS,
+    idna_idempotence_violations,
+    jaccard_table_violations,
+    normalize_idempotence_violations,
+    prefix_violations,
+    relabel_invariance_violations,
+    run_invariants,
+    scaling_rank_violations,
+    spearman_reversal_violations,
+)
+from repro.worldgen.config import WorldConfig
+
+#: Small but complete world: every provider, every magnitude populated.
+_QA_CONFIG = WorldConfig(n_sites=1000, n_days=4, seed=777)
+
+
+@pytest.fixture(scope="module")
+def qa_ctx():
+    return experiment_context(_QA_CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties over the pure helpers.
+
+_id_lists = st.lists(st.integers(0, 60), unique=True, max_size=30)
+
+
+class TestJaccardTableProperties:
+    @given(st.dictionaries(st.sampled_from("abcd"), _id_lists, min_size=1))
+    @settings(max_examples=60)
+    def test_any_family_of_lists(self, lists):
+        assert jaccard_table_violations(lists) == []
+
+
+class TestSpearmanReversalProperties:
+    @given(st.lists(st.integers(0, 1000), unique=True, min_size=2, max_size=50))
+    @settings(max_examples=60)
+    def test_any_ranking(self, ranking):
+        assert spearman_reversal_violations(ranking) == []
+
+    def test_short_lists_are_vacuous(self):
+        assert spearman_reversal_violations([]) == []
+        assert spearman_reversal_violations([7]) == []
+
+
+class TestRelabelProperties:
+    @given(_id_lists, _id_lists)
+    @settings(max_examples=60)
+    def test_any_pair(self, list_a, list_b):
+        assert relabel_invariance_violations(list_a, list_b) == []
+
+
+class TestNormalizeIdempotenceProperties:
+    _labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+                      max_size=8)
+
+    @given(st.lists(st.builds("{}.{}.com".format, _labels, _labels), max_size=20))
+    @settings(max_examples=40)
+    def test_generated_fqdns(self, entries):
+        assert normalize_idempotence_violations(entries) == []
+
+    def test_origins_and_idn(self):
+        entries = [
+            "https://www.example.com",
+            "sub.example.co.uk",
+            "bücher.example",
+            "EXAMPLE.ORG",
+        ]
+        assert normalize_idempotence_violations(entries) == []
+        assert idna_idempotence_violations(entries) == []
+
+
+class TestScalingRankProperties:
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=2, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_any_counts_vector(self, raw_counts, data):
+        counts = np.asarray(raw_counts, dtype=np.float64)
+        eligible = np.arange(len(counts))
+        site = data.draw(st.integers(0, len(counts) - 1))
+        factor = data.draw(st.floats(1.0, 100.0, allow_nan=False))
+        assert scaling_rank_violations(counts, eligible, site, factor) == []
+
+    def test_detects_a_broken_ranking(self):
+        # Scaling *down* can worsen the rank — the helper must notice when
+        # handed a violating transformation (factor < 1 abuses the API on
+        # purpose to prove it is not vacuously green).
+        counts = np.array([10.0, 8.0, 6.0])
+        violations = scaling_rank_violations(counts, np.arange(3), 0, 0.1)
+        assert violations and "fell from position" in violations[0]
+
+
+class TestPrefixProperties:
+    @given(
+        st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=60),
+        st.lists(st.integers(1, 80), min_size=1, max_size=5),
+    )
+    @settings(max_examples=60)
+    def test_tops_of_one_score_vector(self, scores, cuts):
+        values = np.asarray(scores)
+        ranking = np.argsort(-values, kind="stable")
+        tops = {k: ranking[:k].tolist() for k in cuts}
+        assert prefix_violations(tops) == []
+
+    def test_detects_inconsistent_views(self):
+        violations = prefix_violations({1: [5], 2: [4, 3]})
+        assert violations == ["top-1 is not a prefix of top-2"]
+
+    def test_short_larger_view_detected(self):
+        assert prefix_violations({2: [1, 2], 3: [1]})
+
+
+# ---------------------------------------------------------------------------
+# The registry end-to-end (what `repro verify-invariants` runs).
+
+
+class TestRegistry:
+    def test_registry_names_unique(self):
+        names = [invariant.name for invariant in INVARIANTS]
+        assert len(names) == len(set(names))
+
+    def test_unknown_name_raises(self, qa_ctx):
+        with pytest.raises(KeyError):
+            run_invariants(qa_ctx, names=["nope"])
+
+    @pytest.mark.parametrize(
+        "name", [invariant.name for invariant in INVARIANTS]
+    )
+    def test_invariant_holds(self, qa_ctx, name):
+        (outcome,) = run_invariants(qa_ctx, names=[name])
+        assert outcome.ok, f"{name} violated: {outcome.violations[:5]}"
+        assert outcome.seconds >= 0
+
+    def test_crashing_check_reports_not_raises(self, qa_ctx, monkeypatch):
+        import repro.qa.invariants as mod
+
+        boom = mod.Invariant(
+            name="boom", description="crashes", check=lambda ctx: 1 / 0
+        )
+        monkeypatch.setattr(mod, "INVARIANTS", (*INVARIANTS, boom))
+        (outcome,) = mod.run_invariants(qa_ctx, names=["boom"])
+        assert not outcome.ok
+        assert "ZeroDivisionError" in outcome.violations[0]
+
+
+class TestCli:
+    def test_verify_invariants_exit_zero(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "verify-invariants",
+            "--sites", str(_QA_CONFIG.n_sites),
+            "--days", str(_QA_CONFIG.n_days),
+            "--seed", str(_QA_CONFIG.seed),
+            "--only", "jaccard-table",
+            "--only", "truncation-consistency",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 invariants hold" in out
+
+    def test_list_and_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify-invariants", "--list"]) == 0
+        assert "seed-determinism" in capsys.readouterr().out
+        assert main(["verify-invariants", "--only", "nope"]) == 2

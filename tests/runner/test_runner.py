@@ -119,6 +119,36 @@ class TestInlineRunner:
         _, _, manifest_file = run_experiments(["tiny"], _CONFIG, manifest_path=target)
         assert manifest_file == target and target.exists()
 
+    def test_keep_data_attaches_json_projection(self, registry):
+        payloads, _, _ = run_experiments(["tiny"], _CONFIG, keep_data=True)
+        assert payloads[0]["data"] == {"n_sites": 400}
+        json.dumps(payloads[0]["data"])  # plain JSON types only
+
+        payloads, _, _ = run_experiments(["tiny"], _CONFIG)
+        assert "data" not in payloads[0], "data projection is opt-in"
+
+    def test_outcomes_have_no_golden_status_outside_qa(self, registry):
+        _, manifest, _ = run_experiments(["tiny"], _CONFIG)
+        assert manifest.outcomes[0].golden_status is None
+        assert manifest.qa is None
+        assert "golden_status" in json.dumps(manifest.to_dict())
+
+
+class TestPoolRunner:
+    def test_keep_data_crosses_the_pool(self, tmp_path):
+        # Real registry entries: worker processes cannot see monkeypatched
+        # synthetic experiments, so use the two cheapest genuine ones.
+        payloads, manifest, _ = run_experiments(
+            ["survey", "table1"], _CONFIG, jobs=2, cache_dir=tmp_path / "store",
+            keep_data=True,
+        )
+        by_name = {p["name"]: p for p in payloads}
+        assert by_name["survey"]["ok"] and by_name["table1"]["ok"]
+        for payload in payloads:
+            json.dumps(payload["data"])  # projection survived pickling
+        assert "coverage" in by_name["table1"]["data"]
+        assert not manifest.failures
+
 
 class TestManifestAggregation:
     def _outcome(self, name, cache):
