@@ -34,7 +34,7 @@ def store() -> ArtifactStore:
 @pytest.fixture(scope="session")
 def ctx(store: ArtifactStore) -> ExperimentContext:
     """The shared bench-scale experiment context (store-hydrated)."""
-    return experiment_context(BENCH_CONFIG, store=store)
+    return experiment_context(config=BENCH_CONFIG, store=store)
 
 
 def show(result: ExperimentResult, paper_notes: str) -> None:

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cdn.filters import ALL_COMBINATIONS, FINAL_SEVEN, split_combo
 from repro.traffic.fastpath import TrafficModel
 from repro.worldgen.world import World
@@ -189,7 +190,12 @@ class CdnMetricEngine:
             if cached is not None:
                 self._day_cache[day] = cached
         if cached is None:
-            cached = self._compute_observed(day)
+            with obs.span("cdn/compute-day"):
+                cached = self._compute_observed(day)
+                obs.count("cdn.rows", self._world.n_sites)
+                obs.count(
+                    "cdn.requests_simulated", float(cached["all:requests"].sum())
+                )
             self._day_cache[day] = cached
             if self.day_saver is not None:
                 self.day_saver(day, cached)

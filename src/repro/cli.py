@@ -1,13 +1,18 @@
 """Command-line interface.
 
-Four families of commands:
+Command families, all dispatched through one table in :func:`main`:
 
 * experiments — ``repro fig2``, ``repro table1``, ``repro all``: reproduce
   the paper's tables and figures.  Expensive artifacts (world, traffic
   tensors, CDN metrics, provider lists) persist in a content-addressed
   cache, so a cold run builds the world once and every later invocation
   hydrates it from disk; ``--jobs N`` runs experiments in parallel with
-  per-experiment failure isolation and a JSON run manifest.
+  per-experiment failure isolation and a JSON run manifest.  ``--trace``
+  prints a per-experiment span tree (stage timings plus store hit/miss
+  counters); ``--trace-out PATH`` also writes Chrome trace-event JSON.
+* ``repro bench [--quick]`` — write the canonical ``BENCH_<yyyymmdd>.json``
+  performance baseline: per-stage wall times, cache-cold vs cache-warm
+  timings, and requests-simulated/sec per experiment.
 * ``repro cache stats|ls|clear`` — inspect or empty the artifact store.
 * ``repro export <provider> <path>`` — write a simulated list as a
   Tranco-style rank CSV (or CrUX-style origin CSV for bucketed lists).
@@ -16,15 +21,20 @@ Four families of commands:
 * ``repro verify-goldens [--update]`` / ``repro verify-invariants`` — the
   regression gate: recompute every experiment's structured rows and diff
   them against the checked-in goldens (``tests/golden/``), and check the
-  metamorphic invariant registry (``repro.qa``).  Both exit nonzero on
-  drift or violation.
+  metamorphic invariant registry (``repro.qa``).
+
+Exit codes are uniform across every command: 0 on success, 1 on
+experiment failure / golden drift / invariant violation, 2 on usage
+errors (argparse errors included — :func:`main` converts ``SystemExit``
+into a return value, so embedding callers never see an exception).
 
 Examples::
 
-    repro list                      # available experiments
-    repro fig2                      # top lists vs Cloudflare
+    repro list                      # available experiments (with tags)
+    repro fig2 --trace              # top lists vs Cloudflare, with spans
     repro all --jobs 4              # the whole paper, in parallel
     repro table1 --sites 40000      # coverage table, larger scale
+    repro bench --quick --jobs 2    # CI-scale performance baseline
     repro cache stats               # what the artifact store holds
     repro export umbrella /tmp/umbrella.csv --limit 1000
     repro recommend --need-ranks --magnitude 10K
@@ -36,18 +46,26 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
-from typing import List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.experiments import EXPERIMENTS
+from repro.core.experiments import SPECS
 from repro.core.pipeline import BENCH_CONFIG, ExperimentContext, experiment_context
 from repro.store import ArtifactStore, default_cache_dir
+from repro.worldgen.config import WorldConfig
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_OK", "EXIT_FAILURE", "EXIT_USAGE"]
+
+#: Uniform process exit codes (see the module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
 
 
 def _default_max_bytes() -> Optional[int]:
@@ -60,28 +78,44 @@ def _default_max_bytes() -> Optional[int]:
     return None if value <= 0 else value
 
 
-def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--sites", type=int, default=BENCH_CONFIG.n_sites,
-        help=f"site universe size (default {BENCH_CONFIG.n_sites})",
+# ---------------------------------------------------------------------------
+# Shared parent parsers (argparse ``parents=``): every subcommand takes the
+# same world and cache arguments, declared exactly once.
+
+
+def _world_parent(defaults: WorldConfig) -> argparse.ArgumentParser:
+    """``--sites/--days/--seed``, defaulting to ``defaults`` via
+    :meth:`WorldConfig.from_args` (unset arguments stay None so the base
+    config decides)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--sites", type=int, default=None, metavar="N",
+        help=f"site universe size (default {defaults.n_sites})",
     )
-    parser.add_argument(
-        "--days", type=int, default=BENCH_CONFIG.n_days,
-        help=f"simulated days (default {BENCH_CONFIG.n_days})",
+    parent.add_argument(
+        "--days", type=int, default=None, metavar="N",
+        help=f"simulated days (default {defaults.n_days})",
     )
-    parser.add_argument(
-        "--seed", type=int, default=BENCH_CONFIG.seed,
-        help="world seed (default: the February 2022 seed)",
+    parent.add_argument(
+        "--seed", type=int, default=None,
+        help=f"world seed (default {defaults.seed})",
     )
-    parser.add_argument(
+    return parent
+
+
+def _cache_parent() -> argparse.ArgumentParser:
+    """``--cache-dir/--no-cache``, shared by every store-touching command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="artifact store root (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro-toplists)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent artifact store for this run",
     )
+    return parent
 
 
 def _cache_dir_from_args(args: argparse.Namespace) -> Optional[str]:
@@ -102,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables and figures from 'Toppling Top Lists' (IMC 2022).",
+        parents=[_world_parent(BENCH_CONFIG), _cache_parent()],
     )
     parser.add_argument(
         "experiment",
@@ -120,19 +155,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", default=None, metavar="PATH",
         help="write the JSON run manifest here (default: <cache>/runs/)",
     )
-    _add_world_arguments(parser)
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print a per-experiment span tree: stage wall times, rows "
+             "simulated, store hit/miss counters",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write Chrome trace-event JSON (load in chrome://tracing or "
+             "Perfetto); implies tracing",
+    )
     return parser
 
 
 def _build_export_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro export", description="Export a simulated top list as CSV."
+        prog="repro export",
+        description="Export a simulated top list as CSV.",
+        parents=[_world_parent(BENCH_CONFIG), _cache_parent()],
     )
     parser.add_argument("provider", help="provider name (alexa, umbrella, crux...)")
     parser.add_argument("path", help="output CSV path")
     parser.add_argument("--day", type=int, default=0, help="snapshot day (default 0)")
     parser.add_argument("--limit", type=int, default=None, help="max rows")
-    _add_world_arguments(parser)
     return parser
 
 
@@ -140,6 +185,7 @@ def _build_recommend_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro recommend",
         description="Score every top list for a study profile (Section 7).",
+        parents=[_world_parent(BENCH_CONFIG), _cache_parent()],
     )
     parser.add_argument("--need-ranks", action="store_true",
                         help="the study uses individual site ranks")
@@ -148,14 +194,15 @@ def _build_recommend_parser() -> argparse.ArgumentParser:
     parser.add_argument("--must-cover", action="append", default=[],
                         metavar="CATEGORY",
                         help="category the study cannot under-sample (repeatable)")
-    _add_world_arguments(parser)
     return parser
 
 
-def _context_from_args(args: argparse.Namespace) -> ExperimentContext:
-    config = BENCH_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
+def _context_from_args(
+    args: argparse.Namespace, base: WorldConfig = BENCH_CONFIG
+) -> ExperimentContext:
+    config = WorldConfig.from_args(args, base=base)
     started = time.perf_counter()
-    ctx = experiment_context(config, store=_store_from_args(args))
+    ctx = experiment_context(config=config, store=_store_from_args(args))
     print(
         f"[world: {config.n_sites} sites, {config.n_days} days, seed {config.seed}; "
         f"ready in {time.perf_counter() - started:.1f}s]\n"
@@ -172,7 +219,7 @@ def _run_export(argv: List[str]) -> int:
     if provider is None:
         print(f"unknown provider: {args.provider}; choose from "
               f"{', '.join(ctx.providers)}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     ranked = provider.daily_list(args.day)
     if ranked.is_bucketed:
         rows = write_crux_csv(ctx.world, ranked, args.path)
@@ -180,7 +227,7 @@ def _run_export(argv: List[str]) -> int:
     else:
         rows = write_rank_csv(ctx.world, ranked, args.path, limit=args.limit)
         print(f"wrote {rows} rank rows to {args.path}")
-    return 0
+    return EXIT_OK
 
 
 def _run_recommend(argv: List[str]) -> int:
@@ -197,7 +244,7 @@ def _run_recommend(argv: List[str]) -> int:
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     scores = recommend_lists(ctx.world, ctx.evaluator, ctx.providers, profile)
     print(f"{'list':10s} {'score':>8s} {'set':>6s} {'rank':>6s}  notes")
     for score in scores:
@@ -210,7 +257,7 @@ def _run_recommend(argv: List[str]) -> int:
         print(f"{score.provider:10s} {display:>8s} {score.set_quality:6.3f} "
               f"{rank_text:>6s}  {notes}")
     print(f"\nrecommendation: {scores[0].provider}")
-    return 0
+    return EXIT_OK
 
 
 def _run_experiments(argv: List[str]) -> int:
@@ -219,26 +266,28 @@ def _run_experiments(argv: List[str]) -> int:
 
     if args.experiment == "list":
         print("available experiments:")
-        for name in EXPERIMENTS:
-            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
-            print(f"  {name:8s} {doc}")
-        print("\nother commands: export, recommend, validate, summary, cache, "
-              "verify-goldens, verify-invariants")
-        return 0
+        for spec in SPECS.values():
+            tags = ",".join(spec.tags)
+            line = f"  {spec.id:10s} {spec.summary}"
+            print(line + (f"  [{tags}]" if tags else ""))
+        print("\nother commands: bench, export, recommend, validate, summary, "
+              "cache, verify-goldens, verify-invariants")
+        return EXIT_OK
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    unknown = [name for name in names if name not in EXPERIMENTS]
+    names = list(SPECS) if args.experiment == "all" else [args.experiment]
+    unknown = [name for name in names if name not in SPECS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"choose from: {', '.join(EXPERIMENTS)}, all, list, export, recommend",
-              file=sys.stderr)
-        return 2
+        print(f"choose from: {', '.join(SPECS)}, all, list, bench, export, "
+              "recommend", file=sys.stderr)
+        return EXIT_USAGE
 
     from repro.runner import run_experiments
 
-    config = BENCH_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
+    config = WorldConfig.from_args(args, base=BENCH_CONFIG)
     cache_dir = _cache_dir_from_args(args)
     jobs = max(1, args.jobs)
+    trace = bool(args.trace or args.trace_out)
     if args.svg_dir and jobs > 1:
         print("[svg export runs in-process; ignoring --jobs]", file=sys.stderr)
         jobs = 1
@@ -254,7 +303,11 @@ def _run_experiments(argv: List[str]) -> int:
         max_bytes=_default_max_bytes(),
         manifest_path=args.manifest,
         keep_results=bool(args.svg_dir),
+        trace=trace,
     )
+    if trace:
+        from repro.obs import Span, chrome_trace_events, render_span_tree
+
     for payload, outcome in zip(payloads, manifest.outcomes):
         if not outcome.ok:
             continue
@@ -265,11 +318,25 @@ def _run_experiments(argv: List[str]) -> int:
 
             for path in export_figures(payload["result"], args.svg_dir):
                 print(f"[svg] {path}")
+        if args.trace and isinstance(payload.get("trace"), dict):
+            print(render_span_tree(Span.from_dict(payload["trace"])))
         print()
     for outcome in manifest.failures:
         print(f"[FAILED after {outcome.attempts} attempt(s)] {outcome.name}:",
               file=sys.stderr)
         print(outcome.error or "unknown error", file=sys.stderr)
+    if args.trace_out:
+        events: List[Dict[str, object]] = []
+        for tid, payload in enumerate(payloads):
+            trace_dict = payload.get("trace")
+            if isinstance(trace_dict, dict):
+                events.extend(
+                    chrome_trace_events(Span.from_dict(trace_dict), pid=0, tid=tid)
+                )
+        target = Path(args.trace_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps({"traceEvents": events}) + "\n")
+        print(f"[trace: {target}]")
     totals = manifest.cache_totals()
     if totals:
         summary = ", ".join(
@@ -279,7 +346,60 @@ def _run_experiments(argv: List[str]) -> int:
         print(f"[cache: {summary}]")
     if manifest_file is not None:
         print(f"[manifest: {manifest_file}]")
-    return 1 if manifest.failures else 0
+    return EXIT_FAILURE if manifest.failures else EXIT_OK
+
+
+def _run_bench(argv: List[str]) -> int:
+    from repro.obs.bench import QUICK_CONFIG, bench_path, run_bench, write_bench
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Write the canonical BENCH_<yyyymmdd>.json performance "
+                    "baseline: cold/warm wall times, per-stage breakdowns, "
+                    "requests simulated per second.",
+        parents=[_world_parent(BENCH_CONFIG)],
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"bench at golden scale ({QUICK_CONFIG.n_sites} sites, "
+             f"{QUICK_CONFIG.n_days} days) — the CI smoke configuration",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--experiment", action="append", default=[],
+                        metavar="NAME",
+                        help="bench only this experiment (repeatable; "
+                             "default: the whole registry)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: ./BENCH_<yyyymmdd>.json)")
+    args = parser.parse_args(argv)
+
+    names = args.experiment or None
+    unknown = [name for name in (names or []) if name not in SPECS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return EXIT_USAGE
+    base = QUICK_CONFIG if args.quick else BENCH_CONFIG
+    config = WorldConfig.from_args(args, base=base)
+    jobs = max(1, args.jobs)
+    print(f"[bench: {config.n_sites} sites, {config.n_days} days, seed "
+          f"{config.seed}; jobs {jobs}; cold + warm passes]\n")
+    payload = run_bench(config, names=names, jobs=jobs, quick=args.quick)
+    target = write_bench(payload, args.out if args.out else bench_path())
+
+    experiments: Dict[str, Dict[str, object]] = payload["experiments"]  # type: ignore[assignment]
+    for name, row in experiments.items():
+        mark = "ok " if row["ok"] else "FAIL"
+        print(f"[{mark}] {name:10s} cold {row['cold_seconds']:7.2f}s  "
+              f"warm {row['warm_seconds']:7.2f}s  "
+              f"{row['requests_per_sec']:,.0f} req/s")
+    totals: Dict[str, object] = payload["totals"]  # type: ignore[assignment]
+    print(f"\ntotal: cold {totals['cold_seconds']:.2f}s, "
+          f"warm {totals['warm_seconds']:.2f}s "
+          f"(store hits cold {totals['cold_store_hits']}, "
+          f"warm {totals['warm_store_hits']})")
+    print(f"[bench: {target}]")
+    return EXIT_OK if all(row["ok"] for row in experiments.values()) else EXIT_FAILURE
 
 
 def _run_verify_goldens(argv: List[str]) -> int:
@@ -291,6 +411,7 @@ def _run_verify_goldens(argv: List[str]) -> int:
             "Recompute every experiment at the pinned golden configuration "
             "and diff the structured results against tests/golden/."
         ),
+        parents=[_world_parent(GOLDEN_CONFIG), _cache_parent()],
     )
     parser.add_argument("--update", action="store_true",
                         help="regenerate the golden snapshots instead of diffing")
@@ -304,30 +425,14 @@ def _run_verify_goldens(argv: List[str]) -> int:
                         help="verify only this experiment (repeatable)")
     parser.add_argument("--manifest", default=None, metavar="PATH",
                         help="write the JSON run manifest here")
-    parser.add_argument(
-        "--sites", type=int, default=GOLDEN_CONFIG.n_sites,
-        help=f"site universe size (default {GOLDEN_CONFIG.n_sites}; "
-             "checked-in goldens only match the default)",
-    )
-    parser.add_argument("--days", type=int, default=GOLDEN_CONFIG.n_days,
-                        help=f"simulated days (default {GOLDEN_CONFIG.n_days})")
-    parser.add_argument("--seed", type=int, default=GOLDEN_CONFIG.seed,
-                        help=f"world seed (default {GOLDEN_CONFIG.seed})")
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="artifact store root (default: $REPRO_CACHE_DIR or "
-             "~/.cache/repro-toplists)",
-    )
-    parser.add_argument("--no-cache", action="store_true",
-                        help="disable the persistent artifact store")
     args = parser.parse_args(argv)
 
     names = args.experiment or None
-    unknown = [name for name in (names or []) if name not in EXPERIMENTS]
+    unknown = [name for name in (names or []) if name not in SPECS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        return 2
-    config = GOLDEN_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
+        return EXIT_USAGE
+    config = WorldConfig.from_args(args, base=GOLDEN_CONFIG)
     golden_dir = args.golden_dir if args.golden_dir else default_golden_dir()
     cache_dir = _cache_dir_from_args(args)
     print(f"[goldens: {golden_dir}; world: {config.n_sites} sites, "
@@ -345,7 +450,7 @@ def _run_verify_goldens(argv: List[str]) -> int:
     print(report.render())
     if report.manifest_file is not None:
         print(f"[manifest: {report.manifest_file}]")
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_FAILURE
 
 
 def _run_verify_invariants(argv: List[str]) -> int:
@@ -355,32 +460,27 @@ def _run_verify_invariants(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro verify-invariants",
         description="Check the metamorphic invariant registry over a world.",
+        parents=[_world_parent(GOLDEN_CONFIG)],
     )
     parser.add_argument("--only", action="append", default=[], metavar="NAME",
                         help="run only this invariant (repeatable)")
     parser.add_argument("--list", action="store_true", dest="list_invariants",
                         help="list registered invariants and exit")
-    parser.add_argument("--sites", type=int, default=GOLDEN_CONFIG.n_sites,
-                        help=f"site universe size (default {GOLDEN_CONFIG.n_sites})")
-    parser.add_argument("--days", type=int, default=GOLDEN_CONFIG.n_days,
-                        help=f"simulated days (default {GOLDEN_CONFIG.n_days})")
-    parser.add_argument("--seed", type=int, default=GOLDEN_CONFIG.seed,
-                        help=f"world seed (default {GOLDEN_CONFIG.seed})")
     args = parser.parse_args(argv)
 
     if args.list_invariants:
         for invariant in INVARIANTS:
             print(f"  {invariant.name:24s} {invariant.description}")
-        return 0
+        return EXIT_OK
     known = {invariant.name for invariant in INVARIANTS}
     unknown = [name for name in args.only if name not in known]
     if unknown:
         print(f"unknown invariant(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"choose from: {', '.join(sorted(known))}", file=sys.stderr)
-        return 2
-    config = GOLDEN_CONFIG.scaled(n_sites=args.sites, n_days=args.days, seed=args.seed)
+        return EXIT_USAGE
+    config = WorldConfig.from_args(args, base=GOLDEN_CONFIG)
     started = time.perf_counter()
-    ctx = experiment_context(config)
+    ctx = experiment_context(config=config)
     print(f"[world: {config.n_sites} sites, {config.n_days} days, seed "
           f"{config.seed}; ready in {time.perf_counter() - started:.1f}s]\n")
     outcomes = run_invariants(ctx, names=args.only or None)
@@ -392,7 +492,7 @@ def _run_verify_invariants(argv: List[str]) -> int:
             print(f"       {violation}")
         failed += 0 if outcome.ok else 1
     print(f"\n{len(outcomes) - failed}/{len(outcomes)} invariants hold")
-    return 1 if failed else 0
+    return EXIT_FAILURE if failed else EXIT_OK
 
 
 def _run_validate(argv: List[str]) -> int:
@@ -401,8 +501,8 @@ def _run_validate(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro validate",
         description="Run the structural self-checks against a world.",
+        parents=[_world_parent(BENCH_CONFIG), _cache_parent()],
     )
-    _add_world_arguments(parser)
     args = parser.parse_args(argv)
     ctx = _context_from_args(args)
     results = validate_world(ctx.world)
@@ -412,20 +512,21 @@ def _run_validate(argv: List[str]) -> int:
         print(f"[{mark}] {result.name}: {result.detail}")
         failed += 0 if result.passed else 1
     print(f"\n{len(results) - failed}/{len(results)} checks passed")
-    return 1 if failed else 0
+    return EXIT_FAILURE if failed else EXIT_OK
 
 
 def _run_summary(argv: List[str]) -> int:
     from repro.worldgen.summary import summarize_world
 
     parser = argparse.ArgumentParser(
-        prog="repro summary", description="Describe a generated world."
+        prog="repro summary",
+        description="Describe a generated world.",
+        parents=[_world_parent(BENCH_CONFIG), _cache_parent()],
     )
-    _add_world_arguments(parser)
     args = parser.parse_args(argv)
     ctx = _context_from_args(args)
     print(summarize_world(ctx.world))
-    return 0
+    return EXIT_OK
 
 
 def _format_bytes(size: float) -> str:
@@ -455,17 +556,17 @@ def _run_cache(argv: List[str]) -> int:
     if args.action == "clear":
         freed = store.clear()
         print(f"cleared {root} ({_format_bytes(freed)} freed)")
-        return 0
+        return EXIT_OK
 
     entries = store.entries()
     if args.action == "ls":
         if not entries:
             print(f"(empty store at {root})")
-            return 0
+            return EXIT_OK
         for entry in entries:
             stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(entry.mtime))
             print(f"{entry.size:>12d}  {stamp}  {entry.key}")
-        return 0
+        return EXIT_OK
 
     total = sum(entry.size for entry in entries)
     by_kind: dict = {}
@@ -484,34 +585,44 @@ def _run_cache(argv: List[str]) -> int:
     for kind in sorted(by_kind):
         count, size = by_kind[kind]
         print(f"  {kind:<10s} {count:>5d} entries  {_format_bytes(size)}")
-    return 0
+    return EXIT_OK
+
+
+#: Subcommand dispatch table; anything not listed is an experiment id.
+_COMMANDS: Dict[str, Callable[[List[str]], int]] = {
+    "export": _run_export,
+    "recommend": _run_recommend,
+    "validate": _run_validate,
+    "summary": _run_summary,
+    "cache": _run_cache,
+    "bench": _run_bench,
+    "verify-goldens": _run_verify_goldens,
+    "verify-invariants": _run_verify_invariants,
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code (never raises
+    ``SystemExit`` — argparse usage errors come back as 2)."""
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
-        if argv and argv[0] == "export":
-            return _run_export(argv[1:])
-        if argv and argv[0] == "recommend":
-            return _run_recommend(argv[1:])
-        if argv and argv[0] == "validate":
-            return _run_validate(argv[1:])
-        if argv and argv[0] == "summary":
-            return _run_summary(argv[1:])
-        if argv and argv[0] == "cache":
-            return _run_cache(argv[1:])
-        if argv and argv[0] == "verify-goldens":
-            return _run_verify_goldens(argv[1:])
-        if argv and argv[0] == "verify-invariants":
-            return _run_verify_invariants(argv[1:])
+        handler = _COMMANDS.get(argv[0]) if argv else None
+        if handler is not None:
+            return handler(argv[1:])
         return _run_experiments(argv)
+    except SystemExit as exit_:
+        # argparse exits 2 on usage errors and 0 on --help; normalize to
+        # an int return so embedding callers get uniform exit codes.
+        code = exit_.code
+        if code is None:
+            return EXIT_OK
+        return code if isinstance(code, int) else EXIT_USAGE
     except BrokenPipeError:
         # Output piped to a consumer that exited early (`repro cache ls |
         # head`): the Unix convention is to die quietly, not traceback.
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
-        return 0
+        return EXIT_OK
 
 
 if __name__ == "__main__":

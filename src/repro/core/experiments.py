@@ -5,10 +5,19 @@ Each ``run_*`` function executes one experiment over an
 :class:`ExperimentResult` holding both structured data (for assertions and
 EXPERIMENTS.md) and rendered text (the same rows/series the paper
 reports).  The CLI and the benchmark suite are thin wrappers around these.
+
+Experiments are registered declaratively: each runner carries an
+:class:`ExperimentSpec` (id, title, tags, required artifacts, default
+magnitudes) in the :data:`SPECS` registry, which the CLI, the parallel
+runner, the golden harness, and ``repro bench`` all iterate as the single
+source of truth.  The legacy :data:`EXPERIMENTS` dict still imports for
+one release but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -32,7 +41,15 @@ from repro.providers.registry import PROVIDER_ORDER
 from repro.weblib.categories import CATEGORIES
 from repro.worldgen.countries import TELEMETRY_COUNTRIES
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "SPECS",
+    "EXPERIMENTS",
+    "register",
+    "experiment",
+    "run_experiment",
+]
 
 
 @dataclass
@@ -50,6 +67,85 @@ class ExperimentResult:
     title: str
     data: Dict[str, object]
     text: str
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative registration record for one experiment.
+
+    Attributes:
+        id: stable experiment id (``fig1``, ``table3``, ``survey``...).
+        title: human-readable title (what the CLI and manifests print).
+        fn: the runner; takes an
+          :class:`~repro.core.pipeline.ExperimentContext`, returns an
+          :class:`ExperimentResult`.
+        tags: free-form labels (``figure``, ``table``, ``context``...)
+          for filtering in ``repro list``.
+        required_artifacts: context artifacts the experiment consumes
+          (names accepted by
+          :meth:`~repro.core.pipeline.ExperimentContext.artifact`).  They
+          are prefetched, in order, before ``fn`` runs, so stage spans in a
+          trace attribute construction to the first experiment needing it.
+        default_magnitudes: the paper magnitude labels the experiment
+          reports at by default (documentation; empty = not magnitude
+          parameterized).
+    """
+
+    id: str
+    title: str
+    fn: Callable[["ExperimentContext"], ExperimentResult]
+    tags: Tuple[str, ...] = ()
+    required_artifacts: Tuple[str, ...] = ("world",)
+    default_magnitudes: Tuple[str, ...] = ()
+
+    @property
+    def summary(self) -> str:
+        """First docstring line of the runner (for ``repro list``)."""
+        doc = (self.fn.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else self.title
+
+
+#: The experiment registry, in paper presentation order.  CLI, parallel
+#: runner, golden harness, and ``repro bench`` all iterate this.
+SPECS: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to :data:`SPECS`.
+
+    Raises:
+        ValueError: when the id is already registered.
+    """
+    if spec.id in SPECS:
+        raise ValueError(f"experiment {spec.id!r} already registered")
+    SPECS[spec.id] = spec
+    return spec
+
+
+def experiment(
+    id: str,
+    title: str,
+    *,
+    tags: Sequence[str] = (),
+    required_artifacts: Sequence[str] = ("world",),
+    default_magnitudes: Sequence[str] = (),
+) -> Callable[[Callable], Callable]:
+    """Decorator form of :func:`register` for ``run_*`` functions."""
+
+    def decorate(fn: Callable) -> Callable:
+        register(
+            ExperimentSpec(
+                id=id,
+                title=title,
+                fn=fn,
+                tags=tuple(tags),
+                required_artifacts=tuple(required_artifacts),
+                default_magnitudes=tuple(default_magnitudes),
+            )
+        )
+        return fn
+
+    return decorate
 
 
 def _sample_days(ctx: ExperimentContext, count: int) -> List[int]:
@@ -81,6 +177,8 @@ def _intra_cf(
     return jj_mean, rho_mean
 
 
+@experiment("fig1", "Intra-Cloudflare Metric Consistency",
+            tags=("figure", "cdn"), required_artifacts=("engine",))
 def run_fig1(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 1: consistency of the seven final Cloudflare metrics."""
     depth = max(50, ctx.engine.n_cf_sites // 5)
@@ -108,6 +206,8 @@ def run_fig1(ctx: ExperimentContext) -> ExperimentResult:
     )
 
 
+@experiment("fig8", "All 21 Intra-Cloudflare Popularity Metrics",
+            tags=("figure", "cdn"), required_artifacts=("engine",))
 def run_fig8(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 8: all 21 filter-aggregation combinations, single day."""
     depth = max(50, ctx.engine.n_cf_sites // 5)
@@ -131,6 +231,9 @@ def run_fig8(ctx: ExperimentContext) -> ExperimentResult:
 # Table 1: Cloudflare coverage of top lists.
 
 
+@experiment("table1", "Cloudflare Coverage of Top Lists",
+            tags=("table",), required_artifacts=("providers", "evaluator"),
+            default_magnitudes=("1K", "10K", "100K", "1M"))
 def run_table1(ctx: ExperimentContext) -> ExperimentResult:
     """Table 1: percent of list entries served by Cloudflare."""
     rows = []
@@ -162,6 +265,9 @@ def run_table1(ctx: ExperimentContext) -> ExperimentResult:
 # Table 2: PSL deviation.
 
 
+@experiment("table2", "PSL Deviation of Raw List Entries",
+            tags=("table",), required_artifacts=("providers",),
+            default_magnitudes=("1K", "10K", "100K", "1M"))
 def run_table2(ctx: ExperimentContext) -> ExperimentResult:
     """Table 2: percent of raw entries deviating from the PSL domain."""
     rows = []
@@ -193,6 +299,9 @@ def run_table2(ctx: ExperimentContext) -> ExperimentResult:
 # Figure 2: top lists vs Cloudflare.
 
 
+@experiment("fig2", "Correlation Between Top Lists and Cloudflare",
+            tags=("figure",), required_artifacts=("providers", "evaluator"),
+            default_magnitudes=("100K",))
 def run_fig2(ctx: ExperimentContext, magnitude: Optional[int] = None) -> ExperimentResult:
     """Figure 2: every list against every final Cloudflare metric."""
     magnitude = magnitude if magnitude is not None else ctx.magnitudes[2]
@@ -252,6 +361,10 @@ def run_fig2(ctx: ExperimentContext, magnitude: Optional[int] = None) -> Experim
 # Figure 3: temporal stability.
 
 
+@experiment("fig3", "Popularity Metrics Over Time",
+            tags=("figure", "temporal"),
+            required_artifacts=("providers", "evaluator"),
+            default_magnitudes=("1M",))
 def run_fig3(ctx: ExperimentContext, combo: str = "all:requests") -> ExperimentResult:
     """Figure 3: daily correlation over the window at the 1M magnitude."""
     magnitude = ctx.magnitudes[3]
@@ -298,6 +411,9 @@ def run_fig3(ctx: ExperimentContext, combo: str = "all:requests") -> ExperimentR
 # Figure 5 / Section 5.3: rank-magnitude movement.
 
 
+@experiment("fig5", "Rank-Magnitude Movement vs Cloudflare",
+            tags=("figure",), required_artifacts=("engine", "providers"),
+            default_magnitudes=("1K", "10K", "100K", "1M"))
 def run_fig5(
     ctx: ExperimentContext, providers: Sequence[str] = ("alexa", "crux")
 ) -> ExperimentResult:
@@ -343,6 +459,9 @@ def run_fig5(
 # Figure 6: intra-Chrome consistency.
 
 
+@experiment("fig6", "Intra-Chrome Metric Consistency",
+            tags=("figure", "chrome"), required_artifacts=("telemetry",),
+            default_magnitudes=("100K",))
 def run_fig6(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 6: consistency of the three Chrome telemetry metrics."""
     magnitude = ctx.magnitudes[2]
@@ -378,6 +497,10 @@ def run_fig6(ctx: ExperimentContext) -> ExperimentResult:
 _CHROME_COMPARABLE = tuple(n for n in PROVIDER_ORDER if n != "crux")
 
 
+@experiment("fig4", "Top List Performance by Platform",
+            tags=("figure", "chrome"),
+            required_artifacts=("telemetry", "providers"),
+            default_magnitudes=("100K",))
 def run_fig4(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 4: list accuracy by client platform."""
     magnitude = ctx.magnitudes[2]
@@ -413,6 +536,10 @@ def run_fig4(ctx: ExperimentContext) -> ExperimentResult:
     )
 
 
+@experiment("fig7", "Top List Performance by Country",
+            tags=("figure", "chrome"),
+            required_artifacts=("telemetry", "providers"),
+            default_magnitudes=("100K",))
 def run_fig7(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 7: list accuracy by client country."""
     magnitude = ctx.magnitudes[2]
@@ -453,6 +580,8 @@ def run_fig7(ctx: ExperimentContext) -> ExperimentResult:
 # Table 3: category inclusion odds.
 
 
+@experiment("table3", "Odds of Website Inclusion by Category",
+            tags=("table",), required_artifacts=("engine", "providers"))
 def run_table3(ctx: ExperimentContext) -> ExperimentResult:
     """Table 3: odds of website inclusion by category, per list."""
     day = 0
@@ -494,6 +623,8 @@ def run_table3(ctx: ExperimentContext) -> ExperimentResult:
 # Section 2 survey.
 
 
+@experiment("survey", "Top-List Usage in Research Papers (Section 2)",
+            tags=("context",), required_artifacts=())
 def run_survey(ctx: ExperimentContext) -> ExperimentResult:
     """Section 2: how research papers use top lists."""
     stats = usage_statistics()
@@ -519,6 +650,8 @@ def run_survey(ctx: ExperimentContext) -> ExperimentResult:
 # Context experiments (prior-work claims the paper builds on).
 
 
+@experiment("agreement", "Cross-List Agreement (Scheitle et al. context)",
+            tags=("context",), required_artifacts=("providers",))
 def run_agreement(ctx: ExperimentContext) -> ExperimentResult:
     """Section 2 context: pairwise agreement among the top lists."""
     from repro.core.agreement import pairwise_list_agreement
@@ -544,6 +677,8 @@ def run_agreement(ctx: ExperimentContext) -> ExperimentResult:
     )
 
 
+@experiment("stability", "List Stability (Scheitle et al. context)",
+            tags=("context",), required_artifacts=("providers",))
 def run_stability(ctx: ExperimentContext) -> ExperimentResult:
     """Section 2 context: list stability and churn."""
     from repro.core.stability import stability_report
@@ -578,29 +713,53 @@ def run_stability(ctx: ExperimentContext) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
-
-EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
-    "fig1": run_fig1,
-    "fig2": run_fig2,
-    "fig3": run_fig3,
-    "fig4": run_fig4,
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig7": run_fig7,
-    "fig8": run_fig8,
-    "table1": run_table1,
-    "table2": run_table2,
-    "table3": run_table3,
-    "survey": run_survey,
-    "agreement": run_agreement,
-    "stability": run_stability,
-}
+# Registry access.
 
 
 def run_experiment(name: str, ctx: ExperimentContext) -> ExperimentResult:
     """Run one experiment by id.
 
+    The spec's ``required_artifacts`` are prefetched through the context's
+    :meth:`~repro.core.pipeline.ExperimentContext.artifact` choke point
+    first, so construction cost lands in deterministic order (and, under
+    tracing, is attributed to the first experiment that needs each stage).
+
     Raises:
         KeyError: for unknown experiment ids.
     """
-    return EXPERIMENTS[name](ctx)
+    spec = SPECS[name]
+    for artifact_name in spec.required_artifacts:
+        ctx.artifact(artifact_name)
+    return spec.fn(ctx)
+
+
+class _DeprecatedExperiments(Mapping):
+    """Mapping view emulating the pre-spec ``EXPERIMENTS`` dict.
+
+    Iterates the :data:`SPECS` registry and resolves ids to their runner
+    callables; every access warns.  Scheduled for removal one release
+    after the spec registry landed.
+    """
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "repro.core.experiments.EXPERIMENTS is deprecated; "
+            "use the SPECS registry (ExperimentSpec.fn) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key: str) -> Callable[[ExperimentContext], ExperimentResult]:
+        self._warn()
+        return SPECS[key].fn
+
+    def __iter__(self):
+        self._warn()
+        return iter(SPECS)
+
+    def __len__(self) -> int:
+        return len(SPECS)
+
+
+#: Deprecated: the bare id -> callable mapping the registry replaced.
+EXPERIMENTS: Mapping = _DeprecatedExperiments()

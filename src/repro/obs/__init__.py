@@ -1,0 +1,41 @@
+"""repro.obs — structured observability for the pipeline.
+
+Two pieces:
+
+* :mod:`repro.obs.tracer` — nested spans + counters threaded through every
+  pipeline stage (worldgen, traffic tensors, CDN metrics, provider lists,
+  store IO), zero-overhead when disabled, serializable across the process
+  pool so ``--jobs N`` runs merge into one trace.
+* :mod:`repro.obs.bench` — the ``repro bench`` perf baseline: runs the
+  experiment battery cold then warm at a pinned config and writes a
+  canonical ``BENCH_<yyyymmdd>.json`` that later optimization PRs diff
+  against.
+"""
+
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    chrome_trace_events,
+    count,
+    current_tracer,
+    merge_stage_totals,
+    peak_rss_bytes,
+    render_span_tree,
+    span,
+    stage_totals,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "count",
+    "current_tracer",
+    "merge_stage_totals",
+    "peak_rss_bytes",
+    "render_span_tree",
+    "span",
+    "stage_totals",
+    "tracing",
+]

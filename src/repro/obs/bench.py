@@ -1,0 +1,152 @@
+"""``repro bench`` — the canonical performance baseline.
+
+Runs a set of experiments twice through the parallel runner against a
+fresh throwaway artifact store — once **cold** (every artifact built from
+scratch) and once **warm** (every artifact hydrated from the store) — with
+tracing enabled, then folds the traces and run manifests into one
+canonical ``BENCH_<yyyymmdd>.json`` document:
+
+* per-experiment cold/warm wall seconds,
+* requests simulated and requests simulated per second (from the
+  ``cdn.requests_simulated`` trace counter),
+* per-stage wall-time breakdowns for the cold and warm passes,
+* store hit/miss splits proving the warm pass actually hydrated.
+
+The file is the before/after evidence artifact for performance PRs;
+``--quick`` benches at the golden-config scale so CI can smoke it in
+seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.experiments import SPECS
+from repro.core.pipeline import clear_contexts
+from repro.obs import Span
+from repro.worldgen.config import WorldConfig
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "QUICK_CONFIG",
+    "bench_path",
+    "run_bench",
+    "write_bench",
+]
+
+#: Layout version of the BENCH JSON document.
+BENCH_SCHEMA_VERSION = 1
+
+#: ``--quick`` scale — the golden-config scale, cheap enough for CI smoke.
+QUICK_CONFIG = WorldConfig(n_sites=2500, n_days=8)
+
+
+def _run_pass(
+    names: List[str], config: WorldConfig, jobs: int, cache_dir: str
+) -> Tuple[List[Dict[str, object]], object, float]:
+    """One traced runner pass; returns (payloads, manifest, wall seconds)."""
+    from repro.runner.parallel import run_experiments
+
+    # Drop memoized in-process contexts so the pass measures real work:
+    # cold must build, warm must hydrate from the store — not reuse live
+    # objects from a previous pass.
+    clear_contexts()
+    started = time.perf_counter()
+    payloads, manifest, _ = run_experiments(
+        names, config, jobs=jobs, cache_dir=cache_dir, trace=True
+    )
+    return payloads, manifest, time.perf_counter() - started
+
+
+def run_bench(
+    config: WorldConfig,
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Bench ``names`` (default: the whole registry) at ``config`` scale.
+
+    Returns the canonical BENCH document (see the module docstring).
+    Deterministic apart from the timing fields: two runs at the same
+    config produce identical keys and identical ``requests_simulated``.
+
+    Raises:
+        KeyError: for unknown experiment names.
+    """
+    names = list(names) if names is not None else list(SPECS)
+    unknown = [name for name in names if name not in SPECS]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        cold, cold_manifest, cold_wall = _run_pass(names, config, jobs, tmp)
+        warm, warm_manifest, warm_wall = _run_pass(names, config, jobs, tmp)
+        # Contexts built in this process reference the store under the
+        # temp dir being deleted; drop them rather than leak them.
+        clear_contexts()
+
+    experiments: Dict[str, Dict[str, object]] = {}
+    for name, cold_payload, warm_payload in zip(names, cold, warm):
+        requests = 0.0
+        trace = cold_payload.get("trace")
+        if isinstance(trace, dict):
+            totals = Span.from_dict(trace).total_counters()
+            requests = float(totals.get("cdn.requests_simulated", 0.0))
+        cold_seconds = float(cold_payload.get("seconds", 0.0))
+        experiments[name] = {
+            "ok": bool(cold_payload.get("ok")) and bool(warm_payload.get("ok")),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": float(warm_payload.get("seconds", 0.0)),
+            "requests_simulated": requests,
+            "requests_per_sec": requests / cold_seconds if cold_seconds > 0 else 0.0,
+            "cache_cold": cold_payload.get("cache", {}),
+            "cache_warm": warm_payload.get("cache", {}),
+        }
+
+    def _stages(manifest: object) -> Dict[str, float]:
+        timings = getattr(manifest, "timings", None) or {}
+        return dict(timings.get("stages", {}))
+
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "date": time.strftime("%Y%m%d"),
+        "quick": bool(quick),
+        "jobs": max(1, jobs),
+        "config": json.loads(config.to_json()),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count() or 1,
+        },
+        "experiments": experiments,
+        "stages": {
+            "cold": _stages(cold_manifest),
+            "warm": _stages(warm_manifest),
+        },
+        "totals": {
+            "cold_seconds": cold_wall,
+            "warm_seconds": warm_wall,
+            "cold_store_hits": cold_manifest.total_hits(),
+            "warm_store_hits": warm_manifest.total_hits(),
+        },
+    }
+
+
+def bench_path(out_dir: os.PathLike = ".", date: Optional[str] = None) -> Path:
+    """The canonical output path: ``<out_dir>/BENCH_<yyyymmdd>.json``."""
+    stamp = date if date is not None else time.strftime("%Y%m%d")
+    return Path(os.fspath(out_dir)) / f"BENCH_{stamp}.json"
+
+
+def write_bench(payload: Dict[str, object], path: os.PathLike) -> Path:
+    """Write a BENCH document as stable (sorted-key) indented JSON."""
+    target = Path(os.fspath(path))
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,6 +1,6 @@
 """Golden-result regression harness.
 
-Every experiment in :data:`~repro.core.experiments.EXPERIMENTS` is a pure
+Every experiment in :data:`~repro.core.experiments.SPECS` is a pure
 function of a :class:`~repro.worldgen.config.WorldConfig`, so its
 structured rows admit a canonical JSON form that is bit-stable across
 processes and machines.  This module snapshots that form ("goldens"),
@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.experiments import EXPERIMENTS
+from repro.core.experiments import SPECS
 from repro.runner.manifest import ExperimentOutcome, RunManifest
 from repro.store.artifacts import DEFAULT_MAX_BYTES, SCHEMA_VERSION
 from repro.worldgen.config import WorldConfig
@@ -365,7 +365,7 @@ def verify_goldens(
     from repro.runner.parallel import run_experiments
 
     golden_dir = Path(os.fspath(golden_dir))
-    names = list(names) if names is not None else list(EXPERIMENTS)
+    names = list(names) if names is not None else list(SPECS)
     payloads, manifest, manifest_file = run_experiments(
         names,
         config,

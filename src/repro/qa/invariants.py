@@ -273,11 +273,11 @@ def _check_seed_determinism(ctx: ExperimentContext) -> List[str]:
     with tempfile.TemporaryDirectory(prefix="repro-qa-") as tmp:
         store = ArtifactStore(tmp)
         clear_contexts()
-        cold = cells(experiment_context(config, store=store))
+        cold = cells(experiment_context(config=config, store=store))
         clear_contexts()
-        hydrated = cells(experiment_context(config, store=store))
+        hydrated = cells(experiment_context(config=config, store=store))
         clear_contexts()
-        fresh = cells(experiment_context(config))
+        fresh = cells(experiment_context(config=config))
         clear_contexts()
     for name in fresh:
         if cold[name] != fresh[name]:

@@ -13,9 +13,11 @@ import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
-__all__ = ["ExperimentOutcome", "RunManifest"]
+from repro.obs import Span, merge_stage_totals
+
+__all__ = ["ExperimentOutcome", "RunManifest", "build_timings"]
 
 #: ``{kind: {"hits": n, "misses": n, "puts": n}}`` — the store-stats shape.
 CacheCounts = Dict[str, Dict[str, int]]
@@ -70,6 +72,9 @@ class RunManifest:
     #: Machine-readable golden-verification summary (``repro
     #: verify-goldens``); None for ordinary runs.
     qa: Optional[Dict[str, object]] = None
+    #: Per-experiment span trees plus merged per-stage wall times (see
+    #: :func:`build_timings`); None when the run was not traced.
+    timings: Optional[Dict[str, object]] = None
 
     @property
     def failures(self) -> List[ExperimentOutcome]:
@@ -120,4 +125,27 @@ class RunManifest:
             wall_seconds=float(payload.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
             outcomes=outcomes,
             qa=payload.get("qa"),  # type: ignore[arg-type]
+            timings=payload.get("timings"),  # type: ignore[arg-type]
         )
+
+
+def build_timings(traces: Mapping[str, Dict[str, object]]) -> Dict[str, object]:
+    """Fold per-experiment trace dicts into a manifest ``timings`` block.
+
+    Each value in ``traces`` is a serialized root :class:`~repro.obs.Span`
+    (one per experiment, possibly produced in different worker processes).
+    The block keeps the full span tree per experiment and adds a merged
+    per-stage wall-time view across all of them, so ``--jobs N`` runs
+    still yield one aggregate picture.
+
+    Args:
+        traces: ``{experiment name: span tree dict}``.
+
+    Returns:
+        ``{"experiments": {...}, "stages": {stage: seconds}}``.
+    """
+    roots = [Span.from_dict(trace) for trace in traces.values()]
+    return {
+        "experiments": dict(traces),
+        "stages": merge_stage_totals(roots),
+    }

@@ -1,14 +1,18 @@
 """The parallel experiment runner.
 
-Executes any subset of the :data:`~repro.core.experiments.EXPERIMENTS`
-registry across a ``ProcessPoolExecutor``.  Workers hydrate the shared
-experiment context from the artifact store instead of rebuilding it, so a
-cold ``repro all`` pays for world construction once per machine, and warm
-runs (and every worker after the first artifact lands) read tensors off
-disk.
+Executes any subset of the :data:`~repro.core.experiments.SPECS` registry
+across a ``ProcessPoolExecutor``.  Workers hydrate the shared experiment
+context from the artifact store instead of rebuilding it, so a cold
+``repro all`` pays for world construction once per machine, and warm runs
+(and every worker after the first artifact lands) read tensors off disk.
 
 Failure isolation: an experiment that raises is retried once in-worker,
 then reported in the run manifest — one failure no longer aborts the batch.
+
+Tracing: with ``trace=True`` each experiment runs under its own
+:class:`~repro.obs.Tracer`; span trees serialize through the result
+payloads, so traces from ``--jobs N`` worker processes merge into one
+``timings`` block on the run manifest.
 """
 
 from __future__ import annotations
@@ -24,9 +28,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro import obs
+from repro.core.experiments import SPECS, run_experiment
 from repro.core.pipeline import experiment_context
-from repro.runner.manifest import ExperimentOutcome, RunManifest
+from repro.runner.manifest import ExperimentOutcome, RunManifest, build_timings
 from repro.store.artifacts import (
     DEFAULT_MAX_BYTES,
     SCHEMA_VERSION,
@@ -99,7 +104,7 @@ def _stats_delta(
 
 
 def _execute(
-    name: str, keep_result: bool = False, keep_data: bool = False
+    name: str, keep_result: bool = False, keep_data: bool = False, trace: bool = False
 ) -> Dict[str, object]:
     """Run one experiment in the current worker; never raises."""
     config: WorldConfig = _WORKER["config"]  # type: ignore[assignment]
@@ -111,12 +116,19 @@ def _execute(
     for attempt in (1, 2):
         payload["attempts"] = attempt
         started = time.perf_counter()
+        tracer = obs.Tracer(name) if trace else None
         try:
-            ctx = experiment_context(config, store=store)
-            result = run_experiment(name, ctx)
+            with obs.tracing(tracer):
+                ctx = experiment_context(config=config, store=store)
+                result = run_experiment(name, ctx)
         except Exception:
             error = traceback.format_exc(limit=12)
             continue
+        finally:
+            if tracer is not None:
+                tracer.finish()
+        if tracer is not None:
+            payload["trace"] = tracer.to_dict()
         payload.update(
             ok=True,
             seconds=time.perf_counter() - started,
@@ -174,6 +186,7 @@ def run_experiments(
     manifest_path: Optional[os.PathLike] = None,
     keep_results: bool = False,
     keep_data: bool = False,
+    trace: bool = False,
 ) -> Tuple[List[Dict[str, object]], RunManifest, Optional[Path]]:
     """Run experiments, optionally in parallel, with failure isolation.
 
@@ -192,6 +205,9 @@ def run_experiments(
         keep_data: attach each result's canonical JSON data projection to
           its payload (works across the pool; used by ``repro
           verify-goldens``).
+        trace: run every experiment under a :class:`~repro.obs.Tracer`;
+          span trees land on each payload (``payload["trace"]``) and the
+          manifest gains a ``timings`` block merged across workers.
 
     Returns:
         ``(payloads, manifest, manifest_file)``; ``manifest_file`` is None
@@ -200,7 +216,7 @@ def run_experiments(
     Raises:
         KeyError: for unknown experiment names.
     """
-    unknown = [name for name in names if name not in EXPERIMENTS]
+    unknown = [name for name in names if name not in SPECS]
     if unknown:
         raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
 
@@ -213,13 +229,16 @@ def run_experiments(
     if jobs <= 1 or len(names) <= 1:
         _init_worker(*init_args)
         for name in names:
-            payloads[name] = _execute(name, keep_result=keep_results, keep_data=keep_data)
+            payloads[name] = _execute(
+                name, keep_result=keep_results, keep_data=keep_data, trace=trace
+            )
     else:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(names)), initializer=_init_worker, initargs=init_args
         ) as pool:
             futures = {
-                pool.submit(_execute, name, False, keep_data): name for name in names
+                pool.submit(_execute, name, False, keep_data, trace): name
+                for name in names
             }
             pending = set(futures)
             while pending:
@@ -251,6 +270,13 @@ def run_experiments(
         wall_seconds=time.perf_counter() - started,
         outcomes=[_outcome_from_payload(payload) for payload in ordered],
     )
+    traces = {
+        str(payload["name"]): payload["trace"]
+        for payload in ordered
+        if isinstance(payload.get("trace"), dict)
+    }
+    if traces:
+        manifest.timings = build_timings(traces)
 
     target: Optional[Path] = None
     if manifest_path is not None:

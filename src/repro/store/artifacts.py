@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.worldgen.config import WorldConfig
 
 __all__ = [
@@ -161,6 +162,7 @@ class ArtifactStore:
             blob = path.read_bytes()
         except OSError:
             self.stats.record(self.stats.misses, name)
+            obs.count("store.misses")
             return None
         newline = blob.find(b"\n")
         header = blob[:newline] if newline >= 0 else b""
@@ -174,6 +176,7 @@ class ArtifactStore:
             logger.warning("evicting corrupt artifact %s", path)
             self.stats.corrupt += 1
             self.stats.record(self.stats.misses, name)
+            obs.count("store.misses")
             self._unlink(path)
             return None
         try:
@@ -182,6 +185,8 @@ class ArtifactStore:
             pass
         self.stats.record(self.stats.hits, name)
         self.stats.bytes_read += len(payload)
+        obs.count("store.hits")
+        obs.count("store.bytes_read", len(payload))
         return payload
 
     def _write_payload(self, cfg_key: str, name: str, ext: str, payload: bytes) -> None:
@@ -201,6 +206,8 @@ class ArtifactStore:
             return
         self.stats.record(self.stats.puts, name)
         self.stats.bytes_written += len(payload)
+        obs.count("store.puts")
+        obs.count("store.bytes_written", len(payload))
         self._evict_over_cap(keep=path)
 
     @staticmethod

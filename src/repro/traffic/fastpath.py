@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.traffic.calendar import TrafficCalendar
 from repro.worldgen.world import World
 
@@ -128,7 +129,9 @@ class TrafficModel:
             if cached is not None:
                 self._day_cache[day] = cached
         if cached is None:
-            cached = self._compute_day(day)
+            with obs.span("traffic/compute-day"):
+                cached = self._compute_day(day)
+                obs.count("traffic.rows", self._world.n_sites)
             self._day_cache[day] = cached
             if self.day_saver is not None:
                 self.day_saver(day, cached)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, fields
-from typing import Tuple
+from typing import Optional, Tuple
 
 __all__ = ["WorldConfig", "PAPER_MAGNITUDE_LABELS", "PAPER_MAGNITUDES", "PAPER_UNIVERSE"]
 
@@ -179,6 +179,30 @@ class WorldConfig:
         from dataclasses import replace
 
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_args(cls, args: object, base: Optional["WorldConfig"] = None) -> "WorldConfig":
+        """Fold parsed CLI arguments into one config carrier.
+
+        Reads the conventional world attributes (``sites``, ``days``,
+        ``seed``) off an ``argparse.Namespace``-like object; attributes
+        that are absent or None keep the base config's value.  This is the
+        single seam between argument plumbing and the keyword-only
+        pipeline API (:func:`repro.core.pipeline.experiment_context`).
+
+        Args:
+            args: any object with optional ``sites``/``days``/``seed``
+              attributes.
+            base: the config supplying defaults (a fresh default
+              :class:`WorldConfig` when omitted).
+        """
+        base = base if base is not None else cls()
+        overrides = {}
+        for attr, fld in (("sites", "n_sites"), ("days", "n_days"), ("seed", "seed")):
+            value = getattr(args, attr, None)
+            if value is not None:
+                overrides[fld] = int(value)
+        return base.scaled(**overrides) if overrides else base
 
     # --- canonical serialization -----------------------------------------
 

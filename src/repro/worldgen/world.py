@@ -14,6 +14,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro import obs
 from repro.worldgen.clients import ClientPopulation, build_clients
 from repro.worldgen.config import WorldConfig
 from repro.worldgen.nametable import NameTable, build_name_table
@@ -140,8 +141,12 @@ def build_world(config: WorldConfig) -> World:
     """Deterministically build a world from a configuration."""
     seeds = spawn_seed_streams(config)
 
-    sites = build_sites(config, np.random.default_rng(seeds["sites"]))
-    clients = build_clients(config, np.random.default_rng(seeds["clients"]))
-    names = build_name_table(config, sites, np.random.default_rng(seeds["names"]))
+    with obs.span("world/sites"):
+        sites = build_sites(config, np.random.default_rng(seeds["sites"]))
+    with obs.span("world/clients"):
+        clients = build_clients(config, np.random.default_rng(seeds["clients"]))
+    with obs.span("world/names"):
+        names = build_name_table(config, sites, np.random.default_rng(seeds["names"]))
+    obs.count("world.sites", config.n_sites)
 
     return World(config=config, sites=sites, clients=clients, names=names, _seeds=seeds)

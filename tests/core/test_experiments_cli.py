@@ -3,9 +3,10 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.experiments import SPECS, run_experiment
 from repro.core.pipeline import (
     _CONTEXTS,
+    ARTIFACT_NAMES,
     MAX_CACHED_CONTEXTS,
     clear_contexts,
     experiment_context,
@@ -17,26 +18,32 @@ _TEST_CONFIG = WorldConfig(n_sites=1200, n_days=8, seed=77)
 
 @pytest.fixture(scope="module")
 def ctx():
-    return experiment_context(_TEST_CONFIG)
+    return experiment_context(config=_TEST_CONFIG)
 
 
 class TestPipeline:
     def test_context_cached(self):
-        assert experiment_context(_TEST_CONFIG) is experiment_context(_TEST_CONFIG)
+        assert experiment_context(config=_TEST_CONFIG) is experiment_context(
+            config=_TEST_CONFIG
+        )
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            experiment_context(_TEST_CONFIG)  # noqa: the API is keyword-only
 
     def test_clear_contexts_drops_memo(self):
-        first = experiment_context(_TEST_CONFIG)
+        first = experiment_context(config=_TEST_CONFIG)
         clear_contexts()
         assert _CONTEXTS == {}
-        second = experiment_context(_TEST_CONFIG)
+        second = experiment_context(config=_TEST_CONFIG)
         assert second is not first
-        assert second is experiment_context(_TEST_CONFIG)
+        assert second is experiment_context(config=_TEST_CONFIG)
 
     def test_memo_bounded_lru(self):
         clear_contexts()
         configs = [WorldConfig(n_sites=100, n_days=1, seed=s) for s in range(10)]
         for config in configs:
-            experiment_context(config)
+            experiment_context(config=config)
         assert len(_CONTEXTS) <= MAX_CACHED_CONTEXTS
         # Oldest contexts were evicted, newest retained.
         keys = [key for key, _ in _CONTEXTS.items()]
@@ -46,11 +53,19 @@ class TestPipeline:
     def test_memo_refreshes_on_hit(self):
         clear_contexts()
         configs = [WorldConfig(n_sites=100, n_days=1, seed=s) for s in range(MAX_CACHED_CONTEXTS)]
-        contexts = [experiment_context(config) for config in configs]
-        experiment_context(configs[0])  # refresh the oldest entry
-        experiment_context(WorldConfig(n_sites=100, n_days=1, seed=999))  # forces one eviction
-        assert experiment_context(configs[0]) is contexts[0], "refreshed entry must survive"
-        assert experiment_context(configs[1]) is not contexts[1], "LRU entry was evicted"
+        contexts = [experiment_context(config=config) for config in configs]
+        experiment_context(config=configs[0])  # refresh the oldest entry
+        experiment_context(config=WorldConfig(n_sites=100, n_days=1, seed=999))  # forces one eviction
+        assert experiment_context(config=configs[0]) is contexts[0], "refreshed entry must survive"
+        assert experiment_context(config=configs[1]) is not contexts[1], "LRU entry was evicted"
+
+    def test_artifact_accessor(self, ctx):
+        for name in ARTIFACT_NAMES:
+            assert ctx.artifact(name) is ctx.artifact(name), "artifacts memoize"
+        assert ctx.artifact("world") is ctx.world
+        assert ctx.artifact("engine") is ctx.engine
+        with pytest.raises(KeyError):
+            ctx.artifact("nosuch")
 
     def test_normalized_cached(self, ctx):
         assert ctx.normalized("alexa", 0) is ctx.normalized("alexa", 0)
@@ -62,12 +77,28 @@ class TestPipeline:
 
 
 class TestExperiments:
-    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    @pytest.mark.parametrize("name", sorted(SPECS))
     def test_every_experiment_runs(self, ctx, name):
         result = run_experiment(name, ctx)
         assert result.name == name
         assert result.text.strip()
         assert result.data
+
+    def test_specs_are_declarative(self):
+        for name, spec in SPECS.items():
+            assert spec.id == name
+            assert spec.title and spec.summary
+            assert callable(spec.fn)
+            unknown = set(spec.required_artifacts) - set(ARTIFACT_NAMES)
+            assert not unknown, f"{name} requires unknown artifacts {unknown}"
+
+    def test_deprecated_experiments_shim(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.core.experiments import EXPERIMENTS
+
+            fns = dict(EXPERIMENTS)
+        assert set(fns) == set(SPECS)
+        assert all(fns[name] is SPECS[name].fn for name in SPECS)
 
     def test_unknown_experiment(self, ctx):
         with pytest.raises(KeyError):
@@ -108,7 +139,14 @@ class TestCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["fig1"])
         assert args.experiment == "fig1"
-        assert args.sites > 0
+        # Unset world arguments stay None; the base config supplies them.
+        assert args.sites is None and args.days is None and args.seed is None
+        config = WorldConfig.from_args(args)
+        assert config.n_sites > 0
+
+    def test_usage_error_returns_two(self, capsys):
+        assert main(["fig1", "--sites", "not-a-number"]) == 2
+        assert main(["--no-such-flag"]) == 2
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
@@ -167,8 +205,11 @@ class TestCacheCli:
         assert "entries: 0" in out
 
     def test_run_then_stats_ls_clear(self, capsys, tmp_path):
+        # fig2 walks the whole artifact chain (world -> traffic -> metrics
+        # -> providers), so the store ends up populated; a world-free
+        # experiment like survey would lazily skip it all.
         cache = str(tmp_path / "store")
-        code = main(["survey", "--sites", "1200", "--days", "8", "--seed", "77",
+        code = main(["fig2", "--sites", "1200", "--days", "8", "--seed", "77",
                      "--cache-dir", cache])
         assert code == 0
         out = capsys.readouterr().out

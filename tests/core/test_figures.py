@@ -95,7 +95,7 @@ class TestSaveAndExport:
 
     @pytest.fixture(scope="class")
     def export_ctx(self):
-        return experiment_context(WorldConfig(n_sites=1200, n_days=8, seed=77))
+        return experiment_context(config=WorldConfig(n_sites=1200, n_days=8, seed=77))
 
     @pytest.mark.parametrize("name,expected_files", [
         ("fig1", 2), ("fig2", 2), ("fig3", 2), ("fig4", 2),

@@ -1,0 +1,123 @@
+"""``repro bench`` smoke tests: BENCH JSON schema, metric-key stability
+across runs, the cold/warm store split, and the CLI verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    QUICK_CONFIG,
+    bench_path,
+    run_bench,
+    write_bench,
+)
+from repro.worldgen.config import WorldConfig
+
+#: Tiny world so the double (cold + warm) pass stays test-cheap.
+_CONFIG = WorldConfig(n_sites=400, n_days=4, seed=11)
+#: One engine-walking experiment (fig2 exercises the full artifact chain
+#: including CDN metrics) and one store-free one.
+_NAMES = ["fig2", "survey"]
+
+_TOP_KEYS = {
+    "bench_schema_version", "date", "quick", "jobs", "config", "host",
+    "experiments", "stages", "totals",
+}
+_EXPERIMENT_KEYS = {
+    "ok", "cold_seconds", "warm_seconds", "requests_simulated",
+    "requests_per_sec", "cache_cold", "cache_warm",
+}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(_CONFIG, names=_NAMES, jobs=1)
+
+
+class TestBenchDocument:
+    def test_schema(self, payload):
+        assert set(payload) == _TOP_KEYS
+        assert payload["bench_schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["jobs"] == 1 and payload["quick"] is False
+        assert len(payload["date"]) == 8 and payload["date"].isdigit()
+        assert payload["config"]["n_sites"] == _CONFIG.n_sites
+        assert set(payload["host"]) == {"python", "platform", "cpus"}
+        assert set(payload["experiments"]) == set(_NAMES)
+        for row in payload["experiments"].values():
+            assert set(row) == _EXPERIMENT_KEYS
+            assert row["ok"]
+        assert set(payload["stages"]) == {"cold", "warm"}
+        json.dumps(payload)  # the whole document is JSON-safe
+
+    def test_per_stage_walls_and_requests(self, payload):
+        # fig2 walks world -> traffic -> CDN metrics -> providers, so the
+        # cold pass must record those stages and the simulated request
+        # volume the CDN engine counted.
+        cold_stages = payload["stages"]["cold"]
+        assert "context/world" in cold_stages
+        assert "cdn/compute-day" in cold_stages
+        assert all(seconds >= 0.0 for seconds in cold_stages.values())
+        row = payload["experiments"]["fig2"]
+        assert row["requests_simulated"] > 0
+        assert row["requests_per_sec"] > 0
+        # survey never touches the CDN engine.
+        assert payload["experiments"]["survey"]["requests_simulated"] == 0
+
+    def test_cold_warm_split(self, payload):
+        # The cold pass builds into a fresh store; the warm pass hydrates.
+        assert payload["totals"]["warm_store_hits"] > 0
+        cold = payload["experiments"]["fig2"]["cache_cold"]
+        warm = payload["experiments"]["fig2"]["cache_warm"]
+        assert cold.get("world", {}).get("puts", 0) >= 1
+        assert warm.get("world", {}).get("hits", 0) >= 1
+
+    def test_metric_keys_identical_across_runs(self, payload):
+        again = run_bench(_CONFIG, names=_NAMES, jobs=1)
+        assert set(again) == set(payload)
+        for name in _NAMES:
+            assert set(again["experiments"][name]) == set(
+                payload["experiments"][name]
+            )
+            # Simulation volume is deterministic; only timings may differ.
+            assert (
+                again["experiments"][name]["requests_simulated"]
+                == payload["experiments"][name]["requests_simulated"]
+            )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_bench(_CONFIG, names=["nope"])
+
+
+class TestBenchIO:
+    def test_bench_path_shape(self):
+        assert bench_path("/tmp", date="20260806").name == "BENCH_20260806.json"
+
+    def test_write_round_trips(self, payload, tmp_path):
+        target = write_bench(payload, tmp_path / "deep" / "BENCH_test.json")
+        assert json.loads(target.read_text()) == json.loads(json.dumps(payload))
+
+
+class TestBenchCli:
+    def test_quick_smoke_writes_bench_json(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_smoke.json"
+        code = main([
+            "bench", "--quick", "--sites", "400", "--days", "4", "--seed", "11",
+            "--experiment", "survey", "--out", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["quick"] is True
+        assert document["config"]["n_sites"] == 400, "--sites overrides --quick"
+        assert set(document["experiments"]) == {"survey"}
+        printed = capsys.readouterr().out
+        assert "cold" in printed and "warm" in printed and str(out) in printed
+
+    def test_quick_defaults_to_golden_scale(self):
+        args = ["bench", "--quick", "--experiment", "nope"]
+        assert main(args) == 2  # unknown experiment is a usage error
+        assert QUICK_CONFIG.n_sites == 2500 and QUICK_CONFIG.n_days == 8

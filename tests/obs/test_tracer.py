@@ -1,0 +1,188 @@
+"""Tracer tests: span nesting and ordering, counter aggregation, the
+zero-overhead disabled path, serialization, rendering, and stage totals."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Span,
+    Tracer,
+    chrome_trace_events,
+    count,
+    current_tracer,
+    merge_stage_totals,
+    peak_rss_bytes,
+    render_span_tree,
+    span,
+    stage_totals,
+    tracing,
+)
+
+
+class TestSpanNesting:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer("root")
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                pass
+        root = tracer.finish()
+        assert root.name == "root"
+        (outer,) = root.children
+        assert [child.name for child in outer.children] == ["inner-a", "inner-b"]
+
+    def test_sibling_order_preserved(self):
+        tracer = Tracer()
+        for name in ("first", "second", "third"):
+            with tracer.span(name):
+                pass
+        assert [c.name for c in tracer.root.children] == ["first", "second", "third"]
+
+    def test_span_timing_and_rss(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            sum(range(10000))
+        (work,) = tracer.root.children
+        assert work.seconds >= 0.0
+        assert work.start >= 0.0
+        # resource-based RSS is available on Linux/macOS CI.
+        assert work.peak_rss_bytes == peak_rss_bytes() or work.peak_rss_bytes >= 0
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.current is tracer.root
+        assert tracer.root.children[0].seconds >= 0.0
+
+    def test_finish_idempotent(self):
+        tracer = Tracer()
+        first = tracer.finish().seconds
+        assert tracer.finish().seconds == first
+
+
+class TestCounters:
+    def test_counts_attach_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.count("rows", 5)
+            with tracer.span("inner"):
+                tracer.count("rows", 2)
+        (outer,) = tracer.root.children
+        assert outer.counters == {"rows": 5.0}
+        assert outer.children[0].counters == {"rows": 2.0}
+
+    def test_total_counters_aggregate_descendants(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            tracer.count("rows", 5)
+            with tracer.span("b"):
+                tracer.count("rows", 2)
+                tracer.count("hits")
+        assert tracer.root.total_counters() == {"rows": 7.0, "hits": 1.0}
+
+    def test_merged_children_sum_repeats(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("day"):
+                tracer.count("rows", 10)
+        (merged,) = tracer.root.merged_children()
+        assert merged.calls == 3
+        assert merged.counters == {"rows": 30.0}
+
+
+class TestAmbientHelpers:
+    def test_disabled_by_default(self):
+        assert current_tracer() is None
+        with span("ignored"):
+            count("ignored", 5)  # must be a silent no-op
+
+    def test_tracing_activates_and_restores(self):
+        tracer = Tracer("t")
+        with tracing(tracer):
+            assert current_tracer() is tracer
+            with span("stage"):
+                count("n", 2)
+        assert current_tracer() is None
+        assert tracer.root.children[0].counters == {"n": 2.0}
+
+    def test_tracing_nests(self):
+        outer, inner = Tracer("outer"), Tracer("inner")
+        with tracing(outer):
+            with tracing(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+    def test_tracing_none_disables(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with tracing(None):
+                assert current_tracer() is None
+                with span("lost"):
+                    pass
+            assert current_tracer() is tracer
+        assert tracer.root.children == []
+
+
+class TestSerialization:
+    def _sample(self) -> Tracer:
+        tracer = Tracer("exp")
+        with tracer.span("context/world"):
+            tracer.count("world.sites", 100)
+        with tracer.span("traffic/compute-day"):
+            tracer.count("traffic.rows", 100)
+        tracer.finish()
+        return tracer
+
+    def test_round_trip(self):
+        tracer = self._sample()
+        rebuilt = Span.from_dict(json.loads(json.dumps(tracer.to_dict())))
+        assert rebuilt.to_dict() == tracer.to_dict()
+        assert [c.name for c in rebuilt.children] == [
+            "context/world", "traffic/compute-day",
+        ]
+
+    def test_render_tree_shows_counters_and_calls(self):
+        tracer = Tracer("exp")
+        for _ in range(2):
+            with tracer.span("day"):
+                tracer.count("rows", 3)
+        text = render_span_tree(tracer.finish())
+        assert "exp" in text and "day x2" in text and "rows=6" in text
+
+    def test_chrome_trace_events(self):
+        events = chrome_trace_events(self._sample().finish(), pid=1, tid=7)
+        assert all(e["ph"] == "X" and e["pid"] == 1 and e["tid"] == 7 for e in events)
+        names = [e["name"] for e in events]
+        assert names == ["exp", "context/world", "traffic/compute-day"]
+        world = events[1]
+        assert world["args"] == {"world.sites": 100.0}
+        json.dumps({"traceEvents": events})  # valid trace-event JSON
+
+
+class TestStageTotals:
+    def test_stage_totals_exclude_root_and_sum_repeats(self):
+        tracer = Tracer("exp")
+        for _ in range(2):
+            with tracer.span("stage"):
+                pass
+        totals = stage_totals(tracer.finish())
+        assert set(totals) == {"stage"}
+        assert totals["stage"] >= 0.0
+
+    def test_merge_across_trees(self):
+        trees = []
+        for _ in range(2):
+            tracer = Tracer()
+            with tracer.span("stage"):
+                pass
+            trees.append(tracer.finish())
+        merged = merge_stage_totals(trees)
+        assert merged["stage"] == pytest.approx(
+            sum(stage_totals(t)["stage"] for t in trees)
+        )

@@ -10,7 +10,7 @@ import pytest
 
 from repro.cli import main
 from repro.core import experiments as experiments_mod
-from repro.core.experiments import EXPERIMENTS, ExperimentResult
+from repro.core.experiments import SPECS, ExperimentResult, ExperimentSpec
 from repro.core.pipeline import clear_contexts
 from repro.qa.goldens import (
     GOLDEN_CONFIG,
@@ -44,12 +44,17 @@ def _broken_experiment(ctx) -> ExperimentResult:
 
 @pytest.fixture()
 def registry(monkeypatch):
-    """EXPERIMENTS swapped for a two-entry synthetic registry."""
-    replacement = {"mini": _mini_experiment, "broken": _broken_experiment}
-    monkeypatch.setattr(experiments_mod, "EXPERIMENTS", replacement)
-    monkeypatch.setattr("repro.runner.parallel.EXPERIMENTS", replacement)
-    monkeypatch.setattr("repro.qa.goldens.EXPERIMENTS", replacement)
-    monkeypatch.setattr("repro.cli.EXPERIMENTS", replacement)
+    """SPECS swapped for a two-entry synthetic registry."""
+    replacement = {
+        name: ExperimentSpec(
+            id=name, title=name.title(), fn=fn, required_artifacts=()
+        )
+        for name, fn in (("mini", _mini_experiment), ("broken", _broken_experiment))
+    }
+    monkeypatch.setattr(experiments_mod, "SPECS", replacement)
+    monkeypatch.setattr("repro.runner.parallel.SPECS", replacement)
+    monkeypatch.setattr("repro.qa.goldens.SPECS", replacement)
+    monkeypatch.setattr("repro.cli.SPECS", replacement)
     clear_contexts()
     return replacement
 
@@ -265,7 +270,7 @@ class TestCheckedInGoldens:
 
     def test_checked_in_goldens_match(self):
         golden_dir = default_golden_dir()
-        missing = [n for n in EXPERIMENTS if not (golden_dir / f"{n}.json").exists()]
+        missing = [n for n in SPECS if not (golden_dir / f"{n}.json").exists()]
         assert not missing, f"goldens missing for: {missing}"
         report = verify_goldens(golden_dir, config=GOLDEN_CONFIG)
         drifted = {s.name: [c.render() for c in s.cells[:3]] for s in report.drifted}

@@ -29,7 +29,7 @@ _QA_CONFIG = WorldConfig(n_sites=1000, n_days=4, seed=777)
 
 @pytest.fixture(scope="module")
 def qa_ctx():
-    return experiment_context(_QA_CONFIG)
+    return experiment_context(config=_QA_CONFIG)
 
 
 # ---------------------------------------------------------------------------

@@ -8,9 +8,11 @@ import numpy as np
 import pytest
 
 from repro.core import experiments as experiments_mod
-from repro.core.experiments import EXPERIMENTS, ExperimentResult
+from repro.core.experiments import SPECS, ExperimentResult, ExperimentSpec
 from repro.core.pipeline import clear_contexts
+from repro.obs import Span, Tracer, stage_totals
 from repro.runner import ExperimentOutcome, RunManifest, run_experiments
+from repro.runner.manifest import build_timings
 from repro.runner.parallel import _jsonable
 from repro.store import SCHEMA_VERSION, ArtifactStore, config_key
 from repro.worldgen.config import WorldConfig
@@ -41,13 +43,24 @@ def _broken_experiment(ctx) -> ExperimentResult:
     raise ValueError("always broken")
 
 
+def _spec(name, fn):
+    return ExperimentSpec(
+        id=name, title=name.title(), fn=fn, tags=("test",), required_artifacts=()
+    )
+
+
 @pytest.fixture()
 def registry(monkeypatch):
-    """EXPERIMENTS extended with synthetic test experiments."""
-    extended = dict(EXPERIMENTS)
-    extended.update(tiny=_tiny_experiment, flaky=_flaky_experiment, broken=_broken_experiment)
-    monkeypatch.setattr(experiments_mod, "EXPERIMENTS", extended)
-    monkeypatch.setattr("repro.runner.parallel.EXPERIMENTS", extended)
+    """SPECS extended with synthetic test experiments."""
+    extended = dict(SPECS)
+    for name, fn in (
+        ("tiny", _tiny_experiment),
+        ("flaky", _flaky_experiment),
+        ("broken", _broken_experiment),
+    ):
+        extended[name] = _spec(name, fn)
+    monkeypatch.setattr(experiments_mod, "SPECS", extended)
+    monkeypatch.setattr("repro.runner.parallel.SPECS", extended)
     _FLAKY_CALLS["count"] = 0
     clear_contexts()
     return extended
@@ -148,6 +161,66 @@ class TestPoolRunner:
             json.dumps(payload["data"])  # projection survived pickling
         assert "coverage" in by_name["table1"]["data"]
         assert not manifest.failures
+
+
+class TestTracedRunner:
+    def test_trace_is_opt_in(self, registry):
+        payloads, manifest, _ = run_experiments(["tiny"], _CONFIG)
+        assert "trace" not in payloads[0]
+        assert manifest.timings is None
+
+    def test_traced_run_attaches_spans_and_timings(self, registry):
+        payloads, manifest, _ = run_experiments(["tiny"], _CONFIG, trace=True)
+        root = Span.from_dict(payloads[0]["trace"])
+        assert root.name == "tiny"
+        # _tiny_experiment touches ctx.world, so the context choke point
+        # must have recorded the artifact-construction span.
+        stage_names = [child.name for child in root.children]
+        assert "context/world" in stage_names
+        assert set(manifest.timings) == {"experiments", "stages"}
+        assert set(manifest.timings["experiments"]) == {"tiny"}
+        assert "context/world" in manifest.timings["stages"]
+
+    def test_timings_round_trip_through_manifest_file(self, registry, tmp_path):
+        target = tmp_path / "run.json"
+        _, manifest, _ = run_experiments(
+            ["tiny"], _CONFIG, manifest_path=target, trace=True
+        )
+        reloaded = RunManifest.from_dict(json.loads(target.read_text()))
+        assert reloaded.timings == manifest.timings
+        rebuilt = Span.from_dict(reloaded.timings["experiments"]["tiny"])
+        assert stage_totals(rebuilt) == pytest.approx(
+            reloaded.timings["stages"]
+        )
+
+    def test_build_timings_merges_across_workers(self):
+        # Two root spans as two pool workers would serialize them: the
+        # merged stage view sums wall time for the shared stage name.
+        traces = {}
+        for name in ("a", "b"):
+            tracer = Tracer(name)
+            with tracer.span("context/world"):
+                pass
+            traces[name] = tracer.finish().to_dict()
+        timings = build_timings(traces)
+        assert set(timings["experiments"]) == {"a", "b"}
+        expected = sum(
+            stage_totals(Span.from_dict(trace))["context/world"]
+            for trace in traces.values()
+        )
+        assert timings["stages"]["context/world"] == pytest.approx(expected)
+
+    def test_traces_merge_from_pool_workers(self, tmp_path):
+        # Real registry entries (workers cannot see monkeypatched specs):
+        # both experiments' span trees must land in one timings block.
+        payloads, manifest, _ = run_experiments(
+            ["survey", "table1"], _CONFIG, jobs=2,
+            cache_dir=tmp_path / "store", trace=True,
+        )
+        assert all(isinstance(p.get("trace"), dict) for p in payloads)
+        assert set(manifest.timings["experiments"]) == {"survey", "table1"}
+        # table1 walks the full artifact chain in some worker process.
+        assert "context/world" in manifest.timings["stages"]
 
 
 class TestManifestAggregation:

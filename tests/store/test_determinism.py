@@ -41,7 +41,7 @@ def _assert_cells_identical(actual, expected, label):
 @pytest.fixture(scope="module")
 def fresh_cells():
     clear_contexts()
-    return _fig2_cells(experiment_context(_CONFIG))
+    return _fig2_cells(experiment_context(config=_CONFIG))
 
 
 class TestStoreHydrationDeterminism:
@@ -50,12 +50,12 @@ class TestStoreHydrationDeterminism:
 
         clear_contexts()
         cold_store = ArtifactStore(cache)
-        cold_cells = _fig2_cells(experiment_context(_CONFIG, store=cold_store))
+        cold_cells = _fig2_cells(experiment_context(config=_CONFIG, store=cold_store))
         assert cold_store.stats.puts, "cold run must persist artifacts"
 
         clear_contexts()
         warm_store = ArtifactStore(cache)  # fresh instance, same directory
-        warm_cells = _fig2_cells(experiment_context(_CONFIG, store=warm_store))
+        warm_cells = _fig2_cells(experiment_context(config=_CONFIG, store=warm_store))
         assert warm_store.stats.total_hits > 0, "warm run must hydrate from disk"
         assert warm_store.stats.hits.get("world", 0) >= 1
 
@@ -70,6 +70,6 @@ class TestStoreHydrationDeterminism:
     def test_store_context_reuses_memo(self, tmp_path):
         clear_contexts()
         store = ArtifactStore(tmp_path / "store")
-        first = experiment_context(_CONFIG, store=store)
-        second = experiment_context(_CONFIG, store=store)
+        first = experiment_context(config=_CONFIG, store=store)
+        second = experiment_context(config=_CONFIG, store=store)
         assert first is second
