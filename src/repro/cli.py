@@ -13,7 +13,8 @@ Command families, all dispatched through one table in :func:`main`:
 * ``repro bench [--quick]`` — write the canonical ``BENCH_<yyyymmdd>.json``
   performance baseline: per-stage wall times, cache-cold vs cache-warm
   timings, and requests-simulated/sec per experiment.
-* ``repro cache stats|ls|clear`` — inspect or empty the artifact store.
+* ``repro cache stats|ls|clear`` — inspect or empty the artifact store
+  (``ls --quarantined`` lists blobs that failed checksum verification).
 * ``repro export <provider> <path>`` — write a simulated list as a
   Tranco-style rank CSV (or CrUX-style origin CSV for bucketed lists).
 * ``repro recommend`` — score every list for a study profile, per the
@@ -22,6 +23,10 @@ Command families, all dispatched through one table in :func:`main`:
   regression gate: recompute every experiment's structured rows and diff
   them against the checked-in goldens (``tests/golden/``), and check the
   metamorphic invariant registry (``repro.qa``).
+* ``repro chaos [--seed N] [--plan plan.json]`` — the robustness gate: run
+  the registry under a deterministic fault-injection plan (corrupt reads,
+  disk-full writes, worker crashes and hangs) and require every experiment
+  to finish golden-clean anyway (``repro.faults``).
 
 Exit codes are uniform across every command: 0 on success, 1 on
 experiment failure / golden drift / invariant violation, 2 on usage
@@ -41,6 +46,9 @@ Examples::
     repro verify-goldens --jobs 4     # regression-check every experiment
     repro verify-goldens --update     # regenerate the golden snapshots
     repro verify-invariants           # metamorphic pipeline properties
+    repro all --jobs 4 --timeout 300  # per-experiment deadlines
+    repro all --resume run.json       # re-run only what isn't done yet
+    repro chaos --seed 1337           # full registry under fault injection
 """
 
 from __future__ import annotations
@@ -165,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Chrome trace-event JSON (load in chrome://tracing or "
              "Perfetto); implies tracing",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment deadline: each experiment runs in its own "
+             "supervised worker, hung or crashed workers are killed and "
+             "resubmitted once (incompatible with --svg-dir)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="MANIFEST",
+        help="resume from a prior run manifest: skip experiments it marks "
+             "ok whose cached result blob still verifies",
+    )
     return parser
 
 
@@ -271,7 +290,7 @@ def _run_experiments(argv: List[str]) -> int:
             line = f"  {spec.id:10s} {spec.summary}"
             print(line + (f"  [{tags}]" if tags else ""))
         print("\nother commands: bench, export, recommend, validate, summary, "
-              "cache, verify-goldens, verify-invariants")
+              "cache, verify-goldens, verify-invariants, chaos")
         return EXIT_OK
 
     names = list(SPECS) if args.experiment == "all" else [args.experiment]
@@ -291,27 +310,41 @@ def _run_experiments(argv: List[str]) -> int:
     if args.svg_dir and jobs > 1:
         print("[svg export runs in-process; ignoring --jobs]", file=sys.stderr)
         jobs = 1
+    if args.svg_dir and args.timeout is not None:
+        print("svg export runs in-process and cannot be supervised; "
+              "drop --timeout or --svg-dir", file=sys.stderr)
+        return EXIT_USAGE
     print(
         f"[world: {config.n_sites} sites, {config.n_days} days, seed {config.seed}; "
         f"jobs {jobs}; cache {'off' if cache_dir is None else cache_dir}]\n"
     )
-    payloads, manifest, manifest_file = run_experiments(
-        names,
-        config,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        max_bytes=_default_max_bytes(),
-        manifest_path=args.manifest,
-        keep_results=bool(args.svg_dir),
-        trace=trace,
-    )
+    try:
+        payloads, manifest, manifest_file = run_experiments(
+            names,
+            config,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            max_bytes=_default_max_bytes(),
+            manifest_path=args.manifest,
+            keep_results=bool(args.svg_dir),
+            trace=trace,
+            timeout=args.timeout,
+            resume_manifest=args.resume,
+        )
+    except (ValueError, FileNotFoundError, json.JSONDecodeError) as error:
+        # A bad --resume manifest (wrong config, missing, unparseable) is a
+        # usage problem, not an experiment failure.
+        print(str(error), file=sys.stderr)
+        return EXIT_USAGE
     if trace:
         from repro.obs import Span, chrome_trace_events, render_span_tree
 
     for payload, outcome in zip(payloads, manifest.outcomes):
         if not outcome.ok:
             continue
-        print(f"=== {outcome.name}: {payload.get('title', '')} ({outcome.seconds:.1f}s) ===")
+        resumed = " [resumed]" if outcome.resumed else ""
+        print(f"=== {outcome.name}: {payload.get('title', '')} "
+              f"({outcome.seconds:.1f}s){resumed} ===")
         print(payload.get("text", ""))
         if args.svg_dir and "result" in payload:
             from repro.core.figure_export import export_figures
@@ -346,6 +379,9 @@ def _run_experiments(argv: List[str]) -> int:
         print(f"[cache: {summary}]")
     if manifest_file is not None:
         print(f"[manifest: {manifest_file}]")
+    if manifest.interrupted and manifest_file is not None:
+        print(f"[interrupted — resume with: repro all --resume {manifest_file}]",
+              file=sys.stderr)
     return EXIT_FAILURE if manifest.failures else EXIT_OK
 
 
@@ -549,6 +585,11 @@ def _run_cache(argv: List[str]) -> int:
         help="artifact store root (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro-toplists)",
     )
+    parser.add_argument(
+        "--quarantined", action="store_true",
+        help="ls: list quarantined blobs (failed checksum verification) "
+             "instead of live entries",
+    )
     args = parser.parse_args(argv)
     root = args.cache_dir if args.cache_dir else str(default_cache_dir())
     store = ArtifactStore(root, _default_max_bytes())
@@ -558,15 +599,17 @@ def _run_cache(argv: List[str]) -> int:
         print(f"cleared {root} ({_format_bytes(freed)} freed)")
         return EXIT_OK
 
-    entries = store.entries()
+    entries = store.quarantined() if args.quarantined else store.entries()
     if args.action == "ls":
         if not entries:
-            print(f"(empty store at {root})")
+            what = "quarantine" if args.quarantined else "store"
+            print(f"(empty {what} at {root})")
             return EXIT_OK
         for entry in entries:
             stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(entry.mtime))
             print(f"{entry.size:>12d}  {stamp}  {entry.key}")
         return EXIT_OK
+    entries = store.entries()
 
     total = sum(entry.size for entry in entries)
     by_kind: dict = {}
@@ -585,6 +628,181 @@ def _run_cache(argv: List[str]) -> int:
     for kind in sorted(by_kind):
         count, size = by_kind[kind]
         print(f"  {kind:<10s} {count:>5d} entries  {_format_bytes(size)}")
+    quarantined = store.quarantined()
+    if quarantined:
+        size = sum(entry.size for entry in quarantined)
+        print(f"quarantined: {len(quarantined)} blob(s), {_format_bytes(size)} "
+              "(repro cache ls --quarantined)")
+    return EXIT_OK
+
+
+#: Cheap experiments the ``repro chaos --quick`` smoke runs (CI budget).
+_CHAOS_QUICK = ("fig1", "table1", "table2", "fig6", "survey")
+
+
+def _run_chaos(argv: List[str]) -> int:
+    """Run experiments under a fault plan and require golden-clean results."""
+    import shutil
+    import tempfile
+
+    from repro.faults import FaultPlan, default_chaos_plan
+    from repro.qa.goldens import GOLDEN_CONFIG, default_golden_dir, verify_payload
+    from repro.runner import RetryPolicy, run_experiments
+
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Robustness gate: run experiments under a deterministic "
+            "fault-injection plan (corrupt reads, disk-full writes, worker "
+            "crashes, hangs) and require every one to complete with "
+            "golden-identical results anyway. Exits nonzero on any "
+            "failure, any golden drift, or if no fault actually fired."
+        ),
+    )
+    parser.add_argument("--seed", dest="chaos_seed", type=int, default=1337,
+                        metavar="N",
+                        help="fault-plan seed (default 1337); decides which "
+                             "experiments draw which faults, deterministically")
+    parser.add_argument("--sites", type=int, default=None, metavar="N",
+                        help=f"site universe size "
+                             f"(default {GOLDEN_CONFIG.n_sites} — the golden "
+                             "scale; changing it needs matching --golden-dir)")
+    parser.add_argument("--days", type=int, default=None, metavar="N",
+                        help=f"simulated days (default {GOLDEN_CONFIG.n_days})")
+    parser.add_argument("--world-seed", dest="seed", type=int, default=None,
+                        metavar="N",
+                        help=f"world seed (default {GOLDEN_CONFIG.seed})")
+    parser.add_argument("--plan", default=None, metavar="PATH",
+                        help="load a fault plan from JSON instead of the "
+                             "seeded default plan")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="supervised worker processes (default 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"run only the cheap subset "
+                             f"({', '.join(_CHAOS_QUICK)}) — the CI smoke")
+    parser.add_argument("--timeout", type=float, default=120.0, metavar="SECONDS",
+                        help="per-experiment deadline (default 120); hung "
+                             "workers are killed and resubmitted")
+    parser.add_argument("--experiment", action="append", default=[],
+                        metavar="NAME",
+                        help="run only this experiment (repeatable)")
+    parser.add_argument("--manifest", default="chaos-manifest.json",
+                        metavar="PATH",
+                        help="chaos run manifest path "
+                             "(default ./chaos-manifest.json)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact store root (default: a throwaway "
+                             "directory, removed afterwards — chaos never "
+                             "pollutes the real cache)")
+    parser.add_argument("--golden-dir", default=None, metavar="DIR",
+                        help="golden snapshot directory "
+                             "(default: nearest tests/golden)")
+    args = parser.parse_args(argv)
+
+    names = list(args.experiment) if args.experiment else (
+        list(_CHAOS_QUICK) if args.quick else list(SPECS)
+    )
+    unknown = [name for name in names if name not in SPECS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return EXIT_USAGE
+    config = WorldConfig.from_args(args, base=GOLDEN_CONFIG)
+    golden_dir = Path(args.golden_dir if args.golden_dir else default_golden_dir())
+    if args.plan is not None:
+        try:
+            plan = FaultPlan.from_json(Path(args.plan).read_text())
+        except (OSError, ValueError) as error:
+            print(f"unreadable fault plan {args.plan}: {error}", file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        # Hangs must outlast the deadline by a wide margin so "recovered
+        # from a hang" always means "the timeout fired", never "it woke up".
+        plan = default_chaos_plan(
+            args.chaos_seed, names, hang_seconds=max(args.timeout * 4, 30.0)
+        )
+    scratch = args.cache_dir is None
+    cache_dir = (
+        tempfile.mkdtemp(prefix="repro-chaos-") if scratch else args.cache_dir
+    )
+    jobs = max(1, args.jobs)
+    print(f"[chaos: seed {plan.seed}, {len(plan.rules)} fault rule(s); "
+          f"world: {config.n_sites} sites, {config.n_days} days, seed "
+          f"{config.seed}; jobs {jobs}; timeout {args.timeout:.0f}s; "
+          f"cache {cache_dir}{' (scratch)' if scratch else ''}]\n")
+    try:
+        payloads, manifest, manifest_file = run_experiments(
+            names,
+            config,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            max_bytes=_default_max_bytes(),
+            manifest_path=args.manifest,
+            keep_data=True,
+            timeout=args.timeout,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=3),
+        )
+    finally:
+        if scratch:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    golden_ok = True
+    by_name = {outcome.name: outcome for outcome in manifest.outcomes}
+    for payload in payloads:
+        name = str(payload["name"])
+        outcome = by_name[name]
+        status = verify_payload(
+            name, payload, golden_dir / f"{name}.json", config, update=False
+        )
+        outcome.golden_status = status.status
+        golden_ok = golden_ok and status.ok
+        faults = dict(payload.get("faults", {}))
+        notes = [f"{site.split('.')[-1]} x{count}" for site, count in sorted(faults.items())]
+        if outcome.submissions > 1:
+            notes.append(f"resubmitted x{outcome.submissions - 1}")
+        if outcome.attempts > 1:
+            notes.append(f"{outcome.attempts} attempts")
+        mark = "ok " if outcome.ok and status.ok else "FAIL"
+        detail = status.status if outcome.ok else (
+            "timeout" if outcome.timed_out
+            else "worker died" if outcome.worker_died
+            else "error"
+        )
+        suffix = f"  [{', '.join(notes)}]" if notes else ""
+        print(f"[{mark}] {name:10s} {detail:8s} ({outcome.seconds:5.1f}s){suffix}")
+        if not outcome.ok and outcome.error:
+            print(f"       {outcome.error.strip().splitlines()[-1]}")
+    if manifest_file is not None:
+        manifest.write(manifest_file)
+
+    block = manifest.faults or {}
+    injected: Dict[str, int] = dict(block.get("injected", {}))
+    timeouts = int(block.get("timeouts", 0))
+    deaths = int(block.get("worker_deaths", 0))
+    total_faults = sum(injected.values()) + timeouts + deaths
+    summary = ", ".join(f"{site}={count}" for site, count in sorted(injected.items()))
+    print(f"\nfaults injected: {total_faults} "
+          f"({summary or 'none'}; timeouts {timeouts}, worker deaths {deaths}, "
+          f"resubmissions {int(block.get('resubmissions', 0))})")
+    recovered = list(block.get("recovered", []))
+    if recovered:
+        print(f"recovered: {', '.join(recovered)}")
+    if manifest_file is not None:
+        print(f"[manifest: {manifest_file}]")
+
+    all_ok = all(outcome.ok for outcome in manifest.outcomes)
+    if not all_ok:
+        print("\nchaos: FAIL (experiment failures)", file=sys.stderr)
+        return EXIT_FAILURE
+    if not golden_ok:
+        print("\nchaos: FAIL (results drifted from goldens under faults)",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    if total_faults < 1:
+        print("\nchaos: FAIL (no fault fired — the plan exercised nothing)",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    print("\nchaos: every experiment recovered and stayed golden-clean")
     return EXIT_OK
 
 
@@ -598,6 +816,7 @@ _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "bench": _run_bench,
     "verify-goldens": _run_verify_goldens,
     "verify-invariants": _run_verify_invariants,
+    "chaos": _run_chaos,
 }
 
 

@@ -1,0 +1,32 @@
+"""repro.faults — deterministic fault injection for the pipeline.
+
+See :mod:`repro.faults.plan` for the declarative, seeded fault plans and
+:mod:`repro.faults.inject` for the ambient injection choke point the
+store and runner consult.  ``repro chaos`` runs the experiment registry
+under a plan and fails unless everything still completes golden-clean.
+"""
+
+from repro.faults.inject import (
+    InjectedFault,
+    activate,
+    active_plan,
+    check_flaky,
+    corrupt,
+    fire,
+    injecting,
+)
+from repro.faults.plan import SITES, FaultPlan, FaultRule, default_chaos_plan
+
+__all__ = [
+    "SITES",
+    "FaultPlan",
+    "FaultRule",
+    "default_chaos_plan",
+    "InjectedFault",
+    "activate",
+    "active_plan",
+    "check_flaky",
+    "corrupt",
+    "fire",
+    "injecting",
+]

@@ -1,0 +1,106 @@
+"""The injection choke point: the ambient fault plan and its helpers.
+
+Mirrors the :mod:`repro.obs` ambient-tracer design: production code calls
+the module-level helpers unconditionally, and they cost one global load
+plus an ``is None`` check when no plan is active.  Activating a plan
+(:func:`activate` process-wide, or :func:`injecting` scoped) routes every
+helper call into :meth:`~repro.faults.plan.FaultPlan.fire`.
+
+Every fire is also counted into the active tracer (``faults.<site>``), so
+chaos runs show their injections inline in span trees and the merged
+manifest ``timings`` block.
+
+This module imports only the standard library and :mod:`repro.obs`, so
+the store and runner can call into it without import cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro import obs
+from repro.faults.plan import FaultPlan, FaultRule
+
+__all__ = [
+    "InjectedFault",
+    "activate",
+    "active_plan",
+    "injecting",
+    "fire",
+    "corrupt",
+    "check_flaky",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by injection sites that simulate a recoverable failure."""
+
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process-wide active fault plan, or None."""
+    return _ACTIVE
+
+
+def activate(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` process-wide (None disarms); returns the previous
+    plan so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    return previous
+
+
+@contextmanager
+def injecting(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Activate ``plan`` for the duration of the block (tests, inline runs)."""
+    previous = activate(plan)
+    try:
+        yield plan
+    finally:
+        activate(previous)
+
+
+def fire(site: str, key: str, occurrence: Optional[int] = None
+         ) -> Optional[FaultRule]:
+    """Consult the active plan at ``site``; no-op (None) when disarmed.
+
+    Fires count into the ambient tracer as ``faults.<site>``.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    rule = plan.fire(site, key, occurrence)
+    if rule is not None:
+        obs.count(f"faults.{site}")
+    return rule
+
+
+def corrupt(blob: bytes) -> bytes:
+    """Deterministically damage a payload: flip every bit of the last byte.
+
+    Enough to break the store's SHA-256 header check without changing the
+    blob's length, which is exactly the failure shape of a decayed or
+    torn-but-published cache entry.
+    """
+    if not blob:
+        return b"\xff"
+    return blob[:-1] + bytes([blob[-1] ^ 0xFF])
+
+
+def check_flaky(name: str, attempt: int) -> None:
+    """Raise :class:`InjectedFault` when a flaky-first-attempt rule fires.
+
+    Called by the runner at the top of each in-worker attempt; only the
+    first attempt is eligible, so the retry path is guaranteed to see a
+    clean second run.
+    """
+    if attempt != 1:
+        return
+    if fire("experiment.flaky_first_attempt", name) is not None:
+        raise InjectedFault(
+            f"injected experiment.flaky_first_attempt for {name!r}"
+        )

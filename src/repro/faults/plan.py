@@ -1,0 +1,235 @@
+"""Fault plans: declarative, seeded, deterministic failure schedules.
+
+A :class:`FaultPlan` is a JSON-serializable list of :class:`FaultRule`
+entries, each naming an injection *site* (one of :data:`SITES`), a glob
+``match`` over the key presented at that site (an artifact name such as
+``traffic/day-003`` for store sites, an experiment id for worker sites),
+a ``probability``, and a ``max_fires`` budget.
+
+Determinism is the whole point — chaos runs must replay bit-for-bit:
+
+* Probabilistic decisions never consult a live RNG.  Each decision hashes
+  ``(plan seed, rule index, site, key, occurrence)`` and compares the
+  resulting uniform value against ``probability``, so the same plan makes
+  the same calls regardless of process scheduling or call interleaving
+  from *other* sites.
+* The occurrence index is a per-process counter per ``(rule, key)`` for
+  store sites, and the explicit submission number for worker sites (the
+  supervisor passes it in), so a one-shot crash rule fires on the first
+  submission and stays quiet on the resubmission — the recovery path is
+  guaranteed to get a clean run.
+
+Plans travel to pool/supervised worker processes as JSON through the
+worker initializer; fire counters are therefore per-process, and the run
+manifest aggregates them across workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SITES", "FaultRule", "FaultPlan", "default_chaos_plan"]
+
+#: Every injection site wired into the pipeline.  ``store.*`` sites key on
+#: artifact names, ``worker.*`` and ``experiment.*`` sites on experiment ids.
+SITES: Tuple[str, ...] = (
+    "store.read.corrupt",
+    "store.write.enospc",
+    "store.write.partial",
+    "worker.crash",
+    "worker.hang",
+    "experiment.flaky_first_attempt",
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source.
+
+    Attributes:
+        site: injection site, one of :data:`SITES`.
+        match: glob matched (case-sensitively) against the site's key.
+        probability: chance of firing per eligible occurrence, decided by
+          the plan's deterministic hash — 1.0 fires always.
+        max_fires: occurrence budget.  For store sites this caps fires per
+          process; for worker sites it caps fires per *submission index*,
+          which is what lets a killed worker's resubmission run clean.
+        delay_seconds: sleep length for ``worker.hang`` (default 3600 —
+          anything longer than any sane deadline).
+        exit_code: process exit status for ``worker.crash``.
+    """
+
+    site: str
+    match: str = "*"
+    probability: float = 1.0
+    max_fires: int = 1
+    delay_seconds: Optional[float] = None
+    exit_code: int = 3
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; choose from {', '.join(SITES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0, got {self.max_fires}")
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "site": self.site,
+            "match": self.match,
+            "probability": self.probability,
+            "max_fires": self.max_fires,
+        }
+        if self.delay_seconds is not None:
+            payload["delay_seconds"] = self.delay_seconds
+        if self.exit_code != 3:
+            payload["exit_code"] = self.exit_code
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultRule":
+        return cls(
+            site=str(payload["site"]),
+            match=str(payload.get("match", "*")),
+            probability=float(payload.get("probability", 1.0)),
+            max_fires=int(payload.get("max_fires", 1)),
+            delay_seconds=(
+                None if payload.get("delay_seconds") is None
+                else float(payload["delay_seconds"])  # type: ignore[arg-type]
+            ),
+            exit_code=int(payload.get("exit_code", 3)),
+        )
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus per-process fire accounting.
+
+    Args:
+        rules: the fault sources, consulted in order (first match wins).
+        seed: feeds the deterministic probability hash.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule] = (), seed: int = 0) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = int(seed)
+        #: Fires per site, in this process.
+        self.fired: Dict[str, int] = {}
+        self._occurrences: Dict[Tuple[int, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # The decision procedure.
+
+    def _decide(self, rule_index: int, site: str, key: str, occurrence: int,
+                probability: float) -> bool:
+        if probability >= 1.0:
+            return True
+        if probability <= 0.0:
+            return False
+        token = f"{self.seed}:{rule_index}:{site}:{key}:{occurrence}"
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < probability
+
+    def fire(self, site: str, key: str, occurrence: Optional[int] = None
+             ) -> Optional[FaultRule]:
+        """Consult the plan at an injection site; returns the firing rule.
+
+        Args:
+            site: one of :data:`SITES`.
+            key: the artifact name or experiment id at the site.
+            occurrence: explicit occurrence index (worker sites pass the
+              zero-based submission number); None uses — and advances — the
+              per-process counter for the matching rule.
+
+        Returns:
+            The first matching rule whose budget and probability allow a
+            fire, or None.  Fires are tallied in :attr:`fired`.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or not fnmatchcase(key, rule.match):
+                continue
+            if occurrence is None:
+                slot = (index, key)
+                occ = self._occurrences.get(slot, 0)
+                self._occurrences[slot] = occ + 1
+            else:
+                occ = occurrence
+            if occ >= rule.max_fires:
+                continue
+            if not self._decide(index, site, key, occ, rule.probability):
+                continue
+            self.fired[site] = self.fired.get(site, 0) + 1
+            return rule
+        return None
+
+    def fired_snapshot(self) -> Dict[str, int]:
+        """A copy of the per-site fire counts (for payload deltas)."""
+        return dict(self.fired)
+
+    # ------------------------------------------------------------------
+    # Serialization.
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        return cls(
+            rules=[FaultRule.from_dict(r) for r in payload.get("rules", [])],  # type: ignore[union-attr]
+            seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def _shuffled(names: Sequence[str], seed: int) -> List[str]:
+    """Names in a deterministic seed-dependent order (no live RNG)."""
+    return sorted(
+        names,
+        key=lambda name: hashlib.sha256(f"{seed}:{name}".encode("utf-8")).hexdigest(),
+    )
+
+
+def default_chaos_plan(
+    seed: int, names: Sequence[str], hang_seconds: float = 3600.0
+) -> FaultPlan:
+    """The built-in ``repro chaos`` plan: one of everything.
+
+    Injects exactly one corruption, one ENOSPC, one partial write, one
+    worker crash, one worker hang, and one flaky first attempt, with the
+    crash/hang/flaky victims drawn deterministically (by seed) from
+    ``names`` so repeated soaks with different seeds rotate coverage.
+
+    Args:
+        seed: plan seed; also picks the victim experiments.
+        names: the experiment ids the chaos run will execute.
+        hang_seconds: sleep injected by the hang rule — set it comfortably
+          above the runner deadline so the timeout path actually trips.
+    """
+    victims = _shuffled(names, seed) or ["*"]
+    pick = lambda i: victims[i % len(victims)]  # noqa: E731
+    return FaultPlan(
+        rules=[
+            FaultRule("store.read.corrupt", match="traffic/*"),
+            FaultRule("store.write.enospc", match="metrics/*"),
+            FaultRule("store.write.partial", match="providers/*"),
+            FaultRule("worker.crash", match=pick(0)),
+            FaultRule("worker.hang", match=pick(1), delay_seconds=hang_seconds),
+            FaultRule("experiment.flaky_first_attempt", match=pick(2)),
+        ],
+        seed=seed,
+    )

@@ -25,6 +25,7 @@ from repro.qa.goldens import (
     default_golden_dir,
     dump_golden,
     verify_goldens,
+    verify_payload,
 )
 from repro.qa.invariants import INVARIANTS, Invariant, InvariantOutcome, run_invariants
 
@@ -36,6 +37,7 @@ __all__ = [
     "default_golden_dir",
     "dump_golden",
     "verify_goldens",
+    "verify_payload",
     "INVARIANTS",
     "Invariant",
     "InvariantOutcome",

@@ -44,6 +44,7 @@ __all__ = [
     "golden_payload",
     "dump_golden",
     "diff_payloads",
+    "verify_payload",
     "verify_goldens",
 ]
 
@@ -293,14 +294,19 @@ def diff_payloads(
 # The harness.
 
 
-def _verify_one(
+def verify_payload(
     name: str,
     payload: Dict[str, object],
     golden_file: Path,
     config: WorldConfig,
-    update: bool,
+    update: bool = False,
 ) -> GoldenStatus:
-    """Compare (or rewrite) one experiment's golden from its run payload."""
+    """Compare (or rewrite) one experiment's golden from its run payload.
+
+    The payload must carry ``data`` (run with ``keep_data=True``).  Shared
+    by :func:`verify_goldens` and ``repro chaos``, which uses it to prove
+    results computed under fault injection are still golden-identical.
+    """
     if not payload.get("ok"):
         return GoldenStatus(name, "error", error=str(payload.get("error")))
     document = golden_payload(
@@ -376,7 +382,7 @@ def verify_goldens(
         keep_data=True,
     )
     statuses = [
-        _verify_one(name, payload, golden_dir / f"{name}.json", config, update)
+        verify_payload(name, payload, golden_dir / f"{name}.json", config, update)
         for name, payload in zip(names, payloads)
     ]
     report = GoldenReport(

@@ -1,10 +1,19 @@
 """Parallel experiment runner with durable run manifests.
 
-See :mod:`repro.runner.parallel` for execution and
-:mod:`repro.runner.manifest` for the manifest format.
+See :mod:`repro.runner.parallel` for execution,
+:mod:`repro.runner.manifest` for the manifest format,
+:mod:`repro.runner.retry` for backoff policies, and
+:mod:`repro.runner.supervise` for deadline-enforced execution.
 """
 
 from repro.runner.manifest import ExperimentOutcome, RunManifest
 from repro.runner.parallel import run_experiments
+from repro.runner.retry import NO_RETRY, RetryPolicy
 
-__all__ = ["ExperimentOutcome", "RunManifest", "run_experiments"]
+__all__ = [
+    "ExperimentOutcome",
+    "NO_RETRY",
+    "RetryPolicy",
+    "RunManifest",
+    "run_experiments",
+]

@@ -30,17 +30,34 @@ class ExperimentOutcome:
     Attributes:
         name: experiment id (``fig1``...).
         ok: whether the final attempt succeeded.
-        seconds: wall time of the final attempt.
-        worker_pid: process id that executed the final attempt.
-        attempts: 1, or 2 when the first attempt failed and was retried.
+        seconds: *cumulative* wall time across every in-worker attempt,
+          including retry backoff.  For a worker that died or timed out,
+          this is the elapsed time since submission.
+        worker_pid: process id that executed the final attempt (0 when the
+          worker died before reporting).
+        attempts: in-worker attempts actually executed under the retry
+          policy; 0 when the worker died/timed out before reporting (the
+          true count is unknown) or the experiment was skipped by resume.
+        per_attempt: wall seconds of each in-worker attempt, in order
+          (excludes backoff sleeps; sums to <= ``seconds``).
         error: the final error message (None on success).
         text_sha256: digest of the rendered text, for cheap cold-vs-warm
           identity checks without storing whole tables in the manifest.
         cache: artifact-store hit/miss/put deltas attributable to this
           experiment (empty when caching is disabled).
-        golden_status: filled by ``repro verify-goldens`` — ``pass``,
-          ``drift``, ``missing``, ``updated``, or ``error``; None outside
-          golden-verification runs.
+        golden_status: filled by ``repro verify-goldens`` / ``repro
+          chaos`` — ``pass``, ``drift``, ``missing``, ``updated``, or
+          ``error``; None outside golden-verification runs.
+        worker_died: the worker process died (crash, OOM-kill) without
+          reporting a result.
+        timed_out: the experiment exceeded the per-experiment deadline and
+          its worker was terminated.
+        resumed: skipped by ``--resume`` because a prior manifest marked
+          it ok and its cached result blob verified.
+        submissions: how many worker processes were dispatched for this
+          experiment (supervised runs resubmit after crashes/timeouts).
+        faults: injected-fault fires (``{site: count}``) observed during
+          this experiment's successful execution; empty without a plan.
     """
 
     name: str
@@ -52,6 +69,12 @@ class ExperimentOutcome:
     text_sha256: Optional[str] = None
     cache: CacheCounts = field(default_factory=dict)
     golden_status: Optional[str] = None
+    per_attempt: List[float] = field(default_factory=list)
+    worker_died: bool = False
+    timed_out: bool = False
+    resumed: bool = False
+    submissions: int = 1
+    faults: Dict[str, int] = field(default_factory=dict)
 
     @staticmethod
     def digest(text: str) -> str:
@@ -75,6 +98,14 @@ class RunManifest:
     #: Per-experiment span trees plus merged per-stage wall times (see
     #: :func:`build_timings`); None when the run was not traced.
     timings: Optional[Dict[str, object]] = None
+    #: True when the run was cut short (KeyboardInterrupt); the manifest
+    #: is still written so ``--resume`` can pick up from it.
+    interrupted: bool = False
+    #: Fault-injection accounting for chaos runs: the serialized plan,
+    #: per-site injected counts, supervisor events (timeouts,
+    #: worker deaths, resubmissions), and the experiments that recovered.
+    #: None when no plan was active and nothing faulted.
+    faults: Optional[Dict[str, object]] = None
 
     @property
     def failures(self) -> List[ExperimentOutcome]:
@@ -126,6 +157,8 @@ class RunManifest:
             outcomes=outcomes,
             qa=payload.get("qa"),  # type: ignore[arg-type]
             timings=payload.get("timings"),  # type: ignore[arg-type]
+            interrupted=bool(payload.get("interrupted", False)),
+            faults=payload.get("faults"),  # type: ignore[arg-type]
         )
 
 

@@ -6,8 +6,24 @@ context from the artifact store instead of rebuilding it, so a cold
 ``repro all`` pays for world construction once per machine, and warm runs
 (and every worker after the first artifact lands) read tensors off disk.
 
-Failure isolation: an experiment that raises is retried once in-worker,
-then reported in the run manifest — one failure no longer aborts the batch.
+Failure isolation: an experiment that raises is retried in-worker under a
+configurable :class:`~repro.runner.retry.RetryPolicy` (exponential backoff
+with deterministic jitter), then reported in the run manifest — one failure
+never aborts the batch.  With ``timeout=`` the batch runs *supervised*: each
+experiment gets its own worker process and deadline, a hung or crashed
+worker is killed and resubmitted once, and the outcome records
+``timed_out``/``worker_died`` instead of stalling the pool.
+
+Resumability: ``resume_manifest=`` (CLI ``--resume``) skips experiments a
+prior manifest marked ok whose cached ``results/<name>`` blob still
+verifies, re-running only failures and missing entries.  A
+``KeyboardInterrupt`` mid-batch still writes a (partial) manifest so the
+next invocation can resume from it.
+
+Fault injection: a :class:`~repro.faults.FaultPlan` threads through the
+worker initializer and arms the :mod:`repro.faults` choke point inside
+each worker; per-site fire counts flow back through the payloads into the
+manifest ``faults`` block (``repro chaos`` is built on exactly this).
 
 Tracing: with ``trace=True`` each experiment runs under its own
 :class:`~repro.obs.Tracer`; span trees serialize through the result
@@ -31,7 +47,9 @@ import numpy as np
 from repro import obs
 from repro.core.experiments import SPECS, run_experiment
 from repro.core.pipeline import experiment_context
+from repro.faults import FaultPlan, inject
 from repro.runner.manifest import ExperimentOutcome, RunManifest, build_timings
+from repro.runner.retry import RetryPolicy
 from repro.store.artifacts import (
     DEFAULT_MAX_BYTES,
     SCHEMA_VERSION,
@@ -49,11 +67,25 @@ _WORKER: Dict[str, object] = {}
 _MAX_INLINE_ARRAY = 4096
 
 
-def _init_worker(config_json: str, cache_dir: Optional[str], max_bytes: Optional[int]) -> None:
+def _init_worker(
+    config_json: str,
+    cache_dir: Optional[str],
+    max_bytes: Optional[int],
+    retry_json: Optional[str] = None,
+    plan_json: Optional[str] = None,
+    supervised: bool = False,
+) -> None:
     _WORKER["config"] = WorldConfig.from_json(config_json)
     _WORKER["store"] = (
         ArtifactStore(cache_dir, max_bytes) if cache_dir is not None else None
     )
+    _WORKER["retry"] = (
+        RetryPolicy.from_json(retry_json) if retry_json else RetryPolicy()
+    )
+    plan = FaultPlan.from_json(plan_json) if plan_json else None
+    _WORKER["plan"] = plan
+    _WORKER["supervised"] = supervised
+    inject.activate(plan)
 
 
 def _jsonable(value: object, depth: int = 0) -> object:
@@ -103,39 +135,70 @@ def _stats_delta(
     return delta
 
 
+def _counts_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {
+        key: value - before.get(key, 0)
+        for key, value in after.items()
+        if value - before.get(key, 0)
+    }
+
+
 def _execute(
-    name: str, keep_result: bool = False, keep_data: bool = False, trace: bool = False
+    name: str,
+    keep_result: bool = False,
+    keep_data: bool = False,
+    trace: bool = False,
+    submission: int = 1,
 ) -> Dict[str, object]:
-    """Run one experiment in the current worker; never raises."""
+    """Run one experiment in the current worker; never raises.
+
+    ``submission`` is the 1-based dispatch count for this experiment (the
+    supervisor resubmits after crashes/timeouts); it indexes the
+    ``worker.crash``/``worker.hang`` fault occurrence so one-shot rules
+    fire on the first submission and let the resubmission run clean.
+    """
     config: WorldConfig = _WORKER["config"]  # type: ignore[assignment]
     store: Optional[ArtifactStore] = _WORKER.get("store")  # type: ignore[assignment]
+    retry: RetryPolicy = _WORKER.get("retry") or RetryPolicy()  # type: ignore[assignment]
+    plan: Optional[FaultPlan] = _WORKER.get("plan")  # type: ignore[assignment]
     before = _stats_snapshot(store)
+    fired_before = plan.fired_snapshot() if plan is not None else {}
     payload: Dict[str, object] = {"name": name, "pid": os.getpid(), "attempts": 0}
-    started = time.perf_counter()
+    # worker.* faults fire only inside disposable (supervised) processes;
+    # honoring them inline would kill or stall the caller itself.
+    if plan is not None and _WORKER.get("supervised"):
+        rule = plan.fire("worker.crash", name, occurrence=submission - 1)
+        if rule is not None:
+            os._exit(rule.exit_code)
+        rule = plan.fire("worker.hang", name, occurrence=submission - 1)
+        if rule is not None:
+            time.sleep(rule.delay_seconds if rule.delay_seconds is not None else 3600.0)
+    started_total = time.perf_counter()
+    per_attempt: List[float] = []
     error: Optional[str] = None
-    for attempt in (1, 2):
+    succeeded = False
+    for attempt in retry.attempts():
         payload["attempts"] = attempt
+        if attempt > 1:
+            time.sleep(retry.delay(attempt - 1, name))
         started = time.perf_counter()
         tracer = obs.Tracer(name) if trace else None
         try:
             with obs.tracing(tracer):
+                inject.check_flaky(name, attempt)
                 ctx = experiment_context(config=config, store=store)
                 result = run_experiment(name, ctx)
         except Exception:
             error = traceback.format_exc(limit=12)
+            per_attempt.append(time.perf_counter() - started)
             continue
         finally:
             if tracer is not None:
                 tracer.finish()
+        per_attempt.append(time.perf_counter() - started)
         if tracer is not None:
             payload["trace"] = tracer.to_dict()
-        payload.update(
-            ok=True,
-            seconds=time.perf_counter() - started,
-            title=result.title,
-            text=result.text,
-            error=None,
-        )
+        payload.update(ok=True, title=result.title, text=result.text, error=None)
         if keep_result:
             payload["result"] = result
         if keep_data:
@@ -156,10 +219,19 @@ def _execute(
                     "data": _jsonable(result.data),
                 },
             )
+        succeeded = True
         break
-    else:
-        payload.update(ok=False, seconds=time.perf_counter() - started, error=error)
+    if not succeeded:
+        payload.update(ok=False, error=error)
+    # Cumulative wall time (all attempts + backoff) plus the per-attempt
+    # split, so a failed first attempt no longer vanishes from the manifest.
+    payload["seconds"] = time.perf_counter() - started_total
+    payload["per_attempt"] = per_attempt
     payload["cache"] = _stats_delta(before, _stats_snapshot(store))
+    if plan is not None:
+        fired = _counts_delta(fired_before, plan.fired_snapshot())
+        if fired:
+            payload["faults"] = fired
     return payload
 
 
@@ -174,7 +246,79 @@ def _outcome_from_payload(payload: Dict[str, object]) -> ExperimentOutcome:
         error=payload.get("error"),  # type: ignore[arg-type]
         text_sha256=None if text is None else ExperimentOutcome.digest(text),  # type: ignore[arg-type]
         cache=payload.get("cache", {}),  # type: ignore[arg-type]
+        per_attempt=[float(s) for s in payload.get("per_attempt", [])],  # type: ignore[union-attr]
+        worker_died=bool(payload.get("worker_died")),
+        timed_out=bool(payload.get("timed_out")),
+        resumed=bool(payload.get("resumed")),
+        submissions=int(payload.get("submission", 1)),  # type: ignore[arg-type]
+        faults={str(k): int(v) for k, v in dict(payload.get("faults", {})).items()},
     )
+
+
+def _interrupted_payload(name: str, seconds: float = 0.0) -> Dict[str, object]:
+    return {
+        "name": name,
+        "ok": False,
+        "seconds": seconds,
+        "pid": 0,
+        "attempts": 0,
+        "error": "interrupted (KeyboardInterrupt)",
+        "cache": {},
+    }
+
+
+def _resumable_payloads(
+    names: Sequence[str],
+    prior: RunManifest,
+    config: WorldConfig,
+    cache_dir: Optional[str],
+    max_bytes: Optional[int],
+    keep_data: bool,
+) -> Dict[str, Dict[str, object]]:
+    """Payloads for experiments the prior manifest proves are done.
+
+    An experiment is skippable when its prior outcome is ok AND its cached
+    ``results/<name>`` blob reads back (checksum-verified by the store),
+    carries the current schema version, and its text digest matches the
+    manifest.  Anything less re-runs — resume never trusts a claim it
+    cannot verify against bytes on disk.
+    """
+    if cache_dir is None:
+        return {}
+    store = ArtifactStore(cache_dir, max_bytes)
+    cfg_key = config_key(config)
+    by_name = {outcome.name: outcome for outcome in prior.outcomes}
+    skipped: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        outcome = by_name.get(name)
+        if outcome is None or not outcome.ok or outcome.text_sha256 is None:
+            continue
+        blob = store.get_json(cfg_key, f"results/{name}")
+        if not isinstance(blob, dict):
+            continue
+        if blob.get("schema_version") != SCHEMA_VERSION:
+            continue
+        text = blob.get("text")
+        if not isinstance(text, str):
+            continue
+        if ExperimentOutcome.digest(text) != outcome.text_sha256:
+            continue
+        payload: Dict[str, object] = {
+            "name": name,
+            "ok": True,
+            "seconds": 0.0,
+            "pid": 0,
+            "attempts": 0,
+            "resumed": True,
+            "title": blob.get("title", ""),
+            "text": text,
+            "error": None,
+            "cache": {},
+        }
+        if keep_data:
+            payload["data"] = blob.get("data")
+        skipped[name] = payload
+    return skipped
 
 
 def run_experiments(
@@ -187,6 +331,11 @@ def run_experiments(
     keep_results: bool = False,
     keep_data: bool = False,
     trace: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    resume_manifest: Optional[os.PathLike] = None,
+    resubmit_limit: int = 2,
 ) -> Tuple[List[Dict[str, object]], RunManifest, Optional[Path]]:
     """Run experiments, optionally in parallel, with failure isolation.
 
@@ -194,20 +343,38 @@ def run_experiments(
         names: experiment ids, executed in the given order (results are
           returned in that order regardless of completion order).
         config: the world configuration shared by all experiments.
-        jobs: worker processes; ``<= 1`` runs inline in this process.
+        jobs: worker processes; ``<= 1`` runs inline in this process
+          (unless ``timeout`` forces supervised execution).
         cache_dir: artifact-store root; ``None`` disables caching.
         max_bytes: store size cap.
         manifest_path: where to write the run manifest; defaults to
           ``<cache_dir>/runs/run-<stamp>.json`` when caching is enabled.
         keep_results: inline mode only — attach the live
           :class:`~repro.core.experiments.ExperimentResult` objects to the
-          returned payloads (used for SVG export).
+          returned payloads (used for SVG export); incompatible with
+          ``timeout``.
         keep_data: attach each result's canonical JSON data projection to
           its payload (works across the pool; used by ``repro
-          verify-goldens``).
+          verify-goldens`` and ``repro chaos``).
         trace: run every experiment under a :class:`~repro.obs.Tracer`;
           span trees land on each payload (``payload["trace"]``) and the
           manifest gains a ``timings`` block merged across workers.
+        retry: in-worker retry schedule (default :class:`RetryPolicy()` —
+          two attempts with backoff).
+        timeout: per-experiment deadline in seconds.  Switches execution
+          to *supervised* mode: one disposable worker process per
+          experiment, hung/crashed workers killed and resubmitted (up to
+          ``resubmit_limit`` submissions), outcomes marked
+          ``timed_out``/``worker_died`` instead of stalling.
+        fault_plan: arm the :mod:`repro.faults` injection sites with this
+          plan in every worker; fire counts land in the manifest
+          ``faults`` block.  ``worker.crash``/``worker.hang`` rules only
+          fire under supervised execution (set ``timeout``).
+        resume_manifest: path to a prior run manifest; experiments it
+          marks ok whose cached result blob verifies are skipped
+          (``resumed=True`` outcomes) and only the rest run.
+        resubmit_limit: max worker submissions per experiment in
+          supervised mode.
 
     Returns:
         ``(payloads, manifest, manifest_file)``; ``manifest_file`` is None
@@ -215,50 +382,129 @@ def run_experiments(
 
     Raises:
         KeyError: for unknown experiment names.
+        ValueError: when ``resume_manifest`` was produced by a different
+          world configuration, or ``timeout`` is combined with
+          ``keep_results``.
     """
     unknown = [name for name in names if name not in SPECS]
     if unknown:
         raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
+    if timeout is not None and keep_results:
+        raise ValueError("timeout (supervised execution) cannot keep live results")
 
     cache_dir_text = None if cache_dir is None else os.fspath(cache_dir)
-    init_args = (config.to_json(), cache_dir_text, max_bytes)
+    retry = retry if retry is not None else RetryPolicy()
+    init_args = (
+        config.to_json(),
+        cache_dir_text,
+        max_bytes,
+        retry.to_json(),
+        fault_plan.to_json() if fault_plan is not None else None,
+    )
     started_unix = time.time()
     started = time.perf_counter()
 
     payloads: Dict[str, Dict[str, object]] = {}
-    if jobs <= 1 or len(names) <= 1:
-        _init_worker(*init_args)
-        for name in names:
-            payloads[name] = _execute(
-                name, keep_result=keep_results, keep_data=keep_data, trace=trace
+    if resume_manifest is not None:
+        prior = RunManifest.from_dict(
+            json.loads(Path(os.fspath(resume_manifest)).read_text())
+        )
+        if prior.config != json.loads(config.to_json()):
+            raise ValueError(
+                "resume manifest was produced by a different world config; "
+                "rerun without --resume or match --sites/--days/--seed"
             )
+        payloads.update(
+            _resumable_payloads(
+                names, prior, config, cache_dir_text, max_bytes, keep_data
+            )
+        )
+    to_run = [name for name in names if name not in payloads]
+
+    interrupted = False
+    events = {"timeouts": 0, "worker_deaths": 0, "resubmissions": 0}
+    if not to_run:
+        pass
+    elif timeout is not None:
+        from repro.runner.supervise import run_supervised
+
+        supervised, events, interrupted = run_supervised(
+            to_run,
+            init_args,
+            jobs=jobs,
+            timeout=timeout,
+            keep_data=keep_data,
+            trace=trace,
+            resubmit_limit=resubmit_limit,
+        )
+        payloads.update(supervised)
+    elif jobs <= 1 or len(to_run) <= 1:
+        previous_plan = inject.active_plan()
+        _init_worker(*init_args)
+        try:
+            for name in to_run:
+                payloads[name] = _execute(
+                    name, keep_result=keep_results, keep_data=keep_data, trace=trace
+                )
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            # The inline path armed the process-wide plan; disarm it so
+            # later store IO in this process runs fault-free.
+            inject.activate(previous_plan)
+            _WORKER["plan"] = None
     else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(names)), initializer=_init_worker, initargs=init_args
-        ) as pool:
-            futures = {
-                pool.submit(_execute, name, False, keep_data, trace): name
-                for name in names
-            }
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(to_run)),
+            initializer=_init_worker,
+            initargs=init_args,
+        )
+        futures = {
+            pool.submit(_execute, name, False, keep_data, trace): name
+            for name in to_run
+        }
+        submitted_at = {name: time.perf_counter() for name in to_run}
+        try:
             pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    name = futures[future]
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        name = futures[future]
+                        try:
+                            payloads[name] = future.result()
+                        except Exception:
+                            # The worker died (e.g. OOM-killed) without
+                            # reporting: the attempt count is unknown (0)
+                            # and the elapsed time is measured from
+                            # submission — never fabricated.
+                            payloads[name] = {
+                                "name": name,
+                                "ok": False,
+                                "seconds": time.perf_counter() - submitted_at[name],
+                                "pid": 0,
+                                "attempts": 0,
+                                "worker_died": True,
+                                "error": traceback.format_exc(limit=4),
+                                "cache": {},
+                            }
+                            events["worker_deaths"] += 1
+            except KeyboardInterrupt:
+                interrupted = True
+                for future in futures:
+                    future.cancel()
+                for proc in list(getattr(pool, "_processes", {}).values()):
                     try:
-                        payloads[name] = future.result()
-                    except Exception:
-                        # A worker died (e.g. OOM-killed); report rather
-                        # than abort the batch.
-                        payloads[name] = {
-                            "name": name,
-                            "ok": False,
-                            "seconds": 0.0,
-                            "pid": 0,
-                            "attempts": 1,
-                            "error": traceback.format_exc(limit=4),
-                            "cache": {},
-                        }
+                        proc.terminate()
+                    except OSError:
+                        pass
+        finally:
+            pool.shutdown(wait=not interrupted, cancel_futures=True)
+
+    if interrupted:
+        for name in to_run:
+            if name not in payloads:
+                payloads[name] = _interrupted_payload(name)
 
     ordered = [payloads[name] for name in names]
     manifest = RunManifest(
@@ -269,7 +515,26 @@ def run_experiments(
         started_unix=started_unix,
         wall_seconds=time.perf_counter() - started,
         outcomes=[_outcome_from_payload(payload) for payload in ordered],
+        interrupted=interrupted,
     )
+    injected: Dict[str, int] = {}
+    for payload in ordered:
+        for site, count in dict(payload.get("faults", {})).items():
+            injected[site] = injected.get(site, 0) + int(count)
+    if fault_plan is not None or injected or any(events.values()):
+        manifest.faults = {
+            "plan": None if fault_plan is None else fault_plan.to_dict(),
+            "injected": injected,
+            "timeouts": events["timeouts"],
+            "worker_deaths": events["worker_deaths"],
+            "resubmissions": events["resubmissions"],
+            "recovered": [
+                outcome.name
+                for outcome in manifest.outcomes
+                if outcome.ok
+                and (outcome.faults or outcome.submissions > 1 or outcome.attempts > 1)
+            ],
+        }
     traces = {
         str(payload["name"]): payload["trace"]
         for payload in ordered

@@ -1,0 +1,98 @@
+"""Retry policies: bounded attempts with exponential backoff.
+
+Replaces the runner's original hardcoded two-attempt loop.  The jitter is
+*deterministic* — a hash of ``(experiment id, failure count)`` rather than
+a live RNG draw — so retried runs remain bit-reproducible and never touch
+any simulation seed stream (the same rule :mod:`repro.obs` lives by).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+__all__ = ["RetryPolicy", "NO_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """In-worker retry schedule for one experiment execution.
+
+    Attributes:
+        max_attempts: total attempts (1 disables retrying).
+        base_delay: sleep before the first retry, in seconds.
+        multiplier: backoff growth factor per additional failure.
+        max_delay: backoff ceiling, in seconds.
+        jitter: +/- fraction applied to each delay, derived from a hash of
+          the experiment id and failure count — deterministic, but spread
+          across experiments so a pool of retrying workers desynchronizes.
+    """
+
+    max_attempts: int = 2
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def attempts(self) -> Iterable[int]:
+        """Attempt numbers, 1-based."""
+        return range(1, self.max_attempts + 1)
+
+    def delay(self, failures: int, key: str = "") -> float:
+        """Backoff before the next attempt after ``failures`` failures.
+
+        Args:
+            failures: how many attempts have failed so far (>= 1).
+            key: jitter discriminator (conventionally the experiment id).
+        """
+        raw = min(self.base_delay * self.multiplier ** (failures - 1), self.max_delay)
+        if self.jitter and raw > 0:
+            token = f"{key}:{failures}".encode("utf-8")
+            unit = int.from_bytes(hashlib.sha256(token).digest()[:8], "big") / 2**64
+            raw *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return raw
+
+    # ------------------------------------------------------------------
+    # Serialization (policies cross process boundaries as JSON initargs).
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "multiplier": self.multiplier,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RetryPolicy":
+        return cls(
+            max_attempts=int(payload.get("max_attempts", 2)),  # type: ignore[arg-type]
+            base_delay=float(payload.get("base_delay", 0.05)),  # type: ignore[arg-type]
+            multiplier=float(payload.get("multiplier", 2.0)),  # type: ignore[arg-type]
+            max_delay=float(payload.get("max_delay", 2.0)),  # type: ignore[arg-type]
+            jitter=float(payload.get("jitter", 0.25)),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RetryPolicy":
+        return cls.from_dict(json.loads(text))
+
+
+#: Single-attempt policy (failure isolation without retrying).
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)

@@ -1,0 +1,188 @@
+"""Supervised execution: one disposable worker process per experiment.
+
+``ProcessPoolExecutor`` cannot survive a worker death (the whole pool is
+poisoned) and cannot cancel a hung task, so deadline enforcement gets its
+own tiny supervisor: each experiment runs in a forked child that reports
+its payload over a pipe, and the parent polls deadlines, kills laggards,
+and resubmits crashed/hung experiments up to a submission limit.  This is
+what ``run_experiments(..., timeout=...)`` — and therefore ``repro
+chaos`` — executes on.
+
+Fork start method only (the default on Linux): children inherit the
+registry and any monkeypatched state, matching pool semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["run_supervised"]
+
+#: Seconds to wait for a terminated child before escalating to SIGKILL.
+_REAP_GRACE = 5.0
+
+
+def _child(conn, init_args, name: str, submission: int, keep_data: bool, trace: bool):
+    """Child-process entry: run one experiment and pipe the payload back."""
+    # Import inside the child on purpose: under fork it resolves to the
+    # already-initialized parent module, keeping startup cheap.
+    from repro.runner import parallel
+
+    try:
+        parallel._init_worker(*init_args, supervised=True)
+        payload = parallel._execute(
+            name, keep_result=False, keep_data=keep_data, trace=trace,
+            submission=submission,
+        )
+        conn.send(payload)
+    except BaseException as exc:  # noqa: BLE001 - last-resort report
+        try:
+            conn.send(
+                {
+                    "name": name,
+                    "ok": False,
+                    "seconds": 0.0,
+                    "pid": multiprocessing.current_process().pid or 0,
+                    "attempts": 0,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "cache": {},
+                }
+            )
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class _Running:
+    __slots__ = ("proc", "conn", "started", "submission")
+
+    def __init__(self, proc, conn, submission: int) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.started = time.perf_counter()
+        self.submission = submission
+
+
+def run_supervised(
+    names: List[str],
+    init_args: Tuple,
+    jobs: int,
+    timeout: float,
+    keep_data: bool = False,
+    trace: bool = False,
+    resubmit_limit: int = 2,
+) -> Tuple[Dict[str, Dict[str, object]], Dict[str, int], bool]:
+    """Run experiments with per-experiment deadlines and crash recovery.
+
+    Args:
+        names: experiment ids to run.
+        init_args: positional args for ``parallel._init_worker``.
+        jobs: max concurrently running worker processes.
+        timeout: per-experiment deadline in seconds (per submission).
+        keep_data: forward to ``_execute``.
+        trace: forward to ``_execute``.
+        resubmit_limit: max submissions per experiment; a crash or timeout
+          before the limit triggers a resubmission, after it the failure
+          is recorded.
+
+    Returns:
+        ``(payloads by name, event counters, interrupted)`` where event
+        counters track ``timeouts``, ``worker_deaths``, ``resubmissions``.
+    """
+    ctx = multiprocessing.get_context("fork")
+    queue = deque((name, 1) for name in names)
+    running: Dict[str, _Running] = {}
+    payloads: Dict[str, Dict[str, object]] = {}
+    events = {"timeouts": 0, "worker_deaths": 0, "resubmissions": 0}
+    interrupted = False
+    jobs = max(1, jobs)
+
+    def spawn(name: str, submission: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child,
+            args=(child_conn, init_args, name, submission, keep_data, trace),
+            name=f"repro-exp-{name}-s{submission}",
+        )
+        proc.start()
+        child_conn.close()
+        running[name] = _Running(proc, parent_conn, submission)
+
+    def reap(slot: _Running) -> None:
+        slot.proc.join(_REAP_GRACE)
+        if slot.proc.is_alive():
+            slot.proc.kill()
+            slot.proc.join(_REAP_GRACE)
+        slot.conn.close()
+
+    def retire(name: str, slot: _Running, *, timed_out: bool) -> None:
+        """Handle a dead-or-killed worker: resubmit or record the failure."""
+        elapsed = time.perf_counter() - slot.started
+        kind = "timeouts" if timed_out else "worker_deaths"
+        events[kind] += 1
+        if slot.submission < resubmit_limit:
+            events["resubmissions"] += 1
+            queue.appendleft((name, slot.submission + 1))
+            return
+        cause = (
+            f"timeout after {timeout:.1f}s (submission {slot.submission})"
+            if timed_out
+            else f"worker died with exit code {slot.proc.exitcode} "
+            f"(submission {slot.submission})"
+        )
+        payloads[name] = {
+            "name": name,
+            "ok": False,
+            "seconds": elapsed,
+            "pid": slot.proc.pid or 0,
+            "attempts": 0,
+            "timed_out": timed_out,
+            "worker_died": not timed_out,
+            "submission": slot.submission,
+            "error": cause,
+            "cache": {},
+        }
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                name, submission = queue.popleft()
+                spawn(name, submission)
+            conns = [slot.conn for slot in running.values()]
+            ready = multiprocessing.connection.wait(conns, timeout=0.05)
+            for conn in ready:
+                name = next(k for k, s in running.items() if s.conn is conn)
+                slot = running.pop(name)
+                try:
+                    got = slot.conn.recv()
+                except EOFError:
+                    # Pipe closed without a payload: the child died before
+                    # (or while) reporting.
+                    reap(slot)
+                    retire(name, slot, timed_out=False)
+                    continue
+                reap(slot)
+                payloads[name] = {**got, "submission": slot.submission}
+            now = time.perf_counter()
+            for name in [
+                n for n, s in running.items() if now - s.started > timeout
+            ]:
+                slot = running.pop(name)
+                slot.proc.terminate()
+                reap(slot)
+                retire(name, slot, timed_out=True)
+    except KeyboardInterrupt:
+        interrupted = True
+        for slot in running.values():
+            try:
+                slot.proc.terminate()
+            except OSError:
+                pass
+        for slot in running.values():
+            reap(slot)
+    return payloads, events, interrupted

@@ -6,6 +6,7 @@ See :mod:`repro.store.artifacts` for the on-disk format and
 
 from repro.store.artifacts import (
     DEFAULT_MAX_BYTES,
+    MAX_QUARANTINE,
     SCHEMA_VERSION,
     ArtifactEntry,
     ArtifactStore,
@@ -23,6 +24,7 @@ from repro.store.serialize import (
 
 __all__ = [
     "DEFAULT_MAX_BYTES",
+    "MAX_QUARANTINE",
     "SCHEMA_VERSION",
     "ArtifactEntry",
     "ArtifactStore",

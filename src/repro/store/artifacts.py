@@ -15,10 +15,22 @@ Durability model (inspired by Tranco's permanently citable list artifacts):
   half-written entry, even with concurrent writers on the same key.
 * **Checksummed reads** — each entry starts with a one-line header carrying
   the SHA-256 of the payload.  A corrupt or truncated entry is logged,
-  evicted, and reported as a miss so callers rebuild — the store never
+  quarantined, and reported as a miss so callers rebuild — the store never
   raises on bad cache state.
+* **Quarantine, not destruction** — corrupt entries move to
+  ``<root>/quarantine/`` (bounded at :data:`MAX_QUARANTINE`, inspectable
+  via ``repro cache ls --quarantined``) so cache-decay incidents stay
+  debuggable instead of silently vanishing.
+* **Read-only degradation** — when the root is unwritable or the disk
+  fills (``ENOSPC``/``EROFS``/``EACCES``), the store warns once, stops
+  persisting, and keeps serving reads; callers recompute and the run
+  completes instead of crashing mid-batch.
 * **Size-capped LRU** — reads refresh an entry's mtime; when the store
   exceeds its byte cap the oldest entries are evicted first.
+
+Every IO path is threaded through the :mod:`repro.faults` choke point, so
+``repro chaos`` can deterministically corrupt reads, fill the disk, and
+tear writes to prove the guarantees above hold.
 
 Bump :data:`SCHEMA_VERSION` whenever the serialized layout of any artifact
 changes; old entries are simply orphaned under the previous version prefix
@@ -27,12 +39,14 @@ changes; old entries are simply orphaned under the previous version prefix
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import io
 import json
 import logging
 import os
 import shutil
+import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,11 +55,13 @@ from typing import Any, Dict, List, Mapping, Optional
 import numpy as np
 
 from repro import obs
+from repro.faults import inject as faults
 from repro.worldgen.config import WorldConfig
 
 __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_MAX_BYTES",
+    "MAX_QUARANTINE",
     "ArtifactStore",
     "StoreStats",
     "ArtifactEntry",
@@ -60,6 +76,14 @@ SCHEMA_VERSION = 1
 
 #: Default store size cap: 4 GiB.
 DEFAULT_MAX_BYTES = 4 * 1024**3
+
+#: Corrupt blobs kept under ``<root>/quarantine/``; oldest pruned beyond this.
+MAX_QUARANTINE = 16
+
+#: Write errors that demote the store to read-only (vs. one-off failures).
+_READ_ONLY_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EROFS, errno.EACCES, errno.EPERM, errno.EDQUOT}
+)
 
 _HEADER_PREFIX = f"repro-artifact/{SCHEMA_VERSION} sha256=".encode("ascii")
 
@@ -95,7 +119,10 @@ class StoreStats:
     misses: Dict[str, int] = field(default_factory=dict)
     puts: Dict[str, int] = field(default_factory=dict)
     corrupt: int = 0
+    quarantined: int = 0
     evictions: int = 0
+    write_errors: int = 0
+    writes_skipped: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
@@ -146,6 +173,13 @@ class ArtifactStore:
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.stats = StoreStats()
+        self._read_only = False
+        self._warned_read_only = False
+
+    @property
+    def read_only(self) -> bool:
+        """True once a fatal write error demoted the store to read-only."""
+        return self._read_only
 
     # ------------------------------------------------------------------
     # Paths.
@@ -164,6 +198,9 @@ class ArtifactStore:
             self.stats.record(self.stats.misses, name)
             obs.count("store.misses")
             return None
+        if faults.fire("store.read.corrupt", name) is not None:
+            logger.warning("injected store.read.corrupt on %s", name)
+            blob = faults.corrupt(blob)
         newline = blob.find(b"\n")
         header = blob[:newline] if newline >= 0 else b""
         payload = blob[newline + 1 :] if newline >= 0 else b""
@@ -173,11 +210,11 @@ class ArtifactStore:
             else None
         )
         if expected is None or hashlib.sha256(payload).hexdigest() != expected:
-            logger.warning("evicting corrupt artifact %s", path)
+            logger.warning("quarantining corrupt artifact %s", path)
             self.stats.corrupt += 1
             self.stats.record(self.stats.misses, name)
             obs.count("store.misses")
-            self._unlink(path)
+            self._quarantine(path)
             return None
         try:
             os.utime(path)  # refresh LRU position
@@ -190,24 +227,47 @@ class ArtifactStore:
         return payload
 
     def _write_payload(self, cfg_key: str, name: str, ext: str, payload: bytes) -> None:
+        if self._read_only:
+            self.stats.writes_skipped += 1
+            obs.count("store.writes_skipped")
+            return
         path = self._path(cfg_key, name, ext)
-        path.parent.mkdir(parents=True, exist_ok=True)
         digest = hashlib.sha256(payload).hexdigest()
         header = _HEADER_PREFIX + digest.encode("ascii") + b"\n"
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        body = payload
         try:
+            if faults.fire("store.write.enospc", name) is not None:
+                logger.warning("injected store.write.enospc on %s", name)
+                raise OSError(errno.ENOSPC, "injected disk-full (store.write.enospc)")
+            if faults.fire("store.write.partial", name) is not None:
+                # Torn-but-published write: full-payload checksum over a
+                # truncated body, caught by the next checksummed read.
+                logger.warning("injected store.write.partial on %s", name)
+                body = payload[: len(payload) // 2]
+            path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
                 handle.write(header)
-                handle.write(payload)
+                handle.write(body)
             os.replace(tmp, path)
-        except OSError:
-            logger.warning("failed to write artifact %s", path, exc_info=True)
+        except OSError as error:
             self._unlink(tmp)
+            self.stats.write_errors += 1
+            if getattr(error, "errno", None) in _READ_ONLY_ERRNOS:
+                self._read_only = True
+                if not self._warned_read_only:
+                    self._warned_read_only = True
+                    logger.warning(
+                        "store %s degraded to read-only (%s); artifacts will "
+                        "be recomputed instead of persisted", self.root, error,
+                    )
+            else:
+                logger.warning("failed to write artifact %s", path, exc_info=True)
             return
         self.stats.record(self.stats.puts, name)
-        self.stats.bytes_written += len(payload)
+        self.stats.bytes_written += len(body)
         obs.count("store.puts")
-        obs.count("store.bytes_written", len(payload))
+        obs.count("store.bytes_written", len(body))
         self._evict_over_cap(keep=path)
 
     @staticmethod
@@ -216,6 +276,62 @@ class ArtifactStore:
             path.unlink()
         except OSError:
             pass
+
+    # ------------------------------------------------------------------
+    # Quarantine.
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry to ``<root>/quarantine/`` for inspection.
+
+        The move is atomic (same filesystem), so a reader racing an
+        eviction or another quarantine sees either the entry or nothing.
+        Falls back to plain eviction when the move itself fails (directory
+        unwritable, entry already gone).  The quarantine is bounded:
+        oldest residents are pruned beyond :data:`MAX_QUARANTINE`.
+        """
+        qdir = self.root / "quarantine"
+        try:
+            rel = path.relative_to(self.root)
+        except ValueError:
+            rel = Path(path.name)
+        target = qdir / f"{int(time.time() * 1000):013d}-{os.getpid()}-{'__'.join(rel.parts)}"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            self._unlink(path)
+            return
+        self.stats.quarantined += 1
+        obs.count("store.quarantined")
+        residents = self.quarantined()
+        for entry in residents[: max(0, len(residents) - MAX_QUARANTINE)]:
+            self._unlink(self.root / entry.key)
+
+    def quarantined(self) -> List[ArtifactEntry]:
+        """Quarantined corrupt blobs, oldest first (never counted against
+        the byte cap and never hydrated from)."""
+        qdir = self.root / "quarantine"
+        if not qdir.is_dir():
+            return []
+        out = []
+        for path in qdir.iterdir():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.is_file():
+                out.append(
+                    ArtifactEntry(
+                        key=str(path.relative_to(self.root)),
+                        size=stat.st_size,
+                        mtime=stat.st_mtime,
+                    )
+                )
+        # The filename leads with a zero-padded quarantine timestamp, so
+        # key order (not blob mtime, which os.replace preserves) is
+        # quarantine order.
+        out.sort(key=lambda e: e.key)
+        return out
 
     # ------------------------------------------------------------------
     # Typed accessors.
@@ -229,9 +345,9 @@ class ArtifactStore:
             with np.load(io.BytesIO(payload), allow_pickle=False) as data:
                 return {key: data[key] for key in data.files}
         except Exception:
-            logger.warning("evicting unreadable npz artifact %s/%s", cfg_key, name)
+            logger.warning("quarantining unreadable npz artifact %s/%s", cfg_key, name)
             self.stats.corrupt += 1
-            self._unlink(self._path(cfg_key, name, "npz"))
+            self._quarantine(self._path(cfg_key, name, "npz"))
             return None
 
     def put_arrays(self, cfg_key: str, name: str, arrays: Mapping[str, np.ndarray]) -> None:
@@ -248,9 +364,9 @@ class ArtifactStore:
         try:
             return json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            logger.warning("evicting unreadable json artifact %s/%s", cfg_key, name)
+            logger.warning("quarantining unreadable json artifact %s/%s", cfg_key, name)
             self.stats.corrupt += 1
-            self._unlink(self._path(cfg_key, name, "json"))
+            self._quarantine(self._path(cfg_key, name, "json"))
             return None
 
     def put_json(self, cfg_key: str, name: str, value: Any) -> None:

@@ -1,0 +1,138 @@
+"""Injection choke-point tests: store sites, ambient plan, obs counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.faults import FaultPlan, FaultRule, InjectedFault, inject
+from repro.store import ArtifactStore
+
+KEY = "0" * 24
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no ambient plan."""
+    inject.activate(None)
+    yield
+    inject.activate(None)
+
+
+class TestAmbientPlan:
+    def test_disarmed_fire_is_none(self):
+        assert inject.active_plan() is None
+        assert inject.fire("store.read.corrupt", "traffic/day-000") is None
+
+    def test_activate_returns_previous(self):
+        first, second = FaultPlan(), FaultPlan()
+        assert inject.activate(first) is None
+        assert inject.activate(second) is first
+        assert inject.active_plan() is second
+
+    def test_injecting_scopes_and_restores(self):
+        outer = FaultPlan()
+        inject.activate(outer)
+        with inject.injecting(FaultPlan()) as plan:
+            assert inject.active_plan() is plan
+        assert inject.active_plan() is outer
+
+    def test_injecting_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with inject.injecting(FaultPlan()):
+                raise RuntimeError("boom")
+        assert inject.active_plan() is None
+
+
+class TestCorruptHelper:
+    def test_corrupt_changes_bytes_not_length(self):
+        blob = b"repro-artifact/1 sha256=abc\npayload"
+        damaged = inject.corrupt(blob)
+        assert damaged != blob and len(damaged) == len(blob)
+
+    def test_corrupt_empty_blob(self):
+        assert inject.corrupt(b"") == b"\xff"
+
+
+class TestStoreReadCorrupt:
+    def test_injected_corruption_quarantines_and_heals(self, store):
+        arrays = {"x": np.arange(32)}
+        store.put_arrays(KEY, "traffic/day-000", arrays)
+        plan = FaultPlan([FaultRule("store.read.corrupt", match="traffic/*")])
+        with inject.injecting(plan):
+            assert store.get_arrays(KEY, "traffic/day-000") is None
+        assert plan.fired == {"store.read.corrupt": 1}
+        assert store.stats.corrupt == 1
+        assert store.stats.quarantined == 1
+        assert len(store.quarantined()) == 1
+        # The budget is spent and the entry gone; a re-put heals the key.
+        store.put_arrays(KEY, "traffic/day-000", arrays)
+        with inject.injecting(plan):
+            loaded = store.get_arrays(KEY, "traffic/day-000")
+        np.testing.assert_array_equal(loaded["x"], arrays["x"])
+
+    def test_unmatched_names_read_clean(self, store):
+        store.put_arrays(KEY, "world/arrays", {"x": np.arange(4)})
+        plan = FaultPlan([FaultRule("store.read.corrupt", match="traffic/*")])
+        with inject.injecting(plan):
+            assert store.get_arrays(KEY, "world/arrays") is not None
+        assert plan.fired == {}
+
+
+class TestStoreWriteFaults:
+    def test_enospc_degrades_to_read_only(self, store):
+        store.put_json(KEY, "results/before", {"v": 1})
+        plan = FaultPlan([FaultRule("store.write.enospc", match="metrics/*")])
+        with inject.injecting(plan):
+            store.put_arrays(KEY, "metrics/day-000", {"x": np.arange(4)})
+        assert store.read_only, "ENOSPC must demote the store to read-only"
+        assert store.stats.write_errors == 1
+        assert store.get_arrays(KEY, "metrics/day-000") is None
+        # Later writes are skipped (counted), reads keep serving.
+        store.put_json(KEY, "results/after", {"v": 2})
+        assert store.stats.writes_skipped == 1
+        assert store.get_json(KEY, "results/after") is None
+        assert store.get_json(KEY, "results/before") == {"v": 1}
+
+    def test_partial_write_caught_by_next_read(self, store):
+        plan = FaultPlan([FaultRule("store.write.partial", match="providers/*")])
+        with inject.injecting(plan):
+            store.put_arrays(KEY, "providers/alexa/day-000", {"x": np.arange(64)})
+        assert not store.read_only, "a torn write is not a fatal write error"
+        # The checksummed read detects the truncation and quarantines it.
+        assert store.get_arrays(KEY, "providers/alexa/day-000") is None
+        assert store.stats.corrupt == 1
+        assert len(store.quarantined()) == 1
+
+
+class TestFlaky:
+    def test_fires_only_on_first_attempt(self):
+        plan = FaultPlan([FaultRule("experiment.flaky_first_attempt", match="fig1")])
+        with inject.injecting(plan):
+            with pytest.raises(InjectedFault):
+                inject.check_flaky("fig1", attempt=1)
+            inject.check_flaky("fig1", attempt=2)  # retries run clean
+
+    def test_other_experiments_unaffected(self):
+        plan = FaultPlan([FaultRule("experiment.flaky_first_attempt", match="fig1")])
+        with inject.injecting(plan):
+            inject.check_flaky("fig2", attempt=1)
+
+
+class TestObsIntegration:
+    def test_fires_count_into_the_ambient_tracer(self, store):
+        store.put_arrays(KEY, "traffic/day-000", {"x": np.arange(8)})
+        plan = FaultPlan([FaultRule("store.read.corrupt", match="traffic/*")])
+        tracer = obs.Tracer("chaos")
+        with obs.tracing(tracer), inject.injecting(plan):
+            store.get_arrays(KEY, "traffic/day-000")
+        root = tracer.finish()
+        counters = root.total_counters()
+        assert counters.get("faults.store.read.corrupt") == 1.0
+        assert counters.get("store.quarantined") == 1.0

@@ -1,0 +1,193 @@
+"""FaultPlan/FaultRule tests: matching, budgets, determinism, JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import SITES, FaultPlan, FaultRule, default_chaos_plan
+
+
+class TestFaultRule:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule("store.read.on_fire")
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            FaultRule("worker.crash", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule("worker.crash", probability=-0.1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("worker.crash", max_fires=-1)
+
+    def test_round_trip(self):
+        rule = FaultRule(
+            "worker.hang", match="fig*", probability=0.5, max_fires=3,
+            delay_seconds=12.0, exit_code=7,
+        )
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_defaults_omitted_from_dict(self):
+        payload = FaultRule("store.read.corrupt").to_dict()
+        assert "delay_seconds" not in payload
+        assert "exit_code" not in payload
+
+
+class TestFire:
+    def test_site_and_glob_must_match(self):
+        plan = FaultPlan([FaultRule("store.read.corrupt", match="traffic/*")])
+        assert plan.fire("store.write.enospc", "traffic/day-000") is None
+        assert plan.fire("store.read.corrupt", "world/arrays") is None
+        assert plan.fire("store.read.corrupt", "traffic/day-000") is not None
+
+    def test_max_fires_budget_is_per_key(self):
+        plan = FaultPlan([FaultRule("store.read.corrupt", max_fires=1)])
+        assert plan.fire("store.read.corrupt", "traffic/day-000") is not None
+        assert plan.fire("store.read.corrupt", "traffic/day-000") is None
+        # A different key has its own occurrence counter.
+        assert plan.fire("store.read.corrupt", "traffic/day-001") is not None
+
+    def test_explicit_occurrence_does_not_advance_counter(self):
+        plan = FaultPlan([FaultRule("worker.crash", max_fires=1)])
+        # Submission 1 (occurrence 0) fires; submission 2 (occurrence 1)
+        # is over budget — the recovery run is guaranteed clean.
+        assert plan.fire("worker.crash", "fig1", occurrence=0) is not None
+        assert plan.fire("worker.crash", "fig1", occurrence=1) is None
+        # Replaying occurrence 0 still fires: the decision is a pure
+        # function, not a consumable.
+        assert plan.fire("worker.crash", "fig1", occurrence=0) is not None
+
+    def test_first_matching_rule_wins(self):
+        specific = FaultRule("store.read.corrupt", match="traffic/*", exit_code=9)
+        blanket = FaultRule("store.read.corrupt", match="*")
+        plan = FaultPlan([specific, blanket])
+        assert plan.fire("store.read.corrupt", "traffic/day-000") is specific
+        assert plan.fire("store.read.corrupt", "world/arrays") is blanket
+
+    def test_fired_tally_by_site(self):
+        plan = FaultPlan([
+            FaultRule("store.read.corrupt", max_fires=2),
+            FaultRule("store.write.enospc"),
+        ])
+        plan.fire("store.read.corrupt", "traffic/day-000")
+        plan.fire("store.read.corrupt", "traffic/day-001")
+        plan.fire("store.write.enospc", "metrics/day-000")
+        assert plan.fired == {"store.read.corrupt": 2, "store.write.enospc": 1}
+        snapshot = plan.fired_snapshot()
+        snapshot["store.read.corrupt"] = 99
+        assert plan.fired["store.read.corrupt"] == 2, "snapshot is a copy"
+
+
+class TestDeterminism:
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan([FaultRule("store.read.corrupt", probability=0.0,
+                                    max_fires=100)])
+        assert all(
+            plan.fire("store.read.corrupt", f"traffic/day-{i:03d}") is None
+            for i in range(50)
+        )
+
+    def test_probability_one_always_fires(self):
+        plan = FaultPlan([FaultRule("store.read.corrupt", probability=1.0,
+                                    max_fires=100)])
+        assert all(
+            plan.fire("store.read.corrupt", f"traffic/day-{i:03d}") is not None
+            for i in range(50)
+        )
+
+    def test_fractional_probability_is_seed_stable(self):
+        def decisions(seed):
+            plan = FaultPlan(
+                [FaultRule("store.read.corrupt", probability=0.5, max_fires=10**6)],
+                seed=seed,
+            )
+            return [
+                plan.fire("store.read.corrupt", f"traffic/day-{i:03d}") is not None
+                for i in range(200)
+            ]
+
+        first, second = decisions(7), decisions(7)
+        assert first == second, "same seed must replay bit-for-bit"
+        assert decisions(8) != first, "different seeds must diverge"
+        assert 40 < sum(first) < 160, "p=0.5 should fire roughly half the time"
+
+    def test_decision_independent_of_other_sites(self):
+        # Interleaving fires at another site must not perturb decisions:
+        # they hash (seed, rule, site, key, occurrence), not call order.
+        rules = [
+            FaultRule("store.read.corrupt", probability=0.5, max_fires=10**6),
+            FaultRule("store.write.enospc", probability=0.5, max_fires=10**6),
+        ]
+        quiet, noisy = FaultPlan(rules, seed=3), FaultPlan(rules, seed=3)
+        outcomes_quiet = []
+        outcomes_noisy = []
+        for i in range(100):
+            key = f"traffic/day-{i:03d}"
+            outcomes_quiet.append(quiet.fire("store.read.corrupt", key) is not None)
+            noisy.fire("store.write.enospc", f"metrics/day-{i:03d}")
+            outcomes_noisy.append(noisy.fire("store.read.corrupt", key) is not None)
+        assert outcomes_quiet == outcomes_noisy
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultRule("store.read.corrupt", match="traffic/*", probability=0.25),
+                FaultRule("worker.hang", match="fig3", delay_seconds=60.0),
+            ],
+            seed=42,
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.seed == 42
+        assert clone.rules == plan.rules
+        assert clone.fired == {}, "fire accounting never serializes"
+
+    def test_from_json_rejects_unknown_site(self):
+        text = json.dumps({"seed": 0, "rules": [{"site": "nope"}]})
+        with pytest.raises(ValueError):
+            FaultPlan.from_json(text)
+
+
+class TestDefaultChaosPlan:
+    NAMES = ["fig1", "fig2", "table1", "survey"]
+
+    def test_covers_every_site(self):
+        plan = default_chaos_plan(1337, self.NAMES)
+        assert sorted(rule.site for rule in plan.rules) == sorted(SITES)
+        assert plan.seed == 1337
+
+    def test_worker_victims_drawn_from_names(self):
+        plan = default_chaos_plan(1337, self.NAMES)
+        victims = {
+            rule.site: rule.match
+            for rule in plan.rules
+            if rule.site.startswith(("worker.", "experiment."))
+        }
+        assert set(victims.values()) <= set(self.NAMES)
+
+    def test_victims_rotate_with_seed(self):
+        def victims(seed):
+            return tuple(
+                rule.match
+                for rule in default_chaos_plan(seed, list(range(20)) and
+                                               [f"e{i}" for i in range(20)]).rules
+                if rule.site.startswith(("worker.", "experiment."))
+            )
+
+        assert victims(1) == victims(1)
+        assert any(victims(s) != victims(1) for s in (2, 3, 4, 5))
+
+    def test_hang_outlasts_requested_deadline(self):
+        plan = default_chaos_plan(0, self.NAMES, hang_seconds=480.0)
+        hang = next(r for r in plan.rules if r.site == "worker.hang")
+        assert hang.delay_seconds == 480.0
+
+    def test_empty_names_fall_back_to_wildcard(self):
+        plan = default_chaos_plan(0, [])
+        crash = next(r for r in plan.rules if r.site == "worker.crash")
+        assert crash.match == "*"

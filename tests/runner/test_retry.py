@@ -1,0 +1,114 @@
+"""RetryPolicy tests: schedule math, determinism, runner integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import experiments as experiments_mod
+from repro.core.experiments import SPECS, ExperimentResult, ExperimentSpec
+from repro.core.pipeline import clear_contexts
+from repro.runner import NO_RETRY, RetryPolicy, run_experiments
+from repro.worldgen.config import WorldConfig
+
+_CONFIG = WorldConfig(n_sites=400, n_days=4, seed=11)
+
+_CALLS = {"count": 0}
+
+
+def _twice_flaky_experiment(ctx) -> ExperimentResult:
+    _CALLS["count"] += 1
+    if _CALLS["count"] <= 2:
+        raise RuntimeError(f"transient failure {_CALLS['count']}")
+    return ExperimentResult(
+        name="twice_flaky", title="Twice Flaky", data={}, text="third time lucky"
+    )
+
+
+@pytest.fixture()
+def registry(monkeypatch):
+    extended = dict(SPECS)
+    extended["twice_flaky"] = ExperimentSpec(
+        id="twice_flaky", title="Twice Flaky", fn=_twice_flaky_experiment,
+        tags=("test",), required_artifacts=(),
+    )
+    monkeypatch.setattr(experiments_mod, "SPECS", extended)
+    monkeypatch.setattr("repro.runner.parallel.SPECS", extended)
+    _CALLS["count"] = 0
+    clear_contexts()
+    return extended
+
+
+class TestPolicyValidation:
+    def test_defaults_are_two_attempts(self):
+        policy = RetryPolicy()
+        assert list(policy.attempts()) == [1, 2]
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_shrinking_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_jitter_bounds(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestSchedule:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5,
+            jitter=0.0,
+        )
+        delays = [policy.delay(n) for n in range(1, 6)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.25)
+        assert policy.delay(1, "fig1") == policy.delay(1, "fig1")
+        assert policy.delay(1, "fig1") != policy.delay(1, "fig2")
+        for key in ("fig1", "fig2", "table1"):
+            assert 0.75 <= policy.delay(1, key) <= 1.25
+
+    def test_no_retry_sentinel(self):
+        assert list(NO_RETRY.attempts()) == [1]
+
+    def test_json_round_trip(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01, multiplier=3.0,
+                             max_delay=1.5, jitter=0.1)
+        assert RetryPolicy.from_json(policy.to_json()) == policy
+
+
+class TestRunnerIntegration:
+    def test_three_attempt_policy_outlasts_double_flake(self, registry):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0)
+        payloads, manifest, _ = run_experiments(
+            ["twice_flaky"], _CONFIG, retry=policy
+        )
+        outcome = manifest.outcomes[0]
+        assert payloads[0]["ok"] and payloads[0]["text"] == "third time lucky"
+        assert outcome.attempts == 3
+        assert len(outcome.per_attempt) == 3
+        assert outcome.seconds >= sum(outcome.per_attempt)
+
+    def test_default_policy_gives_up_after_two(self, registry):
+        payloads, manifest, _ = run_experiments(["twice_flaky"], _CONFIG)
+        assert not payloads[0]["ok"]
+        assert manifest.outcomes[0].attempts == 2
+        assert "transient failure 2" in manifest.outcomes[0].error
+
+    def test_single_attempt_policy_never_retries(self, registry):
+        payloads, manifest, _ = run_experiments(
+            ["twice_flaky"], _CONFIG, retry=NO_RETRY
+        )
+        assert not payloads[0]["ok"]
+        assert manifest.outcomes[0].attempts == 1
+        assert _CALLS["count"] == 1

@@ -43,6 +43,12 @@ def _broken_experiment(ctx) -> ExperimentResult:
     raise ValueError("always broken")
 
 
+def _dying_experiment(ctx) -> ExperimentResult:
+    import os as _os
+
+    _os._exit(9)  # simulated OOM-kill: the worker vanishes mid-task
+
+
 def _spec(name, fn):
     return ExperimentSpec(
         id=name, title=name.title(), fn=fn, tags=("test",), required_artifacts=()
@@ -57,6 +63,7 @@ def registry(monkeypatch):
         ("tiny", _tiny_experiment),
         ("flaky", _flaky_experiment),
         ("broken", _broken_experiment),
+        ("dying", _dying_experiment),
     ):
         extended[name] = _spec(name, fn)
     monkeypatch.setattr(experiments_mod, "SPECS", extended)
@@ -110,6 +117,22 @@ class TestInlineRunner:
         assert manifest.outcomes[0].attempts == 2
         assert manifest.outcomes[0].error is None
 
+    def test_seconds_are_cumulative_across_attempts(self, registry):
+        # The manifest used to report only the final attempt's wall time,
+        # hiding the failed first attempt entirely.
+        _, manifest, _ = run_experiments(["flaky"], _CONFIG)
+        outcome = manifest.outcomes[0]
+        assert len(outcome.per_attempt) == 2
+        assert all(seconds > 0 for seconds in outcome.per_attempt)
+        # Cumulative wall includes the attempts plus the retry backoff.
+        assert outcome.seconds >= sum(outcome.per_attempt)
+
+    def test_single_attempt_per_attempt_shape(self, registry):
+        _, manifest, _ = run_experiments(["tiny"], _CONFIG)
+        outcome = manifest.outcomes[0]
+        assert len(outcome.per_attempt) == 1
+        assert outcome.seconds >= outcome.per_attempt[0]
+
     def test_result_artifact_persisted(self, registry, tmp_path):
         store_dir = tmp_path / "store"
         run_experiments(["tiny"], _CONFIG, cache_dir=store_dir)
@@ -148,9 +171,26 @@ class TestInlineRunner:
 
 
 class TestPoolRunner:
+    def test_worker_death_does_not_fabricate_attempts(self, registry, tmp_path):
+        # A pool worker that dies (OOM-kill shape) must be reported with
+        # attempts=0 (the true count is unknown) and elapsed-since-submit
+        # timing — and, since the pool is poisoned, never hang the batch.
+        # Workers fork, so they inherit the monkeypatched registry.
+        payloads, manifest, _ = run_experiments(
+            ["dying", "tiny"], _CONFIG, jobs=2, cache_dir=tmp_path / "store"
+        )
+        dying = next(o for o in manifest.outcomes if o.name == "dying")
+        assert not dying.ok
+        assert dying.worker_died
+        assert dying.attempts == 0
+        assert dying.seconds > 0, "elapsed-since-submit, never fabricated"
+        assert dying.worker_pid == 0, "the reporting pid is unknown"
+        assert manifest.faults is not None
+        assert manifest.faults["worker_deaths"] >= 1
+
     def test_keep_data_crosses_the_pool(self, tmp_path):
-        # Real registry entries: worker processes cannot see monkeypatched
-        # synthetic experiments, so use the two cheapest genuine ones.
+        # Real registry entries: keeps the pool test meaningful even under
+        # spawn semantics, using the two cheapest genuine experiments.
         payloads, manifest, _ = run_experiments(
             ["survey", "table1"], _CONFIG, jobs=2, cache_dir=tmp_path / "store",
             keep_data=True,

@@ -1,0 +1,152 @@
+"""Quarantine and read-only-degradation tests for the artifact store.
+
+These cover the failure paths an unattended chaos soak leans on: corrupt
+blobs must stay inspectable (bounded), an unwritable root must demote the
+store instead of crashing the run, and a racing quarantine must fall back
+to plain eviction.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import MAX_QUARANTINE, ArtifactStore
+
+KEY = "0" * 24
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+def _corrupt_on_disk(store: ArtifactStore, suffix: str = "") -> None:
+    """Flip bytes of every live entry matching ``suffix``."""
+    for entry in store.entries():
+        if suffix and suffix not in entry.key:
+            continue
+        path = store.root / entry.key
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-4] + bytes(b ^ 0xFF for b in blob[-4:]))
+
+
+class TestQuarantine:
+    def test_corrupt_read_moves_blob_to_quarantine(self, store):
+        store.put_arrays(KEY, "traffic/day-000", {"x": np.arange(64)})
+        _corrupt_on_disk(store)
+        assert store.get_arrays(KEY, "traffic/day-000") is None
+        assert store.stats.quarantined == 1
+        residents = store.quarantined()
+        assert len(residents) == 1
+        assert residents[0].key.startswith("quarantine/")
+        assert "traffic" in residents[0].key
+        # The live slot is empty; the quarantined bytes are preserved.
+        assert store.entries() == []
+        assert (store.root / residents[0].key).stat().st_size > 0
+
+    def test_unparseable_npz_quarantined(self, store):
+        # A valid checksum over garbage bytes: corruption happened before
+        # the write, so the header check passes but np.load fails.
+        store._write_payload(KEY, "world/arrays", "npz", b"not an npz")
+        assert store.get_arrays(KEY, "world/arrays") is None
+        assert store.stats.quarantined == 1
+
+    def test_unparseable_json_quarantined(self, store):
+        store._write_payload(KEY, "results/fig1", "json", b"{truncated")
+        assert store.get_json(KEY, "results/fig1") is None
+        assert store.stats.quarantined == 1
+
+    def test_quarantine_is_bounded(self, store):
+        for i in range(MAX_QUARANTINE + 5):
+            name = f"traffic/day-{i:03d}"
+            store.put_arrays(KEY, name, {"x": np.arange(8)})
+            _corrupt_on_disk(store, suffix=f"day-{i:03d}")
+            store.get_arrays(KEY, name)
+        assert store.stats.quarantined == MAX_QUARANTINE + 5
+        assert len(store.quarantined()) == MAX_QUARANTINE
+
+    def test_quarantine_excluded_from_store_accounting(self, store):
+        store.put_arrays(KEY, "traffic/day-000", {"x": np.arange(64)})
+        _corrupt_on_disk(store)
+        store.get_arrays(KEY, "traffic/day-000")
+        assert store.total_bytes() == 0, "quarantined bytes never count"
+        store.put_arrays(KEY, "traffic/day-000", {"x": np.arange(64)})
+        assert len(store.entries()) == 1
+
+    def test_quarantine_move_failure_falls_back_to_eviction(
+        self, store, monkeypatch
+    ):
+        store.put_arrays(KEY, "traffic/day-000", {"x": np.arange(16)})
+        _corrupt_on_disk(store)
+
+        real_replace = os.replace
+
+        def racing_replace(src, dst):
+            if "quarantine" in str(dst):
+                raise FileNotFoundError(src)  # another process won the race
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", racing_replace)
+        assert store.get_arrays(KEY, "traffic/day-000") is None
+        assert store.quarantined() == []
+        assert store.stats.quarantined == 0
+        assert store.entries() == [], "the corrupt entry is still evicted"
+
+    def test_clear_empties_quarantine_too(self, store):
+        store.put_arrays(KEY, "traffic/day-000", {"x": np.arange(16)})
+        _corrupt_on_disk(store)
+        store.get_arrays(KEY, "traffic/day-000")
+        assert store.quarantined()
+        store.clear()
+        assert store.quarantined() == []
+
+
+class TestReadOnlyDegradation:
+    def _make_unwritable(self, monkeypatch):
+        # The suite runs as root in containers, so chmod-based read-only
+        # roots don't refuse writes; fail the publish syscall instead.
+        def refusing_replace(src, dst):
+            raise OSError(errno.EROFS, "read-only file system", str(dst))
+
+        monkeypatch.setattr(os, "replace", refusing_replace)
+
+    def test_write_failure_demotes_once_and_keeps_reads(
+        self, store, monkeypatch
+    ):
+        store.put_json(KEY, "results/before", {"v": 1})
+        self._make_unwritable(monkeypatch)
+        store.put_json(KEY, "results/lost", {"v": 2})
+        assert store.read_only
+        assert store.stats.write_errors == 1
+        monkeypatch.undo()
+        # Demotion is sticky even after the filesystem recovers: the
+        # store warns once and skips, rather than flip-flopping.
+        store.put_json(KEY, "results/also-lost", {"v": 3})
+        assert store.stats.writes_skipped == 1
+        assert store.get_json(KEY, "results/also-lost") is None
+        assert store.get_json(KEY, "results/before") == {"v": 1}
+
+    def test_transient_write_error_does_not_demote(self, store, monkeypatch):
+        def flaky_replace(src, dst):
+            raise OSError(errno.EIO, "I/O error", str(dst))
+
+        monkeypatch.setattr(os, "replace", flaky_replace)
+        store.put_json(KEY, "results/x", {"v": 1})
+        assert not store.read_only
+        assert store.stats.write_errors == 1
+        monkeypatch.undo()
+        store.put_json(KEY, "results/x", {"v": 1})
+        assert store.get_json(KEY, "results/x") == {"v": 1}
+
+    def test_no_tmp_litter_after_failed_write(self, store, monkeypatch):
+        self._make_unwritable(monkeypatch)
+        store.put_json(KEY, "results/x", {"v": 1})
+        monkeypatch.undo()
+        leftovers = [
+            p for p in store.root.rglob(".*tmp*") if p.is_file()
+        ]
+        assert leftovers == []
