@@ -27,6 +27,13 @@ Command families, all dispatched through one table in :func:`main`:
   the registry under a deterministic fault-injection plan (corrupt reads,
   disk-full writes, worker crashes and hangs) and require every experiment
   to finish golden-clean anyway (``repro.faults``).
+* ``repro serve [--port N] [--jobs N] [--deadline-ms N]`` — the resilient
+  metrics service: precomputed results over HTTP with per-request
+  deadlines, bounded-queue load shedding (503 + ``Retry-After``), a
+  circuit breaker around store reads (last-known-good fallback), and
+  graceful drain on SIGTERM.  ``--fault-plan plan.json`` injects faults
+  under live traffic; ``--selftest`` replays a deterministic chaos mix
+  against a live instance and asserts availability (``repro.serve``).
 
 Exit codes are uniform across every command: 0 on success, 1 on
 experiment failure / golden drift / invariant violation, 2 on usage
@@ -49,6 +56,8 @@ Examples::
     repro all --jobs 4 --timeout 300  # per-experiment deadlines
     repro all --resume run.json       # re-run only what isn't done yet
     repro chaos --seed 1337           # full registry under fault injection
+    repro all --quick && repro serve --quick   # serve golden-scale results
+    repro serve --selftest --quick    # resilience selftest (chaos + drain)
 """
 
 from __future__ import annotations
@@ -184,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from a prior run manifest: skip experiments it marks "
              "ok whose cached result blob still verifies",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run at golden scale (the CI smoke configuration) — the same "
+             "config `repro serve --quick` reads back",
+    )
     return parser
 
 
@@ -290,7 +304,7 @@ def _run_experiments(argv: List[str]) -> int:
             line = f"  {spec.id:10s} {spec.summary}"
             print(line + (f"  [{tags}]" if tags else ""))
         print("\nother commands: bench, export, recommend, validate, summary, "
-              "cache, verify-goldens, verify-invariants, chaos")
+              "cache, verify-goldens, verify-invariants, chaos, serve")
         return EXIT_OK
 
     names = list(SPECS) if args.experiment == "all" else [args.experiment]
@@ -303,7 +317,13 @@ def _run_experiments(argv: List[str]) -> int:
 
     from repro.runner import run_experiments
 
-    config = WorldConfig.from_args(args, base=BENCH_CONFIG)
+    if args.quick:
+        from repro.qa.goldens import GOLDEN_CONFIG
+
+        base = GOLDEN_CONFIG
+    else:
+        base = BENCH_CONFIG
+    config = WorldConfig.from_args(args, base=base)
     cache_dir = _cache_dir_from_args(args)
     jobs = max(1, args.jobs)
     trace = bool(args.trace or args.trace_out)
@@ -806,6 +826,182 @@ def _run_chaos(argv: List[str]) -> int:
     return EXIT_OK
 
 
+def _run_serve(argv: List[str]) -> int:
+    """Serve precomputed results over HTTP (or run the resilience selftest)."""
+    from repro.faults import FaultPlan
+    from repro.faults import inject as fault_inject
+    from repro.qa.goldens import GOLDEN_CONFIG, default_golden_dir
+    from repro.serve import AccessLog, MetricsService, ServeSettings
+    from repro.serve.server import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Resilient metrics service: expose precomputed results over "
+            "HTTP (/v1/experiments, /v1/lists/<provider>/<day>, /healthz, "
+            "/readyz, /metricz) with per-request deadlines, bounded-queue "
+            "load shedding, a circuit breaker around artifact-store reads "
+            "(last-known-good fallback + store repair), and graceful drain "
+            "on SIGTERM/SIGINT."
+        ),
+        parents=[_world_parent(BENCH_CONFIG), _cache_parent()],
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, metavar="N",
+                        help=f"bind port (default {DEFAULT_PORT}; 0 picks "
+                             "an ephemeral port)")
+    parser.add_argument("--jobs", type=int, default=8, metavar="N",
+                        help="max concurrent /v1 requests (default 8); "
+                             "beyond this requests queue, then shed")
+    parser.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                        help="requests allowed to wait for a slot before "
+                             "shedding (default 16)")
+    parser.add_argument("--deadline-ms", type=float, default=1000.0, metavar="MS",
+                        help="per-request budget for /v1 endpoints "
+                             "(default 1000)")
+    parser.add_argument("--drain-seconds", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="budget for finishing in-flight requests on "
+                             "SIGTERM (default 5)")
+    parser.add_argument("--breaker-threshold", type=int, default=3, metavar="N",
+                        help="consecutive store-read failures that open the "
+                             "circuit (default 3)")
+    parser.add_argument("--breaker-cooldown", type=float, default=None,
+                        metavar="SECONDS",
+                        help="open time before a half-open probe "
+                             "(default 1.0 serving, 0.4 under --selftest)")
+    parser.add_argument("--fault-plan", default=None, metavar="PATH",
+                        help="inject faults from this plan JSON under live "
+                             "traffic (see repro.faults)")
+    parser.add_argument("--access-log", default=None, metavar="PATH",
+                        help="append structured logfmt access log here")
+    parser.add_argument("--golden-dir", default=None, metavar="DIR",
+                        help="golden snapshot directory for warmup "
+                             "verification (default: nearest tests/golden)")
+    parser.add_argument("--experiment", action="append", default=[],
+                        metavar="NAME",
+                        help="expose only this experiment (repeatable; "
+                             "default: the whole registry)")
+    parser.add_argument("--quick", action="store_true",
+                        help="serve at golden scale (the config "
+                             "`repro all --quick` populates)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="boot the service on an ephemeral port, replay "
+                             "a deterministic chaos request mix, assert "
+                             "availability / golden bodies / shed headers / "
+                             "breaker cycle / clean drain, then exit")
+    parser.add_argument("--clients", type=int, default=3, metavar="N",
+                        help="selftest: concurrent client threads (default 3)")
+    parser.add_argument("--min-requests", type=int, default=400, metavar="N",
+                        help="selftest: minimum chaos-mix volume (default 400)")
+    parser.add_argument("--chaos-seed", type=int, default=1337, metavar="N",
+                        help="selftest: fault-plan seed (default 1337)")
+    args = parser.parse_args(argv)
+
+    unknown = [name for name in args.experiment if name not in SPECS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return EXIT_USAGE
+    cache_dir = _cache_dir_from_args(args)
+    if cache_dir is None:
+        print("repro serve reads precomputed results from the artifact "
+              "store; it cannot run with --no-cache", file=sys.stderr)
+        return EXIT_USAGE
+    config = WorldConfig.from_args(
+        args, base=GOLDEN_CONFIG if args.quick else BENCH_CONFIG
+    )
+    plan = None
+    if args.fault_plan is not None:
+        try:
+            plan = FaultPlan.from_json(Path(args.fault_plan).read_text())
+        except (OSError, ValueError) as error:
+            print(f"unreadable fault plan {args.fault_plan}: {error}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    if args.golden_dir is not None:
+        golden_dir = Path(args.golden_dir)
+    else:
+        try:
+            golden_dir = Path(default_golden_dir())
+        except (OSError, FileNotFoundError):
+            golden_dir = None
+    settings = ServeSettings(
+        host=args.host,
+        port=0 if args.selftest else args.port,
+        max_inflight=max(1, args.jobs),
+        queue_depth=max(0, args.queue_depth),
+        deadline_ms=args.deadline_ms,
+        drain_seconds=args.drain_seconds,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=(
+            args.breaker_cooldown if args.breaker_cooldown is not None
+            else (0.4 if args.selftest else 1.0)
+        ),
+    )
+    access_log = AccessLog(args.access_log) if args.access_log else AccessLog()
+
+    if args.selftest:
+        from repro.serve.selftest import DEFAULT_SELFTEST_NAMES, run_selftest
+
+        names = args.experiment or list(DEFAULT_SELFTEST_NAMES)
+        print(f"[selftest: {len(names)} experiment(s); world: "
+              f"{config.n_sites} sites, {config.n_days} days, seed "
+              f"{config.seed}; cache {cache_dir}]\n")
+        report = run_selftest(
+            config,
+            cache_dir,
+            names=names,
+            plan=plan,
+            seed=args.chaos_seed,
+            clients=max(1, args.clients),
+            settings=settings,
+            golden_dir=golden_dir,
+            access_log=access_log,
+            jobs=max(1, args.jobs),
+            min_requests=max(1, args.min_requests),
+        )
+        print(report.render())
+        if args.access_log:
+            print(f"\n[access log: {args.access_log}]")
+        return EXIT_OK if report.ok else EXIT_FAILURE
+
+    store = ArtifactStore(cache_dir, _default_max_bytes())
+    service = MetricsService(
+        config,
+        store,
+        settings=settings,
+        names=args.experiment or None,
+        golden_dir=golden_dir,
+        access_log=access_log,
+    )
+    if plan is not None:
+        fault_inject.activate(plan)
+        print(f"[fault plan armed: seed {plan.seed}, "
+              f"{len(plan.rules)} rule(s)]")
+    print(f"[warming: {config.n_sites} sites, {config.n_days} days, seed "
+          f"{config.seed}; cache {cache_dir}]")
+    statuses = service.warm()
+    available = sum(1 for status in statuses.values() if status == "ok")
+    for name, status in sorted(statuses.items()):
+        if status != "ok":
+            print(f"[{name}: {status} — run `repro all"
+                  f"{' --quick' if args.quick else ''}` to populate]",
+                  file=sys.stderr)
+    try:
+        print(f"[serving {available}/{len(statuses)} experiment(s) on "
+              f"http://{service.host}:{settings.port or '(ephemeral)'} — "
+              "Ctrl-C or SIGTERM to drain]")
+        try:
+            return service.run_forever()
+        except OSError as error:
+            print(f"cannot bind {service.host}:{settings.port}: {error}",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+    finally:
+        fault_inject.activate(None)
+
+
 #: Subcommand dispatch table; anything not listed is an experiment id.
 _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "export": _run_export,
@@ -817,6 +1013,7 @@ _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "verify-goldens": _run_verify_goldens,
     "verify-invariants": _run_verify_invariants,
     "chaos": _run_chaos,
+    "serve": _run_serve,
 }
 
 

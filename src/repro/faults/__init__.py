@@ -15,13 +15,20 @@ from repro.faults.inject import (
     fire,
     injecting,
 )
-from repro.faults.plan import SITES, FaultPlan, FaultRule, default_chaos_plan
+from repro.faults.plan import (
+    SITES,
+    FaultPlan,
+    FaultRule,
+    default_chaos_plan,
+    default_serve_plan,
+)
 
 __all__ = [
     "SITES",
     "FaultPlan",
     "FaultRule",
     "default_chaos_plan",
+    "default_serve_plan",
     "InjectedFault",
     "activate",
     "active_plan",

@@ -32,17 +32,26 @@ from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["SITES", "FaultRule", "FaultPlan", "default_chaos_plan"]
+__all__ = [
+    "SITES",
+    "FaultRule",
+    "FaultPlan",
+    "default_chaos_plan",
+    "default_serve_plan",
+]
 
 #: Every injection site wired into the pipeline.  ``store.*`` sites key on
-#: artifact names, ``worker.*`` and ``experiment.*`` sites on experiment ids.
+#: artifact names, ``worker.*`` and ``experiment.*`` sites on experiment
+#: ids, and ``serve.*`` sites on HTTP request paths.
 SITES: Tuple[str, ...] = (
     "store.read.corrupt",
+    "store.read.slow",
     "store.write.enospc",
     "store.write.partial",
     "worker.crash",
     "worker.hang",
     "experiment.flaky_first_attempt",
+    "serve.request.error",
 )
 
 
@@ -59,7 +68,8 @@ class FaultRule:
           process; for worker sites it caps fires per *submission index*,
           which is what lets a killed worker's resubmission run clean.
         delay_seconds: sleep length for ``worker.hang`` (default 3600 —
-          anything longer than any sane deadline).
+          anything longer than any sane deadline) and ``store.read.slow``
+          (default 0.25 — long enough to trip a serving-path breaker).
         exit_code: process exit status for ``worker.crash``.
     """
 
@@ -207,7 +217,9 @@ def _shuffled(names: Sequence[str], seed: int) -> List[str]:
 def default_chaos_plan(
     seed: int, names: Sequence[str], hang_seconds: float = 3600.0
 ) -> FaultPlan:
-    """The built-in ``repro chaos`` plan: one of everything.
+    """The built-in ``repro chaos`` plan: one of everything on the
+    runner path (the serving-path sites belong to
+    :func:`default_serve_plan`).
 
     Injects exactly one corruption, one ENOSPC, one partial write, one
     worker crash, one worker hang, and one flaky first attempt, with the
@@ -230,6 +242,35 @@ def default_chaos_plan(
             FaultRule("worker.crash", match=pick(0)),
             FaultRule("worker.hang", match=pick(1), delay_seconds=hang_seconds),
             FaultRule("experiment.flaky_first_attempt", match=pick(2)),
+        ],
+        seed=seed,
+    )
+
+
+def default_serve_plan(seed: int, slow_seconds: float = 0.15) -> FaultPlan:
+    """The built-in ``repro serve --selftest`` plan: serving-path faults.
+
+    Per results key, the first live read is injected slow *and* corrupt
+    (``max_fires`` budgets are per ``(rule, key)``), so under traffic the
+    service must quarantine the blob, trip its circuit breaker on the
+    consecutive failures, answer from last-known-good while open, repair
+    the store copy, and re-close the breaker once every key's fault budget
+    is spent.  One request on the lists surface also takes an injected
+    internal error, exercising the 5xx accounting path.
+
+    Args:
+        seed: plan seed (decides nothing here — every rule is
+          deterministic with probability 1 — but keeps replay commands
+          self-describing, and custom plans may lower probabilities).
+        slow_seconds: injected read latency; keep it above the breaker's
+          slow-read threshold and well below the request deadline.
+    """
+    return FaultPlan(
+        rules=[
+            FaultRule("store.read.slow", match="results/*",
+                      delay_seconds=slow_seconds),
+            FaultRule("store.read.corrupt", match="results/*"),
+            FaultRule("serve.request.error", match="/v1/lists/*"),
         ],
         seed=seed,
     )

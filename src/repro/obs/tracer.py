@@ -26,6 +26,7 @@ Chrome ``chrome://tracing`` / Perfetto trace events
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
@@ -176,6 +177,7 @@ class Tracer:
         self._stack: List[Span] = [self.root]
         self._epoch = time.perf_counter()
         self._finished = False
+        self._root_lock = threading.Lock()
 
     @property
     def current(self) -> Span:
@@ -199,6 +201,18 @@ class Tracer:
     def count(self, name: str, n: float = 1.0) -> None:
         """Increment a counter on the innermost open span."""
         self._stack[-1].add(name, n)
+
+    def count_root(self, name: str, n: float = 1.0) -> None:
+        """Thread-safe counter increment on the *root* span.
+
+        The span stack is single-threaded by design, but a long-lived
+        multi-threaded consumer (``repro.serve`` handles each request on
+        its own thread) still wants one shared set of service counters.
+        Those go straight onto the root span under a lock, bypassing the
+        stack entirely.
+        """
+        with self._root_lock:
+            self.root.add(name, n)
 
     def finish(self) -> Span:
         """Close the root span (idempotent) and return it."""

@@ -188,6 +188,11 @@ def _execute(
                 inject.check_flaky(name, attempt)
                 ctx = experiment_context(config=config, store=store)
                 result = run_experiment(name, ctx)
+        except (KeyboardInterrupt, SystemExit):
+            # The retry loop continues after a failure; an interrupt or an
+            # explicit shutdown must escape it, never become a "retryable
+            # experiment error" in the manifest.
+            raise
         except Exception:
             error = traceback.format_exc(limit=12)
             per_attempt.append(time.perf_counter() - started)
@@ -473,6 +478,12 @@ def run_experiments(
                         name = futures[future]
                         try:
                             payloads[name] = future.result()
+                        except (KeyboardInterrupt, SystemExit):
+                            # Handled by the enclosing KeyboardInterrupt
+                            # block / the caller — a worker-death payload
+                            # would silently swallow the shutdown and keep
+                            # draining the pool.
+                            raise
                         except Exception:
                             # The worker died (e.g. OOM-killed) without
                             # reporting: the attempt count is unknown (0)

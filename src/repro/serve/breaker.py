@@ -1,0 +1,210 @@
+"""Circuit breaking around the artifact-store read path.
+
+The metrics service's one real dependency is the artifact store, and a
+store can misbehave three ways under load: corrupt blobs (checksum
+failures → quarantine), vanished blobs (quarantined or evicted), and
+slow reads (cold disk, injected latency).  Hammering a sick dependency
+makes every request slow; the :class:`CircuitBreaker` stops that:
+
+* **closed** — reads flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: reads are skipped entirely and requests answer from
+  the bounded :class:`LastKnownGood` cache (every body in it was
+  golden-verified when it was cached, so availability never costs
+  correctness).
+* **half-open** — after ``cooldown_seconds`` one probe request is let
+  through; success closes the breaker, failure re-opens it and restarts
+  the cooldown.
+
+The breaker is deliberately tiny and clock-injectable so its state
+machine is exhaustively unit-testable; transitions are reported through
+an optional callback, which the server wires to the access log
+(``event=breaker.open`` / ``breaker.close`` lines are what the selftest
+asserts on).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["BreakerState", "CircuitBreaker", "LastKnownGood"]
+
+
+class BreakerState:
+    """The three breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probes.
+
+    Args:
+        failure_threshold: consecutive failures that trip the breaker.
+        cooldown_seconds: time the breaker stays open before allowing a
+          half-open probe.
+        on_transition: optional ``(old_state, new_state, reason)``
+          callback, invoked outside the lock.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 1.0,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.on_transition = on_transition
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+        self.failures_total = 0
+
+    @property
+    def state(self) -> str:
+        """Current state (open flips to half-open lazily on inquiry)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+
+    def _transition(self, new_state: str, reason: str) -> Optional[Tuple[str, str, str]]:
+        old = self._state
+        self._state = new_state
+        return None if old == new_state else (old, new_state, reason)
+
+    def _notify(self, event: Optional[Tuple[str, str, str]]) -> None:
+        if event is not None and self.on_transition is not None:
+            self.on_transition(*event)
+
+    # ------------------------------------------------------------------
+    # The protocol: allow() → do the read → record_success()/failure().
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt the protected read now.
+
+        Closed: always.  Open: never (serve last-known-good).  Half-open:
+        exactly one caller gets to probe; everyone else is treated as
+        open until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BreakerState.CLOSED:
+                return True
+            if self._state == BreakerState.HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                self.probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The protected read worked; close from half-open, reset counts."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            event = None
+            if self._state != BreakerState.CLOSED:
+                self.closes += 1
+                event = self._transition(BreakerState.CLOSED, "probe_succeeded")
+        self._notify(event)
+
+    def record_failure(self, reason: str = "failure") -> None:
+        """The protected read failed; trip on threshold or failed probe."""
+        with self._lock:
+            self.failures_total += 1
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            event = None
+            if self._state == BreakerState.HALF_OPEN:
+                self._opened_at = self._clock()
+                self.opens += 1
+                event = self._transition(BreakerState.OPEN, f"probe_failed:{reason}")
+            elif (
+                self._state == BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self.opens += 1
+                event = self._transition(BreakerState.OPEN, reason)
+        self._notify(event)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state for ``/metricz``."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_seconds": self.cooldown_seconds,
+                "opens": self.opens,
+                "closes": self.closes,
+                "probes": self.probes,
+                "failures_total": self.failures_total,
+            }
+
+
+class LastKnownGood:
+    """Bounded LRU of the last good (golden-verified) response bodies.
+
+    While the breaker is open — or a read comes back corrupt mid-flight —
+    requests answer from here instead of failing.  Bodies are stored as
+    encoded bytes, exactly as they go on the wire, so a cache hit is
+    byte-identical to the fresh response it replaces.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.serves = 0
+
+    def put(self, key: str, body: bytes) -> None:
+        """Insert or refresh an entry, evicting the least recently used."""
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached body (refreshes recency), or None."""
+        with self._lock:
+            body = self._entries.get(key)
+            if body is not None:
+                self._entries.move_to_end(key)
+                self.serves += 1
+            return body
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

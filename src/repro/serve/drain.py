@@ -1,0 +1,80 @@
+"""Graceful drain: signal handling and the stop/drain lifecycle.
+
+A resilient service never dies mid-response.  On SIGTERM/SIGINT the
+:class:`DrainController` records the reason and wakes whoever is blocked
+in :meth:`wait`; the server then walks the drain sequence — flip
+``/readyz`` to 503 (so load balancers stop routing), stop accepting,
+shed the queue, finish in-flight requests up to the drain budget, write
+the final log records — and the process exits 0.
+
+Signal handlers are only installable from the main thread (a CPython
+rule); :meth:`install` is therefore separate from construction so tests
+and the in-process selftest can drive :meth:`request` directly, and
+:meth:`restore` puts the previous handlers back when embedding callers
+(pytest!) need their environment unchanged.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Dict, Optional
+
+__all__ = ["DrainController"]
+
+#: Signals that trigger a graceful drain.
+_DRAIN_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class DrainController:
+    """Single-shot drain trigger shared by signals and programmatic stops."""
+
+    def __init__(self) -> None:
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._reason: Optional[str] = None
+        self._previous: Dict[int, object] = {}
+
+    @property
+    def requested(self) -> bool:
+        """True once a drain was requested (signal or programmatic)."""
+        return self._stop.is_set()
+
+    @property
+    def reason(self) -> Optional[str]:
+        """What triggered the drain (``SIGTERM``, ``SIGINT``, or a
+        caller-supplied reason); None while running."""
+        with self._lock:
+            return self._reason
+
+    def request(self, reason: str) -> None:
+        """Trigger the drain; only the first reason sticks."""
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+        self._stop.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a drain is requested; True when it was."""
+        return self._stop.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Signal wiring (main thread only).
+
+    def install(self) -> None:
+        """Route SIGTERM/SIGINT into :meth:`request` (previous handlers
+        are remembered for :meth:`restore`)."""
+        for signum in _DRAIN_SIGNALS:
+            self._previous[signum] = signal.getsignal(signum)
+            signal.signal(
+                signum,
+                lambda received, _frame: self.request(
+                    signal.Signals(received).name
+                ),
+            )
+
+    def restore(self) -> None:
+        """Put back whatever handlers :meth:`install` replaced."""
+        for signum, handler in self._previous.items():
+            signal.signal(signum, handler)  # type: ignore[arg-type]
+        self._previous.clear()

@@ -1,0 +1,471 @@
+"""``repro serve --selftest``: the service proves its own resilience.
+
+The selftest boots a real :class:`~repro.serve.server.MetricsService` on
+an ephemeral port, replays a deterministic request mix against it over
+real sockets, and walks every hardening path on purpose:
+
+A. **baseline** — with fault injection disarmed, fetch every exposed
+   endpoint once and pin the expected (golden-verified) bodies.
+B. **breaker** — arm the fault plan and trip the circuit deterministically:
+   the plan makes each result's first live read slow *and* corrupt, so
+   ``failure_threshold`` sequential requests open the breaker while every
+   response still answers 200 from last-known-good; after the cooldown a
+   half-open probe hits the repaired store and the breaker closes again.
+C. **chaos mix** — concurrent clients sweep every endpoint (including the
+   plan's injected request errors) and the report requires ≥ the
+   availability threshold of non-shed requests to answer 200 with bodies
+   byte-identical to the baseline.
+D. **shedding** — with every worker slot held (a simulated saturated
+   pool), a burst beyond the queue bound must shed: every shed response
+   is 503 and carries ``Retry-After``.
+E. **drain** — SIGTERM lands mid-traffic; in-flight requests finish (no
+   truncated response bodies), the access log ends with
+   ``drain.complete`` and ``serve.exit code=0``.
+
+Everything is deterministic: the fault plan is seeded, the mix is a
+fixed rotation, and the breaker is tripped by construction rather than
+by racing threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import math
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults import inject as faults
+from repro.faults.plan import FaultPlan, default_serve_plan
+from repro.serve.logfmt import AccessLog
+from repro.serve.server import MetricsService, ServeSettings
+from repro.store.artifacts import ArtifactStore, config_key
+from repro.worldgen.config import WorldConfig
+
+__all__ = ["SelftestReport", "run_selftest", "DEFAULT_SELFTEST_NAMES"]
+
+#: The cheap experiment subset the selftest serves (mirrors the CI
+#: chaos smoke: fast to compute at golden scale, covers both tables and
+#: figures).
+DEFAULT_SELFTEST_NAMES: Tuple[str, ...] = ("fig1", "table1", "table2", "fig6", "survey")
+
+
+@dataclass
+class Check:
+    """One selftest assertion outcome."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class SelftestReport:
+    """Everything ``repro serve --selftest`` asserts, with evidence."""
+
+    checks: List[Check] = field(default_factory=list)
+    requests_total: int = 0
+    availability: float = 0.0
+    shed_observed: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    log_lines: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def record(self, name: str, ok: bool, detail: str = "") -> None:
+        self.checks.append(Check(name, bool(ok), detail))
+
+    def render(self) -> str:
+        lines = []
+        for check in self.checks:
+            mark = "ok " if check.ok else "FAIL"
+            suffix = f": {check.detail}" if check.detail else ""
+            lines.append(f"[{mark}] {check.name}{suffix}")
+        passed = sum(1 for check in self.checks if check.ok)
+        lines.append(
+            f"\n{passed}/{len(self.checks)} checks passed; "
+            f"{self.requests_total} requests, "
+            f"availability {self.availability:.4f}, "
+            f"{self.shed_observed} shed, "
+            f"breaker opened x{self.breaker_opens} closed x{self.breaker_closes}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class _Response:
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+    truncated: bool = False
+
+
+def _fetch(host: str, port: int, path: str, timeout: float = 10.0) -> Optional[_Response]:
+    """One GET over a fresh connection; None when no status line arrived
+    (connection refused/reset before the response started — the one
+    outcome the drain phase legitimately excludes)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        headers = {key.lower(): value for key, value in response.getheaders()}
+        try:
+            body = response.read()
+        except (http.client.IncompleteRead, ConnectionError, OSError):
+            return _Response(response.status, headers, b"", truncated=True)
+        return _Response(response.status, headers, body)
+    except (ConnectionError, OSError, http.client.HTTPException):
+        return None
+    finally:
+        conn.close()
+
+
+def _ensure_results(
+    names: Sequence[str], config: WorldConfig, cache_dir: str, jobs: int
+) -> List[str]:
+    """Compute any missing ``results/<name>`` blobs; returns failures."""
+    probe = ArtifactStore(cache_dir)
+    cfg_key = config_key(config)
+    missing = [
+        name for name in names
+        if probe.get_json(cfg_key, f"results/{name}") is None
+    ]
+    if not missing:
+        return []
+    from repro.runner import run_experiments
+
+    _payloads, manifest, _path = run_experiments(
+        missing, config, jobs=max(1, jobs), cache_dir=cache_dir
+    )
+    return [outcome.name for outcome in manifest.failures]
+
+
+def run_selftest(
+    config: WorldConfig,
+    cache_dir: str,
+    names: Optional[Sequence[str]] = None,
+    plan: Optional[FaultPlan] = None,
+    seed: int = 1337,
+    clients: int = 3,
+    settings: Optional[ServeSettings] = None,
+    golden_dir: Optional[object] = None,
+    access_log: Optional[AccessLog] = None,
+    jobs: int = 1,
+    min_requests: int = 400,
+    availability_threshold: float = 0.99,
+    use_signals: bool = True,
+) -> SelftestReport:
+    """Run the full resilience selftest; see the module docstring.
+
+    Args:
+        config: world configuration whose cached results are served
+          (missing results are computed first).
+        cache_dir: artifact-store root.
+        names: experiments to exercise (default
+          :data:`DEFAULT_SELFTEST_NAMES`); needs at least
+          ``breaker_threshold`` entries to trip the circuit.
+        plan: fault plan for the chaos phases (default
+          :func:`~repro.faults.plan.default_serve_plan` with ``seed``).
+        seed: seed for the default plan.
+        clients: concurrent client threads in the chaos mix (kept below
+          ``max_inflight`` so the mix itself never sheds).
+        settings: service knobs; the default uses an ephemeral port and a
+          short breaker cooldown so the selftest stays fast.
+        golden_dir: optional golden snapshot directory for warmup
+          verification.
+        access_log: structured log sink (e.g. a file for CI artifacts).
+        jobs: worker processes for computing missing results.
+        min_requests: minimum chaos-mix request volume.
+        availability_threshold: required 200-rate over non-shed requests.
+        use_signals: deliver a real SIGTERM for the drain phase (requires
+          the main thread); False drives the drain programmatically.
+    """
+    report = SelftestReport()
+    names = list(names if names is not None else DEFAULT_SELFTEST_NAMES)
+    if settings is None:
+        settings = ServeSettings(port=0, breaker_cooldown_seconds=0.4)
+    if len(names) < settings.breaker_threshold:
+        report.record(
+            "setup", False,
+            f"need >= {settings.breaker_threshold} experiments to trip the "
+            f"breaker, got {len(names)}",
+        )
+        return report
+
+    failures = _ensure_results(names, config, cache_dir, jobs)
+    report.record(
+        "results cached", not failures,
+        "all present" if not failures else f"failed: {', '.join(failures)}",
+    )
+    if failures:
+        return report
+
+    store = ArtifactStore(cache_dir)
+    service = MetricsService(
+        config,
+        store,
+        settings=settings,
+        names=names,
+        golden_dir=golden_dir,
+        access_log=access_log,
+    )
+    statuses = service.warm()
+    bad = {name: status for name, status in statuses.items() if status != "ok"}
+    report.record(
+        "warmup golden-verified", not bad,
+        f"{len(statuses)} result(s) primed" if not bad else str(bad),
+    )
+    if bad:
+        return report
+
+    service.start()
+    host, port = service.host, service.port
+    responses: List[Tuple[str, _Response]] = []
+    installed_signals = False
+    try:
+        # ----------------------------------------------------------- A
+        providers = list(service._context().providers)
+        list_paths = [f"/v1/lists/{providers[0]}/0?k=25"]
+        if config.n_days > 1:
+            list_paths.append(f"/v1/lists/{providers[0]}/1?k=25")
+        experiment_paths = [f"/v1/experiments/{name}" for name in names]
+        meta_paths = ["/v1/experiments", "/metricz"]
+        expected: Dict[str, bytes] = {}
+        baseline_ok = True
+        for path in experiment_paths + list_paths + meta_paths:
+            response = _fetch(host, port, path)
+            if response is None or response.status != 200:
+                baseline_ok = False
+                report.record("baseline", False, f"{path} did not answer 200")
+                break
+            responses.append((path, response))
+            if path.startswith("/v1/experiments/"):
+                expected[path] = response.body
+        if baseline_ok:
+            report.record(
+                "baseline", True,
+                f"{len(experiment_paths + list_paths + meta_paths)} endpoints answered 200",
+            )
+        else:
+            return report
+
+        # ----------------------------------------------------------- B
+        faults.activate(plan if plan is not None else default_serve_plan(seed))
+        trip_paths = experiment_paths[: settings.breaker_threshold]
+        trip_ok = True
+        for path in trip_paths:
+            response = _fetch(host, port, path)
+            if response is None:
+                trip_ok = False
+                break
+            responses.append((path, response))
+            trip_ok = trip_ok and response.status == 200 and response.body == expected[path]
+        report.record(
+            "corrupt reads answered from last-known-good",
+            trip_ok and service.breaker.opens >= 1,
+            f"breaker opened after {settings.breaker_threshold} poisoned reads"
+            if service.breaker.opens >= 1 else
+            f"breaker never opened (opens={service.breaker.opens})",
+        )
+        open_response = _fetch(host, port, trip_paths[0])
+        if open_response is not None:
+            responses.append((trip_paths[0], open_response))
+        report.record(
+            "open breaker serves cached bodies",
+            open_response is not None
+            and open_response.status == 200
+            and open_response.body == expected[trip_paths[0]],
+        )
+        time.sleep(settings.breaker_cooldown_seconds + 0.1)
+        probe_response = _fetch(host, port, trip_paths[0])
+        if probe_response is not None:
+            responses.append((trip_paths[0], probe_response))
+        report.record(
+            "half-open probe re-closed the breaker",
+            probe_response is not None
+            and probe_response.status == 200
+            and service.breaker.closes >= 1,
+            f"closes={service.breaker.closes} after repaired store probe",
+        )
+
+        # ----------------------------------------------------------- C
+        mix = experiment_paths + list_paths + meta_paths
+        per_round = max(1, clients) * len(mix)
+        rounds = max(1, math.ceil(min_requests / per_round))
+        mix_results: List[List[Tuple[str, Optional[_Response]]]] = [
+            [] for _ in range(max(1, clients))
+        ]
+
+        def _client(index: int) -> None:
+            for round_no in range(rounds):
+                for offset in range(len(mix)):
+                    path = mix[(index + round_no + offset) % len(mix)]
+                    mix_results[index].append((path, _fetch(host, port, path)))
+
+        threads = [
+            threading.Thread(target=_client, args=(index,), daemon=True)
+            for index in range(max(1, clients))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        dropped = 0
+        for bucket in mix_results:
+            for path, response in bucket:
+                if response is None:
+                    dropped += 1
+                else:
+                    responses.append((path, response))
+        report.record("chaos mix connections", dropped == 0,
+                      f"{dropped} request(s) got no response" if dropped
+                      else f"{rounds * per_round} requests completed")
+
+        non_shed = [
+            (path, response) for path, response in responses
+            if not (response.status == 503 and "retry-after" in response.headers)
+        ]
+        ok_count = sum(1 for _path, response in non_shed if response.status == 200)
+        availability = ok_count / len(non_shed) if non_shed else 0.0
+        report.requests_total = len(responses)
+        report.availability = availability
+        report.record(
+            "availability under chaos",
+            availability >= availability_threshold,
+            f"{ok_count}/{len(non_shed)} non-shed requests answered 200 "
+            f"({availability:.4f} >= {availability_threshold})",
+        )
+        non_golden = [
+            path for path, response in responses
+            if response.status == 200
+            and path in expected
+            and response.body != expected[path]
+        ]
+        report.record(
+            "zero non-golden bodies served", not non_golden,
+            "every 200 body byte-identical to baseline" if not non_golden
+            else f"drifted: {sorted(set(non_golden))}",
+        )
+
+        # ----------------------------------------------------------- D
+        # Handler threads release their slots *after* the client has read
+        # the response body; let the stragglers from the mix finish before
+        # counting slots.
+        service.gate.wait_idle(5.0)
+        held = 0
+        shed_responses: List[Optional[_Response]] = []
+        try:
+            while service.gate.try_acquire() is None:
+                held += 1  # simulate a fully saturated worker pool
+            burst = settings.queue_depth + 4
+            burst_results: List[Optional[_Response]] = [None] * burst
+
+            def _burst(index: int) -> None:
+                burst_results[index] = _fetch(host, port, experiment_paths[0])
+
+            burst_threads = [
+                threading.Thread(target=_burst, args=(index,), daemon=True)
+                for index in range(burst)
+            ]
+            for thread in burst_threads:
+                thread.start()
+            for thread in burst_threads:
+                thread.join()
+            shed_responses = burst_results
+        finally:
+            for _ in range(held):
+                service.gate.release()
+        all_shed = all(
+            response is not None
+            and response.status == 503
+            and "retry-after" in response.headers
+            for response in shed_responses
+        )
+        report.shed_observed = service.gate.shed_total
+        report.record(
+            "saturated pool sheds with Retry-After", all_shed,
+            f"{len(shed_responses)} burst requests shed 503, all with Retry-After"
+            if all_shed else "a burst request was not shed correctly",
+        )
+
+        # ----------------------------------------------------------- E
+        stop = threading.Event()
+        drain_results: List[Tuple[str, Optional[_Response]]] = []
+        drain_lock = threading.Lock()
+
+        def _drain_client(index: int) -> None:
+            while not stop.is_set():
+                path = mix[index % len(mix)]
+                response = _fetch(host, port, path, timeout=5.0)
+                with drain_lock:
+                    drain_results.append((path, response))
+                if response is None:
+                    return  # listener is gone
+
+        drain_threads = [
+            threading.Thread(target=_drain_client, args=(index,), daemon=True)
+            for index in range(max(1, clients))
+        ]
+        for thread in drain_threads:
+            thread.start()
+        time.sleep(0.2)  # let traffic get in flight
+        if use_signals:
+            service.drain_ctl.install()
+            installed_signals = True
+            signal.raise_signal(signal.SIGTERM)
+        else:
+            service.drain_ctl.request("SIGTERM")
+        signalled = service.drain_ctl.wait(5.0)
+        drained = service.drain(reason=service.drain_ctl.reason or "selftest")
+        stop.set()
+        for thread in drain_threads:
+            thread.join(timeout=5.0)
+        report.record(
+            "SIGTERM requested drain",
+            signalled and service.drain_ctl.reason == "SIGTERM",
+            f"reason={service.drain_ctl.reason}",
+        )
+        truncated = [
+            path for path, response in drain_results
+            if response is not None and response.truncated
+        ]
+        completed = sum(
+            1 for _path, response in drain_results if response is not None
+        )
+        report.record(
+            "in-flight requests completed during drain",
+            drained and not truncated,
+            f"{completed} responses completed, 0 truncated" if not truncated
+            else f"truncated responses on: {sorted(set(truncated))}",
+        )
+        exit_events = service.log.events("serve.exit")
+        report.record(
+            "structured log complete with exit 0",
+            bool(service.log.events("drain.start"))
+            and bool(service.log.events("drain.complete"))
+            and len(exit_events) == 1
+            and exit_events[0].get("code") == "0",
+            "drain.start, drain.complete, serve.exit code=0 all present",
+        )
+        open_events = service.log.events("breaker.open")
+        close_events = service.log.events("breaker.close")
+        report.breaker_opens = len(open_events)
+        report.breaker_closes = len(close_events)
+        report.record(
+            "breaker cycle visible in access log",
+            bool(open_events) and bool(close_events),
+            f"breaker.open x{len(open_events)}, breaker.close x{len(close_events)}",
+        )
+    finally:
+        faults.activate(None)
+        if installed_signals:
+            service.drain_ctl.restore()
+        if not service.draining:
+            service.drain(reason="selftest-cleanup")
+    report.log_lines = service.log.lines()
+    return report

@@ -1,0 +1,804 @@
+"""The resilient metrics service: ``repro serve``.
+
+A stdlib-only (``ThreadingHTTPServer``) HTTP front end over the artifact
+store, exposing the precomputed reproduction results the ROADMAP's
+serving workload demands:
+
+* ``GET /v1/experiments`` — the registry, with per-experiment availability.
+* ``GET /v1/experiments/<name>`` — one experiment's stored result
+  (title, text, structured data), golden-verified before it is ever
+  served.
+* ``GET /v1/lists/<provider>/<day>?k=N`` — the top-``k`` slice of a
+  provider's simulated ranked list for a day.
+* ``GET /healthz`` — liveness (200 while the process runs).
+* ``GET /readyz`` — readiness (503 before warmup and while draining, so
+  load balancers stop routing before the listener goes away).
+* ``GET /metricz`` — counters: requests, sheds, deadlines, breaker
+  state, last-known-good cache, store stats.
+
+Hardening, in one place per concern:
+
+* **deadlines** — every ``/v1`` request gets ``deadline_ms``; budget
+  spent queueing is budget unavailable for work, and a request that
+  would *start* expensive work past its deadline answers 504 instead.
+* **load shedding** — admission through a bounded
+  :class:`~repro.serve.shed.AdmissionGate`; beyond ``capacity`` +
+  ``queue_depth`` the server answers 503 with ``Retry-After`` instead
+  of queueing without bound.
+* **circuit breaking** — store reads run behind a
+  :class:`~repro.serve.breaker.CircuitBreaker` (corrupt, vanished,
+  slow, or golden-drifted reads count as dependency failures); while
+  open, responses come from the bounded
+  :class:`~repro.serve.breaker.LastKnownGood` cache, and a failed read
+  with a last-known-good copy triggers a store *repair* write so the
+  dependency heals instead of staying quarantined.
+* **graceful drain** — SIGTERM/SIGINT stops accepting, sheds the queue,
+  finishes in-flight requests up to ``drain_seconds``, writes a
+  complete structured log, and exits 0.
+
+Observability: every request and lifecycle transition is one logfmt
+record in the :class:`~repro.serve.logfmt.AccessLog`, and service
+counters thread through the existing :class:`repro.obs.Tracer` via its
+thread-safe root-span counters (``/metricz`` exposes them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro import obs
+from repro.core.experiments import SPECS
+from repro.core.pipeline import ExperimentContext, experiment_context
+from repro.faults import inject as faults
+from repro.serve.breaker import BreakerState, CircuitBreaker, LastKnownGood
+from repro.serve.drain import DrainController
+from repro.serve.logfmt import AccessLog
+from repro.serve.shed import AdmissionGate
+from repro.store.artifacts import SCHEMA_VERSION, ArtifactStore, config_key
+from repro.worldgen.config import WorldConfig
+
+__all__ = ["ServeSettings", "MetricsService", "DEFAULT_PORT"]
+
+#: Default TCP port for ``repro serve``.
+DEFAULT_PORT = 8321
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Tunable service behavior — every knob the CLI exposes.
+
+    Attributes:
+        host: bind address.
+        port: bind port (0 picks an ephemeral port; tests use this).
+        max_inflight: concurrent ``/v1`` requests (CLI ``--jobs``).
+        queue_depth: requests allowed to wait for a slot before shedding.
+        deadline_ms: per-request budget for ``/v1`` endpoints.
+        drain_seconds: budget for finishing in-flight requests on drain.
+        retry_after_seconds: value of ``Retry-After`` on 503 responses.
+        breaker_threshold: consecutive store-read failures that open the
+          circuit.
+        breaker_cooldown_seconds: open time before a half-open probe.
+        slow_read_seconds: store reads slower than this count as breaker
+          failures (the read still serves if its payload is valid).
+        lkg_capacity: bounded last-known-good cache entries.
+        list_cache_capacity: bounded (provider, day) ranked-list cache.
+        default_k: ``/v1/lists`` slice size when ``?k=`` is absent.
+        max_k: upper clamp for ``?k=`` (bounds response size).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    max_inflight: int = 8
+    queue_depth: int = 16
+    deadline_ms: float = 1000.0
+    drain_seconds: float = 5.0
+    retry_after_seconds: int = 1
+    breaker_threshold: int = 3
+    breaker_cooldown_seconds: float = 0.5
+    slow_read_seconds: float = 0.1
+    lkg_capacity: int = 64
+    list_cache_capacity: int = 64
+    default_k: int = 100
+    max_k: int = 1000
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Thin shim: all request logic lives on the service."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        # The structured access log replaces the default stderr lines.
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self.server.service.handle(self)  # type: ignore[attr-defined]
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self.server.service.handle(self, head_only=True)  # type: ignore[attr-defined]
+
+
+class MetricsService:
+    """The metrics service: construct, :meth:`warm`, :meth:`start`.
+
+    Args:
+        config: the world configuration whose cached results are served.
+        store: the artifact store to read from (the service installs its
+          ``read_observer`` — share the instance with nothing else that
+          needs the hook).
+        settings: behavior knobs (:class:`ServeSettings`).
+        names: experiment ids to expose (default: the whole registry).
+        golden_dir: when given and the goldens match ``config``, warmup
+          verifies every stored result against its golden snapshot and
+          refuses to serve drifted bodies.
+        access_log: structured log sink (default: in-memory only).
+        tracer: the :class:`repro.obs.Tracer` carrying service counters.
+    """
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        store: ArtifactStore,
+        settings: ServeSettings = ServeSettings(),
+        names: Optional[Sequence[str]] = None,
+        golden_dir: Optional[Path] = None,
+        access_log: Optional[AccessLog] = None,
+        tracer: Optional[obs.Tracer] = None,
+    ) -> None:
+        self.config = config
+        self.store = store
+        self.settings = settings
+        self.names: List[str] = list(names if names is not None else SPECS)
+        self.golden_dir = golden_dir
+        self.log = access_log if access_log is not None else AccessLog()
+        self.tracer = tracer if tracer is not None else obs.Tracer("serve")
+        self.gate = AdmissionGate(settings.max_inflight, settings.queue_depth)
+        self.breaker = CircuitBreaker(
+            failure_threshold=settings.breaker_threshold,
+            cooldown_seconds=settings.breaker_cooldown_seconds,
+            on_transition=self._on_breaker_transition,
+        )
+        self.lkg = LastKnownGood(settings.lkg_capacity)
+        self.drain_ctl = DrainController()
+        self._cfg_key = config_key(config)
+        self._reference: Dict[str, str] = {}  # name -> sha256 of golden body
+        self._not_golden: Dict[str, str] = {}  # name -> why warmup refused it
+        self._read_status = threading.local()
+        self._counters_lock = threading.Lock()
+        self._by_status: Dict[int, int] = {}
+        self._by_route: Dict[str, int] = {}
+        self.requests_total = 0
+        self.deadline_timeouts = 0
+        self.repairs = 0
+        self.non_golden_blocked = 0
+        self._ctx: Optional[ExperimentContext] = None
+        self._ctx_lock = threading.Lock()
+        self._lists_lock = threading.Lock()
+        self._lists: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
+        self._ready = False
+        self._draining = False
+        self._started_at = time.time()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        store.read_observer = self._observe_read
+
+    # ------------------------------------------------------------------
+    # Store read path (observer + classification).
+
+    def _observe_read(self, name: str, status: str, seconds: float) -> None:
+        self._read_status.last = (status, seconds)
+
+    def _read_fresh(self, name: str) -> Tuple[Optional[bytes], Optional[str]]:
+        """One breaker-protected read attempt for ``results/<name>``.
+
+        Returns ``(body, failure)``: a canonical JSON body (or None) and
+        the failure classification (None when the read is healthy —
+        which includes a clean miss for a result that never existed).
+        """
+        self._read_status.last = ("miss", 0.0)
+        blob = self.store.get_json(self._cfg_key, f"results/{name}")
+        status, seconds = self._read_status.last
+        if status == "corrupt":
+            return None, "corrupt"
+        if blob is None:
+            # A result we once verified has vanished (quarantined by a
+            # corrupt read, or evicted): that is a dependency failure.  A
+            # result that never existed is an honest 404.
+            return None, ("lost" if name in self._reference else None)
+        if not isinstance(blob, dict) or blob.get("schema_version") != SCHEMA_VERSION:
+            return None, "invalid"
+        body = json.dumps(blob, sort_keys=True).encode("utf-8")
+        reference = self._reference.get(name)
+        if reference is not None and _digest(body) != reference:
+            # Never serve a body that drifted from the golden-verified
+            # reference — answer from last-known-good instead.
+            with self._counters_lock:
+                self.non_golden_blocked += 1
+            return None, "drift"
+        if seconds > self.settings.slow_read_seconds:
+            return body, "slow"
+        return body, None
+
+    def _repair(self, name: str, body: bytes) -> None:
+        """Write a last-known-good body back to the store (self-healing:
+        a quarantined or lost blob becomes a hit again)."""
+        self.store.put_json(self._cfg_key, f"results/{name}", json.loads(body))
+        with self._counters_lock:
+            self.repairs += 1
+        self.tracer.count_root("serve.repairs")
+        self.log.write("store.repair", name=name, bytes=len(body))
+
+    def _on_breaker_transition(self, old: str, new: str, reason: str) -> None:
+        self.log.write("breaker." + ("open" if new == BreakerState.OPEN else
+                                     "close" if new == BreakerState.CLOSED else
+                                     "half_open"),
+                       from_state=old, to_state=new, reason=reason)
+        self.tracer.count_root(f"serve.breaker.{new}")
+
+    # ------------------------------------------------------------------
+    # Warmup.
+
+    def warm(self, build_lists: bool = True) -> Dict[str, str]:
+        """Prime references and the LKG cache; optionally build the world.
+
+        Reads every exposed experiment's stored result, golden-verifies
+        it where goldens for this configuration exist, and records its
+        canonical digest as the *reference* every later live read must
+        match.  Returns ``{name: status}`` with status ``ok`` /
+        ``missing`` / ``not-golden``.
+        """
+        statuses: Dict[str, str] = {}
+        for name in self.names:
+            body, failure = self._read_fresh(name)
+            if body is None or failure not in (None, "slow"):
+                statuses[name] = "missing"
+                continue
+            drift = self._golden_drift(name, json.loads(body))
+            if drift is not None:
+                self._not_golden[name] = drift
+                statuses[name] = "not-golden"
+                continue
+            self._reference[name] = _digest(body)
+            self.lkg.put(name, body)
+            statuses[name] = "ok"
+        if build_lists:
+            self._context()
+        self._ready = True
+        available = sum(1 for status in statuses.values() if status == "ok")
+        self.log.write(
+            "serve.ready",
+            available=available,
+            exposed=len(self.names),
+            lists=build_lists,
+            config_key=self._cfg_key,
+        )
+        return statuses
+
+    def _golden_drift(self, name: str, blob: Dict[str, object]) -> Optional[str]:
+        """Why ``blob`` fails golden verification, or None when it passes
+        (or no matching golden exists for this configuration)."""
+        if self.golden_dir is None:
+            return None
+        golden_file = Path(self.golden_dir) / f"{name}.json"
+        if not golden_file.exists():
+            return None
+        from repro.qa.goldens import TOLERANCES, Tolerance, diff_payloads, golden_payload
+
+        try:
+            golden = json.loads(golden_file.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            return f"unreadable golden: {error}"
+        document = golden_payload(
+            name,
+            str(blob.get("title", "")),
+            self.config,
+            blob.get("data"),
+            str(blob.get("text", "")),
+        )
+        if golden.get("config") != document.get("config"):
+            # Goldens are pinned to one configuration; a service at any
+            # other scale serves reference-digest-verified bodies instead.
+            return None
+        cells = diff_payloads(golden, document, TOLERANCES.get(name, Tolerance()))
+        if cells:
+            return f"{len(cells)} drifted cell(s), first: {cells[0].render()}"
+        return None
+
+    # ------------------------------------------------------------------
+    # The lists surface.
+
+    def _context(self) -> ExperimentContext:
+        with self._ctx_lock:
+            if self._ctx is None:
+                with obs.span("serve/context"):
+                    self._ctx = experiment_context(config=self.config, store=self.store)
+                    # Materialize world + providers up front: requests
+                    # must never pay (or race) world construction.
+                    self._ctx.artifact("world")
+                    self._ctx.artifact("providers")
+            return self._ctx
+
+    def _ranked(self, provider: str, day: int):
+        key = (provider, day)
+        with self._lists_lock:
+            cached = self._lists.get(key)
+            if cached is not None:
+                self._lists.move_to_end(key)
+                return cached
+        ctx = self._context()
+        with self._lists_lock:
+            cached = self._lists.get(key)
+            if cached is None:
+                # Compute under the lock: providers share one traffic
+                # model, which is not guaranteed re-entrant.
+                cached = ctx.providers[provider].daily_list(day)
+                self._lists[key] = cached
+                while len(self._lists) > self.settings.list_cache_capacity:
+                    self._lists.popitem(last=False)
+            else:
+                self._lists.move_to_end(key)
+            return cached
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    def start(self) -> None:
+        """Bind and serve on a background thread (returns immediately)."""
+        httpd = ThreadingHTTPServer(
+            (self.settings.host, self.settings.port), _RequestHandler
+        )
+        httpd.daemon_threads = True
+        httpd.service = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._serve_thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        self.log.write(
+            "serve.start",
+            host=self.host,
+            port=self.port,
+            max_inflight=self.settings.max_inflight,
+            queue_depth=self.settings.queue_depth,
+            deadline_ms=self.settings.deadline_ms,
+            fault_plan=faults.active_plan() is not None,
+        )
+
+    @property
+    def host(self) -> str:
+        return self.settings.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after :meth:`start`)."""
+        if self._httpd is not None:
+            return int(self._httpd.server_address[1])
+        return self.settings.port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, budget: Optional[float] = None, reason: str = "stop") -> bool:
+        """Graceful shutdown: stop accepting, shed the queue, finish
+        in-flight work up to ``budget`` seconds, close, log.
+
+        Returns True when every in-flight request finished inside the
+        budget (the process should exit 0 either way — a drain that runs
+        out of budget is logged, not escalated).
+        """
+        if self._draining:
+            return True
+        self._draining = True
+        budget = self.settings.drain_seconds if budget is None else budget
+        started = time.perf_counter()
+        self.log.write(
+            "drain.start",
+            reason=reason,
+            inflight=self.gate.inflight,
+            waiting=self.gate.waiting,
+            budget_seconds=budget,
+        )
+        self.gate.drain()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+        drained = self.gate.wait_idle(budget)
+        if self._httpd is not None:
+            self._httpd.server_close()
+        self.log.write(
+            "drain.complete",
+            drained=drained,
+            inflight=self.gate.inflight,
+            seconds=time.perf_counter() - started,
+        )
+        self.log.write(
+            "serve.exit",
+            code=0,
+            requests=self.requests_total,
+            shed=self.gate.shed_total,
+            repairs=self.repairs,
+            breaker_opens=self.breaker.opens,
+        )
+        self.tracer.finish()
+        self.log.close()
+        return drained
+
+    def run_forever(self) -> int:
+        """CLI loop: serve until SIGTERM/SIGINT, drain, return exit 0."""
+        self.drain_ctl.install()
+        try:
+            self.start()
+            self.drain_ctl.wait()
+        finally:
+            self.drain(reason=self.drain_ctl.reason or "stop")
+            self.drain_ctl.restore()
+        return 0
+
+    # ------------------------------------------------------------------
+    # Request handling.
+
+    def handle(self, handler: _RequestHandler, head_only: bool = False) -> None:
+        """Entry point for every HTTP request (called on its thread)."""
+        started = time.perf_counter()
+        path = urlsplit(handler.path).path
+        route = self._route_of(path)
+        try:
+            if route in ("healthz", "readyz", "metricz"):
+                # Health surfaces bypass admission: they must answer
+                # cheaply even (especially) when the service is saturated.
+                status, body, headers = self._handle_control(route)
+                self._respond(handler, status, body, headers, head_only)
+                self._account(handler, path, route, status, started, "control")
+                return
+            self._handle_v1(handler, path, route, started, head_only)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response; nothing left to send.
+            self.log.write("request.aborted", path=path)
+        except Exception as error:  # one request never kills the server
+            self.tracer.count_root("serve.handler_errors")
+            self.log.write(
+                "request.error", path=path, error=f"{type(error).__name__}: {error}"
+            )
+            try:
+                self._respond(
+                    handler, 500, _error_body("internal error"), {}, head_only
+                )
+                self._account(handler, path, route, 500, started, "error")
+            except OSError:
+                pass
+
+    def _route_of(self, path: str) -> str:
+        if path in ("/healthz", "/readyz", "/metricz"):
+            return path.strip("/")
+        if path == "/v1/experiments":
+            return "experiments"
+        if path.startswith("/v1/experiments/"):
+            return "experiment"
+        if path.startswith("/v1/lists/"):
+            return "lists"
+        return "unknown"
+
+    def _handle_control(self, route: str) -> Tuple[int, bytes, Dict[str, str]]:
+        if route == "healthz":
+            return 200, _json_body({"status": "alive"}), {}
+        if route == "readyz":
+            if self._draining:
+                return 503, _json_body({"status": "draining"}), self._retry_headers()
+            if not self._ready:
+                return 503, _json_body({"status": "warming"}), self._retry_headers()
+            return 200, _json_body({"status": "ready"}), {}
+        return 200, _json_body(self.metrics()), {}
+
+    def _handle_v1(
+        self,
+        handler: _RequestHandler,
+        path: str,
+        route: str,
+        started: float,
+        head_only: bool,
+    ) -> None:
+        budget = self.settings.deadline_ms / 1000.0
+        deadline = started + budget
+        # A request may spend at most half its budget queueing; the rest
+        # is reserved for doing the work.
+        shed = self.gate.try_acquire(timeout=budget / 2.0)
+        if shed is not None:
+            self.tracer.count_root("serve.shed")
+            self._respond(
+                handler, 503, _error_body("shed: " + shed),
+                self._retry_headers(), head_only,
+            )
+            self._account(handler, path, route, 503, started, "shed", shed=shed)
+            return
+        try:
+            rule = faults.fire("serve.request.error", path)
+            if rule is not None:
+                self.tracer.count_root("serve.injected_errors")
+                self._respond(
+                    handler, 500, _error_body("injected serve.request.error"),
+                    {}, head_only,
+                )
+                self._account(handler, path, route, 500, started, "injected")
+                return
+            if time.perf_counter() >= deadline:
+                self._deadline_response(handler, path, route, started, head_only)
+                return
+            if route == "experiments":
+                status, body, headers, source = self._get_index()
+            elif route == "experiment":
+                name = path[len("/v1/experiments/"):]
+                status, body, headers, source = self._get_experiment(name, deadline)
+            elif route == "lists":
+                status, body, headers, source = self._get_list(
+                    handler.path, path, deadline
+                )
+            else:
+                status, body, headers, source = 404, _error_body("no such route"), {}, "router"
+            self._respond(handler, status, body, headers, head_only)
+            self._account(handler, path, route, status, started, source)
+        finally:
+            self.gate.release()
+
+    def _deadline_response(
+        self, handler: _RequestHandler, path: str, route: str,
+        started: float, head_only: bool,
+    ) -> None:
+        with self._counters_lock:
+            self.deadline_timeouts += 1
+        self.tracer.count_root("serve.deadline_timeouts")
+        self._respond(
+            handler, 504, _error_body("deadline exceeded"),
+            self._retry_headers(), head_only,
+        )
+        self._account(handler, path, route, 504, started, "deadline")
+
+    # ------------------------------------------------------------------
+    # Endpoint bodies.
+
+    def _get_index(self) -> Tuple[int, bytes, Dict[str, str], str]:
+        rows = []
+        for name in self.names:
+            spec = SPECS.get(name)
+            status = (
+                "available" if name in self._reference
+                else "not-golden" if name in self._not_golden
+                else "missing"
+            )
+            rows.append({
+                "id": name,
+                "title": spec.title if spec is not None else "",
+                "status": status,
+                "path": f"/v1/experiments/{name}",
+            })
+        body = _json_body({"experiments": rows, "config_key": self._cfg_key})
+        return 200, body, {}, "index"
+
+    def _get_experiment(
+        self, name: str, deadline: float
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        if name not in self.names or name not in SPECS:
+            return 404, _error_body(f"unknown experiment {name!r}"), {}, "router"
+        if name in self._not_golden:
+            return 503, _error_body(
+                f"result for {name!r} failed golden verification: "
+                + self._not_golden[name]
+            ), self._retry_headers(), "not-golden"
+        if not self.breaker.allow():
+            body = self.lkg.get(name)
+            if body is not None:
+                return 200, body, {"X-Repro-Source": "last-known-good"}, "lkg-open"
+            return 503, _error_body("store circuit open"), self._retry_headers(), "breaker-open"
+        if time.perf_counter() >= deadline:
+            # Don't start a store read we have no budget left to use; the
+            # breaker probe slot (if any) is returned via record_success.
+            self.breaker.record_success()
+            return 504, _error_body("deadline exceeded"), self._retry_headers(), "deadline"
+        body, failure = self._read_fresh(name)
+        if failure is None:
+            if body is None:
+                self.breaker.record_success()
+                return 404, _error_body(
+                    f"no cached result for {name!r}; run `repro all` first"
+                ), {}, "miss"
+            self.breaker.record_success()
+            self.lkg.put(name, body)
+            return 200, body, {"X-Repro-Source": "store"}, "store"
+        self.breaker.record_failure(failure)
+        self.tracer.count_root(f"serve.read_failures.{failure}")
+        if failure == "slow" and body is not None:
+            # Slow but valid: serve it (it passed the digest check) while
+            # the breaker accounts for the latency.
+            self.lkg.put(name, body)
+            return 200, body, {"X-Repro-Source": "store-slow"}, "store-slow"
+        fallback = self.lkg.get(name)
+        if fallback is not None:
+            if failure in ("corrupt", "lost", "invalid"):
+                self._repair(name, fallback)
+            return 200, fallback, {"X-Repro-Source": "last-known-good"}, "lkg"
+        return 503, _error_body(
+            f"store read failed ({failure}) and no last-known-good copy"
+        ), self._retry_headers(), "unavailable"
+
+    def _get_list(
+        self, raw_path: str, path: str, deadline: float
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        parts = path[len("/v1/lists/"):].split("/")
+        if len(parts) != 2 or not parts[0]:
+            return 404, _error_body("use /v1/lists/<provider>/<day>"), {}, "router"
+        provider, day_text = parts
+        try:
+            day = int(day_text)
+        except ValueError:
+            return 404, _error_body(f"day must be an integer, got {day_text!r}"), {}, "router"
+        if not 0 <= day < self.config.n_days:
+            return 404, _error_body(
+                f"day {day} outside simulated window [0, {self.config.n_days})"
+            ), {}, "router"
+        query = parse_qs(urlsplit(raw_path).query)
+        try:
+            k = int(query.get("k", [self.settings.default_k])[0])
+        except ValueError:
+            return 400, _error_body("k must be an integer"), {}, "router"
+        if k < 1:
+            return 400, _error_body("k must be >= 1"), {}, "router"
+        k = min(k, self.settings.max_k)
+        ctx = self._context()
+        if provider not in ctx.providers:
+            return 404, _error_body(
+                f"unknown provider {provider!r}; choose from "
+                + ", ".join(ctx.providers)
+            ), {}, "router"
+        if time.perf_counter() >= deadline:
+            return 504, _error_body("deadline exceeded"), self._retry_headers(), "deadline"
+        ranked = self._ranked(provider, day)
+        head = ranked.head(k)
+        body = _json_body({
+            "provider": provider,
+            "day": day,
+            "k": k,
+            "granularity": head.granularity,
+            "bucketed": head.is_bucketed,
+            "bucket_bounds": (
+                None if head.bucket_bounds is None
+                else [int(bound) for bound in head.bucket_bounds]
+            ),
+            "count": len(head),
+            "names": head.strings(ctx.world),
+        })
+        return 200, body, {}, "lists"
+
+    # ------------------------------------------------------------------
+    # Metrics.
+
+    def metrics(self) -> Dict[str, object]:
+        """The ``/metricz`` document."""
+        with self._counters_lock:
+            by_status = {str(code): count for code, count in sorted(self._by_status.items())}
+            by_route = dict(sorted(self._by_route.items()))
+            requests_total = self.requests_total
+            deadline_timeouts = self.deadline_timeouts
+            repairs = self.repairs
+            non_golden_blocked = self.non_golden_blocked
+        stats = self.store.stats
+        with self.tracer._root_lock:
+            counters = dict(self.tracer.root.counters)
+        return {
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "ready": self._ready,
+            "draining": self._draining,
+            "config_key": self._cfg_key,
+            "requests": {
+                "total": requests_total,
+                "by_status": by_status,
+                "by_route": by_route,
+            },
+            "shed": {
+                "shed_total": self.gate.shed_total,
+                "admitted_total": self.gate.admitted_total,
+                "inflight": self.gate.inflight,
+                "waiting": self.gate.waiting,
+                "max_inflight": self.gate.capacity,
+                "queue_depth": self.gate.queue_depth,
+            },
+            "deadline": {
+                "deadline_ms": self.settings.deadline_ms,
+                "timeouts": deadline_timeouts,
+            },
+            "breaker": self.breaker.snapshot(),
+            "last_known_good": {
+                "size": len(self.lkg),
+                "capacity": self.lkg.capacity,
+                "serves": self.lkg.serves,
+                "repairs": repairs,
+                "non_golden_blocked": non_golden_blocked,
+            },
+            "store": {
+                "snapshot": stats.snapshot(),
+                "corrupt": stats.corrupt,
+                "quarantined": stats.quarantined,
+                "read_only": self.store.read_only,
+            },
+            "counters": counters,
+        }
+
+    # ------------------------------------------------------------------
+    # Response plumbing.
+
+    def _retry_headers(self) -> Dict[str, str]:
+        return {"Retry-After": str(self.settings.retry_after_seconds)}
+
+    def _respond(
+        self,
+        handler: _RequestHandler,
+        status: int,
+        body: bytes,
+        headers: Dict[str, str],
+        head_only: bool,
+    ) -> None:
+        handler.send_response(status)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(body)))
+        for key, value in headers.items():
+            handler.send_header(key, value)
+        if self._draining:
+            handler.send_header("Connection", "close")
+            handler.close_connection = True
+        handler.end_headers()
+        if not head_only:
+            handler.wfile.write(body)
+
+    def _account(
+        self,
+        handler: _RequestHandler,
+        path: str,
+        route: str,
+        status: int,
+        started: float,
+        source: str,
+        shed: Optional[str] = None,
+    ) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with self._counters_lock:
+            self.requests_total += 1
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+            self._by_route[route] = self._by_route.get(route, 0) + 1
+        self.tracer.count_root("serve.requests")
+        self.tracer.count_root(f"serve.status.{status // 100}xx")
+        self.log.write(
+            "request",
+            method=handler.command,
+            path=path,
+            status=status,
+            ms=elapsed_ms,
+            source=source,
+            breaker=self.breaker.state,
+            inflight=self.gate.inflight,
+            shed=shed if shed is not None else False,
+        )
+
+
+def _digest(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()
+
+
+def _json_body(value: object) -> bytes:
+    return json.dumps(value, sort_keys=True).encode("utf-8")
+
+
+def _error_body(message: str) -> bytes:
+    return _json_body({"error": message})

@@ -1,0 +1,154 @@
+"""Load shedding: a bounded admission gate for request handler threads.
+
+``ThreadingHTTPServer`` happily spawns one thread per connection, which
+under overload means unbounded concurrency, cache thrash, and every
+request finishing late — the classic congestion-collapse shape.  The
+:class:`AdmissionGate` turns that into explicit back-pressure:
+
+* at most ``capacity`` requests execute concurrently;
+* at most ``queue_depth`` more may *wait* for a slot (bounded, so queue
+  time — and therefore worst-case latency — is bounded too);
+* everything beyond that is shed immediately, and the server answers
+  ``503`` with ``Retry-After`` instead of silently queueing forever.
+
+A waiter also gives up when its share of the request deadline runs out
+(better to shed than to serve a response nobody is waiting for), and a
+draining gate refuses all new admissions while in-flight work finishes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+__all__ = ["AdmissionGate", "ShedDecision"]
+
+
+class ShedDecision:
+    """Why an admission attempt did not get a slot."""
+
+    #: Queue is already full — shed without waiting.
+    QUEUE_FULL = "queue_full"
+    #: Waited, but the caller's deadline budget ran out first.
+    TIMEOUT = "queue_timeout"
+    #: The gate is draining; no new work is admitted.
+    DRAINING = "draining"
+
+
+class AdmissionGate:
+    """Bounded concurrency + bounded waiting; everything else is shed.
+
+    Args:
+        capacity: concurrent admissions (the service's ``--jobs``).
+        queue_depth: admissions allowed to wait for a slot.
+    """
+
+    def __init__(self, capacity: int, queue_depth: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.capacity = capacity
+        self.queue_depth = queue_depth
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._inflight = 0
+        self._waiting = 0
+        self._draining = False
+        self.shed_total = 0
+        self.admitted_total = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (for /metricz and drain progress).
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding a slot."""
+        with self._lock:
+            return self._inflight
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        with self._lock:
+            return self._waiting
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` was called; no new admissions."""
+        with self._lock:
+            return self._draining
+
+    # ------------------------------------------------------------------
+    # Admission.
+
+    def try_acquire(self, timeout: float = 0.0) -> Optional[str]:
+        """Try to take a slot; returns None on admission, else the
+        :class:`ShedDecision` explaining the shed.
+
+        Args:
+            timeout: seconds this caller is willing to queue (its share
+              of the request deadline).  ``0`` sheds unless a slot is
+              immediately free.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._lock:
+            if self._draining:
+                self.shed_total += 1
+                return ShedDecision.DRAINING
+            if self._inflight < self.capacity:
+                self._inflight += 1
+                self.admitted_total += 1
+                return None
+            if self._waiting >= self.queue_depth or timeout <= 0.0:
+                self.shed_total += 1
+                return ShedDecision.QUEUE_FULL
+            self._waiting += 1
+            try:
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        self.shed_total += 1
+                        return ShedDecision.TIMEOUT
+                    self._slot_freed.wait(remaining)
+                    if self._draining:
+                        self.shed_total += 1
+                        return ShedDecision.DRAINING
+                    if self._inflight < self.capacity:
+                        self._inflight += 1
+                        self.admitted_total += 1
+                        return None
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        """Give a slot back (exactly once per successful admission)."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching admission")
+            self._inflight -= 1
+            self._slot_freed.notify_all()
+
+    # ------------------------------------------------------------------
+    # Drain.
+
+    def drain(self) -> None:
+        """Stop admitting; queued waiters wake and are shed immediately."""
+        with self._lock:
+            self._draining = True
+            self._slot_freed.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until every in-flight request finished, up to ``timeout``.
+
+        Returns True when the gate went idle inside the budget.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._lock:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    return False
+                self._slot_freed.wait(remaining)
+            return True

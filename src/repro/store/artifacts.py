@@ -50,7 +50,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -175,6 +175,15 @@ class ArtifactStore:
         self.stats = StoreStats()
         self._read_only = False
         self._warned_read_only = False
+        #: Optional read-path observer, called synchronously on the reading
+        #: thread after every payload read attempt as ``(name, status,
+        #: seconds)`` with status in ``{"hit", "miss", "corrupt"}`` and
+        #: ``seconds`` the wall time of the attempt (injected latency
+        #: included).  ``repro.serve`` hangs its circuit breaker here:
+        #: corrupt and slow reads count as dependency failures, misses and
+        #: fast hits as health signals.  Observer exceptions propagate —
+        #: the hook owner is part of the read path by choice.
+        self.read_observer: Optional[Callable[[str, str, float], None]] = None
 
     @property
     def read_only(self) -> bool:
@@ -190,14 +199,27 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Raw payload IO (header + checksum + atomic replace).
 
+    def _notify_read(self, name: str, status: str, started: float) -> None:
+        observer = self.read_observer
+        if observer is not None:
+            observer(name, status, time.perf_counter() - started)
+
     def _read_payload(self, cfg_key: str, name: str, ext: str) -> Optional[bytes]:
         path = self._path(cfg_key, name, ext)
+        started = time.perf_counter()
         try:
             blob = path.read_bytes()
         except OSError:
             self.stats.record(self.stats.misses, name)
             obs.count("store.misses")
+            self._notify_read(name, "miss", started)
             return None
+        rule = faults.fire("store.read.slow", name)
+        if rule is not None:
+            # A slow dependency, not a broken one: the payload stays valid
+            # but the read-path observer sees the elapsed time balloon.
+            logger.warning("injected store.read.slow on %s", name)
+            time.sleep(rule.delay_seconds if rule.delay_seconds is not None else 0.25)
         if faults.fire("store.read.corrupt", name) is not None:
             logger.warning("injected store.read.corrupt on %s", name)
             blob = faults.corrupt(blob)
@@ -215,6 +237,7 @@ class ArtifactStore:
             self.stats.record(self.stats.misses, name)
             obs.count("store.misses")
             self._quarantine(path)
+            self._notify_read(name, "corrupt", started)
             return None
         try:
             os.utime(path)  # refresh LRU position
@@ -224,6 +247,7 @@ class ArtifactStore:
         self.stats.bytes_read += len(payload)
         obs.count("store.hits")
         obs.count("store.bytes_read", len(payload))
+        self._notify_read(name, "hit", started)
         return payload
 
     def _write_payload(self, cfg_key: str, name: str, ext: str, payload: bytes) -> None:
@@ -249,7 +273,15 @@ class ArtifactStore:
             with open(tmp, "wb") as handle:
                 handle.write(header)
                 handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+            # The rename itself lives in the directory; without fsyncing it
+            # a crash can resurrect the old entry or lose the new one, and
+            # a concurrent reader on a journaled-metadata filesystem may
+            # briefly see neither.  Data fsync above + dir fsync here makes
+            # publish atomic *and* durable.
+            self._fsync_dir(path.parent)
         except OSError as error:
             self._unlink(tmp)
             self.stats.write_errors += 1
@@ -276,6 +308,20 @@ class ArtifactStore:
             path.unlink()
         except OSError:
             pass
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        """Best-effort fsync of a directory (publishes renames durably)."""
+        try:
+            fd = os.open(path, getattr(os, "O_DIRECTORY", os.O_RDONLY))
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------------
     # Quarantine.
@@ -344,10 +390,16 @@ class ArtifactStore:
         try:
             with np.load(io.BytesIO(payload), allow_pickle=False) as data:
                 return {key: data[key] for key in data.files}
+        except (KeyboardInterrupt, SystemExit):
+            # np.load can surface almost anything on a mangled zip, so the
+            # handler below is deliberately broad — but an interrupt or a
+            # shutdown must never be mistaken for a corrupt artifact.
+            raise
         except Exception:
             logger.warning("quarantining unreadable npz artifact %s/%s", cfg_key, name)
             self.stats.corrupt += 1
             self._quarantine(self._path(cfg_key, name, "npz"))
+            self._notify_read(name, "corrupt", time.perf_counter())
             return None
 
     def put_arrays(self, cfg_key: str, name: str, arrays: Mapping[str, np.ndarray]) -> None:
@@ -367,6 +419,7 @@ class ArtifactStore:
             logger.warning("quarantining unreadable json artifact %s/%s", cfg_key, name)
             self.stats.corrupt += 1
             self._quarantine(self._path(cfg_key, name, "json"))
+            self._notify_read(name, "corrupt", time.perf_counter())
             return None
 
     def put_json(self, cfg_key: str, name: str, value: Any) -> None:

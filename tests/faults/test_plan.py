@@ -6,7 +6,13 @@ import json
 
 import pytest
 
-from repro.faults import SITES, FaultPlan, FaultRule, default_chaos_plan
+from repro.faults import (
+    SITES,
+    FaultPlan,
+    FaultRule,
+    default_chaos_plan,
+    default_serve_plan,
+)
 
 
 class TestFaultRule:
@@ -156,10 +162,18 @@ class TestSerialization:
 class TestDefaultChaosPlan:
     NAMES = ["fig1", "fig2", "table1", "survey"]
 
-    def test_covers_every_site(self):
+    def test_covers_every_runner_site(self):
         plan = default_chaos_plan(1337, self.NAMES)
-        assert sorted(rule.site for rule in plan.rules) == sorted(SITES)
+        runner_sites = [s for s in SITES
+                        if not s.startswith(("store.read.slow", "serve."))]
+        assert sorted(rule.site for rule in plan.rules) == sorted(runner_sites)
         assert plan.seed == 1337
+
+    def test_chaos_and_serve_plans_jointly_cover_every_site(self):
+        chaos = default_chaos_plan(1337, self.NAMES)
+        serve = default_serve_plan(1337)
+        covered = {r.site for r in chaos.rules} | {r.site for r in serve.rules}
+        assert covered == set(SITES)
 
     def test_worker_victims_drawn_from_names(self):
         plan = default_chaos_plan(1337, self.NAMES)
@@ -191,3 +205,43 @@ class TestDefaultChaosPlan:
         plan = default_chaos_plan(0, [])
         crash = next(r for r in plan.rules if r.site == "worker.crash")
         assert crash.match == "*"
+
+
+class TestServeSites:
+    def test_serve_sites_registered(self):
+        assert "store.read.slow" in SITES
+        assert "serve.request.error" in SITES
+
+    def test_rules_accept_serve_sites(self):
+        slow = FaultRule("store.read.slow", match="results/*", delay_seconds=0.1)
+        error = FaultRule("serve.request.error", match="/v1/lists/*")
+        assert slow.delay_seconds == 0.1
+        assert error.probability == 1.0
+
+
+class TestDefaultServePlan:
+    def test_shape(self):
+        plan = default_serve_plan(1337)
+        assert [rule.site for rule in plan.rules] == [
+            "store.read.slow",
+            "store.read.corrupt",
+            "serve.request.error",
+        ]
+        slow, corrupt, error = plan.rules
+        assert slow.match == "results/*"
+        assert corrupt.match == "results/*"
+        assert error.match == "/v1/lists/*"
+        assert slow.delay_seconds == 0.15
+
+    def test_deterministic_for_a_seed(self):
+        assert default_serve_plan(7).to_dict() == default_serve_plan(7).to_dict()
+
+    def test_round_trips_through_json(self):
+        plan = default_serve_plan(42, slow_seconds=0.2)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.seed == 42
+
+    def test_slow_seconds_is_tunable(self):
+        plan = default_serve_plan(1, slow_seconds=0.5)
+        assert plan.rules[0].delay_seconds == 0.5

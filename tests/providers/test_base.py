@@ -24,6 +24,59 @@ class TestRankedList:
         head2 = ranked.head(30)
         assert head2.bucket_bounds.tolist() == [10, 30]
 
+    def test_head_exactly_at_bucket_boundary(self):
+        """k on a bound keeps that bucket whole and drops the rest."""
+        ranked = RankedList(
+            "x", None, Granularity.ORIGIN, np.arange(100),
+            bucket_bounds=np.array([10, 50, 100]),
+        )
+        head = ranked.head(10)
+        assert len(head) == 10
+        assert head.bucket_bounds.tolist() == [10]
+
+    def test_head_inside_first_bucket(self):
+        """k below the first bound shrinks that bucket to k."""
+        ranked = RankedList(
+            "x", None, Granularity.ORIGIN, np.arange(100),
+            bucket_bounds=np.array([10, 50, 100]),
+        )
+        head = ranked.head(5)
+        assert len(head) == 5
+        assert head.bucket_bounds.tolist() == [5]
+
+    def test_head_beyond_length_is_unchanged(self):
+        ranked = RankedList(
+            "x", None, Granularity.ORIGIN, np.arange(100),
+            bucket_bounds=np.array([10, 50, 100]),
+        )
+        head = ranked.head(500)
+        assert len(head) == 100
+        assert head.bucket_bounds.tolist() == [10, 50, 100]
+
+    def test_head_bounds_always_close_at_length(self):
+        """Invariant the serve layer reports to clients: the clipped
+        bounds stay strictly increasing and end exactly at len(head)."""
+        ranked = RankedList(
+            "x", None, Granularity.ORIGIN, np.arange(100),
+            bucket_bounds=np.array([10, 50, 100]),
+        )
+        for k in (1, 9, 10, 11, 49, 50, 51, 99, 100, 101):
+            head = ranked.head(k)
+            bounds = head.bucket_bounds.tolist()
+            assert bounds[-1] == len(head)
+            assert bounds == sorted(set(bounds))
+
+    def test_head_bucketed_provider_boundaries(self, small_providers):
+        """Same invariant on a real bucketed provider (CrUX)."""
+        ranked = small_providers["crux"].daily_list(0)
+        assert ranked.is_bucketed
+        ks = [1, 10, 100] + ranked.bucket_bounds.tolist()[:2]
+        for k in ks:
+            head = ranked.head(k)
+            bounds = head.bucket_bounds.tolist()
+            assert bounds[-1] == len(head) == min(k, len(ranked))
+            assert all(b1 < b2 for b1, b2 in zip(bounds, bounds[1:]))
+
     def test_strings(self, small_world, small_providers):
         ranked = small_providers["alexa"].daily_list(0)
         strings = ranked.strings(small_world, limit=5)

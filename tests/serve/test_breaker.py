@@ -1,0 +1,171 @@
+"""CircuitBreaker state machine (fake clock) and the LastKnownGood cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import BreakerState, CircuitBreaker, LastKnownGood
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, threshold=3, cooldown=10.0, transitions=None):
+    callback = None
+    if transitions is not None:
+        callback = lambda old, new, reason: transitions.append((old, new, reason))
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        cooldown_seconds=cooldown,
+        on_transition=callback,
+        clock=clock,
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self, clock):
+        breaker = make_breaker(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_consecutive_count(self, clock):
+        breaker = make_breaker(clock, threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_threshold_validated(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+
+class TestOpen:
+    def test_opens_at_threshold(self, clock):
+        transitions = []
+        breaker = make_breaker(clock, threshold=3, transitions=transitions)
+        for _ in range(3):
+            breaker.record_failure("corrupt")
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opens == 1
+        assert transitions == [(BreakerState.CLOSED, BreakerState.OPEN, "corrupt")]
+
+    def test_open_denies_reads(self, clock):
+        breaker = make_breaker(clock, threshold=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+
+
+class TestHalfOpen:
+    def test_cooldown_enables_single_probe(self, clock):
+        breaker = make_breaker(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.allow()  # the one probe
+        assert not breaker.allow()  # everyone else still blocked
+        assert breaker.probes == 1
+
+    def test_probe_success_closes(self, clock):
+        transitions = []
+        breaker = make_breaker(clock, threshold=1, cooldown=1.0,
+                               transitions=transitions)
+        breaker.record_failure("slow")
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.closes == 1
+        assert breaker.allow()
+        assert transitions[-1] == (
+            BreakerState.HALF_OPEN, BreakerState.CLOSED, "probe_succeeded"
+        )
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = make_breaker(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.5)
+        assert breaker.allow()
+        breaker.record_failure("corrupt")
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opens == 2
+        clock.advance(9.0)
+        assert not breaker.allow()  # cooldown restarted at the failed probe
+        clock.advance(1.5)
+        assert breaker.allow()
+
+    def test_snapshot_fields(self, clock):
+        breaker = make_breaker(clock, threshold=2)
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == BreakerState.CLOSED
+        assert snapshot["consecutive_failures"] == 1
+        assert snapshot["failures_total"] == 1
+        assert snapshot["failure_threshold"] == 2
+
+
+class TestLastKnownGood:
+    def test_put_get_bytes(self):
+        lkg = LastKnownGood(capacity=4)
+        lkg.put("fig1", b'{"a": 1}')
+        assert lkg.get("fig1") == b'{"a": 1}'
+        assert lkg.serves == 1
+        assert "fig1" in lkg
+        assert len(lkg) == 1
+
+    def test_miss_is_none(self):
+        lkg = LastKnownGood()
+        assert lkg.get("nope") is None
+        assert lkg.serves == 0
+
+    def test_evicts_least_recently_used(self):
+        lkg = LastKnownGood(capacity=2)
+        lkg.put("a", b"1")
+        lkg.put("b", b"2")
+        lkg.put("c", b"3")
+        assert "a" not in lkg
+        assert lkg.get("b") == b"2"
+        assert lkg.get("c") == b"3"
+
+    def test_get_refreshes_recency(self):
+        lkg = LastKnownGood(capacity=2)
+        lkg.put("a", b"1")
+        lkg.put("b", b"2")
+        lkg.get("a")
+        lkg.put("c", b"3")
+        assert "a" in lkg
+        assert "b" not in lkg
+
+    def test_put_overwrites(self):
+        lkg = LastKnownGood(capacity=2)
+        lkg.put("a", b"1")
+        lkg.put("a", b"2")
+        assert lkg.get("a") == b"2"
+        assert len(lkg) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LastKnownGood(capacity=0)

@@ -1,0 +1,53 @@
+"""DrainController: single-shot triggering and signal wiring."""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+from repro.serve.drain import DrainController
+
+
+class TestRequest:
+    def test_starts_unrequested(self):
+        ctl = DrainController()
+        assert not ctl.requested
+        assert ctl.reason is None
+
+    def test_first_reason_sticks(self):
+        ctl = DrainController()
+        ctl.request("SIGTERM")
+        ctl.request("SIGINT")
+        assert ctl.requested
+        assert ctl.reason == "SIGTERM"
+
+    def test_wait_returns_immediately_after_request(self):
+        ctl = DrainController()
+        ctl.request("stop")
+        assert ctl.wait(timeout=0.0)
+
+    def test_wait_times_out_without_request(self):
+        ctl = DrainController()
+        assert not ctl.wait(timeout=0.01)
+
+    def test_wait_wakes_on_request_from_other_thread(self):
+        ctl = DrainController()
+        timer = threading.Timer(0.05, ctl.request, args=("stop",))
+        timer.start()
+        assert ctl.wait(timeout=2.0)
+        timer.join()
+
+
+class TestSignals:
+    def test_install_routes_sigterm_and_restore_puts_back(self):
+        ctl = DrainController()
+        before = signal.getsignal(signal.SIGTERM)
+        ctl.install()
+        try:
+            assert signal.getsignal(signal.SIGTERM) is not before
+            signal.raise_signal(signal.SIGTERM)
+            assert ctl.wait(timeout=2.0)
+            assert ctl.reason == "SIGTERM"
+        finally:
+            ctl.restore()
+        assert signal.getsignal(signal.SIGTERM) is before

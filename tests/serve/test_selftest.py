@@ -1,0 +1,46 @@
+"""End-to-end ``run_selftest`` at a small world: chaos plan, breaker
+cycle, shed burst, and SIGTERM drain all inside one process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.selftest import run_selftest
+from repro.worldgen.config import WorldConfig
+
+_CONFIG = WorldConfig(n_sites=400, n_days=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    # A reduced request volume keeps the module fast; the injected 500s
+    # then weigh more, so the availability bar drops with them.
+    return run_selftest(
+        _CONFIG,
+        cache_dir=str(tmp_path_factory.mktemp("selftest-cache")),
+        min_requests=120,
+        availability_threshold=0.97,
+    )
+
+
+def test_selftest_passes_under_chaos(report):
+    assert report.ok, "\n" + report.render()
+    assert report.breaker_opens >= 1
+    assert report.breaker_closes >= 1
+    assert report.requests_total >= 120
+    assert report.shed_observed
+
+
+def test_selftest_log_tells_the_lifecycle_story(report):
+    joined = "\n".join(report.log_lines)
+    for marker in ("serve.start", "serve.ready", "breaker.open",
+                   "breaker.close", "drain.start", "drain.complete",
+                   "event=serve.exit code=0"):
+        assert marker in joined, f"missing {marker} in access log"
+
+
+def test_selftest_report_renders_every_check(report):
+    rendered = report.render()
+    assert str(len(report.checks)) in rendered
+    for check in report.checks:
+        assert check.name in rendered

@@ -1,0 +1,135 @@
+"""AdmissionGate: bounded concurrency, bounded queueing, shedding, drain."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.shed import AdmissionGate, ShedDecision
+
+
+class TestAdmission:
+    def test_admits_up_to_capacity(self):
+        gate = AdmissionGate(capacity=2, queue_depth=0)
+        assert gate.try_acquire() is None
+        assert gate.try_acquire() is None
+        assert gate.inflight == 2
+        assert gate.admitted_total == 2
+
+    def test_sheds_immediately_when_full_and_no_queue(self):
+        gate = AdmissionGate(capacity=1, queue_depth=0)
+        assert gate.try_acquire() is None
+        assert gate.try_acquire() == ShedDecision.QUEUE_FULL
+        assert gate.shed_total == 1
+
+    def test_zero_timeout_never_waits(self):
+        gate = AdmissionGate(capacity=1, queue_depth=5)
+        assert gate.try_acquire() is None
+        started = time.monotonic()
+        assert gate.try_acquire(timeout=0.0) == ShedDecision.QUEUE_FULL
+        assert time.monotonic() - started < 0.1
+
+    def test_release_frees_slot(self):
+        gate = AdmissionGate(capacity=1, queue_depth=0)
+        assert gate.try_acquire() is None
+        gate.release()
+        assert gate.inflight == 0
+        assert gate.try_acquire() is None
+
+    def test_release_without_acquire_raises(self):
+        gate = AdmissionGate(capacity=1, queue_depth=0)
+        with pytest.raises(RuntimeError):
+            gate.release()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(capacity=0, queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionGate(capacity=1, queue_depth=-1)
+
+
+class TestQueueing:
+    def test_waiter_admitted_when_slot_frees(self):
+        gate = AdmissionGate(capacity=1, queue_depth=1)
+        assert gate.try_acquire() is None
+        result = {}
+
+        def waiter():
+            result["shed"] = gate.try_acquire(timeout=5.0)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while gate.waiting == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert gate.waiting == 1
+        gate.release()
+        thread.join(timeout=2.0)
+        assert result["shed"] is None
+        assert gate.inflight == 1
+
+    def test_waiter_times_out(self):
+        gate = AdmissionGate(capacity=1, queue_depth=1)
+        assert gate.try_acquire() is None
+        assert gate.try_acquire(timeout=0.05) == ShedDecision.TIMEOUT
+        assert gate.waiting == 0
+
+    def test_queue_depth_bounds_waiters(self):
+        gate = AdmissionGate(capacity=1, queue_depth=1)
+        assert gate.try_acquire() is None
+        results = []
+
+        def waiter():
+            results.append(gate.try_acquire(timeout=0.5))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while gate.waiting == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        # The queue is now full; the next caller sheds without waiting.
+        assert gate.try_acquire(timeout=0.5) == ShedDecision.QUEUE_FULL
+        gate.release()
+        thread.join(timeout=2.0)
+        assert results == [None]
+
+
+class TestDrain:
+    def test_draining_gate_sheds_new_arrivals(self):
+        gate = AdmissionGate(capacity=2, queue_depth=2)
+        gate.drain()
+        assert gate.try_acquire() == ShedDecision.DRAINING
+        assert gate.draining
+
+    def test_drain_wakes_and_sheds_waiters(self):
+        gate = AdmissionGate(capacity=1, queue_depth=2)
+        assert gate.try_acquire() is None
+        results = []
+
+        def waiter():
+            results.append(gate.try_acquire(timeout=10.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while gate.waiting == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        gate.drain()
+        thread.join(timeout=2.0)
+        assert results == [ShedDecision.DRAINING]
+
+    def test_wait_idle_returns_when_inflight_done(self):
+        gate = AdmissionGate(capacity=1, queue_depth=0)
+        assert gate.try_acquire() is None
+        timer = threading.Timer(0.05, gate.release)
+        timer.start()
+        assert gate.wait_idle(timeout=2.0)
+        timer.join()
+
+    def test_wait_idle_times_out_while_busy(self):
+        gate = AdmissionGate(capacity=1, queue_depth=0)
+        assert gate.try_acquire() is None
+        assert not gate.wait_idle(timeout=0.05)
+        gate.release()
