@@ -34,6 +34,14 @@ Command families, all dispatched through one table in :func:`main`:
   graceful drain on SIGTERM.  ``--fault-plan plan.json`` injects faults
   under live traffic; ``--selftest`` replays a deterministic chaos mix
   against a live instance and asserts availability (``repro.serve``).
+* ``repro loadgen [--spawn | --base-url URL]`` — the load harness: seeded
+  client personas (dashboard pollers, researchers, health probes) driven
+  open-loop (``--rate``) or closed-loop (``--closed-loop N``) against the
+  metrics service, with golden-body drift detection, a mergeable latency
+  histogram, and an ``--slo`` gate over the ``LOADGEN_<yyyymmdd>.json``
+  report.  ``--spawn`` forks a chaos-armed ``repro serve`` child and
+  requires saturation sheds + >= 99% golden-correct availability
+  (``repro.loadgen``).
 
 Exit codes are uniform across every command: 0 on success, 1 on
 experiment failure / golden drift / invariant violation, 2 on usage
@@ -58,6 +66,9 @@ Examples::
     repro chaos --seed 1337           # full registry under fault injection
     repro all --quick && repro serve --quick   # serve golden-scale results
     repro serve --selftest --quick    # resilience selftest (chaos + drain)
+    repro loadgen --spawn --quick --seed 7     # chaos + saturation smoke
+    repro loadgen --base-url http://127.0.0.1:8321 --rate 50 \\
+        --slo p99_ms=250,error_rate=0.01      # SLO-gate a live instance
 """
 
 from __future__ import annotations
@@ -304,7 +315,7 @@ def _run_experiments(argv: List[str]) -> int:
             line = f"  {spec.id:10s} {spec.summary}"
             print(line + (f"  [{tags}]" if tags else ""))
         print("\nother commands: bench, export, recommend, validate, summary, "
-              "cache, verify-goldens, verify-invariants, chaos, serve")
+              "cache, verify-goldens, verify-invariants, chaos, serve, loadgen")
         return EXIT_OK
 
     names = list(SPECS) if args.experiment == "all" else [args.experiment]
@@ -1002,6 +1013,117 @@ def _run_serve(argv: List[str]) -> int:
         fault_inject.activate(None)
 
 
+def _run_loadgen(argv: List[str]) -> int:
+    """Drive persona load at the metrics service; gate on SLOs."""
+    from repro.loadgen.harness import LoadgenOptions, run_loadgen
+    from repro.loadgen.personas import parse_mix
+    from repro.loadgen.report import SloThresholds
+
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description=(
+            "Deterministic load harness for the metrics service: seeded "
+            "client personas (dashboard pollers / researchers / health "
+            "probes) driven open-loop (--rate) or closed-loop "
+            "(--closed-loop), validating every response body, honoring "
+            "Retry-After on sheds, and writing an SLO-gated "
+            "LOADGEN_<yyyymmdd>.json report.  --spawn forks a chaos-armed "
+            "`repro serve` child and additionally requires real admission-"
+            "gate sheds under saturation, >= 99% golden-correct "
+            "availability under faults, and a clean SIGTERM drain."
+        ),
+        parents=[_cache_parent()],
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--base-url", default=None, metavar="URL",
+                        help="load an already-running service at this "
+                             "http URL")
+    target.add_argument("--spawn", action="store_true",
+                        help="fork a `repro serve --quick` child against "
+                             "the prebuilt cache (chaos fault plan armed "
+                             "unless --no-faults)")
+    pacing = parser.add_mutually_exclusive_group()
+    pacing.add_argument("--rate", type=float, default=None, metavar="RPS",
+                        help="open loop: constant arrival rate in "
+                             "requests/second (honest latency under a "
+                             "fixed offered load)")
+    pacing.add_argument("--closed-loop", type=int, default=None, metavar="N",
+                        help="closed loop: N concurrent persona sessions "
+                             "(default 6; offered load adapts to service "
+                             "speed)")
+    parser.add_argument("--duration", type=float, default=None,
+                        metavar="SECONDS",
+                        help="nominal run length (default 4 with --quick, "
+                             "else 15; the chaos phase extends past it "
+                             "until its minimum request volume is met)")
+    parser.add_argument("--mix", default=None, metavar="SPEC",
+                        help="persona weights, e.g. "
+                             "dashboards=0.7,researchers=0.2,probes=0.1 "
+                             "(the default)")
+    parser.add_argument("--seed", type=int, default=7, metavar="N",
+                        help="master seed for every persona schedule and "
+                             "the chaos fault plan (default 7)")
+    parser.add_argument("--slo", default=None, metavar="SPEC",
+                        help="exit-code thresholds, e.g. "
+                             "p99_ms=750,shed_rate=0.25,error_rate=0.01,"
+                             "availability=0.99,body_drift=0 (latency and "
+                             "rate keys judge the steady/chaos phase; "
+                             "body_drift is run-wide)")
+    parser.add_argument("--fault-plan", default=None, metavar="PATH",
+                        help="spawn: arm the child with this plan JSON "
+                             "instead of the built-in chaos plan")
+    parser.add_argument("--no-faults", action="store_true",
+                        help="spawn: run the child fault-free (pure "
+                             "capacity measurement)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="report path (default ./LOADGEN_<yyyymmdd>"
+                             ".json)")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="spawn: workers for populating missing "
+                             "results (default 2)")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="per-request client timeout (default 5)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke sizing: short phases at golden "
+                             "scale")
+    args = parser.parse_args(argv)
+
+    cache_dir = _cache_dir_from_args(args)
+    if args.spawn and cache_dir is None:
+        print("repro loadgen --spawn serves precomputed results; it cannot "
+              "run with --no-cache", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        options = LoadgenOptions(
+            seed=args.seed,
+            base_url=args.base_url,
+            spawn=args.spawn,
+            duration_seconds=args.duration,
+            rate=args.rate,
+            closed_loop=args.closed_loop,
+            mix=parse_mix(args.mix),
+            slo=SloThresholds.parse(args.slo),
+            report_path=args.report,
+            quick=args.quick,
+            cache_dir=cache_dir,
+            jobs=max(1, args.jobs),
+            fault_plan=args.fault_plan,
+            no_faults=args.no_faults,
+            timeout=args.timeout,
+        )
+    except ValueError as error:
+        print(f"bad loadgen options: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        result = run_loadgen(options)
+    except (RuntimeError, OSError, ValueError) as error:
+        print(f"loadgen failed: {error}", file=sys.stderr)
+        return EXIT_FAILURE
+    print(result.render())
+    return EXIT_OK if result.ok else EXIT_FAILURE
+
+
 #: Subcommand dispatch table; anything not listed is an experiment id.
 _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "export": _run_export,
@@ -1014,6 +1136,7 @@ _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "verify-invariants": _run_verify_invariants,
     "chaos": _run_chaos,
     "serve": _run_serve,
+    "loadgen": _run_loadgen,
 }
 
 

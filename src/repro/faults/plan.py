@@ -67,6 +67,11 @@ class FaultRule:
         max_fires: occurrence budget.  For store sites this caps fires per
           process; for worker sites it caps fires per *submission index*,
           which is what lets a killed worker's resubmission run clean.
+        min_occurrence: first eligible occurrence index (default 0).  A
+          rule with ``min_occurrence=1`` lets the *first* consult per key
+          pass clean and becomes eligible from the second on — which is
+          how a serving-path plan armed at boot spares the warmup read
+          (one read per results key) and fires under live traffic instead.
         delay_seconds: sleep length for ``worker.hang`` (default 3600 —
           anything longer than any sane deadline) and ``store.read.slow``
           (default 0.25 — long enough to trip a serving-path breaker).
@@ -79,6 +84,7 @@ class FaultRule:
     max_fires: int = 1
     delay_seconds: Optional[float] = None
     exit_code: int = 3
+    min_occurrence: int = 0
 
     def __post_init__(self) -> None:
         if self.site not in SITES:
@@ -89,6 +95,10 @@ class FaultRule:
             raise ValueError(f"probability must be in [0, 1], got {self.probability}")
         if self.max_fires < 0:
             raise ValueError(f"max_fires must be >= 0, got {self.max_fires}")
+        if self.min_occurrence < 0:
+            raise ValueError(
+                f"min_occurrence must be >= 0, got {self.min_occurrence}"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -101,6 +111,8 @@ class FaultRule:
             payload["delay_seconds"] = self.delay_seconds
         if self.exit_code != 3:
             payload["exit_code"] = self.exit_code
+        if self.min_occurrence:
+            payload["min_occurrence"] = self.min_occurrence
         return payload
 
     @classmethod
@@ -115,6 +127,7 @@ class FaultRule:
                 else float(payload["delay_seconds"])  # type: ignore[arg-type]
             ),
             exit_code=int(payload.get("exit_code", 3)),
+            min_occurrence=int(payload.get("min_occurrence", 0)),
         )
 
 
@@ -170,7 +183,9 @@ class FaultPlan:
                 self._occurrences[slot] = occ + 1
             else:
                 occ = occurrence
-            if occ >= rule.max_fires:
+            if occ < rule.min_occurrence:
+                continue
+            if occ >= rule.min_occurrence + rule.max_fires:
                 continue
             if not self._decide(index, site, key, occ, rule.probability):
                 continue
@@ -247,30 +262,48 @@ def default_chaos_plan(
     )
 
 
-def default_serve_plan(seed: int, slow_seconds: float = 0.15) -> FaultPlan:
-    """The built-in ``repro serve --selftest`` plan: serving-path faults.
+def default_serve_plan(
+    seed: int,
+    slow_seconds: float = 0.15,
+    warmup_reads: int = 0,
+    error_probability: float = 1.0,
+) -> FaultPlan:
+    """The built-in serving-path fault plan (``--selftest`` and loadgen).
 
-    Per results key, the first live read is injected slow *and* corrupt
-    (``max_fires`` budgets are per ``(rule, key)``), so under traffic the
-    service must quarantine the blob, trip its circuit breaker on the
-    consecutive failures, answer from last-known-good while open, repair
-    the store copy, and re-close the breaker once every key's fault budget
-    is spent.  One request on the lists surface also takes an injected
-    internal error, exercising the 5xx accounting path.
+    Per results key, the first eligible live read is injected slow *and*
+    corrupt (``max_fires`` budgets are per ``(rule, key)``), so under
+    traffic the service must quarantine the blob, trip its circuit breaker
+    on the consecutive failures, answer from last-known-good while open,
+    repair the store copy, and re-close the breaker once every key's fault
+    budget is spent.  Requests on the lists surface may also take an
+    injected internal error, exercising the 5xx accounting path.
 
     Args:
-        seed: plan seed (decides nothing here — every rule is
-          deterministic with probability 1 — but keeps replay commands
-          self-describing, and custom plans may lower probabilities).
+        seed: plan seed (decides only probabilistic rules — the store
+          rules are deterministic with probability 1 — and keeps replay
+          commands self-describing).
         slow_seconds: injected read latency; keep it above the breaker's
           slow-read threshold and well below the request deadline.
+        warmup_reads: reads per results key to let pass clean before the
+          store rules arm (``min_occurrence``).  The selftest activates
+          the plan *after* warmup and keeps the default 0; ``repro
+          loadgen --spawn`` arms the plan at child boot and passes 1 so
+          warmup's single read per key succeeds and the faults land under
+          live traffic instead.
+        error_probability: chance each lists path takes one injected
+          internal error on its first eligible request.  The selftest
+          sweeps two lists paths and keeps 1.0; a load generator sweeping
+          dozens of distinct paths lowers this so injected 5xx volume
+          stays inside its availability budget.
     """
     return FaultPlan(
         rules=[
             FaultRule("store.read.slow", match="results/*",
-                      delay_seconds=slow_seconds),
-            FaultRule("store.read.corrupt", match="results/*"),
-            FaultRule("serve.request.error", match="/v1/lists/*"),
+                      delay_seconds=slow_seconds, min_occurrence=warmup_reads),
+            FaultRule("store.read.corrupt", match="results/*",
+                      min_occurrence=warmup_reads),
+            FaultRule("serve.request.error", match="/v1/lists/*",
+                      probability=error_probability),
         ],
         seed=seed,
     )

@@ -1,0 +1,74 @@
+"""``repro loadgen`` — a deterministic load harness for the serve layer.
+
+Layers, one module per concern:
+
+* :mod:`repro.loadgen.personas` — seeded client behaviors (dashboard
+  pollers, researchers, health probes) that plan requests from a
+  hash-counter stream and validate every body they get back.
+* :mod:`repro.loadgen.engine` — the asyncio engine: raw-socket HTTP/1.1
+  client, open-loop token-bucket pacing, closed-loop sessions, retries
+  that honor ``Retry-After``.
+* :mod:`repro.loadgen.histogram` — mergeable log-bucketed latency
+  histograms with bounded quantile error.
+* :mod:`repro.loadgen.metrics` — the outcome taxonomy (ok / shed /
+  drift / ...), per-phase counters, merged totals.
+* :mod:`repro.loadgen.report` — the ``LOADGEN_<yyyymmdd>.json``
+  document and the SLO gate that decides the exit code.
+* :mod:`repro.loadgen.spawn` — forking and draining a ``repro serve``
+  child for self-contained ``--spawn`` runs.
+* :mod:`repro.loadgen.harness` — phase orchestration tying it together.
+"""
+
+from repro.loadgen.engine import LoadEngine, PhaseSpec, TokenBucket, discover_catalog
+from repro.loadgen.harness import LoadgenOptions, LoadgenResult, run_loadgen
+from repro.loadgen.histogram import LatencyHistogram
+from repro.loadgen.metrics import Outcome, PhaseMetrics
+from repro.loadgen.personas import (
+    Catalog,
+    DashboardPoller,
+    HashStream,
+    HealthProbe,
+    Persona,
+    PlannedRequest,
+    Researcher,
+    apportion,
+    make_persona,
+    parse_mix,
+)
+from repro.loadgen.report import (
+    LOADGEN_SCHEMA_VERSION,
+    GateResult,
+    SloThresholds,
+    build_report,
+    loadgen_path,
+    write_report,
+)
+
+__all__ = [
+    "Catalog",
+    "DashboardPoller",
+    "GateResult",
+    "HashStream",
+    "HealthProbe",
+    "LOADGEN_SCHEMA_VERSION",
+    "LatencyHistogram",
+    "LoadEngine",
+    "LoadgenOptions",
+    "LoadgenResult",
+    "Outcome",
+    "Persona",
+    "PhaseMetrics",
+    "PhaseSpec",
+    "PlannedRequest",
+    "Researcher",
+    "SloThresholds",
+    "TokenBucket",
+    "apportion",
+    "build_report",
+    "discover_catalog",
+    "loadgen_path",
+    "make_persona",
+    "parse_mix",
+    "run_loadgen",
+    "write_report",
+]

@@ -1,0 +1,520 @@
+"""The asyncio load engine: open-loop pacing, closed-loop sessions.
+
+Everything here is stdlib.  The HTTP client is a deliberately small
+raw-socket HTTP/1.1 GET (``Connection: close``) over
+:func:`asyncio.open_connection` — no aiohttp in the image, and
+``urllib`` would serialize on threads; a load generator must not have
+its own concurrency ceiling below the service's.
+
+Two driving modes, because they answer different questions:
+
+* **closed loop** — N worker sessions, each running one persona:
+  request, validate, think, repeat.  Offered load adapts to service
+  speed; this is how you find the saturation knee (enough workers with
+  zero think time *will* trip the admission gate).
+* **open loop** — a token bucket refilled at ``rate`` req/s hands
+  tokens to a worker pool; offered load is constant regardless of how
+  slow the service gets, which is the honest way to measure latency at
+  a fixed arrival rate (no coordinated omission).
+
+Retries reuse :class:`repro.runner.retry.RetryPolicy` — the same
+deterministic hash-jittered backoff the experiment runner uses — and
+honor ``Retry-After`` on 503/504: the sleep is
+``max(policy_backoff, min(retry_after, cap))``, and the engine counts
+every 503/504 that *failed* to carry a parseable Retry-After, which the
+harness gates at zero (the serve-side satellite's contract).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.loadgen.metrics import Outcome, PhaseMetrics
+from repro.loadgen.personas import (
+    Catalog,
+    Persona,
+    PlannedRequest,
+    apportion,
+    make_persona,
+)
+from repro.runner.retry import RetryPolicy
+
+__all__ = [
+    "HttpResponse",
+    "LoadEngine",
+    "PhaseSpec",
+    "TokenBucket",
+    "discover_catalog",
+    "http_get",
+]
+
+#: Never sleep longer than this on a single Retry-After, no matter what
+#: the server claims — a load test has a schedule to keep.
+RETRY_AFTER_SLEEP_CAP = 2.0
+
+#: A phase may overrun its nominal duration by at most this factor
+#: before the engine bails out (a wedged server must not hang CI).
+_PHASE_OVERRUN_FACTOR = 5.0
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A fully-read HTTP response (or client-side failure surrogate)."""
+
+    status: int
+    headers: Mapping[str, str]
+    body: bytes
+    latency_seconds: float
+    bytes_out: int
+
+
+async def http_get(
+    host: str,
+    port: int,
+    path: str,
+    timeout: float = 5.0,
+) -> HttpResponse:
+    """One HTTP/1.1 GET with ``Connection: close``; reads the full body.
+
+    Raises:
+        asyncio.TimeoutError: the whole exchange exceeded ``timeout``.
+        OSError: connect/reset failures.
+    """
+
+    async def _exchange() -> HttpResponse:
+        started = time.perf_counter()
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            request = (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "User-Agent: repro-loadgen\r\n"
+                "Accept: application/json\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("ascii")
+            writer.write(request)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(" ", 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise OSError(f"malformed status line {status_line!r}")
+            status = int(parts[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = headers.get("content-length")
+            if length is not None and length.isdigit():
+                body = await reader.readexactly(int(length))
+            else:
+                body = await reader.read()
+            return HttpResponse(
+                status=status,
+                headers=headers,
+                body=body,
+                latency_seconds=time.perf_counter() - started,
+                bytes_out=len(request),
+            )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    return await asyncio.wait_for(_exchange(), timeout=timeout)
+
+
+class TokenBucket:
+    """Open-loop pacing: tokens accrue at ``rate`` per second.
+
+    ``acquire`` waits until a whole token is available, so request
+    *starts* follow the configured arrival rate even when the service
+    slows down — the property that makes open-loop numbers honest.
+    """
+
+    def __init__(self, rate: float, burst: float = 1.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._tokens = self.burst
+        self._last = time.perf_counter()
+        self._lock = asyncio.Lock()
+
+    async def acquire(self) -> None:
+        async with self._lock:
+            while True:
+                now = time.perf_counter()
+                self._tokens = min(
+                    self.burst, self._tokens + (now - self._last) * self.rate
+                )
+                self._last = now
+                if self._tokens >= 1.0:
+                    self._tokens -= 1.0
+                    return
+                await asyncio.sleep((1.0 - self._tokens) / self.rate)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a load run.
+
+    Attributes:
+        name: report/phase label ("steady", "saturation", ...).
+        mode: "closed" (worker sessions) or "open" (token-bucket rate).
+        duration_seconds: nominal phase length.
+        workers: concurrent sessions (closed) or pool size (open).
+        rate: open-loop arrival rate in req/s (ignored when closed).
+        mix: persona-kind weights (normalized; see personas.parse_mix).
+        think_scale: multiplier on persona think times (0 disables
+          thinking entirely — the saturation setting).
+        min_requests: keep going past duration_seconds until at least
+          this many requests completed (still subject to the overrun
+          bail-out), so short CI phases have statistical weight.
+        retry_sheds: whether a 503/504 is retried after its Retry-After.
+          True models a polite client riding out overload (the chaos
+          phase); False records the shed and moves straight on — the
+          saturation setting, where the point is to *measure* refusals,
+          not to wait them out.
+        validate_bodies: whether 200 bodies are JSON-parsed and run
+          through the persona validators.  Saturation disables it so the
+          single-threaded client can offer more load than the gate can
+          admit; golden-drift pinning stays on either way (a byte
+          compare is cheap).
+    """
+
+    name: str
+    mode: str  # "closed" | "open"
+    duration_seconds: float
+    workers: int
+    mix: Mapping[str, float]
+    rate: float = 0.0
+    think_scale: float = 1.0
+    min_requests: int = 0
+    retry_sheds: bool = True
+    validate_bodies: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be closed|open, got {self.mode!r}")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError("open-loop phase needs rate > 0")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be > 0")
+
+
+class LoadEngine:
+    """Runs phases of persona traffic against one host:port target.
+
+    Args:
+        host/port: the target service.
+        seed: master seed; persona ``i`` of a phase derives its stream
+          from ``(seed, "{phase}:{kind}:{i}")`` so schedules are stable
+          per phase regardless of interleaving.
+        expectations: pinned golden bodies keyed by path (the spawn
+          harness pins ``/v1/experiments/<name>`` bodies from the
+          store); a 200 whose body mismatches its pin is body drift.
+        tracer: observability sink (counts land under ``loadgen.*``).
+        policy: retry backoff; Retry-After (capped) takes precedence
+          when larger.
+        timeout: per-request client timeout, seconds.
+    """
+
+    #: Statuses that are retried (with backoff / Retry-After).
+    RETRYABLE = (503, 504)
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        catalog: Catalog,
+        seed: int,
+        expectations: Optional[Mapping[str, bytes]] = None,
+        tracer: Optional[obs.Tracer] = None,
+        policy: Optional[RetryPolicy] = None,
+        timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.catalog = catalog
+        self.seed = int(seed)
+        self.expectations = dict(expectations or {})
+        self.tracer = tracer if tracer is not None else obs.Tracer()
+        self.policy = policy if policy is not None else RetryPolicy(
+            max_attempts=3, base_delay=0.05, multiplier=2.0, max_delay=1.0
+        )
+        self.timeout = timeout
+        self.personas: List[Persona] = []
+
+    # ------------------------------------------------------------------
+    # Public API.
+
+    def run_phase(self, spec: PhaseSpec) -> PhaseMetrics:
+        """Run one phase to completion (blocking; owns its event loop)."""
+        return asyncio.run(self._run_phase(spec))
+
+    def schedule_digests(self) -> List[Dict[str, object]]:
+        """Determinism fingerprints for every persona that ran."""
+        return [persona.schedule_digest() for persona in self.personas]
+
+    # ------------------------------------------------------------------
+    # Phase internals.
+
+    def _build_personas(self, spec: PhaseSpec) -> List[Persona]:
+        counts = apportion(spec.workers, dict(spec.mix))
+        personas: List[Persona] = []
+        for kind in sorted(counts):
+            for index in range(counts[kind]):
+                persona_id = f"{spec.name}:{kind}:{index}"
+                personas.append(
+                    make_persona(kind, persona_id, self.seed, self.catalog)
+                )
+        return personas
+
+    async def _run_phase(self, spec: PhaseSpec) -> PhaseMetrics:
+        metrics = PhaseMetrics(spec.name)
+        personas = self._build_personas(spec)
+        self.personas.extend(personas)
+        started = time.perf_counter()
+        soft_deadline = started + spec.duration_seconds
+        hard_deadline = started + spec.duration_seconds * _PHASE_OVERRUN_FACTOR
+
+        def keep_going() -> bool:
+            now = time.perf_counter()
+            if now >= hard_deadline:
+                return False
+            if now < soft_deadline:
+                return True
+            return metrics.requests < spec.min_requests
+
+        bucket = (
+            TokenBucket(spec.rate, burst=max(1.0, spec.rate / 10.0))
+            if spec.mode == "open"
+            else None
+        )
+        lock = asyncio.Lock()
+
+        async def session(persona: Persona) -> None:
+            while keep_going():
+                if bucket is not None:
+                    await bucket.acquire()
+                    if not keep_going():
+                        return
+                request = persona.next_request()
+                outcome = await self._issue(
+                    persona,
+                    request,
+                    retry_sheds=spec.retry_sheds,
+                    validate_bodies=spec.validate_bodies,
+                )
+                async with lock:
+                    metrics.record(outcome)
+                self.tracer.count_root(f"loadgen.outcome.{outcome.outcome}")
+                think = request.think_seconds * spec.think_scale
+                if think > 0:
+                    await asyncio.sleep(think)
+
+        await asyncio.gather(*(session(p) for p in personas))
+        metrics.duration_seconds = time.perf_counter() - started
+        self.tracer.count_root("loadgen.phases")
+        return metrics
+
+    # ------------------------------------------------------------------
+    # One request, with retries.
+
+    async def _issue(
+        self,
+        persona: Persona,
+        request: PlannedRequest,
+        retry_sheds: bool = True,
+        validate_bodies: bool = True,
+    ) -> Outcome:
+        started = time.perf_counter()
+        attempts = 0
+        bytes_in = 0
+        bytes_out = 0
+        retry_after_seen = 0
+        retry_after_missing = 0
+        honored = 0.0
+        last_status: Optional[int] = None
+        last_outcome = "connect_error"
+        detail = ""
+        for attempt in self.policy.attempts():
+            attempts = attempt
+            try:
+                response = await http_get(
+                    self.host, self.port, request.path, timeout=self.timeout
+                )
+            except asyncio.TimeoutError:
+                last_status, last_outcome, detail = None, "client_timeout", "timeout"
+                self.tracer.count_root("loadgen.client_timeout")
+                continue
+            except (OSError, asyncio.IncompleteReadError) as exc:
+                last_status, last_outcome = None, "connect_error"
+                detail = type(exc).__name__
+                self.tracer.count_root("loadgen.connect_error")
+                await asyncio.sleep(self.policy.delay(attempt, request.path))
+                continue
+            bytes_in += len(response.body)
+            bytes_out += response.bytes_out
+            last_status = response.status
+            if response.status in self.RETRYABLE:
+                retry_after = _parse_retry_after(response.headers)
+                if retry_after is None:
+                    # A 503/504 without a usable Retry-After is a broken
+                    # shed — count it as a server error, not a polite one.
+                    retry_after_missing += 1
+                    last_outcome = "http_5xx"
+                    detail = f"status {response.status} without Retry-After"
+                else:
+                    retry_after_seen += 1
+                    last_outcome = "shed"
+                    detail = f"status {response.status} Retry-After={retry_after}"
+                if not retry_sheds:
+                    break
+                if attempt < self.policy.max_attempts:
+                    backoff = self.policy.delay(attempt, request.path)
+                    if retry_after is not None:
+                        backoff = max(
+                            backoff, min(float(retry_after), RETRY_AFTER_SLEEP_CAP)
+                        )
+                        honored += backoff
+                    await asyncio.sleep(backoff)
+                continue
+            if response.status >= 500 and attempt < self.policy.max_attempts:
+                # Generic 5xx (e.g. an injected internal error): retry on
+                # the policy's backoff alone — only 503/504 speak
+                # Retry-After.  A 5xx that survives every attempt is
+                # classified below on the final lap.
+                last_outcome = "http_5xx"
+                detail = f"status {response.status}"
+                await asyncio.sleep(self.policy.delay(attempt, request.path))
+                continue
+            last_outcome, detail = self._classify(
+                persona, request, response, validate_bodies
+            )
+            break
+        return Outcome(
+            path=request.path,
+            kind=request.kind,
+            persona_id=persona.persona_id,
+            outcome=last_outcome,
+            status=last_status,
+            latency_seconds=time.perf_counter() - started,
+            attempts=attempts,
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+            retry_after_seen=retry_after_seen,
+            retry_after_missing=retry_after_missing,
+            retry_after_honored_seconds=honored,
+            detail=detail,
+        )
+
+    def _classify(
+        self,
+        persona: Persona,
+        request: PlannedRequest,
+        response: HttpResponse,
+        validate_bodies: bool = True,
+    ) -> Tuple[str, str]:
+        """Map a non-retryable response to an outcome kind + detail."""
+        if response.status != 200:
+            if 400 <= response.status < 500:
+                return "http_4xx", f"status {response.status}"
+            return "http_5xx", f"status {response.status}"
+        expected = self.expectations.get(request.path)
+        if expected is not None and response.body != expected:
+            self.tracer.count_root("loadgen.body_drift")
+            return (
+                "body_drift",
+                f"body sha256 {_short_digest(response.body)} != "
+                f"pinned {_short_digest(expected)}",
+            )
+        if not validate_bodies:
+            return "ok", ""
+        try:
+            body = json.loads(response.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return "validation", f"unparseable body: {type(exc).__name__}"
+        reason = persona.validate(request, body)
+        if reason is not None:
+            self.tracer.count_root("loadgen.validation")
+            return "validation", reason
+        return "ok", ""
+
+
+def _parse_retry_after(headers: Mapping[str, str]) -> Optional[int]:
+    """Integer seconds from a Retry-After header, else None.
+
+    The serving contract is delta-seconds only (no HTTP dates); a
+    missing, non-numeric, or non-positive value counts as missing,
+    because a client can't act on it.
+    """
+    raw = headers.get("retry-after")
+    if raw is None:
+        return None
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        return None
+    return value if value >= 1 else None
+
+
+def _short_digest(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()[:12]
+
+
+def discover_catalog(host: str, port: int, timeout: float = 5.0) -> Catalog:
+    """Build a Catalog from the live service's index endpoints.
+
+    Synchronous (uses http.client) because discovery happens once,
+    before the event loop exists.  Only experiments whose index status
+    is ``available`` become researcher targets — paging a known-missing
+    result would just measure 404s.
+    """
+    import http.client
+
+    def _get_json(path: str) -> dict:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status != 200:
+                raise RuntimeError(
+                    f"GET {path} -> {response.status}: {payload[:200]!r}"
+                )
+            return json.loads(payload.decode("utf-8"))
+        finally:
+            connection.close()
+
+    lists_index = _get_json("/v1/lists")
+    experiments_index = _get_json("/v1/experiments")
+    providers = tuple(
+        str(row["id"]) for row in lists_index.get("providers", [])
+    )
+    experiments = tuple(
+        str(row["id"])
+        for row in experiments_index.get("experiments", [])
+        if row.get("status") == "available"
+    )
+    return Catalog(
+        providers=providers,
+        days=int(lists_index.get("days", 0)),
+        experiments=experiments,
+        default_k=int(lists_index.get("default_k", 100)),
+        max_k=int(lists_index.get("max_k", 1000)),
+    )

@@ -1,0 +1,372 @@
+"""``repro loadgen`` orchestration: phases, gates, report, exit code.
+
+Two entry shapes:
+
+* ``--base-url http://host:port`` — measure a service somebody else is
+  running: one phase (open-loop at ``--rate`` or closed-loop with
+  ``--closed-loop N`` sessions), SLO-gated.
+* ``--spawn`` — own the whole story: fork a ``repro serve`` child
+  against a prebuilt cache with the chaos fault plan armed, run a
+  **chaos** phase (steady persona mix that must stay >= 99%
+  golden-correct on non-shed responses while blobs corrupt and the
+  breaker cycles underneath) and a **saturation** phase (a zero-think
+  closed-loop fleet sized several times the admission gate, which must
+  drive real shedding — every shed carrying a parseable Retry-After),
+  then SIGTERM the child and require a clean drain.
+
+Every run writes ``LOADGEN_<yyyymmdd>.json``; the structural gates plus
+any ``--slo`` thresholds decide the exit code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro import obs
+from repro.loadgen.engine import LoadEngine, PhaseSpec, discover_catalog
+from repro.loadgen.metrics import PhaseMetrics
+from repro.loadgen.personas import DEFAULT_MIX
+from repro.loadgen.report import (
+    GateResult,
+    SloThresholds,
+    build_report,
+    loadgen_path,
+    write_report,
+)
+
+__all__ = ["LoadgenOptions", "LoadgenResult", "run_loadgen"]
+
+#: Chaos-phase correctness floor (the ISSUE's acceptance bar).
+CHAOS_AVAILABILITY_FLOOR = 0.99
+
+#: Saturation sizing: worker sessions per admission-gate slot
+#: (inflight + queue).  Several times the gate guarantees shedding.
+_SATURATION_PRESSURE = 12
+
+
+@dataclass
+class LoadgenOptions:
+    """Parsed ``repro loadgen`` invocation."""
+
+    seed: int = 7
+    base_url: Optional[str] = None
+    spawn: bool = False
+    duration_seconds: Optional[float] = None
+    rate: Optional[float] = None  # open loop when set
+    closed_loop: Optional[int] = None  # closed-loop worker count
+    mix: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    slo: SloThresholds = field(default_factory=SloThresholds)
+    report_path: Optional[str] = None
+    quick: bool = False
+    cache_dir: Optional[str] = None
+    jobs: int = 2
+    fault_plan: Optional[str] = None  # explicit plan file for the child
+    no_faults: bool = False  # spawn a fault-free child
+    timeout: float = 5.0
+
+
+@dataclass
+class LoadgenResult:
+    """What ``run_loadgen`` hands back to the CLI."""
+
+    ok: bool
+    report: Dict[str, object]
+    report_path: Optional[str]
+    phases: List[PhaseMetrics]
+    gates: List[GateResult]
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for phase in self.phases:
+            quantiles = phase.latency.quantiles_ms()
+            lines.append(
+                f"[{phase.name}: {phase.requests} requests in "
+                f"{phase.duration_seconds:.2f}s "
+                f"({phase.throughput_rps():.0f} rps); "
+                f"p50 {quantiles['p50_ms']:.1f}ms p99 {quantiles['p99_ms']:.1f}ms; "
+                f"ok {phase.by_outcome['ok']} shed {phase.sheds} "
+                f"drift {phase.body_drift}; "
+                f"availability {phase.availability:.4f}]"
+            )
+        for gate in self.gates:
+            marker = "PASS" if gate.passed else "FAIL"
+            lines.append(
+                f"  {marker} {gate.name}: measured {gate.measured:.4f} "
+                f"vs {gate.threshold} ({gate.detail})"
+            )
+        lines.append(
+            f"[loadgen: {'all gates green' if self.ok else 'GATE FAILURE'}"
+            + (f"; report {self.report_path}" if self.report_path else "")
+            + "]"
+        )
+        return "\n".join(lines)
+
+
+def _parse_target(base_url: str) -> Tuple[str, int]:
+    parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+    if parts.scheme not in ("http", ""):
+        raise ValueError(f"only http targets are supported, got {base_url!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port if parts.port is not None else 80
+    return host, port
+
+
+def _structural_gates(
+    chaos: Optional[PhaseMetrics],
+    saturation: Optional[PhaseMetrics],
+    totals: PhaseMetrics,
+    drain_code: Optional[int],
+) -> List[GateResult]:
+    """The spawn-mode contract, independent of any ``--slo`` flags."""
+    gates: List[GateResult] = []
+    if chaos is not None:
+        gates.append(GateResult(
+            name="chaos.availability",
+            passed=chaos.availability >= CHAOS_AVAILABILITY_FLOOR,
+            measured=chaos.availability,
+            threshold=CHAOS_AVAILABILITY_FLOOR,
+            detail="golden-correct 200s over non-shed, faults armed",
+        ))
+    if saturation is not None:
+        gates.append(GateResult(
+            name="saturation.sheds",
+            passed=saturation.sheds >= 1,
+            measured=float(saturation.sheds),
+            threshold=1.0,
+            detail="admission gate must actually shed under pressure",
+        ))
+        gates.append(GateResult(
+            name="saturation.retry_after_seen",
+            passed=saturation.retry_after_seen >= 1,
+            measured=float(saturation.retry_after_seen),
+            threshold=1.0,
+            detail="sheds must carry a parseable Retry-After",
+        ))
+    gates.append(GateResult(
+        name="retry_after.missing",
+        passed=totals.retry_after_missing == 0,
+        measured=float(totals.retry_after_missing),
+        threshold=0.0,
+        detail="every 503/504 must carry integer-seconds Retry-After",
+    ))
+    gates.append(GateResult(
+        name="body_drift.total",
+        passed=totals.body_drift == 0,
+        measured=float(totals.body_drift),
+        threshold=0.0,
+        detail="no 200 body may differ from its pinned golden bytes",
+    ))
+    if drain_code is not None:
+        gates.append(GateResult(
+            name="serve.drain",
+            passed=drain_code == 0,
+            measured=float(drain_code),
+            threshold=0.0,
+            detail="SIGTERM drain must exit 0",
+        ))
+    return gates
+
+
+def _run_base_url(options: LoadgenOptions, tracer: obs.Tracer) -> LoadgenResult:
+    host, port = _parse_target(options.base_url or "")
+    catalog = discover_catalog(host, port, timeout=options.timeout)
+    engine = LoadEngine(
+        host, port, catalog, options.seed, tracer=tracer, timeout=options.timeout
+    )
+    duration = options.duration_seconds or (4.0 if options.quick else 15.0)
+    if options.rate is not None:
+        spec = PhaseSpec(
+            name="steady", mode="open", duration_seconds=duration,
+            workers=max(4, options.closed_loop or 8),
+            mix=options.mix, rate=options.rate,
+        )
+    else:
+        spec = PhaseSpec(
+            name="steady", mode="closed", duration_seconds=duration,
+            workers=options.closed_loop or 6, mix=options.mix,
+        )
+    print(f"[loadgen: {spec.mode}-loop against http://{host}:{port} "
+          f"for {duration:.1f}s, seed {options.seed}]")
+    steady = engine.run_phase(spec)
+    phases = [steady]
+    totals = PhaseMetrics("totals")
+    for phase in phases:
+        totals.merge(phase)
+    gates = _structural_gates(None, None, totals, drain_code=None)
+    gates.extend(options.slo.evaluate(steady, totals))
+    return _finish(
+        options, phases, gates, engine, catalog,
+        target=f"http://{host}:{port}", mode="base-url", tracer=tracer,
+    )
+
+
+def _run_spawn(options: LoadgenOptions, tracer: obs.Tracer) -> LoadgenResult:
+    import tempfile
+
+    from repro.core.experiments import SPECS
+    from repro.loadgen import spawn as spawn_mod
+    from repro.qa.goldens import GOLDEN_CONFIG
+    from repro.store import default_cache_dir
+    from repro.worldgen.config import WorldConfig
+
+    config: WorldConfig = GOLDEN_CONFIG
+    cache_dir = options.cache_dir or str(default_cache_dir())
+    names = sorted(SPECS)
+
+    print(f"[loadgen --spawn: ensuring {len(names)} result(s) at "
+          f"{config.n_sites} sites x {config.n_days} days in {cache_dir}]")
+    failures = spawn_mod.ensure_results(
+        names, config, cache_dir, jobs=options.jobs
+    )
+    if failures:
+        raise RuntimeError(f"could not populate results: {', '.join(failures)}")
+    expectations = spawn_mod.pin_expectations(names, config, cache_dir)
+
+    scratch = tempfile.mkdtemp(prefix="repro-loadgen-")
+    if options.no_faults:
+        plan_path = None
+    elif options.fault_plan is not None:
+        plan_path = options.fault_plan
+    else:
+        plan_path = str(spawn_mod.write_fault_plan(options.seed, scratch))
+    access_log = f"{scratch}/serve_access.log"
+
+    port = spawn_mod.free_port()
+    command = spawn_mod.serve_command(
+        port=port,
+        cache_dir=cache_dir,
+        quick=True,  # GOLDEN_CONFIG is the spawn scale by construction
+        jobs=2,
+        queue_depth=4,
+        breaker_cooldown=0.4,
+        fault_plan=plan_path,
+        access_log=access_log,
+    )
+    server = spawn_mod.SpawnedServer(command, "127.0.0.1", port)
+    plan_note = "no faults" if plan_path is None else f"fault plan {plan_path}"
+    print(f"[loadgen --spawn: child on port {port} ({plan_note}); warming...]")
+    server.start()
+    drain_code: Optional[int] = None
+    try:
+        server.wait_ready()
+        catalog = discover_catalog("127.0.0.1", port, timeout=options.timeout)
+        engine = LoadEngine(
+            "127.0.0.1", port, catalog, options.seed,
+            expectations=expectations, tracer=tracer, timeout=options.timeout,
+        )
+        total = options.duration_seconds or (4.0 if options.quick else 15.0)
+        chaos_spec = PhaseSpec(
+            name="chaos", mode="closed",
+            duration_seconds=max(1.0, total * 0.7),
+            workers=options.closed_loop or 6,
+            mix=options.mix,
+            min_requests=400,
+        )
+        gate_slots = 2 + 4  # the child's --jobs + --queue-depth
+        saturation_spec = PhaseSpec(
+            name="saturation", mode="closed",
+            duration_seconds=max(1.0, total * 0.3),
+            workers=gate_slots * _SATURATION_PRESSURE,
+            mix=options.mix,
+            think_scale=0.0,
+            # Saturation measures refusals: don't wait sheds out, and
+            # don't let client-side body validation throttle the offered
+            # load below the gate's capacity (drift pinning stays on).
+            retry_sheds=False,
+            validate_bodies=False,
+        )
+        print(f"[chaos phase: {chaos_spec.workers} sessions, "
+              f">= {chaos_spec.min_requests} requests]")
+        chaos = engine.run_phase(chaos_spec)
+        print(f"[saturation phase: {saturation_spec.workers} zero-think "
+              f"sessions vs a {gate_slots}-slot gate]")
+        saturation = engine.run_phase(saturation_spec)
+    finally:
+        drain_code = server.stop()
+    phases = [chaos, saturation]
+    totals = PhaseMetrics("totals")
+    for phase in phases:
+        totals.merge(phase)
+    gates = _structural_gates(chaos, saturation, totals, drain_code)
+    gates.extend(options.slo.evaluate(chaos, totals))
+    return _finish(
+        options, phases, gates, engine, catalog,
+        target=f"http://127.0.0.1:{port} (spawned)", mode="spawn",
+        tracer=tracer,
+        extra={
+            "spawn": {
+                "command": command,
+                "fault_plan": plan_path,
+                "access_log": access_log,
+                "drain_exit_code": drain_code,
+                "cache_dir": cache_dir,
+            },
+        },
+    )
+
+
+def _finish(
+    options: LoadgenOptions,
+    phases: List[PhaseMetrics],
+    gates: List[GateResult],
+    engine: LoadEngine,
+    catalog,
+    *,
+    target: str,
+    mode: str,
+    tracer: obs.Tracer,
+    extra: Optional[Mapping[str, object]] = None,
+) -> LoadgenResult:
+    with tracer._root_lock:
+        counters = dict(tracer.root.counters)
+    report = build_report(
+        seed=options.seed,
+        target=target,
+        mode=mode,
+        phases=phases,
+        gates=gates,
+        schedule_digests=engine.schedule_digests(),
+        catalog={
+            "providers": list(catalog.providers),
+            "days": catalog.days,
+            "experiments": list(catalog.experiments),
+            "default_k": catalog.default_k,
+            "max_k": catalog.max_k,
+        },
+        tracer_counters=counters,
+        slo=options.slo,
+        extra=extra,
+    )
+    path = options.report_path or str(loadgen_path())
+    write_report(report, path)
+    return LoadgenResult(
+        ok=all(gate.passed for gate in gates),
+        report=report,
+        report_path=path,
+        phases=phases,
+        gates=gates,
+    )
+
+
+def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
+    """Run one load-test invocation end to end; see the module docstring.
+
+    Raises:
+        ValueError: inconsistent options (no target, or both targets).
+        RuntimeError: spawn-mode setup failures (results, readiness).
+    """
+    if bool(options.base_url) == bool(options.spawn):
+        raise ValueError("exactly one of --base-url or --spawn is required")
+    tracer = obs.Tracer()
+    started = time.perf_counter()
+    if options.spawn:
+        result = _run_spawn(options, tracer)
+    else:
+        result = _run_base_url(options, tracer)
+    result.report["wall_seconds"] = round(time.perf_counter() - started, 3)
+    if result.report_path:
+        write_report(result.report, result.report_path)
+    return result

@@ -1,0 +1,423 @@
+"""Deterministic client personas for the load harness.
+
+A load test is only a regression gate if two runs with the same seed
+issue the same requests; otherwise a latency or correctness change can
+hide behind schedule noise.  So personas here draw every decision —
+which dashboard to poll, how long to think, which experiment to page —
+from a :class:`HashStream`: a counter-mode sha256 stream keyed by
+``(seed, persona tag)``.  No ``random`` module, no wall clock; the
+request *schedule* is a pure function of the seed, and each persona
+publishes a ``schedule_digest`` over its first planned paths so the
+report (and the determinism test) can prove it.
+
+Three personas model the service's real client mix:
+
+* :class:`DashboardPoller` — a wallboard refreshing a small watchlist of
+  ``/v1/lists/<provider>/<day>?k=`` panels; provider/day/k choices are
+  Zipf-skewed (a few popular panels dominate, the tail is long), which
+  is what actually stresses the last-known-good cache.
+* :class:`Researcher` — pages full ``/v1/experiments/<name>`` bodies in
+  a seed-shuffled order with longer think times, occasionally re-reading
+  the index; the heavy-body, low-rate shape.
+* :class:`HealthProbe` — an orchestrator's liveness loop over
+  ``/healthz`` / ``/readyz`` / ``/metricz``.
+
+Every persona also *validates* each response body it receives, so the
+harness catches semantic regressions (wrong ``count``, missing fields)
+that a status-code-only load tool would wave through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Catalog",
+    "DashboardPoller",
+    "HashStream",
+    "HealthProbe",
+    "PERSONA_KINDS",
+    "PlannedRequest",
+    "Persona",
+    "Researcher",
+    "apportion",
+    "make_persona",
+    "parse_mix",
+]
+
+#: Persona kinds in mix-spec order; also the default mix weights.
+PERSONA_KINDS = ("dashboards", "researchers", "probes")
+
+DEFAULT_MIX = {"dashboards": 0.7, "researchers": 0.2, "probes": 0.1}
+
+#: How many planned paths feed each persona's schedule digest.
+SCHEDULE_DIGEST_PREFIX = 64
+
+#: k values a dashboard panel can ask for (mirrors common UI presets).
+_K_MENU = (10, 25, 50, 100, 250, 500)
+
+
+class HashStream:
+    """A deterministic decision stream: sha256 in counter mode.
+
+    Every draw hashes ``"{seed}:{tag}:{counter}"`` and interprets the
+    first 8 digest bytes as a uniform 64-bit integer.  Identical
+    ``(seed, tag)`` pairs replay identical streams on any platform,
+    which is the whole point.
+    """
+
+    def __init__(self, seed: int, tag: str) -> None:
+        self.seed = int(seed)
+        self.tag = tag
+        self._counter = 0
+
+    def _draw(self) -> int:
+        digest = hashlib.sha256(
+            f"{self.seed}:{self.tag}:{self._counter}".encode("utf-8")
+        ).digest()
+        self._counter += 1
+        return int.from_bytes(digest[:8], "big")
+
+    def unit(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._draw() / 2**64
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return low + self._draw() % (high - low + 1)
+
+    def choice(self, items: Sequence) -> object:
+        """Uniform choice from a non-empty sequence."""
+        if not items:
+            raise ValueError("choice from empty sequence")
+        return items[self._draw() % len(items)]
+
+    def zipf_choice(self, items: Sequence, s: float = 1.1) -> object:
+        """Zipf-skewed choice: item ``i`` has weight ``1 / (i + 1)**s``.
+
+        Earlier items are hot; the tail stays reachable.  Pure python —
+        no numpy — because the draw count here is tiny.
+        """
+        if not items:
+            raise ValueError("zipf_choice from empty sequence")
+        weights = [1.0 / (i + 1) ** s for i in range(len(items))]
+        total = sum(weights)
+        point = self.unit() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if point < acc:
+                return item
+        return items[-1]
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """What the target service offers — discovered from ``/v1/lists``
+    and ``/v1/experiments`` (or pinned by a test)."""
+
+    providers: Tuple[str, ...]
+    days: int
+    experiments: Tuple[str, ...]
+    default_k: int = 100
+    max_k: int = 1000
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One scheduled request: the path, what kind of body to expect,
+    and how long the persona thinks before issuing it."""
+
+    path: str
+    kind: str  # lists | lists-index | experiment | experiments-index | health | metricz
+    think_seconds: float
+    persona_id: str
+
+
+class Persona:
+    """Base persona: a deterministic request planner plus a validator.
+
+    Subclasses implement :meth:`_plan` (the next request) and
+    :meth:`validate` (semantic checks on a 200 body).  The base class
+    tracks the schedule digest: a sha256 over the first
+    ``SCHEDULE_DIGEST_PREFIX`` planned paths, proving determinism.
+    """
+
+    kind = "persona"
+
+    def __init__(self, persona_id: str, seed: int, catalog: Catalog) -> None:
+        self.persona_id = persona_id
+        self.seed = int(seed)
+        self.catalog = catalog
+        self.stream = HashStream(seed, persona_id)
+        self._planned = 0
+
+    def next_request(self) -> PlannedRequest:
+        """Plan the next request."""
+        request = self._plan()
+        self._planned += 1
+        return request
+
+    def _plan(self) -> PlannedRequest:
+        raise NotImplementedError
+
+    def schedule_digest(self) -> Dict[str, object]:
+        """The determinism fingerprint for the report.
+
+        Hashes the first :data:`SCHEDULE_DIGEST_PREFIX` paths a *freshly
+        reconstructed* twin of this persona plans, so the digest depends
+        only on ``(class, persona_id, seed, catalog)`` — never on how
+        many requests this run actually got through.  Two runs with the
+        same seed must produce byte-identical digests; the acceptance
+        test holds the harness to it.
+        """
+        twin = type(self)(self.persona_id, self.seed, self.catalog)
+        digest = hashlib.sha256()
+        for _ in range(SCHEDULE_DIGEST_PREFIX):
+            digest.update(twin._plan().path.encode("utf-8"))
+            digest.update(b"\n")
+        return {
+            "persona": self.persona_id,
+            "kind": self.kind,
+            "planned": self._planned,
+            "prefix": SCHEDULE_DIGEST_PREFIX,
+            "sha256": digest.hexdigest(),
+        }
+
+    def validate(self, request: PlannedRequest, body: dict) -> Optional[str]:
+        """None when the 200 body is semantically sound, else a reason."""
+        raise NotImplementedError
+
+
+class DashboardPoller(Persona):
+    """A wallboard polling a small Zipf-skewed watchlist of top-k panels.
+
+    The watchlist is fixed at construction (2-4 panels) so the persona
+    hammers a *bounded* set of distinct paths — that is what makes the
+    last-known-good cache and the per-key fault windows meaningful, and
+    it keeps the chaos phase's injected-error surface proportional to
+    panels, not to requests.
+    """
+
+    kind = "dashboards"
+
+    def __init__(self, persona_id: str, seed: int, catalog: Catalog) -> None:
+        super().__init__(persona_id, seed, catalog)
+        if not catalog.providers or catalog.days < 1:
+            raise ValueError("dashboard persona needs providers and days")
+        panels = self.stream.randint(2, min(4, max(2, len(catalog.providers) * catalog.days)))
+        watchlist: List[Tuple[str, int, int]] = []
+        seen = set()
+        while len(watchlist) < panels:
+            provider = self.stream.zipf_choice(catalog.providers)
+            day = self.stream.zipf_choice(tuple(range(catalog.days)))
+            k_menu = [k for k in _K_MENU if k <= catalog.max_k] or [catalog.default_k]
+            k = self.stream.zipf_choice(k_menu)
+            panel = (provider, day, k)
+            if panel in seen:
+                # Deterministic retry; the stream advances, so this
+                # terminates (panel space >= 2 by the randint bound).
+                continue
+            seen.add(panel)
+            watchlist.append(panel)
+        self.watchlist = tuple(watchlist)
+
+    def _plan(self) -> PlannedRequest:
+        provider, day, k = self.stream.zipf_choice(self.watchlist)
+        return PlannedRequest(
+            path=f"/v1/lists/{provider}/{day}?k={k}",
+            kind="lists",
+            think_seconds=0.02 + 0.06 * self.stream.unit(),
+            persona_id=self.persona_id,
+        )
+
+    def validate(self, request: PlannedRequest, body: dict) -> Optional[str]:
+        query = request.path.split("?k=", 1)
+        k = int(query[1]) if len(query) == 2 else self.catalog.default_k
+        _, provider, day_text = request.path.split("?", 1)[0].rsplit("/", 2)
+        if body.get("provider") != provider:
+            return f"provider mismatch: {body.get('provider')!r} != {provider!r}"
+        if body.get("day") != int(day_text):
+            return f"day mismatch: {body.get('day')!r} != {day_text}"
+        if body.get("k") != k:
+            return f"k mismatch: {body.get('k')!r} != {k}"
+        names = body.get("names")
+        if not isinstance(names, list):
+            return "names missing or not a list"
+        count = body.get("count")
+        if count != len(names):
+            return f"count {count!r} != len(names) {len(names)}"
+        if count > k:
+            return f"count {count} exceeds requested k {k}"
+        return None
+
+
+class Researcher(Persona):
+    """Pages whole experiment result bodies, slowly and exhaustively.
+
+    Walks the catalog's experiments in a seed-shuffled cycle; roughly
+    one request in eight re-reads the ``/v1/experiments`` index (the
+    'what changed?' reflex).  Think times are an order of magnitude
+    longer than a dashboard's.
+    """
+
+    kind = "researchers"
+
+    def __init__(self, persona_id: str, seed: int, catalog: Catalog) -> None:
+        super().__init__(persona_id, seed, catalog)
+        if not catalog.experiments:
+            raise ValueError("researcher persona needs experiments")
+        order = list(catalog.experiments)
+        # Fisher-Yates off the deterministic stream.
+        for i in range(len(order) - 1, 0, -1):
+            j = self.stream.randint(0, i)
+            order[i], order[j] = order[j], order[i]
+        self._order = tuple(order)
+        self._cursor = 0
+
+    def _plan(self) -> PlannedRequest:
+        think = 0.1 + 0.2 * self.stream.unit()
+        if self.stream.unit() < 0.125:
+            return PlannedRequest(
+                path="/v1/experiments",
+                kind="experiments-index",
+                think_seconds=think,
+                persona_id=self.persona_id,
+            )
+        name = self._order[self._cursor % len(self._order)]
+        self._cursor += 1
+        return PlannedRequest(
+            path=f"/v1/experiments/{name}",
+            kind="experiment",
+            think_seconds=think,
+            persona_id=self.persona_id,
+        )
+
+    def validate(self, request: PlannedRequest, body: dict) -> Optional[str]:
+        if request.kind == "experiments-index":
+            rows = body.get("experiments")
+            if not isinstance(rows, list) or not rows:
+                return "experiments index empty or malformed"
+            for row in rows:
+                if "id" not in row or "status" not in row:
+                    return "experiments index row missing id/status"
+            return None
+        name = request.path.rsplit("/", 1)[1]
+        if body.get("name") not in (None, name) and body.get("experiment") not in (None, name):
+            return f"body names {body.get('name')!r}, expected {name!r}"
+        if "schema_version" not in body:
+            return "experiment body missing schema_version"
+        return None
+
+
+class HealthProbe(Persona):
+    """An orchestrator's health loop: healthz, readyz, then metricz."""
+
+    kind = "probes"
+
+    _ROTATION = (
+        ("/healthz", "health"),
+        ("/readyz", "health"),
+        ("/metricz", "metricz"),
+    )
+
+    def __init__(self, persona_id: str, seed: int, catalog: Catalog) -> None:
+        super().__init__(persona_id, seed, catalog)
+        self._cursor = self.stream.randint(0, len(self._ROTATION) - 1)
+
+    def _plan(self) -> PlannedRequest:
+        path, kind = self._ROTATION[self._cursor % len(self._ROTATION)]
+        self._cursor += 1
+        return PlannedRequest(
+            path=path,
+            kind=kind,
+            think_seconds=0.05 + 0.05 * self.stream.unit(),
+            persona_id=self.persona_id,
+        )
+
+    def validate(self, request: PlannedRequest, body: dict) -> Optional[str]:
+        if request.kind == "health":
+            status = body.get("status")
+            if status not in ("alive", "ready"):
+                return f"unexpected health status {status!r}"
+            return None
+        if "requests" not in body or "uptime_seconds" not in body:
+            return "metricz body missing requests/uptime_seconds"
+        return None
+
+
+_PERSONA_CLASSES = {
+    "dashboards": DashboardPoller,
+    "researchers": Researcher,
+    "probes": HealthProbe,
+}
+
+
+def make_persona(kind: str, persona_id: str, seed: int, catalog: Catalog) -> Persona:
+    """Construct a persona by mix-spec kind."""
+    try:
+        cls = _PERSONA_CLASSES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown persona kind {kind!r}; expected one of {sorted(_PERSONA_CLASSES)}"
+        ) from None
+    return cls(persona_id, seed, catalog)
+
+
+def parse_mix(text: Optional[str]) -> Dict[str, float]:
+    """Parse ``dashboards=0.7,researchers=0.2,probes=0.1`` into weights.
+
+    Weights are normalized to sum to 1; omitted kinds get weight 0; an
+    empty/None spec yields :data:`DEFAULT_MIX`.
+    """
+    if not text:
+        return dict(DEFAULT_MIX)
+    weights: Dict[str, float] = {kind: 0.0 for kind in PERSONA_KINDS}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"mix entry {part!r} is not kind=weight")
+        kind, _, raw = part.partition("=")
+        kind = kind.strip()
+        if kind not in weights:
+            raise ValueError(
+                f"unknown persona kind {kind!r}; expected one of {list(PERSONA_KINDS)}"
+            )
+        try:
+            weight = float(raw)
+        except ValueError:
+            raise ValueError(f"mix weight {raw!r} is not a number") from None
+        if weight < 0:
+            raise ValueError(f"mix weight for {kind} must be >= 0, got {weight}")
+        weights[kind] = weight
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError(f"mix {text!r} has no positive weight")
+    return {kind: weight / total for kind, weight in weights.items()}
+
+
+def apportion(workers: int, mix: Dict[str, float]) -> Dict[str, int]:
+    """Split ``workers`` across persona kinds by largest remainder.
+
+    Every kind with positive weight gets at least the rounding allows;
+    the result always sums to exactly ``workers``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    quotas = {kind: workers * mix.get(kind, 0.0) for kind in PERSONA_KINDS}
+    counts = {kind: int(quota) for kind, quota in quotas.items()}
+    short = workers - sum(counts.values())
+    remainders = sorted(
+        PERSONA_KINDS,
+        key=lambda kind: (quotas[kind] - counts[kind], mix.get(kind, 0.0)),
+        reverse=True,
+    )
+    for kind in remainders[:short]:
+        counts[kind] += 1
+    return counts

@@ -1,0 +1,266 @@
+"""Spawning and managing a ``repro serve`` child for self-contained runs.
+
+``repro loadgen --spawn`` owns its whole target lifecycle: ensure the
+results cache is populated, pin the golden response bodies straight from
+the artifact store (the same ``json.dumps(blob, sort_keys=True)`` bytes
+the server puts on the wire), write the chaos fault plan to a temp file,
+fork ``python -m repro.cli serve`` on a self-picked free port, poll
+``/readyz`` until warm, run the phases, then SIGTERM the child and
+require a clean drain (exit 0).
+
+The child is a real subprocess on a real socket — not an in-process
+service — because the point of the harness is to measure the serving
+stack end to end: kernel accept queue, thread dispatch, admission gate,
+the lot.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.plan import default_serve_plan
+from repro.store.artifacts import ArtifactStore, config_key
+from repro.worldgen.config import WorldConfig
+
+__all__ = [
+    "SpawnedServer",
+    "ensure_results",
+    "free_port",
+    "pin_expectations",
+    "serve_command",
+    "write_fault_plan",
+]
+
+#: Chaos defaults for the spawned child: one injected 5xx per lists path
+#: with this probability (bounded by the personas' small watchlists), and
+#: one clean warmup read per key before the store faults arm.
+CHAOS_ERROR_PROBABILITY = 0.25
+CHAOS_WARMUP_READS = 1
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """A currently-free TCP port, picked by the kernel.
+
+    The ``repro serve`` banner prints ``(ephemeral)`` for ``--port 0``,
+    so a parent cannot discover a child's self-picked port; instead the
+    parent picks one here and passes it explicitly.  The tiny window
+    between close and the child's bind is acceptable for a test harness.
+    """
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+def ensure_results(
+    names: Sequence[str],
+    config: WorldConfig,
+    cache_dir: str,
+    jobs: int = 1,
+) -> List[str]:
+    """Compute any missing ``results/<name>`` blobs; returns failures."""
+    probe = ArtifactStore(cache_dir)
+    cfg_key = config_key(config)
+    missing = [
+        name for name in names
+        if probe.get_json(cfg_key, f"results/{name}") is None
+    ]
+    if not missing:
+        return []
+    from repro.runner import run_experiments
+
+    _payloads, manifest, _path = run_experiments(
+        missing, config, jobs=max(1, jobs), cache_dir=cache_dir
+    )
+    return [outcome.name for outcome in manifest.failures]
+
+
+def pin_expectations(
+    names: Sequence[str],
+    config: WorldConfig,
+    cache_dir: str,
+) -> Dict[str, bytes]:
+    """Golden wire bodies per ``/v1/experiments/<name>`` path.
+
+    The server serializes result blobs as
+    ``json.dumps(blob, sort_keys=True).encode("utf-8")`` — reproducing
+    that here (from a fault-free read in *this* process, before the
+    chaos plan ever runs) gives the engine byte-exact drift detection
+    on every researcher request.
+    """
+    store = ArtifactStore(cache_dir)
+    cfg_key = config_key(config)
+    expectations: Dict[str, bytes] = {}
+    for name in names:
+        blob = store.get_json(cfg_key, f"results/{name}")
+        if blob is None:
+            continue
+        expectations[f"/v1/experiments/{name}"] = json.dumps(
+            blob, sort_keys=True
+        ).encode("utf-8")
+    return expectations
+
+
+def write_fault_plan(
+    seed: int,
+    out_dir: Optional[os.PathLike] = None,
+    error_probability: float = CHAOS_ERROR_PROBABILITY,
+) -> Path:
+    """Write the loadgen chaos plan to a JSON file the child can load.
+
+    ``warmup_reads=1`` lets the child's warmup read each results key
+    once, clean — the store faults then land on the first *live* read
+    per key, which is the scenario worth testing.
+    """
+    plan = default_serve_plan(
+        seed,
+        warmup_reads=CHAOS_WARMUP_READS,
+        error_probability=error_probability,
+    )
+    directory = Path(os.fspath(out_dir)) if out_dir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-loadgen-")
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"fault_plan_{seed}.json"
+    path.write_text(plan.to_json() + "\n")
+    return path
+
+
+def serve_command(
+    *,
+    port: int,
+    cache_dir: str,
+    quick: bool = True,
+    jobs: int = 2,
+    queue_depth: int = 4,
+    deadline_ms: float = 1000.0,
+    breaker_cooldown: float = 0.4,
+    fault_plan: Optional[os.PathLike] = None,
+    access_log: Optional[os.PathLike] = None,
+    python: Optional[str] = None,
+) -> List[str]:
+    """The argv for the ``repro serve`` child (pure; easy to test).
+
+    Small ``--jobs``/``--queue-depth`` on purpose: the saturation phase
+    must be able to fill the admission gate with a CI-sized worker
+    fleet, and a 2-slot/4-queue gate saturates at ~tens of concurrent
+    closed-loop sessions.
+    """
+    command = [
+        python if python is not None else sys.executable,
+        "-m", "repro.cli", "serve",
+        "--port", str(port),
+        "--cache-dir", str(cache_dir),
+        "--jobs", str(jobs),
+        "--queue-depth", str(queue_depth),
+        "--deadline-ms", str(deadline_ms),
+        "--breaker-cooldown", str(breaker_cooldown),
+    ]
+    if quick:
+        command.append("--quick")
+    if fault_plan is not None:
+        command.extend(["--fault-plan", os.fspath(fault_plan)])
+    if access_log is not None:
+        command.extend(["--access-log", os.fspath(access_log)])
+    return command
+
+
+class SpawnedServer:
+    """Lifecycle wrapper around one ``repro serve`` subprocess."""
+
+    def __init__(self, command: Sequence[str], host: str, port: int) -> None:
+        self.command = list(command)
+        self.host = host
+        self.port = port
+        self.process: Optional[subprocess.Popen] = None
+
+    def start(self) -> None:
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        self.process = subprocess.Popen(
+            self.command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+
+    def wait_ready(self, timeout: float = 90.0) -> None:
+        """Poll ``/readyz`` until 200 (warmup can take tens of seconds).
+
+        Raises:
+            RuntimeError: the child exited, or readiness timed out.
+        """
+        assert self.process is not None, "start() first"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            code = self.process.poll()
+            if code is not None:
+                output = b""
+                if self.process.stdout is not None:
+                    output = self.process.stdout.read() or b""
+                raise RuntimeError(
+                    f"serve child exited {code} before ready:\n"
+                    + output.decode("utf-8", "replace")[-2000:]
+                )
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=2.0
+            )
+            try:
+                connection.request("GET", "/readyz")
+                response = connection.getresponse()
+                response.read()
+                if response.status == 200:
+                    return
+            except (ConnectionError, OSError, http.client.HTTPException):
+                pass
+            finally:
+                connection.close()
+            time.sleep(0.1)
+        self.stop()
+        raise RuntimeError(f"serve child not ready within {timeout}s")
+
+    def stop(self, drain_timeout: float = 15.0) -> int:
+        """SIGTERM the child and wait for a (hopefully clean) exit.
+
+        Returns the child's exit code; kills outright on drain timeout
+        (returning the kill code, which callers treat as a failure).
+        """
+        if self.process is None:
+            return 0
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=drain_timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+        if self.process.stdout is not None:
+            self.process.stdout.read()
+            self.process.stdout.close()
+        return int(self.process.returncode or 0)
+
+    def output_tail(self, limit: int = 2000) -> str:
+        """Best-effort tail of the child's combined output (post-exit)."""
+        if self.process is None or self.process.stdout is None:
+            return ""
+        try:
+            data = self.process.stdout.read() or b""
+        except ValueError:  # already closed
+            return ""
+        return data.decode("utf-8", "replace")[-limit:]

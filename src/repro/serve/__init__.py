@@ -17,7 +17,13 @@ from repro.serve.breaker import BreakerState, CircuitBreaker, LastKnownGood
 from repro.serve.drain import DrainController
 from repro.serve.logfmt import AccessLog, logfmt, parse_logfmt
 from repro.serve.selftest import SelftestReport, run_selftest
-from repro.serve.server import DEFAULT_PORT, MetricsService, ServeSettings
+from repro.serve.server import (
+    DEFAULT_PORT,
+    RETRY_AFTER_CAP,
+    MetricsService,
+    ServeSettings,
+    dynamic_retry_after,
+)
 from repro.serve.shed import AdmissionGate, ShedDecision
 
 __all__ = [
@@ -29,9 +35,11 @@ __all__ = [
     "DrainController",
     "LastKnownGood",
     "MetricsService",
+    "RETRY_AFTER_CAP",
     "SelftestReport",
     "ServeSettings",
     "ShedDecision",
+    "dynamic_retry_after",
     "logfmt",
     "parse_logfmt",
     "run_selftest",

@@ -151,6 +151,22 @@ class CircuitBreaker:
                 event = self._transition(BreakerState.OPEN, reason)
         self._notify(event)
 
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open breaker allows its half-open probe.
+
+        0.0 while closed or half-open — which is what makes it directly
+        usable as the breaker term of a ``Retry-After`` estimate: a
+        client told to come back in ``cooldown_remaining()`` seconds
+        arrives just as the probe slot opens.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state != BreakerState.OPEN:
+                return 0.0
+            return max(
+                0.0, self.cooldown_seconds - (self._clock() - self._opened_at)
+            )
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-safe state for ``/metricz``."""
         with self._lock:

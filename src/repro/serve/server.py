@@ -8,6 +8,9 @@ serving workload demands:
 * ``GET /v1/experiments/<name>`` — one experiment's stored result
   (title, text, structured data), golden-verified before it is ever
   served.
+* ``GET /v1/lists`` — the lists index: available providers, the
+  simulated day window, and the ``k`` bounds, so clients (the loadgen
+  personas foremost) discover valid targets instead of hardcoding them.
 * ``GET /v1/lists/<provider>/<day>?k=N`` — the top-``k`` slice of a
   provider's simulated ranked list for a day.
 * ``GET /healthz`` — liveness (200 while the process runs).
@@ -24,7 +27,10 @@ Hardening, in one place per concern:
 * **load shedding** — admission through a bounded
   :class:`~repro.serve.shed.AdmissionGate`; beyond ``capacity`` +
   ``queue_depth`` the server answers 503 with ``Retry-After`` instead
-  of queueing without bound.
+  of queueing without bound.  ``Retry-After`` is *derived*, not fixed:
+  :func:`dynamic_retry_after` folds the current queue backlog and any
+  open-breaker cooldown into an integer-seconds estimate of when a
+  retry will actually find capacity.
 * **circuit breaking** — store reads run behind a
   :class:`~repro.serve.breaker.CircuitBreaker` (corrupt, vanished,
   slow, or golden-drifted reads count as dependency failures); while
@@ -46,6 +52,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import threading
 import time
 from collections import OrderedDict
@@ -66,10 +73,43 @@ from repro.serve.shed import AdmissionGate
 from repro.store.artifacts import SCHEMA_VERSION, ArtifactStore, config_key
 from repro.worldgen.config import WorldConfig
 
-__all__ = ["ServeSettings", "MetricsService", "DEFAULT_PORT"]
+__all__ = [
+    "ServeSettings",
+    "MetricsService",
+    "DEFAULT_PORT",
+    "RETRY_AFTER_CAP",
+    "dynamic_retry_after",
+]
 
 #: Default TCP port for ``repro serve``.
 DEFAULT_PORT = 8321
+
+#: Upper clamp for derived ``Retry-After`` values, in seconds.  Past this
+#: the estimate is guesswork and a client should just poll.
+RETRY_AFTER_CAP = 30
+
+
+def dynamic_retry_after(
+    base_seconds: int,
+    waiting: int,
+    capacity: int,
+    deadline_ms: float,
+    breaker_remaining: float = 0.0,
+    cap_seconds: int = RETRY_AFTER_CAP,
+) -> int:
+    """Integer-seconds ``Retry-After`` derived from current load.
+
+    The estimate is the worst of three clocks: the configured floor, the
+    time for the queue backlog ahead of a new arrival to drain (``waiting``
+    requests served ``capacity`` at a time, each worth up to one request
+    deadline), and the open circuit breaker's remaining cooldown (while
+    the breaker is open a retry cannot reach the store anyway).  Always
+    >= 1 (RFC 9110 wants a non-negative integer; 0 invites a busy loop)
+    and clamped to ``cap_seconds``.
+    """
+    queue_eta = (max(0, waiting) / max(1, capacity)) * (deadline_ms / 1000.0)
+    eta = max(float(base_seconds), queue_eta, breaker_remaining)
+    return max(1, min(int(cap_seconds), math.ceil(eta)))
 
 
 @dataclass(frozen=True)
@@ -83,7 +123,9 @@ class ServeSettings:
         queue_depth: requests allowed to wait for a slot before shedding.
         deadline_ms: per-request budget for ``/v1`` endpoints.
         drain_seconds: budget for finishing in-flight requests on drain.
-        retry_after_seconds: value of ``Retry-After`` on 503 responses.
+        retry_after_seconds: *floor* for ``Retry-After`` on 503/504
+          responses; the served value grows with queue backlog and open
+          breaker cooldown (:func:`dynamic_retry_after`).
         breaker_threshold: consecutive store-read failures that open the
           circuit.
         breaker_cooldown_seconds: open time before a half-open probe.
@@ -489,6 +531,8 @@ class MetricsService:
             return "experiments"
         if path.startswith("/v1/experiments/"):
             return "experiment"
+        if path in ("/v1/lists", "/v1/lists/"):
+            return "lists-index"
         if path.startswith("/v1/lists/"):
             return "lists"
         return "unknown"
@@ -543,6 +587,8 @@ class MetricsService:
             elif route == "experiment":
                 name = path[len("/v1/experiments/"):]
                 status, body, headers, source = self._get_experiment(name, deadline)
+            elif route == "lists-index":
+                status, body, headers, source = self._get_lists_index(deadline)
             elif route == "lists":
                 status, body, headers, source = self._get_list(
                     handler.path, path, deadline
@@ -634,6 +680,36 @@ class MetricsService:
             f"store read failed ({failure}) and no last-known-good copy"
         ), self._retry_headers(), "unavailable"
 
+    def _get_lists_index(
+        self, deadline: float
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        """``GET /v1/lists`` — discoverable targets for list clients.
+
+        Serving behavior (per the DESIGN.md serving rule): deadline-
+        budgeted and admission-gated like every ``/v1`` endpoint; the
+        body is computed from the warm context, so after warmup it is a
+        cheap, constant-shape read.
+        """
+        ctx = self._context()
+        if time.perf_counter() >= deadline:
+            return 504, _error_body("deadline exceeded"), self._retry_headers(), "deadline"
+        providers = [
+            {
+                "id": name,
+                "days": int(self.config.n_days),
+                "path": f"/v1/lists/{name}/<day>?k=<k>",
+            }
+            for name in sorted(ctx.providers)
+        ]
+        body = _json_body({
+            "providers": providers,
+            "days": int(self.config.n_days),
+            "default_k": self.settings.default_k,
+            "max_k": self.settings.max_k,
+            "config_key": self._cfg_key,
+        })
+        return 200, body, {}, "lists-index"
+
     def _get_list(
         self, raw_path: str, path: str, deadline: float
     ) -> Tuple[int, bytes, Dict[str, str], str]:
@@ -719,6 +795,11 @@ class MetricsService:
                 "deadline_ms": self.settings.deadline_ms,
                 "timeouts": deadline_timeouts,
             },
+            "retry_after": {
+                "floor_seconds": self.settings.retry_after_seconds,
+                "current_seconds": self._retry_after_seconds(),
+                "cap_seconds": RETRY_AFTER_CAP,
+            },
             "breaker": self.breaker.snapshot(),
             "last_known_good": {
                 "size": len(self.lkg),
@@ -739,8 +820,18 @@ class MetricsService:
     # ------------------------------------------------------------------
     # Response plumbing.
 
+    def _retry_after_seconds(self) -> int:
+        """The derived ``Retry-After`` value for this instant's load."""
+        return dynamic_retry_after(
+            self.settings.retry_after_seconds,
+            self.gate.waiting,
+            self.gate.capacity,
+            self.settings.deadline_ms,
+            self.breaker.cooldown_remaining(),
+        )
+
     def _retry_headers(self) -> Dict[str, str]:
-        return {"Retry-After": str(self.settings.retry_after_seconds)}
+        return {"Retry-After": str(self._retry_after_seconds())}
 
     def _respond(
         self,

@@ -41,6 +41,17 @@ class TestFaultRule:
         payload = FaultRule("store.read.corrupt").to_dict()
         assert "delay_seconds" not in payload
         assert "exit_code" not in payload
+        assert "min_occurrence" not in payload
+
+    def test_negative_min_occurrence_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("store.read.corrupt", min_occurrence=-1)
+
+    def test_min_occurrence_round_trips(self):
+        rule = FaultRule("store.read.corrupt", min_occurrence=2, max_fires=1)
+        payload = rule.to_dict()
+        assert payload["min_occurrence"] == 2
+        assert FaultRule.from_dict(payload) == rule
 
 
 class TestFire:
@@ -56,6 +67,27 @@ class TestFire:
         assert plan.fire("store.read.corrupt", "traffic/day-000") is None
         # A different key has its own occurrence counter.
         assert plan.fire("store.read.corrupt", "traffic/day-001") is not None
+
+    def test_min_occurrence_opens_a_firing_window(self):
+        plan = FaultPlan(
+            [FaultRule("store.read.corrupt", min_occurrence=1, max_fires=1)]
+        )
+        # Occurrence 0 is the warmup read: spared.  Occurrence 1 fires,
+        # occurrence 2 is past the (min_occurrence + max_fires) window.
+        assert plan.fire("store.read.corrupt", "results/fig1") is None
+        assert plan.fire("store.read.corrupt", "results/fig1") is not None
+        assert plan.fire("store.read.corrupt", "results/fig1") is None
+        # The window is per key: a fresh key gets its own warmup pass.
+        assert plan.fire("store.read.corrupt", "results/fig2") is None
+        assert plan.fire("store.read.corrupt", "results/fig2") is not None
+
+    def test_min_occurrence_respects_explicit_occurrence(self):
+        plan = FaultPlan(
+            [FaultRule("worker.crash", min_occurrence=2, max_fires=1)]
+        )
+        assert plan.fire("worker.crash", "fig1", occurrence=1) is None
+        assert plan.fire("worker.crash", "fig1", occurrence=2) is not None
+        assert plan.fire("worker.crash", "fig1", occurrence=3) is None
 
     def test_explicit_occurrence_does_not_advance_counter(self):
         plan = FaultPlan([FaultRule("worker.crash", max_fires=1)])
@@ -245,3 +277,25 @@ class TestDefaultServePlan:
     def test_slow_seconds_is_tunable(self):
         plan = default_serve_plan(1, slow_seconds=0.5)
         assert plan.rules[0].delay_seconds == 0.5
+
+    def test_warmup_reads_spare_the_first_read_per_key(self):
+        plan = default_serve_plan(7, warmup_reads=1)
+        store_rules = [r for r in plan.rules if r.site.startswith("store.")]
+        assert all(rule.min_occurrence == 1 for rule in store_rules)
+        # Armed before warmup (the loadgen --spawn sequencing): the single
+        # warmup read per key passes clean, the first live read fires.
+        assert plan.fire("store.read.slow", "results/fig1") is None
+        assert plan.fire("store.read.slow", "results/fig1") is not None
+
+    def test_error_probability_is_tunable(self):
+        plan = default_serve_plan(7, error_probability=0.25)
+        (error_rule,) = [
+            r for r in plan.rules if r.site == "serve.request.error"
+        ]
+        assert error_rule.probability == 0.25
+        # The default remains a certain fire, as the selftest expects.
+        (default_rule,) = [
+            r for r in default_serve_plan(7).rules
+            if r.site == "serve.request.error"
+        ]
+        assert default_rule.probability == 1.0

@@ -1,0 +1,389 @@
+"""The load engine: retry/Retry-After semantics against a scripted stub
+server, and full closed-loop phases against a real in-process
+MetricsService (the tiny-registry pattern from the serve tests)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.core.experiments import SPECS, ExperimentResult, ExperimentSpec
+from repro.loadgen.engine import (
+    LoadEngine,
+    PhaseSpec,
+    TokenBucket,
+    discover_catalog,
+)
+from repro.loadgen.personas import Catalog, Persona, PlannedRequest
+from repro.runner import run_experiments
+from repro.serve.server import MetricsService, ServeSettings
+from repro.store import ArtifactStore
+from repro.worldgen.config import WorldConfig
+
+_CONFIG = WorldConfig(n_sites=400, n_days=4, seed=11)
+_NAMES = ("lg1", "lg2", "lg3")
+_CATALOG = Catalog(providers=("alexa",), days=4, experiments=_NAMES)
+
+
+# ---------------------------------------------------------------------------
+# Scripted stub server: each path serves its queued responses in order,
+# then a default 200.  Lets the retry tests specify exact sequences like
+# [503+Retry-After, 200] without a real service in the way.
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    script = {}  # path -> list of (status, headers, body) consumed in order
+    default_body = json.dumps({"status": "alive"}).encode()
+
+    def do_GET(self):
+        queue = self.script.get(self.path)
+        if queue:
+            status, headers, body = queue.pop(0)
+        else:
+            status, headers, body = 200, {}, self.default_body
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Content-Type", "application/json")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # keep pytest output clean
+        pass
+
+
+@pytest.fixture()
+def stub_server():
+    handler = type("Handler", (_StubHandler,), {"script": {}})
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, handler.script
+    server.shutdown()
+    server.server_close()
+
+
+class _OnePath(Persona):
+    """Test persona: always plans the same path, accepts any JSON body."""
+
+    kind = "probes"
+
+    def __init__(self, persona_id, seed, catalog, path="/healthz", req_kind="health"):
+        super().__init__(persona_id, seed, catalog)
+        self._path = path
+        self._kind = req_kind
+        self.rejections = 0
+
+    def _plan(self):
+        return PlannedRequest(
+            path=self._path, kind=self._kind, think_seconds=0.0,
+            persona_id=self.persona_id,
+        )
+
+    def validate(self, request, body):
+        return None
+
+
+def _issue_once(engine, persona, **kwargs):
+    import asyncio
+
+    return asyncio.run(engine._issue(persona, persona.next_request(), **kwargs))
+
+
+class TestRetrySemantics:
+    def test_retry_after_is_parsed_and_honored(self, stub_server):
+        server, script = stub_server
+        script["/healthz"] = [
+            (503, {"Retry-After": "1"}, b'{"error": "shed"}'),
+        ]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        persona = _OnePath("p0", 1, _CATALOG)
+        started = time.perf_counter()
+        outcome = _issue_once(engine, persona)
+        elapsed = time.perf_counter() - started
+        assert outcome.outcome == "ok"
+        assert outcome.attempts == 2
+        assert outcome.retry_after_seen == 1
+        assert outcome.retry_after_missing == 0
+        # Honored: the engine slept at least the server's Retry-After.
+        assert elapsed >= 1.0
+        assert outcome.retry_after_honored_seconds >= 1.0
+
+    def test_shed_without_retry_after_counts_missing_and_errors(self, stub_server):
+        server, script = stub_server
+        script["/healthz"] = [
+            (503, {}, b'{"error": "shed"}'),
+            (503, {}, b'{"error": "shed"}'),
+            (503, {}, b'{"error": "shed"}'),
+        ]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        persona = _OnePath("p1", 1, _CATALOG)
+        outcome = _issue_once(engine, persona)
+        # A 503 with no usable Retry-After is a broken shed: http_5xx.
+        assert outcome.outcome == "http_5xx"
+        assert outcome.retry_after_missing == 3
+        assert outcome.retry_after_seen == 0
+
+    def test_garbled_retry_after_counts_missing(self, stub_server):
+        server, script = stub_server
+        script["/healthz"] = [(503, {"Retry-After": "soon"}, b"{}")]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        outcome = _issue_once(engine, _OnePath("p2", 1, _CATALOG))
+        assert outcome.retry_after_missing == 1
+        assert outcome.outcome == "ok"  # the retry succeeded
+
+    def test_retry_sheds_false_records_and_moves_on(self, stub_server):
+        server, script = stub_server
+        script["/healthz"] = [(503, {"Retry-After": "30"}, b"{}")]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        started = time.perf_counter()
+        outcome = _issue_once(
+            engine, _OnePath("p3", 1, _CATALOG), retry_sheds=False
+        )
+        assert outcome.outcome == "shed"
+        assert outcome.attempts == 1
+        assert outcome.retry_after_seen == 1
+        # No 30-second sleep happened.
+        assert time.perf_counter() - started < 1.0
+
+    def test_generic_5xx_is_retried_on_policy_backoff(self, stub_server):
+        server, script = stub_server
+        script["/healthz"] = [(500, {}, b'{"error": "boom"}')]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        outcome = _issue_once(engine, _OnePath("p4", 1, _CATALOG))
+        assert outcome.outcome == "ok"
+        assert outcome.attempts == 2
+
+    def test_body_drift_detection(self, stub_server):
+        server, script = stub_server
+        pinned = json.dumps({"schema_version": 1, "x": 1}, sort_keys=True).encode()
+        served = json.dumps({"schema_version": 1, "x": 2}, sort_keys=True).encode()
+        script["/v1/experiments/lg1"] = [(200, {}, served)]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1,
+            expectations={"/v1/experiments/lg1": pinned},
+        )
+        persona = _OnePath(
+            "p5", 1, _CATALOG, path="/v1/experiments/lg1", req_kind="experiment"
+        )
+        outcome = _issue_once(engine, persona)
+        assert outcome.outcome == "body_drift"
+        # Drift stays fatal even when validators are off (saturation mode).
+        script["/v1/experiments/lg1"] = [(200, {}, served)]
+        outcome = _issue_once(engine, persona, validate_bodies=False)
+        assert outcome.outcome == "body_drift"
+
+    def test_matching_pinned_body_is_ok(self, stub_server):
+        server, script = stub_server
+        pinned = json.dumps({"schema_version": 1}, sort_keys=True).encode()
+        script["/v1/experiments/lg1"] = [(200, {}, pinned)]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1,
+            expectations={"/v1/experiments/lg1": pinned},
+        )
+        persona = _OnePath(
+            "p6", 1, _CATALOG, path="/v1/experiments/lg1", req_kind="experiment"
+        )
+        assert _issue_once(engine, persona).outcome == "ok"
+
+    def test_validation_failure_outcome(self, stub_server):
+        server, script = stub_server
+
+        class Rejecting(_OnePath):
+            def validate(self, request, body):
+                return "always wrong"
+
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        outcome = _issue_once(engine, Rejecting("p7", 1, _CATALOG))
+        assert outcome.outcome == "validation"
+        assert outcome.detail == "always wrong"
+
+    def test_4xx_is_not_retried(self, stub_server):
+        server, script = stub_server
+        script["/healthz"] = [(404, {}, b'{"error": "nope"}')]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        outcome = _issue_once(engine, _OnePath("p8", 1, _CATALOG))
+        assert outcome.outcome == "http_4xx"
+        assert outcome.attempts == 1
+
+    def test_connect_error_outcome(self):
+        # A port nothing listens on: connect is refused immediately.
+        engine = LoadEngine("127.0.0.1", 1, _CATALOG, seed=1, timeout=1.0)
+        outcome = _issue_once(engine, _OnePath("p9", 1, _CATALOG))
+        assert outcome.outcome == "connect_error"
+
+
+class TestTokenBucket:
+    def test_paces_to_the_configured_rate(self):
+        import asyncio
+
+        async def drain():
+            bucket = TokenBucket(rate=200.0, burst=1.0)
+            started = time.perf_counter()
+            for _ in range(20):
+                await bucket.acquire()
+            return time.perf_counter() - started
+
+        elapsed = asyncio.run(drain())
+        # 20 tokens at 200/s with burst 1 needs >= ~95ms; allow slack up.
+        assert elapsed >= 0.08
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+
+
+# ---------------------------------------------------------------------------
+# Integration: real MetricsService, tiny registry.
+
+
+def _make_fn(name):
+    def fn(ctx) -> ExperimentResult:
+        return ExperimentResult(
+            name=name, title=name.title(),
+            data={"which": name, "n_sites": ctx.world.n_sites},
+            text=f"{name} over {ctx.world.n_sites} sites",
+        )
+
+    return fn
+
+
+@pytest.fixture(scope="module")
+def tiny_registry():
+    for name in _NAMES:
+        SPECS[name] = ExperimentSpec(
+            id=name, title=name.title(), fn=_make_fn(name),
+            tags=("test",), required_artifacts=(),
+        )
+    yield list(_NAMES)
+    for name in _NAMES:
+        SPECS.pop(name, None)
+
+
+@pytest.fixture(scope="module")
+def served_cache(tiny_registry, tmp_path_factory):
+    cache = str(tmp_path_factory.mktemp("loadgen-cache"))
+    _payloads, manifest, _path = run_experiments(
+        list(tiny_registry), _CONFIG, cache_dir=cache
+    )
+    assert not manifest.failures
+    return cache
+
+
+def _service(served_cache, tiny_registry, **overrides):
+    settings = dict(
+        port=0, max_inflight=4, queue_depth=4, deadline_ms=2000.0,
+        breaker_threshold=2, breaker_cooldown_seconds=0.2, drain_seconds=2.0,
+    )
+    settings.update(overrides)
+    svc = MetricsService(
+        _CONFIG, ArtifactStore(served_cache),
+        settings=ServeSettings(**settings), names=list(tiny_registry),
+    )
+    svc.warm()
+    svc.start()
+    return svc
+
+
+class TestAgainstMetricsService:
+    def test_discover_catalog(self, served_cache, tiny_registry):
+        svc = _service(served_cache, tiny_registry)
+        try:
+            catalog = discover_catalog(svc.host, svc.port)
+            assert set(catalog.experiments) == set(_NAMES)
+            assert catalog.days == _CONFIG.n_days
+            assert len(catalog.providers) >= 1
+            assert catalog.max_k >= catalog.default_k
+        finally:
+            svc.drain(reason="test")
+
+    def test_closed_loop_phase_all_ok_and_deterministic(
+        self, served_cache, tiny_registry
+    ):
+        svc = _service(served_cache, tiny_registry)
+        try:
+            catalog = discover_catalog(svc.host, svc.port)
+            spec = PhaseSpec(
+                name="steady", mode="closed", duration_seconds=0.6,
+                workers=4, mix={"dashboards": 0.5, "researchers": 0.25,
+                                "probes": 0.25},
+                min_requests=40,
+            )
+            engine = LoadEngine(svc.host, svc.port, catalog, seed=7)
+            metrics = engine.run_phase(spec)
+            assert metrics.requests >= 40
+            assert metrics.by_outcome["validation"] == 0
+            assert metrics.by_outcome["body_drift"] == 0
+            assert metrics.availability == 1.0
+            assert metrics.latency.count == metrics.requests
+            digests = {
+                d["persona"]: d["sha256"] for d in engine.schedule_digests()
+            }
+            # Reconstructing the same engine yields identical digests.
+            twin = LoadEngine(svc.host, svc.port, catalog, seed=7)
+            twin_metrics = twin.run_phase(spec)
+            assert twin_metrics.requests >= 40
+            twin_digests = {
+                d["persona"]: d["sha256"] for d in twin.schedule_digests()
+            }
+            assert digests == twin_digests
+        finally:
+            svc.drain(reason="test")
+
+    def test_saturation_sheds_with_dynamic_retry_after(
+        self, served_cache, tiny_registry
+    ):
+        svc = _service(
+            served_cache, tiny_registry, max_inflight=1, queue_depth=1
+        )
+        try:
+            catalog = discover_catalog(svc.host, svc.port)
+            spec = PhaseSpec(
+                name="saturation", mode="closed", duration_seconds=0.8,
+                workers=12, mix={"dashboards": 1.0}, think_scale=0.0,
+                retry_sheds=False, validate_bodies=False,
+            )
+            engine = LoadEngine(svc.host, svc.port, catalog, seed=7)
+            metrics = engine.run_phase(spec)
+            assert metrics.sheds >= 1
+            # Every shed the service issued carried a parseable
+            # Retry-After (the serve-side satellite's contract).
+            assert metrics.retry_after_missing == 0
+            assert metrics.retry_after_seen >= metrics.sheds
+        finally:
+            svc.drain(reason="test")
+
+    def test_open_loop_phase_respects_rate(self, served_cache, tiny_registry):
+        svc = _service(served_cache, tiny_registry)
+        try:
+            catalog = discover_catalog(svc.host, svc.port)
+            spec = PhaseSpec(
+                name="open", mode="open", duration_seconds=0.5,
+                workers=4, mix={"probes": 1.0}, rate=40.0,
+            )
+            engine = LoadEngine(svc.host, svc.port, catalog, seed=3)
+            metrics = engine.run_phase(spec)
+            # 40 rps for 0.5s, burst 4: roughly 20-ish starts, never the
+            # hundreds a closed loop would manage.
+            assert 5 <= metrics.requests <= 40
+        finally:
+            svc.drain(reason="test")

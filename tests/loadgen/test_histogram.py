@@ -1,0 +1,181 @@
+"""LatencyHistogram: error bounds, merge algebra, serialization.
+
+The quantile error-bound test is the load-bearing one: it compares
+bucketed quantiles against an exact sort on random samples and holds the
+relative error to the documented ``growth - 1`` bound.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.loadgen.histogram import (
+    DEFAULT_GROWTH,
+    DEFAULT_MIN_SECONDS,
+    LatencyHistogram,
+)
+
+
+def _exact_quantile(samples, q):
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestQuantiles:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99, 0.999])
+    def test_error_bound_vs_exact_sort_uniform(self, seed, q):
+        rng = random.Random(seed)
+        samples = [rng.uniform(0.0005, 0.8) for _ in range(4000)]
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.record(sample)
+        exact = _exact_quantile(samples, q)
+        estimate = histogram.quantile(q)
+        assert abs(estimate - exact) / exact <= histogram.growth - 1 + 1e-9
+
+    @pytest.mark.parametrize("q", [0.5, 0.99])
+    def test_error_bound_vs_exact_sort_lognormal(self, q):
+        rng = random.Random(99)
+        samples = [math.exp(rng.gauss(-4.0, 1.2)) for _ in range(4000)]
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.record(sample)
+        exact = _exact_quantile(samples, q)
+        estimate = histogram.quantile(q)
+        assert abs(estimate - exact) / exact <= histogram.growth - 1 + 1e-9
+
+    def test_empty_histogram_is_all_zero(self):
+        histogram = LatencyHistogram()
+        assert len(histogram) == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(0.999) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_single_sample_is_exact_at_every_quantile(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.0421)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.0421)
+
+    def test_min_and_max_are_exact(self):
+        histogram = LatencyHistogram()
+        for sample in (0.003, 0.017, 0.3):
+            histogram.record(sample)
+        assert histogram.quantile(0.0) == pytest.approx(0.003)
+        assert histogram.quantile(1.0) == pytest.approx(0.3)
+
+    def test_sub_resolution_samples_clamp_into_bucket_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(DEFAULT_MIN_SECONDS / 10)
+        histogram.record(0.0)
+        assert histogram.count == 2
+        assert histogram.quantile(0.5) <= DEFAULT_MIN_SECONDS
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+
+class TestMerge:
+    def test_merge_is_associative(self):
+        rng = random.Random(5)
+        parts = []
+        for _ in range(3):
+            histogram = LatencyHistogram()
+            for _ in range(500):
+                histogram.record(rng.uniform(0.001, 1.0))
+            parts.append(histogram)
+
+        def fresh(h):
+            return LatencyHistogram.from_dict(h.to_dict())
+
+        left = fresh(parts[0]).merge(fresh(parts[1])).merge(fresh(parts[2]))
+        right = fresh(parts[0]).merge(fresh(parts[1]).merge(fresh(parts[2])))
+        assert left.to_dict() == right.to_dict()
+
+    def test_merge_equals_recording_everything_in_one(self):
+        rng = random.Random(6)
+        samples = [rng.uniform(0.001, 0.5) for _ in range(1000)]
+        whole = LatencyHistogram()
+        half_a, half_b = LatencyHistogram(), LatencyHistogram()
+        for index, sample in enumerate(samples):
+            whole.record(sample)
+            (half_a if index % 2 else half_b).record(sample)
+        merged = half_a.merge(half_b).to_dict()
+        direct = whole.to_dict()
+        # sum_seconds accumulates in a different order: equal only up to
+        # float addition error.  Everything else is exact.
+        assert merged.pop("sum_seconds") == pytest.approx(
+            direct.pop("sum_seconds")
+        )
+        assert merged == direct
+
+    def test_merged_classmethod_and_empty_input(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.01)
+        b.record(0.02)
+        combined = LatencyHistogram.merged([a, b])
+        assert combined.count == 2
+        assert a.count == 1  # inputs untouched
+        assert LatencyHistogram.merged([]).count == 0
+
+    def test_merge_rejects_mismatched_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(growth=2.0))
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(min_seconds=1e-3))
+
+
+class TestSerialization:
+    def test_json_round_trip_is_lossless(self):
+        rng = random.Random(7)
+        histogram = LatencyHistogram()
+        for _ in range(300):
+            histogram.record(rng.uniform(0.0002, 2.0))
+        payload = json.loads(json.dumps(histogram.to_dict()))
+        rebuilt = LatencyHistogram.from_dict(payload)
+        assert rebuilt.to_dict() == histogram.to_dict()
+        for q in (0.5, 0.9, 0.99):
+            assert rebuilt.quantile(q) == histogram.quantile(q)
+
+    def test_round_trip_then_merge_matches_direct_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for sample in (0.01, 0.05, 0.2):
+            a.record(sample)
+        for sample in (0.002, 0.4):
+            b.record(sample)
+        direct = LatencyHistogram.merged([a, b]).to_dict()
+        via_json = LatencyHistogram.from_dict(
+            json.loads(json.dumps(a.to_dict()))
+        ).merge(
+            LatencyHistogram.from_dict(json.loads(json.dumps(b.to_dict())))
+        ).to_dict()
+        assert via_json == direct
+
+    def test_empty_round_trip(self):
+        rebuilt = LatencyHistogram.from_dict(
+            json.loads(json.dumps(LatencyHistogram().to_dict()))
+        )
+        assert rebuilt.count == 0
+        assert rebuilt.quantile(0.99) == 0.0
+
+    def test_schema_fields_are_stable(self):
+        payload = LatencyHistogram().to_dict()
+        assert set(payload) == {
+            "schema", "min_seconds", "growth", "count", "sum_seconds",
+            "min_observed", "max_observed", "buckets",
+        }
+        assert payload["schema"] == 1
+        assert payload["growth"] == pytest.approx(DEFAULT_GROWTH)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_seconds=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)

@@ -1,0 +1,223 @@
+"""Personas: determinism, schedule digests, validators, mix math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.personas import (
+    Catalog,
+    DashboardPoller,
+    HashStream,
+    HealthProbe,
+    Researcher,
+    apportion,
+    make_persona,
+    parse_mix,
+)
+
+_CATALOG = Catalog(
+    providers=("alexa", "umbrella", "majestic"),
+    days=8,
+    experiments=("fig1", "fig2", "tab1", "tab2"),
+    default_k=100,
+    max_k=1000,
+)
+
+
+class TestHashStream:
+    def test_same_seed_same_tag_replays_identically(self):
+        a = HashStream(7, "x")
+        b = HashStream(7, "x")
+        assert [a.unit() for _ in range(20)] == [b.unit() for _ in range(20)]
+
+    def test_different_tags_diverge(self):
+        a = HashStream(7, "x")
+        b = HashStream(7, "y")
+        assert [a.unit() for _ in range(8)] != [b.unit() for _ in range(8)]
+
+    def test_randint_bounds(self):
+        stream = HashStream(3, "r")
+        values = [stream.randint(2, 5) for _ in range(200)]
+        assert set(values) <= {2, 3, 4, 5}
+        assert len(set(values)) == 4  # 200 draws cover a 4-wide range
+
+    def test_zipf_choice_skews_to_the_head(self):
+        stream = HashStream(11, "z")
+        items = tuple(range(10))
+        draws = [stream.zipf_choice(items) for _ in range(2000)]
+        assert draws.count(0) > draws.count(9) * 2
+
+    def test_empty_inputs_raise(self):
+        stream = HashStream(1, "e")
+        with pytest.raises(ValueError):
+            stream.choice(())
+        with pytest.raises(ValueError):
+            stream.zipf_choice(())
+        with pytest.raises(ValueError):
+            stream.randint(5, 2)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ["dashboards", "researchers", "probes"])
+    def test_same_construction_plans_same_schedule(self, kind):
+        a = make_persona(kind, f"p:{kind}:0", 7, _CATALOG)
+        b = make_persona(kind, f"p:{kind}:0", 7, _CATALOG)
+        paths_a = [a.next_request().path for _ in range(40)]
+        paths_b = [b.next_request().path for _ in range(40)]
+        assert paths_a == paths_b
+
+    def test_schedule_digest_is_volume_independent(self):
+        a = make_persona("dashboards", "p:dashboards:0", 7, _CATALOG)
+        b = make_persona("dashboards", "p:dashboards:0", 7, _CATALOG)
+        for _ in range(3):
+            a.next_request()
+        for _ in range(57):
+            b.next_request()
+        da, db = a.schedule_digest(), b.schedule_digest()
+        assert da["sha256"] == db["sha256"]
+        assert da["planned"] == 3 and db["planned"] == 57
+
+    def test_different_seeds_give_different_digests(self):
+        a = make_persona("dashboards", "p:dashboards:0", 7, _CATALOG)
+        b = make_persona("dashboards", "p:dashboards:0", 8, _CATALOG)
+        assert a.schedule_digest()["sha256"] != b.schedule_digest()["sha256"]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_persona("gremlins", "x", 1, _CATALOG)
+
+
+class TestDashboardPoller:
+    def test_watchlist_is_small_and_bounded(self):
+        persona = DashboardPoller("d0", 7, _CATALOG)
+        assert 2 <= len(persona.watchlist) <= 4
+        paths = {persona.next_request().path for _ in range(100)}
+        assert len(paths) <= len(persona.watchlist)
+
+    def test_planned_paths_are_wellformed(self):
+        persona = DashboardPoller("d1", 7, _CATALOG)
+        request = persona.next_request()
+        assert request.kind == "lists"
+        assert request.path.startswith("/v1/lists/")
+        assert "?k=" in request.path
+
+    def test_validate_accepts_consistent_body(self):
+        persona = DashboardPoller("d2", 7, _CATALOG)
+        request = persona.next_request()
+        provider, day = request.path.split("?")[0].split("/")[3:5]
+        k = int(request.path.split("?k=")[1])
+        body = {
+            "provider": provider, "day": int(day), "k": k,
+            "count": 2, "names": ["a.com", "b.com"],
+        }
+        assert persona.validate(request, body) is None
+
+    def test_validate_rejects_count_mismatch_and_overflow(self):
+        persona = DashboardPoller("d3", 7, _CATALOG)
+        request = persona.next_request()
+        provider, day = request.path.split("?")[0].split("/")[3:5]
+        k = int(request.path.split("?k=")[1])
+        body = {
+            "provider": provider, "day": int(day), "k": k,
+            "count": 3, "names": ["a.com"],
+        }
+        assert "count" in persona.validate(request, body)
+        body = {
+            "provider": provider, "day": int(day), "k": k,
+            "count": k + 1, "names": ["x"] * (k + 1),
+        }
+        assert "exceeds" in persona.validate(request, body)
+
+    def test_validate_rejects_wrong_provider(self):
+        persona = DashboardPoller("d4", 7, _CATALOG)
+        request = persona.next_request()
+        k = int(request.path.split("?k=")[1])
+        body = {
+            "provider": "nonsense", "day": 0, "k": k,
+            "count": 0, "names": [],
+        }
+        assert persona.validate(request, body) is not None
+
+
+class TestResearcher:
+    def test_pages_every_experiment(self):
+        persona = Researcher("r0", 7, _CATALOG)
+        seen = set()
+        for _ in range(60):
+            request = persona.next_request()
+            if request.kind == "experiment":
+                seen.add(request.path.rsplit("/", 1)[1])
+        assert seen == set(_CATALOG.experiments)
+
+    def test_occasionally_rereads_the_index(self):
+        persona = Researcher("r1", 7, _CATALOG)
+        kinds = [persona.next_request().kind for _ in range(120)]
+        assert "experiments-index" in kinds
+        assert kinds.count("experiments-index") < len(kinds) // 3
+
+    def test_validate_requires_schema_version(self):
+        persona = Researcher("r2", 7, _CATALOG)
+        request = next(
+            r for r in iter(persona.next_request, None)
+            if r.kind == "experiment"
+        )
+        assert persona.validate(request, {"schema_version": 1}) is None
+        assert persona.validate(request, {}) is not None
+
+    def test_think_times_are_slower_than_dashboards(self):
+        researcher = Researcher("r3", 7, _CATALOG)
+        dashboard = DashboardPoller("d9", 7, _CATALOG)
+        r_mean = sum(researcher.next_request().think_seconds for _ in range(50)) / 50
+        d_mean = sum(dashboard.next_request().think_seconds for _ in range(50)) / 50
+        assert r_mean > d_mean * 2
+
+
+class TestHealthProbe:
+    def test_rotates_all_three_endpoints(self):
+        persona = HealthProbe("h0", 7, _CATALOG)
+        paths = {persona.next_request().path for _ in range(9)}
+        assert paths == {"/healthz", "/readyz", "/metricz"}
+
+    def test_validate_health_and_metricz(self):
+        persona = HealthProbe("h1", 7, _CATALOG)
+        request = next(
+            r for r in iter(persona.next_request, None) if r.kind == "health"
+        )
+        assert persona.validate(request, {"status": "alive"}) is None
+        assert persona.validate(request, {"status": "draining"}) is not None
+        metricz = next(
+            r for r in iter(persona.next_request, None) if r.kind == "metricz"
+        )
+        assert persona.validate(
+            metricz, {"requests": {}, "uptime_seconds": 1.0}
+        ) is None
+        assert persona.validate(metricz, {"nope": 1}) is not None
+
+
+class TestMix:
+    def test_default_mix(self):
+        mix = parse_mix(None)
+        assert mix == {"dashboards": 0.7, "researchers": 0.2, "probes": 0.1}
+
+    def test_parse_normalizes(self):
+        mix = parse_mix("dashboards=2,researchers=1,probes=1")
+        assert mix["dashboards"] == pytest.approx(0.5)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_parse_rejects_bad_specs(self):
+        for bad in ("dashboards", "gremlins=1", "dashboards=x", "dashboards=-1"):
+            with pytest.raises(ValueError):
+                parse_mix(bad)
+        with pytest.raises(ValueError):
+            parse_mix("dashboards=0,researchers=0,probes=0")
+
+    def test_apportion_sums_exactly(self):
+        for workers in (1, 5, 6, 7, 48):
+            counts = apportion(workers, parse_mix(None))
+            assert sum(counts.values()) == workers
+
+    def test_apportion_respects_weights(self):
+        counts = apportion(10, parse_mix(None))
+        assert counts["dashboards"] == 7
+        assert counts["researchers"] == 2
+        assert counts["probes"] == 1

@@ -1,0 +1,175 @@
+"""Report assembly, SLO parsing/evaluation, metrics taxonomy math."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen.metrics import Outcome, PhaseMetrics
+from repro.loadgen.report import (
+    LOADGEN_SCHEMA_VERSION,
+    SloThresholds,
+    build_report,
+    loadgen_path,
+    write_report,
+)
+
+
+def _outcome(**overrides):
+    base = dict(
+        path="/v1/lists/alexa/0?k=100", kind="lists", persona_id="p",
+        outcome="ok", status=200, latency_seconds=0.01,
+    )
+    base.update(overrides)
+    return Outcome(**base)
+
+
+def _phase(name="steady", ok=90, shed=5, drift=0, errors=5):
+    phase = PhaseMetrics(name)
+    for _ in range(ok):
+        phase.record(_outcome())
+    for _ in range(shed):
+        phase.record(_outcome(
+            outcome="shed", status=503, retry_after_seen=1,
+            latency_seconds=0.002,
+        ))
+    for _ in range(drift):
+        phase.record(_outcome(
+            outcome="body_drift", kind="experiment",
+            path="/v1/experiments/fig1", detail="digest mismatch",
+        ))
+    for _ in range(errors):
+        phase.record(_outcome(outcome="http_5xx", status=500))
+    phase.duration_seconds = 2.0
+    return phase
+
+
+class TestPhaseMetrics:
+    def test_rates(self):
+        phase = _phase(ok=90, shed=10, errors=0)
+        assert phase.shed_rate == pytest.approx(0.1)
+        assert phase.availability == pytest.approx(1.0)
+        assert phase.error_rate == pytest.approx(0.0)
+
+    def test_availability_excludes_sheds_from_denominator(self):
+        phase = _phase(ok=98, shed=50, errors=2)
+        assert phase.availability == pytest.approx(0.98)
+
+    def test_empty_phase_rates_are_safe(self):
+        phase = PhaseMetrics("empty")
+        assert phase.shed_rate == 0.0
+        assert phase.availability == 1.0
+        assert phase.error_rate == 0.0
+        assert phase.throughput_rps() == 0.0
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = _phase("a", ok=10, shed=2, errors=0), _phase("b", ok=5, shed=0, errors=3)
+        total = PhaseMetrics("totals")
+        total.merge(a).merge(b)
+        assert total.requests == a.requests + b.requests
+        assert total.sheds == 2
+        assert total.latency.count == a.latency.count + b.latency.count
+        assert total.by_status["500"] == 3
+
+    def test_rejects_unknown_outcome(self):
+        with pytest.raises(ValueError):
+            PhaseMetrics("x").record(_outcome(outcome="mystery"))
+
+    def test_failure_samples_are_bounded(self):
+        phase = _phase(ok=0, shed=0, errors=50)
+        assert len(phase.samples) == 10
+
+    def test_to_dict_is_json_safe_and_complete(self):
+        payload = json.loads(json.dumps(_phase().to_dict()))
+        assert payload["requests"] == 100
+        assert payload["rates"]["shed_rate"] == pytest.approx(0.05)
+        assert "p99_ms" in payload["latency"]
+        assert payload["by_kind"]["lists"] == 100
+
+
+class TestSloThresholds:
+    def test_parse_full_spec(self):
+        slo = SloThresholds.parse(
+            "p99_ms=750,shed_rate=0.25,error_rate=0.01,"
+            "availability=0.99,body_drift=0"
+        )
+        assert slo.p99_ms == 750.0
+        assert slo.shed_rate == 0.25
+        assert slo.availability == 0.99
+        assert slo.body_drift == 0.0
+        assert slo.p999_ms is None
+
+    def test_parse_empty_gates_nothing(self):
+        slo = SloThresholds.parse(None)
+        assert slo.evaluate(_phase(), _phase()) == []
+
+    def test_parse_rejects_unknown_keys_and_garbage(self):
+        with pytest.raises(ValueError):
+            SloThresholds.parse("p42_ms=1")
+        with pytest.raises(ValueError):
+            SloThresholds.parse("p99_ms")
+        with pytest.raises(ValueError):
+            SloThresholds.parse("p99_ms=fast")
+
+    def test_evaluate_passes_and_fails(self):
+        steady = _phase(ok=99, shed=0, errors=1)
+        slo = SloThresholds.parse("p99_ms=1000,error_rate=0.05,availability=0.9")
+        assert all(gate.passed for gate in slo.evaluate(steady, steady))
+        strict = SloThresholds.parse("error_rate=0.001")
+        results = strict.evaluate(steady, steady)
+        assert [gate.passed for gate in results] == [False]
+
+    def test_body_drift_is_judged_run_wide(self):
+        steady = _phase(drift=0)
+        totals = _phase("totals", drift=2)
+        slo = SloThresholds.parse("body_drift=0")
+        (gate,) = slo.evaluate(steady, totals)
+        assert not gate.passed
+        assert gate.measured == 2.0
+
+
+class TestReportDocument:
+    def _report(self):
+        phases = [_phase("chaos"), _phase("saturation", ok=50, shed=30, errors=0)]
+        slo = SloThresholds.parse("p99_ms=1000")
+        gates = slo.evaluate(phases[0], phases[0])
+        return build_report(
+            seed=7,
+            target="http://127.0.0.1:9999",
+            mode="spawn",
+            phases=phases,
+            gates=gates,
+            schedule_digests=[{"persona": "chaos:probes:0", "sha256": "ab" * 32}],
+            catalog={"providers": ["alexa"], "days": 8},
+            slo=slo,
+        )
+
+    def test_schema_stable_top_level(self):
+        report = self._report()
+        assert report["loadgen_schema_version"] == LOADGEN_SCHEMA_VERSION
+        for key in ("date", "seed", "target", "mode", "host", "catalog",
+                    "phases", "totals", "gates", "slo", "determinism",
+                    "tracer"):
+            assert key in report, key
+
+    def test_totals_are_the_merge_of_phases(self):
+        report = self._report()
+        assert report["totals"]["requests"] == sum(
+            phase["requests"] for phase in report["phases"]
+        )
+
+    def test_json_round_trip_and_write(self, tmp_path):
+        report = self._report()
+        target = write_report(report, tmp_path / "LOADGEN_test.json")
+        again = json.loads(target.read_text())
+        assert again["seed"] == 7
+        assert again["gates"]["passed"] is True
+        # Stable serialization: writing the parsed document again is a
+        # byte-identical file.
+        second = write_report(again, tmp_path / "again.json")
+        assert second.read_text() == target.read_text()
+
+    def test_loadgen_path_shape(self, tmp_path):
+        path = loadgen_path(tmp_path, date="20260807")
+        assert path.name == "LOADGEN_20260807.json"

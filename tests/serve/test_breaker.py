@@ -127,6 +127,36 @@ class TestHalfOpen:
         assert snapshot["failure_threshold"] == 2
 
 
+class TestCooldownRemaining:
+    def test_zero_while_closed(self, clock):
+        assert make_breaker(clock).cooldown_remaining() == 0.0
+
+    def test_counts_down_while_open(self, clock):
+        breaker = make_breaker(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.cooldown_remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.cooldown_remaining() == pytest.approx(6.0)
+
+    def test_zero_once_half_open(self, clock):
+        breaker = make_breaker(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.5)
+        # Reading the remaining cooldown performs the half-open
+        # transition itself; a Retry-After built on it tells the client
+        # "now" exactly when a probe slot exists.
+        assert breaker.cooldown_remaining() == 0.0
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_reopened_breaker_restarts_the_clock(self, clock):
+        breaker = make_breaker(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.5)
+        assert breaker.allow()
+        breaker.record_failure("probe_failed")
+        assert breaker.cooldown_remaining() == pytest.approx(10.0)
+
+
 class TestLastKnownGood:
     def test_put_get_bytes(self):
         lkg = LastKnownGood(capacity=4)

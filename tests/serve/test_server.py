@@ -19,7 +19,12 @@ from repro.faults import inject as fault_inject
 from repro.runner import run_experiments
 from repro.serve.breaker import BreakerState
 from repro.serve.selftest import _fetch
-from repro.serve.server import MetricsService, ServeSettings
+from repro.serve.server import (
+    RETRY_AFTER_CAP,
+    MetricsService,
+    ServeSettings,
+    dynamic_retry_after,
+)
 from repro.store import ArtifactStore, config_key
 from repro.worldgen.config import WorldConfig
 
@@ -127,6 +132,33 @@ class TestRoutes:
     def test_unknown_route_404(self, service):
         assert _get(service, "/v2/anything").status == 404
 
+    def test_lists_index(self, service):
+        response = _get(service, "/v1/lists")
+        assert response.status == 200
+        doc = json.loads(response.body)
+        assert doc["days"] == _CONFIG.n_days
+        assert doc["default_k"] == service.settings.default_k
+        assert doc["max_k"] == service.settings.max_k
+        assert doc["config_key"] == config_key(_CONFIG)
+        rows = doc["providers"]
+        assert [row["id"] for row in rows] == sorted(row["id"] for row in rows)
+        assert rows, "a warm service advertises at least one provider"
+        for row in rows:
+            assert row["days"] == _CONFIG.n_days
+            assert row["path"] == f"/v1/lists/{row['id']}/<day>?k=<k>"
+
+    def test_lists_index_rows_resolve(self, service):
+        doc = json.loads(_get(service, "/v1/lists").body)
+        provider = doc["providers"][0]["id"]
+        response = _get(service, f"/v1/lists/{provider}/0?k=5")
+        assert response.status == 200
+        assert json.loads(response.body)["provider"] == provider
+
+    def test_lists_index_trailing_slash_is_the_index(self, service):
+        assert json.loads(_get(service, "/v1/lists/").body) == json.loads(
+            _get(service, "/v1/lists").body
+        )
+
     def test_lists_endpoint(self, service):
         response = _get(service, "/v1/lists/alexa/0?k=7")
         assert response.status == 200
@@ -160,7 +192,14 @@ class TestRoutes:
 
     def test_metricz_counters(self, service):
         _get(service, "/v1/experiments/srv1")
-        doc = json.loads(_get(service, "/metricz").body)
+        # Accounting lands just after the response bytes flush: poll so a
+        # fast /metricz read cannot race the prior request's counters.
+        deadline = time.monotonic() + 2.0
+        while True:
+            doc = json.loads(_get(service, "/metricz").body)
+            if doc["requests"]["total"] >= 1 or time.monotonic() > deadline:
+                break
+            time.sleep(0.01)
         assert doc["ready"] is True
         assert doc["requests"]["total"] >= 1
         assert doc["breaker"]["state"] == BreakerState.CLOSED
@@ -260,6 +299,69 @@ class TestSheddingIntegration:
         finally:
             for _ in range(held):
                 service.gate.release()
+
+
+class TestRetryAfter:
+    """Every 503/504 carries an integer-seconds Retry-After derived from
+    live load (queue backlog, breaker cooldown) — the loadgen contract."""
+
+    def test_floor_applies_when_idle(self):
+        assert dynamic_retry_after(1, waiting=0, capacity=4,
+                                   deadline_ms=2000.0) == 1
+        assert dynamic_retry_after(5, waiting=0, capacity=4,
+                                   deadline_ms=2000.0) == 5
+
+    def test_queue_backlog_raises_the_estimate(self):
+        # 8 waiters over 2 slots at a 2s deadline: ~8s to drain.
+        assert dynamic_retry_after(1, waiting=8, capacity=2,
+                                   deadline_ms=2000.0) == 8
+
+    def test_open_breaker_cooldown_raises_the_estimate(self):
+        assert dynamic_retry_after(1, waiting=0, capacity=4,
+                                   deadline_ms=2000.0,
+                                   breaker_remaining=6.2) == 7
+
+    def test_clamped_to_cap_and_never_below_one(self):
+        assert dynamic_retry_after(1, waiting=10_000, capacity=1,
+                                   deadline_ms=5000.0) == RETRY_AFTER_CAP
+        assert dynamic_retry_after(0, waiting=0, capacity=1,
+                                   deadline_ms=0.0) == 1
+
+    def test_shed_503_carries_integer_retry_after(self, service):
+        held = 0
+        try:
+            while service.gate.try_acquire() is None:
+                held += 1
+            response = _fetch(service.host, service.port,
+                              "/v1/experiments/srv1")
+        finally:
+            for _ in range(held):
+                service.gate.release()
+        assert response.status == 503
+        assert int(response.headers["retry-after"]) >= 1
+
+    def test_deadline_504_carries_integer_retry_after(
+        self, served_cache, tiny_registry
+    ):
+        svc = MetricsService(
+            _CONFIG, ArtifactStore(served_cache),
+            settings=_settings(deadline_ms=0.0), names=list(tiny_registry),
+        )
+        svc.warm()
+        svc.start()
+        try:
+            response = _fetch(svc.host, svc.port, "/v1/experiments/srv1")
+            assert response.status == 504
+            assert int(response.headers["retry-after"]) >= 1
+        finally:
+            svc.drain(reason="test")
+
+    def test_metricz_reports_the_retry_after_derivation(self, service):
+        doc = json.loads(_get(service, "/metricz").body)
+        block = doc["retry_after"]
+        assert block["floor_seconds"] == service.settings.retry_after_seconds
+        assert block["cap_seconds"] == RETRY_AFTER_CAP
+        assert block["current_seconds"] >= 1
 
 
 class TestDeadline:
