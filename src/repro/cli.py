@@ -40,7 +40,10 @@ Command families, all dispatched through one table in :func:`main`:
   metrics service, with golden-body drift detection, a mergeable latency
   histogram, and an ``--slo`` gate over the ``LOADGEN_<yyyymmdd>.json``
   report.  ``--spawn`` forks a chaos-armed ``repro serve`` child and
-  requires saturation sheds + >= 99% golden-correct availability
+  requires saturation sheds + >= 99% golden-correct availability.
+  ``--workers N`` fans the client across N processes over disjoint
+  persona shards; every run writes a ``LATENCY_<yyyymmdd>.json``
+  trajectory, and ``--compare prev.json`` fails the run on p99 drift
   (``repro.loadgen``).
 
 Exit codes are uniform across every command: 0 on success, 1 on
@@ -69,6 +72,8 @@ Examples::
     repro loadgen --spawn --quick --seed 7     # chaos + saturation smoke
     repro loadgen --base-url http://127.0.0.1:8321 --rate 50 \\
         --slo p99_ms=250,error_rate=0.01      # SLO-gate a live instance
+    repro loadgen --spawn --workers 4         # multi-process client pool
+    repro loadgen --compare LATENCY_prev.json --against LATENCY_now.json
 """
 
 from __future__ import annotations
@@ -1034,7 +1039,10 @@ def _run_loadgen(argv: List[str]) -> int:
         ),
         parents=[_cache_parent()],
     )
-    target = parser.add_mutually_exclusive_group(required=True)
+    # Not required at the argparse level: `--compare PREV --against CUR`
+    # is a pure file comparison and needs no target at all.  run_loadgen
+    # validates the combination.
+    target = parser.add_mutually_exclusive_group()
     target.add_argument("--base-url", default=None, metavar="URL",
                         help="load an already-running service at this "
                              "http URL")
@@ -1087,6 +1095,31 @@ def _run_loadgen(argv: List[str]) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI-smoke sizing: short phases at golden "
                              "scale")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="client processes; each drives a "
+                             "deterministic shard of the persona roster "
+                             "and the parent merges the spilled "
+                             "histograms (default 1: in-process)")
+    parser.add_argument("--no-keepalive", action="store_true",
+                        help="open a fresh connection per request "
+                             "instead of pooling persistent HTTP/1.1 "
+                             "connections")
+    parser.add_argument("--latency-out", default=None, metavar="PATH",
+                        help="latency-trajectory path (default "
+                             "./LATENCY_<yyyymmdd>.json)")
+    parser.add_argument("--compare", default=None, metavar="PREV",
+                        help="gate this run's p99 trajectory against a "
+                             "previous LATENCY_*.json; regressions "
+                             "beyond --p99-tolerance exit nonzero")
+    parser.add_argument("--against", default=None, metavar="CUR",
+                        help="with --compare and no target: compare two "
+                             "existing LATENCY files without generating "
+                             "any load")
+    parser.add_argument("--p99-tolerance", type=float, default=None,
+                        metavar="FRACTION",
+                        help="allowed relative p99 growth for --compare "
+                             "(default 0.5, i.e. +50%% plus a fixed "
+                             "25ms slack)")
     args = parser.parse_args(argv)
 
     cache_dir = _cache_dir_from_args(args)
@@ -1111,13 +1144,24 @@ def _run_loadgen(argv: List[str]) -> int:
             fault_plan=args.fault_plan,
             no_faults=args.no_faults,
             timeout=args.timeout,
+            workers=args.workers,
+            keepalive=not args.no_keepalive,
+            latency_out=args.latency_out,
+            compare=args.compare,
+            against=args.against,
+            **({} if args.p99_tolerance is None
+               else {"p99_tolerance": args.p99_tolerance}),
         )
     except ValueError as error:
         print(f"bad loadgen options: {error}", file=sys.stderr)
         return EXIT_USAGE
     try:
         result = run_loadgen(options)
-    except (RuntimeError, OSError, ValueError) as error:
+    except ValueError as error:
+        # Inconsistent flags or an unreadable/mis-shaped LATENCY file.
+        print(f"bad loadgen invocation: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except (RuntimeError, OSError) as error:
         print(f"loadgen failed: {error}", file=sys.stderr)
         return EXIT_FAILURE
     print(result.render())

@@ -1,10 +1,21 @@
 """The asyncio load engine: open-loop pacing, closed-loop sessions.
 
 Everything here is stdlib.  The HTTP client is a deliberately small
-raw-socket HTTP/1.1 GET (``Connection: close``) over
-:func:`asyncio.open_connection` — no aiohttp in the image, and
-``urllib`` would serialize on threads; a load generator must not have
-its own concurrency ceiling below the service's.
+raw-socket HTTP/1.1 GET over :func:`asyncio.open_connection` — no
+aiohttp in the image, and ``urllib`` would serialize on threads; a load
+generator must not have its own concurrency ceiling below the service's.
+
+Connections are **persistent** by default: each phase owns a
+:class:`ConnectionPool` of keep-alive HTTP/1.1 sockets, so the cost of
+a TCP handshake is paid per *session*, not per request — the difference
+between a client that tops out at a few hundred requests/sec and one
+that can actually saturate the serve layer.  The pool handles the two
+ways a peer ends persistence: a ``Connection: close`` response header
+retires the socket after the body, and a server-initiated close between
+requests (EOF on a reused socket before any response byte) triggers a
+transparent reconnect, never a failed sample.  ``keepalive=False``
+falls back to the PR 6 one-socket-per-request client
+(:func:`http_get`) for A/B measurements.
 
 Two driving modes, because they answer different questions:
 
@@ -40,12 +51,14 @@ from repro.loadgen.personas import (
     Catalog,
     Persona,
     PlannedRequest,
-    apportion,
     make_persona,
+    roster,
 )
 from repro.runner.retry import RetryPolicy
 
 __all__ = [
+    "ClientStats",
+    "ConnectionPool",
     "HttpResponse",
     "LoadEngine",
     "PhaseSpec",
@@ -135,6 +148,219 @@ async def http_get(
     return await asyncio.wait_for(_exchange(), timeout=timeout)
 
 
+@dataclass
+class ClientStats:
+    """Connection-level accounting for the keep-alive client.
+
+    ``connections_opened`` vs ``requests`` is the keep-alive proof: with
+    reuse working, sockets stay within a small multiple of the session
+    count while requests run to the thousands.
+    """
+
+    requests: int = 0
+    connections_opened: int = 0
+    requests_on_reused: int = 0  # served on an already-open socket
+    connections_retired: int = 0  # peer answered ``Connection: close``
+    stale_retries: int = 0  # reused socket found dead; reopened quietly
+
+    def merge(self, other: "ClientStats") -> "ClientStats":
+        self.requests += other.requests
+        self.connections_opened += other.connections_opened
+        self.requests_on_reused += other.requests_on_reused
+        self.connections_retired += other.connections_retired
+        self.stale_retries += other.stale_retries
+        return self
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "connections_opened": self.connections_opened,
+            "requests_on_reused": self.requests_on_reused,
+            "connections_retired": self.connections_retired,
+            "stale_retries": self.stale_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, int]) -> "ClientStats":
+        return cls(**{
+            key: int(payload.get(key, 0))
+            for key in (
+                "requests", "connections_opened", "requests_on_reused",
+                "connections_retired", "stale_retries",
+            )
+        })
+
+
+class _StaleConnection(Exception):
+    """A reused socket died before yielding any response byte — the
+    normal end of a keep-alive grace period, not a request failure."""
+
+
+class _PooledConnection:
+    __slots__ = ("reader", "writer", "requests_served")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.requests_served = 0
+
+
+class ConnectionPool:
+    """Keep-alive HTTP/1.1 GET client over a bounded idle-socket pool.
+
+    One pool per (phase, event loop): sessions check a socket out per
+    request, so concurrency is bounded by the session count and the pool
+    only caps how many *idle* sockets are retained between requests.
+
+    Persistence rules (the conformance tests pin each one):
+
+    * a response with ``Connection: close``, an HTTP/1.0 status line, or
+      no ``Content-Length`` (read-to-EOF framing) retires its socket;
+    * EOF or a reset on a *reused* socket before the first response byte
+      is a server-initiated close between requests — the pool discards
+      the socket and retries on a fresh one, transparently;
+    * the same failure on a *fresh* socket is a real connect error and
+      propagates to the engine's retry policy.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        stats: Optional[ClientStats] = None,
+        max_idle: int = 32,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.stats = stats if stats is not None else ClientStats()
+        self.max_idle = max(1, int(max_idle))
+        self._idle: List[_PooledConnection] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    async def _open(self) -> _PooledConnection:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self.stats.connections_opened += 1
+        return _PooledConnection(reader, writer)
+
+    @staticmethod
+    def _discard(conn: _PooledConnection) -> None:
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Close every idle socket; in-flight checkouts self-discard."""
+        self._closed = True
+        while self._idle:
+            self._discard(self._idle.pop())
+
+    # ------------------------------------------------------------------
+    # The request path.
+
+    async def request(self, path: str, timeout: float = 5.0) -> HttpResponse:
+        """One GET over a pooled (or fresh) keep-alive connection.
+
+        Raises:
+            asyncio.TimeoutError: the exchange (including any transparent
+              stale-socket retry) exceeded ``timeout``.
+            OSError: connect/reset failures on a fresh socket.
+        """
+        return await asyncio.wait_for(self._request(path), timeout=timeout)
+
+    async def _request(self, path: str) -> HttpResponse:
+        while True:
+            reused = bool(self._idle)
+            conn = self._idle.pop() if reused else await self._open()
+            settled = False
+            try:
+                response, reuse_ok = await self._exchange(conn, path, reused)
+                settled = True
+            except _StaleConnection:
+                settled = True
+                self._discard(conn)
+                self.stats.stale_retries += 1
+                continue
+            finally:
+                if not settled:  # timeout/cancel/error: socket state unknown
+                    self._discard(conn)
+            conn.requests_served += 1
+            self.stats.requests += 1
+            if reused:
+                self.stats.requests_on_reused += 1
+            if reuse_ok and not self._closed and len(self._idle) < self.max_idle:
+                self._idle.append(conn)
+            else:
+                if not reuse_ok:
+                    self.stats.connections_retired += 1
+                self._discard(conn)
+            return response
+
+    async def _exchange(
+        self, conn: _PooledConnection, path: str, reused: bool
+    ) -> Tuple[HttpResponse, bool]:
+        started = time.perf_counter()
+        request = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "User-Agent: repro-loadgen\r\n"
+            "Accept: application/json\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            conn.writer.write(request)
+            await conn.writer.drain()
+            status_line = await conn.reader.readline()
+        except (ConnectionError, OSError) as exc:
+            if reused:
+                raise _StaleConnection() from exc
+            raise
+        if not status_line:
+            # EOF before any response byte: between-requests close.
+            if reused:
+                raise _StaleConnection()
+            raise OSError("server closed connection before responding")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise OSError(f"malformed status line {status_line!r}")
+        version = parts[0]
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await conn.reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if line == b"":
+                raise asyncio.IncompleteReadError(b"", None)
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length")
+        if length is not None and length.isdigit():
+            body = await conn.reader.readexactly(int(length))
+            framed = True
+        else:
+            body = await conn.reader.read()
+            framed = False
+        reuse_ok = (
+            framed
+            and version != "HTTP/1.0"
+            and headers.get("connection", "").lower() != "close"
+        )
+        response = HttpResponse(
+            status=status,
+            headers=headers,
+            body=body,
+            latency_seconds=time.perf_counter() - started,
+            bytes_out=len(request),
+        )
+        return response, reuse_ok
+
+
 class TokenBucket:
     """Open-loop pacing: tokens accrue at ``rate`` per second.
 
@@ -192,6 +418,13 @@ class PhaseSpec:
           single-threaded client can offer more load than the gate can
           admit; golden-drift pinning stays on either way (a byte
           compare is cheap).
+        shard_index/shard_count: which slice of the phase's canonical
+          persona roster this engine runs.  The roster (and therefore
+          every persona id and request schedule) is a pure function of
+          ``(name, workers, mix)``; a shard keeps positions where
+          ``position % shard_count == shard_index``, so the union over
+          all shards is exactly the unsharded persona set — the
+          multi-process pool's seed-partition contract.
     """
 
     name: str
@@ -204,6 +437,8 @@ class PhaseSpec:
     min_requests: int = 0
     retry_sheds: bool = True
     validate_bodies: bool = True
+    shard_index: int = 0
+    shard_count: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in ("closed", "open"):
@@ -214,6 +449,13 @@ class PhaseSpec:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.duration_seconds <= 0:
             raise ValueError("duration_seconds must be > 0")
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {self.shard_count}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), "
+                f"got {self.shard_index}"
+            )
 
 
 class LoadEngine:
@@ -231,6 +473,9 @@ class LoadEngine:
         policy: retry backoff; Retry-After (capped) takes precedence
           when larger.
         timeout: per-request client timeout, seconds.
+        keepalive: reuse HTTP/1.1 connections via a per-phase
+          :class:`ConnectionPool` (default); False opens one socket per
+          request, the PR 6 behavior, for A/B capacity comparisons.
     """
 
     #: Statuses that are retried (with backoff / Retry-After).
@@ -246,6 +491,7 @@ class LoadEngine:
         tracer: Optional[obs.Tracer] = None,
         policy: Optional[RetryPolicy] = None,
         timeout: float = 5.0,
+        keepalive: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -257,6 +503,9 @@ class LoadEngine:
             max_attempts=3, base_delay=0.05, multiplier=2.0, max_delay=1.0
         )
         self.timeout = timeout
+        self.keepalive = bool(keepalive)
+        self.client_stats = ClientStats()
+        self._pool: Optional[ConnectionPool] = None
         self.personas: List[Persona] = []
 
     # ------------------------------------------------------------------
@@ -274,14 +523,15 @@ class LoadEngine:
     # Phase internals.
 
     def _build_personas(self, spec: PhaseSpec) -> List[Persona]:
-        counts = apportion(spec.workers, dict(spec.mix))
         personas: List[Persona] = []
-        for kind in sorted(counts):
-            for index in range(counts[kind]):
-                persona_id = f"{spec.name}:{kind}:{index}"
-                personas.append(
-                    make_persona(kind, persona_id, self.seed, self.catalog)
-                )
+        for position, (kind, persona_id) in enumerate(
+            roster(spec.name, spec.workers, spec.mix)
+        ):
+            if position % spec.shard_count != spec.shard_index:
+                continue
+            personas.append(
+                make_persona(kind, persona_id, self.seed, self.catalog)
+            )
         return personas
 
     async def _run_phase(self, spec: PhaseSpec) -> PhaseMetrics:
@@ -327,13 +577,34 @@ class LoadEngine:
                 if think > 0:
                     await asyncio.sleep(think)
 
-        await asyncio.gather(*(session(p) for p in personas))
+        pool = (
+            ConnectionPool(
+                self.host, self.port, stats=self.client_stats,
+                max_idle=max(8, spec.workers),
+            )
+            if self.keepalive
+            else None
+        )
+        self._pool = pool
+        try:
+            await asyncio.gather(*(session(p) for p in personas))
+        finally:
+            if pool is not None:
+                pool.close()
+            self._pool = None
         metrics.duration_seconds = time.perf_counter() - started
         self.tracer.count_root("loadgen.phases")
         return metrics
 
     # ------------------------------------------------------------------
     # One request, with retries.
+
+    async def _fetch(self, path: str) -> HttpResponse:
+        """One GET via the phase's keep-alive pool (or one-shot when the
+        pool is off or no phase is running)."""
+        if self._pool is not None:
+            return await self._pool.request(path, timeout=self.timeout)
+        return await http_get(self.host, self.port, path, timeout=self.timeout)
 
     async def _issue(
         self,
@@ -355,9 +626,7 @@ class LoadEngine:
         for attempt in self.policy.attempts():
             attempts = attempt
             try:
-                response = await http_get(
-                    self.host, self.port, request.path, timeout=self.timeout
-                )
+                response = await self._fetch(request.path)
             except asyncio.TimeoutError:
                 last_status, last_outcome, detail = None, "client_timeout", "timeout"
                 self.tracer.count_root("loadgen.client_timeout")

@@ -1,6 +1,6 @@
 """``repro loadgen`` orchestration: phases, gates, report, exit code.
 
-Two entry shapes:
+Three entry shapes:
 
 * ``--base-url http://host:port`` — measure a service somebody else is
   running: one phase (open-loop at ``--rate`` or closed-loop with
@@ -13,28 +13,52 @@ Two entry shapes:
   closed-loop fleet sized several times the admission gate, which must
   drive real shedding — every shed carrying a parseable Retry-After),
   then SIGTERM the child and require a clean drain.
+* ``--compare PREV --against CUR`` — no load at all: gate one existing
+  ``LATENCY_*.json`` against another (CI's follow-up step compares the
+  current run's trajectory to the previous green run on main).
 
-Every run writes ``LOADGEN_<yyyymmdd>.json``; the structural gates plus
-any ``--slo`` thresholds decide the exit code.
+``--workers N`` scales either load mode past the single-process client
+ceiling: N processes each drive a deterministic shard of the persona
+roster through their own keep-alive connection pools, spill exact
+histograms, and the parent merges them (see :mod:`repro.loadgen.pool`).
+
+Every load run writes ``LOADGEN_<yyyymmdd>.json`` plus the latency
+trajectory ``LATENCY_<yyyymmdd>.json``; the structural gates, any
+``--slo`` thresholds, and (with ``--compare``) the p99 drift gates
+decide the exit code.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
 from repro import obs
-from repro.loadgen.engine import LoadEngine, PhaseSpec, discover_catalog
+from repro.loadgen.engine import (
+    ClientStats,
+    LoadEngine,
+    PhaseSpec,
+    discover_catalog,
+)
 from repro.loadgen.metrics import PhaseMetrics
 from repro.loadgen.personas import DEFAULT_MIX
+from repro.loadgen.pool import run_pool
 from repro.loadgen.report import (
     GateResult,
     SloThresholds,
     build_report,
     loadgen_path,
     write_report,
+)
+from repro.loadgen.trajectory import (
+    DEFAULT_P99_TOLERANCE,
+    build_trajectory,
+    compare_trajectories,
+    latency_path,
+    load_trajectory,
+    write_trajectory,
 )
 
 __all__ = ["LoadgenOptions", "LoadgenResult", "run_loadgen"]
@@ -66,6 +90,12 @@ class LoadgenOptions:
     fault_plan: Optional[str] = None  # explicit plan file for the child
     no_faults: bool = False  # spawn a fault-free child
     timeout: float = 5.0
+    workers: int = 1  # client processes (1 = in-process engine)
+    keepalive: bool = True  # persistent HTTP/1.1 connections
+    latency_out: Optional[str] = None  # LATENCY_<date>.json override
+    compare: Optional[str] = None  # previous LATENCY file to gate against
+    against: Optional[str] = None  # compare-only: current LATENCY file
+    p99_tolerance: float = DEFAULT_P99_TOLERANCE
 
 
 @dataclass
@@ -90,6 +120,14 @@ class LoadgenResult:
                 f"ok {phase.by_outcome['ok']} shed {phase.sheds} "
                 f"drift {phase.body_drift}; "
                 f"availability {phase.availability:.4f}]"
+            )
+        client = self.report.get("client")
+        if isinstance(client, dict) and client.get("requests"):
+            lines.append(
+                f"[client: {client['connections_opened']} socket(s) for "
+                f"{client['requests']} requests "
+                f"({client['requests_on_reused']} on reused connections, "
+                f"{client['stale_retries']} stale retries)]"
             )
         for gate in self.gates:
             marker = "PASS" if gate.passed else "FAIL"
@@ -170,12 +208,58 @@ def _structural_gates(
     return gates
 
 
+@dataclass
+class _DriveResult:
+    """What the client side produced, whoever (engine or pool) drove it."""
+
+    phases: List[PhaseMetrics]
+    schedule_digests: List[Dict[str, object]]
+    counters: Dict[str, float]
+    client: ClientStats
+
+
+def _drive(
+    options: LoadgenOptions,
+    tracer: obs.Tracer,
+    host: str,
+    port: int,
+    catalog,
+    specs: Sequence[PhaseSpec],
+    expectations: Optional[Mapping[str, bytes]] = None,
+) -> _DriveResult:
+    """Run ``specs`` in order: in-process for ``--workers 1``, else the
+    multi-process pool over sharded persona rosters."""
+    if options.workers > 1:
+        pooled = run_pool(
+            host, port, catalog, options.seed, list(specs),
+            workers=options.workers,
+            expectations=expectations,
+            timeout=options.timeout,
+            keepalive=options.keepalive,
+        )
+        return _DriveResult(
+            phases=pooled.phases,
+            schedule_digests=pooled.schedule_digests,
+            counters=pooled.counters,
+            client=pooled.client,
+        )
+    engine = LoadEngine(
+        host, port, catalog, options.seed,
+        expectations=expectations, tracer=tracer,
+        timeout=options.timeout, keepalive=options.keepalive,
+    )
+    phases = [engine.run_phase(spec) for spec in specs]
+    return _DriveResult(
+        phases=phases,
+        schedule_digests=engine.schedule_digests(),
+        counters={},
+        client=engine.client_stats,
+    )
+
+
 def _run_base_url(options: LoadgenOptions, tracer: obs.Tracer) -> LoadgenResult:
     host, port = _parse_target(options.base_url or "")
     catalog = discover_catalog(host, port, timeout=options.timeout)
-    engine = LoadEngine(
-        host, port, catalog, options.seed, tracer=tracer, timeout=options.timeout
-    )
     duration = options.duration_seconds or (4.0 if options.quick else 15.0)
     if options.rate is not None:
         spec = PhaseSpec(
@@ -189,16 +273,18 @@ def _run_base_url(options: LoadgenOptions, tracer: obs.Tracer) -> LoadgenResult:
             workers=options.closed_loop or 6, mix=options.mix,
         )
     print(f"[loadgen: {spec.mode}-loop against http://{host}:{port} "
-          f"for {duration:.1f}s, seed {options.seed}]")
-    steady = engine.run_phase(spec)
-    phases = [steady]
+          f"for {duration:.1f}s, seed {options.seed}, "
+          f"{options.workers} client process(es), "
+          f"keep-alive {'on' if options.keepalive else 'off'}]")
+    driven = _drive(options, tracer, host, port, catalog, [spec])
+    steady = driven.phases[0]
     totals = PhaseMetrics("totals")
-    for phase in phases:
+    for phase in driven.phases:
         totals.merge(phase)
     gates = _structural_gates(None, None, totals, drain_code=None)
     gates.extend(options.slo.evaluate(steady, totals))
     return _finish(
-        options, phases, gates, engine, catalog,
+        options, driven, gates, catalog,
         target=f"http://{host}:{port}", mode="base-url", tracer=tracer,
     )
 
@@ -253,10 +339,6 @@ def _run_spawn(options: LoadgenOptions, tracer: obs.Tracer) -> LoadgenResult:
     try:
         server.wait_ready()
         catalog = discover_catalog("127.0.0.1", port, timeout=options.timeout)
-        engine = LoadEngine(
-            "127.0.0.1", port, catalog, options.seed,
-            expectations=expectations, tracer=tracer, timeout=options.timeout,
-        )
         total = options.duration_seconds or (4.0 if options.quick else 15.0)
         chaos_spec = PhaseSpec(
             name="chaos", mode="closed",
@@ -279,21 +361,24 @@ def _run_spawn(options: LoadgenOptions, tracer: obs.Tracer) -> LoadgenResult:
             validate_bodies=False,
         )
         print(f"[chaos phase: {chaos_spec.workers} sessions, "
-              f">= {chaos_spec.min_requests} requests]")
-        chaos = engine.run_phase(chaos_spec)
-        print(f"[saturation phase: {saturation_spec.workers} zero-think "
-              f"sessions vs a {gate_slots}-slot gate]")
-        saturation = engine.run_phase(saturation_spec)
+              f">= {chaos_spec.min_requests} requests; then saturation: "
+              f"{saturation_spec.workers} zero-think sessions vs a "
+              f"{gate_slots}-slot gate; {options.workers} client "
+              f"process(es)]")
+        driven = _drive(
+            options, tracer, "127.0.0.1", port, catalog,
+            [chaos_spec, saturation_spec], expectations=expectations,
+        )
+        chaos, saturation = driven.phases
     finally:
         drain_code = server.stop()
-    phases = [chaos, saturation]
     totals = PhaseMetrics("totals")
-    for phase in phases:
+    for phase in driven.phases:
         totals.merge(phase)
     gates = _structural_gates(chaos, saturation, totals, drain_code)
     gates.extend(options.slo.evaluate(chaos, totals))
     return _finish(
-        options, phases, gates, engine, catalog,
+        options, driven, gates, catalog,
         target=f"http://127.0.0.1:{port} (spawned)", mode="spawn",
         tracer=tracer,
         extra={
@@ -308,11 +393,41 @@ def _run_spawn(options: LoadgenOptions, tracer: obs.Tracer) -> LoadgenResult:
     )
 
 
+def _run_compare_only(options: LoadgenOptions) -> LoadgenResult:
+    """Pure file comparison: gate one LATENCY document against another."""
+    try:
+        current = load_trajectory(options.against or "")
+        previous = load_trajectory(options.compare or "")
+    except OSError as error:
+        # A file you named but can't read is a usage problem, and the
+        # CLI maps ValueError to the usage exit code.
+        raise ValueError(f"cannot read trajectory: {error}") from None
+    gates = compare_trajectories(
+        current, previous, tolerance=options.p99_tolerance
+    )
+    report: Dict[str, object] = {
+        "mode": "compare",
+        "current": options.against,
+        "previous": options.compare,
+        "p99_tolerance": options.p99_tolerance,
+        "gates": {
+            "passed": all(gate.passed for gate in gates),
+            "results": [gate.to_dict() for gate in gates],
+        },
+    }
+    return LoadgenResult(
+        ok=all(gate.passed for gate in gates),
+        report=report,
+        report_path=None,
+        phases=[],
+        gates=gates,
+    )
+
+
 def _finish(
     options: LoadgenOptions,
-    phases: List[PhaseMetrics],
+    driven: _DriveResult,
     gates: List[GateResult],
-    engine: LoadEngine,
     catalog,
     *,
     target: str,
@@ -320,15 +435,50 @@ def _finish(
     tracer: obs.Tracer,
     extra: Optional[Mapping[str, object]] = None,
 ) -> LoadgenResult:
+    # The latency trajectory rides along with every load run, and its
+    # drift gates (when --compare names a baseline) join the exit-code
+    # decision like any structural gate.
+    trajectory = build_trajectory(
+        seed=options.seed,
+        mode=mode,
+        workers=options.workers,
+        keepalive=options.keepalive,
+        phases=driven.phases,
+    )
+    trajectory_target = options.latency_out or str(latency_path())
+    write_trajectory(trajectory, trajectory_target)
+    compared: Optional[str] = None
+    if options.compare:
+        previous = load_trajectory(options.compare)
+        gates = list(gates) + compare_trajectories(
+            trajectory, previous, tolerance=options.p99_tolerance
+        )
+        compared = options.compare
     with tracer._root_lock:
         counters = dict(tracer.root.counters)
+    for name, value in driven.counters.items():
+        counters[name] = counters.get(name, 0.0) + float(value)
+    merged_extra: Dict[str, object] = {
+        "client": driven.client.to_dict(),
+        "pool": {
+            "workers": options.workers,
+            "keepalive": options.keepalive,
+        },
+        "trajectory": {
+            "path": trajectory_target,
+            "compared_against": compared,
+            "p99_tolerance": options.p99_tolerance,
+        },
+    }
+    if extra:
+        merged_extra.update(dict(extra))
     report = build_report(
         seed=options.seed,
         target=target,
         mode=mode,
-        phases=phases,
+        phases=driven.phases,
         gates=gates,
-        schedule_digests=engine.schedule_digests(),
+        schedule_digests=driven.schedule_digests,
         catalog={
             "providers": list(catalog.providers),
             "days": catalog.days,
@@ -338,7 +488,7 @@ def _finish(
         },
         tracer_counters=counters,
         slo=options.slo,
-        extra=extra,
+        extra=merged_extra,
     )
     path = options.report_path or str(loadgen_path())
     write_report(report, path)
@@ -346,7 +496,7 @@ def _finish(
         ok=all(gate.passed for gate in gates),
         report=report,
         report_path=path,
-        phases=phases,
+        phases=driven.phases,
         gates=gates,
     )
 
@@ -355,11 +505,23 @@ def run_loadgen(options: LoadgenOptions) -> LoadgenResult:
     """Run one load-test invocation end to end; see the module docstring.
 
     Raises:
-        ValueError: inconsistent options (no target, or both targets).
-        RuntimeError: spawn-mode setup failures (results, readiness).
+        ValueError: inconsistent options (no target, both targets, or a
+          malformed compare-only invocation).
+        RuntimeError: spawn-mode setup failures (results, readiness),
+          or a wedged/failed worker process.
     """
+    if options.against is not None:
+        if options.compare is None:
+            raise ValueError("--against requires --compare <previous.json>")
+        if options.base_url or options.spawn:
+            raise ValueError(
+                "--against is a pure file comparison; drop --base-url/--spawn"
+            )
+        return _run_compare_only(options)
     if bool(options.base_url) == bool(options.spawn):
         raise ValueError("exactly one of --base-url or --spawn is required")
+    if options.workers < 1:
+        raise ValueError(f"workers must be >= 1, got {options.workers}")
     tracer = obs.Tracer()
     started = time.perf_counter()
     if options.spawn:

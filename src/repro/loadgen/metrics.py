@@ -18,7 +18,11 @@ taxonomy matters more than the raw counts:
 * ``client_timeout`` / ``connect_error`` — the client gave up.
 
 Phase metrics merge (histogram merge + counter addition) into run
-totals, which is what the report's ``totals`` block is.
+totals, which is what the report's ``totals`` block is.  The same
+algebra crosses process boundaries: a multi-process worker serializes
+its phase with :meth:`PhaseMetrics.to_spill` (exact counters plus
+*full* per-kind histograms, unlike the rounded report projection) and
+the parent rebuilds and merges with :meth:`PhaseMetrics.from_spill`.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from typing import Dict, List, Optional
 
 from repro.loadgen.histogram import LatencyHistogram
 
-__all__ = ["Outcome", "PhaseMetrics", "OUTCOME_KINDS"]
+__all__ = ["Outcome", "PhaseMetrics", "OUTCOME_KINDS", "SPILL_SCHEMA_VERSION"]
 
 OUTCOME_KINDS = (
     "ok",
@@ -43,6 +47,9 @@ OUTCOME_KINDS = (
 
 #: Cap on stored failure examples, so a pathological run can't bloat the report.
 _MAX_SAMPLES = 10
+
+#: Layout version of the worker spill document.
+SPILL_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -230,3 +237,82 @@ class PhaseMetrics:
             },
             "samples": list(self.samples),
         }
+
+    def to_spill(self) -> Dict[str, object]:
+        """Lossless projection for worker spill files.
+
+        Unlike :meth:`to_dict` (the human-facing report block, which
+        rounds rates and collapses per-kind histograms to quantiles),
+        this keeps exact counters and full histograms so the parent's
+        merge is bit-identical to having recorded every outcome in one
+        process.
+        """
+        return {
+            "spill_schema_version": SPILL_SCHEMA_VERSION,
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "requests": self.requests,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "by_outcome": dict(sorted(self.by_outcome.items())),
+            "by_status": dict(sorted(self.by_status.items())),
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "retry_after_seen": self.retry_after_seen,
+            "retry_after_missing": self.retry_after_missing,
+            "retry_after_honored_seconds": self.retry_after_honored_seconds,
+            "latency": self.latency.to_dict(),
+            "latency_by_kind": {
+                kind: histogram.to_dict()
+                for kind, histogram in sorted(self.latency_by_kind.items())
+            },
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_spill(cls, payload: Dict[str, object]) -> "PhaseMetrics":
+        """Rebuild a phase from :meth:`to_spill` output.
+
+        Raises:
+            ValueError: unknown spill schema version.
+        """
+        version = payload.get("spill_schema_version")
+        if version != SPILL_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported spill schema {version!r}; "
+                f"expected {SPILL_SCHEMA_VERSION}"
+            )
+        phase = cls(str(payload["name"]))
+        phase.duration_seconds = float(payload.get("duration_seconds", 0.0))
+        phase.requests = int(payload.get("requests", 0))
+        phase.attempts = int(payload.get("attempts", 0))
+        phase.retries = int(payload.get("retries", 0))
+        phase.bytes_in = int(payload.get("bytes_in", 0))
+        phase.bytes_out = int(payload.get("bytes_out", 0))
+        for kind, count in dict(payload.get("by_outcome", {})).items():
+            if kind not in phase.by_outcome:
+                raise ValueError(f"unknown outcome kind {kind!r} in spill")
+            phase.by_outcome[kind] = int(count)
+        phase.by_status = {
+            str(status): int(count)
+            for status, count in dict(payload.get("by_status", {})).items()
+        }
+        phase.by_kind = {
+            str(kind): int(count)
+            for kind, count in dict(payload.get("by_kind", {})).items()
+        }
+        phase.retry_after_seen = int(payload.get("retry_after_seen", 0))
+        phase.retry_after_missing = int(payload.get("retry_after_missing", 0))
+        phase.retry_after_honored_seconds = float(
+            payload.get("retry_after_honored_seconds", 0.0)
+        )
+        phase.latency = LatencyHistogram.from_dict(dict(payload["latency"]))
+        phase.latency_by_kind = {
+            str(kind): LatencyHistogram.from_dict(dict(blob))
+            for kind, blob in dict(payload.get("latency_by_kind", {})).items()
+        }
+        phase.samples = [dict(sample) for sample in payload.get("samples", [])][
+            :_MAX_SAMPLES
+        ]
+        return phase

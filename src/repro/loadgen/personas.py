@@ -45,6 +45,7 @@ __all__ = [
     "apportion",
     "make_persona",
     "parse_mix",
+    "roster",
 ]
 
 #: Persona kinds in mix-spec order; also the default mix weights.
@@ -400,6 +401,25 @@ def parse_mix(text: Optional[str]) -> Dict[str, float]:
     if total <= 0:
         raise ValueError(f"mix {text!r} has no positive weight")
     return {kind: weight / total for kind, weight in weights.items()}
+
+
+def roster(phase: str, workers: int, mix: Dict[str, float]) -> List[Tuple[str, str]]:
+    """The canonical ``(kind, persona_id)`` list for one phase.
+
+    This is the single definition of which persona sessions a phase
+    consists of and in what order — shared by the in-process engine and
+    the multi-process pool, which shards it by position.  Because every
+    persona's request stream is keyed by ``(seed, persona_id)``, two
+    engines holding disjoint slices of this roster issue disjoint,
+    deterministic subsets of exactly the requests the unsharded engine
+    would have issued (the seed-partition equivalence test pins this).
+    """
+    counts = apportion(workers, mix)
+    entries: List[Tuple[str, str]] = []
+    for kind in sorted(counts):
+        for index in range(counts[kind]):
+            entries.append((kind, f"{phase}:{kind}:{index}"))
+    return entries
 
 
 def apportion(workers: int, mix: Dict[str, float]) -> Dict[str, int]:

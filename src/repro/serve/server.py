@@ -41,6 +41,11 @@ Hardening, in one place per concern:
 * **graceful drain** — SIGTERM/SIGINT stops accepting, sheds the queue,
   finishes in-flight requests up to ``drain_seconds``, writes a
   complete structured log, and exits 0.
+* **persistent connections** — HTTP/1.1 with ``Content-Length`` framing
+  on every response, so keep-alive clients (the loadgen connection
+  pool) reuse sockets across requests; idle connections are reaped
+  after a handler timeout, and responses sent while draining carry
+  ``Connection: close`` so clients retire them promptly.
 
 Observability: every request and lifecycle transition is one logfmt
 record in the :class:`~repro.serve.logfmt.AccessLog`, and service
@@ -158,6 +163,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+    # Keep-alive hygiene for pooled loadgen clients: reap connections
+    # idle past this (each parked socket pins a ThreadingHTTPServer
+    # thread), and disable Nagle so small content-length-framed replies
+    # aren't held hostage to delayed ACKs.
+    timeout = 30.0
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         # The structured access log replaces the default stderr lines.

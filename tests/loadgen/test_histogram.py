@@ -179,3 +179,78 @@ class TestSerialization:
             LatencyHistogram(min_seconds=0)
         with pytest.raises(ValueError):
             LatencyHistogram(growth=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the merge algebra the multi-process pool leans on.
+# Worker spills merge in whatever order the parent reads them, so the
+# result must not depend on ordering or grouping.
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_latency_lists = st.lists(
+    st.floats(min_value=1e-5, max_value=30.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=50,
+)
+
+
+def _histogram_of(samples):
+    histogram = LatencyHistogram()
+    for sample in samples:
+        histogram.record(sample)
+    return histogram
+
+
+def _comparable(histogram):
+    """to_dict minus sum_seconds, whose float addition is order-sensitive."""
+    payload = histogram.to_dict()
+    total = payload.pop("sum_seconds")
+    return payload, total
+
+
+class TestMergeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(parts=st.lists(_latency_lists, min_size=1, max_size=6),
+           data=st.data())
+    def test_merge_is_order_invariant(self, parts, data):
+        histograms = [_histogram_of(samples) for samples in parts]
+        order = data.draw(st.permutations(range(len(histograms))))
+        baseline = LatencyHistogram.merged(histograms)
+        shuffled = LatencyHistogram.merged(
+            [histograms[index] for index in order]
+        )
+        base, base_sum = _comparable(baseline)
+        shuf, shuf_sum = _comparable(shuffled)
+        assert shuf == base
+        assert shuf_sum == pytest.approx(base_sum)
+        # Buckets being identical makes every quantile identical too —
+        # but assert it directly, since quantiles are what the LATENCY
+        # gate actually compares.
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert shuffled.quantile(q) == baseline.quantile(q)
+        assert shuffled.count == baseline.count == sum(map(len, parts))
+
+    @settings(max_examples=60, deadline=None)
+    @given(parts=st.lists(_latency_lists, min_size=3, max_size=3))
+    def test_merge_is_associative(self, parts):
+        def fresh(index):
+            return _histogram_of(parts[index])
+
+        left = fresh(0).merge(fresh(1)).merge(fresh(2))
+        right = fresh(0).merge(fresh(1).merge(fresh(2)))
+        left_payload, left_sum = _comparable(left)
+        right_payload, right_sum = _comparable(right)
+        assert left_payload == right_payload
+        assert left_sum == pytest.approx(right_sum)
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples=_latency_lists)
+    def test_empty_histogram_is_merge_identity(self, samples):
+        histogram = _histogram_of(samples)
+        reference = histogram.to_dict()
+        left = LatencyHistogram().merge(_histogram_of(samples))
+        right = _histogram_of(samples).merge(LatencyHistogram())
+        assert left.to_dict() == reference
+        assert right.to_dict() == reference
