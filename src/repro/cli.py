@@ -19,6 +19,12 @@ Command families, all dispatched through one table in :func:`main`:
   Tranco-style rank CSV (or CrUX-style origin CSV for bucketed lists).
 * ``repro recommend`` — score every list for a study profile, per the
   paper's Section 7 guidance.
+* ``repro ranking [--k N] [--json PATH]`` — the continuous ranking
+  pipeline: stream every day through the rolling Dowdall window, prove
+  byte-identity against the batch recompute (nonzero exit on any
+  drift), and print Scheitle-style stability analytics (daily churn,
+  intersection decay, weekday periodicity) for the top-k
+  (``repro.ranking``).
 * ``repro verify-goldens [--update]`` / ``repro verify-invariants`` — the
   regression gate: recompute every experiment's structured rows and diff
   them against the checked-in goldens (``tests/golden/``), and check the
@@ -309,6 +315,78 @@ def _run_recommend(argv: List[str]) -> int:
     return EXIT_OK
 
 
+def _build_ranking_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro ranking",
+        description="Continuous ranking pipeline: fold each day into the "
+                    "rolling Dowdall window, prove bit-identity with the "
+                    "batch recompute, and report stability analytics.",
+        parents=[_world_parent(BENCH_CONFIG), _cache_parent()],
+    )
+    parser.add_argument("--k", type=int, default=100, metavar="N",
+                        help="top-k horizon for snapshots and stability "
+                             "metrics (default 100)")
+    parser.add_argument("--start-weekday", type=int, default=0,
+                        choices=range(7), metavar="0-6",
+                        help="weekday of day 0 (0=Monday) for the "
+                             "periodicity buckets (default 0)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the equivalence report and "
+                             "stability summary as JSON")
+    return parser
+
+
+def _run_ranking(argv: List[str]) -> int:
+    from repro.ranking import (
+        ContinuousTranco,
+        StabilityTracker,
+        proof_of_equivalence,
+    )
+
+    args = _build_ranking_parser().parse_args(argv)
+    if args.k < 1:
+        print(f"--k must be >= 1, got {args.k}", file=sys.stderr)
+        return EXIT_USAGE
+    ctx = _context_from_args(args)
+    # Unwrap the store-backed caching layer: the incremental pipeline
+    # needs the real TrancoProvider's component surface.
+    tranco = ctx.providers["tranco"]
+    tranco = getattr(tranco, "inner", tranco)
+
+    report = proof_of_equivalence(tranco, k=args.k)
+    verdict = "identical" if report["identical"] else "MISMATCH"
+    print(f"[tranco incremental vs batch: {report['days_checked']} day(s), "
+          f"window {report['window']}: {verdict}]")
+    for entry in report["days"]:
+        marker = "ok" if entry["snapshot_identical"] else "DRIFT"
+        print(f"  day {entry['day']}: snapshot "
+              f"{entry['incremental_sha256'][:12]} "
+              f"{marker}" + (
+                  f" (batch {entry['batch_sha256'][:12]})"
+                  if not entry["snapshot_identical"] else ""
+              ))
+
+    tracker = StabilityTracker(args.k)
+    for ranked in ContinuousTranco(tranco).lists():
+        tracker.observe(ranked.head(args.k).strings(ctx.world))
+    summary = tracker.summary(start_weekday=args.start_weekday)
+    ratio = summary["weekday"]["weekend_weekday_ratio"]
+    print(f"[stability @ k={args.k}: mean churn {summary['mean_churn']:.4f}, "
+          f"min intersection {summary['min_intersection']:.4f}, "
+          f"weekend/weekday churn "
+          f"{'n/a' if ratio is None else format(ratio, '.3f')}]")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"equivalence": report, "stability": summary},
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"[report written to {args.json}]")
+    return EXIT_OK if report["identical"] else EXIT_FAILURE
+
+
 def _run_experiments(argv: List[str]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -319,8 +397,9 @@ def _run_experiments(argv: List[str]) -> int:
             tags = ",".join(spec.tags)
             line = f"  {spec.id:10s} {spec.summary}"
             print(line + (f"  [{tags}]" if tags else ""))
-        print("\nother commands: bench, export, recommend, validate, summary, "
-              "cache, verify-goldens, verify-invariants, chaos, serve, loadgen")
+        print("\nother commands: bench, export, recommend, ranking, validate, "
+              "summary, cache, verify-goldens, verify-invariants, chaos, "
+              "serve, loadgen")
         return EXIT_OK
 
     names = list(SPECS) if args.experiment == "all" else [args.experiment]
@@ -1172,6 +1251,7 @@ def _run_loadgen(argv: List[str]) -> int:
 _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "export": _run_export,
     "recommend": _run_recommend,
+    "ranking": _run_ranking,
     "validate": _run_validate,
     "summary": _run_summary,
     "cache": _run_cache,

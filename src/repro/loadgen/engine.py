@@ -34,6 +34,15 @@ honor ``Retry-After`` on 503/504: the sleep is
 ``max(policy_backoff, min(retry_after, cap))``, and the engine counts
 every 503/504 that *failed* to carry a parseable Retry-After, which the
 harness gates at zero (the serve-side satellite's contract).
+
+The engine is also an honest *cache-validating* client: every 200
+response's ``ETag`` is remembered per path (bounded), and a planned
+request marked ``conditional`` resends it as ``If-None-Match``.  A 304
+answer is the ``not_modified`` outcome — a success with an empty body,
+exempt from golden pinning and semantic validation (there is no body to
+check; the ETag match *is* the check).  Servers that never emit ETags
+(the conformance stubs) see no ``If-None-Match`` and no behavior
+change.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ import asyncio
 import hashlib
 import json
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -75,6 +85,10 @@ RETRY_AFTER_SLEEP_CAP = 2.0
 #: before the engine bails out (a wedged server must not hang CI).
 _PHASE_OVERRUN_FACTOR = 5.0
 
+#: Per-path ETags remembered for conditional GETs (LRU-bounded so a
+#: long run over a huge URL space cannot grow the cache without limit).
+_ETAG_CACHE_CAPACITY = 512
+
 
 @dataclass(frozen=True)
 class HttpResponse:
@@ -87,11 +101,19 @@ class HttpResponse:
     bytes_out: int
 
 
+def _extra_header_lines(headers: Optional[Mapping[str, str]]) -> str:
+    """Render caller-supplied request headers (e.g. ``If-None-Match``)."""
+    if not headers:
+        return ""
+    return "".join(f"{name}: {value}\r\n" for name, value in headers.items())
+
+
 async def http_get(
     host: str,
     port: int,
     path: str,
     timeout: float = 5.0,
+    headers: Optional[Mapping[str, str]] = None,
 ) -> HttpResponse:
     """One HTTP/1.1 GET with ``Connection: close``; reads the full body.
 
@@ -99,6 +121,7 @@ async def http_get(
         asyncio.TimeoutError: the whole exchange exceeded ``timeout``.
         OSError: connect/reset failures.
     """
+    extra_lines = _extra_header_lines(headers)
 
     async def _exchange() -> HttpResponse:
         started = time.perf_counter()
@@ -109,6 +132,7 @@ async def http_get(
                 f"Host: {host}:{port}\r\n"
                 "User-Agent: repro-loadgen\r\n"
                 "Accept: application/json\r\n"
+                f"{extra_lines}"
                 "Connection: close\r\n"
                 "\r\n"
             ).encode("ascii")
@@ -263,7 +287,12 @@ class ConnectionPool:
     # ------------------------------------------------------------------
     # The request path.
 
-    async def request(self, path: str, timeout: float = 5.0) -> HttpResponse:
+    async def request(
+        self,
+        path: str,
+        timeout: float = 5.0,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> HttpResponse:
         """One GET over a pooled (or fresh) keep-alive connection.
 
         Raises:
@@ -271,15 +300,21 @@ class ConnectionPool:
               stale-socket retry) exceeded ``timeout``.
             OSError: connect/reset failures on a fresh socket.
         """
-        return await asyncio.wait_for(self._request(path), timeout=timeout)
+        return await asyncio.wait_for(
+            self._request(path, headers), timeout=timeout
+        )
 
-    async def _request(self, path: str) -> HttpResponse:
+    async def _request(
+        self, path: str, extra: Optional[Mapping[str, str]] = None
+    ) -> HttpResponse:
         while True:
             reused = bool(self._idle)
             conn = self._idle.pop() if reused else await self._open()
             settled = False
             try:
-                response, reuse_ok = await self._exchange(conn, path, reused)
+                response, reuse_ok = await self._exchange(
+                    conn, path, reused, extra
+                )
                 settled = True
             except _StaleConnection:
                 settled = True
@@ -302,7 +337,11 @@ class ConnectionPool:
             return response
 
     async def _exchange(
-        self, conn: _PooledConnection, path: str, reused: bool
+        self,
+        conn: _PooledConnection,
+        path: str,
+        reused: bool,
+        extra: Optional[Mapping[str, str]] = None,
     ) -> Tuple[HttpResponse, bool]:
         started = time.perf_counter()
         request = (
@@ -310,6 +349,7 @@ class ConnectionPool:
             f"Host: {self.host}:{self.port}\r\n"
             "User-Agent: repro-loadgen\r\n"
             "Accept: application/json\r\n"
+            f"{_extra_header_lines(extra)}"
             "\r\n"
         ).encode("ascii")
         try:
@@ -506,6 +546,7 @@ class LoadEngine:
         self.keepalive = bool(keepalive)
         self.client_stats = ClientStats()
         self._pool: Optional[ConnectionPool] = None
+        self._etags: "OrderedDict[str, str]" = OrderedDict()
         self.personas: List[Persona] = []
 
     # ------------------------------------------------------------------
@@ -599,12 +640,33 @@ class LoadEngine:
     # ------------------------------------------------------------------
     # One request, with retries.
 
-    async def _fetch(self, path: str) -> HttpResponse:
+    async def _fetch(
+        self, path: str, headers: Optional[Mapping[str, str]] = None
+    ) -> HttpResponse:
         """One GET via the phase's keep-alive pool (or one-shot when the
         pool is off or no phase is running)."""
         if self._pool is not None:
-            return await self._pool.request(path, timeout=self.timeout)
-        return await http_get(self.host, self.port, path, timeout=self.timeout)
+            return await self._pool.request(
+                path, timeout=self.timeout, headers=headers
+            )
+        return await http_get(
+            self.host, self.port, path, timeout=self.timeout, headers=headers
+        )
+
+    # ------------------------------------------------------------------
+    # Conditional-GET bookkeeping.
+
+    def _cached_etag(self, path: str) -> Optional[str]:
+        etag = self._etags.get(path)
+        if etag is not None:
+            self._etags.move_to_end(path)
+        return etag
+
+    def _remember_etag(self, path: str, etag: str) -> None:
+        self._etags[path] = etag
+        self._etags.move_to_end(path)
+        while len(self._etags) > _ETAG_CACHE_CAPACITY:
+            self._etags.popitem(last=False)
 
     async def _issue(
         self,
@@ -623,10 +685,18 @@ class LoadEngine:
         last_status: Optional[int] = None
         last_outcome = "connect_error"
         detail = ""
+        conditional_etag = (
+            self._cached_etag(request.path) if request.conditional else None
+        )
+        extra_headers = (
+            {"If-None-Match": conditional_etag}
+            if conditional_etag is not None
+            else None
+        )
         for attempt in self.policy.attempts():
             attempts = attempt
             try:
-                response = await self._fetch(request.path)
+                response = await self._fetch(request.path, extra_headers)
             except asyncio.TimeoutError:
                 last_status, last_outcome, detail = None, "client_timeout", "timeout"
                 self.tracer.count_root("loadgen.client_timeout")
@@ -673,7 +743,11 @@ class LoadEngine:
                 await asyncio.sleep(self.policy.delay(attempt, request.path))
                 continue
             last_outcome, detail = self._classify(
-                persona, request, response, validate_bodies
+                persona,
+                request,
+                response,
+                validate_bodies,
+                sent_conditional=conditional_etag is not None,
             )
             break
         return Outcome(
@@ -698,12 +772,23 @@ class LoadEngine:
         request: PlannedRequest,
         response: HttpResponse,
         validate_bodies: bool = True,
+        sent_conditional: bool = False,
     ) -> Tuple[str, str]:
         """Map a non-retryable response to an outcome kind + detail."""
+        if response.status == 304:
+            if sent_conditional:
+                # The cached body is still current — nothing to pin or
+                # validate; the matching ETag is the correctness check.
+                self.tracer.count_root("loadgen.not_modified")
+                return "not_modified", ""
+            return "validation", "304 without If-None-Match"
         if response.status != 200:
             if 400 <= response.status < 500:
                 return "http_4xx", f"status {response.status}"
             return "http_5xx", f"status {response.status}"
+        etag = response.headers.get("etag")
+        if etag:
+            self._remember_etag(request.path, etag)
         expected = self.expectations.get(request.path)
         if expected is not None and response.body != expected:
             self.tracer.count_root("loadgen.body_drift")

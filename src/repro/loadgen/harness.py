@@ -117,7 +117,9 @@ class LoadgenResult:
                 f"{phase.duration_seconds:.2f}s "
                 f"({phase.throughput_rps():.0f} rps); "
                 f"p50 {quantiles['p50_ms']:.1f}ms p99 {quantiles['p99_ms']:.1f}ms; "
-                f"ok {phase.by_outcome['ok']} shed {phase.sheds} "
+                f"ok {phase.by_outcome['ok']} "
+                f"304 {phase.by_outcome['not_modified']} "
+                f"shed {phase.sheds} "
                 f"drift {phase.body_drift}; "
                 f"availability {phase.availability:.4f}]"
             )

@@ -6,6 +6,11 @@ log-bucketed latency histograms (overall and per request kind).  The
 taxonomy matters more than the raw counts:
 
 * ``ok`` — 200 with a semantically valid, golden-identical body.
+* ``not_modified`` — 304 answering a conditional GET the client sent
+  with ``If-None-Match``: the cached body is still current.  Counted as
+  success in availability (it is the *cheapest* correct answer), but
+  kept separate from ``ok`` so reports show how much traffic the
+  ETag layer absorbed.
 * ``shed`` — 503/504 *with* ``Retry-After``: the service deliberately
   refused work.  Sheds are excluded from the availability denominator
   (turning clients away politely under overload is correct behavior),
@@ -36,6 +41,7 @@ __all__ = ["Outcome", "PhaseMetrics", "OUTCOME_KINDS", "SPILL_SCHEMA_VERSION"]
 
 OUTCOME_KINDS = (
     "ok",
+    "not_modified",
     "shed",
     "body_drift",
     "validation",
@@ -169,13 +175,16 @@ class PhaseMetrics:
 
     @property
     def availability(self) -> float:
-        """ok over non-shed requests — the golden-correct answer rate.
+        """Correct answers over non-shed requests.
 
+        A 304 to a conditional GET counts as a correct answer — the
+        service validated the client's cached body without resending it.
         Sheds are excluded from the denominator: an overloaded service
         saying "come back later" is behaving, not failing.
         """
         non_shed = self.requests - self.sheds
-        return self.by_outcome["ok"] / non_shed if non_shed else 1.0
+        good = self.by_outcome["ok"] + self.by_outcome["not_modified"]
+        return good / non_shed if non_shed else 1.0
 
     @property
     def error_rate(self) -> float:

@@ -15,7 +15,9 @@ Three personas model the service's real client mix:
 * :class:`DashboardPoller` — a wallboard refreshing a small watchlist of
   ``/v1/lists/<provider>/<day>?k=`` panels; provider/day/k choices are
   Zipf-skewed (a few popular panels dominate, the tail is long), which
-  is what actually stresses the last-known-good cache.
+  is what actually stresses the last-known-good cache.  Panel polls are
+  *conditional* (the engine revalidates with ``If-None-Match``) and a
+  bounded set of day-pair diff views joins the rotation.
 * :class:`Researcher` — pages full ``/v1/experiments/<name>`` bodies in
   a seed-shuffled order with longer think times, occasionally re-reading
   the index; the heavy-body, low-rate shape.
@@ -131,12 +133,19 @@ class Catalog:
 @dataclass(frozen=True)
 class PlannedRequest:
     """One scheduled request: the path, what kind of body to expect,
-    and how long the persona thinks before issuing it."""
+    and how long the persona thinks before issuing it.
+
+    ``conditional`` marks requests the client should revalidate instead
+    of re-downloading: the engine attaches ``If-None-Match`` with the
+    ETag it remembers for the path (when it has one), and a 304 counts
+    as a successful, body-less outcome.
+    """
 
     path: str
-    kind: str  # lists | lists-index | experiment | experiments-index | health | metricz
+    kind: str  # lists | lists-diff | lists-index | experiment | experiments-index | health | metricz
     think_seconds: float
     persona_id: str
+    conditional: bool = False
 
 
 class Persona:
@@ -202,6 +211,14 @@ class DashboardPoller(Persona):
     last-known-good cache and the per-key fault windows meaningful, and
     it keeps the chaos phase's injected-error surface proportional to
     panels, not to requests.
+
+    Real wallboards revalidate instead of re-downloading, so every panel
+    poll is marked ``conditional`` (the engine sends ``If-None-Match``
+    once it has seen the panel's ETag), and — when the catalog spans at
+    least two days — a bounded set of day-pair *diff* views
+    (``/v1/lists/<provider>/diff?from=&to=``) joins the rotation at
+    roughly one request in five, exercising the rank-delta surface under
+    load without unbounding the distinct-path set.
     """
 
     kind = "dashboards"
@@ -210,13 +227,13 @@ class DashboardPoller(Persona):
         super().__init__(persona_id, seed, catalog)
         if not catalog.providers or catalog.days < 1:
             raise ValueError("dashboard persona needs providers and days")
+        k_menu = [k for k in _K_MENU if k <= catalog.max_k] or [catalog.default_k]
         panels = self.stream.randint(2, min(4, max(2, len(catalog.providers) * catalog.days)))
         watchlist: List[Tuple[str, int, int]] = []
         seen = set()
         while len(watchlist) < panels:
             provider = self.stream.zipf_choice(catalog.providers)
             day = self.stream.zipf_choice(tuple(range(catalog.days)))
-            k_menu = [k for k in _K_MENU if k <= catalog.max_k] or [catalog.default_k]
             k = self.stream.zipf_choice(k_menu)
             panel = (provider, day, k)
             if panel in seen:
@@ -226,17 +243,50 @@ class DashboardPoller(Persona):
             seen.add(panel)
             watchlist.append(panel)
         self.watchlist = tuple(watchlist)
+        diff_pairs: List[Tuple[str, int, int, int]] = []
+        if catalog.days >= 2:
+            wanted = self.stream.randint(1, 2)
+            chosen = set()
+            # Bounded attempts: with a tiny (provider, day-pair, k) space
+            # the dedupe could otherwise spin forever.
+            for _ in range(wanted * 4):
+                if len(diff_pairs) >= wanted:
+                    break
+                provider = self.stream.zipf_choice(catalog.providers)
+                a = self.stream.randint(0, catalog.days - 1)
+                b = self.stream.randint(0, catalog.days - 2)
+                if b >= a:
+                    b += 1
+                spec = (provider, min(a, b), max(a, b), self.stream.zipf_choice(k_menu))
+                if spec in chosen:
+                    continue
+                chosen.add(spec)
+                diff_pairs.append(spec)
+        self.diff_pairs = tuple(diff_pairs)
 
     def _plan(self) -> PlannedRequest:
+        think = 0.02 + 0.06 * self.stream.unit()
+        if self.diff_pairs and self.stream.unit() < 0.2:
+            provider, from_day, to_day, k = self.stream.zipf_choice(self.diff_pairs)
+            return PlannedRequest(
+                path=f"/v1/lists/{provider}/diff?from={from_day}&to={to_day}&k={k}",
+                kind="lists-diff",
+                think_seconds=think,
+                persona_id=self.persona_id,
+                conditional=True,
+            )
         provider, day, k = self.stream.zipf_choice(self.watchlist)
         return PlannedRequest(
             path=f"/v1/lists/{provider}/{day}?k={k}",
             kind="lists",
-            think_seconds=0.02 + 0.06 * self.stream.unit(),
+            think_seconds=think,
             persona_id=self.persona_id,
+            conditional=True,
         )
 
     def validate(self, request: PlannedRequest, body: dict) -> Optional[str]:
+        if request.kind == "lists-diff":
+            return self._validate_diff(request, body)
         query = request.path.split("?k=", 1)
         k = int(query[1]) if len(query) == 2 else self.catalog.default_k
         _, provider, day_text = request.path.split("?", 1)[0].rsplit("/", 2)
@@ -254,6 +304,35 @@ class DashboardPoller(Persona):
             return f"count {count!r} != len(names) {len(names)}"
         if count > k:
             return f"count {count} exceeds requested k {k}"
+        return None
+
+    def _validate_diff(self, request: PlannedRequest, body: dict) -> Optional[str]:
+        provider = request.path[len("/v1/lists/"):].split("/", 1)[0]
+        query = request.path.split("?", 1)[1]
+        params = dict(part.split("=", 1) for part in query.split("&"))
+        if body.get("provider") != provider:
+            return f"provider mismatch: {body.get('provider')!r} != {provider!r}"
+        if body.get("from") != int(params["from"]):
+            return f"from mismatch: {body.get('from')!r} != {params['from']}"
+        if body.get("to") != int(params["to"]):
+            return f"to mismatch: {body.get('to')!r} != {params['to']}"
+        k = int(params["k"])
+        if body.get("k") != k:
+            return f"k mismatch: {body.get('k')!r} != {k}"
+        for key in ("entrants", "dropouts", "moved"):
+            rows = body.get(key)
+            if not isinstance(rows, list):
+                return f"{key} missing or not a list"
+        unchanged = body.get("unchanged")
+        if not isinstance(unchanged, int) or unchanged < 0:
+            return f"unchanged malformed: {unchanged!r}"
+        for row in body["entrants"]:
+            rank = row.get("rank")
+            if not isinstance(rank, int) or not 1 <= rank <= k:
+                return f"entrant rank out of bounds: {rank!r}"
+        for row in body["moved"]:
+            if row.get("delta") != row.get("from_rank", 0) - row.get("to_rank", 0):
+                return "moved delta inconsistent with from_rank/to_rank"
         return None
 
 

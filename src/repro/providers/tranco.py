@@ -13,7 +13,7 @@ lists.  Umbrella's FQDN entries are first folded to registrable domains
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -94,15 +94,36 @@ class TrancoProvider(TopListProvider):
         self._rank_cache[key] = ranks
         return ranks
 
+    def window_days(self, day: int) -> range:
+        """The trailing aggregation window ending at ``day`` (inclusive),
+        clipped at day 0 — the days whose component lists feed the Dowdall
+        sum for ``day``."""
+        window = self._world.config.tranco_window
+        return range(max(0, day - window + 1), day + 1)
+
+    def component_day_ranks(self, day: int) -> List[np.ndarray]:
+        """One rank vector per component for a single ``day``, in canonical
+        component order.
+
+        This is the per-day unit of work the incremental pipeline
+        (:mod:`repro.ranking`) folds into its rolling window: everything a
+        new day contributes to the aggregation, and nothing older.
+        """
+        return [self._component_site_ranks(p, day) for p in self._components]
+
+    def assemble_scores(self, scores: np.ndarray, day: int) -> RankedList:
+        """Turn a per-site Dowdall score vector into the ranked list for
+        ``day``, using the same ordering/truncation rules as the batch path."""
+        name_rows = np.arange(self._world.n_sites)
+        return self._assemble(scores, name_rows, day=day, min_score=0.0)
+
     def daily_list(self, day: int) -> RankedList:
         """The Tranco list for ``day``: Dowdall over the trailing window."""
-        window = self._world.config.tranco_window
-        days = range(max(0, day - window + 1), day + 1)
+        days = self.window_days(day)
         vectors = [
             self._component_site_ranks(provider, d)
             for provider in self._components
             for d in days
         ]
         scores = dowdall_scores(vectors, self._world.n_sites)
-        name_rows = np.arange(self._world.n_sites)
-        return self._assemble(scores, name_rows, day=day, min_score=0.0)
+        return self.assemble_scores(scores, day)

@@ -1,0 +1,44 @@
+"""Continuous ranking: incremental daily lists with stability analytics.
+
+Batch list production (``TrancoProvider.daily_list``) recomputes the full
+30-day Dowdall aggregation for every day served.  This package turns list
+production into a streaming pipeline: each day's provider updates are
+folded into a rolling window (day *t* in, day *t - window* out), so the
+expensive per-day work — producing the component lists — happens exactly
+once per day, and emitting day *t*'s list touches only cached window
+state.
+
+The rolling accumulator is constructed so its output is **bit-identical**
+to the batch recompute (see :class:`RollingDowdall` for the float
+ordering argument), and :func:`proof_of_equivalence` checks that claim
+day by day against the batch path, down to the bytes of the canonical
+JSON snapshots.
+
+On top of the stream sit the Scheitle-style stability metrics ("A Long
+Way to the Top" / "Structure and Stability of Internet Top Lists"):
+daily rank churn, top-k intersection decay, and weekday periodicity,
+computed incrementally as each day lands (:class:`StabilityTracker`).
+
+``repro.serve`` exposes the results as versioned, cache-validatable list
+snapshots (strong ETags + ``If-None-Match``), rank diffs
+(``/v1/lists/<provider>/diff``) and churn surfaces
+(``/v1/lists/<provider>/stability``).
+"""
+
+from repro.ranking.incremental import (
+    ContinuousTranco,
+    RollingDowdall,
+    proof_of_equivalence,
+)
+from repro.ranking.snapshots import diff_ranked, snapshot_doc, snapshot_etag
+from repro.ranking.stability import StabilityTracker
+
+__all__ = [
+    "ContinuousTranco",
+    "RollingDowdall",
+    "StabilityTracker",
+    "diff_ranked",
+    "proof_of_equivalence",
+    "snapshot_doc",
+    "snapshot_etag",
+]

@@ -1,0 +1,108 @@
+"""Incremental Scheitle-style stability metrics over a daily-list stream.
+
+The two Scheitle et al. studies ("A Long Way to the Top", "Structure and
+Stability of Internet Top Lists") characterize top lists by how their
+membership moves day over day.  :class:`StabilityTracker` computes that
+family incrementally: feed it each day's top-k names as the day lands
+and it maintains
+
+* **daily churn** — the fraction of day *t*'s top-k that was absent from
+  day *t-1*'s (0.0 for day 0, which has no predecessor);
+* **intersection decay** — ``|top_k(0) ∩ top_k(t)| / |top_k(0)|``, the
+  paper's measure of how quickly a list forgets its first day;
+* **weekday periodicity** — mean churn grouped by weekday, plus the
+  weekend/weekday churn ratio, surfacing the weekly rhythm the paper's
+  Figure 3 shows for DNS-derived lists.
+
+Memory is O(k): only the baseline set, the previous day's set, and the
+per-day scalar series are retained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+__all__ = ["StabilityTracker"]
+
+_WEEKDAY_NAMES = ("mon", "tue", "wed", "thu", "fri", "sat", "sun")
+
+
+class StabilityTracker:
+    """Incremental churn / intersection-decay / periodicity tracker."""
+
+    def __init__(self, k: int) -> None:
+        """Args:
+        k: top-k horizon; only the first ``k`` names of each observed
+          day participate in the metrics.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.churn: List[float] = []
+        self.intersection: List[float] = []
+        self._baseline: Optional[Set[str]] = None
+        self._previous: Optional[Set[str]] = None
+
+    @property
+    def days_observed(self) -> int:
+        """How many days have been folded in."""
+        return len(self.churn)
+
+    def observe(self, names: Sequence[str]) -> None:
+        """Fold in the next day's list (rank order, day indices implicit
+        and consecutive from 0)."""
+        top = set(names[: self.k])
+        if self._baseline is None:
+            self._baseline = top
+            self.churn.append(0.0)
+            self.intersection.append(1.0)
+        else:
+            previous = self._previous if self._previous is not None else set()
+            new_entries = len(top - previous)
+            self.churn.append(new_entries / len(top) if top else 0.0)
+            if self._baseline:
+                overlap = len(self._baseline & top)
+                self.intersection.append(overlap / len(self._baseline))
+            else:
+                self.intersection.append(1.0)
+        self._previous = top
+
+    def weekday_summary(self, start_weekday: int) -> Dict:
+        """Churn grouped by weekday (0=Monday), day 0 excluded since its
+        churn is undefined.
+
+        Returns:
+            dict with ``mean_churn`` per weekday name (None when no
+            sample landed on that weekday) and ``weekend_weekday_ratio``
+            (mean Sat/Sun churn over mean Mon-Fri churn; None when
+            either side has no samples or weekday churn is zero).
+        """
+        buckets: List[List[float]] = [[] for _ in range(7)]
+        for day in range(1, len(self.churn)):
+            buckets[(start_weekday + day) % 7].append(self.churn[day])
+        mean_churn = {
+            _WEEKDAY_NAMES[i]: (sum(b) / len(b) if b else None)
+            for i, b in enumerate(buckets)
+        }
+        weekday_samples = [v for b in buckets[:5] for v in b]
+        weekend_samples = [v for b in buckets[5:] for v in b]
+        ratio: Optional[float] = None
+        if weekday_samples and weekend_samples:
+            weekday_mean = sum(weekday_samples) / len(weekday_samples)
+            weekend_mean = sum(weekend_samples) / len(weekend_samples)
+            if weekday_mean > 0.0:
+                ratio = weekend_mean / weekday_mean
+        return {"mean_churn": mean_churn, "weekend_weekday_ratio": ratio}
+
+    def summary(self, start_weekday: int = 0) -> Dict:
+        """The full canonical-JSON-able stability report."""
+        churned = self.churn[1:]
+        return {
+            "k": self.k,
+            "days": self.days_observed,
+            "churn": list(self.churn),
+            "intersection_decay": list(self.intersection),
+            "mean_churn": (sum(churned) / len(churned)) if churned else 0.0,
+            "min_intersection": min(self.intersection) if self.intersection else None,
+            "weekday": self.weekday_summary(start_weekday),
+        }

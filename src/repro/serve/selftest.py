@@ -5,7 +5,10 @@ an ephemeral port, replays a deterministic request mix against it over
 real sockets, and walks every hardening path on purpose:
 
 A. **baseline** — with fault injection disarmed, fetch every exposed
-   endpoint once and pin the expected (golden-verified) bodies.
+   endpoint once and pin the expected (golden-verified) bodies; then
+   prove the conditional-GET contract (repeat with ``If-None-Match``
+   answers 304, empty body, **zero store reads**) and that the diff
+   endpoint serves rank deltas.
 B. **breaker** — arm the fault plan and trip the circuit deterministically:
    the plan makes each result's first live read slow *and* corrupt, so
    ``failure_threshold`` sequential requests open the breaker while every
@@ -105,13 +108,19 @@ class _Response:
     truncated: bool = False
 
 
-def _fetch(host: str, port: int, path: str, timeout: float = 10.0) -> Optional[_Response]:
+def _fetch(
+    host: str,
+    port: int,
+    path: str,
+    timeout: float = 10.0,
+    headers: Optional[Dict[str, str]] = None,
+) -> Optional[_Response]:
     """One GET over a fresh connection; None when no status line arrived
     (connection refused/reset before the response started — the one
     outcome the drain phase legitimately excludes)."""
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
-        conn.request("GET", path)
+        conn.request("GET", path, headers=headers or {})
         response = conn.getresponse()
         headers = {key.lower(): value for key, value in response.getheaders()}
         try:
@@ -253,6 +262,69 @@ def run_selftest(
             )
         else:
             return report
+
+        # ---------------------------------------------------- A (cont.)
+        # Conditional revalidation: a repeated GET with If-None-Match
+        # must answer 304 with an empty body and — the acceptance bar —
+        # zero store reads.  Checked for both the list surface and a
+        # stored experiment result, against live store read counters.
+        conditional_targets = [list_paths[0], experiment_paths[0]]
+        conditional_ok = True
+        conditional_detail = []
+        for path in conditional_targets:
+            first = _fetch(host, port, path)
+            etag = (first.headers.get("etag") if first is not None else None)
+            if first is None or first.status != 200 or not etag:
+                conditional_ok = False
+                conditional_detail.append(f"{path}: no ETag on 200")
+                continue
+            stats = service.store.stats
+            reads_before = stats.total_hits + stats.total_misses
+            revalidated = _fetch(
+                host, port, path, headers={"If-None-Match": etag}
+            )
+            reads_after = stats.total_hits + stats.total_misses
+            if (
+                revalidated is None
+                or revalidated.status != 304
+                or revalidated.body != b""
+                or revalidated.headers.get("etag") != etag
+            ):
+                conditional_ok = False
+                status = revalidated.status if revalidated else None
+                conditional_detail.append(f"{path}: expected 304, got {status}")
+            elif reads_after != reads_before:
+                conditional_ok = False
+                conditional_detail.append(
+                    f"{path}: 304 touched the store "
+                    f"({reads_after - reads_before} read(s))"
+                )
+        report.record(
+            "conditional GET answers 304 with zero store reads",
+            conditional_ok,
+            "; ".join(conditional_detail) if conditional_detail
+            else f"{len(conditional_targets)} endpoints revalidated",
+        )
+
+        if config.n_days > 1:
+            diff_path = f"/v1/lists/{providers[0]}/diff?from=0&to=1&k=25"
+            diff_response = _fetch(host, port, diff_path)
+            diff_ok = diff_response is not None and diff_response.status == 200
+            diff_detail = "no response"
+            if diff_ok:
+                import json as _json
+
+                diff_doc = _json.loads(diff_response.body)
+                diff_ok = all(
+                    key in diff_doc
+                    for key in ("entrants", "dropouts", "moved", "unchanged")
+                )
+                diff_detail = (
+                    f"{len(diff_doc.get('entrants', []))} entrants, "
+                    f"{len(diff_doc.get('dropouts', []))} dropouts, "
+                    f"{len(diff_doc.get('moved', []))} moved"
+                )
+            report.record("diff endpoint serves rank deltas", diff_ok, diff_detail)
 
         # ----------------------------------------------------------- B
         faults.activate(plan if plan is not None else default_serve_plan(seed))

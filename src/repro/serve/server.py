@@ -12,7 +12,14 @@ serving workload demands:
   simulated day window, and the ``k`` bounds, so clients (the loadgen
   personas foremost) discover valid targets instead of hardcoding them.
 * ``GET /v1/lists/<provider>/<day>?k=N`` — the top-``k`` slice of a
-  provider's simulated ranked list for a day.
+  provider's simulated ranked list for a day, as a *versioned snapshot*:
+  the body carries the snapshot version (the store checksum of the full
+  persisted snapshot) and the response a strong ``ETag``.
+* ``GET /v1/lists/<provider>/diff?from=&to=&k=`` — rank deltas between
+  two days' top-``k``: entrants, dropouts, moved, unchanged.
+* ``GET /v1/lists/<provider>/stability?k=`` — the Scheitle-style
+  stability surfaces for a provider (daily churn, top-k intersection
+  decay, weekday periodicity), computed by :mod:`repro.ranking`.
 * ``GET /healthz`` — liveness (200 while the process runs).
 * ``GET /readyz`` — readiness (503 before warmup and while draining, so
   load balancers stop routing before the listener goes away).
@@ -41,6 +48,17 @@ Hardening, in one place per concern:
 * **graceful drain** — SIGTERM/SIGINT stops accepting, sheds the queue,
   finishes in-flight requests up to ``drain_seconds``, writes a
   complete structured log, and exits 0.
+* **conditional GET** — every 200 from the ``/v1`` read surfaces
+  carries a strong ``ETag`` (sha256 of the canonical body; for stored
+  experiment results this equals the artifact store's recorded
+  checksum), and ``If-None-Match`` answers 304 with an empty body
+  *without touching the store or recomputing the list* — the ETag cache
+  is consulted before any expensive work.
+* **canonical errors** — every 4xx/5xx body is the one envelope
+  ``{"error": <token>, "detail": <human text>, "retry_after": <s>?}``
+  (the DESIGN.md API rule); ``retry_after`` appears exactly when the
+  response carries a ``Retry-After`` header, and both come from the
+  same :func:`dynamic_retry_after` estimate.
 * **persistent connections** — HTTP/1.1 with ``Content-Length`` framing
   on every response, so keep-alive clients (the loadgen connection
   pool) reuse sockets across requests; idle connections are reaped
@@ -71,6 +89,8 @@ from repro import obs
 from repro.core.experiments import SPECS
 from repro.core.pipeline import ExperimentContext, experiment_context
 from repro.faults import inject as faults
+from repro.ranking.snapshots import diff_ranked, snapshot_doc
+from repro.ranking.stability import StabilityTracker
 from repro.serve.breaker import BreakerState, CircuitBreaker, LastKnownGood
 from repro.serve.drain import DrainController
 from repro.serve.logfmt import AccessLog
@@ -234,10 +254,19 @@ class MetricsService:
         self.deadline_timeouts = 0
         self.repairs = 0
         self.non_golden_blocked = 0
+        self.not_modified = 0
         self._ctx: Optional[ExperimentContext] = None
         self._ctx_lock = threading.Lock()
         self._lists_lock = threading.Lock()
         self._lists: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
+        # Conditional-GET state: response ETags by cache key (checked
+        # before any store read or list computation — the 304 fast path),
+        # snapshot versions by (provider, day), and finished stability
+        # bodies.  All guarded by one lock; all bounded.
+        self._etag_lock = threading.Lock()
+        self._response_etags: "OrderedDict[str, str]" = OrderedDict()
+        self._list_versions: Dict[Tuple[str, int], str] = {}
+        self._stability_cache: "OrderedDict[str, Tuple[bytes, str]]" = OrderedDict()
         self._ready = False
         self._draining = False
         self._started_at = time.time()
@@ -508,6 +537,7 @@ class MetricsService:
         started = time.perf_counter()
         path = urlsplit(handler.path).path
         route = self._route_of(path)
+        inm = handler.headers.get("If-None-Match")
         try:
             if route in ("healthz", "readyz", "metricz"):
                 # Health surfaces bypass admission: they must answer
@@ -516,7 +546,7 @@ class MetricsService:
                 self._respond(handler, status, body, headers, head_only)
                 self._account(handler, path, route, status, started, "control")
                 return
-            self._handle_v1(handler, path, route, started, head_only)
+            self._handle_v1(handler, path, route, started, head_only, inm)
         except (KeyboardInterrupt, SystemExit):
             raise
         except (BrokenPipeError, ConnectionResetError):
@@ -529,7 +559,8 @@ class MetricsService:
             )
             try:
                 self._respond(
-                    handler, 500, _error_body("internal error"), {}, head_only
+                    handler, 500, _error_body("internal", "internal error"),
+                    {}, head_only,
                 )
                 self._account(handler, path, route, 500, started, "error")
             except OSError:
@@ -545,6 +576,11 @@ class MetricsService:
         if path in ("/v1/lists", "/v1/lists/"):
             return "lists-index"
         if path.startswith("/v1/lists/"):
+            parts = path[len("/v1/lists/"):].split("/")
+            if len(parts) == 2 and parts[1] == "diff":
+                return "lists-diff"
+            if len(parts) == 2 and parts[1] == "stability":
+                return "lists-stability"
             return "lists"
         return "unknown"
 
@@ -552,10 +588,14 @@ class MetricsService:
         if route == "healthz":
             return 200, _json_body({"status": "alive"}), {}
         if route == "readyz":
+            # Not-ready is an error the canonical envelope covers like any
+            # other 5xx; the "error" token tells load balancers why.
             if self._draining:
-                return 503, _json_body({"status": "draining"}), self._retry_headers()
+                body, headers = self._retry_error("not_ready", "draining")
+                return 503, body, headers
             if not self._ready:
-                return 503, _json_body({"status": "warming"}), self._retry_headers()
+                body, headers = self._retry_error("not_ready", "warming")
+                return 503, body, headers
             return 200, _json_body({"status": "ready"}), {}
         return 200, _json_body(self.metrics()), {}
 
@@ -566,6 +606,7 @@ class MetricsService:
         route: str,
         started: float,
         head_only: bool,
+        inm: Optional[str] = None,
     ) -> None:
         budget = self.settings.deadline_ms / 1000.0
         deadline = started + budget
@@ -574,10 +615,8 @@ class MetricsService:
         shed = self.gate.try_acquire(timeout=budget / 2.0)
         if shed is not None:
             self.tracer.count_root("serve.shed")
-            self._respond(
-                handler, 503, _error_body("shed: " + shed),
-                self._retry_headers(), head_only,
-            )
+            body, headers = self._retry_error("shed", "admission rejected: " + shed)
+            self._respond(handler, 503, body, headers, head_only)
             self._account(handler, path, route, 503, started, "shed", shed=shed)
             return
         try:
@@ -585,7 +624,8 @@ class MetricsService:
             if rule is not None:
                 self.tracer.count_root("serve.injected_errors")
                 self._respond(
-                    handler, 500, _error_body("injected serve.request.error"),
+                    handler, 500,
+                    _error_body("injected", "injected serve.request.error"),
                     {}, head_only,
                 )
                 self._account(handler, path, route, 500, started, "injected")
@@ -594,18 +634,30 @@ class MetricsService:
                 self._deadline_response(handler, path, route, started, head_only)
                 return
             if route == "experiments":
-                status, body, headers, source = self._get_index()
+                status, body, headers, source = self._get_index(inm)
             elif route == "experiment":
                 name = path[len("/v1/experiments/"):]
-                status, body, headers, source = self._get_experiment(name, deadline)
+                status, body, headers, source = self._get_experiment(
+                    name, deadline, inm
+                )
             elif route == "lists-index":
                 status, body, headers, source = self._get_lists_index(deadline)
             elif route == "lists":
                 status, body, headers, source = self._get_list(
-                    handler.path, path, deadline
+                    handler.path, path, deadline, inm
+                )
+            elif route == "lists-diff":
+                status, body, headers, source = self._get_diff(
+                    handler.path, path, deadline, inm
+                )
+            elif route == "lists-stability":
+                status, body, headers, source = self._get_stability(
+                    handler.path, path, deadline, inm
                 )
             else:
-                status, body, headers, source = 404, _error_body("no such route"), {}, "router"
+                status, body, headers, source = (
+                    404, _error_body("not_found", "no such route"), {}, "router"
+                )
             self._respond(handler, status, body, headers, head_only)
             self._account(handler, path, route, status, started, source)
         finally:
@@ -618,16 +670,16 @@ class MetricsService:
         with self._counters_lock:
             self.deadline_timeouts += 1
         self.tracer.count_root("serve.deadline_timeouts")
-        self._respond(
-            handler, 504, _error_body("deadline exceeded"),
-            self._retry_headers(), head_only,
-        )
+        body, headers = self._retry_error("deadline", "deadline exceeded")
+        self._respond(handler, 504, body, headers, head_only)
         self._account(handler, path, route, 504, started, "deadline")
 
     # ------------------------------------------------------------------
     # Endpoint bodies.
 
-    def _get_index(self) -> Tuple[int, bytes, Dict[str, str], str]:
+    def _get_index(
+        self, inm: Optional[str] = None
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
         rows = []
         for name in self.names:
             spec = SPECS.get(name)
@@ -643,53 +695,83 @@ class MetricsService:
                 "path": f"/v1/experiments/{name}",
             })
         body = _json_body({"experiments": rows, "config_key": self._cfg_key})
-        return 200, body, {}, "index"
+        etag = _etag_of(body)
+        if _etag_matches(inm, etag):
+            return self._not_modified(etag, "index")
+        return 200, body, {"ETag": etag}, "index"
 
     def _get_experiment(
-        self, name: str, deadline: float
+        self, name: str, deadline: float, inm: Optional[str] = None
     ) -> Tuple[int, bytes, Dict[str, str], str]:
         if name not in self.names or name not in SPECS:
-            return 404, _error_body(f"unknown experiment {name!r}"), {}, "router"
+            return 404, _error_body(
+                "not_found", f"unknown experiment {name!r}"
+            ), {}, "router"
         if name in self._not_golden:
-            return 503, _error_body(
+            body, headers = self._retry_error(
+                "not_golden",
                 f"result for {name!r} failed golden verification: "
-                + self._not_golden[name]
-            ), self._retry_headers(), "not-golden"
+                + self._not_golden[name],
+            )
+            return 503, body, headers, "not-golden"
+        reference = self._reference.get(name)
+        if reference is not None:
+            # The warmup-pinned reference digest doubles as the strong
+            # ETag (it equals the artifact store's recorded checksum for
+            # results/<name> — canonical payloads hash identically), so a
+            # conditional hit answers before the breaker, the store, or
+            # any read budget is touched: zero store reads.
+            etag = '"%s"' % reference
+            if _etag_matches(inm, etag):
+                return self._not_modified(etag, "experiment")
         if not self.breaker.allow():
             body = self.lkg.get(name)
             if body is not None:
-                return 200, body, {"X-Repro-Source": "last-known-good"}, "lkg-open"
-            return 503, _error_body("store circuit open"), self._retry_headers(), "breaker-open"
+                return 200, body, self._body_headers(
+                    body, {"X-Repro-Source": "last-known-good"}
+                ), "lkg-open"
+            body, headers = self._retry_error("unavailable", "store circuit open")
+            return 503, body, headers, "breaker-open"
         if time.perf_counter() >= deadline:
             # Don't start a store read we have no budget left to use; the
             # breaker probe slot (if any) is returned via record_success.
             self.breaker.record_success()
-            return 504, _error_body("deadline exceeded"), self._retry_headers(), "deadline"
+            body, headers = self._retry_error("deadline", "deadline exceeded")
+            return 504, body, headers, "deadline"
         body, failure = self._read_fresh(name)
         if failure is None:
             if body is None:
                 self.breaker.record_success()
                 return 404, _error_body(
-                    f"no cached result for {name!r}; run `repro all` first"
+                    "not_found",
+                    f"no cached result for {name!r}; run `repro all` first",
                 ), {}, "miss"
             self.breaker.record_success()
             self.lkg.put(name, body)
-            return 200, body, {"X-Repro-Source": "store"}, "store"
+            return 200, body, self._body_headers(
+                body, {"X-Repro-Source": "store"}
+            ), "store"
         self.breaker.record_failure(failure)
         self.tracer.count_root(f"serve.read_failures.{failure}")
         if failure == "slow" and body is not None:
             # Slow but valid: serve it (it passed the digest check) while
             # the breaker accounts for the latency.
             self.lkg.put(name, body)
-            return 200, body, {"X-Repro-Source": "store-slow"}, "store-slow"
+            return 200, body, self._body_headers(
+                body, {"X-Repro-Source": "store-slow"}
+            ), "store-slow"
         fallback = self.lkg.get(name)
         if fallback is not None:
             if failure in ("corrupt", "lost", "invalid"):
                 self._repair(name, fallback)
-            return 200, fallback, {"X-Repro-Source": "last-known-good"}, "lkg"
-        return 503, _error_body(
-            f"store read failed ({failure}) and no last-known-good copy"
-        ), self._retry_headers(), "unavailable"
+            return 200, fallback, self._body_headers(
+                fallback, {"X-Repro-Source": "last-known-good"}
+            ), "lkg"
+        body, headers = self._retry_error(
+            "unavailable",
+            f"store read failed ({failure}) and no last-known-good copy",
+        )
+        return 503, body, headers, "unavailable"
 
     def _get_lists_index(
         self, deadline: float
@@ -703,7 +785,8 @@ class MetricsService:
         """
         ctx = self._context()
         if time.perf_counter() >= deadline:
-            return 504, _error_body("deadline exceeded"), self._retry_headers(), "deadline"
+            body, headers = self._retry_error("deadline", "deadline exceeded")
+            return 504, body, headers, "deadline"
         providers = [
             {
                 "id": name,
@@ -719,45 +802,75 @@ class MetricsService:
             "max_k": self.settings.max_k,
             "config_key": self._cfg_key,
         })
-        return 200, body, {}, "lists-index"
+        return 200, body, self._body_headers(body, {}), "lists-index"
 
-    def _get_list(
-        self, raw_path: str, path: str, deadline: float
-    ) -> Tuple[int, bytes, Dict[str, str], str]:
-        parts = path[len("/v1/lists/"):].split("/")
-        if len(parts) != 2 or not parts[0]:
-            return 404, _error_body("use /v1/lists/<provider>/<day>"), {}, "router"
-        provider, day_text = parts
-        try:
-            day = int(day_text)
-        except ValueError:
-            return 404, _error_body(f"day must be an integer, got {day_text!r}"), {}, "router"
-        if not 0 <= day < self.config.n_days:
-            return 404, _error_body(
-                f"day {day} outside simulated window [0, {self.config.n_days})"
-            ), {}, "router"
+    def _parse_k(self, raw_path: str) -> Tuple[Optional[int], Optional[bytes]]:
+        """The validated, clamped ``?k=`` value, or an error body."""
         query = parse_qs(urlsplit(raw_path).query)
         try:
             k = int(query.get("k", [self.settings.default_k])[0])
         except ValueError:
-            return 400, _error_body("k must be an integer"), {}, "router"
+            return None, _error_body("bad_request", "k must be an integer")
         if k < 1:
-            return 400, _error_body("k must be >= 1"), {}, "router"
-        k = min(k, self.settings.max_k)
+            return None, _error_body("bad_request", "k must be >= 1")
+        return min(k, self.settings.max_k), None
+
+    def _valid_day(self, day_text: str) -> Tuple[Optional[int], Optional[bytes]]:
+        """A day index inside the simulated window, or an error body."""
+        try:
+            day = int(day_text)
+        except ValueError:
+            return None, _error_body(
+                "not_found", f"day must be an integer, got {day_text!r}"
+            )
+        if not 0 <= day < self.config.n_days:
+            return None, _error_body(
+                "not_found",
+                f"day {day} outside simulated window [0, {self.config.n_days})",
+            )
+        return day, None
+
+    def _get_list(
+        self, raw_path: str, path: str, deadline: float, inm: Optional[str] = None
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        parts = path[len("/v1/lists/"):].split("/")
+        if len(parts) != 2 or not parts[0]:
+            return 404, _error_body(
+                "not_found", "use /v1/lists/<provider>/<day>"
+            ), {}, "router"
+        provider, day_text = parts
+        day, error = self._valid_day(day_text)
+        if error is not None:
+            return 404, error, {}, "router"
+        k, error = self._parse_k(raw_path)
+        if error is not None:
+            return 400, error, {}, "router"
+        # Conditional fast path: a cached ETag means this exact
+        # representation was served before, and list bodies are pure
+        # functions of the config — a match answers without touching the
+        # list cache, the providers, or the store.
+        cache_key = f"lists:{provider}:{day}:{k}"
+        etag = self._cached_etag(cache_key)
+        if etag is not None and _etag_matches(inm, etag):
+            return self._not_modified(etag, "lists")
         ctx = self._context()
         if provider not in ctx.providers:
             return 404, _error_body(
+                "not_found",
                 f"unknown provider {provider!r}; choose from "
-                + ", ".join(ctx.providers)
+                + ", ".join(ctx.providers),
             ), {}, "router"
         if time.perf_counter() >= deadline:
-            return 504, _error_body("deadline exceeded"), self._retry_headers(), "deadline"
+            body, headers = self._retry_error("deadline", "deadline exceeded")
+            return 504, body, headers, "deadline"
         ranked = self._ranked(provider, day)
+        version = self._list_version(provider, day, ranked)
         head = ranked.head(k)
         body = _json_body({
             "provider": provider,
             "day": day,
             "k": k,
+            "version": version,
             "granularity": head.granularity,
             "bucketed": head.is_bucketed,
             "bucket_bounds": (
@@ -767,7 +880,169 @@ class MetricsService:
             "count": len(head),
             "names": head.strings(ctx.world),
         })
-        return 200, body, {}, "lists"
+        etag = _etag_of(body)
+        self._remember_etag(cache_key, etag)
+        return 200, body, {"ETag": etag}, "lists"
+
+    def _get_diff(
+        self, raw_path: str, path: str, deadline: float, inm: Optional[str] = None
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        """``GET /v1/lists/<provider>/diff?from=&to=&k=`` — rank deltas
+        between two days' top-``k`` prefixes: entrants, dropouts, moved
+        (with signed delta), unchanged count.
+
+        Serving behavior (DESIGN.md serving rule): admission-gated and
+        deadline-budgeted; both days' lists come from the bounded ranked
+        cache, and repeat requests answer 304 from the ETag cache alone.
+        """
+        provider = path[len("/v1/lists/"):].split("/")[0]
+        query = parse_qs(urlsplit(raw_path).query)
+        try:
+            from_day_text = query["from"][0]
+            to_day_text = query["to"][0]
+        except (KeyError, IndexError):
+            return 400, _error_body(
+                "bad_request", "diff needs from=<day> and to=<day> query parameters"
+            ), {}, "router"
+        from_day, error = self._valid_day(from_day_text)
+        if error is not None:
+            return 404, error, {}, "router"
+        to_day, error = self._valid_day(to_day_text)
+        if error is not None:
+            return 404, error, {}, "router"
+        k, error = self._parse_k(raw_path)
+        if error is not None:
+            return 400, error, {}, "router"
+        cache_key = f"diff:{provider}:{from_day}:{to_day}:{k}"
+        etag = self._cached_etag(cache_key)
+        if etag is not None and _etag_matches(inm, etag):
+            return self._not_modified(etag, "lists-diff")
+        ctx = self._context()
+        if provider not in ctx.providers:
+            return 404, _error_body(
+                "not_found",
+                f"unknown provider {provider!r}; choose from "
+                + ", ".join(ctx.providers),
+            ), {}, "router"
+        if time.perf_counter() >= deadline:
+            body, headers = self._retry_error("deadline", "deadline exceeded")
+            return 504, body, headers, "deadline"
+        from_names = self._ranked(provider, from_day).head(k).strings(ctx.world)
+        if time.perf_counter() >= deadline:
+            body, headers = self._retry_error("deadline", "deadline exceeded")
+            return 504, body, headers, "deadline"
+        to_names = self._ranked(provider, to_day).head(k).strings(ctx.world)
+        doc = {"provider": provider, "from": from_day, "to": to_day, "k": k}
+        doc.update(diff_ranked(from_names, to_names))
+        body = _json_body(doc)
+        etag = _etag_of(body)
+        self._remember_etag(cache_key, etag)
+        return 200, body, {"ETag": etag}, "lists-diff"
+
+    def _get_stability(
+        self, raw_path: str, path: str, deadline: float, inm: Optional[str] = None
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        """``GET /v1/lists/<provider>/stability?k=`` — the incremental
+        stability surfaces (daily churn, intersection decay, weekday
+        periodicity) over the provider's full simulated day range.
+
+        Serving behavior (DESIGN.md serving rule): the first request per
+        (provider, k) walks every day's list with the deadline re-checked
+        between days (504 rather than a blown budget); the finished body
+        is cached, so later requests — and 304s — are O(1).
+        """
+        provider = path[len("/v1/lists/"):].split("/")[0]
+        k, error = self._parse_k(raw_path)
+        if error is not None:
+            return 400, error, {}, "router"
+        cache_key = f"stability:{provider}:{k}"
+        etag = self._cached_etag(cache_key)
+        if etag is not None and _etag_matches(inm, etag):
+            return self._not_modified(etag, "lists-stability")
+        ctx = self._context()
+        if provider not in ctx.providers:
+            return 404, _error_body(
+                "not_found",
+                f"unknown provider {provider!r}; choose from "
+                + ", ".join(ctx.providers),
+            ), {}, "router"
+        with self._etag_lock:
+            cached = self._stability_cache.get(cache_key)
+        if cached is not None:
+            body, etag = cached
+            return 200, body, {"ETag": etag}, "lists-stability"
+        tracker = StabilityTracker(k)
+        for day in range(self.config.n_days):
+            if time.perf_counter() >= deadline:
+                body, headers = self._retry_error("deadline", "deadline exceeded")
+                return 504, body, headers, "deadline"
+            tracker.observe(self._ranked(provider, day).head(k).strings(ctx.world))
+        doc = {"provider": provider, "start_weekday": self.config.start_weekday}
+        doc.update(tracker.summary(self.config.start_weekday))
+        body = _json_body(doc)
+        etag = _etag_of(body)
+        with self._etag_lock:
+            self._stability_cache[cache_key] = (body, etag)
+            while len(self._stability_cache) > 16:
+                self._stability_cache.popitem(last=False)
+        self._remember_etag(cache_key, etag)
+        return 200, body, {"ETag": etag}, "lists-stability"
+
+    # ------------------------------------------------------------------
+    # Conditional-GET plumbing.
+
+    def _list_version(self, provider: str, day: int, ranked: object) -> str:
+        """The snapshot version for (provider, day): the store checksum
+        of the full persisted snapshot document.
+
+        The first request for a (provider, day) persists the full list
+        snapshot as a store artifact (``lists/<provider>/day-<d>``); the
+        checksum the store records for it — identical to the sha256 of
+        the canonical payload — becomes the version every ``?k=`` slice
+        of that snapshot reports.
+        """
+        key = (provider, day)
+        with self._etag_lock:
+            version = self._list_versions.get(key)
+        if version is not None:
+            return version
+        doc = snapshot_doc(ranked, self._context().world)  # type: ignore[arg-type]
+        payload = _json_body(doc)
+        artifact = f"lists/{provider}/day-{day}"
+        self.store.put_json(self._cfg_key, artifact, doc)
+        version = self.store.checksum(self._cfg_key, artifact) or _digest(payload)
+        with self._etag_lock:
+            self._list_versions[key] = version
+        return version
+
+    def _cached_etag(self, cache_key: str) -> Optional[str]:
+        with self._etag_lock:
+            return self._response_etags.get(cache_key)
+
+    def _remember_etag(self, cache_key: str, etag: str) -> None:
+        with self._etag_lock:
+            self._response_etags[cache_key] = etag
+            self._response_etags.move_to_end(cache_key)
+            capacity = max(16, self.settings.list_cache_capacity * 4)
+            while len(self._response_etags) > capacity:
+                self._response_etags.popitem(last=False)
+
+    def _not_modified(
+        self, etag: str, source: str
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        """A 304: empty body, the current ETag restated, one counter."""
+        with self._counters_lock:
+            self.not_modified += 1
+        self.tracer.count_root("serve.not_modified")
+        return 304, b"", {"ETag": etag}, f"{source}-304"
+
+    def _body_headers(
+        self, body: bytes, headers: Dict[str, str]
+    ) -> Dict[str, str]:
+        """Headers for a 200 with a content-addressed body: strong ETag."""
+        merged = dict(headers)
+        merged["ETag"] = _etag_of(body)
+        return merged
 
     # ------------------------------------------------------------------
     # Metrics.
@@ -781,6 +1056,7 @@ class MetricsService:
             deadline_timeouts = self.deadline_timeouts
             repairs = self.repairs
             non_golden_blocked = self.non_golden_blocked
+            not_modified = self.not_modified
         stats = self.store.stats
         with self.tracer._root_lock:
             counters = dict(self.tracer.root.counters)
@@ -810,6 +1086,11 @@ class MetricsService:
                 "floor_seconds": self.settings.retry_after_seconds,
                 "current_seconds": self._retry_after_seconds(),
                 "cap_seconds": RETRY_AFTER_CAP,
+            },
+            "conditional": {
+                "not_modified_total": not_modified,
+                "etags_cached": len(self._response_etags),
+                "snapshot_versions": len(self._list_versions),
             },
             "breaker": self.breaker.snapshot(),
             "last_known_good": {
@@ -843,6 +1124,14 @@ class MetricsService:
 
     def _retry_headers(self) -> Dict[str, str]:
         return {"Retry-After": str(self._retry_after_seconds())}
+
+    def _retry_error(self, error: str, detail: str) -> Tuple[bytes, Dict[str, str]]:
+        """An envelope body + headers pair for retryable errors: the
+        ``Retry-After`` header and the body's ``retry_after`` key carry
+        the same derived estimate."""
+        seconds = self._retry_after_seconds()
+        body = _error_body(error, detail, retry_after=seconds)
+        return body, {"Retry-After": str(seconds)}
 
     def _respond(
         self,
@@ -902,5 +1191,42 @@ def _json_body(value: object) -> bytes:
     return json.dumps(value, sort_keys=True).encode("utf-8")
 
 
-def _error_body(message: str) -> bytes:
-    return _json_body({"error": message})
+def _error_body(
+    error: str, detail: str = "", retry_after: Optional[int] = None
+) -> bytes:
+    """The canonical error envelope (the DESIGN.md API rule).
+
+    Every 4xx/5xx body is ``{"error": <machine-readable token>,
+    "detail": <human text>, "retry_after": <seconds>?}`` — the last key
+    present exactly when the response carries a ``Retry-After`` header,
+    with the same value.
+    """
+    doc: Dict[str, object] = {"error": error, "detail": detail}
+    if retry_after is not None:
+        doc["retry_after"] = retry_after
+    return _json_body(doc)
+
+
+def _etag_of(body: bytes) -> str:
+    """Strong ETag for a content-addressed body: quoted sha256 hex."""
+    return '"%s"' % _digest(body)
+
+
+def _etag_matches(header: Optional[str], etag: str) -> bool:
+    """RFC 9110 ``If-None-Match`` evaluation against one entity tag.
+
+    The header is a comma-separated list of entity tags or ``*``; a
+    ``W/`` prefix is ignored for comparison (If-None-Match is defined to
+    use weak comparison).
+    """
+    if not header:
+        return False
+    if header.strip() == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False

@@ -427,6 +427,28 @@ class ArtifactStore:
         payload = json.dumps(value, sort_keys=True).encode("utf-8")
         self._write_payload(cfg_key, name, "json", payload)
 
+    def checksum(self, cfg_key: str, name: str, ext: str = "json") -> Optional[str]:
+        """The recorded sha256 of an artifact's payload, read from its
+        header line alone — no payload read, no hit/miss accounting.
+
+        This is the store's content version for the blob.  The serving
+        layer reuses it as a strong ETag / snapshot version without
+        paying for (or being observed performing) a full checksummed
+        read; a mismatch against the actual payload still surfaces on
+        the next real read.  Returns None when the artifact is absent or
+        its header is unrecognizable.
+        """
+        path = self._path(cfg_key, name, ext)
+        try:
+            with open(path, "rb") as handle:
+                header = handle.readline(len(_HEADER_PREFIX) + 65).rstrip(b"\n")
+        except OSError:
+            return None
+        if not header.startswith(_HEADER_PREFIX):
+            return None
+        digest = header[len(_HEADER_PREFIX) :].decode("ascii", "replace")
+        return digest if len(digest) == 64 else None
+
     # ------------------------------------------------------------------
     # Inventory, eviction, maintenance.
 

@@ -135,6 +135,12 @@ class StoredProvider(TopListProvider):
         self.granularity = inner.granularity
         self.publishes_daily = inner.publishes_daily
 
+    @property
+    def inner(self) -> TopListProvider:
+        """The wrapped provider (for callers that need its full surface,
+        e.g. the incremental ranking pipeline over Tranco components)."""
+        return self._inner
+
     def _cached_list(self, artifact: str, compute) -> RankedList:
         arrays = self._store.get_arrays(self._cfg_key, artifact)
         if arrays is not None:

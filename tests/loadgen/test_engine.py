@@ -252,6 +252,105 @@ class TestTokenBucket:
             TokenBucket(rate=0)
 
 
+class _Conditional(_OnePath):
+    """Test persona whose requests opt into conditional GETs."""
+
+    def _plan(self):
+        return PlannedRequest(
+            path=self._path, kind=self._kind, think_seconds=0.0,
+            persona_id=self.persona_id, conditional=True,
+        )
+
+
+class TestConditionalGets:
+    @pytest.fixture()
+    def etag_server(self):
+        """Stub that answers with a fixed ETag and honors If-None-Match,
+        recording every If-None-Match value it receives."""
+        etag = '"deadbeef"'
+        body = json.dumps({"status": "alive"}).encode()
+        seen = []
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                inm = self.headers.get("If-None-Match")
+                seen.append(inm)
+                if inm == etag:
+                    self.send_response(304)
+                    self.send_header("ETag", etag)
+                    self.send_header("Content-Length", "0")
+                    self.end_headers()
+                    return
+                self.send_response(200)
+                self.send_header("ETag", etag)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server, seen
+        server.shutdown()
+        server.server_close()
+
+    def test_etag_is_cached_and_revalidated(self, etag_server):
+        server, seen = etag_server
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        persona = _Conditional("c0", 1, _CATALOG)
+        first = _issue_once(engine, persona)
+        assert first.outcome == "ok"
+        second = _issue_once(engine, persona)
+        assert second.outcome == "not_modified"
+        assert second.status == 304
+        assert second.bytes_in == 0
+        # First request had no cached ETag; second resent the server's.
+        assert seen == [None, '"deadbeef"']
+
+    def test_unconditional_requests_never_send_if_none_match(self, etag_server):
+        server, seen = etag_server
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        persona = _OnePath("c1", 1, _CATALOG)
+        for _ in range(3):
+            outcome = _issue_once(engine, persona)
+            assert outcome.outcome == "ok"
+        assert seen == [None, None, None]
+
+    def test_unsolicited_304_is_a_validation_failure(self, stub_server):
+        server, script = stub_server
+        script["/healthz"] = [(304, {}, b"")]
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        outcome = _issue_once(engine, _OnePath("c2", 1, _CATALOG))
+        assert outcome.outcome == "validation"
+        assert "304" in outcome.detail
+
+    def test_availability_counts_304_as_success(self, etag_server):
+        from repro.loadgen.metrics import PhaseMetrics
+
+        server, _ = etag_server
+        engine = LoadEngine(
+            "127.0.0.1", server.server_address[1], _CATALOG, seed=1
+        )
+        persona = _Conditional("c3", 1, _CATALOG)
+        metrics = PhaseMetrics("conditional")
+        for _ in range(4):
+            metrics.record(_issue_once(engine, persona))
+        assert metrics.by_outcome["ok"] == 1
+        assert metrics.by_outcome["not_modified"] == 3
+        assert metrics.availability == 1.0
+        assert metrics.error_rate == 0.0
+
+
 # ---------------------------------------------------------------------------
 # Integration: real MetricsService, tiny registry.
 

@@ -91,19 +91,41 @@ class TestDashboardPoller:
     def test_watchlist_is_small_and_bounded(self):
         persona = DashboardPoller("d0", 7, _CATALOG)
         assert 2 <= len(persona.watchlist) <= 4
+        assert len(persona.diff_pairs) <= 2
         paths = {persona.next_request().path for _ in range(100)}
-        assert len(paths) <= len(persona.watchlist)
+        # The whole request universe stays bounded: panel polls plus the
+        # persona's few fixed diff comparisons.
+        assert len(paths) <= len(persona.watchlist) + len(persona.diff_pairs)
 
     def test_planned_paths_are_wellformed(self):
         persona = DashboardPoller("d1", 7, _CATALOG)
-        request = persona.next_request()
-        assert request.kind == "lists"
-        assert request.path.startswith("/v1/lists/")
-        assert "?k=" in request.path
+        for _ in range(30):
+            request = persona.next_request()
+            assert request.conditional is True
+            if request.kind == "lists-diff":
+                assert request.path.startswith("/v1/lists/")
+                assert "/diff?from=" in request.path and "&k=" in request.path
+            else:
+                assert request.kind == "lists"
+                assert request.path.startswith("/v1/lists/")
+                assert "?k=" in request.path
+
+    def test_diff_requests_appear_in_the_mix(self):
+        persona = DashboardPoller("d5", 7, _CATALOG)
+        kinds = {persona.next_request().kind for _ in range(100)}
+        assert kinds == {"lists", "lists-diff"}
+
+    @staticmethod
+    def _panel_request(persona):
+        for _ in range(50):
+            request = persona.next_request()
+            if request.kind == "lists":
+                return request
+        raise AssertionError("persona never planned a panel poll")
 
     def test_validate_accepts_consistent_body(self):
         persona = DashboardPoller("d2", 7, _CATALOG)
-        request = persona.next_request()
+        request = self._panel_request(persona)
         provider, day = request.path.split("?")[0].split("/")[3:5]
         k = int(request.path.split("?k=")[1])
         body = {
@@ -114,7 +136,7 @@ class TestDashboardPoller:
 
     def test_validate_rejects_count_mismatch_and_overflow(self):
         persona = DashboardPoller("d3", 7, _CATALOG)
-        request = persona.next_request()
+        request = self._panel_request(persona)
         provider, day = request.path.split("?")[0].split("/")[3:5]
         k = int(request.path.split("?k=")[1])
         body = {
@@ -130,7 +152,7 @@ class TestDashboardPoller:
 
     def test_validate_rejects_wrong_provider(self):
         persona = DashboardPoller("d4", 7, _CATALOG)
-        request = persona.next_request()
+        request = self._panel_request(persona)
         k = int(request.path.split("?k=")[1])
         body = {
             "provider": "nonsense", "day": 0, "k": k,

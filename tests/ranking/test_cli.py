@@ -1,0 +1,33 @@
+"""``repro ranking``: equivalence verdict drives the exit code."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+_WORLD_ARGS = ["--sites", "400", "--days", "4", "--seed", "11"]
+
+
+class TestRankingCommand:
+    def test_reports_identical_and_exits_zero(self, tmp_path, capsys):
+        report_path = tmp_path / "ranking.json"
+        code = main([
+            "ranking", *_WORLD_ARGS, "--k", "25",
+            "--cache-dir", str(tmp_path / "store"),
+            "--json", str(report_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical" in out
+        assert "stability @ k=25" in out
+        report = json.loads(report_path.read_text())
+        assert report["equivalence"]["identical"] is True
+        assert report["equivalence"]["days_checked"] == 4
+        assert report["stability"]["k"] == 25
+        assert len(report["stability"]["churn"]) == 4
+
+    def test_rejects_bad_k(self, capsys):
+        code = main(["ranking", "--k", "0", *_WORLD_ARGS, "--no-cache"])
+        capsys.readouterr()
+        assert code == 2

@@ -1,0 +1,138 @@
+"""Rolling-window Dowdall: bit-identity with batch recompute.
+
+The property tests drive :class:`RollingDowdall` with synthetic rank
+vectors over paper-scale windows (30-90 days); the world tests stream a
+real :class:`TrancoProvider` through :class:`ContinuousTranco` and
+require byte-identical ranked lists and snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.providers.tranco import dowdall_scores
+from repro.ranking import ContinuousTranco, RollingDowdall, proof_of_equivalence
+from repro.ranking.snapshots import canonical_bytes, snapshot_doc
+
+
+def _synthetic_day(rng: np.random.RandomState, n_sites: int) -> np.ndarray:
+    """One component-day rank vector: a permutation of 1..n with a random
+    subset absent (rank 0), like a truncated real list."""
+    ranks = rng.permutation(n_sites).astype(np.float64) + 1.0
+    absent = rng.random_sample(n_sites) < 0.3
+    ranks[absent] = 0.0
+    return ranks
+
+
+class TestRollingDowdall:
+    @given(
+        window=st.integers(min_value=30, max_value=90),
+        extra_days=st.integers(min_value=0, max_value=8),
+        n_components=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rolling_equals_batch_recompute(
+        self, window, extra_days, n_components, seed
+    ):
+        n_sites = 40
+        total_days = window + extra_days
+        rng = np.random.RandomState(seed)
+        stream = [
+            [_synthetic_day(rng, n_sites) for _ in range(n_components)]
+            for _ in range(total_days)
+        ]
+        rolling = RollingDowdall(n_sites, window, n_components)
+        for day, vectors in enumerate(stream):
+            rolling.fold_in(day, vectors)
+            window_days = range(max(0, day - window + 1), day + 1)
+            batch = dowdall_scores(
+                [stream[d][c] for c in range(n_components) for d in window_days],
+                n_sites,
+            )
+            assert rolling.scores().tobytes() == batch.tobytes()
+
+    def test_memory_bounded_by_window(self):
+        rolling = RollingDowdall(n_sites=10, window=3, n_components=1)
+        for day in range(8):
+            rolling.fold_in(day, [np.arange(1.0, 11.0)])
+            assert len(rolling.days_held) <= 3
+        assert rolling.days_held == [5, 6, 7]
+
+    def test_rejects_nonconsecutive_days(self):
+        rolling = RollingDowdall(n_sites=4, window=2, n_components=1)
+        rolling.fold_in(0, [np.ones(4)])
+        with pytest.raises(ValueError, match="consecutive"):
+            rolling.fold_in(2, [np.ones(4)])
+
+    def test_rejects_wrong_component_count(self):
+        rolling = RollingDowdall(n_sites=4, window=2, n_components=2)
+        with pytest.raises(ValueError, match="component"):
+            rolling.fold_in(0, [np.ones(4)])
+
+    def test_rejects_wrong_vector_shape(self):
+        rolling = RollingDowdall(n_sites=4, window=2, n_components=1)
+        with pytest.raises(ValueError, match="shape"):
+            rolling.fold_in(0, [np.ones(5)])
+
+    def test_scores_before_any_day_raises(self):
+        rolling = RollingDowdall(n_sites=4, window=2, n_components=1)
+        with pytest.raises(ValueError, match="no days"):
+            rolling.scores()
+
+    @pytest.mark.parametrize("bad_window", [0, -1])
+    def test_rejects_bad_window(self, bad_window):
+        with pytest.raises(ValueError):
+            RollingDowdall(n_sites=4, window=bad_window, n_components=1)
+
+
+class TestContinuousTranco:
+    def test_every_day_matches_batch_byte_for_byte(
+        self, rolling_world, rolling_tranco
+    ):
+        stream = ContinuousTranco(rolling_tranco)
+        for day in range(rolling_world.config.n_days):
+            incremental = stream.advance()
+            batch = rolling_tranco.daily_list(day)
+            assert np.array_equal(incremental.name_rows, batch.name_rows)
+            inc_bytes = canonical_bytes(snapshot_doc(incremental, rolling_world))
+            batch_bytes = canonical_bytes(snapshot_doc(batch, rolling_world))
+            assert inc_bytes == batch_bytes
+
+    def test_lists_iterates_the_remaining_days(self, rolling_world, rolling_tranco):
+        stream = ContinuousTranco(rolling_tranco)
+        emitted = list(stream.lists())
+        assert len(emitted) == rolling_world.config.n_days
+        assert [ranked.day for ranked in emitted] == list(
+            range(rolling_world.config.n_days)
+        )
+        assert stream.next_day == rolling_world.config.n_days
+
+
+class TestProofOfEquivalence:
+    def test_reports_identical_on_the_real_pipeline(self, rolling_tranco):
+        report = proof_of_equivalence(rolling_tranco, k=50)
+        assert report["identical"] is True
+        assert report["mismatched_days"] == []
+        assert report["days_checked"] == 6
+        for entry in report["days"]:
+            assert entry["scores_identical"]
+            assert entry["ranks_identical"]
+            assert entry["snapshot_identical"]
+            assert entry["incremental_sha256"] == entry["batch_sha256"]
+
+    def test_report_is_json_serializable(self, rolling_tranco):
+        report = proof_of_equivalence(rolling_tranco, days=[0, 2], k=10)
+        assert report["days_checked"] == 2
+        json.dumps(report)
+
+    def test_rejects_empty_and_negative_days(self, rolling_tranco):
+        with pytest.raises(ValueError):
+            proof_of_equivalence(rolling_tranco, days=[])
+        with pytest.raises(ValueError):
+            proof_of_equivalence(rolling_tranco, days=[-1])

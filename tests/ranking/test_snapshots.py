@@ -1,0 +1,81 @@
+"""Snapshot documents, canonical bytes/ETags, and rank diffs."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.ranking import diff_ranked, snapshot_doc, snapshot_etag
+from repro.ranking.snapshots import canonical_bytes
+
+
+class TestCanonicalBytesAndEtag:
+    def test_canonical_bytes_sort_keys(self):
+        assert canonical_bytes({"b": 1, "a": 2}) == b'{"a": 2, "b": 1}'
+
+    def test_etag_is_quoted_sha256_of_the_body(self):
+        body = b'{"a": 1}'
+        etag = snapshot_etag(body)
+        assert etag == '"%s"' % hashlib.sha256(body).hexdigest()
+        assert etag.startswith('"') and etag.endswith('"')
+        assert len(etag) == 66  # 64 hex chars + 2 quotes
+
+    def test_equal_docs_give_equal_etags(self):
+        a = snapshot_etag(canonical_bytes({"x": 1, "y": [2, 3]}))
+        b = snapshot_etag(canonical_bytes({"y": [2, 3], "x": 1}))
+        assert a == b
+
+
+class TestSnapshotDoc:
+    def test_doc_shape_and_k_slice(self, rolling_world, rolling_tranco):
+        ranked = rolling_tranco.daily_list(0)
+        doc = snapshot_doc(ranked, rolling_world, k=5)
+        assert doc["provider"] == "tranco"
+        assert doc["day"] == 0
+        assert doc["count"] == len(doc["names"]) == 5
+        assert all(isinstance(name, str) for name in doc["names"])
+        assert doc["names"] == snapshot_doc(ranked, rolling_world)["names"][:5]
+        json.dumps(doc)
+
+    def test_full_doc_defaults_to_whole_list(self, rolling_world, rolling_tranco):
+        ranked = rolling_tranco.daily_list(1)
+        doc = snapshot_doc(ranked, rolling_world)
+        assert doc["count"] == len(ranked)
+
+
+class TestDiffRanked:
+    def test_hand_computed_diff(self):
+        diff = diff_ranked(["a", "b", "c", "d"], ["b", "a", "c", "e"])
+        assert diff["entrants"] == [{"name": "e", "rank": 4}]
+        assert diff["dropouts"] == [{"name": "d", "rank": 4}]
+        assert diff["moved"] == [
+            {"name": "b", "from_rank": 2, "to_rank": 1, "delta": 1},
+            {"name": "a", "from_rank": 1, "to_rank": 2, "delta": -1},
+        ]
+        assert diff["unchanged"] == 1
+        assert diff["from_count"] == diff["to_count"] == 4
+
+    def test_identical_lists_diff_to_nothing(self):
+        diff = diff_ranked(["a", "b"], ["a", "b"])
+        assert diff["entrants"] == []
+        assert diff["dropouts"] == []
+        assert diff["moved"] == []
+        assert diff["unchanged"] == 2
+
+    def test_disjoint_lists(self):
+        diff = diff_ranked(["a"], ["b", "c"])
+        assert [e["name"] for e in diff["entrants"]] == ["b", "c"]
+        assert [d["name"] for d in diff["dropouts"]] == ["a"]
+        assert diff["unchanged"] == 0
+        assert diff["from_count"] == 1 and diff["to_count"] == 2
+
+    def test_empty_sides_are_fine(self):
+        diff = diff_ranked([], [])
+        assert diff["unchanged"] == 0
+        assert diff["entrants"] == [] and diff["dropouts"] == []
+
+    def test_deterministic_ordering_by_rank(self):
+        diff = diff_ranked(["a", "b", "c"], ["c", "b", "a"])
+        assert [m["to_rank"] for m in diff["moved"]] == [1, 3]
+        # b kept rank 2.
+        assert diff["unchanged"] == 1

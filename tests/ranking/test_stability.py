@@ -1,0 +1,93 @@
+"""StabilityTracker against hand-computed fixtures.
+
+Three days of top-3 lists with known membership moves pin every metric:
+
+* day 0: [a, b, c]   (baseline; churn defined as 0)
+* day 1: [a, b, d]   (one entrant -> churn 1/3; baseline overlap 2/3)
+* day 2: [d, e, f]   (two entrants -> churn 2/3; baseline overlap 0)
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ranking import StabilityTracker
+
+_DAYS = (["a", "b", "c"], ["a", "b", "d"], ["d", "e", "f"])
+
+
+def _tracked(k: int = 3) -> StabilityTracker:
+    tracker = StabilityTracker(k)
+    for names in _DAYS:
+        tracker.observe(names)
+    return tracker
+
+
+class TestChurnAndDecay:
+    def test_churn_series_matches_hand_computation(self):
+        tracker = _tracked()
+        assert tracker.churn == pytest.approx([0.0, 1 / 3, 2 / 3])
+
+    def test_intersection_decay_matches_hand_computation(self):
+        tracker = _tracked()
+        assert tracker.intersection == pytest.approx([1.0, 2 / 3, 0.0])
+
+    def test_identical_days_have_zero_churn_full_intersection(self):
+        tracker = StabilityTracker(3)
+        for _ in range(4):
+            tracker.observe(["a", "b", "c"])
+        assert tracker.churn == [0.0] * 4
+        assert tracker.intersection == [1.0] * 4
+
+    def test_only_the_top_k_participates(self):
+        tracker = StabilityTracker(2)
+        tracker.observe(["a", "b", "zzz"])
+        tracker.observe(["a", "b", "different-tail"])
+        # The tail name changed but the top-2 did not.
+        assert tracker.churn == [0.0, 0.0]
+        assert tracker.intersection == [1.0, 1.0]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            StabilityTracker(0)
+
+
+class TestWeekdayPeriodicity:
+    def test_buckets_follow_start_weekday(self):
+        # start_weekday=3 (Thursday): day 1 lands on Friday, day 2 on
+        # Saturday — one weekday sample, one weekend sample.
+        weekday = _tracked().weekday_summary(start_weekday=3)
+        assert weekday["mean_churn"]["fri"] == pytest.approx(1 / 3)
+        assert weekday["mean_churn"]["sat"] == pytest.approx(2 / 3)
+        assert weekday["mean_churn"]["mon"] is None
+        assert weekday["weekend_weekday_ratio"] == pytest.approx(2.0)
+
+    def test_ratio_is_none_without_weekend_samples(self):
+        # start_weekday=0 (Monday): days 1-2 land Tue/Wed, no weekend.
+        weekday = _tracked().weekday_summary(start_weekday=0)
+        assert weekday["weekend_weekday_ratio"] is None
+
+    def test_day_zero_is_excluded_from_weekday_stats(self):
+        weekday = _tracked().weekday_summary(start_weekday=3)
+        # Day 0 lands on Thursday; its churn is undefined, not 0.0.
+        assert weekday["mean_churn"]["thu"] is None
+
+
+class TestSummary:
+    def test_summary_shape_and_values(self):
+        summary = _tracked().summary(start_weekday=3)
+        assert summary["k"] == 3
+        assert summary["days"] == 3
+        assert summary["mean_churn"] == pytest.approx(0.5)
+        assert summary["min_intersection"] == pytest.approx(0.0)
+        assert summary["churn"] == pytest.approx([0.0, 1 / 3, 2 / 3])
+        assert summary["intersection_decay"] == pytest.approx([1.0, 2 / 3, 0.0])
+        json.dumps(summary)
+
+    def test_empty_tracker_summary_is_safe(self):
+        summary = StabilityTracker(5).summary()
+        assert summary["days"] == 0
+        assert summary["mean_churn"] == 0.0
+        assert summary["min_intersection"] is None

@@ -416,7 +416,12 @@ class TestDrainIntegration:
             assert response is not None
             assert response.status == 503
             assert "retry-after" in response.headers
-            assert json.loads(response.body) == {"status": "draining"}
+            # Not-ready uses the canonical error envelope, with the body's
+            # retry_after mirroring the Retry-After header.
+            body = json.loads(response.body)
+            assert body["error"] == "not_ready"
+            assert body["detail"] == "draining"
+            assert body["retry_after"] == int(response.headers["retry-after"])
         finally:
             svc._draining = False
             svc.drain(reason="test")
