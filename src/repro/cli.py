@@ -51,6 +51,16 @@ Command families, all dispatched through one table in :func:`main`:
   persona shards; every run writes a ``LATENCY_<yyyymmdd>.json``
   trajectory, and ``--compare prev.json`` fails the run on p99 drift
   (``repro.loadgen``).
+* ``repro netproxy --listen PORT --upstream HOST:PORT`` — the
+  deterministic TCP chaos proxy: seeded per-connection transport faults
+  (resets, stalls, garbled/truncated/split writes, mid-response closes)
+  between any client and any upstream, with a fault-fire accounting log
+  (``repro.faults.netproxy``).
+* ``repro chaos-net [--quick] [--seed N]`` — the transport-resilience
+  gate: scripted loadgen → netproxy → chaos-armed serve child; every
+  armed ``net.*`` site must fire, availability must hold >= 99% with
+  zero golden drift, and the fault-sequence digest must replay
+  (``repro.loadgen.netchaos``).
 
 Exit codes are uniform across every command: 0 on success, 1 on
 experiment failure / golden drift / invariant violation, 2 on usage
@@ -80,6 +90,8 @@ Examples::
         --slo p99_ms=250,error_rate=0.01      # SLO-gate a live instance
     repro loadgen --spawn --workers 4         # multi-process client pool
     repro loadgen --compare LATENCY_prev.json --against LATENCY_now.json
+    repro chaos-net --quick --seed 7          # transport-resilience gate
+    repro netproxy --listen 9000 --upstream 127.0.0.1:8321 --seed 7
 """
 
 from __future__ import annotations
@@ -399,7 +411,7 @@ def _run_experiments(argv: List[str]) -> int:
             print(line + (f"  [{tags}]" if tags else ""))
         print("\nother commands: bench, export, recommend, ranking, validate, "
               "summary, cache, verify-goldens, verify-invariants, chaos, "
-              "serve, loadgen")
+              "serve, loadgen, netproxy, chaos-net")
         return EXIT_OK
 
     names = list(SPECS) if args.experiment == "all" else [args.experiment]
@@ -1247,6 +1259,133 @@ def _run_loadgen(argv: List[str]) -> int:
     return EXIT_OK if result.ok else EXIT_FAILURE
 
 
+def _run_netproxy(argv: List[str]) -> int:
+    """Run the deterministic TCP chaos proxy until SIGINT/SIGTERM."""
+    import signal
+    import threading
+
+    from repro.faults import FaultPlan, NetProxy, default_net_plan
+
+    parser = argparse.ArgumentParser(
+        prog="repro netproxy",
+        description=(
+            "Deterministic TCP chaos proxy: forwards every connection to "
+            "the upstream, injecting seeded per-connection transport "
+            "faults (resets, stalls, garbled/truncated/split writes, "
+            "mid-response closes) from the net.* fault-plan sites. "
+            "Prints the fault accounting and the fault-sequence digest "
+            "on shutdown."
+        ),
+    )
+    parser.add_argument("--listen", type=int, required=True, metavar="PORT",
+                        help="port to accept client connections on")
+    parser.add_argument("--listen-host", default="127.0.0.1", metavar="HOST",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--upstream", required=True, metavar="HOST:PORT",
+                        help="where clean traffic is forwarded")
+    parser.add_argument("--fault-plan", default=None, metavar="PATH",
+                        help="fault plan JSON (net.* rules); default: the "
+                             "seeded built-in net plan")
+    parser.add_argument("--seed", type=int, default=7, metavar="N",
+                        help="seed for the built-in net plan (default 7); "
+                             "ignored with --fault-plan")
+    args = parser.parse_args(argv)
+
+    host, _, port_text = args.upstream.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--upstream must be HOST:PORT, got {args.upstream!r}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.fault_plan is not None:
+        try:
+            plan = FaultPlan.from_json(Path(args.fault_plan).read_text())
+        except (OSError, ValueError) as error:
+            print(f"unreadable fault plan {args.fault_plan}: {error}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        plan = default_net_plan(args.seed)
+
+    proxy = NetProxy(
+        host, int(port_text), plan=plan,
+        host=args.listen_host, port=args.listen,
+    )
+    stop = threading.Event()
+    previous = {
+        sig: signal.signal(sig, lambda *_: stop.set())
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        proxy.start()
+    except OSError as error:
+        print(f"cannot listen on {args.listen_host}:{args.listen}: {error}",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    print(f"[netproxy: {args.listen_host}:{proxy.port} -> {args.upstream}; "
+          f"{len(plan.rules)} rule(s), seed {plan.seed}; Ctrl-C to stop]")
+    try:
+        stop.wait()
+    finally:
+        proxy.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    fired = proxy.fired_snapshot()
+    print(f"connections: {proxy.connections}")
+    print("fault fires: " + (
+        ", ".join(f"{site}={n}" for site, n in sorted(fired.items()))
+        or "none"
+    ))
+    print(f"fault digest: {proxy.fault_digest()}")
+    return EXIT_OK
+
+
+def _run_chaos_net(argv: List[str]) -> int:
+    """The transport-resilience acceptance gate."""
+    from repro.loadgen.netchaos import ChaosNetOptions, run_chaos_net
+
+    parser = argparse.ArgumentParser(
+        prog="repro chaos-net",
+        description=(
+            "Transport-resilience gate: drive a scripted load sequence "
+            "through the deterministic chaos proxy into a chaos-armed "
+            "serve child. Every armed net.* site must fire, availability "
+            "must hold >= 99% with zero golden drift, and the "
+            "fault-sequence digest must replay bit-for-bit."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7, metavar="N",
+                        help="net fault-plan seed (default 7)")
+    parser.add_argument("--quick", action="store_true",
+                        help="short script (the CI smoke)")
+    parser.add_argument("--requests", type=int, default=None, metavar="N",
+                        help="override the script length")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="workers for populating missing results "
+                             "(default 2)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact store root (default: the shared "
+                             "cache — results are reused, never mutated)")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="write the fault-accounting manifest JSON here")
+    args = parser.parse_args(argv)
+
+    options = ChaosNetOptions(
+        seed=args.seed,
+        quick=args.quick,
+        requests=args.requests,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        manifest_path=args.manifest,
+    )
+    try:
+        result = run_chaos_net(options)
+    except (RuntimeError, OSError) as error:
+        print(f"chaos-net failed: {error}", file=sys.stderr)
+        return EXIT_FAILURE
+    print(result.render())
+    return EXIT_OK if result.ok else EXIT_FAILURE
+
+
 #: Subcommand dispatch table; anything not listed is an experiment id.
 _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "export": _run_export,
@@ -1261,6 +1400,8 @@ _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "chaos": _run_chaos,
     "serve": _run_serve,
     "loadgen": _run_loadgen,
+    "netproxy": _run_netproxy,
+    "chaos-net": _run_chaos_net,
 }
 
 

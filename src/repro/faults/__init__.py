@@ -1,9 +1,12 @@
 """repro.faults — deterministic fault injection for the pipeline.
 
-See :mod:`repro.faults.plan` for the declarative, seeded fault plans and
+See :mod:`repro.faults.plan` for the declarative, seeded fault plans,
 :mod:`repro.faults.inject` for the ambient injection choke point the
-store and runner consult.  ``repro chaos`` runs the experiment registry
-under a plan and fails unless everything still completes golden-clean.
+store and runner consult, and :mod:`repro.faults.netproxy` for the
+transport-level chaos proxy (``net.*`` sites).  ``repro chaos`` runs the
+experiment registry under a plan and fails unless everything still
+completes golden-clean; ``repro chaos-net`` does the same for the
+serving path behind the proxy.
 """
 
 from repro.faults.inject import (
@@ -15,20 +18,27 @@ from repro.faults.inject import (
     fire,
     injecting,
 )
+from repro.faults.netproxy import NetProxy, decide_connection, digest_of_log
 from repro.faults.plan import (
+    NET_SITES,
     SITES,
     FaultPlan,
     FaultRule,
+    connection_key,
     default_chaos_plan,
+    default_net_plan,
     default_serve_plan,
 )
 
 __all__ = [
     "SITES",
+    "NET_SITES",
     "FaultPlan",
     "FaultRule",
+    "connection_key",
     "default_chaos_plan",
     "default_serve_plan",
+    "default_net_plan",
     "InjectedFault",
     "activate",
     "active_plan",
@@ -36,4 +46,7 @@ __all__ = [
     "corrupt",
     "fire",
     "injecting",
+    "NetProxy",
+    "decide_connection",
+    "digest_of_log",
 ]

@@ -1,0 +1,429 @@
+"""A deterministic TCP chaos proxy for the serving path.
+
+:class:`NetProxy` sits between a load generator and ``repro serve``,
+forwarding bytes verbatim except where the active :class:`FaultPlan`
+says otherwise.  Faults are decided *per connection, at accept time*:
+the single accept loop assigns each connection a serial, and
+:func:`decide_connection` consults the plan's ``net.*`` sites in a fixed
+priority order with the serial's :func:`connection_key` — the first
+site that fires claims the connection, and at most one fault lands per
+connection so the fire accounting stays honest.
+
+Determinism is inherited from the plan: decisions hash ``(seed, rule,
+site, key, occurrence)`` and never touch a live RNG, so a sequential
+driver (one request in flight, keep-alive off) produces the same serial
+sequence, the same fires, and the same :func:`digest_of_log` on every
+run with the same seed.  :meth:`NetProxy.replay_digest` re-runs the
+decision procedure on a fresh copy of the plan and must match the
+observed digest — the chaos-net gate enforces both.
+
+Fault behaviors, in consult order:
+
+* ``net.accept.reset`` — SO_LINGER(1, 0) close immediately after
+  accept: the client sees a hard RST, usually before its request is
+  even written.
+* ``net.read.stall`` — the proxy sleeps ``delay_seconds`` before
+  touching the request, simulating a stalled upstream read; a driver
+  with a shorter client timeout observes it as a timeout.
+* ``net.write.garble`` — the first response bytes (the status line) are
+  bit-flipped before forwarding, so the client must reject the exchange
+  as unparseable rather than trusting corrupted framing.
+* ``net.write.truncate`` — the response headers are parsed just enough
+  to find ``Content-Length``; the proxy forwards the headers plus half
+  the body, then closes.  A correct client detects the short read
+  against the declared length — never a silent short body.
+* ``net.close.mid_response`` — the connection closes after the status
+  line and a fragment of the headers: EOF where headers should be.
+* ``net.write.split`` — the response is forwarded in tiny flushed
+  chunks (harmless; proves the client reassembles fragmented reads).
+
+Everything here is the standard library; the module mirrors
+:mod:`repro.faults.inject`'s accounting (``faults.<site>`` counters in
+the ambient tracer plus the plan's own ``fired`` tally).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import struct
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.faults.plan import (
+    NET_SITES,
+    FaultPlan,
+    FaultRule,
+    connection_key,
+)
+
+__all__ = [
+    "NET_SITES",
+    "NetProxy",
+    "decide_connection",
+    "digest_of_log",
+]
+
+#: Fallback stall length when a ``net.read.stall`` rule carries no
+#: ``delay_seconds`` of its own.
+DEFAULT_STALL_SECONDS = 2.5
+
+#: Bytes of the response forwarded before a mid-response close — enough
+#: for the status line plus a header fragment, never the blank line.
+_MID_RESPONSE_BYTES = 48
+
+#: Leading response bytes bit-flipped by ``net.write.garble``.
+_GARBLE_BYTES = 4
+
+#: Chunk size for ``net.write.split`` forwarding.
+_SPLIT_CHUNK = 7
+
+_RECV_SIZE = 65536
+
+
+def decide_connection(
+    plan: Optional[FaultPlan], serial: int
+) -> Optional[Tuple[str, FaultRule]]:
+    """Consult the plan once per ``net.*`` site for one connection.
+
+    Sites are consulted in :data:`NET_SITES` order and the first fire
+    wins — the connection carries at most one fault.  Sites holding a
+    rule that matches this serial *exactly* are consulted before the
+    wildcard priority order: a pinned coverage serial (the default
+    plan guarantees each site one) can therefore never be stolen by a
+    higher-priority site's background rule.  Pure given the plan
+    state, which is what makes :meth:`NetProxy.replay_digest`
+    possible.
+    """
+    if plan is None:
+        return None
+    key = connection_key(serial)
+    pinned = [
+        rule.site
+        for rule in plan.rules
+        if rule.match == key and rule.site in NET_SITES
+    ]
+    order = list(dict.fromkeys(pinned))
+    order += [site for site in NET_SITES if site not in order]
+    for site in order:
+        rule = plan.fire(site, key)
+        if rule is not None:
+            return site, rule
+    return None
+
+
+def digest_of_log(entries: Sequence[Dict[str, object]]) -> str:
+    """The fault-sequence digest: sha256 over ``serial:site`` lines.
+
+    Entries are sorted by serial (accept order), so the digest is
+    insensitive to how worker threads interleaved afterwards.
+    """
+    lines = sorted(
+        f"{entry['serial']}:{entry['site']}" for entry in entries
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _reset_close(sock: socket.socket) -> None:
+    """Close with SO_LINGER(1, 0): the peer gets an RST, not a FIN."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _shutdown_close(sock: socket.socket) -> None:
+    """Shutdown both directions, then close.
+
+    The explicit ``shutdown`` matters: the request pump thread may be
+    blocked in ``recv`` on the same socket, and on Linux a plain
+    ``close`` leaves the kernel socket alive (no FIN!) until that recv
+    returns.  ``shutdown`` sends the FIN immediately and wakes the
+    blocked thread, so a truncating or mid-response fault is observed
+    by the client as a prompt EOF rather than a silent stall.
+    """
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    _close_quietly(sock)
+
+
+def _garble(blob: bytes) -> bytes:
+    head = bytes(b ^ 0xFF for b in blob[:_GARBLE_BYTES])
+    return head + blob[_GARBLE_BYTES:]
+
+
+class NetProxy:
+    """Threaded TCP proxy with plan-driven fault injection.
+
+    Args:
+        upstream_host/upstream_port: where clean traffic is forwarded.
+        plan: the fault plan consulted per connection; None proxies
+          everything verbatim (still assigning serials).
+        host/port: listen address; port 0 picks a free port, readable
+          as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: Optional[FaultPlan] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.plan = plan
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        #: Accept-ordered fire log: ``{"serial", "site", "match"}`` dicts.
+        self.fault_log: List[Dict[str, object]] = []
+        self.connections = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    def start(self) -> None:
+        self._listener = socket.create_server(
+            (self.host, self._requested_port)
+        )
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="netproxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            _close_quietly(self._listener)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Accounting.
+
+    def fired_snapshot(self) -> Dict[str, int]:
+        """Per-site fire counts (the plan's tally, net sites only)."""
+        if self.plan is None:
+            return {}
+        return {
+            site: count
+            for site, count in self.plan.fired_snapshot().items()
+            if site.startswith("net.")
+        }
+
+    def fault_digest(self) -> str:
+        """Digest of the observed fire sequence."""
+        with self._lock:
+            return digest_of_log(self.fault_log)
+
+    def replay_digest(self) -> str:
+        """Digest from re-deciding every accepted serial on a fresh plan.
+
+        Must equal :meth:`fault_digest` — a cheap in-run proof that the
+        decision procedure consulted no state outside (seed, serial).
+        """
+        if self.plan is None:
+            return digest_of_log([])
+        fresh = FaultPlan(rules=list(self.plan.rules), seed=self.plan.seed)
+        entries = []
+        with self._lock:
+            total = self.connections
+        for serial in range(total):
+            decision = decide_connection(fresh, serial)
+            if decision is not None:
+                entries.append({"serial": serial, "site": decision[0]})
+        return digest_of_log(entries)
+
+    # ------------------------------------------------------------------
+    # Data path.
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._lock:
+                serial = self.connections
+                self.connections += 1
+                decision = decide_connection(self.plan, serial)
+                if decision is not None:
+                    site, rule = decision
+                    self.fault_log.append(
+                        {"serial": serial, "site": site, "match": rule.match}
+                    )
+            if decision is not None:
+                obs.count(f"faults.{decision[0]}")
+                if decision[0] == "net.accept.reset":
+                    _reset_close(client)
+                    continue
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(client, serial, decision),
+                name=f"netproxy-conn-{serial}",
+                daemon=True,
+            )
+            worker.start()
+
+    def _serve_connection(
+        self,
+        client: socket.socket,
+        serial: int,
+        decision: Optional[Tuple[str, FaultRule]],
+    ) -> None:
+        site = decision[0] if decision else None
+        rule = decision[1] if decision else None
+        try:
+            upstream = socket.create_connection(
+                (self.upstream_host, self.upstream_port), timeout=10.0
+            )
+        except OSError:
+            _close_quietly(client)
+            return
+        try:
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        try:
+            if site == "net.read.stall":
+                assert rule is not None
+                time.sleep(rule.delay_seconds or DEFAULT_STALL_SECONDS)
+            pump = threading.Thread(
+                target=self._pump_request,
+                args=(client, upstream),
+                name=f"netproxy-pump-{serial}",
+                daemon=True,
+            )
+            pump.start()
+            if site == "net.write.garble":
+                self._forward_garbled(upstream, client)
+            elif site == "net.write.truncate":
+                self._forward_truncated(upstream, client)
+            elif site == "net.close.mid_response":
+                self._forward_partial_headers(upstream, client)
+            else:
+                self._forward(
+                    upstream, client, split=(site == "net.write.split")
+                )
+        except OSError:
+            pass
+        finally:
+            _shutdown_close(upstream)
+            _shutdown_close(client)
+
+    def _pump_request(
+        self, client: socket.socket, upstream: socket.socket
+    ) -> None:
+        """Client → upstream, verbatim, until EOF or error."""
+        try:
+            while True:
+                chunk = client.recv(_RECV_SIZE)
+                if not chunk:
+                    break
+                upstream.sendall(chunk)
+            upstream.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def _forward(
+        self, upstream: socket.socket, client: socket.socket, split: bool
+    ) -> None:
+        """Upstream → client; ``split`` forwards in tiny flushed chunks."""
+        while True:
+            chunk = upstream.recv(_RECV_SIZE)
+            if not chunk:
+                break
+            if split:
+                for offset in range(0, len(chunk), _SPLIT_CHUNK):
+                    client.sendall(chunk[offset:offset + _SPLIT_CHUNK])
+                    time.sleep(0.001)
+            else:
+                client.sendall(chunk)
+
+    def _forward_garbled(
+        self, upstream: socket.socket, client: socket.socket
+    ) -> None:
+        first = upstream.recv(_RECV_SIZE)
+        if first:
+            client.sendall(_garble(first))
+        self._forward(upstream, client, split=False)
+
+    def _forward_partial_headers(
+        self, upstream: socket.socket, client: socket.socket
+    ) -> None:
+        data = b""
+        while len(data) < _MID_RESPONSE_BYTES:
+            chunk = upstream.recv(_RECV_SIZE)
+            if not chunk:
+                break
+            data += chunk
+        if data:
+            client.sendall(data[:_MID_RESPONSE_BYTES])
+        # fall through to close: EOF where the rest of the headers
+        # should have been.
+
+    def _forward_truncated(
+        self, upstream: socket.socket, client: socket.socket
+    ) -> None:
+        """Forward full headers and half the declared body, then close."""
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = upstream.recv(_RECV_SIZE)
+            if not chunk:
+                if data:
+                    client.sendall(data)
+                return
+            data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        head += b"\r\n\r\n"
+        length = _content_length(head)
+        if length is None:
+            # No declared length to betray — forward what we have and
+            # close early anyway.
+            client.sendall(data)
+            return
+        while len(body) < length:
+            chunk = upstream.recv(_RECV_SIZE)
+            if not chunk:
+                break
+            body += chunk
+        client.sendall(head + body[: len(body) // 2])
+
+
+def _content_length(head: bytes) -> Optional[int]:
+    for line in head.split(b"\r\n"):
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                return int(value.strip())
+            except ValueError:
+                return None
+    return None

@@ -34,15 +34,32 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "SITES",
+    "NET_SITES",
     "FaultRule",
     "FaultPlan",
     "default_chaos_plan",
     "default_serve_plan",
+    "default_net_plan",
+    "connection_key",
 ]
+
+#: The transport-level sites consulted by :mod:`repro.faults.netproxy`.
+#: They key on connection serials (``conn-000042``) assigned in accept
+#: order, not on paths — the proxy never needs to understand the request
+#: to break the wire under it.
+NET_SITES: Tuple[str, ...] = (
+    "net.accept.reset",
+    "net.read.stall",
+    "net.write.garble",
+    "net.write.truncate",
+    "net.close.mid_response",
+    "net.write.split",
+)
 
 #: Every injection site wired into the pipeline.  ``store.*`` sites key on
 #: artifact names, ``worker.*`` and ``experiment.*`` sites on experiment
-#: ids, and ``serve.*`` sites on HTTP request paths.
+#: ids, ``serve.*`` sites on HTTP request paths, and ``net.*`` sites on
+#: proxy connection serials.
 SITES: Tuple[str, ...] = (
     "store.read.corrupt",
     "store.read.slow",
@@ -52,7 +69,7 @@ SITES: Tuple[str, ...] = (
     "worker.hang",
     "experiment.flaky_first_attempt",
     "serve.request.error",
-)
+) + NET_SITES
 
 
 @dataclass(frozen=True)
@@ -307,3 +324,58 @@ def default_serve_plan(
         ],
         seed=seed,
     )
+
+
+def connection_key(serial: int) -> str:
+    """The key a ``net.*`` site consults for connection ``serial``.
+
+    Connection serials are assigned by the proxy's single accept loop in
+    accept order, so under a sequential driver the whole key sequence —
+    and with it every fault decision — is a pure function of the seed.
+    """
+    return f"conn-{serial:06d}"
+
+
+#: ``(site, pinned serial, background probability)`` for the default net
+#: plan.  Each site gets one probability-1.0 rule pinned to a distinct
+#: early connection serial (guaranteed coverage even in a ``--quick``
+#: run) plus a low-probability wildcard rule that keeps faults landing
+#: throughout the run.  Background probabilities are budgeted so that a
+#: four-attempt client retry loop almost never exhausts on transport
+#: faults alone — the chaos-net gate's >= 99% availability floor.
+_NET_PLAN_SHAPE: Tuple[Tuple[str, int, float], ...] = (
+    ("net.accept.reset", 5, 0.03),
+    ("net.read.stall", 11, 0.02),
+    ("net.write.garble", 17, 0.03),
+    ("net.write.truncate", 23, 0.03),
+    ("net.close.mid_response", 29, 0.03),
+    ("net.write.split", 35, 0.10),
+)
+
+
+def default_net_plan(seed: int, stall_seconds: float = 2.5) -> FaultPlan:
+    """The built-in transport chaos plan (``repro chaos-net``).
+
+    Covers every ``net.*`` site with a pinned guaranteed fire on an
+    early connection plus seeded low-probability background fires.
+    Because the proxy presents each connection serial exactly once, the
+    per-``(rule, key)`` ``max_fires`` budget never limits wildcard rules
+    here — probability alone sets the background fault rate.
+
+    Args:
+        seed: plan seed; decides the background fires.
+        stall_seconds: sleep injected by ``net.read.stall`` — keep it
+          above the driving client's timeout so a stall is *observed* as
+          a stall (a client timeout plus retry), not absorbed as jitter.
+    """
+    rules: List[FaultRule] = []
+    for site, serial, probability in _NET_PLAN_SHAPE:
+        delay = stall_seconds if site == "net.read.stall" else None
+        rules.append(
+            FaultRule(site, match=connection_key(serial), delay_seconds=delay)
+        )
+        rules.append(
+            FaultRule(site, probability=probability, max_fires=1,
+                      delay_seconds=delay)
+        )
+    return FaultPlan(rules=rules, seed=seed)

@@ -53,7 +53,7 @@ import json
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.loadgen.metrics import Outcome, PhaseMetrics
@@ -69,10 +69,14 @@ from repro.runner.retry import RetryPolicy
 __all__ = [
     "ClientStats",
     "ConnectionPool",
+    "GarbledResponse",
     "HttpResponse",
     "LoadEngine",
     "PhaseSpec",
+    "StaleRetriesExhausted",
     "TokenBucket",
+    "TransportError",
+    "TruncatedBody",
     "discover_catalog",
     "http_get",
 ]
@@ -88,6 +92,45 @@ _PHASE_OVERRUN_FACTOR = 5.0
 #: Per-path ETags remembered for conditional GETs (LRU-bounded so a
 #: long run over a huge URL space cannot grow the cache without limit).
 _ETAG_CACHE_CAPACITY = 512
+
+
+class TransportError(OSError):
+    """Base for classified transport-layer failures.
+
+    An :class:`OSError` subclass so callers that only know the PR 6
+    contract ("connect/reset failures raise OSError") keep working; the
+    engine's retry loop looks at the subclass to classify.
+    """
+
+
+class TruncatedBody(TransportError):
+    """The peer closed before delivering its declared ``Content-Length``.
+
+    The one failure that must never be returned as a short body: a
+    truncated golden artifact that parses as JSON would otherwise slip
+    through as body drift — or worse, as a success.
+    """
+
+    def __init__(self, expected: int, received: int) -> None:
+        super().__init__(
+            f"truncated body: got {received} of {expected} declared bytes"
+        )
+        self.expected = expected
+        self.received = received
+
+
+class GarbledResponse(TransportError):
+    """The response's status line did not parse as HTTP."""
+
+
+class StaleRetriesExhausted(TransportError):
+    """The pool's transparent stale-reconnect budget ran out.
+
+    Each stale retry is normally invisible (a keep-alive socket died
+    between requests; reopen and go).  A server resetting every new
+    socket would make that loop spin forever — the budget turns the
+    storm into a classified failure instead.
+    """
 
 
 @dataclass(frozen=True)
@@ -119,6 +162,9 @@ async def http_get(
 
     Raises:
         asyncio.TimeoutError: the whole exchange exceeded ``timeout``.
+        GarbledResponse: the status line did not parse as HTTP.
+        TruncatedBody: EOF before ``Content-Length`` bytes arrived.
+        asyncio.IncompleteReadError: EOF in the middle of the headers.
         OSError: connect/reset failures.
     """
     extra_lines = _extra_header_lines(headers)
@@ -140,19 +186,36 @@ async def http_get(
             await writer.drain()
             status_line = await reader.readline()
             parts = status_line.decode("latin-1").split(" ", 2)
-            if len(parts) < 2 or not parts[1].isdigit():
-                raise OSError(f"malformed status line {status_line!r}")
+            # The protocol token must be checked too: corruption that
+            # clobbers "HTTP" can leave a digit second token behind.
+            if (
+                len(parts) < 2
+                or not parts[0].startswith("HTTP/")
+                or not parts[1].isdigit()
+            ):
+                raise GarbledResponse(
+                    f"malformed status line {status_line!r}"
+                )
             status = int(parts[1])
             headers: Dict[str, str] = {}
             while True:
                 line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
+                if line in (b"\r\n", b"\n"):
                     break
+                if line == b"":
+                    # EOF where a header (or the blank line) belongs is
+                    # a dropped connection, never the end of headers —
+                    # treating it as such would hand back a body with no
+                    # framing at all.
+                    raise asyncio.IncompleteReadError(b"", None)
                 name, _, value = line.decode("latin-1").partition(":")
                 headers[name.strip().lower()] = value.strip()
             length = headers.get("content-length")
             if length is not None and length.isdigit():
-                body = await reader.readexactly(int(length))
+                try:
+                    body = await reader.readexactly(int(length))
+                except asyncio.IncompleteReadError as exc:
+                    raise TruncatedBody(int(length), len(exc.partial)) from exc
             else:
                 body = await reader.read()
             return HttpResponse(
@@ -186,32 +249,29 @@ class ClientStats:
     requests_on_reused: int = 0  # served on an already-open socket
     connections_retired: int = 0  # peer answered ``Connection: close``
     stale_retries: int = 0  # reused socket found dead; reopened quietly
+    resets: int = 0  # connection reset / dropped mid-exchange
+    stalled: int = 0  # exchange exceeded the client timeout
+    garbled: int = 0  # unparseable status line
+    truncated: int = 0  # body shorter than its Content-Length
+
+    _FIELDS = (
+        "requests", "connections_opened", "requests_on_reused",
+        "connections_retired", "stale_retries", "resets", "stalled",
+        "garbled", "truncated",
+    )
 
     def merge(self, other: "ClientStats") -> "ClientStats":
-        self.requests += other.requests
-        self.connections_opened += other.connections_opened
-        self.requests_on_reused += other.requests_on_reused
-        self.connections_retired += other.connections_retired
-        self.stale_retries += other.stale_retries
+        for key in self._FIELDS:
+            setattr(self, key, getattr(self, key) + getattr(other, key))
         return self
 
     def to_dict(self) -> Dict[str, int]:
-        return {
-            "requests": self.requests,
-            "connections_opened": self.connections_opened,
-            "requests_on_reused": self.requests_on_reused,
-            "connections_retired": self.connections_retired,
-            "stale_retries": self.stale_retries,
-        }
+        return {key: getattr(self, key) for key in self._FIELDS}
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, int]) -> "ClientStats":
         return cls(**{
-            key: int(payload.get(key, 0))
-            for key in (
-                "requests", "connections_opened", "requests_on_reused",
-                "connections_retired", "stale_retries",
-            )
+            key: int(payload.get(key, 0)) for key in cls._FIELDS
         })
 
 
@@ -246,7 +306,10 @@ class ConnectionPool:
       is a server-initiated close between requests — the pool discards
       the socket and retries on a fresh one, transparently;
     * the same failure on a *fresh* socket is a real connect error and
-      propagates to the engine's retry policy.
+      propagates to the engine's retry policy;
+    * at most ``max_stale_retries`` transparent reconnects per request —
+      a server resetting every fresh socket raises
+      :class:`StaleRetriesExhausted` instead of looping forever.
     """
 
     def __init__(
@@ -255,11 +318,13 @@ class ConnectionPool:
         port: int,
         stats: Optional[ClientStats] = None,
         max_idle: int = 32,
+        max_stale_retries: int = 3,
     ) -> None:
         self.host = host
         self.port = port
         self.stats = stats if stats is not None else ClientStats()
         self.max_idle = max(1, int(max_idle))
+        self.max_stale_retries = max(0, int(max_stale_retries))
         self._idle: List[_PooledConnection] = []
         self._closed = False
 
@@ -307,6 +372,7 @@ class ConnectionPool:
     async def _request(
         self, path: str, extra: Optional[Mapping[str, str]] = None
     ) -> HttpResponse:
+        stale_retries = 0
         while True:
             reused = bool(self._idle)
             conn = self._idle.pop() if reused else await self._open()
@@ -320,6 +386,12 @@ class ConnectionPool:
                 settled = True
                 self._discard(conn)
                 self.stats.stale_retries += 1
+                stale_retries += 1
+                if stale_retries > self.max_stale_retries:
+                    raise StaleRetriesExhausted(
+                        f"{stale_retries} stale-connection retries for "
+                        f"{path} (budget {self.max_stale_retries})"
+                    )
                 continue
             finally:
                 if not settled:  # timeout/cancel/error: socket state unknown
@@ -366,8 +438,12 @@ class ConnectionPool:
                 raise _StaleConnection()
             raise OSError("server closed connection before responding")
         parts = status_line.decode("latin-1").split(" ", 2)
-        if len(parts) < 2 or not parts[1].isdigit():
-            raise OSError(f"malformed status line {status_line!r}")
+        if (
+            len(parts) < 2
+            or not parts[0].startswith("HTTP/")
+            or not parts[1].isdigit()
+        ):
+            raise GarbledResponse(f"malformed status line {status_line!r}")
         version = parts[0]
         status = int(parts[1])
         headers: Dict[str, str] = {}
@@ -381,7 +457,10 @@ class ConnectionPool:
             headers[name.strip().lower()] = value.strip()
         length = headers.get("content-length")
         if length is not None and length.isdigit():
-            body = await conn.reader.readexactly(int(length))
+            try:
+                body = await conn.reader.readexactly(int(length))
+            except asyncio.IncompleteReadError as exc:
+                raise TruncatedBody(int(length), len(exc.partial)) from exc
             framed = True
         else:
             body = await conn.reader.read()
@@ -556,6 +635,60 @@ class LoadEngine:
         """Run one phase to completion (blocking; owns its event loop)."""
         return asyncio.run(self._run_phase(spec))
 
+    def run_script(
+        self,
+        name: str,
+        persona: Persona,
+        planned: Sequence[PlannedRequest],
+        retry_sheds: bool = True,
+        validate_bodies: bool = True,
+    ) -> PhaseMetrics:
+        """Issue a fixed request script sequentially, one in flight.
+
+        The chaos-net gate drives this: with keep-alive off and exactly
+        one request (plus its retries) in flight at a time, the target's
+        connection-accept order is a pure function of the script — which
+        is what makes the proxy's fault-sequence digest replayable.
+        """
+        return asyncio.run(
+            self._run_script(name, persona, planned, retry_sheds,
+                             validate_bodies)
+        )
+
+    async def _run_script(
+        self,
+        name: str,
+        persona: Persona,
+        planned: Sequence[PlannedRequest],
+        retry_sheds: bool,
+        validate_bodies: bool,
+    ) -> PhaseMetrics:
+        metrics = PhaseMetrics(name)
+        started = time.perf_counter()
+        pool = (
+            ConnectionPool(self.host, self.port, stats=self.client_stats)
+            if self.keepalive
+            else None
+        )
+        self._pool = pool
+        try:
+            for request in planned:
+                outcome = await self._issue(
+                    persona,
+                    request,
+                    retry_sheds=retry_sheds,
+                    validate_bodies=validate_bodies,
+                )
+                metrics.record(outcome)
+                self.tracer.count_root(f"loadgen.outcome.{outcome.outcome}")
+        finally:
+            if pool is not None:
+                pool.close()
+            self._pool = None
+        metrics.duration_seconds = time.perf_counter() - started
+        self.tracer.count_root("loadgen.phases")
+        return metrics
+
     def schedule_digests(self) -> List[Dict[str, object]]:
         """Determinism fingerprints for every persona that ran."""
         return [persona.schedule_digest() for persona in self.personas]
@@ -698,10 +831,29 @@ class LoadEngine:
             try:
                 response = await self._fetch(request.path, extra_headers)
             except asyncio.TimeoutError:
+                self.client_stats.stalled += 1
                 last_status, last_outcome, detail = None, "client_timeout", "timeout"
                 self.tracer.count_root("loadgen.client_timeout")
                 continue
+            except StaleRetriesExhausted as exc:
+                # The pool already burned its own reconnect budget on
+                # this request; stacking the policy's attempts on top
+                # would defeat the bound.
+                last_status, last_outcome = None, "retries_exhausted"
+                detail = str(exc)
+                break
+            except TruncatedBody as exc:
+                self.client_stats.truncated += 1
+                last_status, last_outcome = None, "truncated"
+                detail = str(exc)
+                self.tracer.count_root("loadgen.truncated")
+                await asyncio.sleep(self.policy.delay(attempt, request.path))
+                continue
             except (OSError, asyncio.IncompleteReadError) as exc:
+                if isinstance(exc, GarbledResponse):
+                    self.client_stats.garbled += 1
+                else:
+                    self.client_stats.resets += 1
                 last_status, last_outcome = None, "connect_error"
                 detail = type(exc).__name__
                 self.tracer.count_root("loadgen.connect_error")
@@ -750,6 +902,21 @@ class LoadEngine:
                 sent_conditional=conditional_etag is not None,
             )
             break
+        if (
+            last_status is None
+            and attempts >= self.policy.max_attempts
+            and last_outcome in ("connect_error", "client_timeout", "truncated")
+        ):
+            # Every attempt in the budget died at the transport layer:
+            # report the exhausted budget itself, so a reset storm reads
+            # as what it is instead of one more generic connect error.
+            detail = (
+                f"retry budget exhausted after {attempts} attempts; "
+                f"last {last_outcome}" + (f" ({detail})" if detail else "")
+            )
+            last_outcome = "retries_exhausted"
+        if last_outcome == "retries_exhausted":
+            self.tracer.count_root("loadgen.retries_exhausted")
         return Outcome(
             path=request.path,
             kind=request.kind,

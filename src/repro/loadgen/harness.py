@@ -131,6 +131,20 @@ class LoadgenResult:
                 f"({client['requests_on_reused']} on reused connections, "
                 f"{client['stale_retries']} stale retries)]"
             )
+        if isinstance(client, dict):
+            transport = {
+                name: client.get(name, 0)
+                for name in ("resets", "stalled", "garbled", "truncated")
+            }
+            if any(transport.values()):
+                lines.append(
+                    "[transport faults observed: "
+                    + ", ".join(
+                        f"{name} {count}"
+                        for name, count in transport.items() if count
+                    )
+                    + "]"
+                )
         for gate in self.gates:
             marker = "PASS" if gate.passed else "FAIL"
             lines.append(

@@ -21,6 +21,13 @@ taxonomy matters more than the raw counts:
 * ``validation`` — a 200 whose body fails the persona's semantic checks.
 * ``http_5xx`` / ``http_4xx`` — everything else the server said.
 * ``client_timeout`` / ``connect_error`` — the client gave up.
+* ``truncated`` — the peer closed before delivering the bytes its
+  ``Content-Length`` promised.  Detected, never silently returned as a
+  short body; retried like a connect error.
+* ``retries_exhausted`` — every attempt in the per-request retry budget
+  failed at the transport layer (reset / stall / truncation), or the
+  pool's stale-reconnect budget ran dry.  Its own kind — a reset storm
+  must show up as exhausted budgets, not a vague ``connect_error``.
 
 Phase metrics merge (histogram merge + counter addition) into run
 totals, which is what the report's ``totals`` block is.  The same
@@ -49,6 +56,8 @@ OUTCOME_KINDS = (
     "http_5xx",
     "client_timeout",
     "connect_error",
+    "truncated",
+    "retries_exhausted",
 )
 
 #: Cap on stored failure examples, so a pathological run can't bloat the report.
@@ -195,7 +204,8 @@ class PhaseMetrics:
             self.by_outcome[kind]
             for kind in (
                 "body_drift", "validation", "http_4xx", "http_5xx",
-                "client_timeout", "connect_error",
+                "client_timeout", "connect_error", "truncated",
+                "retries_exhausted",
             )
         )
         return errors / self.requests

@@ -1,0 +1,328 @@
+"""``repro chaos-net``: the end-to-end transport-resilience gate.
+
+Topology: a scripted loadgen driver → :class:`~repro.faults.netproxy.
+NetProxy` (armed with :func:`~repro.faults.plan.default_net_plan`) →
+a chaos-armed ``repro serve`` child.  The proxy breaks the wire in
+every way the ``net.*`` sites describe; the driver must convert each
+break into a classified, retried outcome; the gate then requires
+
+* every armed ``net.*`` site fired at least once,
+* >= 99% eventual-success availability with golden-correct bodies,
+* zero body drift (a truncated or garbled body must never be mistaken
+  for a short-but-valid one),
+* a fault-sequence digest that replays exactly (and therefore
+  reproduces across runs with the same seed), and
+* a clean SIGTERM drain of the serve child.
+
+Determinism is structural, not statistical: the driver issues a fixed
+request script sequentially with keep-alive off, so connection serials
+at the proxy are a pure function of (script, seed) — including the
+extra connections its own retries open.  Readiness polling and catalog
+discovery go straight to the child, never through the proxy, keeping
+driver traffic the only thing the serial sequence counts.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.faults.netproxy import NetProxy
+from repro.faults.plan import default_net_plan
+from repro.loadgen.engine import LoadEngine, discover_catalog
+from repro.loadgen.metrics import PhaseMetrics
+from repro.loadgen.personas import Catalog, Persona, PlannedRequest
+from repro.loadgen.report import GateResult
+from repro.runner.retry import RetryPolicy
+
+__all__ = [
+    "ChaosNetOptions",
+    "ChaosNetResult",
+    "ScriptPersona",
+    "build_script",
+    "run_chaos_net",
+]
+
+#: The availability floor (matches the loadgen chaos gate).
+CHAOS_NET_AVAILABILITY_FLOOR = 0.99
+
+#: Script length: quick for CI smoke, full for soaks.
+_QUICK_REQUESTS = 120
+_FULL_REQUESTS = 400
+
+#: The driver's per-request client timeout.  Must sit *below* the net
+#: plan's stall (so a stalled connection is observed as a timeout, not
+#: absorbed) and comfortably above the child's honest p99.
+_DRIVER_TIMEOUT = 1.5
+
+#: ``net.read.stall`` sleep; > ``_DRIVER_TIMEOUT`` by construction.
+_STALL_SECONDS = 2.5
+
+
+class ScriptPersona(Persona):
+    """The driver's identity: no planning (the script is external).
+
+    The engine itself enforces that every 200 body parses as JSON and
+    matches its pinned golden bytes where pinned; beyond that the
+    script asks only that the body is a JSON object — the shape every
+    served surface returns."""
+
+    kind = "script"
+
+    def validate(self, request: PlannedRequest, body: object) -> Optional[str]:
+        if not isinstance(body, dict):
+            return f"expected a JSON object, got {type(body).__name__}"
+        return None
+
+
+def build_script(catalog: Catalog, count: int) -> List[PlannedRequest]:
+    """A fixed, deterministic request script over the served catalog.
+
+    Pure rotation — no RNG at all: the same catalog and count yield the
+    same script, which is half of what makes the fault digest replay.
+    Mixes pinned experiment bodies (byte-exact drift detection), list
+    slices across providers/days/k, the lists index, and health probes.
+    """
+    experiments = list(catalog.experiments)
+    providers = list(catalog.providers)
+    days = max(1, catalog.days)
+    ks = (25, 50, 100)
+    script: List[PlannedRequest] = []
+    for i in range(count):
+        slot = i % 5
+        if slot in (0, 2) and experiments:
+            name = experiments[(i // 5 + slot) % len(experiments)]
+            path, kind = f"/v1/experiments/{name}", "experiment"
+        elif slot == 1 and providers:
+            provider = providers[(i // 5) % len(providers)]
+            path = f"/v1/lists/{provider}/{i % days}?k={ks[i % len(ks)]}"
+            kind = "lists"
+        elif slot == 3:
+            path, kind = "/v1/lists", "lists-index"
+        else:
+            path, kind = "/healthz", "health"
+        script.append(
+            PlannedRequest(
+                path=path, kind=kind, think_seconds=0.0,
+                persona_id="netchaos-driver", conditional=False,
+            )
+        )
+    return script
+
+
+@dataclass
+class ChaosNetOptions:
+    seed: int = 7
+    quick: bool = False
+    requests: Optional[int] = None  # override the quick/full script size
+    cache_dir: Optional[str] = None
+    jobs: int = 2
+    manifest_path: Optional[str] = None
+
+
+@dataclass
+class ChaosNetResult:
+    ok: bool
+    gates: List[GateResult]
+    digest: str
+    manifest: Dict[str, object]
+    manifest_path: Optional[str] = None
+    lines: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _gate(name: str, passed: bool, measured: float, threshold: float,
+          detail: str = "") -> GateResult:
+    return GateResult(
+        name=name, passed=passed, measured=measured,
+        threshold=threshold, detail=detail,
+    )
+
+
+def run_chaos_net(options: ChaosNetOptions) -> ChaosNetResult:
+    """Run the transport chaos gate end to end (blocking)."""
+    from repro.core.experiments import SPECS
+    from repro.loadgen import spawn as spawn_mod
+    from repro.qa.goldens import GOLDEN_CONFIG
+    from repro.store import default_cache_dir
+
+    config = GOLDEN_CONFIG
+    cache_dir = options.cache_dir or str(default_cache_dir())
+    names = sorted(SPECS)
+    count = options.requests or (
+        _QUICK_REQUESTS if options.quick else _FULL_REQUESTS
+    )
+
+    print(f"[chaos-net: ensuring {len(names)} result(s) in {cache_dir}]")
+    failures = spawn_mod.ensure_results(
+        names, config, cache_dir, jobs=options.jobs
+    )
+    if failures:
+        raise RuntimeError(
+            f"could not populate results: {', '.join(failures)}"
+        )
+    expectations = spawn_mod.pin_expectations(names, config, cache_dir)
+
+    scratch = tempfile.mkdtemp(prefix="repro-chaosnet-")
+    # The child keeps its own store-level chaos (slow + corrupt reads,
+    # absorbed by breaker/LKG) but no injected 5xx — transport faults
+    # own the error budget in this gate.
+    serve_plan_path = spawn_mod.write_fault_plan(
+        options.seed, scratch, error_probability=0.0
+    )
+    access_log = f"{scratch}/serve_access.log"
+    child_port = spawn_mod.free_port()
+    command = spawn_mod.serve_command(
+        port=child_port,
+        cache_dir=cache_dir,
+        quick=True,
+        jobs=2,
+        queue_depth=4,
+        breaker_cooldown=0.4,
+        fault_plan=serve_plan_path,
+        access_log=access_log,
+    )
+    server = spawn_mod.SpawnedServer(command, "127.0.0.1", child_port)
+    print(f"[chaos-net: serve child on port {child_port}; warming...]")
+    server.start()
+
+    net_plan = default_net_plan(options.seed, stall_seconds=_STALL_SECONDS)
+    armed_sites = sorted({rule.site for rule in net_plan.rules})
+    proxy = NetProxy("127.0.0.1", child_port, plan=net_plan)
+    drain_code: Optional[int] = None
+    try:
+        server.wait_ready()
+        catalog = discover_catalog("127.0.0.1", child_port)
+        proxy.start()
+        assert proxy.port is not None
+        script = build_script(catalog, count)
+        print(f"[chaos-net: proxy on port {proxy.port}; driving "
+              f"{len(script)} scripted requests, seed {options.seed}, "
+              f"{len(armed_sites)} armed net sites]")
+        tracer = obs.Tracer("chaos-net")
+        engine = LoadEngine(
+            "127.0.0.1", proxy.port, catalog, options.seed,
+            expectations=expectations,
+            tracer=tracer,
+            policy=RetryPolicy(
+                max_attempts=4, base_delay=0.05, multiplier=2.0,
+                max_delay=0.4,
+            ),
+            timeout=_DRIVER_TIMEOUT,
+            keepalive=False,
+        )
+        persona = ScriptPersona("netchaos-driver", options.seed, catalog)
+        phase = engine.run_script("chaos-net", persona, script)
+    finally:
+        proxy.stop()
+        drain_code = server.stop()
+
+    fired = proxy.fired_snapshot()
+    digest = proxy.fault_digest()
+    replay = proxy.replay_digest()
+    missing = [site for site in armed_sites if not fired.get(site)]
+
+    gates = [
+        _gate(
+            "net_sites_fired",
+            not missing,
+            float(len(armed_sites) - len(missing)),
+            float(len(armed_sites)),
+            "all armed net sites fired" if not missing
+            else f"never fired: {', '.join(missing)}",
+        ),
+        _gate(
+            "availability",
+            phase.availability >= CHAOS_NET_AVAILABILITY_FLOOR,
+            phase.availability,
+            CHAOS_NET_AVAILABILITY_FLOOR,
+            f"{phase.requests} requests, "
+            f"{phase.by_outcome['ok'] + phase.by_outcome['not_modified']} good",
+        ),
+        _gate(
+            "body_drift", phase.body_drift == 0,
+            float(phase.body_drift), 0.0,
+            f"{len(expectations)} pinned golden bodies",
+        ),
+        _gate(
+            "digest_replay", digest == replay,
+            1.0 if digest == replay else 0.0, 1.0,
+            f"observed {digest[:16]}.. vs replayed {replay[:16]}..",
+        ),
+        _gate(
+            "drain", drain_code == 0, float(drain_code or 0), 0.0,
+            "child exited clean on SIGTERM",
+        ),
+    ]
+    ok = all(gate.passed for gate in gates)
+
+    manifest: Dict[str, object] = {
+        "seed": options.seed,
+        "quick": options.quick,
+        "requests": count,
+        "net_plan": net_plan.to_dict(),
+        "proxy": {
+            "connections": proxy.connections,
+            "fired": fired,
+            "fault_log": list(proxy.fault_log),
+            "digest": digest,
+            "replay_digest": replay,
+        },
+        "phase": {
+            "requests": phase.requests,
+            "attempts": phase.attempts,
+            "availability": round(phase.availability, 6),
+            "error_rate": round(phase.error_rate, 6),
+            "body_drift": phase.body_drift,
+            "by_outcome": {
+                kind: n for kind, n in phase.by_outcome.items() if n
+            },
+        },
+        "client": engine.client_stats.to_dict(),
+        "serve": {
+            "command": command,
+            "fault_plan": str(serve_plan_path),
+            "access_log": access_log,
+            "drain_exit_code": drain_code,
+        },
+        "gates": [gate.to_dict() for gate in gates],
+        "ok": ok,
+    }
+
+    manifest_path = options.manifest_path
+    if manifest_path:
+        path = Path(manifest_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"chaos-net seed {options.seed}: {phase.requests} requests, "
+        f"{proxy.connections} connections through the proxy",
+        "fault fires: " + (
+            ", ".join(f"{site}={fired[site]}" for site in sorted(fired))
+            or "none"
+        ),
+        "outcomes: " + ", ".join(
+            f"{kind}={n}" for kind, n in sorted(phase.by_outcome.items()) if n
+        ),
+        f"client: {engine.client_stats.to_dict()}",
+        f"fault digest: {digest}",
+    ]
+    for gate in gates:
+        status = "PASS" if gate.passed else "FAIL"
+        lines.append(
+            f"  [{status}] {gate.name}: {gate.measured:g} "
+            f"(threshold {gate.threshold:g}) {gate.detail}"
+        )
+    if manifest_path:
+        lines.append(f"manifest: {manifest_path}")
+    return ChaosNetResult(
+        ok=ok, gates=gates, digest=digest, manifest=manifest,
+        manifest_path=manifest_path, lines=lines,
+    )

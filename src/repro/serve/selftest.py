@@ -33,8 +33,10 @@ by racing threads.
 from __future__ import annotations
 
 import http.client
+import json
 import math
 import signal
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -325,6 +327,45 @@ def run_selftest(
                     f"{len(diff_doc.get('moved', []))} moved"
                 )
             report.record("diff endpoint serves rank deltas", diff_ok, diff_detail)
+
+        # ---------------------------------------------------- A (cont.)
+        # Header-limit hardening: a request flooding more header lines
+        # than the service allows must answer 431 in the canonical JSON
+        # envelope and close the connection — never the stdlib HTML
+        # error page, and never an unbounded parse.
+        limit_ok = False
+        limit_detail = "no response"
+        try:
+            with socket.create_connection((host, port), timeout=5.0) as raw:
+                raw.settimeout(5.0)
+                flood = "".join(
+                    f"X-Pad-{i}: {i}\r\n"
+                    for i in range(settings.max_header_count + 8)
+                )
+                raw.sendall(
+                    (
+                        "GET /healthz HTTP/1.1\r\nHost: selftest\r\n"
+                        f"{flood}Connection: close\r\n\r\n"
+                    ).encode("ascii")
+                )
+                blob = b""
+                while True:
+                    chunk = raw.recv(65536)
+                    if not chunk:
+                        break
+                    blob += chunk
+            head, _, body = blob.partition(b"\r\n\r\n")
+            status = int(head.split(b" ", 2)[1]) if head else 0
+            doc = json.loads(body) if body else {}
+            limit_ok = (
+                status == 431 and doc.get("error") == "headers_too_large"
+            )
+            limit_detail = f"status {status}, error {doc.get('error')!r}"
+        except (OSError, ValueError):
+            limit_detail = "malformed header-limit response"
+        report.record(
+            "header floods answer 431 in the envelope", limit_ok, limit_detail
+        )
 
         # ----------------------------------------------------------- B
         faults.activate(plan if plan is not None else default_serve_plan(seed))

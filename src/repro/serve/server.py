@@ -76,6 +76,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import socket
 import threading
 import time
 from collections import OrderedDict
@@ -160,6 +161,16 @@ class ServeSettings:
         list_cache_capacity: bounded (provider, day) ranked-list cache.
         default_k: ``/v1/lists`` slice size when ``?k=`` is absent.
         max_k: upper clamp for ``?k=`` (bounds response size).
+        idle_timeout_seconds: per-recv read deadline on every connection
+          socket; a keep-alive connection idle past this is reaped.
+        connection_lifetime_seconds: hard cap on a connection's *total*
+          age, enforced by a background reaper.  The idle timeout alone
+          cannot defeat a slowloris that trickles a byte per timeout
+          window — the lifetime bound can.
+        max_header_count: request header lines accepted before the
+          service answers 431 in the canonical error envelope.
+        max_header_bytes: total request header bytes accepted before a
+          431 (the per-line cap is the stdlib's 64 KiB).
     """
 
     host: str = "127.0.0.1"
@@ -176,6 +187,10 @@ class ServeSettings:
     list_cache_capacity: int = 64
     default_k: int = 100
     max_k: int = 1000
+    idle_timeout_seconds: float = 30.0
+    connection_lifetime_seconds: float = 120.0
+    max_header_count: int = 64
+    max_header_bytes: int = 16384
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -186,9 +201,71 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # Keep-alive hygiene for pooled loadgen clients: reap connections
     # idle past this (each parked socket pins a ThreadingHTTPServer
     # thread), and disable Nagle so small content-length-framed replies
-    # aren't held hostage to delayed ACKs.
+    # aren't held hostage to delayed ACKs.  ``timeout`` is a default;
+    # ``setup`` overrides it from the live settings.
     timeout = 30.0
     disable_nagle_algorithm = True
+
+    def setup(self) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        self.timeout = service.settings.idle_timeout_seconds
+        super().setup()
+        service.register_connection(self.connection)
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        finally:
+            service = self.server.service  # type: ignore[attr-defined]
+            service.unregister_connection(self.connection)
+
+    def handle(self) -> None:
+        try:
+            super().handle()
+        except (ConnectionResetError, BrokenPipeError):
+            self.close_connection = True
+        except (OSError, ValueError):
+            # The lifetime reaper closed this socket under us (or the
+            # peer reset mid-parse); not a server error worth a
+            # traceback from handle_error.
+            self.close_connection = True
+
+    def send_error(self, code, message=None, explain=None):  # noqa: ANN001
+        """Protocol-level failures answer in the canonical envelope.
+
+        The stdlib parser calls this *before* ``do_GET`` for oversized
+        request lines (414), header floods past its own limits (431),
+        bad syntax (400), and unsupported methods (501) — by default
+        with an HTML error page, which would be the one non-envelope
+        error shape in the service.
+        """
+        status = int(code)
+        token = "bad_request" if status < 500 else "internal"
+        if status == 431:
+            token = "headers_too_large"
+        body = _error_body(token, str(message or explain or code))
+        service = getattr(self.server, "service", None)
+        if service is not None:
+            service.count_protocol_error(getattr(self, "path", "?"), status)
+        self.close_connection = True
+        if self.request_version == "HTTP/0.9":
+            # The request line never parsed, so the stdlib still holds
+            # its 0.9 default — under which send_response_only and
+            # send_header write *nothing* and the peer would get a bare
+            # body with no framing.  Answer as framed HTTP/1.1 instead.
+            self.request_version = "HTTP/1.1"
+        try:
+            self.send_response_only(status)
+            self.send_header("Server", self.version_string())
+            self.send_header("Date", self.date_time_string())
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            if getattr(self, "command", "GET") != "HEAD":
+                self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         # The structured access log replaces the default stderr lines.
@@ -255,6 +332,16 @@ class MetricsService:
         self.repairs = 0
         self.non_golden_blocked = 0
         self.not_modified = 0
+        self.client_gone = 0
+        self.protocol_errors = 0
+        self.connections_reaped = 0
+        # Live connection registry for the lifetime reaper: socket id ->
+        # (socket, hard deadline).  Guarded by its own lock — reaping
+        # must never contend with the request-path counters.
+        self._conn_lock = threading.Lock()
+        self._connections: Dict[int, Tuple[object, float]] = {}
+        self._reaper_stop = threading.Event()
+        self._reaper_thread: Optional[threading.Thread] = None
         self._ctx: Optional[ExperimentContext] = None
         self._ctx_lock = threading.Lock()
         self._lists_lock = threading.Lock()
@@ -449,6 +536,11 @@ class MetricsService:
             daemon=True,
         )
         self._serve_thread.start()
+        self._reaper_stop.clear()
+        self._reaper_thread = threading.Thread(
+            target=self._reap_loop, name="repro-serve-reaper", daemon=True
+        )
+        self._reaper_thread.start()
         self.log.write(
             "serve.start",
             host=self.host,
@@ -485,6 +577,9 @@ class MetricsService:
         if self._draining:
             return True
         self._draining = True
+        self._reaper_stop.set()
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=2.0)
         budget = self.settings.drain_seconds if budget is None else budget
         started = time.perf_counter()
         self.log.write(
@@ -530,6 +625,100 @@ class MetricsService:
         return 0
 
     # ------------------------------------------------------------------
+    # Connection lifetime (the slowloris bound).
+
+    def register_connection(self, sock: object) -> None:
+        """Track a connection socket with a hard lifetime deadline.
+
+        Called from the handler's ``setup``.  The per-recv idle timeout
+        reaps *silent* connections; a slowloris that trickles one byte
+        per window resets that clock forever — the total-lifetime
+        deadline enforced by :meth:`_reap_loop` is what ends it.
+        """
+        deadline = (
+            time.monotonic() + self.settings.connection_lifetime_seconds
+        )
+        with self._conn_lock:
+            self._connections[id(sock)] = (sock, deadline)
+
+    def unregister_connection(self, sock: object) -> None:
+        with self._conn_lock:
+            self._connections.pop(id(sock), None)
+
+    @property
+    def active_connections(self) -> int:
+        with self._conn_lock:
+            return len(self._connections)
+
+    def _reap_loop(self) -> None:
+        interval = max(
+            0.05, min(1.0, self.settings.connection_lifetime_seconds / 4.0)
+        )
+        while not self._reaper_stop.wait(interval):
+            now = time.monotonic()
+            with self._conn_lock:
+                overdue = [
+                    (conn_id, sock)
+                    for conn_id, (sock, deadline) in self._connections.items()
+                    if now >= deadline
+                ]
+                for conn_id, _sock in overdue:
+                    self._connections.pop(conn_id, None)
+            for _conn_id, sock in overdue:
+                with self._counters_lock:
+                    self.connections_reaped += 1
+                self.tracer.count_root("serve.connections_reaped")
+                self.log.write(
+                    "connection.reaped",
+                    lifetime_seconds=self.settings.connection_lifetime_seconds,
+                )
+                # Closing under the handler thread makes its blocked
+                # recv/send raise; the handler unregisters in finish().
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)  # type: ignore[attr-defined]
+                except OSError:
+                    pass
+                try:
+                    sock.close()  # type: ignore[attr-defined]
+                except OSError:
+                    pass
+
+    def count_protocol_error(self, path: str, status: int) -> None:
+        """Accounting for parse-level rejects answered by ``send_error``."""
+        with self._counters_lock:
+            self.protocol_errors += 1
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+        self.tracer.count_root("serve.protocol_errors")
+        self.log.write("request.protocol_error", path=path, status=status)
+
+    def _header_limit_violation(
+        self, handler: _RequestHandler
+    ) -> Optional[Tuple[int, str, str]]:
+        """Service-level header limits (stricter than the stdlib's).
+
+        Returns ``(status, error token, detail)`` or None.  The stdlib
+        parser enforces its own looser caps (100 lines, 64 KiB each)
+        and answers through ``send_error``; these bounds are the ones
+        operators tune.
+        """
+        headers = handler.headers
+        count = len(headers.keys())
+        if count > self.settings.max_header_count:
+            return (
+                431, "headers_too_large",
+                f"{count} header lines exceed the limit of "
+                f"{self.settings.max_header_count}",
+            )
+        total = sum(len(k) + len(v) + 4 for k, v in headers.items())
+        if total > self.settings.max_header_bytes:
+            return (
+                431, "headers_too_large",
+                f"{total} header bytes exceed the limit of "
+                f"{self.settings.max_header_bytes}",
+            )
+        return None
+
+    # ------------------------------------------------------------------
     # Request handling.
 
     def handle(self, handler: _RequestHandler, head_only: bool = False) -> None:
@@ -539,6 +728,17 @@ class MetricsService:
         route = self._route_of(path)
         inm = handler.headers.get("If-None-Match")
         try:
+            violation = self._header_limit_violation(handler)
+            if violation is not None:
+                status, token, detail = violation
+                handler.close_connection = True
+                self.tracer.count_root("serve.header_limited")
+                self._respond(
+                    handler, status, _error_body(token, detail),
+                    {"Connection": "close"}, head_only,
+                )
+                self._account(handler, path, route, status, started, "limit")
+                return
             if route in ("healthz", "readyz", "metricz"):
                 # Health surfaces bypass admission: they must answer
                 # cheaply even (especially) when the service is saturated.
@@ -550,8 +750,14 @@ class MetricsService:
         except (KeyboardInterrupt, SystemExit):
             raise
         except (BrokenPipeError, ConnectionResetError):
-            # The client hung up mid-response; nothing left to send.
-            self.log.write("request.aborted", path=path)
+            # The client hung up mid-response: a client_gone outcome,
+            # never a server failure — the circuit breaker only ever
+            # sees store reads, and a flood of disappearing clients must
+            # not masquerade as service errors.
+            with self._counters_lock:
+                self.client_gone += 1
+            self.tracer.count_root("serve.client_gone")
+            self.log.write("request.client_gone", path=path)
         except Exception as error:  # one request never kills the server
             self.tracer.count_root("serve.handler_errors")
             self.log.write(
@@ -1057,6 +1263,9 @@ class MetricsService:
             repairs = self.repairs
             non_golden_blocked = self.non_golden_blocked
             not_modified = self.not_modified
+            client_gone = self.client_gone
+            protocol_errors = self.protocol_errors
+            connections_reaped = self.connections_reaped
         stats = self.store.stats
         with self.tracer._root_lock:
             counters = dict(self.tracer.root.counters)
@@ -1069,6 +1278,16 @@ class MetricsService:
                 "total": requests_total,
                 "by_status": by_status,
                 "by_route": by_route,
+                "client_gone": client_gone,
+                "protocol_errors": protocol_errors,
+            },
+            "connections": {
+                "active": self.active_connections,
+                "reaped": connections_reaped,
+                "idle_timeout_seconds": self.settings.idle_timeout_seconds,
+                "lifetime_seconds": self.settings.connection_lifetime_seconds,
+                "max_header_count": self.settings.max_header_count,
+                "max_header_bytes": self.settings.max_header_bytes,
             },
             "shed": {
                 "shed_total": self.gate.shed_total,
@@ -1146,7 +1365,7 @@ class MetricsService:
         handler.send_header("Content-Length", str(len(body)))
         for key, value in headers.items():
             handler.send_header(key, value)
-        if self._draining:
+        if self._draining and "Connection" not in headers:
             handler.send_header("Connection", "close")
             handler.close_connection = True
         handler.end_headers()

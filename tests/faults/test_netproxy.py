@@ -1,0 +1,246 @@
+"""The deterministic network-fault proxy.
+
+Determinism first: connection-level fault decisions are a pure
+function of (plan seed, serial), the observed fire log digests to the
+same value as a fresh replay, and two proxies with the same plan fire
+identically.  Then the data path: clean passthrough is byte-exact, and
+each fault site produces its advertised client-visible breakage.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.faults.netproxy import (
+    NET_SITES,
+    NetProxy,
+    decide_connection,
+    digest_of_log,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    FaultRule,
+    connection_key,
+    default_net_plan,
+)
+
+_BODY = json.dumps({"status": "alive", "pad": "y" * 150}).encode()
+_RESPONSE = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: " + str(len(_BODY)).encode() + b"\r\n\r\n" + _BODY
+)
+
+
+class _Upstream(threading.Thread):
+    """Minimal HTTP/1.0-style upstream: one response per connection."""
+
+    def __init__(self):
+        super().__init__(daemon=True)
+        self.sock = socket.create_server(("127.0.0.1", 0))
+        self.sock.settimeout(0.1)
+        self.port = self.sock.getsockname()[1]
+        self._halt = threading.Event()
+
+    def run(self):
+        while not self._halt.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            with conn:
+                try:
+                    data = b""
+                    while b"\r\n\r\n" not in data:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            break
+                        data += chunk
+                    else:
+                        conn.sendall(_RESPONSE)
+                except OSError:
+                    pass
+
+    def stop(self):
+        self._halt.set()
+        self.join(timeout=2.0)
+        self.sock.close()
+
+
+@pytest.fixture()
+def upstream():
+    server = _Upstream()
+    server.start()
+    yield server
+    server.stop()
+
+
+def _fetch_raw(port: int, timeout: float = 2.0) -> bytes:
+    """One GET through the proxy, returning the raw response bytes."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as conn:
+        conn.settimeout(timeout)
+        conn.sendall(b"GET /x HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        data = b""
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return data
+            data += chunk
+
+
+def _pinned(site: str, serial: int = 0) -> FaultPlan:
+    return FaultPlan(
+        rules=[FaultRule(site, match=connection_key(serial))], seed=1
+    )
+
+
+class TestDefaultNetPlan:
+    def test_every_net_site_has_a_pinned_and_background_rule(self):
+        plan = default_net_plan(7)
+        by_site = {}
+        for rule in plan.rules:
+            by_site.setdefault(rule.site, []).append(rule)
+        assert sorted(by_site) == sorted(NET_SITES)
+        for site, rules in by_site.items():
+            pinned = [r for r in rules if r.match != "*"]
+            background = [r for r in rules if r.match == "*"]
+            assert len(pinned) == 1, site
+            assert len(background) == 1, site
+            assert pinned[0].probability == 1.0
+
+    def test_pinned_serials_are_distinct(self):
+        plan = default_net_plan(7)
+        matches = [rule.match for rule in plan.rules if rule.match != "*"]
+        assert len(matches) == len(set(matches))
+
+    def test_round_trips_through_json(self):
+        plan = default_net_plan(7)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+
+
+class TestDecisionDeterminism:
+    def _decisions(self, seed, serials=200):
+        plan = default_net_plan(seed)
+        return [
+            (serial, decision[0] if decision else None)
+            for serial in range(serials)
+            for decision in [decide_connection(plan, serial)]
+        ]
+
+    def test_same_seed_same_decisions(self):
+        assert self._decisions(7) == self._decisions(7)
+
+    def test_different_seed_differs(self):
+        assert self._decisions(7) != self._decisions(8)
+
+    def test_pinned_serials_fire_their_site(self):
+        fired = dict(self._decisions(7))
+        from repro.faults.plan import _NET_PLAN_SHAPE
+
+        for site, serial, _probability in _NET_PLAN_SHAPE:
+            assert fired[serial] == site
+
+    def test_at_most_one_fault_per_connection(self):
+        # decide_connection returns the first firing site only; the
+        # plan's tally across all serials must equal the number of
+        # decisions, not exceed it.
+        plan = default_net_plan(7)
+        decisions = [
+            decide_connection(plan, serial) for serial in range(200)
+        ]
+        fired = sum(1 for d in decisions if d is not None)
+        tally = sum(plan.fired_snapshot().values())
+        assert tally == fired
+
+
+class TestDigest:
+    def test_digest_is_order_insensitive(self):
+        entries = [
+            {"serial": 3, "site": "net.read.stall"},
+            {"serial": 1, "site": "net.accept.reset"},
+        ]
+        assert digest_of_log(entries) == digest_of_log(entries[::-1])
+
+    def test_digest_distinguishes_sequences(self):
+        a = [{"serial": 1, "site": "net.accept.reset"}]
+        b = [{"serial": 2, "site": "net.accept.reset"}]
+        assert digest_of_log(a) != digest_of_log(b)
+
+
+class TestProxyDataPath:
+    def _run(self, upstream, plan, requests=1):
+        proxy = NetProxy("127.0.0.1", upstream.port, plan=plan)
+        proxy.start()
+        try:
+            results = []
+            for _ in range(requests):
+                try:
+                    results.append(_fetch_raw(proxy.port))
+                except OSError as exc:
+                    results.append(exc)
+            return proxy, results
+        finally:
+            proxy.stop()
+
+    def test_clean_passthrough_is_byte_exact(self, upstream):
+        proxy, results = self._run(upstream, plan=None, requests=3)
+        assert results == [_RESPONSE] * 3
+        assert proxy.connections == 3
+        assert proxy.fault_log == []
+
+    def test_accept_reset_is_a_hard_error(self, upstream):
+        proxy, (result,) = self._run(
+            upstream, _pinned("net.accept.reset")
+        )
+        assert isinstance(result, OSError) or result == b""
+        assert proxy.fired_snapshot() == {"net.accept.reset": 1}
+
+    def test_truncate_forwards_headers_and_half_the_body(self, upstream):
+        proxy, (result,) = self._run(
+            upstream, _pinned("net.write.truncate")
+        )
+        assert isinstance(result, bytes)
+        head, _, body = result.partition(b"\r\n\r\n")
+        assert b"Content-Length: " + str(len(_BODY)).encode() in head
+        assert body == _BODY[: len(_BODY) // 2]
+
+    def test_garble_flips_the_status_line_only(self, upstream):
+        proxy, (result,) = self._run(
+            upstream, _pinned("net.write.garble")
+        )
+        assert isinstance(result, bytes)
+        assert not result.startswith(b"HTTP")
+        assert result[4:] == _RESPONSE[4:]
+
+    def test_mid_response_close_cuts_the_headers(self, upstream):
+        proxy, (result,) = self._run(
+            upstream, _pinned("net.close.mid_response")
+        )
+        assert isinstance(result, bytes)
+        assert 0 < len(result) <= 48
+        assert b"\r\n\r\n" not in result
+
+    def test_split_delivers_the_exact_bytes(self, upstream):
+        proxy, (result,) = self._run(
+            upstream, _pinned("net.write.split")
+        )
+        assert result == _RESPONSE
+        assert proxy.fired_snapshot() == {"net.write.split": 1}
+
+    def test_fault_log_and_replay_digest_agree(self, upstream):
+        plan = default_net_plan(7)
+        proxy, _results = self._run(upstream, plan, requests=40)
+        assert proxy.connections == 40
+        assert {e["site"] for e in proxy.fault_log} <= set(NET_SITES)
+        assert proxy.fault_digest() == proxy.replay_digest()
+
+    def test_two_proxies_same_plan_fire_identically(self, upstream):
+        first, _ = self._run(upstream, default_net_plan(7), requests=40)
+        second, _ = self._run(upstream, default_net_plan(7), requests=40)
+        assert first.fault_log == second.fault_log
+        assert first.fault_digest() == second.fault_digest()

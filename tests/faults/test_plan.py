@@ -11,6 +11,7 @@ from repro.faults import (
     FaultPlan,
     FaultRule,
     default_chaos_plan,
+    default_net_plan,
     default_serve_plan,
 )
 
@@ -197,14 +198,20 @@ class TestDefaultChaosPlan:
     def test_covers_every_runner_site(self):
         plan = default_chaos_plan(1337, self.NAMES)
         runner_sites = [s for s in SITES
-                        if not s.startswith(("store.read.slow", "serve."))]
+                        if not s.startswith(("store.read.slow", "serve.",
+                                             "net."))]
         assert sorted(rule.site for rule in plan.rules) == sorted(runner_sites)
         assert plan.seed == 1337
 
-    def test_chaos_and_serve_plans_jointly_cover_every_site(self):
+    def test_default_plans_jointly_cover_every_site(self):
         chaos = default_chaos_plan(1337, self.NAMES)
         serve = default_serve_plan(1337)
-        covered = {r.site for r in chaos.rules} | {r.site for r in serve.rules}
+        net = default_net_plan(1337)
+        covered = (
+            {r.site for r in chaos.rules}
+            | {r.site for r in serve.rules}
+            | {r.site for r in net.rules}
+        )
         assert covered == set(SITES)
 
     def test_worker_victims_drawn_from_names(self):

@@ -225,11 +225,32 @@ class TestRetrySemantics:
         assert outcome.outcome == "http_4xx"
         assert outcome.attempts == 1
 
-    def test_connect_error_outcome(self):
-        # A port nothing listens on: connect is refused immediately.
+    def test_connect_error_becomes_retries_exhausted(self):
+        # A port nothing listens on: connect is refused immediately on
+        # every attempt, so the whole retry budget burns at the
+        # transport layer — that is its own outcome, not a generic
+        # connect_error.
         engine = LoadEngine("127.0.0.1", 1, _CATALOG, seed=1, timeout=1.0)
         outcome = _issue_once(engine, _OnePath("p9", 1, _CATALOG))
-        assert outcome.outcome == "connect_error"
+        assert outcome.outcome == "retries_exhausted"
+        assert outcome.attempts == engine.policy.max_attempts
+        assert "connect_error" in outcome.detail
+        assert engine.client_stats.resets == engine.policy.max_attempts
+
+    def test_single_attempt_connect_error_keeps_its_kind(self):
+        from repro.runner.retry import RetryPolicy
+
+        engine = LoadEngine(
+            "127.0.0.1", 1, _CATALOG, seed=1, timeout=1.0,
+            policy=RetryPolicy(max_attempts=1, base_delay=0.01),
+        )
+        outcome = _issue_once(engine, _OnePath("p9", 1, _CATALOG))
+        # With a one-attempt budget the failure is still "the budget
+        # ran out" — but a mid-run transport blip that later succeeds
+        # stays invisible; that path is covered by the stub-server
+        # transport-fault suite.
+        assert outcome.outcome == "retries_exhausted"
+        assert outcome.attempts == 1
 
 
 class TestTokenBucket:

@@ -1,0 +1,274 @@
+"""Transport-fault classification in the raw-socket client.
+
+Each test scripts a misbehaving server at the socket level — the same
+breakages :mod:`repro.faults.netproxy` injects — and pins how the
+client must observe it:
+
+* a body shorter than its declared ``Content-Length`` raises
+  :class:`TruncatedBody` (never a silent short body);
+* a corrupted status line raises :class:`GarbledResponse`, even when
+  the corruption leaves a digit token where the status code belongs;
+* EOF in the middle of the headers is a dropped connection, not the
+  end of the headers;
+* split writes are invisible: the client reassembles fragments into
+  the exact body;
+* a run of stale pooled sockets burns a bounded budget and surfaces
+  :class:`StaleRetriesExhausted` instead of looping, and the engine
+  reports the exhausted budget as the ``retries_exhausted`` outcome.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.loadgen.engine import (
+    ConnectionPool,
+    GarbledResponse,
+    LoadEngine,
+    StaleRetriesExhausted,
+    TruncatedBody,
+    http_get,
+)
+from repro.loadgen.personas import Catalog, Persona, PlannedRequest
+from repro.runner.retry import RetryPolicy
+
+_CATALOG = Catalog(providers=("alexa",), days=4, experiments=("tf1",))
+
+_BODY = json.dumps({"status": "alive", "pad": "x" * 120}).encode()
+
+
+def _response(body: bytes = _BODY, declared: int | None = None) -> bytes:
+    length = len(body) if declared is None else declared
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(length).encode() + b"\r\n\r\n" + body
+    )
+
+
+def _read_request(conn: socket.socket) -> bytes:
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = conn.recv(4096)
+        if not chunk:
+            raise OSError("client went away mid-request")
+        data += chunk
+    return data
+
+
+class _FaultyServer(threading.Thread):
+    """Accept loop that hands each connection to ``respond(conn)``."""
+
+    def __init__(self, respond):
+        super().__init__(daemon=True)
+        self.respond = respond
+        self.sock = socket.create_server(("127.0.0.1", 0))
+        self.sock.settimeout(0.1)
+        self.port = self.sock.getsockname()[1]
+        self._halt = threading.Event()
+
+    def run(self):
+        while not self._halt.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            with conn:
+                try:
+                    self.respond(conn)
+                except OSError:
+                    pass
+
+    def stop(self):
+        self._halt.set()
+        self.join(timeout=2.0)
+        self.sock.close()
+
+
+@pytest.fixture()
+def faulty():
+    servers = []
+
+    def launch(respond):
+        server = _FaultyServer(respond)
+        server.start()
+        servers.append(server)
+        return server
+
+    yield launch
+    for server in servers:
+        server.stop()
+
+
+# Responders mirroring the netproxy fault repertoire.
+
+
+def _truncating(conn):
+    _read_request(conn)
+    conn.sendall(_response(_BODY[: len(_BODY) // 2], declared=len(_BODY)))
+
+
+def _garbling(conn):
+    _read_request(conn)
+    blob = _response()
+    conn.sendall(bytes(b ^ 0xFF for b in blob[:4]) + blob[4:])
+
+
+def _mid_headers_close(conn):
+    _read_request(conn)
+    conn.sendall(_response()[:48])
+
+
+def _splitting(conn):
+    _read_request(conn)
+    blob = _response()
+    for offset in range(0, len(blob), 7):
+        conn.sendall(blob[offset:offset + 7])
+
+
+def _get(port, timeout=2.0):
+    return asyncio.run(http_get("127.0.0.1", port, "/healthz", timeout=timeout))
+
+
+class TestHttpGetClassification:
+    def test_short_body_raises_truncated(self, faulty):
+        server = faulty(_truncating)
+        with pytest.raises(TruncatedBody) as excinfo:
+            _get(server.port)
+        assert excinfo.value.expected == len(_BODY)
+        assert excinfo.value.received == len(_BODY) // 2
+
+    def test_garbled_status_line_is_rejected(self, faulty):
+        # XOR of the first four bytes clobbers "HTTP" but leaves
+        # "200" intact — accepting it would mean trusting corrupted
+        # framing whose second token happens to be digits.
+        server = faulty(_garbling)
+        with pytest.raises(GarbledResponse):
+            _get(server.port)
+
+    def test_eof_mid_headers_is_a_drop_not_header_end(self, faulty):
+        server = faulty(_mid_headers_close)
+        with pytest.raises(asyncio.IncompleteReadError):
+            _get(server.port)
+
+    def test_split_writes_reassemble_byte_exactly(self, faulty):
+        server = faulty(_splitting)
+        response = _get(server.port)
+        assert response.status == 200
+        assert response.body == _BODY
+
+    def test_hard_reset_raises_oserror(self, faulty):
+        import struct
+
+        def reset(conn):
+            conn.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+
+        server = faulty(reset)
+        with pytest.raises(OSError):
+            _get(server.port)
+
+
+class TestPoolClassification:
+    def _pool_request(self, port, **pool_kwargs):
+        async def go():
+            pool = ConnectionPool("127.0.0.1", port, **pool_kwargs)
+            try:
+                return await pool.request("/healthz", timeout=2.0)
+            finally:
+                pool.close()
+
+        return asyncio.run(go())
+
+    def test_pool_sees_truncated_body(self, faulty):
+        server = faulty(_truncating)
+        with pytest.raises(TruncatedBody):
+            self._pool_request(server.port)
+
+    def test_pool_sees_garbled_status(self, faulty):
+        server = faulty(_garbling)
+        with pytest.raises(GarbledResponse):
+            self._pool_request(server.port)
+
+    def test_stale_retry_budget_is_bounded(self, faulty):
+        # Prefill the idle list with sockets the server has already
+        # closed: every reuse hits EOF before the first response byte
+        # (the stale case), and with more stale sockets than budget the
+        # pool must surface the exhausted budget, not loop or lie.
+        server = faulty(lambda conn: None)  # accept, then close
+
+        async def go():
+            pool = ConnectionPool(
+                "127.0.0.1", server.port, max_stale_retries=2
+            )
+            from repro.loadgen.engine import _PooledConnection
+
+            for _ in range(4):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                pool._idle.append(_PooledConnection(reader, writer))
+            await asyncio.sleep(0.05)  # let the server close them all
+            try:
+                await pool._request("/healthz")
+            finally:
+                pool.close()
+
+        with pytest.raises(StaleRetriesExhausted):
+            asyncio.run(go())
+
+
+class _AnyJson(Persona):
+    kind = "probes"
+
+    def next_request(self) -> PlannedRequest:
+        return PlannedRequest(
+            path="/healthz", kind="health", think_seconds=0.0,
+            persona_id=self.persona_id, conditional=False,
+        )
+
+    def validate(self, request, body):
+        return None
+
+
+def _issue_once(engine, persona):
+    return asyncio.run(engine._issue(persona, persona.next_request()))
+
+
+class TestEngineOutcomes:
+    def _engine(self, port, attempts=2):
+        return LoadEngine(
+            "127.0.0.1", port, _CATALOG, seed=5,
+            policy=RetryPolicy(max_attempts=attempts, base_delay=0.01),
+            timeout=2.0, keepalive=False,
+        )
+
+    def test_persistent_truncation_exhausts_the_budget(self, faulty):
+        server = faulty(_truncating)
+        engine = self._engine(server.port)
+        outcome = _issue_once(engine, _AnyJson("tf", 1, _CATALOG))
+        assert outcome.outcome == "retries_exhausted"
+        assert outcome.attempts == 2
+        assert "truncated" in outcome.detail
+        assert engine.client_stats.truncated == 2
+
+    def test_persistent_garbling_counts_garbled_not_reset(self, faulty):
+        server = faulty(_garbling)
+        engine = self._engine(server.port)
+        outcome = _issue_once(engine, _AnyJson("tf", 1, _CATALOG))
+        assert outcome.outcome == "retries_exhausted"
+        assert engine.client_stats.garbled == 2
+        assert engine.client_stats.resets == 0
+
+    def test_split_writes_are_an_ok_sample(self, faulty):
+        server = faulty(_splitting)
+        engine = self._engine(server.port)
+        outcome = _issue_once(engine, _AnyJson("tf", 1, _CATALOG))
+        assert outcome.outcome == "ok"
+        assert outcome.attempts == 1
