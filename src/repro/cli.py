@@ -61,6 +61,12 @@ Command families, all dispatched through one table in :func:`main`:
   armed ``net.*`` site must fire, availability must hold >= 99% with
   zero golden drift, and the fault-sequence digest must replay
   (``repro.loadgen.netchaos``).
+* ``repro chaos-data [--quick] [--seed N]`` — the degraded-data gate:
+  an in-process proof that gap-tolerant rolling ranks stay bit-identical
+  to the batch recompute under an armed data-fault plan, then a scripted
+  client mix against a data-chaos serve child; every armed ``data.*``
+  site must fire, every degraded day must be marked in ``data_health``,
+  and both fault digests must replay (``repro.loadgen.datachaos``).
 
 Exit codes are uniform across every command: 0 on success, 1 on
 experiment failure / golden drift / invariant violation, 2 on usage
@@ -91,6 +97,8 @@ Examples::
     repro loadgen --spawn --workers 4         # multi-process client pool
     repro loadgen --compare LATENCY_prev.json --against LATENCY_now.json
     repro chaos-net --quick --seed 7          # transport-resilience gate
+    repro chaos-data --quick --seed 11        # degraded-data gate
+    repro ranking --fault-seed 11 --days 12   # degraded equivalence proof
     repro netproxy --listen 9000 --upstream 127.0.0.1:8321 --seed 7
 """
 
@@ -345,6 +353,14 @@ def _build_ranking_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the equivalence report and "
                              "stability summary as JSON")
+    parser.add_argument("--fault-plan", default=None, metavar="PATH",
+                        help="also run the degraded-ingestion equivalence "
+                             "proof under the data-fault plan in this JSON "
+                             "file")
+    parser.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                        help="also run the degraded proof under the "
+                             "built-in data plan with this seed "
+                             "(ignored when --fault-plan is given)")
     return parser
 
 
@@ -388,15 +404,49 @@ def _run_ranking(argv: List[str]) -> int:
           f"weekend/weekday churn "
           f"{'n/a' if ratio is None else format(ratio, '.3f')}]")
 
+    degraded_report = None
+    if args.fault_plan is not None or args.fault_seed is not None:
+        from repro.faults.plan import FaultPlan, default_data_plan
+        from repro.ranking import proof_of_degraded_equivalence
+
+        try:
+            if args.fault_plan is not None:
+                with open(args.fault_plan, "r", encoding="utf-8") as handle:
+                    plan = FaultPlan.from_dict(json.load(handle))
+            else:
+                plan = default_data_plan(
+                    args.fault_seed, ctx.world.config.n_days
+                )
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            print(f"bad fault plan: {error}", file=sys.stderr)
+            return EXIT_USAGE
+        degraded_report = proof_of_degraded_equivalence(
+            tranco, plan, k=args.k
+        )
+        verdict = "identical" if degraded_report["ok"] else "MISMATCH"
+        fired = degraded_report["sites_fired"]
+        print(f"[tranco degraded vs batch: "
+              f"{degraded_report['days_checked']} day(s), "
+              f"{len(degraded_report['degraded_days'])} degraded: {verdict}]")
+        print("  fires: " + (
+            ", ".join(f"{s}={n}" for s, n in sorted(fired.items())) or "none"
+        ))
+        print(f"  fault digest: {degraded_report['fault_digest']}"
+              + ("" if degraded_report["digest_match"]
+                 else " (REPLAY MISMATCH)"))
+
     if args.json:
+        doc = {"equivalence": report, "stability": summary}
+        if degraded_report is not None:
+            doc["degraded_equivalence"] = degraded_report
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(
-                {"equivalence": report, "stability": summary},
-                handle, indent=2, sort_keys=True,
-            )
+            json.dump(doc, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"[report written to {args.json}]")
-    return EXIT_OK if report["identical"] else EXIT_FAILURE
+    ok = report["identical"] and (
+        degraded_report is None or degraded_report["ok"]
+    )
+    return EXIT_OK if ok else EXIT_FAILURE
 
 
 def _run_experiments(argv: List[str]) -> int:
@@ -411,7 +461,7 @@ def _run_experiments(argv: List[str]) -> int:
             print(line + (f"  [{tags}]" if tags else ""))
         print("\nother commands: bench, export, recommend, ranking, validate, "
               "summary, cache, verify-goldens, verify-invariants, chaos, "
-              "serve, loadgen, netproxy, chaos-net")
+              "serve, loadgen, netproxy, chaos-net, chaos-data")
         return EXIT_OK
 
     names = list(SPECS) if args.experiment == "all" else [args.experiment]
@@ -1386,6 +1436,56 @@ def _run_chaos_net(argv: List[str]) -> int:
     return EXIT_OK if result.ok else EXIT_FAILURE
 
 
+def _run_chaos_data(argv: List[str]) -> int:
+    """The degraded-provider ingestion acceptance gate."""
+    from repro.loadgen.datachaos import ChaosDataOptions, run_chaos_data
+
+    parser = argparse.ArgumentParser(
+        prog="repro chaos-data",
+        description=(
+            "Degraded-data gate: prove the gap-tolerant rolling "
+            "aggregation bit-identical to a batch recompute under an "
+            "armed data-fault plan, then drive a scripted client mix "
+            "against a data-chaos serve child. Every armed data.* site "
+            "must fire, every degraded day must be marked in "
+            "data_health, availability must hold >= 99%, and both "
+            "fault-sequence digests must replay bit-for-bit."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7, metavar="N",
+                        help="data fault-plan seed (default 7)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small proof world and short script "
+                             "(the CI smoke)")
+    parser.add_argument("--requests", type=int, default=None, metavar="N",
+                        help="override the script length")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="workers for populating missing results "
+                             "(default 2)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact store root (default: the shared "
+                             "cache — results are reused, never mutated)")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="write the fault-accounting manifest JSON here")
+    args = parser.parse_args(argv)
+
+    options = ChaosDataOptions(
+        seed=args.seed,
+        quick=args.quick,
+        requests=args.requests,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        manifest_path=args.manifest,
+    )
+    try:
+        result = run_chaos_data(options)
+    except (RuntimeError, OSError, ValueError) as error:
+        print(f"chaos-data failed: {error}", file=sys.stderr)
+        return EXIT_FAILURE
+    print(result.render())
+    return EXIT_OK if result.ok else EXIT_FAILURE
+
+
 #: Subcommand dispatch table; anything not listed is an experiment id.
 _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "export": _run_export,
@@ -1402,6 +1502,7 @@ _COMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "loadgen": _run_loadgen,
     "netproxy": _run_netproxy,
     "chaos-net": _run_chaos_net,
+    "chaos-data": _run_chaos_data,
 }
 
 

@@ -20,12 +20,15 @@ from repro.faults.inject import (
 )
 from repro.faults.netproxy import NetProxy, decide_connection, digest_of_log
 from repro.faults.plan import (
+    DATA_SITES,
     NET_SITES,
     SITES,
     FaultPlan,
     FaultRule,
     connection_key,
+    day_key,
     default_chaos_plan,
+    default_data_plan,
     default_net_plan,
     default_serve_plan,
 )
@@ -33,12 +36,15 @@ from repro.faults.plan import (
 __all__ = [
     "SITES",
     "NET_SITES",
+    "DATA_SITES",
     "FaultPlan",
     "FaultRule",
     "connection_key",
+    "day_key",
     "default_chaos_plan",
     "default_serve_plan",
     "default_net_plan",
+    "default_data_plan",
     "InjectedFault",
     "activate",
     "active_plan",

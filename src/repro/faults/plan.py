@@ -35,12 +35,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 __all__ = [
     "SITES",
     "NET_SITES",
+    "DATA_SITES",
     "FaultRule",
     "FaultPlan",
     "default_chaos_plan",
     "default_serve_plan",
     "default_net_plan",
+    "default_data_plan",
     "connection_key",
+    "day_key",
 ]
 
 #: The transport-level sites consulted by :mod:`repro.faults.netproxy`.
@@ -56,10 +59,24 @@ NET_SITES: Tuple[str, ...] = (
     "net.write.split",
 )
 
+#: The data-plane sites consulted by :mod:`repro.ranking.ingest` when a
+#: provider's published day list is fetched.  They key on
+#: ``<provider>/day-<ddd>`` (see :func:`day_key`) so every decision is a
+#: pure function of (seed, provider, day) — the ingestion layer consults
+#: each key exactly once per feed, regardless of request interleaving.
+DATA_SITES: Tuple[str, ...] = (
+    "data.provider.retired",
+    "data.day.missing",
+    "data.day.stale_repeat",
+    "data.day.truncated",
+    "data.day.duplicate_ranks",
+    "data.day.schema_drift",
+)
+
 #: Every injection site wired into the pipeline.  ``store.*`` sites key on
 #: artifact names, ``worker.*`` and ``experiment.*`` sites on experiment
-#: ids, ``serve.*`` sites on HTTP request paths, and ``net.*`` sites on
-#: proxy connection serials.
+#: ids, ``serve.*`` sites on HTTP request paths, ``net.*`` sites on proxy
+#: connection serials, and ``data.*`` sites on provider-day keys.
 SITES: Tuple[str, ...] = (
     "store.read.corrupt",
     "store.read.slow",
@@ -69,7 +86,7 @@ SITES: Tuple[str, ...] = (
     "worker.hang",
     "experiment.flaky_first_attempt",
     "serve.request.error",
-) + NET_SITES
+) + NET_SITES + DATA_SITES
 
 
 @dataclass(frozen=True)
@@ -93,6 +110,8 @@ class FaultRule:
           anything longer than any sane deadline) and ``store.read.slow``
           (default 0.25 — long enough to trip a serving-path breaker).
         exit_code: process exit status for ``worker.crash``.
+        fraction: for ``data.day.truncated``, the fraction of the day's
+          list the degraded feed keeps (default 0.4 when unset).
     """
 
     site: str
@@ -102,6 +121,7 @@ class FaultRule:
     delay_seconds: Optional[float] = None
     exit_code: int = 3
     min_occurrence: int = 0
+    fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.site not in SITES:
@@ -115,6 +135,10 @@ class FaultRule:
         if self.min_occurrence < 0:
             raise ValueError(
                 f"min_occurrence must be >= 0, got {self.min_occurrence}"
+            )
+        if self.fraction is not None and not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1], got {self.fraction}"
             )
 
     def to_dict(self) -> Dict[str, object]:
@@ -130,6 +154,8 @@ class FaultRule:
             payload["exit_code"] = self.exit_code
         if self.min_occurrence:
             payload["min_occurrence"] = self.min_occurrence
+        if self.fraction is not None:
+            payload["fraction"] = self.fraction
         return payload
 
     @classmethod
@@ -145,6 +171,10 @@ class FaultRule:
             ),
             exit_code=int(payload.get("exit_code", 3)),
             min_occurrence=int(payload.get("min_occurrence", 0)),
+            fraction=(
+                None if payload.get("fraction") is None
+                else float(payload["fraction"])  # type: ignore[arg-type]
+            ),
         )
 
 
@@ -190,7 +220,16 @@ class FaultPlan:
         Returns:
             The first matching rule whose budget and probability allow a
             fire, or None.  Fires are tallied in :attr:`fired`.
+
+        Raises:
+            ValueError: for a site name not in :data:`SITES`.  A typo'd
+              consult site would otherwise just never fire — silently
+              disarming whatever chaos coverage depended on it.
         """
+        if site not in SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; choose from {', '.join(SITES)}"
+            )
         for index, rule in enumerate(self.rules):
             if rule.site != site or not fnmatchcase(key, rule.match):
                 continue
@@ -228,8 +267,17 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        rules: List[FaultRule] = []
+        for index, raw in enumerate(payload.get("rules", [])):  # type: ignore[union-attr]
+            try:
+                rules.append(FaultRule.from_dict(raw))
+            except (KeyError, TypeError, ValueError) as exc:
+                # Fail fast at plan-load time, naming the offending rule —
+                # a bad rule that slipped through would never fire and the
+                # run would silently lose its intended fault coverage.
+                raise ValueError(f"fault plan rule #{index}: {exc}") from exc
         return cls(
-            rules=[FaultRule.from_dict(r) for r in payload.get("rules", [])],  # type: ignore[union-attr]
+            rules=rules,
             seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
         )
 
@@ -378,4 +426,94 @@ def default_net_plan(seed: int, stall_seconds: float = 2.5) -> FaultPlan:
             FaultRule(site, probability=probability, max_fires=1,
                       delay_seconds=delay)
         )
+    return FaultPlan(rules=rules, seed=seed)
+
+
+def day_key(provider: str, day: int) -> str:
+    """The key a ``data.*`` site consults for one published provider day.
+
+    The ingestion layer resolves each provider's days strictly in order
+    and consults each key exactly once, so every data-fault decision is a
+    pure function of ``(seed, provider, day)`` — independent of request
+    interleaving on the serving side.
+    """
+    return f"{provider}/day-{day:03d}"
+
+
+#: ``(site, provider slot, day position)`` for the pinned rules of the
+#: default data plan.  Positions are fractions of the stream length,
+#: mapped to concrete days at plan-build time so every site is guaranteed
+#: to fire once whatever ``n_days`` is.  Day 0 is never faulted — the
+#: ingestion layer treats it as the bootstrap day (see
+#: :mod:`repro.ranking.ingest`) so carry-forward always has a source.
+_DATA_PLAN_SHAPE: Tuple[Tuple[str, int, float], ...] = (
+    ("data.day.stale_repeat", 0, 0.25),
+    ("data.day.missing", 1, 0.35),
+    ("data.day.duplicate_ranks", 2, 0.50),
+    ("data.day.truncated", 1, 0.65),
+    ("data.day.schema_drift", 2, 0.80),
+    ("data.provider.retired", 0, 0.90),
+)
+
+#: Background probabilities per recoverable ``data.*`` site.  Budgeted so
+#: a provider essentially never loses more consecutive days than the
+#: default carry-forward bound; ``data.provider.retired`` gets no
+#: background rule — retirement is a scripted, one-way event (the Alexa
+#: shutdown), not recurring noise.
+_DATA_BACKGROUND: Tuple[Tuple[str, float], ...] = (
+    ("data.day.missing", 0.03),
+    ("data.day.stale_repeat", 0.03),
+    ("data.day.truncated", 0.03),
+    ("data.day.duplicate_ranks", 0.03),
+    ("data.day.schema_drift", 0.03),
+)
+
+
+def default_data_plan(
+    seed: int,
+    n_days: int,
+    providers: Sequence[str] = ("alexa", "umbrella", "majestic"),
+    truncate_fraction: float = 0.4,
+) -> FaultPlan:
+    """The built-in data-plane chaos plan (``repro chaos-data``).
+
+    Covers every ``data.*`` site with one pinned probability-1.0 fire on
+    a distinct (provider, day) key, plus seeded low-probability
+    background fires per provider for the recoverable sites.  Provider
+    retirement is pinned late in the stream (the Alexa shutdown pattern:
+    the provider publishes normally, then disappears for good) and never
+    appears as a background rule.
+
+    Args:
+        seed: plan seed; decides only the background fires.
+        n_days: length of the provider streams the plan will run over —
+          pins land inside ``[1, n_days - 1]``.
+        providers: provider names to degrade, in pin-slot order.
+        truncate_fraction: fraction of the list kept by a truncation.
+    """
+    if n_days < 6:
+        raise ValueError(f"default data plan needs n_days >= 6, got {n_days}")
+    if not providers:
+        raise ValueError("default data plan needs at least one provider")
+    last = n_days - 1
+    rules: List[FaultRule] = []
+    pinned_keys = set()
+    for site, slot, position in _DATA_PLAN_SHAPE:
+        provider = providers[slot % len(providers)]
+        day = max(1, min(last, round(position * last)))
+        key = day_key(provider, day)
+        while key in pinned_keys:  # one fault per (provider, day)
+            day = day + 1 if day < last else 1
+            key = day_key(provider, day)
+        pinned_keys.add(key)
+        fraction = truncate_fraction if site == "data.day.truncated" else None
+        rules.append(FaultRule(site, match=key, fraction=fraction))
+    for provider in providers:
+        for site, probability in _DATA_BACKGROUND:
+            fraction = truncate_fraction if site == "data.day.truncated" else None
+            rules.append(
+                FaultRule(site, match=f"{provider}/*",
+                          probability=probability, max_fires=1,
+                          fraction=fraction)
+            )
     return FaultPlan(rules=rules, seed=seed)

@@ -1,0 +1,493 @@
+"""``repro chaos-data``: the end-to-end degraded-provider ingestion gate.
+
+Two stages, one verdict:
+
+* **Pipeline stage (in-process).**  A dedicated world runs
+  :func:`~repro.ranking.degraded.proof_of_degraded_equivalence` under a
+  :func:`~repro.faults.plan.default_data_plan`: the gap-tolerant rolling
+  aggregation must be bit-identical to a batch recompute over the same
+  degraded input, every day whose window holds a non-clean cell must be
+  explicitly marked, fully-clean windows must match the undegraded
+  pipeline byte for byte, every armed ``data.*`` site must fire, and the
+  fault-sequence digest must replay exactly.
+
+* **Serve stage (child process).**  A ``repro serve`` child is armed
+  with a *data-only* fault plan (no store or transport chaos — degraded
+  data owns the error budget here) and driven with a fixed scripted
+  client mix over list, stability, index, and health surfaces.  Every
+  200 list body must carry a well-formed ``data_health`` block, at
+  least one degraded day must actually be observed, availability must
+  clear the loadgen floor, the child's ``/metricz`` data block must
+  show every armed site fired with ``digest == replay_digest``, and the
+  child must drain clean on SIGTERM.
+
+Determinism is structural: provider days resolve strictly sequentially
+and are memoized, so each ``(provider, day)`` fault key is consulted at
+most once regardless of request interleaving, and the printed
+``fault digest`` — pipeline and serve digests joined — is a pure
+function of the seed.  CI runs the gate twice and requires the printed
+digests to match byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.faults.plan import DATA_SITES, default_data_plan
+from repro.loadgen.engine import LoadEngine, discover_catalog
+from repro.loadgen.personas import (
+    Catalog,
+    Persona,
+    PlannedRequest,
+    validate_data_health,
+)
+from repro.loadgen.report import GateResult
+from repro.runner.retry import RetryPolicy
+
+__all__ = [
+    "ChaosDataOptions",
+    "ChaosDataResult",
+    "DataScriptPersona",
+    "build_data_script",
+    "run_chaos_data",
+    "write_data_plan",
+]
+
+#: The availability floor (matches the loadgen and chaos-net gates).
+CHAOS_DATA_AVAILABILITY_FLOOR = 0.99
+
+#: Script length: quick for CI smoke, full for soaks.
+_QUICK_REQUESTS = 90
+_FULL_REQUESTS = 300
+
+#: The component providers the default data plan degrades.
+DATA_PROVIDERS = ("alexa", "umbrella", "majestic")
+
+#: In-process pipeline-proof world shapes.  Small enough for CI, deep
+#: enough that the rolling window actually slides (window < n_days) and
+#: the plan's pinned days spread across distinct windows.
+_PIPELINE_QUICK = {"n_sites": 600, "n_days": 12, "tranco_window": 4}
+_PIPELINE_FULL = {"n_sites": 1500, "n_days": 16, "tranco_window": 5}
+
+
+class DataScriptPersona(Persona):
+    """The driver's identity for the serve stage.
+
+    Beyond the engine's own checks (every 200 parses as JSON), the
+    persona enforces the data-chaos contract per surface: list bodies
+    must carry a well-formed ``data_health`` block (shape-checked by
+    :func:`~repro.loadgen.personas.validate_data_health`), stability
+    bodies must summarize degraded days, and the lists index must admit
+    it is running under data chaos.  It also counts degraded days seen,
+    so the gate can prove the faults were *observable*, not just fired.
+    """
+
+    kind = "script"
+
+    def __init__(self, persona_id: str, seed: int, catalog: Catalog) -> None:
+        super().__init__(persona_id, seed, catalog)
+        self.health_bodies = 0
+        self.degraded_seen = 0
+        self.statuses: Dict[str, int] = {}
+
+    def validate(self, request: PlannedRequest, body: object) -> Optional[str]:
+        if not isinstance(body, dict):
+            return f"expected a JSON object, got {type(body).__name__}"
+        if request.kind == "lists":
+            health = body.get("data_health")
+            if health is None:
+                return "list body missing data_health under data chaos"
+            error = validate_data_health(health)
+            if error is not None:
+                return error
+            self.health_bodies += 1
+            status = str(health["status"])
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if health["degraded"]:
+                self.degraded_seen += 1
+            return None
+        if request.kind == "lists-stability":
+            health = body.get("data_health")
+            if not isinstance(health, dict):
+                return "stability body missing data_health under data chaos"
+            degraded_days = health.get("degraded_days")
+            if not isinstance(degraded_days, int) or degraded_days < 0:
+                return f"stability degraded_days malformed: {degraded_days!r}"
+            if not isinstance(health.get("by_status"), dict):
+                return "stability by_status missing or not an object"
+            return None
+        if request.kind == "lists-index":
+            if body.get("data_chaos") is not True:
+                return "lists index does not report data_chaos under chaos"
+            return None
+        return None
+
+
+def build_data_script(catalog: Catalog, count: int) -> List[PlannedRequest]:
+    """A fixed, deterministic request script for the serve stage.
+
+    Pure rotation, no RNG.  Opens by requesting the **last** day of each
+    degraded provider — sequential memoized resolution means that one
+    request forces the provider's whole day range through the ingest
+    gate, so every pinned fault day is consulted no matter how short the
+    script.  The rotation then mixes list slices across all providers
+    and days, per-provider stability surfaces, the lists index, and
+    health probes.
+    """
+    providers = list(catalog.providers)
+    degraded = [p for p in DATA_PROVIDERS if p in providers] or providers
+    days = max(1, catalog.days)
+    last = days - 1
+    ks = (25, 50, 100)
+
+    def _request(path: str, kind: str) -> PlannedRequest:
+        return PlannedRequest(
+            path=path, kind=kind, think_seconds=0.0,
+            persona_id="datachaos-driver", conditional=False,
+        )
+
+    script: List[PlannedRequest] = [
+        _request(f"/v1/lists/{provider}/{last}?k=50", "lists")
+        for provider in degraded
+    ]
+    for i in range(max(0, count - len(script))):
+        slot = i % 6
+        if slot in (0, 3):
+            provider = degraded[(i // 6 + slot) % len(degraded)]
+            path = f"/v1/lists/{provider}/{i % days}?k={ks[i % len(ks)]}"
+            script.append(_request(path, "lists"))
+        elif slot == 1:
+            provider = providers[(i // 6) % len(providers)]
+            path = f"/v1/lists/{provider}/{(i // 2) % days}?k={ks[i % len(ks)]}"
+            script.append(_request(path, "lists"))
+        elif slot == 2:
+            provider = degraded[(i // 6) % len(degraded)]
+            script.append(
+                _request(f"/v1/lists/{provider}/stability?k=50",
+                         "lists-stability")
+            )
+        elif slot == 4:
+            script.append(_request("/v1/lists", "lists-index"))
+        else:
+            script.append(_request("/healthz", "health"))
+    return script
+
+
+def write_data_plan(seed: int, out_dir: Path, n_days: int) -> Path:
+    """Write the serve child's data-only fault plan to a JSON file."""
+    plan = default_data_plan(seed, n_days, providers=DATA_PROVIDERS)
+    path = Path(out_dir) / "data_fault_plan.json"
+    path.write_text(
+        json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+@dataclass
+class ChaosDataOptions:
+    seed: int = 7
+    quick: bool = False
+    requests: Optional[int] = None  # override the quick/full script size
+    cache_dir: Optional[str] = None
+    jobs: int = 2
+    manifest_path: Optional[str] = None
+
+
+@dataclass
+class ChaosDataResult:
+    ok: bool
+    gates: List[GateResult]
+    digest: str
+    manifest: Dict[str, object]
+    manifest_path: Optional[str] = None
+    lines: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _gate(name: str, passed: bool, measured: float, threshold: float,
+          detail: str = "") -> GateResult:
+    return GateResult(
+        name=name, passed=passed, measured=measured,
+        threshold=threshold, detail=detail,
+    )
+
+
+def _get_json(host: str, port: int, path: str, timeout: float = 5.0) -> dict:
+    import http.client
+
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        payload = response.read()
+        if response.status != 200:
+            raise RuntimeError(f"GET {path} -> {response.status}")
+        return json.loads(payload)
+    finally:
+        connection.close()
+
+
+def _run_pipeline_proof(seed: int, quick: bool) -> Dict:
+    """The in-process stage: degraded-vs-batch equivalence proof."""
+    from repro.providers.registry import build_providers
+    from repro.worldgen.config import WorldConfig
+    from repro.worldgen.world import build_world
+
+    shape = _PIPELINE_QUICK if quick else _PIPELINE_FULL
+    config = WorldConfig(seed=seed, **shape)
+    world = build_world(config)
+    tranco = build_providers(world)["tranco"]
+    plan = default_data_plan(seed, config.n_days, providers=DATA_PROVIDERS)
+    from repro.ranking.degraded import proof_of_degraded_equivalence
+
+    proof = proof_of_degraded_equivalence(tranco, plan)
+    proof["config"] = {
+        "n_sites": config.n_sites, "n_days": config.n_days,
+        "tranco_window": config.tranco_window, "seed": seed,
+    }
+    return proof
+
+
+def run_chaos_data(options: ChaosDataOptions) -> ChaosDataResult:
+    """Run the degraded-data chaos gate end to end (blocking)."""
+    from repro.core.experiments import SPECS
+    from repro.loadgen import spawn as spawn_mod
+    from repro.qa.goldens import GOLDEN_CONFIG
+    from repro.store import default_cache_dir
+
+    config = GOLDEN_CONFIG
+    cache_dir = options.cache_dir or str(default_cache_dir())
+    names = sorted(SPECS)
+    count = options.requests or (
+        _QUICK_REQUESTS if options.quick else _FULL_REQUESTS
+    )
+
+    print(f"[chaos-data: pipeline proof, seed {options.seed}, "
+          f"{'quick' if options.quick else 'full'} world]")
+    proof = _run_pipeline_proof(options.seed, options.quick)
+
+    print(f"[chaos-data: ensuring {len(names)} result(s) in {cache_dir}]")
+    failures = spawn_mod.ensure_results(
+        names, config, cache_dir, jobs=options.jobs
+    )
+    if failures:
+        raise RuntimeError(
+            f"could not populate results: {', '.join(failures)}"
+        )
+
+    scratch = tempfile.mkdtemp(prefix="repro-chaosdata-")
+    # Data faults own the error budget: the child gets *only* the data
+    # plan (no store chaos, no transport chaos), so any non-200 in the
+    # script is a real serving bug, not absorbed noise.
+    data_plan_path = write_data_plan(
+        options.seed, Path(scratch), config.n_days
+    )
+    armed_sites = sorted(DATA_SITES)
+    access_log = f"{scratch}/serve_access.log"
+    child_port = spawn_mod.free_port()
+    command = spawn_mod.serve_command(
+        port=child_port,
+        cache_dir=cache_dir,
+        quick=True,
+        jobs=2,
+        queue_depth=4,
+        deadline_ms=5000.0,
+        breaker_cooldown=0.4,
+        fault_plan=data_plan_path,
+        access_log=access_log,
+    )
+    server = spawn_mod.SpawnedServer(command, "127.0.0.1", child_port)
+    print(f"[chaos-data: serve child on port {child_port}; warming...]")
+    server.start()
+
+    drain_code: Optional[int] = None
+    data_metrics: Dict[str, object] = {}
+    try:
+        server.wait_ready()
+        catalog = discover_catalog("127.0.0.1", child_port)
+        script = build_data_script(catalog, count)
+        print(f"[chaos-data: driving {len(script)} scripted requests, "
+              f"seed {options.seed}, {len(armed_sites)} armed data sites]")
+        tracer = obs.Tracer("chaos-data")
+        engine = LoadEngine(
+            "127.0.0.1", child_port, catalog, options.seed,
+            expectations={},
+            tracer=tracer,
+            policy=RetryPolicy(
+                max_attempts=4, base_delay=0.05, multiplier=2.0,
+                max_delay=0.4,
+            ),
+            timeout=6.0,
+            keepalive=False,
+        )
+        persona = DataScriptPersona("datachaos-driver", options.seed, catalog)
+        phase = engine.run_script("chaos-data", persona, script)
+        metricz = _get_json("127.0.0.1", child_port, "/metricz")
+        data_metrics = metricz.get("data", {}) or {}
+    finally:
+        drain_code = server.stop()
+
+    fired = dict(data_metrics.get("fired") or {})
+    serve_digest = data_metrics.get("digest")
+    serve_replay = data_metrics.get("replay_digest")
+    missing = [site for site in armed_sites if not fired.get(site)]
+    pipeline_digest = proof["fault_digest"]
+    digest = f"{pipeline_digest}/{serve_digest}"
+
+    gates = [
+        _gate(
+            "pipeline_equivalence",
+            bool(proof["identical"] and proof["clean_days_identical"]),
+            float(len(proof["mismatched_days"])
+                  + len(proof["clean_mismatched_days"])),
+            0.0,
+            f"{proof['days_checked']} days vs batch recompute "
+            f"({len(proof['degraded_days'])} degraded)",
+        ),
+        _gate(
+            "pipeline_marking",
+            bool(proof["marking_consistent"]),
+            float(len(proof["marking_error_days"])),
+            0.0,
+            "degraded iff window holds a non-clean cell",
+        ),
+        _gate(
+            "pipeline_sites_fired",
+            bool(proof["all_armed_sites_fired"]),
+            float(len(proof["sites_fired"])),
+            float(len(proof["armed_sites"])),
+            "pipeline stage fired: " + ", ".join(
+                f"{s}={n}" for s, n in sorted(proof["sites_fired"].items())
+            ),
+        ),
+        _gate(
+            "pipeline_digest_replay",
+            bool(proof["digest_match"]),
+            1.0 if proof["digest_match"] else 0.0, 1.0,
+            f"{pipeline_digest[:16]}.. replays in-run",
+        ),
+        _gate(
+            "serve_sites_fired",
+            not missing,
+            float(len(armed_sites) - len(missing)),
+            float(len(armed_sites)),
+            "all armed data sites fired at the child" if not missing
+            else f"never fired: {', '.join(missing)}",
+        ),
+        _gate(
+            "serve_health_marked",
+            persona.health_bodies > 0 and persona.degraded_seen > 0,
+            float(persona.degraded_seen),
+            1.0,
+            f"{persona.health_bodies} list bodies carried data_health, "
+            f"{persona.degraded_seen} degraded",
+        ),
+        _gate(
+            "availability",
+            phase.availability >= CHAOS_DATA_AVAILABILITY_FLOOR,
+            phase.availability,
+            CHAOS_DATA_AVAILABILITY_FLOOR,
+            f"{phase.requests} requests, "
+            f"{phase.by_outcome['ok'] + phase.by_outcome['not_modified']} good",
+        ),
+        _gate(
+            "serve_digest_replay",
+            bool(serve_digest) and serve_digest == serve_replay,
+            1.0 if (serve_digest and serve_digest == serve_replay) else 0.0,
+            1.0,
+            f"observed {str(serve_digest)[:16]}.. vs replayed "
+            f"{str(serve_replay)[:16]}..",
+        ),
+        _gate(
+            "drain", drain_code == 0, float(drain_code or 0), 0.0,
+            "child exited clean on SIGTERM",
+        ),
+    ]
+    ok = all(gate.passed for gate in gates)
+
+    manifest: Dict[str, object] = {
+        "seed": options.seed,
+        "quick": options.quick,
+        "requests": count,
+        "pipeline": {
+            key: proof[key] for key in (
+                "config", "window", "days_checked", "identical",
+                "marking_consistent", "clean_days", "degraded_days",
+                "armed_sites", "sites_fired", "fault_digest",
+                "replay_digest", "digest_match", "ok",
+            )
+        },
+        "serve": {
+            "command": command,
+            "fault_plan": str(data_plan_path),
+            "access_log": access_log,
+            "drain_exit_code": drain_code,
+            "data": data_metrics,
+        },
+        "script": {
+            "health_bodies": persona.health_bodies,
+            "degraded_seen": persona.degraded_seen,
+            "statuses": dict(sorted(persona.statuses.items())),
+        },
+        "phase": {
+            "requests": phase.requests,
+            "attempts": phase.attempts,
+            "availability": round(phase.availability, 6),
+            "error_rate": round(phase.error_rate, 6),
+            "by_outcome": {
+                kind: n for kind, n in phase.by_outcome.items() if n
+            },
+        },
+        "client": engine.client_stats.to_dict(),
+        "fault_digest": digest,
+        "gates": [gate.to_dict() for gate in gates],
+        "ok": ok,
+    }
+
+    manifest_path = options.manifest_path
+    if manifest_path:
+        path = Path(manifest_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"chaos-data seed {options.seed}: {proof['days_checked']} pipeline "
+        f"days proved, {phase.requests} scripted requests at the child",
+        "pipeline fires: " + (
+            ", ".join(f"{s}={n}"
+                      for s, n in sorted(proof["sites_fired"].items()))
+            or "none"
+        ),
+        "serve fires: " + (
+            ", ".join(f"{s}={n}" for s, n in sorted(fired.items()))
+            or "none"
+        ),
+        "list health statuses: " + (
+            ", ".join(f"{s}={n}"
+                      for s, n in sorted(persona.statuses.items()))
+            or "none"
+        ),
+        "outcomes: " + ", ".join(
+            f"{kind}={n}" for kind, n in sorted(phase.by_outcome.items()) if n
+        ),
+        f"fault digest: {digest}",
+    ]
+    for gate in gates:
+        status = "PASS" if gate.passed else "FAIL"
+        lines.append(
+            f"  [{status}] {gate.name}: {gate.measured:g} "
+            f"(threshold {gate.threshold:g}) {gate.detail}"
+        )
+    if manifest_path:
+        lines.append(f"manifest: {manifest_path}")
+    return ChaosDataResult(
+        ok=ok, gates=gates, digest=digest, manifest=manifest,
+        manifest_path=manifest_path, lines=lines,
+    )

@@ -48,6 +48,7 @@ __all__ = [
     "make_persona",
     "parse_mix",
     "roster",
+    "validate_data_health",
 ]
 
 #: Persona kinds in mix-spec order; also the default mix weights.
@@ -60,6 +61,42 @@ SCHEDULE_DIGEST_PREFIX = 64
 
 #: k values a dashboard panel can ask for (mirrors common UI presets).
 _K_MENU = (10, 25, 50, 100, 250, 500)
+
+#: Per-provider resolutions a list body's ``data_health`` may report.
+_DATA_HEALTH_STATUSES = (
+    "clean", "repaired", "carried_forward", "unrecoverable", "retired",
+)
+
+
+def validate_data_health(health: object) -> Optional[str]:
+    """Shape-check a list body's ``data_health`` block.
+
+    Returns an error string (None when valid).  Shared between the
+    dashboard persona and the chaos-data driver: a server running under
+    data chaos must never emit a half-formed health block, because
+    consumers key cache and alerting decisions off it.
+    """
+    if not isinstance(health, dict):
+        return f"data_health must be an object, got {type(health).__name__}"
+    degraded = health.get("degraded")
+    if not isinstance(degraded, bool):
+        return f"data_health.degraded must be a boolean, got {degraded!r}"
+    status = health.get("status")
+    if status not in _DATA_HEALTH_STATUSES:
+        return f"data_health.status invalid: {status!r}"
+    if status == "clean" and degraded:
+        return "data_health says degraded but status is clean"
+    if status != "clean" and not degraded:
+        return f"data_health.status {status!r} but degraded is false"
+    staleness = health.get("staleness")
+    if not isinstance(staleness, int) or isinstance(staleness, bool) or staleness < 0:
+        return f"data_health.staleness must be a non-negative int, got {staleness!r}"
+    if status in ("carried_forward", "unrecoverable", "retired") and staleness < 1:
+        return f"data_health.status {status!r} requires staleness >= 1"
+    for key in ("reasons", "repairs"):
+        if not isinstance(health.get(key), list):
+            return f"data_health.{key} missing or not a list"
+    return None
 
 
 class HashStream:
@@ -304,6 +341,12 @@ class DashboardPoller(Persona):
             return f"count {count!r} != len(names) {len(names)}"
         if count > k:
             return f"count {count} exceeds requested k {k}"
+        health = body.get("data_health")
+        if health is not None:
+            # Only present when the server runs under data chaos; a
+            # wallboard must reject a half-formed health block rather
+            # than render stale ranks as fresh.
+            return validate_data_health(health)
         return None
 
     def _validate_diff(self, request: PlannedRequest, body: dict) -> Optional[str]:

@@ -21,7 +21,31 @@ from repro.providers.base import Granularity, RankedList, TopListProvider
 from repro.traffic.fastpath import TrafficModel
 from repro.worldgen.world import World
 
-__all__ = ["TrancoProvider", "dowdall_scores"]
+__all__ = ["TrancoProvider", "dowdall_scores", "site_rank_vector"]
+
+
+def site_rank_vector(world: World, name_rows: Sequence[int]) -> np.ndarray:
+    """Best 1-based rank per site for one published list (0 = absent).
+
+    Folds name-table rows to registrable domains first (infrastructure
+    names, ``site < 0``, contribute nothing) and keeps the best-ranked
+    occurrence of each site — the same folding the batch Tranco path
+    applies to its components.  The degraded-ingestion layer reuses this
+    so a repaired or truncated day aggregates exactly like a clean one.
+    """
+    rows = np.asarray(name_rows, dtype=np.int64)
+    sites = world.names.site[rows]
+    ranks = np.zeros(world.n_sites, dtype=np.float64)
+    position = np.arange(1, len(sites) + 1, dtype=np.float64)
+    owned = sites >= 0
+    site_ids = sites[owned]
+    pos = position[owned]
+    first = np.zeros(world.n_sites, dtype=bool)
+    for site, rank in zip(site_ids, pos):
+        if not first[site]:
+            first[site] = True
+            ranks[site] = rank
+    return ranks
 
 
 def dowdall_scores(rank_vectors: Sequence[np.ndarray], n_sites: int) -> np.ndarray:
@@ -79,18 +103,7 @@ class TrancoProvider(TopListProvider):
         if cached is not None:
             return cached
         ranked = provider.daily_list(day)
-        sites = self._world.names.site[ranked.name_rows]
-        ranks = np.zeros(self._world.n_sites, dtype=np.float64)
-        # First (best-ranked) occurrence of each site wins.
-        position = np.arange(1, len(sites) + 1, dtype=np.float64)
-        owned = sites >= 0
-        site_ids = sites[owned]
-        pos = position[owned]
-        first = np.zeros(self._world.n_sites, dtype=bool)
-        for site, rank in zip(site_ids, pos):
-            if not first[site]:
-                first[site] = True
-                ranks[site] = rank
+        ranks = site_rank_vector(self._world, ranked.name_rows)
         self._rank_cache[key] = ranks
         return ranks
 

@@ -23,21 +23,50 @@ computed incrementally as each day lands (:class:`StabilityTracker`).
 snapshots (strong ETags + ``If-None-Match``), rank diffs
 (``/v1/lists/<provider>/diff``) and churn surfaces
 (``/v1/lists/<provider>/stability``).
+
+Because real providers are messy (the paper's core premise — and Alexa
+retired mid-study), the pipeline also has a degraded twin: days arrive
+through a fault-armed :class:`DegradedFeed`, each component's
+:class:`IngestGate` classifies them clean / repaired / quarantined
+against its :class:`ProviderContract`, gaps resolve by bounded
+carry-forward or window-shrink re-normalization
+(:func:`gap_dowdall_scores`), and every emission carries a
+``data_health`` block.  :func:`proof_of_degraded_equivalence` holds the
+degraded stream to the same bit-identity bar as the clean one.
 """
 
+from repro.ranking.degraded import DegradedTranco, proof_of_degraded_equivalence
 from repro.ranking.incremental import (
     ContinuousTranco,
     RollingDowdall,
+    gap_dowdall_scores,
     proof_of_equivalence,
+)
+from repro.ranking.ingest import (
+    DegradedFeed,
+    GapPolicy,
+    IngestGate,
+    ProviderContract,
+    ProviderStream,
+    contract_for,
 )
 from repro.ranking.snapshots import diff_ranked, snapshot_doc, snapshot_etag
 from repro.ranking.stability import StabilityTracker
 
 __all__ = [
     "ContinuousTranco",
+    "DegradedFeed",
+    "DegradedTranco",
+    "GapPolicy",
+    "IngestGate",
+    "ProviderContract",
+    "ProviderStream",
     "RollingDowdall",
     "StabilityTracker",
+    "contract_for",
     "diff_ranked",
+    "gap_dowdall_scores",
+    "proof_of_degraded_equivalence",
     "proof_of_equivalence",
     "snapshot_doc",
     "snapshot_etag",

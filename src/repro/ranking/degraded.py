@@ -1,0 +1,267 @@
+"""Gap-tolerant continuous Tranco over a degraded provider feed.
+
+The degraded twin of :class:`repro.ranking.incremental.ContinuousTranco`:
+component days arrive through a :class:`~repro.ranking.ingest.DegradedFeed`
+(so they can be missing, repeated, truncated, duplicated, drifted, or
+retired), pass each component's :class:`~repro.ranking.ingest.IngestGate`,
+and fold into a :class:`~repro.ranking.incremental.RollingDowdall` that
+understands unrecoverable holes.  Every emitted snapshot carries a
+``data_health`` block computed from the ingest ledger — a degraded day
+can never share bytes (or an ETag) with a clean one.
+
+:func:`proof_of_degraded_equivalence` is the acceptance check: the
+rolling emission must be bit-identical to a batch recompute over the
+*same degraded input* (the ledger's resolved cells), every day whose
+window holds a non-clean cell must be explicitly marked, days whose
+window is entirely clean must match the undegraded batch pipeline
+bit-for-bit, and the fault-sequence digest must equal its in-run replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.plan import DATA_SITES, FaultPlan
+from repro.providers.base import RankedList
+from repro.providers.tranco import TrancoProvider, site_rank_vector
+from repro.ranking.incremental import RollingDowdall, gap_dowdall_scores
+from repro.ranking.ingest import (
+    DegradedFeed,
+    GapPolicy,
+    IngestGate,
+    contract_for,
+)
+from repro.ranking.snapshots import canonical_bytes, snapshot_doc
+
+__all__ = ["DegradedTranco", "proof_of_degraded_equivalence"]
+
+
+class DegradedTranco:
+    """Streams a Tranco aggregation over fault-degraded component feeds."""
+
+    def __init__(
+        self,
+        tranco: TrancoProvider,
+        plan: Optional[FaultPlan],
+        policy: Optional[GapPolicy] = None,
+        feed: Optional[DegradedFeed] = None,
+    ) -> None:
+        self._tranco = tranco
+        world = tranco.world
+        self._world = world
+        self.policy = policy or GapPolicy()
+        self.feed = feed if feed is not None else DegradedFeed(
+            {c.name: c for c in tranco.components}, plan
+        )
+        self.gates: Dict[str, IngestGate] = {
+            c.name: IngestGate(
+                contract_for(c, world,
+                             truncation_floor=self.policy.truncation_floor),
+                self.policy,
+            )
+            for c in tranco.components
+        }
+        self._rolling = RollingDowdall(
+            n_sites=world.n_sites,
+            window=world.config.tranco_window,
+            n_components=len(tranco.components),
+        )
+        #: (component name, day) -> resolved rank vector or None (hole).
+        #: This ledger of cells *is* the degraded input the batch twin
+        #: recomputes from.
+        self.cells: Dict[Tuple[str, int], Optional[np.ndarray]] = {}
+        self._next_day = 0
+
+    @property
+    def next_day(self) -> int:
+        return self._next_day
+
+    @property
+    def component_names(self) -> List[str]:
+        return [c.name for c in self._tranco.components]
+
+    def advance(self) -> Tuple[RankedList, Dict]:
+        """Ingest the next day for every component and emit its list."""
+        day = self._next_day
+        vectors: List[Optional[np.ndarray]] = []
+        for component in self._tranco.components:
+            doc, injected = self.feed.fetch(component.name, day)
+            record = self.gates[component.name].ingest(
+                day, doc, injected=injected
+            )
+            if record.rows is not None:
+                vector: Optional[np.ndarray] = site_rank_vector(
+                    self._world, record.rows
+                )
+            else:
+                vector = None
+            self.cells[(component.name, day)] = vector
+            vectors.append(vector)
+        self._rolling.fold_in(day, vectors)
+        self._next_day = day + 1
+        ranked = self._tranco.assemble_scores(self._rolling.scores(), day)
+        return ranked, self.window_health(day)
+
+    def window_health(self, day: int) -> Dict:
+        """The ``data_health`` block for the emission of ``day``.
+
+        A pure function of the ingest ledger over the aggregation window,
+        so the batch twin reproduces it from the same records.
+        """
+        window = list(self._tranco.window_days(day))
+        components: Dict[str, Dict] = {}
+        counts = {"clean": 0, "repaired": 0, "carried_forward": 0,
+                  "unrecoverable": 0, "retired": 0}
+        for name in self.component_names:
+            gate = self.gates[name]
+            in_window = [gate.records[d] for d in window]
+            today = in_window[-1]
+            window_counts: Dict[str, int] = {}
+            for record in in_window:
+                window_counts[record.resolution] = (
+                    window_counts.get(record.resolution, 0) + 1
+                )
+                counts[record.resolution] += 1
+            components[name] = {
+                "status": today.resolution,
+                "staleness": today.staleness,
+                "retired": gate.retired_at is not None,
+                "window": window_counts,
+            }
+        degraded = (counts["repaired"] + counts["carried_forward"]
+                    + counts["unrecoverable"] + counts["retired"]) > 0
+        quarantined_total = sum(
+            1 for gate in self.gates.values()
+            for record in gate.records if record.status == "quarantined"
+        )
+        return {
+            "degraded": degraded,
+            "window_days": [window[0], window[-1]],
+            "cells": counts,
+            "quarantined_total": quarantined_total,
+            "components": components,
+        }
+
+
+def proof_of_degraded_equivalence(
+    tranco: TrancoProvider,
+    plan: FaultPlan,
+    *,
+    days: Optional[Sequence[int]] = None,
+    k: Optional[int] = None,
+    policy: Optional[GapPolicy] = None,
+) -> Dict:
+    """Prove (or refute) the degraded-pipeline invariants.
+
+    Runs :class:`DegradedTranco` from day 0 through the last requested
+    day and checks, per requested day:
+
+    * **equivalence** — raw score bits, ranked rows, and canonical
+      snapshot bytes (``data_health`` included) match a batch recompute
+      over the ledger's resolved cells for the same window;
+    * **marking** — ``data_health.degraded`` is True exactly when the
+      window holds a non-clean cell (zero silent corruption);
+    * **clean-path identity** — days whose window is entirely clean are
+      bit-identical to the undegraded batch ``daily_list``.
+
+    Plus, per run: every armed ``data.*`` site fired, and the feed's
+    fault-sequence digest equals its in-run replay.
+    """
+    world = tranco.world
+    if days is None:
+        days = range(world.config.n_days)
+    wanted = sorted(set(int(d) for d in days))
+    if not wanted:
+        raise ValueError("no days to verify")
+    if wanted[0] < 0:
+        raise ValueError("days must be >= 0")
+    pipeline = DegradedTranco(tranco, plan, policy=policy)
+    names = pipeline.component_names
+    checked: List[Dict] = []
+    mismatches: List[int] = []
+    marking_errors: List[int] = []
+    clean_mismatches: List[int] = []
+    degraded_days: List[int] = []
+    clean_days: List[int] = []
+    for day in range(wanted[-1] + 1):
+        ranked, health = pipeline.advance()
+        if day not in wanted:
+            continue
+        window = list(tranco.window_days(day))
+        cells = [
+            [pipeline.cells[(name, d)] for d in window] for name in names
+        ]
+        batch_scores = gap_dowdall_scores(cells, world.n_sites)
+        batch_ranked = tranco.assemble_scores(batch_scores, day)
+        batch_health = pipeline.window_health(day)
+        rolling_scores = pipeline._rolling.scores()
+        inc_doc = snapshot_doc(ranked, world, k=k, data_health=health)
+        batch_doc = snapshot_doc(batch_ranked, world, k=k,
+                                 data_health=batch_health)
+        inc_bytes = canonical_bytes(inc_doc)
+        batch_bytes = canonical_bytes(batch_doc)
+        window_clean = all(
+            pipeline.gates[name].records[d].resolution == "clean"
+            for name in names for d in window
+        )
+        entry = {
+            "day": day,
+            "scores_identical":
+                rolling_scores.tobytes() == batch_scores.tobytes(),
+            "ranks_identical":
+                np.array_equal(ranked.name_rows, batch_ranked.name_rows),
+            "snapshot_identical": inc_bytes == batch_bytes,
+            "sha256": hashlib.sha256(inc_bytes).hexdigest(),
+            "degraded": health["degraded"],
+            "window_clean": window_clean,
+        }
+        if not (entry["scores_identical"] and entry["ranks_identical"]
+                and entry["snapshot_identical"]):
+            mismatches.append(day)
+        # Zero silent corruption: marked if and only if the window holds
+        # a non-clean cell, checked from the ledger, not from the block.
+        if health["degraded"] == window_clean:
+            marking_errors.append(day)
+        if window_clean:
+            clean_days.append(day)
+            batch_clean = tranco.daily_list(day)
+            if not np.array_equal(ranked.name_rows, batch_clean.name_rows):
+                clean_mismatches.append(day)
+                entry["clean_identical"] = False
+            else:
+                entry["clean_identical"] = True
+        else:
+            degraded_days.append(day)
+        checked.append(entry)
+    armed = sorted(
+        {rule.site for rule in plan.rules if rule.site in DATA_SITES}
+    )
+    fired = pipeline.feed.fired_sites()
+    digest = pipeline.feed.fault_digest()
+    replay = pipeline.feed.replay_digest()
+    return {
+        "provider": tranco.name,
+        "window": world.config.tranco_window,
+        "days_checked": len(checked),
+        "identical": not mismatches,
+        "mismatched_days": mismatches,
+        "marking_consistent": not marking_errors,
+        "marking_error_days": marking_errors,
+        "clean_days": clean_days,
+        "clean_days_identical": not clean_mismatches,
+        "clean_mismatched_days": clean_mismatches,
+        "degraded_days": degraded_days,
+        "armed_sites": armed,
+        "sites_fired": fired,
+        "all_armed_sites_fired": all(site in fired for site in armed),
+        "fault_digest": digest,
+        "replay_digest": replay,
+        "digest_match": digest == replay,
+        "ok": (not mismatches and not marking_errors
+               and not clean_mismatches and digest == replay
+               and all(site in fired for site in armed)),
+        "days": checked,
+    }

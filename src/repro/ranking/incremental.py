@@ -33,7 +33,58 @@ from repro.providers.base import RankedList
 from repro.providers.tranco import TrancoProvider, dowdall_scores
 from repro.ranking.snapshots import snapshot_doc
 
-__all__ = ["ContinuousTranco", "RollingDowdall", "proof_of_equivalence"]
+__all__ = [
+    "ContinuousTranco",
+    "RollingDowdall",
+    "gap_dowdall_scores",
+    "proof_of_equivalence",
+]
+
+
+def gap_dowdall_scores(
+    cells: Sequence[Sequence[Optional[np.ndarray]]], n_sites: int
+) -> np.ndarray:
+    """Dowdall aggregation over a window with unrecoverable holes.
+
+    Args:
+        cells: per component, the window's rank vectors in day-ascending
+          order, with ``None`` marking a day that could not be recovered
+          (quarantined past the carry-forward bound, or retired).
+        n_sites: universe size.
+
+    A complete window takes the exact flat batch order (components outer,
+    days ascending inner) — the same float additions as
+    :func:`repro.providers.tranco.dowdall_scores` on the clean path, so
+    clean-window emissions stay bit-identical to the undegraded pipeline.
+    A window with holes switches to per-component accumulation with
+    window-shrink re-normalization: each component's partial sum is
+    scaled by ``window_days / present_days`` so a component that skipped
+    a day is not structurally outranked by complete components, and a
+    fully-absent (retired) component simply contributes nothing — the
+    surviving components' mutual ordering is untouched.  Both the rolling
+    emitter and the batch twin call this one function, so degraded
+    equivalence is still an identical-float-program property.
+    """
+    if not cells:
+        raise ValueError("need at least one component")
+    expected = len(cells[0])
+    if any(len(comp) != expected for comp in cells):
+        raise ValueError("all components must cover the same window days")
+    if expected == 0:
+        raise ValueError("empty window")
+    if all(v is not None for comp in cells for v in comp):
+        flat = [v for comp in cells for v in comp]
+        return dowdall_scores(flat, n_sites)
+    total = np.zeros(n_sites)
+    for comp in cells:
+        present = [v for v in comp if v is not None]
+        if not present:
+            continue
+        scores = dowdall_scores(present, n_sites)
+        if len(present) < expected:
+            scores = scores * (float(expected) / float(len(present)))
+        total = total + scores
+    return total
 
 
 class RollingDowdall:
@@ -67,12 +118,17 @@ class RollingDowdall:
         """The days currently inside the window, ascending."""
         return list(self._days)
 
-    def fold_in(self, day: int, component_ranks: Sequence[np.ndarray]) -> None:
+    def fold_in(
+        self, day: int, component_ranks: Sequence[Optional[np.ndarray]]
+    ) -> None:
         """Fold day ``day``'s component rank vectors into the window,
         evicting any day older than ``day - window + 1``.
 
         Days must arrive consecutively (each call one day after the
-        previous), matching how provider updates land.
+        previous), matching how provider updates land.  A ``None`` entry
+        records an unrecoverable hole for that component-day — a day the
+        ingestion layer quarantined past its carry-forward bound, or a
+        retired provider; :meth:`scores` re-normalizes around holes.
         """
         if self._last_day is not None and day != self._last_day + 1:
             raise ValueError(
@@ -83,8 +139,11 @@ class RollingDowdall:
                 f"expected {self.n_components} component vectors, "
                 f"got {len(component_ranks)}"
             )
-        vectors = []
+        vectors: List[Optional[np.ndarray]] = []
         for ranks in component_ranks:
+            if ranks is None:
+                vectors.append(None)
+                continue
             arr = np.asarray(ranks, dtype=np.float64)
             if arr.shape != (self.n_sites,):
                 raise ValueError(
@@ -101,16 +160,28 @@ class RollingDowdall:
         """Dowdall scores over the current window, bit-identical to the
         batch recompute over the same days.
 
-        The cached vectors are replayed through :func:`dowdall_scores` in
-        canonical batch order — components outer, days ascending inner —
-        so every float addition happens in the order the batch path would
-        perform it.
+        A hole-free window replays the cached vectors through
+        :func:`dowdall_scores` in canonical batch order — components
+        outer, days ascending inner — so every float addition happens in
+        the order the batch path would perform it.  Windows with holes
+        take :func:`gap_dowdall_scores`' re-normalized per-component
+        path, which the degraded batch twin shares.
         """
         if not self._days:
             raise ValueError("no days folded in yet")
         days = list(self._days)
-        vectors = [self._days[d][c] for c in range(self.n_components) for d in days]
-        return dowdall_scores(vectors, self.n_sites)
+        cells = [
+            [self._days[d][c] for d in days] for c in range(self.n_components)
+        ]
+        return gap_dowdall_scores(cells, self.n_sites)
+
+    def window_cells(self) -> List[List[Optional[np.ndarray]]]:
+        """The current window's cached vectors, components outer, days
+        ascending inner — the exact input :meth:`scores` aggregates."""
+        days = list(self._days)
+        return [
+            [self._days[d][c] for d in days] for c in range(self.n_components)
+        ]
 
 
 class ContinuousTranco:

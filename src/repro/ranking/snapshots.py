@@ -37,12 +37,20 @@ def snapshot_doc(
     world: World,
     *,
     k: Optional[int] = None,
+    data_health: Optional[Dict] = None,
 ) -> Dict:
     """The canonical snapshot document for a ranked list (optionally its
-    top-``k`` slice)."""
+    top-``k`` slice).
+
+    ``data_health`` — when the list came through the degraded-ingestion
+    layer — is embedded in the document, so a degraded emission can never
+    share bytes (or an ETag) with a clean one: the marking is part of the
+    versioned identity, not response decoration.  Clean-pipeline
+    snapshots omit the key entirely, keeping their bytes unchanged.
+    """
     sliced = ranked.head(k) if k is not None else ranked
     bounds = sliced.bucket_bounds
-    return {
+    doc = {
         "provider": sliced.provider,
         "day": sliced.day,
         "granularity": sliced.granularity,
@@ -51,6 +59,9 @@ def snapshot_doc(
         "count": len(sliced),
         "names": sliced.strings(world),
     }
+    if data_health is not None:
+        doc["data_health"] = data_health
+    return doc
 
 
 def diff_ranked(

@@ -14,6 +14,13 @@ and it maintains
   weekend/weekday churn ratio, surfacing the weekly rhythm the paper's
   Figure 3 shows for DNS-derived lists.
 
+Days observed from the degraded-ingestion path can be flagged
+``degraded``: a carried-forward day is yesterday's list again, so its
+0.0 churn is an artifact of the outage, not evidence of stability.  The
+churn aggregates (mean churn, weekday buckets, the weekend ratio) skip
+flagged days; the raw per-day series keeps them, flagged, so a consumer
+can see exactly which samples were excluded and why.
+
 Memory is O(k): only the baseline set, the previous day's set, and the
 per-day scalar series are retained.
 """
@@ -40,6 +47,7 @@ class StabilityTracker:
         self.k = k
         self.churn: List[float] = []
         self.intersection: List[float] = []
+        self.degraded: List[bool] = []
         self._baseline: Optional[Set[str]] = None
         self._previous: Optional[Set[str]] = None
 
@@ -48,10 +56,37 @@ class StabilityTracker:
         """How many days have been folded in."""
         return len(self.churn)
 
-    def observe(self, names: Sequence[str]) -> None:
+    def observe(self, names: Sequence[str], degraded: bool = False) -> None:
         """Fold in the next day's list (rank order, day indices implicit
-        and consecutive from 0)."""
-        top = set(names[: self.k])
+        and consecutive from 0).
+
+        Args:
+            names: the day's list, rank order.  The top-``k`` prefix must
+              not contain duplicates — a list that ranks the same name
+              twice is malformed upstream data, and set-based churn over
+              it would silently understate list size.
+            degraded: flag the day as degraded / carried-forward; its
+              churn is recorded but excluded from the aggregates.
+
+        Raises:
+            ValueError: when the top-``k`` prefix contains a duplicate
+              name.
+        """
+        prefix = list(names[: self.k])
+        top = set(prefix)
+        if len(top) != len(prefix):
+            seen: Set[str] = set()
+            duplicate = ""
+            for name in prefix:
+                if name in seen:
+                    duplicate = name
+                    break
+                seen.add(name)
+            raise ValueError(
+                f"duplicate name {duplicate!r} in day "
+                f"{self.days_observed}'s top-{self.k}; lists must rank "
+                "each name at most once"
+            )
         if self._baseline is None:
             self._baseline = top
             self.churn.append(0.0)
@@ -65,11 +100,13 @@ class StabilityTracker:
                 self.intersection.append(overlap / len(self._baseline))
             else:
                 self.intersection.append(1.0)
+        self.degraded.append(bool(degraded))
         self._previous = top
 
     def weekday_summary(self, start_weekday: int) -> Dict:
         """Churn grouped by weekday (0=Monday), day 0 excluded since its
-        churn is undefined.
+        churn is undefined and degraded days excluded since their churn
+        measures the outage, not the list.
 
         Returns:
             dict with ``mean_churn`` per weekday name (None when no
@@ -79,6 +116,8 @@ class StabilityTracker:
         """
         buckets: List[List[float]] = [[] for _ in range(7)]
         for day in range(1, len(self.churn)):
+            if self.degraded[day]:
+                continue
             buckets[(start_weekday + day) % 7].append(self.churn[day])
         mean_churn = {
             _WEEKDAY_NAMES[i]: (sum(b) / len(b) if b else None)
@@ -96,7 +135,14 @@ class StabilityTracker:
 
     def summary(self, start_weekday: int = 0) -> Dict:
         """The full canonical-JSON-able stability report."""
-        churned = self.churn[1:]
+        churned = [
+            self.churn[day]
+            for day in range(1, len(self.churn))
+            if not self.degraded[day]
+        ]
+        degraded_days = [
+            day for day, flag in enumerate(self.degraded) if flag
+        ]
         return {
             "k": self.k,
             "days": self.days_observed,
@@ -104,5 +150,6 @@ class StabilityTracker:
             "intersection_decay": list(self.intersection),
             "mean_churn": (sum(churned) / len(churned)) if churned else 0.0,
             "min_intersection": min(self.intersection) if self.intersection else None,
+            "degraded_days": degraded_days,
             "weekday": self.weekday_summary(start_weekday),
         }

@@ -90,6 +90,8 @@ from repro import obs
 from repro.core.experiments import SPECS
 from repro.core.pipeline import ExperimentContext, experiment_context
 from repro.faults import inject as faults
+from repro.faults.plan import DATA_SITES
+from repro.ranking.ingest import DegradedFeed, ProviderStream
 from repro.ranking.snapshots import diff_ranked, snapshot_doc
 from repro.ranking.stability import StabilityTracker
 from repro.serve.breaker import BreakerState, CircuitBreaker, LastKnownGood
@@ -346,6 +348,15 @@ class MetricsService:
         self._ctx_lock = threading.Lock()
         self._lists_lock = threading.Lock()
         self._lists: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
+        # Degraded-ingestion state (active only when the armed fault plan
+        # contains data.* rules): one shared feed so the fault log and
+        # its digest span providers, one sequential stream per provider.
+        # All resolution happens under one lock — the streams resolve
+        # days strictly in order, which is what keeps every data.* fault
+        # decision independent of request interleaving.
+        self._data_lock = threading.Lock()
+        self._data_feed: Optional[DegradedFeed] = None
+        self._data_streams: Dict[str, ProviderStream] = {}
         # Conditional-GET state: response ETags by cache key (checked
         # before any store read or list computation — the 304 fast path),
         # snapshot versions by (provider, day), and finished stability
@@ -497,7 +508,49 @@ class MetricsService:
                     self._ctx.artifact("providers")
             return self._ctx
 
+    def _data_chaos_armed(self) -> bool:
+        """True when the active fault plan carries ``data.*`` rules (or a
+        degraded feed has already been built for this service)."""
+        if self._data_feed is not None:
+            return True
+        plan = faults.active_plan()
+        return plan is not None and any(
+            rule.site in DATA_SITES for rule in plan.rules
+        )
+
+    def _data_resolve(self, provider: str, day: int):
+        """``(ranked, data_health)`` through the degraded-ingestion
+        layer, or None when no data chaos is armed.
+
+        Streams resolve days sequentially with memoization, so request
+        order never changes which ``data.*`` keys are consulted — only
+        when.  The degraded path replaces the ranked LRU entirely: its
+        memoization is per-stream and already bounded by ``n_days``.
+        """
+        if not self._data_chaos_armed():
+            return None
+        ctx = self._context()
+        with self._data_lock:
+            if self._data_feed is None:
+                self._data_feed = DegradedFeed(
+                    dict(ctx.providers), faults.active_plan()
+                )
+            stream = self._data_streams.get(provider)
+            if stream is None:
+                stream = ProviderStream(
+                    ctx.providers[provider], ctx.world, self._data_feed
+                )
+                self._data_streams[provider] = stream
+            return stream.resolve(day)
+
+    def _data_health(self, provider: str, day: int) -> Optional[Dict]:
+        resolved = self._data_resolve(provider, day)
+        return None if resolved is None else resolved[1]
+
     def _ranked(self, provider: str, day: int):
+        resolved = self._data_resolve(provider, day)
+        if resolved is not None:
+            return resolved[0]
         key = (provider, day)
         with self._lists_lock:
             cached = self._lists.get(key)
@@ -1007,6 +1060,7 @@ class MetricsService:
             "default_k": self.settings.default_k,
             "max_k": self.settings.max_k,
             "config_key": self._cfg_key,
+            "data_chaos": self._data_chaos_armed(),
         })
         return 200, body, self._body_headers(body, {}), "lists-index"
 
@@ -1069,10 +1123,15 @@ class MetricsService:
         if time.perf_counter() >= deadline:
             body, headers = self._retry_error("deadline", "deadline exceeded")
             return 504, body, headers, "deadline"
-        ranked = self._ranked(provider, day)
-        version = self._list_version(provider, day, ranked)
+        resolved = self._data_resolve(provider, day)
+        if resolved is not None:
+            ranked, data_health = resolved
+        else:
+            ranked, data_health = self._ranked(provider, day), None
+        version = self._list_version(provider, day, ranked,
+                                     data_health=data_health)
         head = ranked.head(k)
-        body = _json_body({
+        doc = {
             "provider": provider,
             "day": day,
             "k": k,
@@ -1085,7 +1144,13 @@ class MetricsService:
             ),
             "count": len(head),
             "names": head.strings(ctx.world),
-        })
+        }
+        if data_health is not None:
+            # A degraded day must never share bytes (or an ETag) with a
+            # clean serving of the same list: the marking is part of the
+            # representation, not response decoration.
+            doc["data_health"] = data_health
+        body = _json_body(doc)
         etag = _etag_of(body)
         self._remember_etag(cache_key, etag)
         return 200, body, {"ETag": etag}, "lists"
@@ -1178,13 +1243,34 @@ class MetricsService:
             body, etag = cached
             return 200, body, {"ETag": etag}, "lists-stability"
         tracker = StabilityTracker(k)
+        degraded_statuses: Dict[str, int] = {}
         for day in range(self.config.n_days):
             if time.perf_counter() >= deadline:
                 body, headers = self._retry_error("deadline", "deadline exceeded")
                 return 504, body, headers, "deadline"
-            tracker.observe(self._ranked(provider, day).head(k).strings(ctx.world))
+            resolved = self._data_resolve(provider, day)
+            if resolved is not None:
+                ranked, health = resolved
+                degraded = bool(health.get("degraded"))
+                if degraded:
+                    status = str(health.get("status"))
+                    degraded_statuses[status] = (
+                        degraded_statuses.get(status, 0) + 1
+                    )
+            else:
+                ranked, degraded = self._ranked(provider, day), False
+            # Degraded days (carried-forward repeats especially) would
+            # read as zero churn; the tracker records them flagged and
+            # keeps them out of the churn aggregates.
+            tracker.observe(ranked.head(k).strings(ctx.world),
+                            degraded=degraded)
         doc = {"provider": provider, "start_weekday": self.config.start_weekday}
         doc.update(tracker.summary(self.config.start_weekday))
+        if self._data_chaos_armed():
+            doc["data_health"] = {
+                "degraded_days": len(doc.get("degraded_days", [])),
+                "by_status": dict(sorted(degraded_statuses.items())),
+            }
         body = _json_body(doc)
         etag = _etag_of(body)
         with self._etag_lock:
@@ -1197,7 +1283,8 @@ class MetricsService:
     # ------------------------------------------------------------------
     # Conditional-GET plumbing.
 
-    def _list_version(self, provider: str, day: int, ranked: object) -> str:
+    def _list_version(self, provider: str, day: int, ranked: object,
+                      data_health: Optional[Dict] = None) -> str:
         """The snapshot version for (provider, day): the store checksum
         of the full persisted snapshot document.
 
@@ -1205,14 +1292,17 @@ class MetricsService:
         snapshot as a store artifact (``lists/<provider>/day-<d>``); the
         checksum the store records for it — identical to the sha256 of
         the canonical payload — becomes the version every ``?k=`` slice
-        of that snapshot reports.
+        of that snapshot reports.  Under data chaos the ``data_health``
+        block is part of the persisted snapshot, so a degraded day's
+        version can never collide with its clean twin.
         """
         key = (provider, day)
         with self._etag_lock:
             version = self._list_versions.get(key)
         if version is not None:
             return version
-        doc = snapshot_doc(ranked, self._context().world)  # type: ignore[arg-type]
+        doc = snapshot_doc(ranked, self._context().world,  # type: ignore[arg-type]
+                           data_health=data_health)
         payload = _json_body(doc)
         artifact = f"lists/{provider}/day-{day}"
         self.store.put_json(self._cfg_key, artifact, doc)
@@ -1325,7 +1415,32 @@ class MetricsService:
                 "quarantined": stats.quarantined,
                 "read_only": self.store.read_only,
             },
+            "data": self._data_metrics(),
             "counters": counters,
+        }
+
+    def _data_metrics(self) -> Dict[str, object]:
+        """The ``/metricz`` data-plane block: armed state, per-provider
+        ingest ledger counts, fired sites, and the fault-sequence digest
+        with its in-run replay (equality is the purity proof)."""
+        armed = self._data_chaos_armed()
+        if not armed or self._data_feed is None:
+            return {"armed": armed, "providers": {}, "fired": {},
+                    "digest": None, "replay_digest": None}
+        with self._data_lock:
+            providers = {
+                name: stream.counts()
+                for name, stream in sorted(self._data_streams.items())
+            }
+            fired = self._data_feed.fired_sites()
+            digest = self._data_feed.fault_digest()
+            replay = self._data_feed.replay_digest()
+        return {
+            "armed": True,
+            "providers": providers,
+            "fired": dict(sorted(fired.items())),
+            "digest": digest,
+            "replay_digest": replay,
         }
 
     # ------------------------------------------------------------------

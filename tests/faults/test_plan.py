@@ -7,10 +7,13 @@ import json
 import pytest
 
 from repro.faults import (
+    DATA_SITES,
     SITES,
     FaultPlan,
     FaultRule,
+    day_key,
     default_chaos_plan,
+    default_data_plan,
     default_net_plan,
     default_serve_plan,
 )
@@ -199,7 +202,7 @@ class TestDefaultChaosPlan:
         plan = default_chaos_plan(1337, self.NAMES)
         runner_sites = [s for s in SITES
                         if not s.startswith(("store.read.slow", "serve.",
-                                             "net."))]
+                                             "net.", "data."))]
         assert sorted(rule.site for rule in plan.rules) == sorted(runner_sites)
         assert plan.seed == 1337
 
@@ -207,10 +210,12 @@ class TestDefaultChaosPlan:
         chaos = default_chaos_plan(1337, self.NAMES)
         serve = default_serve_plan(1337)
         net = default_net_plan(1337)
+        data = default_data_plan(1337, 8)
         covered = (
             {r.site for r in chaos.rules}
             | {r.site for r in serve.rules}
             | {r.site for r in net.rules}
+            | {r.site for r in data.rules}
         )
         assert covered == set(SITES)
 
@@ -306,3 +311,55 @@ class TestDefaultServePlan:
             if r.site == "serve.request.error"
         ]
         assert default_rule.probability == 1.0
+
+
+class TestDataPlan:
+    def test_unknown_consult_site_names_the_valid_set(self):
+        plan = default_data_plan(7, 8)
+        with pytest.raises(ValueError, match="choose from"):
+            plan.fire("data.day.on_fire", day_key("alexa", 3))
+
+    def test_rule_errors_carry_the_rule_index(self):
+        doc = default_data_plan(7, 8).to_dict()
+        doc["rules"][2]["site"] = "nope"
+        with pytest.raises(ValueError, match=r"rule #2.*unknown fault site"):
+            FaultPlan.from_dict(doc)
+
+    def test_covers_every_data_site_and_only_data_sites(self):
+        plan = default_data_plan(7, 8)
+        armed = {rule.site for rule in plan.rules}
+        assert armed == set(DATA_SITES)
+
+    def test_pinned_fires_are_deterministic_per_seed(self):
+        a = default_data_plan(11, 12).to_dict()
+        b = default_data_plan(11, 12).to_dict()
+        assert a == b
+        assert a != default_data_plan(12, 12).to_dict()
+
+    def test_round_trips_through_json(self):
+        plan = default_data_plan(11, 12, truncate_fraction=0.3)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+        truncate = [r for r in clone.rules
+                    if r.site == "data.day.truncated" and r.fraction]
+        assert truncate and truncate[0].fraction == 0.3
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            FaultRule("data.day.truncated", fraction=0.0)
+        with pytest.raises(ValueError):
+            FaultRule("data.day.truncated", fraction=1.5)
+
+    def test_needs_enough_days_to_spread_the_pins(self):
+        with pytest.raises(ValueError):
+            default_data_plan(7, 5)
+
+    def test_day_zero_is_never_faulted(self):
+        # Day 0 bootstraps every provider contract (reference length,
+        # previous rows); the plan must leave it clean for all seeds.
+        from repro.ranking.ingest import decide_day
+
+        for seed in range(20):
+            plan = default_data_plan(seed, 12)
+            for provider in ("alexa", "umbrella", "majestic"):
+                assert decide_day(plan, provider, 0) == (None, None)

@@ -1,0 +1,153 @@
+"""The chaos-data driver pieces: script, persona validation, plan file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.plan import DATA_SITES, FaultPlan
+from repro.loadgen.datachaos import (
+    DATA_PROVIDERS,
+    DataScriptPersona,
+    build_data_script,
+    write_data_plan,
+)
+from repro.loadgen.personas import Catalog, PlannedRequest, validate_data_health
+
+_CATALOG = Catalog(
+    providers=("alexa", "umbrella", "majestic", "tranco"),
+    days=8, experiments=("dc1",),
+)
+
+
+def _request(path: str, kind: str) -> PlannedRequest:
+    return PlannedRequest(path=path, kind=kind, think_seconds=0.0,
+                         persona_id="t", conditional=False)
+
+
+def _health(**overrides):
+    health = {
+        "status": "clean", "degraded": False, "staleness": 0,
+        "reasons": [], "repairs": [], "injected": None,
+    }
+    health.update(overrides)
+    return health
+
+
+class TestBuildDataScript:
+    def test_is_deterministic(self):
+        assert build_data_script(_CATALOG, 60) == build_data_script(_CATALOG, 60)
+
+    def test_opens_by_fully_resolving_every_degraded_provider(self):
+        script = build_data_script(_CATALOG, 60)
+        opening = [r.path for r in script[: len(DATA_PROVIDERS)]]
+        for provider in DATA_PROVIDERS:
+            assert f"/v1/lists/{provider}/{_CATALOG.days - 1}?k=50" in opening
+
+    def test_shape_and_coverage(self):
+        script = build_data_script(_CATALOG, 60)
+        assert len(script) == 60
+        kinds = {r.kind for r in script}
+        assert kinds == {"lists", "lists-stability", "lists-index", "health"}
+        for provider in DATA_PROVIDERS:
+            assert any(f"/v1/lists/{provider}/stability" in r.path
+                       for r in script)
+        assert all(not r.conditional for r in script)
+
+    def test_degraded_providers_fall_back_to_catalog(self):
+        catalog = Catalog(providers=("tranco",), days=4, experiments=())
+        script = build_data_script(catalog, 20)
+        assert all("/tranco" in r.path or r.kind in ("lists-index", "health")
+                   for r in script)
+
+
+class TestValidateDataHealth:
+    def test_well_formed_block_passes(self):
+        assert validate_data_health(_health()) is None
+        assert validate_data_health(_health(
+            status="carried_forward", degraded=True, staleness=2,
+            reasons=["missing_day"],
+        )) is None
+
+    @pytest.mark.parametrize("mutant,needle", [
+        ({"status": "sideways"}, "status"),
+        ({"degraded": "yes"}, "degraded"),
+        ({"staleness": -1}, "staleness"),
+        ({"staleness": True}, "staleness"),
+        ({"reasons": None}, "reasons"),
+        ({"status": "repaired"}, "degraded"),
+    ])
+    def test_malformed_blocks_named(self, mutant, needle):
+        error = validate_data_health(_health(**mutant))
+        assert error is not None and needle in error
+
+    def test_degraded_clean_contradiction_rejected(self):
+        assert validate_data_health(_health(degraded=True)) is not None
+
+    def test_stale_statuses_require_staleness(self):
+        broken = _health(status="retired", degraded=True, staleness=0)
+        assert "staleness" in validate_data_health(broken)
+
+    def test_non_object_rejected(self):
+        assert validate_data_health("fine") is not None
+
+
+class TestDataScriptPersona:
+    def _persona(self):
+        return DataScriptPersona("t", 7, _CATALOG)
+
+    def test_list_body_must_carry_health(self):
+        persona = self._persona()
+        error = persona.validate(
+            _request("/v1/lists/alexa/3?k=10", "lists"),
+            {"provider": "alexa", "names": []},
+        )
+        assert error is not None and "data_health" in error
+
+    def test_counts_degraded_bodies(self):
+        persona = self._persona()
+        ok = persona.validate(
+            _request("/v1/lists/alexa/3?k=10", "lists"),
+            {"data_health": _health(status="repaired", degraded=True)},
+        )
+        assert ok is None
+        persona.validate(
+            _request("/v1/lists/alexa/4?k=10", "lists"),
+            {"data_health": _health()},
+        )
+        assert persona.health_bodies == 2
+        assert persona.degraded_seen == 1
+        assert persona.statuses == {"repaired": 1, "clean": 1}
+
+    def test_stability_body_must_summarize(self):
+        persona = self._persona()
+        good = {"data_health": {"degraded_days": 2, "by_status": {"repaired": 2}}}
+        assert persona.validate(
+            _request("/v1/lists/alexa/stability?k=50", "lists-stability"), good
+        ) is None
+        assert persona.validate(
+            _request("/v1/lists/alexa/stability?k=50", "lists-stability"), {}
+        ) is not None
+
+    def test_index_must_admit_chaos(self):
+        persona = self._persona()
+        assert persona.validate(
+            _request("/v1/lists", "lists-index"), {"data_chaos": True}
+        ) is None
+        assert persona.validate(
+            _request("/v1/lists", "lists-index"), {"providers": []}
+        ) is not None
+
+
+class TestWriteDataPlan:
+    def test_written_plan_loads_and_arms_every_data_site(self, tmp_path):
+        path = write_data_plan(11, tmp_path, 8)
+        plan = FaultPlan.from_dict(json.loads(path.read_text()))
+        assert {rule.site for rule in plan.rules} == set(DATA_SITES)
+        assert plan.seed == 11
+
+    def test_same_seed_same_bytes(self, tmp_path):
+        first = write_data_plan(11, tmp_path, 8).read_text()
+        second = write_data_plan(11, tmp_path, 8).read_text()
+        assert first == second

@@ -1,0 +1,142 @@
+"""Gap-tolerant rolling ranks: degraded-vs-batch bit-identity.
+
+Runs the degraded twin over the shared rolling world (window 3 over 6
+days, so every fault lands inside at least one full window roll) and
+holds it to the acceptance invariants: rolling == batch on the same
+degraded input, every non-clean window marked, clean windows identical
+to the undegraded pipeline, every armed site fired, digest replays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultRule, day_key, default_data_plan
+from repro.ranking import gap_dowdall_scores
+from repro.ranking.degraded import DegradedTranco, proof_of_degraded_equivalence
+from repro.providers.tranco import dowdall_scores
+
+
+def _vec(rng, n):
+    ranks = rng.permutation(n).astype(np.float64) + 1.0
+    ranks[rng.random_sample(n) < 0.3] = 0.0
+    return ranks
+
+
+class TestGapDowdall:
+    def test_complete_window_matches_flat_batch_bitwise(self):
+        rng = np.random.RandomState(3)
+        cells = [[_vec(rng, 50) for _ in range(4)] for _ in range(2)]
+        flat = [v for comp in cells for v in comp]
+        assert (gap_dowdall_scores(cells, 50).tobytes()
+                == dowdall_scores(flat, 50).tobytes())
+
+    def test_holes_rescale_by_expected_over_present(self):
+        rng = np.random.RandomState(4)
+        present = [_vec(rng, 50), _vec(rng, 50)]
+        cells = [[present[0], None, present[1]]]
+        expected = dowdall_scores(present, 50) * (3.0 / 2.0)
+        assert gap_dowdall_scores(cells, 50).tobytes() == expected.tobytes()
+
+    def test_fully_empty_component_contributes_nothing(self):
+        rng = np.random.RandomState(5)
+        alive = [_vec(rng, 50) for _ in range(3)]
+        cells = [[None, None, None], list(alive)]
+        expected = dowdall_scores(alive, 50)
+        assert gap_dowdall_scores(cells, 50).tobytes() == expected.tobytes()
+
+    def test_ragged_components_rejected(self):
+        with pytest.raises(ValueError):
+            gap_dowdall_scores([[None], [None, None]], 10)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            gap_dowdall_scores([], 10)
+
+
+class TestProofOfDegradedEquivalence:
+    def test_default_plan_proof_holds(self, rolling_tranco):
+        plan = default_data_plan(11, rolling_tranco.world.config.n_days)
+        proof = proof_of_degraded_equivalence(rolling_tranco, plan)
+        assert proof["ok"], proof
+        assert proof["identical"]
+        assert proof["marking_consistent"]
+        assert proof["clean_days_identical"]
+        assert proof["all_armed_sites_fired"]
+        assert proof["digest_match"]
+        assert proof["degraded_days"], "the plan must actually degrade days"
+
+    def test_unfaulted_plan_is_the_clean_pipeline(self, rolling_tranco):
+        plan = FaultPlan([], seed=1)
+        proof = proof_of_degraded_equivalence(rolling_tranco, plan)
+        assert proof["ok"]
+        assert proof["degraded_days"] == []
+        assert proof["clean_days"] == list(
+            range(rolling_tranco.world.config.n_days)
+        )
+
+    def test_proof_is_seed_deterministic(self, rolling_tranco):
+        n_days = rolling_tranco.world.config.n_days
+        first = proof_of_degraded_equivalence(
+            rolling_tranco, default_data_plan(11, n_days)
+        )
+        second = proof_of_degraded_equivalence(
+            rolling_tranco, default_data_plan(11, n_days)
+        )
+        assert first["fault_digest"] == second["fault_digest"]
+        assert [d["sha256"] for d in first["days"]] == [
+            d["sha256"] for d in second["days"]
+        ]
+        third = proof_of_degraded_equivalence(
+            rolling_tranco, default_data_plan(12, n_days)
+        )
+        assert third["fault_digest"] != first["fault_digest"]
+
+
+class TestDegradedTranco:
+    def test_retirement_drops_component_without_perturbing_survivors(
+        self, rolling_tranco
+    ):
+        # Retire alexa from day 1: every emission must equal the batch
+        # aggregation of the surviving components only.
+        plan = FaultPlan(
+            [FaultRule("data.provider.retired",
+                       match=day_key("alexa", 1), probability=1.0)],
+            seed=2,
+        )
+        pipeline = DegradedTranco(rolling_tranco, plan)
+        world = rolling_tranco.world
+        names = pipeline.component_names
+        for day in range(world.config.n_days):
+            ranked, health = pipeline.advance()
+            window = list(rolling_tranco.window_days(day))
+            cells = [[pipeline.cells[(n, d)] for d in window] for n in names]
+            if day >= 1:
+                assert health["components"]["alexa"]["status"] == "retired"
+                alexa_cells = dict(zip(window, cells[names.index("alexa")]))
+                assert all(cell is None for d, cell in alexa_cells.items()
+                           if d >= 1)
+            batch = rolling_tranco.assemble_scores(
+                gap_dowdall_scores(cells, world.n_sites), day
+            )
+            assert np.array_equal(ranked.name_rows, batch.name_rows)
+
+    def test_health_block_marks_exactly_the_degraded_windows(
+        self, rolling_tranco
+    ):
+        plan = FaultPlan(
+            [FaultRule("data.day.missing",
+                       match=day_key("umbrella", 2), probability=1.0)],
+            seed=3,
+        )
+        pipeline = DegradedTranco(rolling_tranco, plan)
+        window = rolling_tranco.world.config.tranco_window
+        flags = []
+        for day in range(rolling_tranco.world.config.n_days):
+            _, health = pipeline.advance()
+            flags.append(health["degraded"])
+        # Degraded exactly while day 2 sits inside the rolling window.
+        expected = [2 <= day <= 2 + window - 1
+                    for day in range(len(flags))]
+        assert flags == expected

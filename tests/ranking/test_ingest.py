@@ -1,0 +1,315 @@
+"""Ingestion contracts, the gap policy, and the degraded feed.
+
+The contract edge cases run against *real* provider contracts (Alexa,
+Umbrella, Tranco — domain and DNS granularities, different publication
+shapes) built over the shared rolling world, not against synthetic
+contracts only: the paper's premise is that provider mess arrives at the
+aggregation boundary, so that boundary is what gets tested.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultRule, day_key, default_data_plan
+from repro.providers.registry import build_providers
+from repro.ranking.ingest import (
+    DegradedFeed,
+    GapPolicy,
+    IngestGate,
+    ProviderContract,
+    contract_for,
+    digest_of_data_log,
+    legacy_wire_doc,
+    wire_doc,
+)
+
+_PROVIDERS = ("alexa", "umbrella", "tranco")
+
+
+@pytest.fixture(scope="module")
+def providers(rolling_world):
+    return build_providers(rolling_world)
+
+
+def _contract(providers, rolling_world, name) -> ProviderContract:
+    return contract_for(providers[name], rolling_world)
+
+
+def _doc(contract: ProviderContract, day: int, rows) -> dict:
+    return wire_doc(contract.provider, day, contract.granularity, rows)
+
+
+class TestContractEdgeCases:
+    """Satellite: empty / single-domain / non-contiguous / short days,
+    across at least Tranco, Umbrella, and Alexa contracts."""
+
+    @pytest.mark.parametrize("name", _PROVIDERS)
+    def test_empty_day_is_quarantined(self, providers, rolling_world, name):
+        contract = _contract(providers, rolling_world, name)
+        status, rows, reasons, _ = contract.classify(
+            _doc(contract, 3, []), day=3
+        )
+        assert status == "quarantined"
+        assert rows is None
+        assert "empty_day" in reasons
+
+    @pytest.mark.parametrize("name", _PROVIDERS)
+    def test_single_domain_day_is_clean(self, providers, rolling_world, name):
+        contract = _contract(providers, rolling_world, name)
+        status, rows, reasons, repairs = contract.classify(
+            _doc(contract, 0, [5]), day=0
+        )
+        assert status == "clean"
+        assert rows == (5,)
+        assert reasons == () and repairs == ()
+
+    @pytest.mark.parametrize("name", _PROVIDERS)
+    def test_single_domain_day_below_floor_is_truncated(
+        self, providers, rolling_world, name
+    ):
+        contract = _contract(providers, rolling_world, name)
+        status, rows, reasons, _ = contract.classify(
+            _doc(contract, 1, [5]), day=1, reference_length=100
+        )
+        assert status == "quarantined"
+        assert "truncated" in reasons
+
+    @pytest.mark.parametrize("name", _PROVIDERS)
+    def test_non_contiguous_day_number_is_quarantined(
+        self, providers, rolling_world, name
+    ):
+        contract = _contract(providers, rolling_world, name)
+        status, _, reasons, _ = contract.classify(
+            _doc(contract, 4, [1, 2, 3]), day=3
+        )
+        assert status == "quarantined"
+        assert "day_mismatch" in reasons
+
+    @pytest.mark.parametrize("name", _PROVIDERS)
+    def test_short_day_above_floor_is_repaired(
+        self, providers, rolling_world, name
+    ):
+        contract = _contract(providers, rolling_world, name)
+        status, rows, _, repairs = contract.classify(
+            _doc(contract, 2, list(range(60))), day=2, reference_length=100
+        )
+        assert status == "repaired"
+        assert len(rows) == 60
+        assert "short_day" in repairs
+
+    @pytest.mark.parametrize("name", _PROVIDERS)
+    def test_row_out_of_range_is_quarantined(
+        self, providers, rolling_world, name
+    ):
+        contract = _contract(providers, rolling_world, name)
+        status, _, reasons, _ = contract.classify(
+            _doc(contract, 0, [0, contract.n_rows]), day=0
+        )
+        assert status == "quarantined"
+        assert "row_out_of_range" in reasons
+
+    def test_rank_vector_shorter_than_n_sites_still_folds(
+        self, providers, rolling_world
+    ):
+        # A repaired short day yields a rank vector with absences, not a
+        # shape error: fold it through the real rows -> sites path.
+        from repro.providers.tranco import site_rank_vector
+
+        contract = _contract(providers, rolling_world, "alexa")
+        status, rows, _, _ = contract.classify(
+            _doc(contract, 0, [3, 1, 4]), day=0
+        )
+        assert status == "clean"
+        vector = site_rank_vector(rolling_world, list(rows))
+        assert vector.shape == (rolling_world.n_sites,)
+        assert (vector > 0).sum() <= 3
+
+    def test_duplicate_ranks_are_repaired_first_occurrence_wins(
+        self, providers, rolling_world
+    ):
+        contract = _contract(providers, rolling_world, "umbrella")
+        status, rows, _, repairs = contract.classify(
+            _doc(contract, 0, [7, 3, 7, 5, 3]), day=0
+        )
+        assert status == "repaired"
+        assert rows == (7, 3, 5)
+        assert "duplicate_ranks" in repairs
+
+    def test_legacy_schema_is_repaired_as_drift(
+        self, providers, rolling_world
+    ):
+        contract = _contract(providers, rolling_world, "tranco")
+        doc = legacy_wire_doc(
+            contract.provider, 2, contract.granularity, [9, 8, 7]
+        )
+        status, rows, _, repairs = contract.classify(doc, day=2)
+        assert status == "repaired"
+        assert rows == (9, 8, 7)
+        assert "schema_drift" in repairs
+
+    def test_unknown_schema_and_wrong_provider_quarantined(
+        self, providers, rolling_world
+    ):
+        contract = _contract(providers, rolling_world, "alexa")
+        status, _, reasons, _ = contract.classify(
+            {"schema": "repro/day-list/9"}, day=0
+        )
+        assert (status, reasons) == ("quarantined", ("unknown_schema",))
+        impostor = wire_doc("umbrella", 0, contract.granularity, [1])
+        status, _, reasons, _ = contract.classify(impostor, day=0)
+        assert "provider_mismatch" in reasons
+
+    def test_stale_repeat_detected_against_previous_rows(
+        self, providers, rolling_world
+    ):
+        contract = _contract(providers, rolling_world, "umbrella")
+        status, rows, _, repairs = contract.classify(
+            _doc(contract, 1, [4, 2]), day=1, previous_rows=(4, 2)
+        )
+        assert status == "repaired"
+        assert "stale_repeat" in repairs
+        assert rows == (4, 2)
+
+
+class TestIngestGate:
+    def _gate(self, providers, rolling_world, name="alexa", **policy) -> IngestGate:
+        return IngestGate(
+            _contract(providers, rolling_world, name), GapPolicy(**policy)
+        )
+
+    def test_days_must_arrive_in_order(self, providers, rolling_world):
+        gate = self._gate(providers, rolling_world)
+        gate.ingest(0, _doc(gate.contract, 0, [1, 2]))
+        with pytest.raises(ValueError, match="in order"):
+            gate.ingest(2, _doc(gate.contract, 2, [1, 2]))
+
+    def test_carry_forward_is_bounded_then_unrecoverable(
+        self, providers, rolling_world
+    ):
+        gate = self._gate(providers, rolling_world, max_carry=2)
+        gate.ingest(0, _doc(gate.contract, 0, [1, 2, 3]))
+        resolutions = [gate.ingest(day, None).resolution
+                       for day in range(1, 5)]
+        assert resolutions == [
+            "carried_forward", "carried_forward",
+            "unrecoverable", "unrecoverable",
+        ]
+        stalenesses = [r.staleness for r in gate.records[1:]]
+        assert stalenesses == [1, 2, 3, 4]
+
+    def test_carried_rows_are_the_last_accepted_list(
+        self, providers, rolling_world
+    ):
+        gate = self._gate(providers, rolling_world)
+        gate.ingest(0, _doc(gate.contract, 0, [9, 4]))
+        record = gate.ingest(1, None)
+        assert record.status == "missing"
+        assert record.rows == (9, 4)
+        assert record.degraded
+
+    def test_retirement_is_sticky_and_never_carries(
+        self, providers, rolling_world
+    ):
+        gate = self._gate(providers, rolling_world)
+        gate.ingest(0, _doc(gate.contract, 0, [1, 2]))
+        gate.ingest(1, None, injected="data.provider.retired")
+        record = gate.ingest(2, _doc(gate.contract, 2, [1, 2]))
+        assert gate.retired_at == 1
+        assert record.resolution == "retired"
+        assert record.rows is None
+
+    def test_fresh_accept_resets_staleness(self, providers, rolling_world):
+        gate = self._gate(providers, rolling_world)
+        gate.ingest(0, _doc(gate.contract, 0, [1, 2]))
+        gate.ingest(1, None)
+        record = gate.ingest(2, _doc(gate.contract, 2, [2, 3]))
+        assert record.resolution == "clean"
+        assert record.staleness == 0
+
+    def test_reference_length_is_the_max_accepted(
+        self, providers, rolling_world
+    ):
+        gate = self._gate(providers, rolling_world)
+        gate.ingest(0, _doc(gate.contract, 0, list(range(100))))
+        # 30 rows < half the learned reference: quarantined, carried.
+        record = gate.ingest(1, _doc(gate.contract, 1, list(range(30))))
+        assert record.status == "quarantined"
+        assert "truncated" in record.reasons
+        assert record.resolution == "carried_forward"
+
+
+class TestDegradedFeed:
+    def _feed(self, providers, seed=11, n_days=8):
+        plan = default_data_plan(seed, n_days)
+        pool = {n: providers[n] for n in ("alexa", "umbrella", "majestic")}
+        return DegradedFeed(pool, plan)
+
+    def test_double_consult_is_an_error(self, providers):
+        feed = self._feed(providers)
+        feed.fetch("alexa", 1)
+        with pytest.raises(ValueError, match="consulted twice"):
+            feed.fetch("alexa", 1)
+
+    def test_day_zero_is_always_clean(self, providers, rolling_world):
+        feed = self._feed(providers)
+        doc, injected = feed.fetch("alexa", 0)
+        assert injected is None
+        contract = _contract(providers, rolling_world, "alexa")
+        status, _, _, _ = contract.classify(doc, day=0)
+        assert status == "clean"
+
+    def test_digest_replays_in_run(self, providers):
+        feed = self._feed(providers)
+        for day in range(6):
+            for name in ("alexa", "umbrella", "majestic"):
+                feed.fetch(name, day)
+        digest = feed.fault_digest()
+        assert digest == feed.replay_digest()
+        assert feed.fired_sites(), "the default plan must actually fire"
+
+    def test_digest_reproduces_across_feeds_and_interleavings(
+        self, providers
+    ):
+        by_provider = self._feed(providers)
+        for name in ("alexa", "umbrella", "majestic"):
+            for day in range(6):
+                by_provider.fetch(name, day)
+        by_day = self._feed(providers)
+        for day in range(6):
+            for name in ("majestic", "alexa", "umbrella"):
+                by_day.fetch(name, day)
+        assert by_provider.fault_digest() == by_day.fault_digest()
+
+    def test_digest_is_order_insensitive_but_content_sensitive(self):
+        log = [
+            {"key": day_key("alexa", 1), "site": "data.day.missing"},
+            {"key": day_key("umbrella", 2), "site": "data.day.truncated"},
+        ]
+        assert digest_of_data_log(log) == digest_of_data_log(log[::-1])
+        assert digest_of_data_log(log) != digest_of_data_log(log[:1])
+
+    def test_retirement_is_sticky_without_reconsulting(self, providers):
+        plan = FaultPlan(
+            [FaultRule("data.provider.retired",
+                       match=day_key("alexa", 2), probability=1.0)],
+            seed=5,
+        )
+        feed = DegradedFeed({"alexa": providers["alexa"]}, plan)
+        assert feed.fetch("alexa", 1)[1] is None
+        assert feed.fetch("alexa", 2) == (None, "data.provider.retired")
+        assert feed.fetch("alexa", 3) == (None, "data.provider.retired")
+        # Only the firing consult is logged; stickiness adds nothing.
+        assert len(feed.fault_log) == 1
+
+    def test_truncation_honors_rule_fraction(self, providers):
+        plan = FaultPlan(
+            [FaultRule("data.day.truncated", match=day_key("alexa", 1),
+                       probability=1.0, fraction=0.25)],
+            seed=5,
+        )
+        feed = DegradedFeed({"alexa": providers["alexa"]}, plan)
+        full, _ = feed.fetch("alexa", 0)
+        cut, injected = feed.fetch("alexa", 1)
+        assert injected == "data.day.truncated"
+        assert len(cut["rows"]) == max(1, int(len(full["rows"]) * 0.25))

@@ -91,3 +91,50 @@ class TestSummary:
         assert summary["days"] == 0
         assert summary["mean_churn"] == 0.0
         assert summary["min_intersection"] is None
+
+
+class TestDuplicateGuard:
+    def test_duplicate_in_top_k_raises_with_the_name(self):
+        tracker = StabilityTracker(3)
+        with pytest.raises(ValueError, match=r"duplicate name 'a' in day 0"):
+            tracker.observe(["a", "b", "a"])
+
+    def test_duplicate_beyond_top_k_is_fine(self):
+        tracker = StabilityTracker(2)
+        tracker.observe(["a", "b", "a"])
+        assert tracker.days_observed == 1
+
+    def test_failed_observe_leaves_state_untouched(self):
+        tracker = StabilityTracker(3)
+        tracker.observe(["a", "b", "c"])
+        with pytest.raises(ValueError):
+            tracker.observe(["d", "d", "e"])
+        assert tracker.days_observed == 1
+        tracker.observe(["a", "b", "d"])
+        assert tracker.churn == pytest.approx([0.0, 1 / 3])
+
+
+class TestDegradedDays:
+    def _tracked(self):
+        tracker = StabilityTracker(3)
+        tracker.observe(["a", "b", "c"])
+        tracker.observe(["a", "b", "c"], degraded=True)  # carried forward
+        tracker.observe(["d", "e", "f"])
+        return tracker
+
+    def test_degraded_churn_recorded_but_skipped_in_mean(self):
+        tracker = self._tracked()
+        # Raw series keeps the artifact zero; the mean only sees day 2.
+        assert tracker.churn == pytest.approx([0.0, 0.0, 1.0])
+        assert tracker.summary()["mean_churn"] == pytest.approx(1.0)
+
+    def test_degraded_days_listed_in_summary(self):
+        assert self._tracked().summary()["degraded_days"] == [1]
+
+    def test_weekday_buckets_skip_degraded_days(self):
+        tracker = self._tracked()
+        weekday = tracker.weekday_summary(start_weekday=0)
+        # Day 1 (tue) is degraded: its bucket must be empty, day 2 (wed)
+        # carries the only sample.
+        assert weekday["mean_churn"]["tue"] is None
+        assert weekday["mean_churn"]["wed"] == pytest.approx(1.0)
